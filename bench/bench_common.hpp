@@ -1,0 +1,98 @@
+// Shared plumbing for the reproduction benches: environment knobs, the
+// common train-and-evaluate loop, and paper-vs-measured printing.
+//
+// Knobs:
+//   SESR_BENCH_FAST=1    — quarter the training budget and shrink eval sets
+//                          (CI mode; orderings still hold, margins shrink).
+//   SESR_BENCH_STEPS=N   — override the training-step budget exactly.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "data/benchmark_sets.hpp"
+#include "data/dataset.hpp"
+#include "metrics/evaluate.hpp"
+#include "metrics/psnr.hpp"
+#include "train/trainer.hpp"
+
+namespace sesr::bench {
+
+inline bool fast_mode() {
+  const char* v = std::getenv("SESR_BENCH_FAST");
+  return v != nullptr && std::string(v) != "0";
+}
+
+// Scales a full-budget step count by the environment knobs.
+inline std::int64_t scaled_steps(std::int64_t full) {
+  if (const char* v = std::getenv("SESR_BENCH_STEPS")) {
+    const long n = std::strtol(v, nullptr, 10);
+    if (n > 0) return n;
+  }
+  return fast_mode() ? std::max<std::int64_t>(10, full / 4) : full;
+}
+
+// Standard training corpus for all quality benches (stands in for DIV2K).
+inline data::SrDataset training_corpus(std::int64_t scale, std::uint64_t seed = 0xD112'0001) {
+  Rng rng(seed);
+  const std::int64_t count = fast_mode() ? 8 : 16;
+  return data::SrDataset::synthetic_corpus(count, 64, 64, scale, rng);
+}
+
+struct TrainSpec {
+  std::int64_t steps = 400;
+  std::int64_t batch = 4;
+  std::int64_t crop = 16;  // LR crop; paper uses 64 on DIV2K
+  float lr = 5e-4F;        // paper: Adam, constant 5e-4
+};
+
+// Trains a model with the paper's protocol (Adam, constant LR, L1 loss) on
+// random LR/HR patches and returns the history.
+inline train::TrainHistory train_model(train::Model& model, const data::SrDataset& dataset,
+                                       const TrainSpec& spec, std::uint64_t batch_seed = 7) {
+  train::Adam adam(spec.lr);
+  train::ConstantLr schedule(spec.lr);
+  train::Trainer trainer(model, adam, schedule, train::l1_loss);
+  Rng batch_rng(batch_seed);
+  train::TrainOptions options;
+  options.steps = scaled_steps(spec.steps);
+  return trainer.run(
+      [&](std::int64_t) { return dataset.sample_batch(spec.batch, spec.crop, batch_rng); },
+      options);
+}
+
+// Mean PSNR of a model over the training corpus' held-out full images
+// (our "DIV2K validation" for the Section 5.4/5.5 studies).
+inline double validation_psnr(train::Model& model, const data::SrDataset& dataset,
+                              std::size_t images = 4) {
+  double total = 0.0;
+  const std::size_t count = std::min(images, dataset.size());
+  for (std::size_t i = 0; i < count; ++i) {
+    auto [lr_img, hr_img] = dataset.image_pair(i);
+    total += metrics::psnr_shaved(model.predict(lr_img), hr_img, dataset.scale());
+  }
+  return total / static_cast<double>(count);
+}
+
+inline std::vector<data::BenchmarkSet> eval_sets() {
+  return data::make_benchmark_sets(fast_mode() ? 48 : 64, /*reduced=*/true);
+}
+
+inline void print_header(const char* title, const char* paper_ref) {
+  std::printf("\n================================================================\n");
+  std::printf("%s\n", title);
+  std::printf("reproduces: %s\n", paper_ref);
+  std::printf("mode: %s (SESR_BENCH_FAST=%d)\n", fast_mode() ? "fast/CI" : "full", fast_mode());
+  std::printf("================================================================\n");
+}
+
+inline void print_quality_row(const std::string& model, double params_k, double macs_g,
+                              const std::vector<metrics::QualityScore>& scores) {
+  std::printf("%-28s %9.2fK %8.2fG", model.c_str(), params_k, macs_g);
+  for (const auto& s : scores) std::printf("  %6.2f/%.4f", s.psnr, s.ssim);
+  std::printf("\n");
+}
+
+}  // namespace sesr::bench

@@ -1,0 +1,98 @@
+// Deployment study: what actually ships to the NPU.
+//
+// Extends the paper's Table 3 premise (the Ethos-N78 executes int8) with the
+// functional counterparts the paper does not spell out:
+//   1. post-training int8 quantization of the collapsed SESR — PSNR loss vs
+//      the float network;
+//   2. functional tiling (Section 5.6): exactness with a full halo, the
+//      compute overhead of that halo, and quality with truncated halos;
+//   3. the Winograd 3x3 fast path as a CPU deployment option.
+#include <chrono>
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "core/quantize.hpp"
+#include "core/sesr_inference.hpp"
+#include "core/tiled_inference.hpp"
+#include "data/synthetic.hpp"
+#include "metrics/psnr.hpp"
+#include "nn/winograd.hpp"
+#include "tensor/tensor_ops.hpp"
+
+using namespace sesr;
+
+int main() {
+  bench::print_header("Deployment — int8 quantization, functional tiling, Winograd",
+                      "Table 3 premise + Section 5.6 boundary-correctness remark");
+  data::SrDataset corpus = bench::training_corpus(2);
+  Rng rng(7);
+  core::SesrNetwork net(core::sesr_m5(2), rng);
+  bench::TrainSpec spec;
+  bench::train_model(net, corpus, spec);
+  core::SesrInference deployed(net);
+
+  // Evaluation image and calibration set.
+  Rng irng(11);
+  Tensor image = data::synthesize_image(data::ImageFamily::kNatural, 96, 96, irng);
+  std::vector<Tensor> calib;
+  for (int i = 0; i < 3; ++i) {
+    calib.push_back(data::synthesize_image(data::ImageFamily::kObjects, 48, 48, irng));
+  }
+  auto [lr_img, hr_img] = corpus.image_pair(0);
+
+  // --- int8 ------------------------------------------------------------------
+  core::QuantizedSesr quant(deployed, calib);
+  const Tensor float_out = deployed.upscale(lr_img);
+  const Tensor int8_out = quant.upscale(lr_img);
+  std::printf("int8 weights: %lld bytes (float: %lld)\n",
+              static_cast<long long>(quant.weight_bytes()),
+              static_cast<long long>(deployed.parameter_count() * 4));
+  std::printf("PSNR vs ground truth:  float %.2f dB   int8 %.2f dB   (delta %+.3f dB)\n",
+              metrics::psnr_shaved(float_out, hr_img, 2),
+              metrics::psnr_shaved(int8_out, hr_img, 2),
+              metrics::psnr_shaved(int8_out, hr_img, 2) -
+                  metrics::psnr_shaved(float_out, hr_img, 2));
+  std::printf("int8-vs-float agreement: %.1f dB\n\n", metrics::psnr(int8_out, float_out));
+
+  // --- tiling ----------------------------------------------------------------
+  const Tensor full = deployed.upscale(image);
+  const std::int64_t radius = core::receptive_field_radius(deployed);
+  std::printf("receptive-field radius: %lld px -> exact-tiling halo\n",
+              static_cast<long long>(radius));
+  std::printf("%8s %10s %18s %14s\n", "halo", "max|err|", "agreement (dB)", "LR overhead");
+  for (const std::int64_t halo : {radius, radius / 2, std::int64_t{2}, std::int64_t{0}}) {
+    core::TilingOptions options;
+    options.tile_h = options.tile_w = 32;
+    options.halo = halo;
+    const Tensor tiled = core::upscale_tiled(deployed, image, options);
+    const float err = max_abs_diff(tiled, full);
+    std::printf("%8lld %10.2e %18.1f %13.2fx\n", static_cast<long long>(halo),
+                static_cast<double>(err), err == 0.0F ? 99.0 : metrics::psnr(tiled, full),
+                core::tiling_compute_overhead(image.shape().h(), image.shape().w(), options,
+                                              halo));
+  }
+  std::printf("(paper Sec. 5.6: tiling needs 'boundary overhead ... to maintain the\n"
+              " functional correctness' — the halo column quantifies it.)\n\n");
+
+  // --- Winograd --------------------------------------------------------------
+  Rng wrng(13);
+  Tensor x(1, 64, 64, 16);
+  x.fill_uniform(wrng, -1.0F, 1.0F);
+  Tensor w3 = deployed.convolutions()[1].weight;  // a real collapsed 3x3 kernel
+  const auto time_ms = [](auto&& fn) {
+    const auto t0 = std::chrono::steady_clock::now();
+    for (int i = 0; i < 5; ++i) fn();
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count() / 5 * 1e3;
+  };
+  const double ms_im2col =
+      time_ms([&] { volatile float v = nn::conv2d(x, w3, nn::Padding::kSame).raw()[0]; (void)v; });
+  Tensor u = nn::winograd_weight_transform(w3);
+  const double ms_winograd = time_ms([&] {
+    volatile float v = nn::conv2d_winograd_3x3_pretransformed(x, u, 16).raw()[0];
+    (void)v;
+  });
+  std::printf("3x3 conv, 64x64x16: im2col %.2f ms, Winograd F(2,3) %.2f ms (%.2fx; 2.25x\n"
+              "fewer multiplies in theory, transform overhead eats part of it)\n",
+              ms_im2col, ms_winograd, ms_im2col / ms_winograd);
+  return 0;
+}

@@ -1,0 +1,96 @@
+// Reproduces Fig. 3: the efficient training implementation. Two parts:
+//  (1) Analytic forward-pass MACs for the paper's exact configuration
+//      (SESR-M5, batch 32, 64x64 crops): expanded space = 41.77 GMACs,
+//      collapse-then-narrow-forward = 1.84 GMACs.
+//  (2) Measured wall-clock of one training step in both modes (at a reduced
+//      geometry so the expanded run stays tractable on one core), verifying
+//      the speedup materializes, not just the operation counts.
+#include <chrono>
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "core/paper_reference.hpp"
+#include "core/sesr_network.hpp"
+#include "core/training_macs.hpp"
+#include "train/optimizer.hpp"
+
+using namespace sesr;
+
+namespace {
+double measure_step_ms(core::SesrNetwork& net, const Tensor& x, const Tensor& target,
+                       int steps) {
+  train::Adam adam(5e-4F);
+  // Warm-up step excluded from timing.
+  {
+    nn::zero_gradients(net.parameters());
+    Tensor y = net.forward(x, true);
+    auto loss = train::l1_loss(y, target);
+    net.backward(loss.grad);
+    adam.step(net.parameters());
+  }
+  const auto t0 = std::chrono::steady_clock::now();
+  for (int i = 0; i < steps; ++i) {
+    nn::zero_gradients(net.parameters());
+    Tensor y = net.forward(x, true);
+    auto loss = train::l1_loss(y, target);
+    net.backward(loss.grad);
+    adam.step(net.parameters());
+  }
+  const double dt =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+  return dt / steps * 1e3;
+}
+}  // namespace
+
+int main() {
+  bench::print_header("Fig. 3 — efficient (collapsed-forward) training",
+                      "Bhardwaj et al., MLSys 2022, Figure 3 / Section 3.3");
+
+  // Part 1: the paper's exact numbers, analytically.
+  const core::TrainingMacReport paper_cfg = core::training_forward_macs(core::sesr_m5(2), 32, 64, 64);
+  std::printf("SESR-M5, batch 32, 64x64 crops (paper's configuration):\n");
+  std::printf("  expanded-space forward:        %7.2f GMACs   (paper %.2f)\n",
+              static_cast<double>(paper_cfg.expanded_forward_macs) * 1e-9,
+              core::paper::kFig3ExpandedGMacs);
+  std::printf("  collapse + narrow forward:     %7.2f GMACs   (paper %.2f)\n",
+              static_cast<double>(paper_cfg.efficient_total()) * 1e-9,
+              core::paper::kFig3CollapsedGMacs);
+  std::printf("    of which Algorithm-1 collapse: %5.3f GMACs (kernels are tiny)\n",
+              static_cast<double>(paper_cfg.collapse_macs) * 1e-9);
+  std::printf("  analytic speedup: %.1fx\n\n", paper_cfg.speedup());
+
+  // Part 2: measured wall-clock at reduced geometry.
+  const std::int64_t batch = bench::fast_mode() ? 2 : 4;
+  const std::int64_t crop = bench::fast_mode() ? 16 : 24;
+  const int steps = bench::fast_mode() ? 2 : 4;
+  Rng xrng(3);
+  Tensor x(batch, crop, crop, 1);
+  x.fill_uniform(xrng, 0.0F, 1.0F);
+  Tensor target(batch, crop * 2, crop * 2, 1);
+  target.fill_uniform(xrng, 0.0F, 1.0F);
+
+  core::SesrConfig expanded_cfg = core::sesr_m5(2);
+  expanded_cfg.mode = core::BlockMode::kExpanded;
+  core::SesrConfig collapsed_cfg = core::sesr_m5(2);
+  collapsed_cfg.mode = core::BlockMode::kCollapsedForward;
+  Rng rng_a(1);
+  Rng rng_b(1);
+  core::SesrNetwork expanded(expanded_cfg, rng_a);
+  core::SesrNetwork collapsed(collapsed_cfg, rng_b);
+
+  const double ms_expanded = measure_step_ms(expanded, x, target, steps);
+  const double ms_collapsed = measure_step_ms(collapsed, x, target, steps);
+  const core::TrainingMacReport local = core::training_forward_macs(core::sesr_m5(2), batch, crop, crop);
+  std::printf("measured (batch %lld, %lldx%lld crops, full fwd+bwd+Adam step):\n",
+              static_cast<long long>(batch), static_cast<long long>(crop),
+              static_cast<long long>(crop));
+  std::printf("  expanded-space step:  %8.1f ms   (forward %7.2f GMACs)\n", ms_expanded,
+              static_cast<double>(local.expanded_forward_macs) * 1e-9);
+  std::printf("  efficient step:       %8.1f ms   (forward %7.2f GMACs)\n", ms_collapsed,
+              static_cast<double>(local.efficient_total()) * 1e-9);
+  std::printf("  measured speedup: %.1fx (forward-MAC ratio %.1fx; the measured gain can\n"
+              "  exceed the forward ratio because the backward pass also shrinks — layer\n"
+              "  Jacobians are narrow in collapsed space, as the paper notes in Sec. 3.3)\n",
+              ms_expanded / ms_collapsed, local.speedup());
+  return 0;
+}

@@ -1,0 +1,147 @@
+// Operator microbenchmarks (google-benchmark): the kernels every experiment
+// rides on — GEMM, im2col convolution (vs the naive reference), Algorithm-1
+// collapse, residual folding, depth-to-space, and one collapsed SESR-M5
+// inference step on a 360p frame.
+#include <benchmark/benchmark.h>
+
+#include "core/collapse.hpp"
+#include "core/linear_block.hpp"
+#include "core/sesr_inference.hpp"
+#include "core/sesr_network.hpp"
+#include "nn/conv2d.hpp"
+#include "nn/depth_to_space.hpp"
+#include "nn/gemm.hpp"
+#include "nn/init.hpp"
+
+namespace {
+
+using namespace sesr;
+
+void BM_Gemm(benchmark::State& state) {
+  const auto n = state.range(0);
+  Rng rng(1);
+  std::vector<float> a(static_cast<std::size_t>(n * n));
+  std::vector<float> b(static_cast<std::size_t>(n * n));
+  std::vector<float> c(static_cast<std::size_t>(n * n));
+  for (float& v : a) v = rng.uniform(-1.0F, 1.0F);
+  for (float& v : b) v = rng.uniform(-1.0F, 1.0F);
+  for (auto _ : state) {
+    nn::gemm(a, b, c, n, n, n);
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.SetItemsProcessed(state.iterations() * n * n * n);
+}
+BENCHMARK(BM_Gemm)->Arg(64)->Arg(128)->Arg(256);
+
+void BM_Conv2dGemmPath(benchmark::State& state) {
+  const auto hw = state.range(0);
+  Rng rng(2);
+  Tensor x(1, hw, hw, 16);
+  x.fill_uniform(rng, -1.0F, 1.0F);
+  Tensor w = nn::he_normal_kernel(3, 3, 16, 16, rng);
+  for (auto _ : state) {
+    Tensor y = nn::conv2d(x, w, nn::Padding::kSame);
+    benchmark::DoNotOptimize(y.raw());
+  }
+  state.SetItemsProcessed(state.iterations() * hw * hw * 9 * 16 * 16);
+}
+BENCHMARK(BM_Conv2dGemmPath)->Arg(32)->Arg(64)->Arg(128);
+
+void BM_Conv2dNaive(benchmark::State& state) {
+  const auto hw = state.range(0);
+  Rng rng(3);
+  Tensor x(1, hw, hw, 16);
+  x.fill_uniform(rng, -1.0F, 1.0F);
+  Tensor w = nn::he_normal_kernel(3, 3, 16, 16, rng);
+  for (auto _ : state) {
+    Tensor y = nn::conv2d_naive(x, w, nn::Padding::kSame);
+    benchmark::DoNotOptimize(y.raw());
+  }
+  state.SetItemsProcessed(state.iterations() * hw * hw * 9 * 16 * 16);
+}
+BENCHMARK(BM_Conv2dNaive)->Arg(32)->Arg(64);
+
+void BM_CollapseLinearBlock(benchmark::State& state) {
+  // Algorithm 1 on the paper's production geometry: 3x3, 16 -> 256 -> 16.
+  Rng rng(4);
+  Tensor w1 = nn::he_normal_kernel(3, 3, 16, 256, rng);
+  Tensor w2 = nn::he_normal_kernel(1, 1, 256, 16, rng);
+  const std::array<Tensor, 2> weights{w1, w2};
+  for (auto _ : state) {
+    Tensor wc = core::collapse_conv_sequence(weights);
+    benchmark::DoNotOptimize(wc.raw());
+  }
+}
+BENCHMARK(BM_CollapseLinearBlock);
+
+void BM_CollapseFirst5x5(benchmark::State& state) {
+  Rng rng(5);
+  Tensor w1 = nn::he_normal_kernel(5, 5, 1, 256, rng);
+  Tensor w2 = nn::he_normal_kernel(1, 1, 256, 16, rng);
+  const std::array<Tensor, 2> weights{w1, w2};
+  for (auto _ : state) {
+    Tensor wc = core::collapse_conv_sequence(weights);
+    benchmark::DoNotOptimize(wc.raw());
+  }
+}
+BENCHMARK(BM_CollapseFirst5x5);
+
+void BM_ResidualFold(benchmark::State& state) {
+  Rng rng(6);
+  for (auto _ : state) {
+    Tensor w = nn::he_normal_kernel(3, 3, 16, 16, rng);
+    core::add_residual_identity(w);
+    benchmark::DoNotOptimize(w.raw());
+  }
+}
+BENCHMARK(BM_ResidualFold);
+
+void BM_DepthToSpace(benchmark::State& state) {
+  const auto hw = state.range(0);
+  Rng rng(7);
+  Tensor x(1, hw, hw, 4);
+  x.fill_uniform(rng, 0.0F, 1.0F);
+  for (auto _ : state) {
+    Tensor y = nn::depth_to_space(x, 2);
+    benchmark::DoNotOptimize(y.raw());
+  }
+  state.SetItemsProcessed(state.iterations() * x.numel());
+}
+BENCHMARK(BM_DepthToSpace)->Arg(180)->Arg(360);
+
+void BM_SesrM5Inference360p(benchmark::State& state) {
+  // One collapsed SESR-M5 x2 pass over a 640x360 frame (the Fig. 1(a) task).
+  Rng rng(8);
+  core::SesrNetwork net(core::sesr_m5(2), rng);
+  core::SesrInference deployed(net);
+  Rng xrng(9);
+  Tensor x(1, 360, 640, 1);
+  x.fill_uniform(xrng, 0.0F, 1.0F);
+  for (auto _ : state) {
+    Tensor y = deployed.upscale(x);
+    benchmark::DoNotOptimize(y.raw());
+  }
+  state.SetItemsProcessed(state.iterations() * 13520LL * 360 * 640);
+}
+BENCHMARK(BM_SesrM5Inference360p)->Unit(benchmark::kMillisecond);
+
+void BM_TrainingStepCollapsedMode(benchmark::State& state) {
+  Rng rng(10);
+  core::SesrConfig cfg = core::sesr_m5(2);
+  cfg.mode = core::BlockMode::kCollapsedForward;
+  core::SesrNetwork net(cfg, rng);
+  Rng xrng(11);
+  Tensor x(2, 16, 16, 1);
+  x.fill_uniform(xrng, 0.0F, 1.0F);
+  Tensor g(2, 32, 32, 1);
+  g.fill_uniform(xrng, -1.0F, 1.0F);
+  for (auto _ : state) {
+    nn::zero_gradients(net.parameters());
+    Tensor y = net.forward(x, true);
+    net.backward(g);
+    benchmark::DoNotOptimize(y.raw());
+  }
+}
+BENCHMARK(BM_TrainingStepCollapsedMode)->Unit(benchmark::kMillisecond);
+
+}  // namespace

@@ -1,0 +1,60 @@
+// Reproduces the Section 4 theory as numerics: gradient-update trajectories of
+// the four overparameterization schemes on the scalar l2 regression problem,
+// plus the vanishing-gradient depth probe behind Fig. 4's narrative.
+#include <cmath>
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "theory/overparam.hpp"
+
+using namespace sesr;
+
+int main() {
+  bench::print_header("Section 4 — overparameterization gradient dynamics",
+                      "Bhardwaj et al., MLSys 2022, Eqs. (3)-(5), Sec. 4.1-4.3");
+
+  constexpr double kSxx = 1.0;
+  constexpr double kSxy = 3.0;  // optimum beta* = 3
+  constexpr double kEta = 0.01;
+  constexpr std::int64_t kSteps = 300;
+  const double beta0 = 0.2;
+
+  const auto vgg = theory::train_scalar(theory::Scheme::kVgg, beta0, 0.0, kSxx, kSxy, kEta, kSteps);
+  const auto vgg2 =
+      theory::train_scalar(theory::Scheme::kVgg, beta0, 0.0, kSxx, kSxy, 2 * kEta, kSteps);
+  const auto repvgg = theory::train_scalar(theory::Scheme::kRepVgg, (beta0 - 1) / 2,
+                                           (beta0 - 1) / 2, kSxx, kSxy, kEta, kSteps);
+  const auto expand =
+      theory::train_scalar(theory::Scheme::kExpandNet, beta0, 1.0, kSxx, kSxy, kEta, kSteps);
+  const auto sesr =
+      theory::train_scalar(theory::Scheme::kSesr, beta0 - 1.0, 1.0, kSxx, kSxy, kEta, kSteps);
+
+  std::printf("collapsed weight beta(t) — all schemes start at beta=%.2f, target %.2f:\n", beta0,
+              kSxy / kSxx);
+  std::printf("%6s %10s %12s %12s %12s %12s\n", "step", "VGG", "VGG(2*eta)", "RepVGG",
+              "ExpandNet", "SESR");
+  for (const std::int64_t t : {0L, 10L, 25L, 50L, 100L, 200L, 300L}) {
+    const auto i = static_cast<std::size_t>(t);
+    std::printf("%6lld %10.5f %12.5f %12.5f %12.5f %12.5f\n", static_cast<long long>(t), vgg[i],
+                vgg2[i], repvgg[i], expand[i], sesr[i]);
+  }
+
+  double max_rep_vs_vgg2 = 0.0;
+  for (std::size_t t = 0; t < repvgg.size(); ++t) {
+    max_rep_vs_vgg2 = std::max(max_rep_vs_vgg2, std::fabs(repvgg[t] - vgg2[t]));
+  }
+  std::printf("\nmax |RepVGG - VGG(lambda=2*eta)| over %lld steps: %.2e  (paper Eq. 5: exactly 0)\n",
+              static_cast<long long>(kSteps), max_rep_vs_vgg2);
+
+  std::printf("\nVanishing-gradient depth probe, |d(beta)/d(w_1)| at |w| = 0.5:\n");
+  std::printf("%8s %22s %22s\n", "depth", "no skips (ExpandNet)", "with skips (SESR)");
+  for (const std::int64_t depth : {1L, 4L, 13L, 26L, 52L}) {
+    std::printf("%8lld %22.3e %22.3e\n", static_cast<long long>(depth),
+                theory::chain_gradient_no_skip(0.5, depth),
+                theory::chain_gradient_with_skip(0.5, depth));
+  }
+  std::printf("\npaper Sec. 4.3: a 13-layer net expanded to 26 layers without short residuals\n"
+              "is hard to train (gradient ~ %.1e); SESR's skips keep it O(1).\n",
+              theory::chain_gradient_no_skip(0.5, 13));
+  return 0;
+}

@@ -1,0 +1,55 @@
+// Reproduces Section 5.5 ablations on the SESR-M11 skeleton:
+//  (a) residuals WITHOUT linear blocks (single convs + short residuals):
+//      paper 35.25 dB vs full SESR 35.45 dB — skips alone are not enough;
+//  (b) the hardware variant (PReLU -> ReLU, drop the input residual):
+//      paper loses only ~0.1 dB.
+#include <cstdio>
+#include <memory>
+
+#include "baselines/blocks.hpp"
+#include "bench_common.hpp"
+#include "core/paper_reference.hpp"
+#include "core/sesr_network.hpp"
+
+using namespace sesr;
+
+int main() {
+  bench::print_header("Section 5.5 — ablations: residuals-only, PReLU vs ReLU",
+                      "Bhardwaj et al., MLSys 2022, Section 5.5");
+  data::SrDataset corpus = bench::training_corpus(2);
+
+  core::SesrConfig base = core::sesr_m11(2);
+  base.expand = bench::fast_mode() ? 64 : 256;  // p = 256 is the paper's value
+  bench::TrainSpec spec;
+  spec.steps = 400;
+
+  double full_psnr = 0.0;
+  {
+    Rng rng(1);
+    core::SesrNetwork net(base, rng);
+    bench::train_model(net, corpus, spec);
+    full_psnr = bench::validation_psnr(net, corpus);
+    std::printf("%-52s %9.2f dB  (paper %.2f)\n", "SESR-M11 (full)", full_psnr,
+                core::paper::kSec54SesrM11);
+  }
+  {
+    // Short residuals but NO linear blocks: plain convs via the factory.
+    Rng rng(1);
+    core::SesrNetwork net(base, baselines::single_conv_factory(), rng, "residuals-only");
+    bench::train_model(net, corpus, spec);
+    const double p = bench::validation_psnr(net, corpus);
+    std::printf("%-52s %9.2f dB  (paper %.2f)\n", "residuals without linear blocks", p,
+                core::paper::kSec55ResidualOnly);
+    std::printf("  delta vs full SESR: %+.2f dB (paper -0.20 dB)\n", p - full_psnr);
+  }
+  {
+    // Hardware variant: ReLU, no input residual.
+    Rng rng(1);
+    core::SesrNetwork net(core::hardware_variant(base), rng);
+    bench::train_model(net, corpus, spec);
+    const double p = bench::validation_psnr(net, corpus);
+    std::printf("%-52s %9.2f dB\n", "hardware variant (ReLU, no input residual)", p);
+    std::printf("  delta vs full SESR: %+.2f dB (paper ~-0.10 dB)\n", p - full_psnr);
+  }
+  return 0;
+}

@@ -1,0 +1,39 @@
+// Reproduces the Section 5.5 variance remark: "the PSNR increase of even 0.1
+// or 0.2 dB over existing models is significant ... since the standard
+// deviation for all CNNs is very small (~0.02 dB)". Trains SESR-M3 from
+// several weight-init seeds under the identical recipe and reports the spread
+// of validation PSNR. At our reduced budget the spread is larger than the
+// converged 0.02 dB, but the measurement methodology is identical.
+#include <cstdio>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "core/sesr_network.hpp"
+#include "metrics/stats.hpp"
+
+using namespace sesr;
+
+int main() {
+  bench::print_header("Seed-variance study — PSNR spread across weight inits",
+                      "Bhardwaj et al., MLSys 2022, Section 5.5 (std ~0.02 dB)");
+  data::SrDataset corpus = bench::training_corpus(2);
+  bench::TrainSpec spec;
+  const int seeds = bench::fast_mode() ? 3 : 5;
+
+  std::vector<double> psnr;
+  for (int s = 0; s < seeds; ++s) {
+    Rng rng(1000 + static_cast<std::uint64_t>(s));
+    core::SesrNetwork net(core::sesr_m3(2), rng);
+    bench::train_model(net, corpus, spec, /*batch_seed=*/7);  // identical data order
+    psnr.push_back(bench::validation_psnr(net, corpus));
+    std::printf("  seed %d: %.3f dB\n", s, psnr.back());
+  }
+  const metrics::SampleStats stats = metrics::compute_stats(psnr);
+  std::printf("\nSESR-M3 over %lld seeds: mean %.3f dB, std %.3f dB, range [%.3f, %.3f]\n",
+              static_cast<long long>(stats.count), stats.mean, stats.stddev, stats.min,
+              stats.max);
+  std::printf("paper (converged, DIV2K): std ~0.02 dB — ours is larger because each run is\n"
+              "~1000x shorter; the comparison methodology (fixed recipe, seed-only variation)\n"
+              "is the paper's.\n");
+  return 0;
+}

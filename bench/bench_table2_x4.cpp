@@ -1,0 +1,95 @@
+// Reproduces Table 2: x4 SISR quality on six benchmark sets. Exercises the
+// paper's x4 head: ONE 5x5xfx16 conv + depth-to-space applied twice (instead
+// of repeated upsampling blocks), which is why SESR's x4 MACs shrink so much
+// relative to FSRCNN (whose deconv runs at full HR resolution).
+#include <cstdio>
+#include <memory>
+
+#include "baselines/fsrcnn.hpp"
+#include "bench_common.hpp"
+#include "core/macs.hpp"
+#include "core/paper_reference.hpp"
+#include "core/sesr_inference.hpp"
+#include "data/resize.hpp"
+
+using namespace sesr;
+
+namespace {
+void print_paper_row(const core::paper::QualityRow& row) {
+  std::printf("%-28s %9.2fK %8.2fG", (std::string("  paper: ") + std::string(row.model)).c_str(),
+              row.parameters_k, row.macs_g);
+  for (const auto& e : row.sets) {
+    if (e.present()) std::printf("  %6.2f/%.4f", e.psnr, e.ssim);
+    else std::printf("  %13s", "-/-");
+  }
+  std::printf("\n");
+}
+
+const core::paper::QualityRow* find_paper_row(const char* model) {
+  for (const auto& row : core::paper::kTable2X4) {
+    if (row.model == model) return &row;
+  }
+  return nullptr;
+}
+}  // namespace
+
+int main() {
+  bench::print_header("Table 2 — x4 SISR quality across six benchmark sets",
+                      "Bhardwaj et al., MLSys 2022, Table 2");
+  const auto sets = bench::eval_sets();
+  data::SrDataset corpus = bench::training_corpus(4);
+  const std::int64_t lr_h = core::lr_extent_for(720, 4);
+  const std::int64_t lr_w = core::lr_extent_for(1280, 4);
+
+  std::printf("%-28s %10s %9s", "model", "params", "MACs@720p");
+  for (const auto& s : sets) std::printf("  %13s", s.name.c_str());
+  std::printf("\n");
+
+  {
+    const auto scores = metrics::evaluate_on_sets(
+        [](const Tensor& lr_img) { return data::upscale_bicubic(lr_img, 4); }, sets, 4);
+    bench::print_quality_row("Bicubic", 0.0, 0.0, scores);
+    print_paper_row(core::paper::kTable2X4[0]);
+  }
+
+  {
+    Rng rng(21);
+    baselines::FsrcnnConfig fcfg;
+    fcfg.scale = 4;
+    auto model = baselines::make_fsrcnn(fcfg, rng);
+    bench::TrainSpec spec;
+    spec.crop = 12;  // x4 HR crops are 4x the LR crop edge
+    bench::train_model(*model, corpus, spec);
+    const auto scores = metrics::evaluate_on_sets(
+        [&](const Tensor& lr_img) { return model->predict(lr_img); }, sets, 4);
+    const core::MacReport mac = core::fsrcnn_macs(lr_h, lr_w, 4);
+    bench::print_quality_row("FSRCNN (ours)", mac.kilo_parameters(), mac.giga_macs(), scores);
+    print_paper_row(*find_paper_row("FSRCNN (authors' setup)"));
+  }
+
+  std::vector<core::SesrConfig> zoo{core::sesr_m3(4), core::sesr_m5(4), core::sesr_m7(4),
+                                    core::sesr_m11(4)};
+  if (!bench::fast_mode()) zoo.push_back(core::sesr_xl(4));
+  const char* paper_names[] = {"SESR-M3", "SESR-M5", "SESR-M7", "SESR-M11", "SESR-XL"};
+  for (std::size_t i = 0; i < zoo.size(); ++i) {
+    Rng rng(200 + static_cast<std::uint64_t>(i));
+    core::SesrNetwork net(zoo[i], rng);
+    bench::TrainSpec spec;
+    spec.crop = 12;
+    bench::train_model(net, corpus, spec);
+    core::SesrInference deployed(net);
+    const auto scores = metrics::evaluate_on_sets(
+        [&](const Tensor& lr_img) { return deployed.upscale(lr_img); }, sets, 4);
+    const core::MacReport mac = core::sesr_macs(zoo[i], lr_h, lr_w);
+    bench::print_quality_row(paper_names[i], mac.kilo_parameters(), mac.giga_macs(), scores);
+    if (const auto* row = find_paper_row(paper_names[i])) print_paper_row(*row);
+  }
+
+  std::printf("\nheadline checks (paper Sec. 5.2):\n");
+  std::printf("  SESR-M5 vs FSRCNN x4 MACs: %.1fx fewer (paper 4.4x: 1.05G vs 4.63G)\n",
+              core::fsrcnn_macs(lr_h, lr_w, 4).giga_macs() /
+                  core::sesr_macs(core::sesr_m5(4), lr_h, lr_w).giga_macs());
+  std::printf("  SESR-M11 vs VDSR x4 MACs: %.0fx fewer (paper 331x)\n",
+              612.6 / core::sesr_macs(core::sesr_m11(4), lr_h, lr_w).giga_macs());
+  return 0;
+}

@@ -1,0 +1,47 @@
+// Streaming inference demo: upscale with the line-buffer pipeline and show
+// that peak memory stays flat as the image grows taller — the functional
+// counterpart of the NPU cascade fusion behind the paper's Table 3 numbers.
+//
+// Run:  ./streaming_demo [width]      (default 256)
+#include <cstdio>
+#include <cstdlib>
+
+#include "core/sesr_inference.hpp"
+#include "core/sesr_network.hpp"
+#include "core/streaming.hpp"
+#include "data/synthetic.hpp"
+#include "tensor/tensor_ops.hpp"
+
+using namespace sesr;
+
+int main(int argc, char** argv) {
+  const std::int64_t width = argc > 1 ? std::strtol(argv[1], nullptr, 10) : 256;
+
+  Rng rng(1);
+  core::SesrNetwork net(core::sesr_m5(2), rng);
+  core::SesrInference deployed(net);
+  core::StreamingUpscaler streamer(deployed);
+  std::printf("model: %s, receptive field radius %lld px\n\n", deployed.name().c_str(),
+              static_cast<long long>(9));
+
+  std::printf("%10s %16s %20s %22s\n", "height", "batch buffer*", "streaming peak",
+              "exact match");
+  Rng irng(2);
+  for (const std::int64_t height : {32L, 64L, 128L, 256L}) {
+    Tensor image = data::synthesize_image(data::ImageFamily::kNatural, height, width, irng);
+    Tensor batch_out = deployed.upscale(image);
+    Tensor stream_out = streamer.upscale(image);
+    // Batch inference materializes every intermediate: ~(m+2) maps of f chans.
+    const double batch_mb =
+        static_cast<double>(height * width) * 16.0 * 7.0 * 4.0 / 1e6;
+    std::printf("%10lld %13.1f MB %17.1f KB %22s\n", static_cast<long long>(height), batch_mb,
+                static_cast<double>(streamer.peak_buffered_bytes()) / 1e3,
+                max_abs_diff(batch_out, stream_out) < 1e-5F ? "yes" : "NO");
+  }
+  std::printf("\n* sum of float32 intermediate feature maps a naive batch pass holds.\n");
+  std::printf("Streaming memory depends on width and kernel rows only — height-independent,\n");
+  std::printf("just like the NPU's fused cascades (src/hw). This is why collapsing residuals\n");
+  std::printf("matters: every long skip is a stream that must stay buffered across the\n");
+  std::printf("pipeline delay.\n");
+  return 0;
+}

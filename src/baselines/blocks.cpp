@@ -1,0 +1,172 @@
+#include "baselines/blocks.hpp"
+
+#include <stdexcept>
+
+#include "core/collapse.hpp"
+#include "nn/init.hpp"
+#include "tensor/tensor_ops.hpp"
+
+namespace sesr::baselines {
+
+SingleConvBlock::SingleConvBlock(std::string name, const core::BlockSpec& spec, Rng& rng)
+    : name_(std::move(name)),
+      short_residual_(spec.short_residual),
+      weight_(name_ + ".weight",
+              nn::glorot_uniform_kernel(spec.kh, spec.kw, spec.in_channels, spec.out_channels, rng)) {
+  if (short_residual_ && spec.in_channels != spec.out_channels) {
+    throw std::invalid_argument("SingleConvBlock: residual needs in == out channels");
+  }
+}
+
+Tensor SingleConvBlock::forward(const Tensor& input, bool training) {
+  if (training) cached_input_ = input;
+  Tensor out = nn::conv2d(input, weight_.value, nn::Padding::kSame);
+  if (short_residual_) add_inplace(out, input);
+  return out;
+}
+
+Tensor SingleConvBlock::backward(const Tensor& grad_output) {
+  if (cached_input_.empty()) throw std::logic_error("SingleConvBlock::backward before forward");
+  nn::conv2d_backward_weight(cached_input_, grad_output, weight_.grad, nn::Padding::kSame);
+  Tensor grad_input = nn::conv2d_backward_input(grad_output, weight_.value, cached_input_.shape(),
+                                                nn::Padding::kSame);
+  if (short_residual_) add_inplace(grad_input, grad_output);
+  return grad_input;
+}
+
+Tensor SingleConvBlock::collapsed_weight() const {
+  Tensor w = weight_.value;
+  if (short_residual_) core::add_residual_identity(w);
+  return w;
+}
+
+RepVggBlock::RepVggBlock(std::string name, const core::BlockSpec& spec, Rng& rng)
+    : name_(std::move(name)),
+      identity_(spec.short_residual),
+      kxk_(name_ + ".kxk.weight",
+           nn::glorot_uniform_kernel(spec.kh, spec.kw, spec.in_channels, spec.out_channels, rng)),
+      one_by_one_(name_ + ".1x1.weight",
+                  nn::glorot_uniform_kernel(1, 1, spec.in_channels, spec.out_channels, rng)) {
+  if (spec.kh % 2 == 0 || spec.kw % 2 == 0) {
+    throw std::invalid_argument("RepVggBlock: needs odd kernels to embed the 1x1 branch");
+  }
+  if (identity_ && spec.in_channels != spec.out_channels) {
+    throw std::invalid_argument("RepVggBlock: identity branch needs in == out channels");
+  }
+}
+
+Tensor RepVggBlock::forward(const Tensor& input, bool training) {
+  if (training) cached_input_ = input;
+  Tensor out = nn::conv2d(input, kxk_.value, nn::Padding::kSame);
+  add_inplace(out, nn::conv2d(input, one_by_one_.value, nn::Padding::kSame));
+  if (identity_) add_inplace(out, input);
+  return out;
+}
+
+Tensor RepVggBlock::backward(const Tensor& grad_output) {
+  if (cached_input_.empty()) throw std::logic_error("RepVggBlock::backward before forward");
+  nn::conv2d_backward_weight(cached_input_, grad_output, kxk_.grad, nn::Padding::kSame);
+  nn::conv2d_backward_weight(cached_input_, grad_output, one_by_one_.grad, nn::Padding::kSame);
+  Tensor grad_input = nn::conv2d_backward_input(grad_output, kxk_.value, cached_input_.shape(),
+                                                nn::Padding::kSame);
+  add_inplace(grad_input, nn::conv2d_backward_input(grad_output, one_by_one_.value,
+                                                    cached_input_.shape(), nn::Padding::kSame));
+  if (identity_) add_inplace(grad_input, grad_output);
+  return grad_input;
+}
+
+Tensor RepVggBlock::collapsed_weight() const {
+  Tensor w = kxk_.value;
+  // Embed the 1x1 branch at the spatial center.
+  const Shape& s = w.shape();
+  const std::int64_t cy = s.dim(0) / 2;
+  const std::int64_t cx = s.dim(1) / 2;
+  for (std::int64_t ic = 0; ic < s.dim(2); ++ic) {
+    for (std::int64_t oc = 0; oc < s.dim(3); ++oc) {
+      w(cy, cx, ic, oc) += one_by_one_.value(0, 0, ic, oc);
+    }
+  }
+  if (identity_) core::add_residual_identity(w);
+  return w;
+}
+
+AcNetBlock::AcNetBlock(std::string name, const core::BlockSpec& spec, Rng& rng)
+    : name_(std::move(name)),
+      identity_(spec.short_residual),
+      kxk_(name_ + ".kxk.weight",
+           nn::glorot_uniform_kernel(spec.kh, spec.kw, spec.in_channels, spec.out_channels, rng)),
+      row_(name_ + ".1xk.weight",
+           nn::glorot_uniform_kernel(1, spec.kw, spec.in_channels, spec.out_channels, rng)),
+      col_(name_ + ".kx1.weight",
+           nn::glorot_uniform_kernel(spec.kh, 1, spec.in_channels, spec.out_channels, rng)) {
+  if (spec.kh % 2 == 0 || spec.kw % 2 == 0) {
+    throw std::invalid_argument("AcNetBlock: needs odd kernels to embed the asymmetric branches");
+  }
+  if (identity_ && spec.in_channels != spec.out_channels) {
+    throw std::invalid_argument("AcNetBlock: identity branch needs in == out channels");
+  }
+}
+
+Tensor AcNetBlock::forward(const Tensor& input, bool training) {
+  if (training) cached_input_ = input;
+  Tensor out = nn::conv2d(input, kxk_.value, nn::Padding::kSame);
+  add_inplace(out, nn::conv2d(input, row_.value, nn::Padding::kSame));
+  add_inplace(out, nn::conv2d(input, col_.value, nn::Padding::kSame));
+  if (identity_) add_inplace(out, input);
+  return out;
+}
+
+Tensor AcNetBlock::backward(const Tensor& grad_output) {
+  if (cached_input_.empty()) throw std::logic_error("AcNetBlock::backward before forward");
+  nn::conv2d_backward_weight(cached_input_, grad_output, kxk_.grad, nn::Padding::kSame);
+  nn::conv2d_backward_weight(cached_input_, grad_output, row_.grad, nn::Padding::kSame);
+  nn::conv2d_backward_weight(cached_input_, grad_output, col_.grad, nn::Padding::kSame);
+  Tensor grad_input = nn::conv2d_backward_input(grad_output, kxk_.value, cached_input_.shape(),
+                                                nn::Padding::kSame);
+  add_inplace(grad_input, nn::conv2d_backward_input(grad_output, row_.value,
+                                                    cached_input_.shape(), nn::Padding::kSame));
+  add_inplace(grad_input, nn::conv2d_backward_input(grad_output, col_.value,
+                                                    cached_input_.shape(), nn::Padding::kSame));
+  if (identity_) add_inplace(grad_input, grad_output);
+  return grad_input;
+}
+
+Tensor AcNetBlock::collapsed_weight() const {
+  Tensor w = kxk_.value;
+  const Shape& s = w.shape();
+  const std::int64_t cy = s.dim(0) / 2;
+  const std::int64_t cx = s.dim(1) / 2;
+  // 1 x k branch lives on the center row; k x 1 on the center column.
+  for (std::int64_t ic = 0; ic < s.dim(2); ++ic) {
+    for (std::int64_t oc = 0; oc < s.dim(3); ++oc) {
+      for (std::int64_t kx = 0; kx < s.dim(1); ++kx) {
+        w(cy, kx, ic, oc) += row_.value(0, kx, ic, oc);
+      }
+      for (std::int64_t ky = 0; ky < s.dim(0); ++ky) {
+        w(ky, cx, ic, oc) += col_.value(ky, 0, ic, oc);
+      }
+    }
+  }
+  if (identity_) core::add_residual_identity(w);
+  return w;
+}
+
+core::BlockFactory single_conv_factory() {
+  return [](const core::BlockSpec& spec, Rng& rng) {
+    return std::make_unique<SingleConvBlock>(spec.name, spec, rng);
+  };
+}
+
+core::BlockFactory repvgg_factory() {
+  return [](const core::BlockSpec& spec, Rng& rng) {
+    return std::make_unique<RepVggBlock>(spec.name, spec, rng);
+  };
+}
+
+core::BlockFactory acnet_factory() {
+  return [](const core::BlockSpec& spec, Rng& rng) {
+    return std::make_unique<AcNetBlock>(spec.name, spec, rng);
+  };
+}
+
+}  // namespace sesr::baselines

@@ -1,0 +1,92 @@
+// Baseline blocks for the Section 5.4 / 5.5 comparisons, all plugging into the
+// SESR topology via core::BlockFactory:
+//
+//   SingleConvBlock — one k x k convolution, optional short residual. This is
+//     the "VGG" (direct training of the collapsed Fig. 2(d) net) and the
+//     Section 5.5 "residuals without linear blocks" ablation.
+//   RepVggBlock — k x k convolution + parallel 1 x 1 branch + identity skip
+//     (identity only when in == out, as in RepVGG). Collapses to
+//     W = W_kxk + embed(W_1x1) + I. The paper's theory (Section 4.3) predicts
+//     its gradient update equals plain VGG's — which bench_sec54 demonstrates.
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "core/block.hpp"
+#include "nn/conv2d.hpp"
+
+namespace sesr::baselines {
+
+class SingleConvBlock final : public core::CollapsibleBlock {
+ public:
+  SingleConvBlock(std::string name, const core::BlockSpec& spec, Rng& rng);
+
+  Tensor forward(const Tensor& input, bool training) override;
+  Tensor backward(const Tensor& grad_output) override;
+  std::vector<nn::Parameter*> parameters() override { return {&weight_}; }
+  std::string name() const override { return name_; }
+
+  Tensor collapsed_weight() const override;
+  std::optional<Tensor> collapsed_bias() const override { return std::nullopt; }
+  std::int64_t collapsed_parameter_count() const override { return weight_.value.numel(); }
+
+ private:
+  std::string name_;
+  bool short_residual_;
+  nn::Parameter weight_;
+  Tensor cached_input_;
+};
+
+class RepVggBlock final : public core::CollapsibleBlock {
+ public:
+  RepVggBlock(std::string name, const core::BlockSpec& spec, Rng& rng);
+
+  Tensor forward(const Tensor& input, bool training) override;
+  Tensor backward(const Tensor& grad_output) override;
+  std::vector<nn::Parameter*> parameters() override { return {&kxk_, &one_by_one_}; }
+  std::string name() const override { return name_; }
+
+  Tensor collapsed_weight() const override;
+  std::optional<Tensor> collapsed_bias() const override { return std::nullopt; }
+  std::int64_t collapsed_parameter_count() const override { return kxk_.value.numel(); }
+
+ private:
+  std::string name_;
+  bool identity_;  // include the skip branch (needs in == out and odd kernel)
+  nn::Parameter kxk_;
+  nn::Parameter one_by_one_;
+  Tensor cached_input_;
+};
+
+// ACNet-style asymmetric convolution block (Ding et al., ICCV 2019 — the
+// paper's reference [9]): parallel k x k, 1 x k and k x 1 branches, optional
+// identity skip; collapses to W = W_kxk + embed(W_1xk) + embed(W_kx1) (+ I).
+class AcNetBlock final : public core::CollapsibleBlock {
+ public:
+  AcNetBlock(std::string name, const core::BlockSpec& spec, Rng& rng);
+
+  Tensor forward(const Tensor& input, bool training) override;
+  Tensor backward(const Tensor& grad_output) override;
+  std::vector<nn::Parameter*> parameters() override { return {&kxk_, &row_, &col_}; }
+  std::string name() const override { return name_; }
+
+  Tensor collapsed_weight() const override;
+  std::optional<Tensor> collapsed_bias() const override { return std::nullopt; }
+  std::int64_t collapsed_parameter_count() const override { return kxk_.value.numel(); }
+
+ private:
+  std::string name_;
+  bool identity_;
+  nn::Parameter kxk_;  // (k, k, in, out)
+  nn::Parameter row_;  // (1, k, in, out) horizontal branch
+  nn::Parameter col_;  // (k, 1, in, out) vertical branch
+  Tensor cached_input_;
+};
+
+// Factories for SesrNetwork's variant constructor.
+core::BlockFactory single_conv_factory();
+core::BlockFactory repvgg_factory();
+core::BlockFactory acnet_factory();
+
+}  // namespace sesr::baselines

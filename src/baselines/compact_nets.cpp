@@ -1,0 +1,181 @@
+#include "baselines/compact_nets.hpp"
+
+#include <stdexcept>
+
+#include "nn/depth_to_space.hpp"
+#include "tensor/tensor_ops.hpp"
+
+namespace sesr::baselines {
+
+// ----------------------------------------------------------------- TPSR -----
+
+TpsrLike::TpsrLike(const TpsrConfig& config, Rng& rng) : config_(config) {
+  if (config.scale != 2 && config.scale != 4) {
+    throw std::invalid_argument("TpsrLike: scale must be 2 or 4");
+  }
+  head_ = std::make_unique<nn::Conv2d>("head", 3, 3, 1, config.f, nn::Padding::kSame, false, rng);
+  for (std::int64_t i = 0; i < config.blocks; ++i) {
+    const std::string base = "block" + std::to_string(i);
+    block_convs_.push_back(std::make_unique<nn::Conv2d>(base + ".a", 3, 3, config.f, config.f,
+                                                        nn::Padding::kSame, false, rng));
+    block_convs_.push_back(std::make_unique<nn::Conv2d>(base + ".b", 3, 3, config.f, config.f,
+                                                        nn::Padding::kSame, false, rng));
+    block_acts_.push_back(std::make_unique<nn::Relu>(base + ".act"));
+  }
+  tail_ = std::make_unique<nn::Conv2d>("tail", 3, 3, config.f,
+                                       config.scale * config.scale, nn::Padding::kSame, false, rng);
+}
+
+Tensor TpsrLike::forward(const Tensor& input, bool training) {
+  if (input.shape().c() != 1) throw std::invalid_argument("TpsrLike: expects a Y-channel input");
+  if (training) {
+    cached_input_ = input;
+    cached_block_inputs_.clear();
+  }
+  Tensor feat = head_->forward(input, training);
+  for (std::int64_t i = 0; i < config_.blocks; ++i) {
+    if (training) cached_block_inputs_.push_back(feat);
+    Tensor h = block_acts_[static_cast<std::size_t>(i)]->forward(
+        block_convs_[static_cast<std::size_t>(2 * i)]->forward(feat, training), training);
+    Tensor out = block_convs_[static_cast<std::size_t>(2 * i + 1)]->forward(h, training);
+    add_inplace(out, feat);  // residual block
+    feat = std::move(out);
+  }
+  Tensor pre = tail_->forward(feat, training);
+  pre_shuffle_ = pre.shape();
+  Tensor y = nn::depth_to_space(pre, 2);
+  if (config_.scale == 4) y = nn::depth_to_space(y, 2);
+  return y;
+}
+
+void TpsrLike::backward(const Tensor& grad_output) {
+  if (cached_input_.empty()) throw std::logic_error("TpsrLike::backward before forward");
+  Tensor g = nn::space_to_depth(grad_output, 2);
+  if (config_.scale == 4) g = nn::space_to_depth(g, 2);
+  if (g.shape() != pre_shuffle_) throw std::logic_error("TpsrLike: grad shape mismatch");
+  Tensor gf = tail_->backward(g);
+  for (std::int64_t i = config_.blocks; i-- > 0;) {
+    Tensor gh = block_convs_[static_cast<std::size_t>(2 * i + 1)]->backward(gf);
+    gh = block_acts_[static_cast<std::size_t>(i)]->backward(gh);
+    Tensor gin = block_convs_[static_cast<std::size_t>(2 * i)]->backward(gh);
+    add_inplace(gin, gf);  // residual path
+    gf = std::move(gin);
+  }
+  head_->backward(gf);
+}
+
+std::vector<nn::Parameter*> TpsrLike::parameters() {
+  std::vector<nn::Parameter*> out;
+  for (nn::Parameter* p : head_->parameters()) out.push_back(p);
+  for (auto& c : block_convs_) {
+    for (nn::Parameter* p : c->parameters()) out.push_back(p);
+  }
+  for (nn::Parameter* p : tail_->parameters()) out.push_back(p);
+  return out;
+}
+
+std::string TpsrLike::name() const {
+  return "TPSR-like (f=" + std::to_string(config_.f) + ", b=" + std::to_string(config_.blocks) +
+         ", x" + std::to_string(config_.scale) + ")";
+}
+
+std::int64_t TpsrLike::parameter_count() const {
+  const std::int64_t f = config_.f;
+  return 9 * f + config_.blocks * 2 * 9 * f * f + 9 * f * config_.scale * config_.scale;
+}
+
+// --------------------------------------------------------------- CARN-M -----
+
+CarnMLike::CarnMLike(const CarnMConfig& config, Rng& rng) : config_(config) {
+  if (config.scale != 2 && config.scale != 4) {
+    throw std::invalid_argument("CarnMLike: scale must be 2 or 4");
+  }
+  if (config.f % config.groups != 0) {
+    throw std::invalid_argument("CarnMLike: f must be divisible by groups");
+  }
+  head_ = std::make_unique<nn::Conv2d>("head", 3, 3, 1, config.f, nn::Padding::kSame, false, rng);
+  for (std::int64_t i = 0; i < config.blocks; ++i) {
+    const std::string base = "block" + std::to_string(i);
+    group_convs_.push_back(std::make_unique<nn::GroupedConv2d>(
+        base + ".g", 3, 3, config.f, config.f, config.groups, nn::Padding::kSame, rng));
+    pointwise_.push_back(std::make_unique<nn::Conv2d>(base + ".pw", 1, 1, config.f, config.f,
+                                                      nn::Padding::kSame, false, rng));
+    cascade_.push_back(std::make_unique<nn::Conv2d>(base + ".cascade", 1, 1, 2 * config.f,
+                                                    config.f, nn::Padding::kSame, false, rng));
+    acts_.push_back(std::make_unique<nn::Relu>(base + ".act"));
+  }
+  tail_ = std::make_unique<nn::Conv2d>("tail", 3, 3, config.f, config.scale * config.scale,
+                                       nn::Padding::kSame, false, rng);
+}
+
+Tensor CarnMLike::forward(const Tensor& input, bool training) {
+  if (input.shape().c() != 1) throw std::invalid_argument("CarnMLike: expects a Y-channel input");
+  if (training) {
+    cached_input_ = input;
+    cached_concat_.clear();
+  }
+  Tensor feat = head_->forward(input, training);
+  for (std::int64_t i = 0; i < config_.blocks; ++i) {
+    const auto idx = static_cast<std::size_t>(i);
+    // Efficient residual body: grouped 3x3 -> ReLU -> 1x1 pointwise, + skip.
+    Tensor body = pointwise_[idx]->forward(
+        acts_[idx]->forward(group_convs_[idx]->forward(feat, training), training), training);
+    add_inplace(body, feat);
+    // Cascading aggregation: 1x1 over concat(previous features, block output).
+    Tensor cat = concat_channels(feat, body);
+    if (training) cached_concat_.push_back(cat);
+    feat = cascade_[idx]->forward(cat, training);
+  }
+  Tensor pre = tail_->forward(feat, training);
+  pre_shuffle_ = pre.shape();
+  Tensor y = nn::depth_to_space(pre, 2);
+  if (config_.scale == 4) y = nn::depth_to_space(y, 2);
+  return y;
+}
+
+void CarnMLike::backward(const Tensor& grad_output) {
+  if (cached_input_.empty()) throw std::logic_error("CarnMLike::backward before forward");
+  Tensor g = nn::space_to_depth(grad_output, 2);
+  if (config_.scale == 4) g = nn::space_to_depth(g, 2);
+  if (g.shape() != pre_shuffle_) throw std::logic_error("CarnMLike: grad shape mismatch");
+  Tensor gf = tail_->backward(g);
+  for (std::int64_t i = config_.blocks; i-- > 0;) {
+    const auto idx = static_cast<std::size_t>(i);
+    Tensor gcat = cascade_[idx]->backward(gf);
+    Tensor g_prev = slice_channels(gcat, 0, config_.f);
+    Tensor g_body = slice_channels(gcat, config_.f, config_.f);
+    // body = pw(relu(gconv(feat))) + feat.
+    Tensor gb = pointwise_[idx]->backward(g_body);
+    gb = acts_[idx]->backward(gb);
+    Tensor g_feat = group_convs_[idx]->backward(gb);
+    add_inplace(g_feat, g_body);  // skip inside the block
+    add_inplace(g_feat, g_prev);  // direct path into the concat
+    gf = std::move(g_feat);
+  }
+  head_->backward(gf);
+}
+
+std::vector<nn::Parameter*> CarnMLike::parameters() {
+  std::vector<nn::Parameter*> out;
+  for (nn::Parameter* p : head_->parameters()) out.push_back(p);
+  for (std::size_t i = 0; i < group_convs_.size(); ++i) {
+    for (nn::Parameter* p : group_convs_[i]->parameters()) out.push_back(p);
+    for (nn::Parameter* p : pointwise_[i]->parameters()) out.push_back(p);
+    for (nn::Parameter* p : cascade_[i]->parameters()) out.push_back(p);
+  }
+  for (nn::Parameter* p : tail_->parameters()) out.push_back(p);
+  return out;
+}
+
+std::string CarnMLike::name() const {
+  return "CARN-M-like (f=" + std::to_string(config_.f) + ", b=" + std::to_string(config_.blocks) +
+         ", g=" + std::to_string(config_.groups) + ", x" + std::to_string(config_.scale) + ")";
+}
+
+std::int64_t CarnMLike::parameter_count() const {
+  const std::int64_t f = config_.f;
+  const std::int64_t per_block = 9 * (f / config_.groups) * f + f * f + 2 * f * f;
+  return 9 * f + config_.blocks * per_block + 9 * f * config_.scale * config_.scale;
+}
+
+}  // namespace sesr::baselines

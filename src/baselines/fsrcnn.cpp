@@ -1,0 +1,44 @@
+#include "baselines/fsrcnn.hpp"
+
+#include "nn/activations.hpp"
+#include "nn/conv2d.hpp"
+#include "nn/conv_transpose.hpp"
+
+namespace sesr::baselines {
+
+namespace {
+std::unique_ptr<nn::Layer> activation(const FsrcnnConfig& c, const std::string& name,
+                                      std::int64_t channels) {
+  if (c.prelu) return std::make_unique<nn::PRelu>(name, channels);
+  return std::make_unique<nn::Relu>(name);
+}
+}  // namespace
+
+std::unique_ptr<SequentialModel> make_fsrcnn(const FsrcnnConfig& c, Rng& rng) {
+  auto model = std::make_unique<SequentialModel>("FSRCNN (d=" + std::to_string(c.d) + ", s=" +
+                                                 std::to_string(c.s) + ", m=" + std::to_string(c.m) +
+                                                 ", x" + std::to_string(c.scale) + ")");
+  model->add(std::make_unique<nn::Conv2d>("feature", 5, 5, 1, c.d, nn::Padding::kSame,
+                                          /*with_bias=*/false, rng));
+  model->add(activation(c, "feature.act", c.d));
+  model->add(std::make_unique<nn::Conv2d>("shrink", 1, 1, c.d, c.s, nn::Padding::kSame,
+                                          /*with_bias=*/false, rng));
+  model->add(activation(c, "shrink.act", c.s));
+  for (std::int64_t i = 0; i < c.m; ++i) {
+    const std::string name = "map" + std::to_string(i);
+    model->add(std::make_unique<nn::Conv2d>(name, 3, 3, c.s, c.s, nn::Padding::kSame,
+                                            /*with_bias=*/false, rng));
+    model->add(activation(c, name + ".act", c.s));
+  }
+  model->add(std::make_unique<nn::Conv2d>("expand", 1, 1, c.s, c.d, nn::Padding::kSame,
+                                          /*with_bias=*/false, rng));
+  model->add(activation(c, "expand.act", c.d));
+  model->add(std::make_unique<nn::ConvTranspose2d>("deconv", 9, 9, c.d, 1, c.scale, rng));
+  return model;
+}
+
+std::int64_t fsrcnn_parameters(const FsrcnnConfig& c) {
+  return 5 * 5 * 1 * c.d + c.d * c.s + c.m * 3 * 3 * c.s * c.s + c.s * c.d + 9 * 9 * c.d * 1;
+}
+
+}  // namespace sesr::baselines

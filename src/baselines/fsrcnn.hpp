@@ -1,0 +1,35 @@
+// FSRCNN (Dong et al., ECCV 2016) — the compact-SISR baseline the paper
+// compares against throughout (Tables 1-3, Figs. 1 and 5).
+//
+// Standard configuration FSRCNN(d=56, s=12, m=4):
+//   5x5 conv 1->56 (feature extraction), PReLU
+//   1x1 conv 56->12 (shrink), PReLU
+//   4 x [3x3 conv 12->12 (mapping), PReLU]
+//   1x1 conv 12->56 (expand), PReLU
+//   9x9 transposed conv 56->1, stride = scale (upsampling)
+// 12.46K bias-free parameters; unlike SESR, the 9x9 deconvolution runs at HR
+// resolution and its 56-channel LR feature maps dominate DRAM traffic — the
+// root of the paper's Table 3 result.
+#pragma once
+
+#include <memory>
+
+#include "baselines/sequential.hpp"
+#include "tensor/rng.hpp"
+
+namespace sesr::baselines {
+
+struct FsrcnnConfig {
+  std::int64_t d = 56;  // feature dimension
+  std::int64_t s = 12;  // shrink dimension
+  std::int64_t m = 4;   // mapping layers
+  std::int64_t scale = 2;
+  bool prelu = true;  // false = ReLU (hardware comparison, Section 5.6)
+};
+
+std::unique_ptr<SequentialModel> make_fsrcnn(const FsrcnnConfig& config, Rng& rng);
+
+// Bias-free parameter count of the configuration (12464 for the default).
+std::int64_t fsrcnn_parameters(const FsrcnnConfig& config);
+
+}  // namespace sesr::baselines

@@ -1,0 +1,32 @@
+#include "baselines/sequential.hpp"
+
+#include <stdexcept>
+
+namespace sesr::baselines {
+
+SequentialModel& SequentialModel::add(std::unique_ptr<nn::Layer> layer) {
+  if (!layer) throw std::invalid_argument("SequentialModel::add: null layer");
+  layers_.push_back(std::move(layer));
+  return *this;
+}
+
+Tensor SequentialModel::forward(const Tensor& input, bool training) {
+  Tensor x = input;
+  for (auto& layer : layers_) x = layer->forward(x, training);
+  return x;
+}
+
+void SequentialModel::backward(const Tensor& grad_output) {
+  Tensor g = grad_output;
+  for (auto it = layers_.rbegin(); it != layers_.rend(); ++it) g = (*it)->backward(g);
+}
+
+std::vector<nn::Parameter*> SequentialModel::parameters() {
+  std::vector<nn::Parameter*> out;
+  for (auto& layer : layers_) {
+    for (nn::Parameter* p : layer->parameters()) out.push_back(p);
+  }
+  return out;
+}
+
+}  // namespace sesr::baselines

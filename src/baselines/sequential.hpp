@@ -1,0 +1,34 @@
+// A plain sequential model: layers applied in order, gradients chained in
+// reverse. FSRCNN and ad-hoc experiment networks are built on this.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "nn/layer.hpp"
+#include "train/model.hpp"
+
+namespace sesr::baselines {
+
+class SequentialModel final : public train::Model {
+ public:
+  explicit SequentialModel(std::string name) : name_(std::move(name)) {}
+
+  // Returns *this for fluent building.
+  SequentialModel& add(std::unique_ptr<nn::Layer> layer);
+
+  Tensor forward(const Tensor& input, bool training) override;
+  void backward(const Tensor& grad_output) override;
+  std::vector<nn::Parameter*> parameters() override;
+  std::string name() const override { return name_; }
+
+  std::size_t size() const { return layers_.size(); }
+  nn::Layer& layer(std::size_t i) { return *layers_.at(i); }
+
+ private:
+  std::string name_;
+  std::vector<std::unique_ptr<nn::Layer>> layers_;
+};
+
+}  // namespace sesr::baselines

@@ -1,0 +1,64 @@
+#include "baselines/vdsr.hpp"
+
+#include <stdexcept>
+
+#include "data/resize.hpp"
+#include "nn/activations.hpp"
+#include "tensor/tensor_ops.hpp"
+
+namespace sesr::baselines {
+
+Vdsr::Vdsr(const VdsrConfig& config, Rng& rng) : config_(config) {
+  if (config.depth < 2) throw std::invalid_argument("Vdsr: depth must be >= 2");
+  layers_.push_back(std::make_unique<nn::Conv2d>("in", 3, 3, 1, config.width,
+                                                 nn::Padding::kSame, /*with_bias=*/false, rng));
+  layers_.push_back(std::make_unique<nn::Relu>("in.act"));
+  for (std::int64_t i = 1; i + 1 < config.depth; ++i) {
+    const std::string name = "mid" + std::to_string(i);
+    layers_.push_back(std::make_unique<nn::Conv2d>(name, 3, 3, config.width, config.width,
+                                                   nn::Padding::kSame, false, rng));
+    layers_.push_back(std::make_unique<nn::Relu>(name + ".act"));
+  }
+  layers_.push_back(std::make_unique<nn::Conv2d>("out", 3, 3, config.width, 1,
+                                                 nn::Padding::kSame, false, rng));
+}
+
+Tensor Vdsr::forward(const Tensor& hr_input, bool training) {
+  if (hr_input.shape().c() != 1) throw std::invalid_argument("Vdsr: expects a Y-channel input");
+  if (training) cached_input_ = hr_input;
+  Tensor x = hr_input;
+  for (auto& layer : layers_) x = layer->forward(x, training);
+  add_inplace(x, hr_input);  // global residual: predicts the bicubic residual
+  return x;
+}
+
+void Vdsr::backward(const Tensor& grad_output) {
+  if (cached_input_.empty()) throw std::logic_error("Vdsr::backward before forward");
+  Tensor g = grad_output;  // the residual path's gradient goes to the data
+  for (auto it = layers_.rbegin(); it != layers_.rend(); ++it) g = (*it)->backward(g);
+}
+
+std::vector<nn::Parameter*> Vdsr::parameters() {
+  std::vector<nn::Parameter*> out;
+  for (auto& layer : layers_) {
+    for (nn::Parameter* p : layer->parameters()) out.push_back(p);
+  }
+  return out;
+}
+
+std::string Vdsr::name() const {
+  return "VDSR (d=" + std::to_string(config_.depth) + ", w=" + std::to_string(config_.width) +
+         ", x" + std::to_string(config_.scale) + ")";
+}
+
+Tensor Vdsr::upscale(const Tensor& lr_input) {
+  return predict(data::upscale_bicubic(lr_input, config_.scale));
+}
+
+std::int64_t Vdsr::parameter_count() const {
+  // 3x3 kernels only (bias-free, like the paper's 665K count for d=20, w=64).
+  const std::int64_t w = config_.width;
+  return 9 * 1 * w + (config_.depth - 2) * 9 * w * w + 9 * w * 1;
+}
+
+}  // namespace sesr::baselines

@@ -1,0 +1,46 @@
+// CollapsibleBlock: the contract every SESR-compatible block fulfils.
+//
+// A block maps (N, H, W, in_c) -> (N, H, W, out_c) at training time and must be
+// expressible as ONE kh x kw convolution at inference time (so the deployed
+// network is the VGG-like chain of Fig. 2(d) regardless of how the block was
+// overparameterized during training). Implementations:
+//   core::LinearBlock        — the paper's collapsible linear block.
+//   baselines::SingleConvBlock — no overparameterization (VGG / ablations).
+//   baselines::RepVggBlock   — k x k + 1 x 1 branch + identity (RepVGG-style).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "nn/layer.hpp"
+#include "tensor/rng.hpp"
+
+namespace sesr::core {
+
+class CollapsibleBlock : public nn::Layer {
+ public:
+  // The single equivalent kernel, with any short residual already folded in
+  // (Algorithm 2), ready for deployment.
+  virtual Tensor collapsed_weight() const = 0;
+  virtual std::optional<Tensor> collapsed_bias() const = 0;
+  // Parameters of the *collapsed* form — what the paper's P formula counts.
+  virtual std::int64_t collapsed_parameter_count() const = 0;
+};
+
+// Shape request handed to a block factory by the network builder.
+struct BlockSpec {
+  std::string name;
+  std::int64_t kh = 3;
+  std::int64_t kw = 3;
+  std::int64_t in_channels = 16;
+  std::int64_t out_channels = 16;
+  bool short_residual = false;
+};
+
+using BlockFactory =
+    std::function<std::unique_ptr<CollapsibleBlock>(const BlockSpec& spec, Rng& rng)>;
+
+}  // namespace sesr::core

@@ -1,0 +1,178 @@
+#include "core/collapse.hpp"
+
+#include <stdexcept>
+
+#include "nn/conv2d.hpp"
+#include "nn/init.hpp"
+#include "tensor/tensor_ops.hpp"
+
+namespace sesr::core {
+
+namespace {
+void check_chain(std::span<const Tensor> weights) {
+  if (weights.empty()) throw std::invalid_argument("collapse: empty weight sequence");
+  for (std::size_t i = 0; i < weights.size(); ++i) {
+    if (!weights[i].shape().valid()) {
+      throw std::invalid_argument("collapse: invalid kernel shape at layer " + std::to_string(i));
+    }
+    if (i > 0 && weights[i].shape().dim(2) != weights[i - 1].shape().dim(3)) {
+      throw std::invalid_argument("collapse: channel mismatch between layers " +
+                                  std::to_string(i - 1) + " and " + std::to_string(i));
+    }
+  }
+}
+
+// Inverse of the {1, 2, 0, 3} transpose used when finalizing the kernel.
+constexpr std::array<int, 4> kProbeToKernel{1, 2, 0, 3};
+constexpr std::array<int, 4> kKernelToProbe{2, 0, 1, 3};
+}  // namespace
+
+std::int64_t composed_kernel_extent(std::span<const std::int64_t> extents) {
+  if (extents.empty()) throw std::invalid_argument("composed_kernel_extent: empty sequence");
+  std::int64_t total = 1 - static_cast<std::int64_t>(extents.size());
+  for (std::int64_t k : extents) {
+    if (k < 1) throw std::invalid_argument("composed_kernel_extent: kernel extent < 1");
+    total += k;
+  }
+  return total;
+}
+
+Tensor collapse_conv_sequence(std::span<const Tensor> weights) {
+  CollapseCache cache;
+  return collapse_conv_sequence_cached(weights, cache);
+}
+
+Tensor collapse_conv_sequence_cached(std::span<const Tensor> weights, CollapseCache& cache) {
+  check_chain(weights);
+  std::vector<std::int64_t> khs;
+  std::vector<std::int64_t> kws;
+  khs.reserve(weights.size());
+  kws.reserve(weights.size());
+  for (const Tensor& w : weights) {
+    khs.push_back(w.shape().dim(0));
+    kws.push_back(w.shape().dim(1));
+  }
+  const std::int64_t kh = composed_kernel_extent(khs);
+  const std::int64_t kw = composed_kernel_extent(kws);
+  const std::int64_t in_c = weights.front().shape().dim(2);
+
+  // Identity probe, padded so the VALID conv chain leaves exactly (kh, kw).
+  Tensor probe(in_c, 1, 1, in_c);
+  for (std::int64_t i = 0; i < in_c; ++i) probe(i, 0, 0, i) = 1.0F;
+  probe = pad_spatial(probe, kh - 1, kh - 1, kw - 1, kw - 1);
+
+  cache.inputs.clear();
+  cache.inputs.reserve(weights.size());
+  for (const Tensor& w : weights) {
+    cache.inputs.push_back(probe);
+    probe = nn::conv2d(probe, w, nn::Padding::kValid);
+  }
+  // probe is now (in_c, kh, kw, out_c); flip taps and move in_c to dim 2.
+  return transpose(reverse_spatial(probe), kProbeToKernel);
+}
+
+void collapse_backward(const Tensor& grad_collapsed, std::span<const Tensor> weights,
+                       const CollapseCache& cache, std::span<Tensor> grad_weights) {
+  check_chain(weights);
+  if (cache.inputs.size() != weights.size() || grad_weights.size() != weights.size()) {
+    throw std::invalid_argument("collapse_backward: cache/grad sizes do not match weights");
+  }
+  // Undo the permutation steps (both are orthogonal, so adjoint = inverse).
+  Tensor grad_probe = reverse_spatial(transpose(grad_collapsed, kKernelToProbe));
+  for (std::size_t i = weights.size(); i-- > 0;) {
+    if (grad_weights[i].shape() != weights[i].shape()) {
+      throw std::invalid_argument("collapse_backward: grad_weights shape mismatch at layer " +
+                                  std::to_string(i));
+    }
+    nn::conv2d_backward_weight(cache.inputs[i], grad_probe, grad_weights[i], nn::Padding::kValid);
+    if (i > 0) {
+      grad_probe = nn::conv2d_backward_input(grad_probe, weights[i], cache.inputs[i].shape(),
+                                             nn::Padding::kValid);
+    }
+  }
+}
+
+namespace {
+// v' = W ** v: contract v over in-channels, summing the kernel spatially.
+Tensor bias_through(const Tensor& w, const Tensor& v) {
+  const std::int64_t in_c = w.shape().dim(2);
+  const std::int64_t out_c = w.shape().dim(3);
+  if (v.numel() != in_c) throw std::invalid_argument("bias_through: bias/in_c mismatch");
+  Tensor out(1, 1, 1, out_c);
+  for (std::int64_t o = 0; o < out_c; ++o) {
+    double acc = 0.0;
+    for (std::int64_t ky = 0; ky < w.shape().dim(0); ++ky) {
+      for (std::int64_t kx = 0; kx < w.shape().dim(1); ++kx) {
+        for (std::int64_t i = 0; i < in_c; ++i) {
+          acc += static_cast<double>(w(ky, kx, i, o)) * v.raw()[i];
+        }
+      }
+    }
+    out.raw()[o] = static_cast<float>(acc);
+  }
+  return out;
+}
+}  // namespace
+
+Tensor collapse_bias_sequence(std::span<const Tensor> weights, std::span<const Tensor> biases) {
+  check_chain(weights);
+  if (biases.size() != weights.size()) {
+    throw std::invalid_argument("collapse_bias_sequence: biases/weights count mismatch");
+  }
+  Tensor beta = biases[0];
+  for (std::size_t i = 1; i < weights.size(); ++i) {
+    beta = add(biases[i], bias_through(weights[i], beta));
+  }
+  return beta;
+}
+
+void collapse_bias_backward(const Tensor& grad_collapsed_bias, std::span<const Tensor> weights,
+                            std::span<const Tensor> biases, std::span<Tensor> grad_weights,
+                            std::span<Tensor> grad_biases) {
+  check_chain(weights);
+  const std::size_t n = weights.size();
+  if (biases.size() != n || grad_weights.size() != n || grad_biases.size() != n) {
+    throw std::invalid_argument("collapse_bias_backward: span sizes do not match weights");
+  }
+  // Recompute the forward chain of effective biases beta_0..beta_{n-1}.
+  std::vector<Tensor> beta(n);
+  beta[0] = biases[0];
+  for (std::size_t i = 1; i < n; ++i) beta[i] = add(biases[i], bias_through(weights[i], beta[i - 1]));
+
+  // Reverse sweep: gbeta is d(loss)/d(beta_i).
+  Tensor gbeta = grad_collapsed_bias;
+  for (std::size_t i = n; i-- > 0;) {
+    add_inplace(grad_biases[i], gbeta);
+    if (i == 0) break;
+    // beta_i = b_i + W_i ** beta_{i-1}:
+    //   dW_i[ky,kx,ic,oc] += beta_{i-1}[ic] * gbeta[oc];  dbeta_{i-1}[ic] += sum W_i * gbeta.
+    const Tensor& w = weights[i];
+    Tensor gprev(1, 1, 1, w.shape().dim(2));
+    for (std::int64_t ky = 0; ky < w.shape().dim(0); ++ky) {
+      for (std::int64_t kx = 0; kx < w.shape().dim(1); ++kx) {
+        for (std::int64_t ic = 0; ic < w.shape().dim(2); ++ic) {
+          for (std::int64_t oc = 0; oc < w.shape().dim(3); ++oc) {
+            grad_weights[i](ky, kx, ic, oc) += beta[i - 1].raw()[ic] * gbeta.raw()[oc];
+            gprev.raw()[ic] += w(ky, kx, ic, oc) * gbeta.raw()[oc];
+          }
+        }
+      }
+    }
+    gbeta = std::move(gprev);
+  }
+}
+
+Tensor residual_kernel(std::int64_t kh, std::int64_t kw, std::int64_t channels) {
+  return nn::identity_kernel(kh, kw, channels);
+}
+
+void add_residual_identity(Tensor& w) {
+  const Shape& s = w.shape();
+  if (s.dim(2) != s.dim(3)) {
+    throw std::invalid_argument("add_residual_identity: in/out channels differ (" +
+                                s.to_string() + ")");
+  }
+  add_inplace(w, residual_kernel(s.dim(0), s.dim(1), s.dim(2)));
+}
+
+}  // namespace sesr::core

@@ -1,0 +1,67 @@
+// The collapse algebra of SESR (paper Algorithms 1 and 2).
+//
+// Algorithm 1 ("collapse linear block"): a sequence of linear convolutions
+// (no nonlinearity between them) is itself a single convolution; its kernel is
+// recovered by convolving an identity probe. For kernels W_1 (k1h,k1w,Cin,C1),
+// ..., W_L (kLh,kLw,C_{L-1},C_L) in HWIO layout:
+//   1. Build the probe Delta of shape (Cin, 1, 1, Cin), Delta[i,0,0,i] = 1.
+//   2. Zero-pad its spatial dims by (KH-1, KW-1) on each side, where
+//      KH = sum_i k_ih - (L-1), KW likewise (the composed receptive field).
+//   3. Push it through the L convolutions with VALID padding.
+//   4. reverse both spatial axes and transpose (N,H,W,C) -> (H,W,N,C):
+//      the result is the collapsed HWIO kernel (KH, KW, Cin, C_L).
+//
+// Algorithm 2 ("collapse residual"): an identity skip is a convolution whose
+// kernel W_R has a 1 at the spatial center of channel i -> i; folding a short
+// residual is the addition W_C + W_R (odd kernels only).
+//
+// Because every step of Algorithm 1 is linear in the layer weights, the whole
+// collapse is differentiable; collapse_backward() backpropagates a gradient on
+// the collapsed kernel into gradients on the expanded weights. This is what
+// makes the paper's efficient training mode (Fig. 3 — forward pass in collapsed
+// space even during training) exact rather than approximate.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "tensor/tensor.hpp"
+
+namespace sesr::core {
+
+// Composed receptive field of a conv sequence: sum(k) - (L - 1) per axis.
+std::int64_t composed_kernel_extent(std::span<const std::int64_t> extents);
+
+// Algorithm 1. Weights are HWIO; consecutive channel counts must chain.
+Tensor collapse_conv_sequence(std::span<const Tensor> weights);
+
+// Intermediate activations of the probe pipeline, retained for backward.
+struct CollapseCache {
+  std::vector<Tensor> inputs;  // inputs[i] is the probe tensor fed to conv i
+};
+
+Tensor collapse_conv_sequence_cached(std::span<const Tensor> weights, CollapseCache& cache);
+
+// Backpropagate d(loss)/d(W_collapsed) into d(loss)/d(W_i); gradients are
+// *accumulated* into grad_weights (which must match weights' shapes).
+void collapse_backward(const Tensor& grad_collapsed, std::span<const Tensor> weights,
+                       const CollapseCache& cache, std::span<Tensor> grad_weights);
+
+// Collapse the bias chain: with per-layer biases b_i, the collapsed conv's bias
+// is beta_L where beta_1 = b_1 and beta_i = b_i + W_i ** beta_{i-1}
+// (** sums the kernel over its spatial taps). Biases are (1, 1, 1, C_i).
+Tensor collapse_bias_sequence(std::span<const Tensor> weights, std::span<const Tensor> biases);
+
+// Backward of the bias chain; accumulates into grad_weights / grad_biases.
+void collapse_bias_backward(const Tensor& grad_collapsed_bias, std::span<const Tensor> weights,
+                            std::span<const Tensor> biases, std::span<Tensor> grad_weights,
+                            std::span<Tensor> grad_biases);
+
+// Algorithm 2: W_R for a (k, k, c, c) kernel; returns the residual kernel.
+Tensor residual_kernel(std::int64_t kh, std::int64_t kw, std::int64_t channels);
+
+// w += residual_kernel(...) — requires odd spatial dims and square channels.
+void add_residual_identity(Tensor& w);
+
+}  // namespace sesr::core

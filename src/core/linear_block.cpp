@@ -1,0 +1,177 @@
+#include "core/linear_block.hpp"
+
+#include <array>
+#include <stdexcept>
+
+#include "nn/init.hpp"
+#include "tensor/tensor_ops.hpp"
+
+namespace sesr::core {
+
+namespace {
+void validate(const LinearBlockConfig& c) {
+  if (c.kh < 1 || c.kw < 1 || c.in_channels < 1 || c.expand_channels < 1 || c.out_channels < 1) {
+    throw std::invalid_argument("LinearBlock: all sizes must be positive");
+  }
+  if (c.short_residual) {
+    if (c.in_channels != c.out_channels) {
+      throw std::invalid_argument("LinearBlock: short residual needs in_channels == out_channels");
+    }
+    if (c.kh % 2 == 0 || c.kw % 2 == 0) {
+      throw std::invalid_argument(
+          "LinearBlock: short residual folds only into odd kernels (Algorithm 2)");
+    }
+  }
+}
+}  // namespace
+
+LinearBlock::LinearBlock(std::string name, const LinearBlockConfig& config, Rng& rng)
+    : name_(std::move(name)),
+      config_(config),
+      expand_weight_(name_ + ".expand.weight",
+                     (validate(config),
+                      nn::glorot_uniform_kernel(config.kh, config.kw, config.in_channels,
+                                           config.expand_channels, rng))),
+      project_weight_(name_ + ".project.weight",
+                      nn::glorot_uniform_kernel(1, 1, config.expand_channels, config.out_channels, rng)) {
+  if (config_.with_bias) {
+    expand_bias_.emplace(name_ + ".expand.bias", Tensor(1, 1, 1, config_.expand_channels));
+    project_bias_.emplace(name_ + ".project.bias", Tensor(1, 1, 1, config_.out_channels));
+  }
+}
+
+Tensor LinearBlock::collapse_weights_cached(CollapseCache& cache) const {
+  const std::array<Tensor, 2> weights{expand_weight_.value, project_weight_.value};
+  Tensor w = collapse_conv_sequence_cached(weights, cache);
+  if (config_.short_residual) add_residual_identity(w);
+  return w;
+}
+
+Tensor LinearBlock::collapsed_weight() const {
+  CollapseCache cache;
+  return collapse_weights_cached(cache);
+}
+
+std::optional<Tensor> LinearBlock::collapsed_bias() const {
+  if (!config_.with_bias) return std::nullopt;
+  const std::array<Tensor, 2> weights{expand_weight_.value, project_weight_.value};
+  const std::array<Tensor, 2> biases{expand_bias_->value, project_bias_->value};
+  return collapse_bias_sequence(weights, biases);
+}
+
+std::int64_t LinearBlock::collapsed_parameter_count() const {
+  std::int64_t p = config_.kh * config_.kw * config_.in_channels * config_.out_channels;
+  if (config_.with_bias) p += config_.out_channels;
+  return p;
+}
+
+Tensor LinearBlock::forward(const Tensor& input, bool training) {
+  if (input.shape().c() != config_.in_channels) {
+    throw std::invalid_argument("LinearBlock " + name_ + ": input channels mismatch");
+  }
+  if (training) cached_input_ = input;
+  if (config_.mode == BlockMode::kExpanded) {
+    Tensor mid = expand_bias_
+                     ? nn::conv2d_bias(input, expand_weight_.value, expand_bias_->value,
+                                       nn::Padding::kSame)
+                     : nn::conv2d(input, expand_weight_.value, nn::Padding::kSame);
+    if (training) cached_mid_ = mid;
+    Tensor out = project_bias_
+                     ? nn::conv2d_bias(mid, project_weight_.value, project_bias_->value,
+                                       nn::Padding::kSame)
+                     : nn::conv2d(mid, project_weight_.value, nn::Padding::kSame);
+    if (config_.short_residual) add_inplace(out, input);
+    return out;
+  }
+  // Collapsed-forward: one narrow conv with the freshly collapsed kernel
+  // (residual already folded into the kernel by Algorithm 2).
+  collapse_cache_.inputs.clear();
+  Tensor w = collapse_weights_cached(collapse_cache_);
+  if (!training) collapse_cache_.inputs.clear();
+  if (config_.with_bias) {
+    const Tensor b = *collapsed_bias();
+    return nn::conv2d_bias(input, w, b, nn::Padding::kSame);
+  }
+  return nn::conv2d(input, w, nn::Padding::kSame);
+}
+
+Tensor LinearBlock::backward(const Tensor& grad_output) {
+  if (cached_input_.empty()) throw std::logic_error("LinearBlock::backward before forward");
+  if (config_.mode == BlockMode::kExpanded) {
+    // Through the 1x1 projection.
+    nn::conv2d_backward_weight(cached_mid_, grad_output, project_weight_.grad, nn::Padding::kSame);
+    if (project_bias_) {
+      const std::int64_t out_c = config_.out_channels;
+      const float* g = grad_output.raw();
+      float* gb = project_bias_->grad.raw();
+      const std::int64_t pixels = grad_output.numel() / out_c;
+      for (std::int64_t i = 0; i < pixels; ++i) {
+        for (std::int64_t c = 0; c < out_c; ++c) gb[c] += g[i * out_c + c];
+      }
+    }
+    Tensor grad_mid = nn::conv2d_backward_input(grad_output, project_weight_.value,
+                                                cached_mid_.shape(), nn::Padding::kSame);
+    // Through the kh x kw expansion.
+    nn::conv2d_backward_weight(cached_input_, grad_mid, expand_weight_.grad, nn::Padding::kSame);
+    if (expand_bias_) {
+      const std::int64_t p = config_.expand_channels;
+      const float* g = grad_mid.raw();
+      float* gb = expand_bias_->grad.raw();
+      const std::int64_t pixels = grad_mid.numel() / p;
+      for (std::int64_t i = 0; i < pixels; ++i) {
+        for (std::int64_t c = 0; c < p; ++c) gb[c] += g[i * p + c];
+      }
+    }
+    Tensor grad_input = nn::conv2d_backward_input(grad_mid, expand_weight_.value,
+                                                  cached_input_.shape(), nn::Padding::kSame);
+    if (config_.short_residual) add_inplace(grad_input, grad_output);
+    return grad_input;
+  }
+
+  // Collapsed-forward mode: gradient w.r.t. the collapsed kernel, then chain
+  // through Algorithm 1 into the expanded weights. The residual identity W_R
+  // is a constant, so it contributes nothing to the weight gradient.
+  if (collapse_cache_.inputs.empty()) {
+    throw std::logic_error("LinearBlock::backward: missing collapse cache (forward not training)");
+  }
+  const std::array<Tensor, 2> weights{expand_weight_.value, project_weight_.value};
+  Tensor w_collapsed = collapse_conv_sequence(weights);  // without residual: W_C only
+  Tensor grad_wc(w_collapsed.shape());
+  nn::conv2d_backward_weight(cached_input_, grad_output, grad_wc, nn::Padding::kSame);
+  std::array<Tensor, 2> grad_weights{expand_weight_.grad, project_weight_.grad};
+  collapse_backward(grad_wc, weights, collapse_cache_, grad_weights);
+  expand_weight_.grad = std::move(grad_weights[0]);
+  project_weight_.grad = std::move(grad_weights[1]);
+  if (config_.with_bias) {
+    const std::int64_t out_c = config_.out_channels;
+    Tensor grad_bc(1, 1, 1, out_c);
+    const float* g = grad_output.raw();
+    const std::int64_t pixels = grad_output.numel() / out_c;
+    for (std::int64_t i = 0; i < pixels; ++i) {
+      for (std::int64_t c = 0; c < out_c; ++c) grad_bc.raw()[c] += g[i * out_c + c];
+    }
+    const std::array<Tensor, 2> biases{expand_bias_->value, project_bias_->value};
+    std::array<Tensor, 2> gw{expand_weight_.grad, project_weight_.grad};
+    std::array<Tensor, 2> gb{expand_bias_->grad, project_bias_->grad};
+    collapse_bias_backward(grad_bc, weights, biases, gw, gb);
+    expand_weight_.grad = std::move(gw[0]);
+    project_weight_.grad = std::move(gw[1]);
+    expand_bias_->grad = std::move(gb[0]);
+    project_bias_->grad = std::move(gb[1]);
+  }
+  // d(input): residual contributes grad_output directly; the conv path uses
+  // the full collapsed kernel (with residual) minus... the identity part is
+  // exactly the residual path, so using the full kernel already accounts for it.
+  if (config_.short_residual) add_residual_identity(w_collapsed);
+  return nn::conv2d_backward_input(grad_output, w_collapsed, cached_input_.shape(),
+                                   nn::Padding::kSame);
+}
+
+std::vector<nn::Parameter*> LinearBlock::parameters() {
+  std::vector<nn::Parameter*> out{&expand_weight_, &project_weight_};
+  if (expand_bias_) out.push_back(&*expand_bias_);
+  if (project_bias_) out.push_back(&*project_bias_);
+  return out;
+}
+
+}  // namespace sesr::core

@@ -1,0 +1,84 @@
+// Collapsible Linear Block (paper Section 3.1, Fig. 2(b)).
+//
+// Training-time structure: a kh x kw convolution expanding x input channels to
+// p >> x intermediate channels, followed by a 1 x 1 projection to y output
+// channels, with NO nonlinearity in between — so the pair is algebraically one
+// kh x kw convolution with x inputs and y outputs. An optional short residual
+// (x == y, odd kernel) is folded via Algorithm 2.
+//
+// Two training modes, numerically identical by construction (a property test
+// asserts their gradients match):
+//   kExpanded        — forward runs both convolutions on the feature maps.
+//   kCollapsedForward— the paper's efficient implementation (Fig. 3): each step
+//                      first collapses the weights (cheap: kernels are tiny),
+//                      runs the forward pass as ONE narrow convolution, and
+//                      backpropagates through the collapse operator into the
+//                      expanded weights.
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "core/block.hpp"
+#include "core/collapse.hpp"
+#include "nn/conv2d.hpp"
+#include "nn/layer.hpp"
+
+namespace sesr::core {
+
+enum class BlockMode {
+  kExpanded,
+  kCollapsedForward,
+};
+
+struct LinearBlockConfig {
+  std::int64_t kh = 3;
+  std::int64_t kw = 3;
+  std::int64_t in_channels = 16;
+  std::int64_t expand_channels = 256;  // p in the paper; p >> x
+  std::int64_t out_channels = 16;
+  bool short_residual = false;  // fold +x via Algorithm 2 (needs in==out, odd k)
+  bool with_bias = false;       // paper's parameter counts are bias-free
+  BlockMode mode = BlockMode::kCollapsedForward;
+};
+
+class LinearBlock final : public CollapsibleBlock {
+ public:
+  LinearBlock(std::string name, const LinearBlockConfig& config, Rng& rng);
+
+  Tensor forward(const Tensor& input, bool training) override;
+  Tensor backward(const Tensor& grad_output) override;
+  std::vector<nn::Parameter*> parameters() override;
+  std::string name() const override { return name_; }
+
+  const LinearBlockConfig& config() const { return config_; }
+
+  // Deployment export: the single narrow kernel (residual folded in when the
+  // block has one) and its bias, independent of training mode.
+  Tensor collapsed_weight() const override;
+  std::optional<Tensor> collapsed_bias() const override;
+
+  // Number of parameters the *collapsed* block contributes (kh*kw*x*y [+ y]),
+  // i.e. what the paper's P formula counts.
+  std::int64_t collapsed_parameter_count() const override;
+
+  nn::Parameter& expand_weight() { return expand_weight_; }
+  nn::Parameter& project_weight() { return project_weight_; }
+
+ private:
+  Tensor collapse_weights_cached(CollapseCache& cache) const;
+
+  std::string name_;
+  LinearBlockConfig config_;
+  nn::Parameter expand_weight_;   // (kh, kw, x, p)
+  nn::Parameter project_weight_;  // (1, 1, p, y)
+  std::optional<nn::Parameter> expand_bias_;   // (1, 1, 1, p)
+  std::optional<nn::Parameter> project_bias_;  // (1, 1, 1, y)
+
+  // Forward caches (training mode only).
+  Tensor cached_input_;
+  Tensor cached_mid_;            // expanded-mode: output of the first conv
+  CollapseCache collapse_cache_; // collapsed-forward mode
+};
+
+}  // namespace sesr::core

@@ -1,0 +1,58 @@
+#include "core/macs.hpp"
+
+#include <stdexcept>
+
+namespace sesr::core {
+
+std::int64_t sesr_parameter_count(const SesrConfig& config) {
+  const std::int64_t f = config.f;
+  return 5 * 5 * 1 * f + config.m * (3 * 3 * f * f) + 5 * 5 * f * config.output_channels();
+}
+
+MacReport sesr_macs(const SesrConfig& config, std::int64_t lr_h, std::int64_t lr_w) {
+  MacReport r;
+  r.model = config.describe();
+  r.parameters = sesr_parameter_count(config);
+  r.macs = lr_h * lr_w * r.parameters;
+  return r;
+}
+
+namespace {
+// FSRCNN(d=56, s=12, m=4): the standard compact configuration the paper
+// compares against (12.46K parameters).
+constexpr std::int64_t kD = 56;
+constexpr std::int64_t kS = 12;
+constexpr std::int64_t kMapLayers = 4;
+
+std::int64_t fsrcnn_lr_params() {
+  const std::int64_t feature = 5 * 5 * 1 * kD;    // 5x5 feature extraction
+  const std::int64_t shrink = 1 * 1 * kD * kS;    // 1x1 shrink
+  const std::int64_t mapping = kMapLayers * 3 * 3 * kS * kS;  // 4 x 3x3 map
+  const std::int64_t expand = 1 * 1 * kS * kD;    // 1x1 expand
+  return feature + shrink + mapping + expand;
+}
+
+constexpr std::int64_t kDeconvParams = 9 * 9 * kD * 1;  // 9x9 deconv to 1 channel
+}  // namespace
+
+std::int64_t fsrcnn_parameter_count() { return fsrcnn_lr_params() + kDeconvParams; }
+
+MacReport fsrcnn_macs(std::int64_t lr_h, std::int64_t lr_w, std::int64_t scale) {
+  if (scale < 1) throw std::invalid_argument("fsrcnn_macs: scale must be >= 1");
+  MacReport r;
+  r.model = "FSRCNN";
+  r.parameters = fsrcnn_parameter_count();
+  // Body runs per LR pixel; the transposed conv runs per HR pixel.
+  r.macs = lr_h * lr_w * fsrcnn_lr_params() +
+           (lr_h * scale) * (lr_w * scale) * kDeconvParams;
+  return r;
+}
+
+std::int64_t lr_extent_for(std::int64_t hr_extent, std::int64_t scale) {
+  if (scale < 1 || hr_extent % scale != 0) {
+    throw std::invalid_argument("lr_extent_for: hr_extent must be divisible by scale");
+  }
+  return hr_extent / scale;
+}
+
+}  // namespace sesr::core

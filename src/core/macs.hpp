@@ -1,0 +1,40 @@
+// Parameter and MAC accounting (paper Section 3.2).
+//
+// For the collapsed SESR: P = (5*5*1*f) + m*(3*3*f*f) + (5*5*f*scale^2),
+// and #MACs = H * W * P where (H, W) is the low-resolution input size — every
+// collapsed conv runs at LR resolution with SAME padding. FSRCNN differs: its
+// final 9x9 transposed conv runs per *output* pixel, which is exactly why SESR's
+// single-conv + double depth-to-space x4 head scales so much better (Table 2).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "core/sesr_network.hpp"
+
+namespace sesr::core {
+
+struct MacReport {
+  std::string model;
+  std::int64_t parameters = 0;
+  std::int64_t macs = 0;  // multiply-accumulates for one frame at the given size
+
+  double giga_macs() const { return static_cast<double>(macs) * 1e-9; }
+  double kilo_parameters() const { return static_cast<double>(parameters) * 1e-3; }
+};
+
+// Collapsed-SESR parameter count from the closed-form formula.
+std::int64_t sesr_parameter_count(const SesrConfig& config);
+
+// MACs for upscaling an (lr_h x lr_w) input with a collapsed SESR.
+MacReport sesr_macs(const SesrConfig& config, std::int64_t lr_h, std::int64_t lr_w);
+
+// FSRCNN (d=56, s=12, m=4, 9x9 deconv) accounting at the given LR size/scale.
+std::int64_t fsrcnn_parameter_count();
+MacReport fsrcnn_macs(std::int64_t lr_h, std::int64_t lr_w, std::int64_t scale);
+
+// LR input size whose upscale lands on a given HR output (Table 1/2 report MACs
+// "needed to convert an image to 720p": hr / scale).
+std::int64_t lr_extent_for(std::int64_t hr_extent, std::int64_t scale);
+
+}  // namespace sesr::core

@@ -1,0 +1,126 @@
+// Published numbers from the paper, embedded so every bench prints
+// "paper vs measured" side by side (EXPERIMENTS.md is generated from these).
+// PSNR/SSIM entries are the paper's Tables 1 and 2; hardware rows are Table 3.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <optional>
+#include <string_view>
+
+namespace sesr::core::paper {
+
+struct QualityEntry {
+  double psnr = 0.0;
+  double ssim = 0.0;
+  bool present() const { return psnr > 0.0; }
+};
+
+struct QualityRow {
+  std::string_view regime;
+  std::string_view model;
+  double parameters_k;  // thousands; 0 = not applicable (bicubic)
+  double macs_g;        // GMACs to reach 720p; 0 = not applicable
+  // Set5, Set14, BSD100, Urban100, Manga109, DIV2K — 0/0 where the paper has "-".
+  std::array<QualityEntry, 6> sets;
+};
+
+inline constexpr std::array<std::string_view, 6> kDatasetNames{
+    "Set5", "Set14", "BSD100", "Urban100", "Manga109", "DIV2K"};
+
+// Table 1: x2 SISR.
+inline constexpr std::array<QualityRow, 15> kTable1X2{{
+    {"Small", "Bicubic", 0, 0,
+     {{{33.68, 0.9307}, {30.24, 0.8693}, {29.56, 0.8439}, {26.88, 0.8408}, {30.82, 0.9349}, {32.45, 0.9043}}}},
+    {"Small", "FSRCNN (authors' setup)", 12.46, 6.00,
+     {{{36.85, 0.9561}, {32.47, 0.9076}, {31.37, 0.8891}, {29.43, 0.8963}, {35.81, 0.9689}, {34.73, 0.9349}}}},
+    {"Small", "FSRCNN", 12.46, 6.00,
+     {{{36.98, 0.9556}, {32.62, 0.9087}, {31.50, 0.8904}, {29.85, 0.9009}, {36.62, 0.9710}, {34.74, 0.9340}}}},
+    {"Small", "MOREMNAS-C", 25.0, 5.5,
+     {{{37.06, 0.9561}, {32.75, 0.9094}, {31.50, 0.8904}, {29.92, 0.9023}, {0, 0}, {0, 0}}}},
+    {"Small", "SESR-M3", 8.91, 2.05,
+     {{{37.21, 0.9577}, {32.70, 0.9100}, {31.56, 0.8920}, {29.92, 0.9034}, {36.47, 0.9717}, {35.03, 0.9373}}}},
+    {"Small", "SESR-M5", 13.52, 3.11,
+     {{{37.39, 0.9585}, {32.84, 0.9115}, {31.70, 0.8938}, {30.33, 0.9087}, {37.07, 0.9734}, {35.24, 0.9389}}}},
+    {"Small", "SESR-M7", 18.12, 4.17,
+     {{{37.47, 0.9588}, {32.91, 0.9118}, {31.77, 0.8946}, {30.49, 0.9105}, {37.14, 0.9738}, {35.32, 0.9395}}}},
+    {"Medium", "TPSR-NoGAN", 60.0, 14.0,
+     {{{37.38, 0.9583}, {33.00, 0.9123}, {31.75, 0.8942}, {30.61, 0.9119}, {0, 0}, {0, 0}}}},
+    {"Medium", "SESR-M11", 27.34, 6.30,
+     {{{37.58, 0.9593}, {33.03, 0.9128}, {31.85, 0.8956}, {30.72, 0.9136}, {37.40, 0.9746}, {35.45, 0.9404}}}},
+    {"Large", "VDSR", 665.0, 612.6,
+     {{{37.53, 0.9587}, {33.05, 0.9127}, {31.90, 0.8960}, {30.77, 0.9141}, {37.16, 0.9740}, {35.43, 0.9410}}}},
+    {"Large", "LapSRN", 813.0, 29.9,
+     {{{37.52, 0.9590}, {33.08, 0.9130}, {31.80, 0.8950}, {30.41, 0.9100}, {37.53, 0.9740}, {35.31, 0.9400}}}},
+    {"Large", "BTSRN", 410.0, 207.7,
+     {{{37.75, 0}, {33.20, 0}, {32.05, 0}, {31.63, 0}, {0, 0}, {0, 0}}}},
+    {"Large", "CARN-M", 412.0, 91.2,
+     {{{37.53, 0.9583}, {33.26, 0.9141}, {31.92, 0.8960}, {31.23, 0.9193}, {0, 0}, {0, 0}}}},
+    {"Large", "MOREMNAS-B", 1118.0, 256.9,
+     {{{37.58, 0.9584}, {33.22, 0.9135}, {31.91, 0.8959}, {31.14, 0.9175}, {0, 0}, {0, 0}}}},
+    {"Large", "SESR-XL", 105.37, 24.27,
+     {{{37.77, 0.9601}, {33.24, 0.9145}, {31.99, 0.8976}, {31.16, 0.9184}, {38.01, 0.9759}, {35.67, 0.9420}}}},
+}};
+
+// Table 2: x4 SISR.
+inline constexpr std::array<QualityRow, 12> kTable2X4{{
+    {"Small", "Bicubic", 0, 0,
+     {{{28.43, 0.8113}, {26.00, 0.7025}, {25.96, 0.6682}, {23.14, 0.6577}, {24.90, 0.7855}, {28.10, 0.7745}}}},
+    {"Small", "FSRCNN (authors' setup)", 12.46, 4.63,
+     {{{30.45, 0.8648}, {27.44, 0.7528}, {26.89, 0.7124}, {24.39, 0.7212}, {27.40, 0.8539}, {29.37, 0.8117}}}},
+    {"Small", "FSRCNN", 12.46, 4.63,
+     {{{30.70, 0.8657}, {27.59, 0.7535}, {26.96, 0.7128}, {24.60, 0.7258}, {27.89, 0.8590}, {29.36, 0.8110}}}},
+    {"Small", "SESR-M3", 13.71, 0.79,
+     {{{30.75, 0.8714}, {27.62, 0.7579}, {27.00, 0.7166}, {24.61, 0.7304}, {27.90, 0.8644}, {29.52, 0.8155}}}},
+    {"Small", "SESR-M5", 18.32, 1.05,
+     {{{30.99, 0.8764}, {27.81, 0.7624}, {27.11, 0.7199}, {24.80, 0.7389}, {28.29, 0.8734}, {29.65, 0.8189}}}},
+    {"Small", "SESR-M7", 22.92, 1.32,
+     {{{31.14, 0.8787}, {27.88, 0.7641}, {27.13, 0.7209}, {24.90, 0.7436}, {28.53, 0.8778}, {29.72, 0.8204}}}},
+    {"Medium", "TPSR-NoGAN", 61.0, 3.6,
+     {{{31.10, 0.8779}, {27.95, 0.7663}, {27.15, 0.7214}, {24.97, 0.7456}, {0, 0}, {0, 0}}}},
+    {"Medium", "SESR-M11", 32.14, 1.85,
+     {{{31.27, 0.8810}, {27.94, 0.7660}, {27.20, 0.7225}, {25.00, 0.7466}, {28.73, 0.8815}, {29.81, 0.8221}}}},
+    {"Large", "VDSR", 665.0, 612.6,
+     {{{31.35, 0.8838}, {28.02, 0.7678}, {27.29, 0.7252}, {25.18, 0.7525}, {28.82, 0.8860}, {29.82, 0.8240}}}},
+    {"Large", "LapSRN", 813.0, 149.4,
+     {{{31.54, 0.8850}, {28.19, 0.7720}, {27.32, 0.7280}, {25.21, 0.7560}, {29.09, 0.8900}, {29.88, 0.8250}}}},
+    {"Large", "CARN-M", 412.0, 32.5,
+     {{{31.92, 0.8903}, {28.42, 0.7762}, {27.44, 0.7304}, {25.62, 0.7694}, {0, 0}, {0, 0}}}},
+    {"Large", "SESR-XL", 114.97, 6.62,
+     {{{31.54, 0.8866}, {28.12, 0.7712}, {27.31, 0.7277}, {25.31, 0.7604}, {29.04, 0.8901}, {29.94, 0.8266}}}},
+}};
+
+// Table 3: Arm Ethos-N78 (4 TOP/s) hardware performance.
+struct HardwareRow {
+  std::string_view model;
+  double macs_g;
+  double dram_mb;
+  double runtime_ms;
+  double fps;
+};
+
+inline constexpr std::array<HardwareRow, 5> kTable3{{
+    {"FSRCNN (x2) 1080p->4K", 54.0, 564.11, 167.38, 5.97},
+    {"SESR-M5 (x2) 1080p->4K", 28.0, 282.03, 27.22, 36.73},
+    {"SESR-M5 (tiled, x2) 400x300->800x600", 1.62, 6.46, 1.26, 792.38},
+    {"SESR-M5 (x4) 1080p->8K", 38.0, 389.86, 45.09, 22.17},
+    {"SESR-M5 (tiled, x4) 400x300->1600x1200", 2.19, 9.84, 2.12, 471.69},
+}};
+
+// Section 5.4 / 5.5 DIV2K validation PSNRs for the overparameterization and
+// ablation studies (all on the SESR-M11 skeleton).
+inline constexpr double kSec54SesrM11 = 35.45;
+inline constexpr double kSec54ExpandNet = 33.65;   // no short residuals: stalls
+inline constexpr double kSec54RepVgg = 35.35;
+inline constexpr double kSec54DirectVgg = 35.34;   // collapsed net trained directly
+inline constexpr double kSec55ResidualOnly = 35.25;  // residuals without linear blocks
+inline constexpr double kSec55HardwareVariantDropDb = 0.1;
+
+// Fig. 3 training-efficiency claim: SESR-M5, batch 32 of 64x64 crops.
+inline constexpr double kFig3ExpandedGMacs = 41.77;
+inline constexpr double kFig3CollapsedGMacs = 1.84;
+
+// Section 5.6 NAS claim: ~15% latency reduction at matched PSNR vs SESR-M5.
+inline constexpr double kNasLatencyReduction = 0.15;
+
+}  // namespace sesr::core::paper

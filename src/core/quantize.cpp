@@ -1,0 +1,201 @@
+#include "core/quantize.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "nn/conv2d.hpp"
+#include "nn/depth_to_space.hpp"
+#include "nn/im2col.hpp"
+#include "tensor/tensor_ops.hpp"
+
+namespace sesr::core {
+
+QuantizedTensor quantize_symmetric(const Tensor& t) {
+  QuantizedTensor q;
+  q.shape = t.shape();
+  q.values.resize(static_cast<std::size_t>(t.numel()));
+  const float max_abs_val = max_abs(t);
+  q.scale = max_abs_val > 0.0F ? max_abs_val / 127.0F : 1.0F;
+  const float inv = 1.0F / q.scale;
+  for (std::int64_t i = 0; i < t.numel(); ++i) {
+    const float v = std::round(t.raw()[i] * inv);
+    q.values[static_cast<std::size_t>(i)] =
+        static_cast<std::int8_t>(std::clamp(v, -127.0F, 127.0F));
+  }
+  return q;
+}
+
+Tensor dequantize(const QuantizedTensor& q) {
+  Tensor t(q.shape);
+  for (std::size_t i = 0; i < q.values.size(); ++i) {
+    t.raw()[i] = static_cast<float>(q.values[i]) * q.scale;
+  }
+  return t;
+}
+
+Tensor conv2d_int8(const QuantizedTensor& input, const QuantizedTensor& weight) {
+  const Shape& is = input.shape;
+  const Shape& ws = weight.shape;
+  if (is.c() != ws.dim(2)) throw std::invalid_argument("conv2d_int8: channel mismatch");
+  const nn::ConvGeometry g = nn::same_geometry(is.h(), is.w(), is.c(), ws.dim(0), ws.dim(1));
+  const std::int64_t out_c = ws.dim(3);
+  Tensor out(is.n(), g.out_h, g.out_w, out_c);
+  const float out_scale = input.scale * weight.scale;
+  for (std::int64_t n = 0; n < is.n(); ++n) {
+    for (std::int64_t oy = 0; oy < g.out_h; ++oy) {
+      for (std::int64_t ox = 0; ox < g.out_w; ++ox) {
+        for (std::int64_t oc = 0; oc < out_c; ++oc) {
+          std::int32_t acc = 0;  // int32 accumulator, as NPUs do
+          for (std::int64_t ky = 0; ky < g.kh; ++ky) {
+            const std::int64_t iy = oy - g.pad_top + ky;
+            if (iy < 0 || iy >= is.h()) continue;
+            for (std::int64_t kx = 0; kx < g.kw; ++kx) {
+              const std::int64_t ix = ox - g.pad_left + kx;
+              if (ix < 0 || ix >= is.w()) continue;
+              for (std::int64_t ic = 0; ic < is.c(); ++ic) {
+                const std::int32_t xv =
+                    input.values[static_cast<std::size_t>(is.offset(n, iy, ix, ic))];
+                const std::int32_t wv =
+                    weight.values[static_cast<std::size_t>(ws.offset(ky, kx, ic, oc))];
+                acc += xv * wv;
+              }
+            }
+          }
+          out(n, oy, ox, oc) = static_cast<float>(acc) * out_scale;
+        }
+      }
+    }
+  }
+  return out;
+}
+
+namespace {
+// Replays the SesrInference float dataflow, invoking `observe(layer, input)`
+// just before each convolution — used for activation-range calibration.
+template <typename Observer>
+Tensor replay_forward(const SesrInference& network, const Tensor& input, Observer&& observe) {
+  const auto& convs = network.convolutions();
+  observe(0, input);
+  Tensor feat = network.activate(0, nn::conv2d(input, convs.front().weight, nn::Padding::kSame));
+  Tensor skip = feat;
+  for (std::size_t i = 1; i + 1 < convs.size(); ++i) {
+    observe(i, feat);
+    feat = network.activate(i, nn::conv2d(feat, convs[i].weight, nn::Padding::kSame));
+  }
+  add_inplace(feat, skip);
+  observe(convs.size() - 1, feat);
+  Tensor out = nn::conv2d(feat, convs.back().weight, nn::Padding::kSame);
+  if (network.config().input_residual) {
+    const std::int64_t oc = network.config().output_channels();
+    float* po = out.raw();
+    const float* pi = input.raw();
+    const std::int64_t pixels = out.numel() / oc;
+    for (std::int64_t p = 0; p < pixels; ++p) {
+      for (std::int64_t c = 0; c < oc; ++c) po[p * oc + c] += pi[p];
+    }
+  }
+  Tensor y = nn::depth_to_space(out, 2);
+  if (network.config().scale == 4) y = nn::depth_to_space(y, 2);
+  return y;
+}
+
+// Quantize with a fixed, pre-calibrated scale.
+QuantizedTensor quantize_with_scale(const Tensor& t, float scale) {
+  QuantizedTensor q;
+  q.shape = t.shape();
+  q.scale = scale;
+  q.values.resize(static_cast<std::size_t>(t.numel()));
+  const float inv = 1.0F / scale;
+  for (std::int64_t i = 0; i < t.numel(); ++i) {
+    const float v = std::round(t.raw()[i] * inv);
+    q.values[static_cast<std::size_t>(i)] =
+        static_cast<std::int8_t>(std::clamp(v, -127.0F, 127.0F));
+  }
+  return q;
+}
+}  // namespace
+
+QuantizedSesr::QuantizedSesr(const SesrInference& network, const std::vector<Tensor>& calibration)
+    : config_(network.config()), prelu_alpha_(network.prelu_alphas()) {
+  if (calibration.empty()) throw std::invalid_argument("QuantizedSesr: no calibration images");
+  for (const CollapsedConv& conv : network.convolutions()) {
+    if (conv.bias) {
+      throw std::invalid_argument(
+          "QuantizedSesr: biased networks not supported (SESR is bias-free)");
+    }
+    weights_.push_back(quantize_symmetric(conv.weight));
+  }
+  activation_scale_.assign(weights_.size(), 0.0F);
+  for (const Tensor& image : calibration) {
+    if (image.shape().c() != 1) {
+      throw std::invalid_argument("QuantizedSesr: calibration images must be Y-channel");
+    }
+    replay_forward(network, image, [&](std::size_t layer, const Tensor& x) {
+      activation_scale_[layer] = std::max(activation_scale_[layer], max_abs(x) / 127.0F);
+    });
+  }
+  for (float& s : activation_scale_) {
+    if (s <= 0.0F) s = 1.0F / 127.0F;
+  }
+}
+
+Tensor QuantizedSesr::apply_activation(std::size_t index, const Tensor& x) const {
+  const Tensor& alpha = prelu_alpha_.at(index);
+  Tensor out(x.shape());
+  const float* pi = x.raw();
+  float* po = out.raw();
+  const std::int64_t n = x.numel();
+  if (alpha.empty()) {
+    for (std::int64_t i = 0; i < n; ++i) po[i] = pi[i] > 0.0F ? pi[i] : 0.0F;
+    return out;
+  }
+  const std::int64_t c = x.shape().c();
+  const float* pa = alpha.raw();
+  const std::int64_t pixels = n / c;
+  for (std::int64_t i = 0; i < pixels; ++i) {
+    for (std::int64_t ch = 0; ch < c; ++ch) {
+      const float v = pi[i * c + ch];
+      po[i * c + ch] = v > 0.0F ? v : pa[ch] * v;
+    }
+  }
+  return out;
+}
+
+Tensor QuantizedSesr::upscale(const Tensor& input) const {
+  if (input.shape().c() != 1) {
+    throw std::invalid_argument("QuantizedSesr::upscale expects a single (Y) channel");
+  }
+  auto qconv = [&](std::size_t layer, const Tensor& x) {
+    return conv2d_int8(quantize_with_scale(x, activation_scale_[layer]), weights_[layer]);
+  };
+  Tensor feat = apply_activation(0, qconv(0, input));
+  Tensor skip = feat;
+  for (std::size_t i = 1; i + 1 < weights_.size(); ++i) {
+    feat = apply_activation(i, qconv(i, feat));
+  }
+  add_inplace(feat, skip);
+  Tensor out = qconv(weights_.size() - 1, feat);
+  if (config_.input_residual) {
+    const std::int64_t oc = config_.output_channels();
+    float* po = out.raw();
+    const float* pi = input.raw();
+    const std::int64_t pixels = out.numel() / oc;
+    for (std::int64_t p = 0; p < pixels; ++p) {
+      for (std::int64_t c = 0; c < oc; ++c) po[p * oc + c] += pi[p];
+    }
+  }
+  Tensor y = nn::depth_to_space(out, 2);
+  if (config_.scale == 4) y = nn::depth_to_space(y, 2);
+  return y;
+}
+
+std::int64_t QuantizedSesr::weight_bytes() const {
+  std::int64_t total = 0;
+  for (const QuantizedTensor& w : weights_) {
+    total += static_cast<std::int64_t>(w.values.size());
+  }
+  return total;
+}
+
+}  // namespace sesr::core

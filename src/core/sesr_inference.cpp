@@ -1,0 +1,162 @@
+#include "core/sesr_inference.hpp"
+
+#include <stdexcept>
+
+#include "nn/conv2d.hpp"
+#include "nn/depth_to_space.hpp"
+#include "tensor/tensor_ops.hpp"
+
+namespace sesr::core {
+
+namespace {
+constexpr const char* kConfigKey = "__config";
+
+Tensor encode_config(const SesrConfig& c) {
+  Tensor t(1, 1, 1, 8);
+  t.raw()[0] = static_cast<float>(c.f);
+  t.raw()[1] = static_cast<float>(c.m);
+  t.raw()[2] = static_cast<float>(c.scale);
+  t.raw()[3] = static_cast<float>(c.expand);
+  t.raw()[4] = c.prelu ? 1.0F : 0.0F;
+  t.raw()[5] = c.input_residual ? 1.0F : 0.0F;
+  t.raw()[6] = c.with_bias ? 1.0F : 0.0F;
+  t.raw()[7] = 0.0F;  // reserved
+  return t;
+}
+
+SesrConfig decode_config(const Tensor& t) {
+  if (t.numel() < 7) throw std::runtime_error("SesrInference: malformed config tensor");
+  SesrConfig c;
+  c.f = static_cast<std::int64_t>(t.raw()[0]);
+  c.m = static_cast<std::int64_t>(t.raw()[1]);
+  c.scale = static_cast<std::int64_t>(t.raw()[2]);
+  c.expand = static_cast<std::int64_t>(t.raw()[3]);
+  c.prelu = t.raw()[4] != 0.0F;
+  c.input_residual = t.raw()[5] != 0.0F;
+  c.with_bias = t.raw()[6] != 0.0F;
+  return c;
+}
+
+CollapsedConv collapse_block(const CollapsibleBlock& block) {
+  CollapsedConv conv;
+  conv.weight = block.collapsed_weight();
+  conv.bias = block.collapsed_bias();
+  return conv;
+}
+}  // namespace
+
+SesrInference::SesrInference(const SesrNetwork& network) : config_(network.config()) {
+  convs_.push_back(collapse_block(network.first_block()));
+  for (const auto& b : network.middle_blocks()) convs_.push_back(collapse_block(*b));
+  convs_.push_back(collapse_block(network.last_block()));
+  for (std::int64_t i = 0; i < config_.m + 1; ++i) {
+    if (config_.prelu) {
+      const auto& prelu =
+          dynamic_cast<const nn::PRelu&>(network.activation(static_cast<std::size_t>(i)));
+      prelu_alpha_.push_back(prelu.alpha().value);
+    } else {
+      prelu_alpha_.emplace_back();  // empty = ReLU
+    }
+  }
+}
+
+SesrInference::SesrInference(const TensorMap& map) {
+  const auto cfg_it = map.find(kConfigKey);
+  if (cfg_it == map.end()) throw std::runtime_error("SesrInference: checkpoint missing config");
+  config_ = decode_config(cfg_it->second);
+  const std::int64_t n_convs = config_.m + 2;
+  for (std::int64_t i = 0; i < n_convs; ++i) {
+    CollapsedConv conv;
+    const auto w_it = map.find("conv" + std::to_string(i) + ".weight");
+    if (w_it == map.end()) throw std::runtime_error("SesrInference: checkpoint missing conv weight");
+    conv.weight = w_it->second;
+    const auto b_it = map.find("conv" + std::to_string(i) + ".bias");
+    if (b_it != map.end()) conv.bias = b_it->second;
+    convs_.push_back(std::move(conv));
+  }
+  for (std::int64_t i = 0; i < config_.m + 1; ++i) {
+    const auto a_it = map.find("act" + std::to_string(i) + ".alpha");
+    if (config_.prelu) {
+      if (a_it == map.end()) throw std::runtime_error("SesrInference: checkpoint missing alpha");
+      prelu_alpha_.push_back(a_it->second);
+    } else {
+      prelu_alpha_.emplace_back();
+    }
+  }
+}
+
+Tensor SesrInference::activate(std::size_t index, const Tensor& x) const {
+  const Tensor& alpha = prelu_alpha_.at(index);
+  Tensor out(x.shape());
+  const float* pi = x.raw();
+  float* po = out.raw();
+  const std::int64_t n = x.numel();
+  if (alpha.empty()) {
+    for (std::int64_t i = 0; i < n; ++i) po[i] = pi[i] > 0.0F ? pi[i] : 0.0F;
+    return out;
+  }
+  const std::int64_t c = x.shape().c();
+  if (alpha.numel() != c) throw std::runtime_error("SesrInference: alpha/channel mismatch");
+  const float* pa = alpha.raw();
+  const std::int64_t pixels = n / c;
+  for (std::int64_t i = 0; i < pixels; ++i) {
+    for (std::int64_t ch = 0; ch < c; ++ch) {
+      const float v = pi[i * c + ch];
+      po[i * c + ch] = v > 0.0F ? v : pa[ch] * v;
+    }
+  }
+  return out;
+}
+
+Tensor SesrInference::upscale(const Tensor& input) const {
+  if (input.shape().c() != 1) {
+    throw std::invalid_argument("SesrInference::upscale expects a single (Y) channel");
+  }
+  auto run_conv = [](const CollapsedConv& c, const Tensor& x) {
+    return c.bias ? nn::conv2d_bias(x, c.weight, *c.bias, nn::Padding::kSame)
+                  : nn::conv2d(x, c.weight, nn::Padding::kSame);
+  };
+  Tensor feat = activate(0, run_conv(convs_.front(), input));
+  Tensor skip = feat;
+  for (std::size_t i = 1; i + 1 < convs_.size(); ++i) {
+    feat = activate(i, run_conv(convs_[i], feat));
+  }
+  add_inplace(feat, skip);
+  Tensor out = run_conv(convs_.back(), feat);
+  if (config_.input_residual) {
+    const std::int64_t oc = config_.output_channels();
+    float* po = out.raw();
+    const float* pi = input.raw();
+    const std::int64_t pixels = out.numel() / oc;
+    for (std::int64_t p = 0; p < pixels; ++p) {
+      for (std::int64_t c = 0; c < oc; ++c) po[p * oc + c] += pi[p];
+    }
+  }
+  Tensor y = nn::depth_to_space(out, 2);
+  if (config_.scale == 4) y = nn::depth_to_space(y, 2);
+  return y;
+}
+
+std::int64_t SesrInference::parameter_count() const {
+  std::int64_t p = 0;
+  for (const CollapsedConv& c : convs_) {
+    p += c.weight.numel();
+    if (c.bias) p += c.bias->numel();
+  }
+  return p;
+}
+
+TensorMap SesrInference::to_tensor_map() const {
+  TensorMap map;
+  map.emplace(kConfigKey, encode_config(config_));
+  for (std::size_t i = 0; i < convs_.size(); ++i) {
+    map.emplace("conv" + std::to_string(i) + ".weight", convs_[i].weight);
+    if (convs_[i].bias) map.emplace("conv" + std::to_string(i) + ".bias", *convs_[i].bias);
+  }
+  for (std::size_t i = 0; i < prelu_alpha_.size(); ++i) {
+    if (!prelu_alpha_[i].empty()) map.emplace("act" + std::to_string(i) + ".alpha", prelu_alpha_[i]);
+  }
+  return map;
+}
+
+}  // namespace sesr::core

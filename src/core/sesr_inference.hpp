@@ -1,0 +1,59 @@
+// Collapsed SESR for deployment (paper Fig. 2(d)).
+//
+// After training, every linear block collapses (Algorithm 1) and every short
+// residual folds into its kernel (Algorithm 2), leaving a VGG-like network of
+// m+2 narrow convolutions, the activations, the two long residuals, and the
+// depth-to-space. This class holds exactly that: plain kernels, no expanded
+// weights, forward-only — what one would ship to an NPU.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/sesr_network.hpp"
+#include "tensor/serialize.hpp"
+#include "tensor/tensor.hpp"
+
+namespace sesr::core {
+
+struct CollapsedConv {
+  Tensor weight;                // HWIO
+  std::optional<Tensor> bias;   // (1, 1, 1, out_c)
+};
+
+class SesrInference {
+ public:
+  // Collapse a trained (or freshly initialized) SESR network.
+  explicit SesrInference(const SesrNetwork& network);
+
+  // Reconstruct from a checkpoint previously written by to_tensor_map().
+  explicit SesrInference(const TensorMap& map);
+
+  // Upscale a (N, H, W, 1) Y-channel tensor to (N, scale*H, scale*W, 1).
+  Tensor upscale(const Tensor& input) const;
+
+  const SesrConfig& config() const { return config_; }
+  std::int64_t parameter_count() const;  // conv weights (+ biases), the paper's P
+  std::string name() const { return config_.describe() + " [collapsed]"; }
+
+  TensorMap to_tensor_map() const;
+
+  const std::vector<CollapsedConv>& convolutions() const { return convs_; }
+
+  // Activation following conv `index` (0 = first conv, ..., m = last middle
+  // conv); PReLU with the stored per-channel slopes, or ReLU for the hardware
+  // variant. Exposed so derived pipelines (e.g. the int8 path) can mirror the
+  // exact float dataflow.
+  Tensor activate(std::size_t index, const Tensor& x) const;
+  // Per-activation PReLU slopes; empty tensors mean ReLU.
+  const std::vector<Tensor>& prelu_alphas() const { return prelu_alpha_; }
+
+ private:
+
+  SesrConfig config_;
+  std::vector<CollapsedConv> convs_;  // first, m middle (residual folded), last
+  std::vector<Tensor> prelu_alpha_;   // per activation; empty tensors when ReLU
+};
+
+}  // namespace sesr::core

@@ -1,0 +1,161 @@
+#include "core/sesr_network.hpp"
+
+#include <stdexcept>
+
+#include "nn/depth_to_space.hpp"
+#include "tensor/tensor_ops.hpp"
+
+namespace sesr::core {
+
+std::string SesrConfig::describe() const {
+  std::string s = "SESR-M" + std::to_string(m);
+  if (f != 16) s = (f == 32 && m == 11) ? "SESR-XL" : s + "-f" + std::to_string(f);
+  s += " (f=" + std::to_string(f) + ", m=" + std::to_string(m) + ", x" + std::to_string(scale) + ")";
+  if (!prelu || !input_residual) s += " [hw]";
+  return s;
+}
+
+namespace {
+SesrConfig base_config(std::int64_t f, std::int64_t m, std::int64_t scale) {
+  SesrConfig c;
+  c.f = f;
+  c.m = m;
+  c.scale = scale;
+  return c;
+}
+}  // namespace
+
+SesrConfig sesr_m3(std::int64_t scale) { return base_config(16, 3, scale); }
+SesrConfig sesr_m5(std::int64_t scale) { return base_config(16, 5, scale); }
+SesrConfig sesr_m7(std::int64_t scale) { return base_config(16, 7, scale); }
+SesrConfig sesr_m11(std::int64_t scale) { return base_config(16, 11, scale); }
+SesrConfig sesr_xl(std::int64_t scale) { return base_config(32, 11, scale); }
+
+SesrConfig hardware_variant(SesrConfig config) {
+  config.prelu = false;
+  config.input_residual = false;
+  return config;
+}
+
+BlockFactory linear_block_factory(std::int64_t expand, BlockMode mode, bool with_bias) {
+  return [expand, mode, with_bias](const BlockSpec& spec, Rng& rng) {
+    LinearBlockConfig c;
+    c.kh = spec.kh;
+    c.kw = spec.kw;
+    c.in_channels = spec.in_channels;
+    c.out_channels = spec.out_channels;
+    c.expand_channels = expand;
+    c.short_residual = spec.short_residual;
+    c.with_bias = with_bias;
+    c.mode = mode;
+    return std::make_unique<LinearBlock>(spec.name, c, rng);
+  };
+}
+
+SesrNetwork::SesrNetwork(const SesrConfig& config, Rng& rng)
+    : SesrNetwork(config, linear_block_factory(config.expand, config.mode, config.with_bias),
+                  rng) {}
+
+SesrNetwork::SesrNetwork(const SesrConfig& config, const BlockFactory& factory, Rng& rng,
+                         std::string variant_label)
+    : config_(config), variant_label_(std::move(variant_label)) {
+  if (config.scale != 2 && config.scale != 4) {
+    throw std::invalid_argument("SesrNetwork: scale must be 2 or 4");
+  }
+  first_ = factory({"first", 5, 5, 1, config.f, /*short_residual=*/false}, rng);
+  for (std::int64_t i = 0; i < config.m; ++i) {
+    blocks_.push_back(factory(
+        {"block" + std::to_string(i), 3, 3, config.f, config.f, config.short_residuals}, rng));
+  }
+  last_ = factory(
+      {"last", 5, 5, config.f, config.output_channels(), /*short_residual=*/false}, rng);
+
+  for (std::int64_t i = 0; i < config.m + 1; ++i) {
+    const std::string act_name = "act" + std::to_string(i);
+    if (config.prelu) {
+      activations_.push_back(std::make_unique<nn::PRelu>(act_name, config.f));
+    } else {
+      activations_.push_back(std::make_unique<nn::Relu>(act_name));
+    }
+  }
+}
+
+Tensor SesrNetwork::apply_activation(std::size_t index, const Tensor& x, bool training) {
+  return activations_.at(index)->forward(x, training);
+}
+
+Tensor SesrNetwork::activation_backward(std::size_t index, const Tensor& grad) {
+  return activations_.at(index)->backward(grad);
+}
+
+Tensor SesrNetwork::forward(const Tensor& input, bool training) {
+  if (input.shape().c() != 1) {
+    throw std::invalid_argument("SesrNetwork: expects a single (Y) input channel");
+  }
+  if (training) cached_input_ = input;
+
+  Tensor feat = apply_activation(0, first_->forward(input, training), training);
+  Tensor skip = feat;  // long blue residual source
+  for (std::size_t i = 0; i < blocks_.size(); ++i) {
+    feat = apply_activation(i + 1, blocks_[i]->forward(feat, training), training);
+  }
+  add_inplace(feat, skip);
+
+  Tensor out = last_->forward(feat, training);
+  if (config_.input_residual) {
+    // Broadcast-add the Y input to every scale^2 output channel.
+    const std::int64_t oc = config_.output_channels();
+    float* po = out.raw();
+    const float* pi = input.raw();
+    const std::int64_t pixels = out.numel() / oc;
+    for (std::int64_t p = 0; p < pixels; ++p) {
+      for (std::int64_t c = 0; c < oc; ++c) po[p * oc + c] += pi[p];
+    }
+  }
+  pre_shuffle_shape_ = out.shape();
+  Tensor y = nn::depth_to_space(out, 2);
+  if (config_.scale == 4) y = nn::depth_to_space(y, 2);
+  return y;
+}
+
+void SesrNetwork::backward(const Tensor& grad_output) {
+  if (cached_input_.empty()) throw std::logic_error("SesrNetwork::backward before forward");
+  Tensor grad = nn::space_to_depth(grad_output, 2);
+  if (config_.scale == 4) grad = nn::space_to_depth(grad, 2);
+  if (grad.shape() != pre_shuffle_shape_) {
+    throw std::logic_error("SesrNetwork::backward: gradient shape mismatch");
+  }
+  // (Input-residual gradient flows to the data, not to any parameter; dropped.)
+  Tensor grad_feat = last_->backward(grad);
+
+  // Long blue residual: the skip source (activation 0 output) receives grad_feat
+  // both through the block chain and directly.
+  Tensor grad_chain = grad_feat;
+  for (std::size_t i = blocks_.size(); i-- > 0;) {
+    grad_chain = blocks_[i]->backward(activation_backward(i + 1, grad_chain));
+  }
+  Tensor grad_skip = add(grad_chain, grad_feat);
+  Tensor grad_first_out = activation_backward(0, grad_skip);
+  first_->backward(grad_first_out);
+}
+
+std::vector<nn::Parameter*> SesrNetwork::parameters() {
+  std::vector<nn::Parameter*> out;
+  for (nn::Parameter* p : first_->parameters()) out.push_back(p);
+  for (auto& b : blocks_) {
+    for (nn::Parameter* p : b->parameters()) out.push_back(p);
+  }
+  for (nn::Parameter* p : last_->parameters()) out.push_back(p);
+  for (auto& a : activations_) {
+    for (nn::Parameter* p : a->parameters()) out.push_back(p);
+  }
+  return out;
+}
+
+std::int64_t SesrNetwork::collapsed_parameter_count() const {
+  std::int64_t p = first_->collapsed_parameter_count() + last_->collapsed_parameter_count();
+  for (const auto& b : blocks_) p += b->collapsed_parameter_count();
+  return p;
+}
+
+}  // namespace sesr::core

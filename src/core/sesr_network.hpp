@@ -1,0 +1,105 @@
+// The SESR network (paper Fig. 2(a) for training, Fig. 2(d) after collapse).
+//
+// Training graph, parameterized by {f, m, scale}:
+//   1. 5x5 linear block, 1 -> f channels, then PReLU.
+//   2. m 3x3 linear blocks f -> f, each with a collapsible short residual,
+//      PReLU *after* the residual addition (so the residual folds, Fig. 2(c)).
+//   3. Long "blue" residual: add the step-1 features to the step-2 output.
+//   4. 5x5 linear block, f -> scale^2 channels (x4 uses 16 = 4^2 with a single
+//      conv and TWO depth-to-space passes — the paper's MAC-saving trick).
+//   5. Long "black" residual: the input Y-channel is added to every output
+//      channel (equivalently: a nearest-neighbor upsample added after shuffle).
+//   6. depth-to-space to (scale*H, scale*W, 1).
+//
+// The hardware-friendly variant of Section 5.5 replaces PReLU with ReLU and
+// drops the black residual (~0.1 dB, buys DRAM traffic on the NPU).
+//
+// Y-channel convention: inputs are (N, H, W, 1) in [0, 1].
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/linear_block.hpp"
+#include "nn/activations.hpp"
+#include "train/model.hpp"
+
+namespace sesr::core {
+
+struct SesrConfig {
+  std::int64_t f = 16;       // feature channels
+  std::int64_t m = 5;        // number of 3x3 linear blocks
+  std::int64_t scale = 2;    // 2 or 4
+  std::int64_t expand = 256; // p inside linear blocks
+  bool prelu = true;             // false = ReLU (hardware variant)
+  bool input_residual = true;    // false drops the long black residual
+  bool short_residuals = true;   // false = ExpandNet-style training (Sec 5.4)
+  bool with_bias = false;        // paper parameter counts are bias-free
+  BlockMode mode = BlockMode::kCollapsedForward;
+
+  std::int64_t output_channels() const { return scale * scale; }
+  std::string describe() const;  // e.g. "SESR-M5 (f=16, m=5, x2)"
+};
+
+// Named configurations from the paper's experiments (Section 5.1).
+SesrConfig sesr_m3(std::int64_t scale = 2);
+SesrConfig sesr_m5(std::int64_t scale = 2);
+SesrConfig sesr_m7(std::int64_t scale = 2);
+SesrConfig sesr_m11(std::int64_t scale = 2);
+SesrConfig sesr_xl(std::int64_t scale = 2);
+// Section 5.5 / 5.6 hardware variant: ReLU, no input residual.
+SesrConfig hardware_variant(SesrConfig config);
+
+// Default factory: the paper's collapsible linear blocks with `expand`
+// intermediate channels in the given training mode.
+core::BlockFactory linear_block_factory(std::int64_t expand, BlockMode mode, bool with_bias);
+
+class SesrNetwork final : public train::Model {
+ public:
+  // Builds the network with the paper's linear blocks.
+  SesrNetwork(const SesrConfig& config, Rng& rng);
+  // Builds the same topology with custom blocks (RepVGG / plain-conv baselines).
+  SesrNetwork(const SesrConfig& config, const BlockFactory& factory, Rng& rng,
+              std::string variant_label = {});
+
+  Tensor forward(const Tensor& input, bool training) override;
+  void backward(const Tensor& grad_output) override;
+  std::vector<nn::Parameter*> parameters() override;
+  std::string name() const override {
+    return variant_label_.empty() ? config_.describe() : variant_label_ + " " + config_.describe();
+  }
+
+  const SesrConfig& config() const { return config_; }
+
+  CollapsibleBlock& first_block() { return *first_; }
+  CollapsibleBlock& last_block() { return *last_; }
+  std::vector<std::unique_ptr<CollapsibleBlock>>& middle_blocks() { return blocks_; }
+  const CollapsibleBlock& first_block() const { return *first_; }
+  const CollapsibleBlock& last_block() const { return *last_; }
+  const std::vector<std::unique_ptr<CollapsibleBlock>>& middle_blocks() const { return blocks_; }
+  // Activation i (0 follows the first block; 1 + i follows middle block i).
+  const nn::Layer& activation(std::size_t index) const { return *activations_.at(index); }
+  nn::Layer& activation(std::size_t index) { return *activations_.at(index); }
+
+  // Collapsed parameter count — the paper's P; MACs = H * W * P.
+  std::int64_t collapsed_parameter_count() const;
+
+ private:
+  Tensor apply_activation(std::size_t index, const Tensor& x, bool training);
+  Tensor activation_backward(std::size_t index, const Tensor& grad);
+
+  SesrConfig config_;
+  std::string variant_label_;
+  std::unique_ptr<CollapsibleBlock> first_;
+  std::vector<std::unique_ptr<CollapsibleBlock>> blocks_;
+  std::unique_ptr<CollapsibleBlock> last_;
+  // activations_[0] follows the first block; activations_[1 + i] follows middle block i.
+  std::vector<std::unique_ptr<nn::Layer>> activations_;
+
+  // Forward caches for backward (training mode).
+  Tensor cached_input_;
+  Shape pre_shuffle_shape_{0, 0, 0, 0};
+};
+
+}  // namespace sesr::core

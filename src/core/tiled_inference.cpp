@@ -1,0 +1,76 @@
+#include "core/tiled_inference.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "tensor/tensor_ops.hpp"
+
+namespace sesr::core {
+
+std::int64_t receptive_field_radius(const SesrInference& network) {
+  std::int64_t radius = 0;
+  for (const CollapsedConv& conv : network.convolutions()) {
+    const std::int64_t k = std::max(conv.weight.shape().dim(0), conv.weight.shape().dim(1));
+    radius += (k - 1) / 2;
+  }
+  return radius;
+}
+
+Tensor upscale_tiled(const SesrInference& network, const Tensor& input,
+                     const TilingOptions& options) {
+  const Shape& s = input.shape();
+  if (s.n() != 1 || s.c() != 1) {
+    throw std::invalid_argument("upscale_tiled: expects a (1, H, W, 1) Y image");
+  }
+  if (options.tile_h < 1 || options.tile_w < 1) {
+    throw std::invalid_argument("upscale_tiled: tile dims must be positive");
+  }
+  const std::int64_t halo =
+      options.halo >= 0 ? options.halo : receptive_field_radius(network);
+  const std::int64_t scale = network.config().scale;
+  Tensor out(1, s.h() * scale, s.w() * scale, 1);
+
+  for (std::int64_t y0 = 0; y0 < s.h(); y0 += options.tile_h) {
+    const std::int64_t th = std::min(options.tile_h, s.h() - y0);
+    for (std::int64_t x0 = 0; x0 < s.w(); x0 += options.tile_w) {
+      const std::int64_t tw = std::min(options.tile_w, s.w() - x0);
+      // Halo clamped at the image border: the tile then sees the same zero
+      // padding the full-frame pass would apply there.
+      const std::int64_t hy0 = std::max<std::int64_t>(0, y0 - halo);
+      const std::int64_t hx0 = std::max<std::int64_t>(0, x0 - halo);
+      const std::int64_t hy1 = std::min(s.h(), y0 + th + halo);
+      const std::int64_t hx1 = std::min(s.w(), x0 + tw + halo);
+      Tensor tile = crop_spatial(input, hy0, hx0, hy1 - hy0, hx1 - hx0);
+      Tensor up = network.upscale(tile);
+      Tensor roi = crop_spatial(up, (y0 - hy0) * scale, (x0 - hx0) * scale, th * scale,
+                                tw * scale);
+      // Paste the ROI into the output frame.
+      for (std::int64_t y = 0; y < roi.shape().h(); ++y) {
+        const float* src = roi.raw() + roi.shape().offset(0, y, 0, 0);
+        float* dst = out.raw() + out.shape().offset(0, y0 * scale + y, x0 * scale, 0);
+        std::copy(src, src + roi.shape().w(), dst);
+      }
+    }
+  }
+  return out;
+}
+
+double tiling_compute_overhead(std::int64_t image_h, std::int64_t image_w,
+                               const TilingOptions& options, std::int64_t halo_used) {
+  if (image_h < 1 || image_w < 1) throw std::invalid_argument("tiling_compute_overhead: bad image");
+  double padded_pixels = 0.0;
+  for (std::int64_t y0 = 0; y0 < image_h; y0 += options.tile_h) {
+    const std::int64_t th = std::min(options.tile_h, image_h - y0);
+    for (std::int64_t x0 = 0; x0 < image_w; x0 += options.tile_w) {
+      const std::int64_t tw = std::min(options.tile_w, image_w - x0);
+      const std::int64_t hy0 = std::max<std::int64_t>(0, y0 - halo_used);
+      const std::int64_t hx0 = std::max<std::int64_t>(0, x0 - halo_used);
+      const std::int64_t hy1 = std::min(image_h, y0 + th + halo_used);
+      const std::int64_t hx1 = std::min(image_w, x0 + tw + halo_used);
+      padded_pixels += static_cast<double>((hy1 - hy0) * (hx1 - hx0));
+    }
+  }
+  return padded_pixels / (static_cast<double>(image_h) * static_cast<double>(image_w));
+}
+
+}  // namespace sesr::core

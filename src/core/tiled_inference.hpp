@@ -1,0 +1,39 @@
+// Functional tiled inference (paper Section 5.6, "further optimizations").
+//
+// The NPU study prices tiling analytically; this module actually *runs* it:
+// the LR image is cut into tiles, each tile is padded with a halo of real
+// image pixels covering the network's receptive field, upscaled independently,
+// and the HR tiles are stitched. With halo >= receptive-field radius the
+// stitched result is exactly the full-frame result (a property test asserts
+// this) — the "boundary overhead ... to maintain the functional correctness"
+// the paper mentions. Smaller halos trade exactness for less overlap compute.
+#pragma once
+
+#include <cstdint>
+
+#include "core/sesr_inference.hpp"
+#include "tensor/tensor.hpp"
+
+namespace sesr::core {
+
+struct TilingOptions {
+  std::int64_t tile_h = 64;  // LR tile size (without halo)
+  std::int64_t tile_w = 64;
+  std::int64_t halo = -1;    // -1 = exact (receptive-field radius)
+};
+
+// Receptive-field radius of the collapsed network: sum over convs of
+// (max(kh, kw) - 1) / 2 — the halo needed for exact tiling.
+std::int64_t receptive_field_radius(const SesrInference& network);
+
+// Upscale (1, H, W, 1) tile by tile. Edge tiles clamp the halo at the image
+// border (replicating the full-frame padding behaviour).
+Tensor upscale_tiled(const SesrInference& network, const Tensor& input,
+                     const TilingOptions& options);
+
+// Overhead accounting: total LR pixels convolved (tiles + halos) relative to
+// the untiled H*W — the paper's "boundary overhead" made measurable.
+double tiling_compute_overhead(std::int64_t image_h, std::int64_t image_w,
+                               const TilingOptions& options, std::int64_t halo_used);
+
+}  // namespace sesr::core

@@ -1,0 +1,50 @@
+#include "core/training_macs.hpp"
+
+namespace sesr::core {
+
+namespace {
+// MACs of a conv producing `out_elems` output elements with a kh*kw*in_c kernel.
+std::int64_t conv_macs(std::int64_t out_elems, std::int64_t kh, std::int64_t kw,
+                       std::int64_t in_c) {
+  return out_elems * kh * kw * in_c;
+}
+
+struct BlockDims {
+  std::int64_t k;
+  std::int64_t in_c;
+  std::int64_t out_c;
+};
+
+// Per-pixel expanded cost of a linear block: k x k expansion + 1x1 projection.
+std::int64_t expanded_per_pixel(const BlockDims& b, std::int64_t p) {
+  return b.k * b.k * b.in_c * p + p * b.out_c;
+}
+
+// Algorithm 1 cost for one block: probe (in_c, 2k-1, 2k-1, in_c) -> VALID k x k
+// conv -> (in_c, k, k, p) -> 1x1 -> (in_c, k, k, out_c).
+std::int64_t collapse_cost(const BlockDims& b, std::int64_t p) {
+  const std::int64_t probe_out = b.in_c * b.k * b.k;  // spatial x batch elements
+  return conv_macs(probe_out * p, b.k, b.k, b.in_c) + conv_macs(probe_out * b.out_c, 1, 1, p);
+}
+}  // namespace
+
+TrainingMacReport training_forward_macs(const SesrConfig& config, std::int64_t batch,
+                                        std::int64_t crop_h, std::int64_t crop_w) {
+  const std::int64_t pixels = batch * crop_h * crop_w;
+  const std::int64_t p = config.expand;
+
+  std::vector<BlockDims> blocks;
+  blocks.push_back({5, 1, config.f});
+  for (std::int64_t i = 0; i < config.m; ++i) blocks.push_back({3, config.f, config.f});
+  blocks.push_back({5, config.f, config.output_channels()});
+
+  TrainingMacReport r;
+  for (const BlockDims& b : blocks) {
+    r.expanded_forward_macs += pixels * expanded_per_pixel(b, p);
+    r.collapse_macs += collapse_cost(b, p);
+    r.collapsed_forward_macs += pixels * (b.k * b.k * b.in_c * b.out_c);
+  }
+  return r;
+}
+
+}  // namespace sesr::core

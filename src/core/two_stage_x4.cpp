@@ -1,0 +1,110 @@
+#include "core/two_stage_x4.hpp"
+
+#include <stdexcept>
+
+#include "nn/depth_to_space.hpp"
+#include "tensor/tensor_ops.hpp"
+
+namespace sesr::core {
+
+namespace {
+LinearBlockConfig lb(std::int64_t kh, std::int64_t in_c, std::int64_t expand, std::int64_t out_c,
+                     bool residual) {
+  LinearBlockConfig c;
+  c.kh = c.kw = kh;
+  c.in_channels = in_c;
+  c.expand_channels = expand;
+  c.out_channels = out_c;
+  c.short_residual = residual;
+  c.mode = BlockMode::kCollapsedForward;
+  return c;
+}
+}  // namespace
+
+SesrTwoStageX4::SesrTwoStageX4(std::int64_t f, std::int64_t m, std::int64_t expand, Rng& rng)
+    : f_(f), m_(m) {
+  if (f < 1 || m < 1) throw std::invalid_argument("SesrTwoStageX4: f and m must be >= 1");
+  first_ = std::make_unique<LinearBlock>("first", lb(5, 1, expand, f, false), rng);
+  for (std::int64_t i = 0; i < m; ++i) {
+    blocks_.push_back(
+        std::make_unique<LinearBlock>("block" + std::to_string(i), lb(3, f, expand, f, true), rng));
+  }
+  head1_ = std::make_unique<LinearBlock>("head1", lb(5, f, expand, 4 * f, false), rng);
+  head2_ = std::make_unique<LinearBlock>("head2", lb(5, f, expand, 4, false), rng);
+  for (std::int64_t i = 0; i < m + 1; ++i) {
+    activations_.push_back(std::make_unique<nn::PRelu>("act" + std::to_string(i), f));
+  }
+  activations_.push_back(std::make_unique<nn::PRelu>("act.head", f));  // after first shuffle
+}
+
+Tensor SesrTwoStageX4::forward(const Tensor& input, bool training) {
+  if (input.shape().c() != 1) {
+    throw std::invalid_argument("SesrTwoStageX4: expects a single (Y) input channel");
+  }
+  if (training) cached_input_ = input;
+  Tensor feat = activations_[0]->forward(first_->forward(input, training), training);
+  Tensor skip = feat;
+  for (std::size_t i = 0; i < blocks_.size(); ++i) {
+    feat = activations_[i + 1]->forward(blocks_[i]->forward(feat, training), training);
+  }
+  add_inplace(feat, skip);
+  Tensor up1 = head1_->forward(feat, training);  // (N, H, W, 4f)
+  head1_pre_shuffle_ = up1.shape();
+  Tensor mid = nn::depth_to_space(up1, 2);       // (N, 2H, 2W, f)
+  mid = activations_.back()->forward(mid, training);
+  Tensor up2 = head2_->forward(mid, training);   // (N, 2H, 2W, 4)
+  head2_pre_shuffle_ = up2.shape();
+  return nn::depth_to_space(up2, 2);             // (N, 4H, 4W, 1)
+}
+
+void SesrTwoStageX4::backward(const Tensor& grad_output) {
+  if (cached_input_.empty()) throw std::logic_error("SesrTwoStageX4::backward before forward");
+  Tensor g = nn::space_to_depth(grad_output, 2);
+  if (g.shape() != head2_pre_shuffle_) throw std::logic_error("SesrTwoStageX4: grad shape mismatch");
+  Tensor g_mid = head2_->backward(g);
+  g_mid = activations_.back()->backward(g_mid);
+  Tensor g_up1 = nn::space_to_depth(g_mid, 2);
+  if (g_up1.shape() != head1_pre_shuffle_) {
+    throw std::logic_error("SesrTwoStageX4: head1 grad shape mismatch");
+  }
+  Tensor g_feat = head1_->backward(g_up1);
+  Tensor g_chain = g_feat;
+  for (std::size_t i = blocks_.size(); i-- > 0;) {
+    g_chain = blocks_[i]->backward(activations_[i + 1]->backward(g_chain));
+  }
+  Tensor g_skip = add(g_chain, g_feat);
+  first_->backward(activations_[0]->backward(g_skip));
+}
+
+std::vector<nn::Parameter*> SesrTwoStageX4::parameters() {
+  std::vector<nn::Parameter*> out;
+  for (nn::Parameter* p : first_->parameters()) out.push_back(p);
+  for (auto& b : blocks_) {
+    for (nn::Parameter* p : b->parameters()) out.push_back(p);
+  }
+  for (nn::Parameter* p : head1_->parameters()) out.push_back(p);
+  for (nn::Parameter* p : head2_->parameters()) out.push_back(p);
+  for (auto& a : activations_) {
+    for (nn::Parameter* p : a->parameters()) out.push_back(p);
+  }
+  return out;
+}
+
+std::string SesrTwoStageX4::name() const {
+  return "SESR-M" + std::to_string(m_) + " two-stage-x4 (f=" + std::to_string(f_) + ")";
+}
+
+std::int64_t SesrTwoStageX4::collapsed_parameter_count() const {
+  return first_->collapsed_parameter_count() + m_ * blocks_.front()->collapsed_parameter_count() +
+         head1_->collapsed_parameter_count() + head2_->collapsed_parameter_count();
+}
+
+std::int64_t SesrTwoStageX4::collapsed_macs(std::int64_t lr_h, std::int64_t lr_w) const {
+  const std::int64_t body = first_->collapsed_parameter_count() +
+                            m_ * blocks_.front()->collapsed_parameter_count() +
+                            head1_->collapsed_parameter_count();
+  const std::int64_t stage2 = head2_->collapsed_parameter_count();
+  return lr_h * lr_w * body + (2 * lr_h) * (2 * lr_w) * stage2;
+}
+
+}  // namespace sesr::core

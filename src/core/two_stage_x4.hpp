@@ -1,0 +1,54 @@
+// Two-stage x4 upsampling head — the paper's stated future work.
+//
+// Section 5.2: "This gap [SESR-XL vs large CNNs at x4] can potentially be
+// filled using more channels (f) or extra upsampling convolutions like in
+// prior art. This is left as a future work."
+//
+// This network implements that variant: instead of SESR's single 5x5 -> 16ch
+// conv + double depth-to-space, the head is two [linear block -> shuffle]
+// stages (prior-art style, e.g. TPSR):
+//   body (as SESR)  ->  5x5 LB f -> 4f, d2s(2), PReLU  ->  5x5 LB f -> 4, d2s(2)
+// The second stage runs at 2x resolution, which is exactly the extra MAC cost
+// the paper's one-shot head avoids — bench_ablation_x4head quantifies the
+// quality/MACs trade. The input residual does not apply (no H x W x 16
+// pre-shuffle tensor to add the input to).
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "core/linear_block.hpp"
+#include "nn/activations.hpp"
+#include "train/model.hpp"
+
+namespace sesr::core {
+
+class SesrTwoStageX4 final : public train::Model {
+ public:
+  // f/m/expand as in SesrConfig; always scale 4.
+  SesrTwoStageX4(std::int64_t f, std::int64_t m, std::int64_t expand, Rng& rng);
+
+  Tensor forward(const Tensor& input, bool training) override;
+  void backward(const Tensor& grad_output) override;
+  std::vector<nn::Parameter*> parameters() override;
+  std::string name() const override;
+
+  // Parameters of the collapsed deployment form.
+  std::int64_t collapsed_parameter_count() const;
+  // MACs for one (lr_h x lr_w) frame: body at 1x, second head stage at 2x.
+  std::int64_t collapsed_macs(std::int64_t lr_h, std::int64_t lr_w) const;
+
+ private:
+  std::int64_t f_;
+  std::int64_t m_;
+  std::unique_ptr<LinearBlock> first_;
+  std::vector<std::unique_ptr<LinearBlock>> blocks_;
+  std::unique_ptr<LinearBlock> head1_;  // f -> 4f (shuffles to f at 2x)
+  std::unique_ptr<LinearBlock> head2_;  // f -> 4  (shuffles to 1 at 4x)
+  std::vector<std::unique_ptr<nn::PRelu>> activations_;  // m+1 body + 1 head
+  Tensor cached_input_;
+  Shape head1_pre_shuffle_{0, 0, 0, 0};
+  Shape head2_pre_shuffle_{0, 0, 0, 0};
+};
+
+}  // namespace sesr::core

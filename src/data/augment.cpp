@@ -1,0 +1,78 @@
+#include "data/augment.hpp"
+
+#include <stdexcept>
+
+namespace sesr::data {
+
+namespace {
+Tensor flip_h(const Tensor& t) {
+  const Shape& s = t.shape();
+  Tensor out(s);
+  for (std::int64_t n = 0; n < s.n(); ++n) {
+    for (std::int64_t y = 0; y < s.h(); ++y) {
+      for (std::int64_t x = 0; x < s.w(); ++x) {
+        for (std::int64_t c = 0; c < s.c(); ++c) {
+          out(n, y, s.w() - 1 - x, c) = t(n, y, x, c);
+        }
+      }
+    }
+  }
+  return out;
+}
+
+Tensor flip_v(const Tensor& t) {
+  const Shape& s = t.shape();
+  Tensor out(s);
+  for (std::int64_t n = 0; n < s.n(); ++n) {
+    for (std::int64_t y = 0; y < s.h(); ++y) {
+      for (std::int64_t x = 0; x < s.w(); ++x) {
+        for (std::int64_t c = 0; c < s.c(); ++c) {
+          out(n, s.h() - 1 - y, x, c) = t(n, y, x, c);
+        }
+      }
+    }
+  }
+  return out;
+}
+
+Tensor transpose_hw(const Tensor& t) {
+  const Shape& s = t.shape();
+  Tensor out(s.n(), s.w(), s.h(), s.c());
+  for (std::int64_t n = 0; n < s.n(); ++n) {
+    for (std::int64_t y = 0; y < s.h(); ++y) {
+      for (std::int64_t x = 0; x < s.w(); ++x) {
+        for (std::int64_t c = 0; c < s.c(); ++c) {
+          out(n, x, y, c) = t(n, y, x, c);
+        }
+      }
+    }
+  }
+  return out;
+}
+}  // namespace
+
+Tensor dihedral_transform(const Tensor& image, int index) {
+  if (index < 0 || index > 7) throw std::invalid_argument("dihedral_transform: index in [0, 7]");
+  Tensor out = image;
+  if ((index & 1) != 0) out = flip_h(out);
+  if ((index & 2) != 0) out = flip_v(out);
+  if ((index & 4) != 0) out = transpose_hw(out);
+  return out;
+}
+
+Tensor dihedral_inverse(const Tensor& image, int index) {
+  if (index < 0 || index > 7) throw std::invalid_argument("dihedral_inverse: index in [0, 7]");
+  // Apply the component inverses in reverse order (each is an involution).
+  Tensor out = image;
+  if ((index & 4) != 0) out = transpose_hw(out);
+  if ((index & 2) != 0) out = flip_v(out);
+  if ((index & 1) != 0) out = flip_h(out);
+  return out;
+}
+
+std::pair<Tensor, Tensor> augment_pair(const Tensor& lr, const Tensor& hr, Rng& rng) {
+  const int index = static_cast<int>(rng.uniform_int(0, 7));
+  return {dihedral_transform(lr, index), dihedral_transform(hr, index)};
+}
+
+}  // namespace sesr::data

@@ -1,0 +1,24 @@
+// Geometric data augmentation — the standard SISR training protocol
+// (horizontal/vertical flips and 90-degree rotations give the 8-element
+// dihedral group; applied identically to the LR/HR pair so the mapping stays
+// consistent).
+#pragma once
+
+#include <cstdint>
+#include <utility>
+
+#include "tensor/rng.hpp"
+#include "tensor/tensor.hpp"
+
+namespace sesr::data {
+
+// The dihedral-4 transforms, indexed 0..7:
+//   bit 0: horizontal flip, bit 1: vertical flip, bit 2: transpose (rot90).
+Tensor dihedral_transform(const Tensor& image, int index);
+// Inverse transform (for self-ensemble inference: transform, upscale, undo).
+Tensor dihedral_inverse(const Tensor& image, int index);
+
+// Apply the same random dihedral transform to an LR/HR pair.
+std::pair<Tensor, Tensor> augment_pair(const Tensor& lr, const Tensor& hr, Rng& rng);
+
+}  // namespace sesr::data

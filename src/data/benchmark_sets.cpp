@@ -1,0 +1,55 @@
+#include "data/benchmark_sets.hpp"
+
+#include <stdexcept>
+
+namespace sesr::data {
+
+namespace {
+struct SetSpec {
+  const char* name;
+  ImageFamily family;
+  std::int64_t full_count;
+  std::int64_t reduced_count;
+  std::uint64_t seed;
+};
+
+constexpr std::array<SetSpec, 6> kSpecs{{
+    {"Set5", ImageFamily::kObjects, 5, 3, 0x5e75'0005},
+    {"Set14", ImageFamily::kObjects, 14, 4, 0x5e75'0014},
+    {"BSD100", ImageFamily::kNatural, 24, 4, 0x5e75'0100},
+    {"Urban100", ImageFamily::kUrban, 24, 4, 0x5e75'0101},
+    {"Manga109", ImageFamily::kLineArt, 24, 4, 0x5e75'0109},
+    {"DIV2K", ImageFamily::kNatural, 20, 4, 0x5e75'2000},
+}};
+
+BenchmarkSet build(const SetSpec& spec, std::int64_t image_size, bool reduced) {
+  if (image_size < 32 || image_size % 4 != 0) {
+    throw std::invalid_argument("make_benchmark_sets: image_size must be >= 32, divisible by 4");
+  }
+  Rng rng(spec.seed);
+  BenchmarkSet set;
+  set.name = spec.name;
+  const std::int64_t count = reduced ? spec.reduced_count : spec.full_count;
+  set.hr.reserve(static_cast<std::size_t>(count));
+  for (std::int64_t i = 0; i < count; ++i) {
+    set.hr.push_back(synthesize_image(spec.family, image_size, image_size, rng));
+  }
+  return set;
+}
+}  // namespace
+
+std::vector<BenchmarkSet> make_benchmark_sets(std::int64_t image_size, bool reduced) {
+  std::vector<BenchmarkSet> sets;
+  sets.reserve(kSpecs.size());
+  for (const SetSpec& spec : kSpecs) sets.push_back(build(spec, image_size, reduced));
+  return sets;
+}
+
+BenchmarkSet make_benchmark_set(const std::string& name, std::int64_t image_size, bool reduced) {
+  for (const SetSpec& spec : kSpecs) {
+    if (name == spec.name) return build(spec, image_size, reduced);
+  }
+  throw std::invalid_argument("make_benchmark_set: unknown set '" + name + "'");
+}
+
+}  // namespace sesr::data

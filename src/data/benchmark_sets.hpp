@@ -1,0 +1,30 @@
+// Synthetic stand-ins for the six evaluation datasets of Tables 1 and 2.
+//
+// Each named set draws from the procedural family that best matches the real
+// set's character, with a fixed per-set seed so every bench and test evaluates
+// on identical images. Image counts are scaled down from the originals (the
+// evaluation plumbing is identical; wall-clock on one core is not).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "data/synthetic.hpp"
+#include "tensor/tensor.hpp"
+
+namespace sesr::data {
+
+struct BenchmarkSet {
+  std::string name;        // "Set5", "Set14", "BSD100", "Urban100", "Manga109", "DIV2K"
+  std::vector<Tensor> hr;  // (1, H, W, 1) Y-channel images, dims divisible by 4
+};
+
+// All six sets. `image_size` is the HR edge length (divisible by 4);
+// `reduced` shrinks per-set image counts for fast CI runs.
+std::vector<BenchmarkSet> make_benchmark_sets(std::int64_t image_size, bool reduced);
+
+// One set by name (throws on unknown name).
+BenchmarkSet make_benchmark_set(const std::string& name, std::int64_t image_size, bool reduced);
+
+}  // namespace sesr::data

@@ -1,0 +1,65 @@
+#include "data/color.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace sesr::data {
+
+namespace {
+void check_rgb(const Tensor& t, const char* op) {
+  if (t.shape().c() != 3) {
+    throw std::invalid_argument(std::string(op) + ": expects 3 channels, got " +
+                                t.shape().to_string());
+  }
+}
+}  // namespace
+
+Tensor rgb_to_ycbcr(const Tensor& rgb) {
+  check_rgb(rgb, "rgb_to_ycbcr");
+  Tensor out(rgb.shape());
+  const float* p = rgb.raw();
+  float* q = out.raw();
+  const std::int64_t pixels = rgb.numel() / 3;
+  for (std::int64_t i = 0; i < pixels; ++i) {
+    const float r = p[i * 3 + 0];
+    const float g = p[i * 3 + 1];
+    const float b = p[i * 3 + 2];
+    q[i * 3 + 0] = 0.299F * r + 0.587F * g + 0.114F * b;
+    q[i * 3 + 1] = 0.5F - 0.168736F * r - 0.331264F * g + 0.5F * b;
+    q[i * 3 + 2] = 0.5F + 0.5F * r - 0.418688F * g - 0.081312F * b;
+  }
+  return out;
+}
+
+Tensor ycbcr_to_rgb(const Tensor& ycbcr) {
+  check_rgb(ycbcr, "ycbcr_to_rgb");
+  Tensor out(ycbcr.shape());
+  const float* p = ycbcr.raw();
+  float* q = out.raw();
+  const std::int64_t pixels = ycbcr.numel() / 3;
+  for (std::int64_t i = 0; i < pixels; ++i) {
+    const float y = p[i * 3 + 0];
+    const float cb = p[i * 3 + 1] - 0.5F;
+    const float cr = p[i * 3 + 2] - 0.5F;
+    q[i * 3 + 0] = std::clamp(y + 1.402F * cr, 0.0F, 1.0F);
+    q[i * 3 + 1] = std::clamp(y - 0.344136F * cb - 0.714136F * cr, 0.0F, 1.0F);
+    q[i * 3 + 2] = std::clamp(y + 1.772F * cb, 0.0F, 1.0F);
+  }
+  return out;
+}
+
+Tensor extract_y(const Tensor& image) {
+  if (image.shape().c() == 1) return image;
+  check_rgb(image, "extract_y");
+  const Shape& s = image.shape();
+  Tensor out(s.n(), s.h(), s.w(), 1);
+  const float* p = image.raw();
+  float* q = out.raw();
+  const std::int64_t pixels = image.numel() / 3;
+  for (std::int64_t i = 0; i < pixels; ++i) {
+    q[i] = 0.299F * p[i * 3 + 0] + 0.587F * p[i * 3 + 1] + 0.114F * p[i * 3 + 2];
+  }
+  return out;
+}
+
+}  // namespace sesr::data

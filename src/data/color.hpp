@@ -1,0 +1,19 @@
+// RGB <-> YCbCr conversion (ITU-R BT.601, the convention SISR papers use).
+//
+// Following standard practice (paper footnote 1), super resolution runs on the
+// Y channel only; PSNR/SSIM are computed on Y as well.
+#pragma once
+
+#include "tensor/tensor.hpp"
+
+namespace sesr::data {
+
+// (N, H, W, 3) RGB in [0,1] -> (N, H, W, 3) YCbCr in [0,1] (full-range 601).
+Tensor rgb_to_ycbcr(const Tensor& rgb);
+Tensor ycbcr_to_rgb(const Tensor& ycbcr);
+
+// Extract the luma channel: (N, H, W, 3) -> (N, H, W, 1). Grayscale inputs
+// (C=1) pass through unchanged.
+Tensor extract_y(const Tensor& image);
+
+}  // namespace sesr::data

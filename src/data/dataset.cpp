@@ -1,0 +1,68 @@
+#include "data/dataset.hpp"
+
+#include <stdexcept>
+
+#include "data/resize.hpp"
+#include "tensor/tensor_ops.hpp"
+
+namespace sesr::data {
+
+SrDataset::SrDataset(std::vector<Tensor> hr_images, std::int64_t scale)
+    : hr_(std::move(hr_images)), scale_(scale) {
+  if (hr_.empty()) throw std::invalid_argument("SrDataset: no images");
+  if (scale != 2 && scale != 4) throw std::invalid_argument("SrDataset: scale must be 2 or 4");
+  for (const Tensor& t : hr_) {
+    const Shape& s = t.shape();
+    if (s.n() != 1 || s.c() != 1) {
+      throw std::invalid_argument("SrDataset: images must be (1, H, W, 1), got " + s.to_string());
+    }
+    if (s.h() % scale != 0 || s.w() % scale != 0) {
+      throw std::invalid_argument("SrDataset: image dims must be divisible by scale");
+    }
+  }
+}
+
+SrDataset SrDataset::synthetic_corpus(std::int64_t count, std::int64_t h, std::int64_t w,
+                                      std::int64_t scale, Rng& rng) {
+  if (count < 1) throw std::invalid_argument("synthetic_corpus: count must be >= 1");
+  constexpr std::array<ImageFamily, 4> kFamilies{ImageFamily::kObjects, ImageFamily::kNatural,
+                                                 ImageFamily::kUrban, ImageFamily::kLineArt};
+  std::vector<Tensor> images;
+  images.reserve(static_cast<std::size_t>(count));
+  for (std::int64_t i = 0; i < count; ++i) {
+    images.push_back(synthesize_image(kFamilies[static_cast<std::size_t>(i) % kFamilies.size()],
+                                      h, w, rng));
+  }
+  return SrDataset(std::move(images), scale);
+}
+
+std::pair<Tensor, Tensor> SrDataset::sample_batch(std::int64_t batch, std::int64_t crop,
+                                                  Rng& rng) const {
+  if (batch < 1 || crop < 4) throw std::invalid_argument("sample_batch: bad batch/crop");
+  const std::int64_t hr_crop = crop * scale_;
+  Tensor lr(batch, crop, crop, 1);
+  Tensor hr(batch, hr_crop, hr_crop, 1);
+  for (std::int64_t b = 0; b < batch; ++b) {
+    const Tensor& img = hr_[static_cast<std::size_t>(
+        rng.uniform_int(0, static_cast<std::int64_t>(hr_.size()) - 1))];
+    const Shape& s = img.shape();
+    if (s.h() < hr_crop || s.w() < hr_crop) {
+      throw std::invalid_argument("sample_batch: crop larger than image");
+    }
+    // Align the crop origin to the scale so LR pixels sit on an exact grid.
+    const std::int64_t y0 = rng.uniform_int(0, (s.h() - hr_crop) / scale_) * scale_;
+    const std::int64_t x0 = rng.uniform_int(0, (s.w() - hr_crop) / scale_) * scale_;
+    Tensor hr_patch = crop_spatial(img, y0, x0, hr_crop, hr_crop);
+    Tensor lr_patch = downscale_bicubic(hr_patch, scale_);
+    set_batch(hr, b, hr_patch);
+    set_batch(lr, b, lr_patch);
+  }
+  return {std::move(lr), std::move(hr)};
+}
+
+std::pair<Tensor, Tensor> SrDataset::image_pair(std::size_t index) const {
+  const Tensor& hr = hr_.at(index);
+  return {downscale_bicubic(hr, scale_), hr};
+}
+
+}  // namespace sesr::data

@@ -1,0 +1,43 @@
+// LR/HR pair dataset with random patch sampling — the DIV2K-training stand-in.
+//
+// Holds HR Y-channel images; batches are built by cropping random
+// (crop*scale x crop*scale) HR patches and bicubic-downscaling them to
+// (crop x crop) LR inputs, exactly mirroring the paper's 64x64-crop protocol.
+#pragma once
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "data/synthetic.hpp"
+#include "tensor/rng.hpp"
+#include "tensor/tensor.hpp"
+
+namespace sesr::data {
+
+class SrDataset {
+ public:
+  SrDataset(std::vector<Tensor> hr_images, std::int64_t scale);
+
+  // Builds a training corpus of `count` synthetic images of size (h x w),
+  // drawn from a balanced mix of the four families.
+  static SrDataset synthetic_corpus(std::int64_t count, std::int64_t h, std::int64_t w,
+                                    std::int64_t scale, Rng& rng);
+
+  // Random batch: first = LR (batch, crop, crop, 1), second = HR
+  // (batch, crop*scale, crop*scale, 1).
+  std::pair<Tensor, Tensor> sample_batch(std::int64_t batch, std::int64_t crop, Rng& rng) const;
+
+  // Full-image pair i (LR derived by bicubic downscale).
+  std::pair<Tensor, Tensor> image_pair(std::size_t index) const;
+
+  std::size_t size() const { return hr_.size(); }
+  std::int64_t scale() const { return scale_; }
+  const Tensor& hr_image(std::size_t index) const { return hr_.at(index); }
+
+ private:
+  std::vector<Tensor> hr_;
+  std::int64_t scale_;
+};
+
+}  // namespace sesr::data

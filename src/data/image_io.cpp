@@ -1,0 +1,79 @@
+#include "data/image_io.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <fstream>
+#include <stdexcept>
+#include <vector>
+
+namespace sesr::data {
+
+namespace {
+// Skips whitespace and '#' comments between header fields.
+void skip_separators(std::istream& is) {
+  for (;;) {
+    const int c = is.peek();
+    if (c == '#') {
+      std::string line;
+      std::getline(is, line);
+    } else if (c == ' ' || c == '\t' || c == '\n' || c == '\r') {
+      is.get();
+    } else {
+      return;
+    }
+  }
+}
+
+std::int64_t read_header_int(std::istream& is) {
+  skip_separators(is);
+  std::int64_t v = 0;
+  if (!(is >> v) || v < 0) throw std::runtime_error("read_pnm: malformed header");
+  return v;
+}
+}  // namespace
+
+Tensor read_pnm(const std::string& path) {
+  std::ifstream is(path, std::ios::binary);
+  if (!is) throw std::runtime_error("read_pnm: cannot open " + path);
+  std::string magic;
+  is >> magic;
+  std::int64_t channels = 0;
+  if (magic == "P5") channels = 1;
+  else if (magic == "P6") channels = 3;
+  else throw std::runtime_error("read_pnm: unsupported magic '" + magic + "' in " + path);
+  const std::int64_t w = read_header_int(is);
+  const std::int64_t h = read_header_int(is);
+  const std::int64_t maxval = read_header_int(is);
+  if (w < 1 || h < 1 || maxval < 1 || maxval > 255) {
+    throw std::runtime_error("read_pnm: unsupported dimensions/maxval in " + path);
+  }
+  is.get();  // single whitespace after maxval
+  std::vector<unsigned char> bytes(static_cast<std::size_t>(w * h * channels));
+  is.read(reinterpret_cast<char*>(bytes.data()), static_cast<std::streamsize>(bytes.size()));
+  if (!is) throw std::runtime_error("read_pnm: truncated pixel data in " + path);
+  Tensor img(1, h, w, channels);
+  float* p = img.raw();
+  const float inv = 1.0F / static_cast<float>(maxval);
+  for (std::size_t i = 0; i < bytes.size(); ++i) p[i] = static_cast<float>(bytes[i]) * inv;
+  return img;
+}
+
+void write_pnm(const std::string& path, const Tensor& image) {
+  const Shape& s = image.shape();
+  if (s.n() != 1 || (s.c() != 1 && s.c() != 3)) {
+    throw std::invalid_argument("write_pnm: expects (1, H, W, 1|3), got " + s.to_string());
+  }
+  std::ofstream os(path, std::ios::binary);
+  if (!os) throw std::runtime_error("write_pnm: cannot open " + path);
+  os << (s.c() == 1 ? "P5" : "P6") << '\n' << s.w() << ' ' << s.h() << '\n' << 255 << '\n';
+  std::vector<unsigned char> bytes(static_cast<std::size_t>(image.numel()));
+  const float* p = image.raw();
+  for (std::size_t i = 0; i < bytes.size(); ++i) {
+    const float v = std::clamp(p[i], 0.0F, 1.0F);
+    bytes[i] = static_cast<unsigned char>(std::lround(v * 255.0F));
+  }
+  os.write(reinterpret_cast<const char*>(bytes.data()), static_cast<std::streamsize>(bytes.size()));
+  if (!os) throw std::runtime_error("write_pnm: write failed for " + path);
+}
+
+}  // namespace sesr::data

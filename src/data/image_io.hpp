@@ -1,0 +1,20 @@
+// Image I/O: binary PGM (P5, grayscale) and PPM (P6, RGB), 8-bit.
+//
+// These cover everything the examples need (load a source image, write the
+// upscaled result) without an external codec dependency. Images are exchanged
+// as (1, H, W, C) float tensors in [0, 1].
+#pragma once
+
+#include <string>
+
+#include "tensor/tensor.hpp"
+
+namespace sesr::data {
+
+// Reads a P5 (C=1) or P6 (C=3) file; values scaled to [0, 1].
+Tensor read_pnm(const std::string& path);
+
+// Writes (1, H, W, 1) as P5 or (1, H, W, 3) as P6; values clamped to [0, 1].
+void write_pnm(const std::string& path, const Tensor& image);
+
+}  // namespace sesr::data

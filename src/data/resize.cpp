@@ -1,0 +1,115 @@
+#include "data/resize.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+#include <vector>
+
+namespace sesr::data {
+
+double cubic_kernel(double x) {
+  constexpr double a = -0.5;
+  x = std::fabs(x);
+  if (x < 1.0) return (a + 2.0) * x * x * x - (a + 3.0) * x * x + 1.0;
+  if (x < 2.0) return a * x * x * x - 5.0 * a * x * x + 8.0 * a * x - 4.0 * a;
+  return 0.0;
+}
+
+namespace {
+struct FilterTap {
+  std::int64_t first;           // first source index
+  std::vector<double> weights;  // normalized
+};
+
+// Precompute, for each output coordinate, the contributing source range and
+// weights. `ratio` = in / out; antialiasing widens support when ratio > 1.
+std::vector<FilterTap> build_taps(std::int64_t in_size, std::int64_t out_size) {
+  if (in_size < 1 || out_size < 1) throw std::invalid_argument("resize: empty dimension");
+  const double ratio = static_cast<double>(in_size) / static_cast<double>(out_size);
+  const double support_scale = std::max(1.0, ratio);
+  const double support = 2.0 * support_scale;
+  std::vector<FilterTap> taps(static_cast<std::size_t>(out_size));
+  for (std::int64_t o = 0; o < out_size; ++o) {
+    // Center of output pixel o in input coordinates (pixel-center convention).
+    const double center = (static_cast<double>(o) + 0.5) * ratio - 0.5;
+    const std::int64_t first = static_cast<std::int64_t>(std::floor(center - support + 0.5));
+    const std::int64_t last = static_cast<std::int64_t>(std::floor(center + support + 0.5));
+    FilterTap tap;
+    tap.first = first;
+    tap.weights.reserve(static_cast<std::size_t>(last - first + 1));
+    double total = 0.0;
+    for (std::int64_t i = first; i <= last; ++i) {
+      const double w = cubic_kernel((static_cast<double>(i) - center) / support_scale);
+      tap.weights.push_back(w);
+      total += w;
+    }
+    if (total != 0.0) {
+      for (double& w : tap.weights) w /= total;
+    }
+    taps[static_cast<std::size_t>(o)] = std::move(tap);
+  }
+  return taps;
+}
+
+std::int64_t clamp_index(std::int64_t i, std::int64_t size) {
+  return std::clamp<std::int64_t>(i, 0, size - 1);
+}
+}  // namespace
+
+Tensor resize_bicubic(const Tensor& input, std::int64_t out_h, std::int64_t out_w) {
+  const Shape& s = input.shape();
+  const auto v_taps = build_taps(s.h(), out_h);
+  const auto h_taps = build_taps(s.w(), out_w);
+
+  // Vertical pass: (N, H, W, C) -> (N, out_h, W, C).
+  Tensor mid(s.n(), out_h, s.w(), s.c());
+  for (std::int64_t n = 0; n < s.n(); ++n) {
+    for (std::int64_t oy = 0; oy < out_h; ++oy) {
+      const FilterTap& tap = v_taps[static_cast<std::size_t>(oy)];
+      for (std::int64_t x = 0; x < s.w(); ++x) {
+        for (std::int64_t c = 0; c < s.c(); ++c) {
+          double acc = 0.0;
+          for (std::size_t k = 0; k < tap.weights.size(); ++k) {
+            const std::int64_t iy = clamp_index(tap.first + static_cast<std::int64_t>(k), s.h());
+            acc += tap.weights[k] * input(n, iy, x, c);
+          }
+          mid(n, oy, x, c) = static_cast<float>(acc);
+        }
+      }
+    }
+  }
+
+  // Horizontal pass: (N, out_h, W, C) -> (N, out_h, out_w, C).
+  Tensor out(s.n(), out_h, out_w, s.c());
+  for (std::int64_t n = 0; n < s.n(); ++n) {
+    for (std::int64_t y = 0; y < out_h; ++y) {
+      for (std::int64_t ox = 0; ox < out_w; ++ox) {
+        const FilterTap& tap = h_taps[static_cast<std::size_t>(ox)];
+        for (std::int64_t c = 0; c < s.c(); ++c) {
+          double acc = 0.0;
+          for (std::size_t k = 0; k < tap.weights.size(); ++k) {
+            const std::int64_t ix = clamp_index(tap.first + static_cast<std::int64_t>(k), s.w());
+            acc += tap.weights[k] * mid(n, y, ix, c);
+          }
+          out(n, y, ox, c) = static_cast<float>(acc);
+        }
+      }
+    }
+  }
+  return out;
+}
+
+Tensor upscale_bicubic(const Tensor& input, std::int64_t scale) {
+  if (scale < 1) throw std::invalid_argument("upscale_bicubic: scale must be >= 1");
+  return resize_bicubic(input, input.shape().h() * scale, input.shape().w() * scale);
+}
+
+Tensor downscale_bicubic(const Tensor& input, std::int64_t scale) {
+  const Shape& s = input.shape();
+  if (scale < 1 || s.h() % scale != 0 || s.w() % scale != 0) {
+    throw std::invalid_argument("downscale_bicubic: dims must be divisible by scale");
+  }
+  return resize_bicubic(input, s.h() / scale, s.w() / scale);
+}
+
+}  // namespace sesr::data

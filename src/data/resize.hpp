@@ -1,0 +1,26 @@
+// Bicubic resampling (the "Bicubic" baseline of Tables 1/2 and the LR-image
+// generator for training/eval pairs).
+//
+// Separable convolutional resampler with the Keys cubic kernel (a = -0.5), the
+// same family Matlab's imresize uses. Downscaling applies antialiasing by
+// widening the kernel support by the scale factor — standard SISR practice for
+// generating LR inputs. Edges are handled by clamping (replicate padding).
+#pragma once
+
+#include <cstdint>
+
+#include "tensor/tensor.hpp"
+
+namespace sesr::data {
+
+// Generic resize of an NHWC tensor to (out_h, out_w), any channel count.
+Tensor resize_bicubic(const Tensor& input, std::int64_t out_h, std::int64_t out_w);
+
+// Convenience wrappers for integer scale factors.
+Tensor upscale_bicubic(const Tensor& input, std::int64_t scale);
+Tensor downscale_bicubic(const Tensor& input, std::int64_t scale);
+
+// The Keys cubic interpolation kernel with a = -0.5 (exposed for tests).
+double cubic_kernel(double x);
+
+}  // namespace sesr::data

@@ -1,0 +1,328 @@
+#include "data/synthetic.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+#include <stdexcept>
+#include <vector>
+
+namespace sesr::data {
+
+namespace {
+
+// --- low-level paint helpers (all operate on a (1, H, W, 1) tensor) ---------
+
+void fill_gradient(Tensor& img, Rng& rng) {
+  const Shape& s = img.shape();
+  const float gx = rng.uniform(-0.4F, 0.4F);
+  const float gy = rng.uniform(-0.4F, 0.4F);
+  const float base = rng.uniform(0.2F, 0.8F);
+  for (std::int64_t y = 0; y < s.h(); ++y) {
+    for (std::int64_t x = 0; x < s.w(); ++x) {
+      const float fy = static_cast<float>(y) / static_cast<float>(s.h());
+      const float fx = static_cast<float>(x) / static_cast<float>(s.w());
+      img(0, y, x, 0) = base + gx * fx + gy * fy;
+    }
+  }
+}
+
+void paint_rect(Tensor& img, std::int64_t y0, std::int64_t x0, std::int64_t h, std::int64_t w,
+                float value) {
+  const Shape& s = img.shape();
+  const std::int64_t y1 = std::min(y0 + h, s.h());
+  const std::int64_t x1 = std::min(x0 + w, s.w());
+  for (std::int64_t y = std::max<std::int64_t>(0, y0); y < y1; ++y) {
+    for (std::int64_t x = std::max<std::int64_t>(0, x0); x < x1; ++x) img(0, y, x, 0) = value;
+  }
+}
+
+void paint_ellipse(Tensor& img, double cy, double cx, double ry, double rx, float value) {
+  const Shape& s = img.shape();
+  for (std::int64_t y = 0; y < s.h(); ++y) {
+    for (std::int64_t x = 0; x < s.w(); ++x) {
+      const double dy = (static_cast<double>(y) - cy) / ry;
+      const double dx = (static_cast<double>(x) - cx) / rx;
+      if (dy * dy + dx * dx <= 1.0) img(0, y, x, 0) = value;
+    }
+  }
+}
+
+void paint_line(Tensor& img, double y0, double x0, double y1, double x1, double thickness,
+                float value) {
+  const Shape& s = img.shape();
+  const double len = std::hypot(y1 - y0, x1 - x0);
+  const std::int64_t steps = std::max<std::int64_t>(2, static_cast<std::int64_t>(len * 2.0));
+  const std::int64_t rad = std::max<std::int64_t>(0, static_cast<std::int64_t>(thickness / 2.0));
+  for (std::int64_t i = 0; i <= steps; ++i) {
+    const double t = static_cast<double>(i) / static_cast<double>(steps);
+    const auto py = static_cast<std::int64_t>(y0 + t * (y1 - y0));
+    const auto px = static_cast<std::int64_t>(x0 + t * (x1 - x0));
+    for (std::int64_t dy = -rad; dy <= rad; ++dy) {
+      for (std::int64_t dx = -rad; dx <= rad; ++dx) {
+        const std::int64_t yy = py + dy;
+        const std::int64_t xx = px + dx;
+        if (yy >= 0 && yy < s.h() && xx >= 0 && xx < s.w()) img(0, yy, xx, 0) = value;
+      }
+    }
+  }
+}
+
+void add_grating(Tensor& img, Rng& rng, float amplitude) {
+  const Shape& s = img.shape();
+  const double theta = rng.uniform(0.0F, static_cast<float>(std::numbers::pi));
+  const double freq = rng.uniform(0.05F, 0.35F);  // cycles per pixel (stays below Nyquist/2)
+  const double phase = rng.uniform(0.0F, 6.28F);
+  const double ky = std::sin(theta) * 2.0 * std::numbers::pi * freq;
+  const double kx = std::cos(theta) * 2.0 * std::numbers::pi * freq;
+  for (std::int64_t y = 0; y < s.h(); ++y) {
+    for (std::int64_t x = 0; x < s.w(); ++x) {
+      img(0, y, x, 0) += amplitude * static_cast<float>(std::sin(ky * y + kx * x + phase));
+    }
+  }
+}
+
+void clamp01(Tensor& img) {
+  for (float& v : img.data()) v = std::clamp(v, 0.0F, 1.0F);
+}
+
+// --- families ----------------------------------------------------------------
+
+void paint_objects(Tensor& img, Rng& rng) {
+  const Shape& s = img.shape();
+  const std::int64_t n_objects = rng.uniform_int(4, 9);
+  for (std::int64_t i = 0; i < n_objects; ++i) {
+    const float v = rng.uniform(0.05F, 0.95F);
+    if (rng.bernoulli(0.5)) {
+      paint_ellipse(img, rng.uniform(0.0F, static_cast<float>(s.h())),
+                    rng.uniform(0.0F, static_cast<float>(s.w())),
+                    rng.uniform(3.0F, static_cast<float>(s.h()) / 3.0F),
+                    rng.uniform(3.0F, static_cast<float>(s.w()) / 3.0F), v);
+    } else {
+      paint_rect(img, rng.uniform_int(0, s.h() - 4), rng.uniform_int(0, s.w() - 4),
+                 rng.uniform_int(4, s.h() / 2), rng.uniform_int(4, s.w() / 2), v);
+    }
+  }
+  if (rng.bernoulli(0.7)) add_grating(img, rng, rng.uniform(0.03F, 0.10F));
+}
+
+void paint_natural(Tensor& img, Rng& rng) {
+  img = plasma_noise(img.shape().h(), img.shape().w(), 0.55, rng);
+  add_grating(img, rng, rng.uniform(0.04F, 0.12F));
+  if (rng.bernoulli(0.5)) {
+    // A horizon-like edge: darken everything below a random smooth curve.
+    const Shape& s = img.shape();
+    const double base = rng.uniform(0.3F, 0.7F) * static_cast<double>(s.h());
+    const double amp = rng.uniform(0.0F, 0.15F) * static_cast<double>(s.h());
+    const double freq = rng.uniform(0.5F, 2.0F);
+    const float shade = rng.uniform(0.55F, 0.85F);
+    for (std::int64_t x = 0; x < s.w(); ++x) {
+      const double edge =
+          base + amp * std::sin(freq * 2.0 * std::numbers::pi * x / static_cast<double>(s.w()));
+      for (std::int64_t y = static_cast<std::int64_t>(edge); y < s.h(); ++y) {
+        if (y >= 0) img(0, y, x, 0) *= shade;
+      }
+    }
+  }
+}
+
+void paint_urban(Tensor& img, Rng& rng) {
+  const Shape& s = img.shape();
+  // Buildings: large rectangles with window grids.
+  const std::int64_t n_buildings = rng.uniform_int(2, 4);
+  for (std::int64_t b = 0; b < n_buildings; ++b) {
+    const std::int64_t bw = rng.uniform_int(s.w() / 4, s.w() / 2);
+    const std::int64_t bh = rng.uniform_int(s.h() / 3, (3 * s.h()) / 4);
+    const std::int64_t bx = rng.uniform_int(0, std::max<std::int64_t>(1, s.w() - bw));
+    const std::int64_t by = s.h() - bh;
+    const float wall = rng.uniform(0.25F, 0.75F);
+    paint_rect(img, by, bx, bh, bw, wall);
+    // Window grid.
+    const std::int64_t cell = rng.uniform_int(4, 9);
+    const std::int64_t win = std::max<std::int64_t>(2, cell - 2);
+    const float glass = rng.bernoulli(0.5) ? wall + 0.25F : wall - 0.25F;
+    for (std::int64_t y = by + 2; y + win < by + bh; y += cell) {
+      for (std::int64_t x = bx + 2; x + win < bx + bw; x += cell) {
+        paint_rect(img, y, x, win, win, glass);
+      }
+    }
+  }
+  // A few long straight edges (power lines / railings).
+  const std::int64_t n_lines = rng.uniform_int(1, 4);
+  for (std::int64_t i = 0; i < n_lines; ++i) {
+    paint_line(img, rng.uniform(0.0F, static_cast<float>(s.h())), 0,
+               rng.uniform(0.0F, static_cast<float>(s.h())), static_cast<double>(s.w() - 1), 1.0,
+               rng.uniform(0.0F, 1.0F));
+  }
+}
+
+void paint_line_art(Tensor& img, Rng& rng) {
+  const Shape& s = img.shape();
+  img.fill(rng.uniform(0.85F, 1.0F));  // paper-white background
+  // Flat-fill panels.
+  const std::int64_t n_panels = rng.uniform_int(2, 4);
+  for (std::int64_t i = 0; i < n_panels; ++i) {
+    paint_rect(img, rng.uniform_int(0, s.h() - 8), rng.uniform_int(0, s.w() - 8),
+               rng.uniform_int(8, s.h() / 2), rng.uniform_int(8, s.w() / 2),
+               rng.uniform(0.55F, 0.9F));
+  }
+  // Ink strokes.
+  const std::int64_t n_strokes = rng.uniform_int(6, 14);
+  for (std::int64_t i = 0; i < n_strokes; ++i) {
+    paint_line(img, rng.uniform(0.0F, static_cast<float>(s.h())),
+               rng.uniform(0.0F, static_cast<float>(s.w())),
+               rng.uniform(0.0F, static_cast<float>(s.h())),
+               rng.uniform(0.0F, static_cast<float>(s.w())), rng.uniform(1.0F, 2.5F),
+               rng.uniform(0.0F, 0.15F));
+  }
+  // Halftone dot region (screentone).
+  if (rng.bernoulli(0.8)) {
+    const std::int64_t period = rng.uniform_int(3, 5);
+    const std::int64_t y0 = rng.uniform_int(0, s.h() / 2);
+    const std::int64_t x0 = rng.uniform_int(0, s.w() / 2);
+    const std::int64_t hh = rng.uniform_int(s.h() / 4, s.h() / 2);
+    const std::int64_t ww = rng.uniform_int(s.w() / 4, s.w() / 2);
+    for (std::int64_t y = y0; y < std::min(y0 + hh, s.h()); y += period) {
+      for (std::int64_t x = x0; x < std::min(x0 + ww, s.w()); x += period) {
+        img(0, y, x, 0) = 0.2F;
+      }
+    }
+  }
+}
+
+}  // namespace
+
+Tensor gaussian_blur(const Tensor& input, double sigma) {
+  if (sigma <= 0.0) return input;
+  const std::int64_t radius = std::max<std::int64_t>(1, static_cast<std::int64_t>(sigma * 3.0));
+  std::vector<double> kernel(static_cast<std::size_t>(2 * radius + 1));
+  double total = 0.0;
+  for (std::int64_t i = -radius; i <= radius; ++i) {
+    const double v = std::exp(-0.5 * (static_cast<double>(i) / sigma) * (static_cast<double>(i) / sigma));
+    kernel[static_cast<std::size_t>(i + radius)] = v;
+    total += v;
+  }
+  for (double& v : kernel) v /= total;
+
+  const Shape& s = input.shape();
+  auto reflect = [](std::int64_t i, std::int64_t size) {
+    if (i < 0) i = -i;
+    if (i >= size) i = 2 * size - 2 - i;
+    return std::clamp<std::int64_t>(i, 0, size - 1);
+  };
+  Tensor mid(s);
+  for (std::int64_t n = 0; n < s.n(); ++n) {
+    for (std::int64_t y = 0; y < s.h(); ++y) {
+      for (std::int64_t x = 0; x < s.w(); ++x) {
+        for (std::int64_t c = 0; c < s.c(); ++c) {
+          double acc = 0.0;
+          for (std::int64_t k = -radius; k <= radius; ++k) {
+            acc += kernel[static_cast<std::size_t>(k + radius)] * input(n, reflect(y + k, s.h()), x, c);
+          }
+          mid(n, y, x, c) = static_cast<float>(acc);
+        }
+      }
+    }
+  }
+  Tensor out(s);
+  for (std::int64_t n = 0; n < s.n(); ++n) {
+    for (std::int64_t y = 0; y < s.h(); ++y) {
+      for (std::int64_t x = 0; x < s.w(); ++x) {
+        for (std::int64_t c = 0; c < s.c(); ++c) {
+          double acc = 0.0;
+          for (std::int64_t k = -radius; k <= radius; ++k) {
+            acc += kernel[static_cast<std::size_t>(k + radius)] * mid(n, y, reflect(x + k, s.w()), c);
+          }
+          out(n, y, x, c) = static_cast<float>(acc);
+        }
+      }
+    }
+  }
+  return out;
+}
+
+Tensor plasma_noise(std::int64_t h, std::int64_t w, double roughness, Rng& rng) {
+  if (h < 1 || w < 1) throw std::invalid_argument("plasma_noise: empty image");
+  // Power-of-two-plus-one working grid covering the image.
+  std::int64_t size = 1;
+  while (size < std::max(h, w)) size *= 2;
+  const std::int64_t grid = size + 1;
+  std::vector<double> cell(static_cast<std::size_t>(grid * grid), 0.0);
+  auto at = [&](std::int64_t y, std::int64_t x) -> double& {
+    return cell[static_cast<std::size_t>(y * grid + x)];
+  };
+  at(0, 0) = rng.uniform();
+  at(0, size) = rng.uniform();
+  at(size, 0) = rng.uniform();
+  at(size, size) = rng.uniform();
+  double amp = 0.5;
+  for (std::int64_t step = size; step > 1; step /= 2, amp *= roughness) {
+    const std::int64_t half = step / 2;
+    // Diamond step.
+    for (std::int64_t y = half; y < grid; y += step) {
+      for (std::int64_t x = half; x < grid; x += step) {
+        const double avg = (at(y - half, x - half) + at(y - half, x + half) +
+                            at(y + half, x - half) + at(y + half, x + half)) /
+                           4.0;
+        at(y, x) = avg + amp * (rng.uniform() - 0.5);
+      }
+    }
+    // Square step.
+    for (std::int64_t y = 0; y < grid; y += half) {
+      for (std::int64_t x = (y / half) % 2 == 0 ? half : 0; x < grid; x += step) {
+        double acc = 0.0;
+        int cnt = 0;
+        if (y - half >= 0) { acc += at(y - half, x); ++cnt; }
+        if (y + half < grid) { acc += at(y + half, x); ++cnt; }
+        if (x - half >= 0) { acc += at(y, x - half); ++cnt; }
+        if (x + half < grid) { acc += at(y, x + half); ++cnt; }
+        at(y, x) = acc / cnt + amp * (rng.uniform() - 0.5);
+      }
+    }
+  }
+  // Normalize to [0, 1] over the crop we keep.
+  double lo = 1e30;
+  double hi = -1e30;
+  for (std::int64_t y = 0; y < h; ++y) {
+    for (std::int64_t x = 0; x < w; ++x) {
+      lo = std::min(lo, at(y, x));
+      hi = std::max(hi, at(y, x));
+    }
+  }
+  const double range = hi - lo > 1e-12 ? hi - lo : 1.0;
+  Tensor img(1, h, w, 1);
+  for (std::int64_t y = 0; y < h; ++y) {
+    for (std::int64_t x = 0; x < w; ++x) {
+      img(0, y, x, 0) = static_cast<float>((at(y, x) - lo) / range);
+    }
+  }
+  return img;
+}
+
+Tensor synthesize_image(ImageFamily family, std::int64_t h, std::int64_t w, Rng& rng) {
+  if (h < 16 || w < 16) throw std::invalid_argument("synthesize_image: minimum size is 16x16");
+  Tensor img(1, h, w, 1);
+  fill_gradient(img, rng);
+  switch (family) {
+    case ImageFamily::kObjects: paint_objects(img, rng); break;
+    case ImageFamily::kNatural: paint_natural(img, rng); break;
+    case ImageFamily::kUrban: paint_urban(img, rng); break;
+    case ImageFamily::kLineArt: paint_line_art(img, rng); break;
+  }
+  clamp01(img);
+  // Band-limit: mimics optical antialiasing so x2/x4 downscales stay faithful.
+  img = gaussian_blur(img, 0.6);
+  clamp01(img);
+  return img;
+}
+
+std::string to_string(ImageFamily family) {
+  switch (family) {
+    case ImageFamily::kObjects: return "objects";
+    case ImageFamily::kNatural: return "natural";
+    case ImageFamily::kUrban: return "urban";
+    case ImageFamily::kLineArt: return "line-art";
+  }
+  return "unknown";
+}
+
+}  // namespace sesr::data

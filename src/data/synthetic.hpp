@@ -1,0 +1,41 @@
+// Procedural image synthesis — the stand-in for DIV2K and the six benchmark
+// datasets (see DESIGN.md, substitution table).
+//
+// Each family produces Y-channel images whose statistics mimic the character
+// of one benchmark set: rectilinear structure for Urban100, flat fills + line
+// art + halftone for Manga109, natural multi-scale texture for BSD100/DIV2K,
+// and simple object scenes for Set5/Set14. All content is band-limited by a
+// final small blur so that bicubic-downscaled LR images remain informative —
+// the same property real photographs have — which is what makes the SR task
+// learnable and the PSNR orderings meaningful.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "tensor/rng.hpp"
+#include "tensor/tensor.hpp"
+
+namespace sesr::data {
+
+enum class ImageFamily {
+  kObjects,   // discs/ellipses/rectangles on smooth backgrounds (Set5/Set14)
+  kNatural,   // plasma-noise multi-scale texture + gratings (BSD100/DIV2K)
+  kUrban,     // rectilinear grids, windows, edges (Urban100)
+  kLineArt,   // flat regions, strokes, halftone dots (Manga109)
+};
+
+// One (1, h, w, 1) image in [0, 1].
+Tensor synthesize_image(ImageFamily family, std::int64_t h, std::int64_t w, Rng& rng);
+
+// Gaussian blur with the given sigma (separable, reflect padding); used by the
+// synthesizer for band-limiting and exposed for tests.
+Tensor gaussian_blur(const Tensor& input, double sigma);
+
+// Plasma (midpoint-displacement) noise in [0, 1]; the natural-texture base.
+Tensor plasma_noise(std::int64_t h, std::int64_t w, double roughness, Rng& rng);
+
+std::string to_string(ImageFamily family);
+
+}  // namespace sesr::data

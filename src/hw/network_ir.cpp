@@ -1,0 +1,240 @@
+#include "hw/network_ir.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace sesr::hw {
+
+std::int64_t LayerDesc::out_h() const {
+  switch (kind) {
+    case OpKind::kConvTranspose:
+    case OpKind::kDepthToSpace:
+      return in_h * stride;
+    default:
+      return in_h;
+  }
+}
+
+std::int64_t LayerDesc::out_w() const {
+  switch (kind) {
+    case OpKind::kConvTranspose:
+    case OpKind::kDepthToSpace:
+      return in_w * stride;
+    default:
+      return in_w;
+  }
+}
+
+std::int64_t LayerDesc::macs() const {
+  switch (kind) {
+    case OpKind::kConv:
+      return in_h * in_w * kh * kw * in_c * out_c;
+    case OpKind::kConvTranspose:
+      // Priced per output pixel, like a conv running at HR resolution.
+      return out_h() * out_w() * kh * kw * in_c * out_c;
+    default:
+      return 0;  // activations/shuffles/adds are not MAC work
+  }
+}
+
+std::int64_t LayerDesc::weight_bytes() const {
+  switch (kind) {
+    case OpKind::kConv:
+    case OpKind::kConvTranspose:
+      return kh * kw * in_c * out_c;
+    case OpKind::kActivation:
+      return out_c;  // PReLU slopes at most
+    default:
+      return 0;
+  }
+}
+
+std::int64_t NetworkIr::total_macs() const {
+  std::int64_t total = 0;
+  for (const LayerDesc& l : layers) total += l.macs();
+  return total;
+}
+
+std::int64_t NetworkIr::total_parameters() const {
+  std::int64_t total = 0;
+  for (const LayerDesc& l : layers) {
+    if (l.kind == OpKind::kConv || l.kind == OpKind::kConvTranspose) {
+      total += l.kh * l.kw * l.in_c * l.out_c;
+    }
+  }
+  return total;
+}
+
+NetworkIr NetworkIr::with_input(std::int64_t h, std::int64_t w) const {
+  NetworkIr out = *this;
+  out.input_h = h;
+  out.input_w = w;
+  std::int64_t cur_h = h;
+  std::int64_t cur_w = w;
+  for (LayerDesc& l : out.layers) {
+    l.in_h = cur_h;
+    l.in_w = cur_w;
+    cur_h = l.out_h();
+    cur_w = l.out_w();
+  }
+  return out;
+}
+
+namespace {
+LayerDesc conv(std::string label, std::int64_t h, std::int64_t w, std::int64_t in_c,
+               std::int64_t out_c, std::int64_t kh, std::int64_t kw) {
+  LayerDesc l;
+  l.kind = OpKind::kConv;
+  l.label = std::move(label);
+  l.in_h = h;
+  l.in_w = w;
+  l.in_c = in_c;
+  l.out_c = out_c;
+  l.kh = kh;
+  l.kw = kw;
+  return l;
+}
+
+LayerDesc act(std::string label, std::int64_t h, std::int64_t w, std::int64_t c) {
+  LayerDesc l;
+  l.kind = OpKind::kActivation;
+  l.label = std::move(label);
+  l.in_h = h;
+  l.in_w = w;
+  l.in_c = c;
+  l.out_c = c;
+  return l;
+}
+
+LayerDesc residual(std::string label, std::int64_t h, std::int64_t w, std::int64_t c,
+                   std::int64_t skip_from) {
+  LayerDesc l;
+  l.kind = OpKind::kResidualAdd;
+  l.label = std::move(label);
+  l.in_h = h;
+  l.in_w = w;
+  l.in_c = c;
+  l.out_c = c;
+  l.skip_from = skip_from;
+  return l;
+}
+
+LayerDesc d2s(std::string label, std::int64_t h, std::int64_t w, std::int64_t c,
+              std::int64_t block) {
+  LayerDesc l;
+  l.kind = OpKind::kDepthToSpace;
+  l.label = std::move(label);
+  l.in_h = h;
+  l.in_w = w;
+  l.in_c = c;
+  l.out_c = c / (block * block);
+  l.stride = block;
+  return l;
+}
+}  // namespace
+
+NetworkIr sesr_ir(const core::SesrConfig& config, std::int64_t in_h, std::int64_t in_w) {
+  NetworkIr ir;
+  ir.name = config.describe();
+  ir.input_h = in_h;
+  ir.input_w = in_w;
+  const std::int64_t f = config.f;
+  ir.layers.push_back(conv("first-5x5", in_h, in_w, 1, f, 5, 5));
+  ir.layers.push_back(act("act0", in_h, in_w, f));
+  const std::int64_t skip_src = static_cast<std::int64_t>(ir.layers.size()) - 1;
+  for (std::int64_t i = 0; i < config.m; ++i) {
+    // Collapsed block: short residual already folded into the kernel — one conv.
+    ir.layers.push_back(conv("block" + std::to_string(i), in_h, in_w, f, f, 3, 3));
+    ir.layers.push_back(act("act" + std::to_string(i + 1), in_h, in_w, f));
+  }
+  ir.layers.push_back(residual("long-blue", in_h, in_w, f, skip_src));
+  ir.layers.push_back(conv("last-5x5", in_h, in_w, f, config.output_channels(), 5, 5));
+  if (config.input_residual) {
+    ir.layers.push_back(residual("long-black", in_h, in_w, config.output_channels(), -1));
+  }
+  ir.layers.push_back(d2s("shuffle", in_h, in_w, config.output_channels(), 2));
+  if (config.scale == 4) {
+    ir.layers.push_back(d2s("shuffle2", in_h * 2, in_w * 2, config.output_channels() / 4, 2));
+  }
+  return ir;
+}
+
+NetworkIr fsrcnn_ir(std::int64_t in_h, std::int64_t in_w, std::int64_t scale) {
+  NetworkIr ir;
+  ir.name = "FSRCNN (x" + std::to_string(scale) + ")";
+  ir.input_h = in_h;
+  ir.input_w = in_w;
+  constexpr std::int64_t d = 56;
+  constexpr std::int64_t s = 12;
+  ir.layers.push_back(conv("feature-5x5", in_h, in_w, 1, d, 5, 5));
+  ir.layers.push_back(act("feature.act", in_h, in_w, d));
+  ir.layers.push_back(conv("shrink-1x1", in_h, in_w, d, s, 1, 1));
+  ir.layers.push_back(act("shrink.act", in_h, in_w, s));
+  for (int i = 0; i < 4; ++i) {
+    ir.layers.push_back(conv("map" + std::to_string(i), in_h, in_w, s, s, 3, 3));
+    ir.layers.push_back(act("map" + std::to_string(i) + ".act", in_h, in_w, s));
+  }
+  ir.layers.push_back(conv("expand-1x1", in_h, in_w, s, d, 1, 1));
+  ir.layers.push_back(act("expand.act", in_h, in_w, d));
+  LayerDesc deconv;
+  deconv.kind = OpKind::kConvTranspose;
+  deconv.label = "deconv-9x9";
+  deconv.in_h = in_h;
+  deconv.in_w = in_w;
+  deconv.in_c = d;
+  deconv.out_c = 1;
+  deconv.kh = deconv.kw = 9;
+  deconv.stride = scale;
+  ir.layers.push_back(deconv);
+  return ir;
+}
+
+NetworkIr vdsr_ir(std::int64_t in_h, std::int64_t in_w, std::int64_t scale) {
+  // VDSR runs on the bicubic-upscaled image: all 20 layers at HR resolution.
+  NetworkIr ir;
+  ir.name = "VDSR (x" + std::to_string(scale) + ")";
+  ir.input_h = in_h;
+  ir.input_w = in_w;
+  const std::int64_t h = in_h * scale;
+  const std::int64_t w = in_w * scale;
+  ir.layers.push_back(conv("in-3x3", h, w, 1, 64, 3, 3));
+  ir.layers.push_back(act("act0", h, w, 64));
+  for (int i = 1; i <= 18; ++i) {
+    ir.layers.push_back(conv("mid" + std::to_string(i), h, w, 64, 64, 3, 3));
+    ir.layers.push_back(act("act" + std::to_string(i), h, w, 64));
+  }
+  ir.layers.push_back(conv("out-3x3", h, w, 64, 1, 3, 3));
+  ir.layers.push_back(residual("global", h, w, 1, -1));
+  return ir;
+}
+
+NetworkIr generic_residual_ir(const std::string& name, std::int64_t in_h, std::int64_t in_w,
+                              std::int64_t scale, std::int64_t body_channels,
+                              std::int64_t target_macs) {
+  NetworkIr ir;
+  ir.name = name;
+  ir.input_h = in_h;
+  ir.input_w = in_w;
+  const std::int64_t c = body_channels;
+  ir.layers.push_back(conv("head", in_h, in_w, 1, c, 3, 3));
+  // Subpixel tail: conv to scale^2 channels + shuffle.
+  const std::int64_t tail_macs = in_h * in_w * 3 * 3 * c * scale * scale;
+  const std::int64_t per_body_layer = in_h * in_w * 3 * 3 * c * c;
+  const std::int64_t head_macs = ir.layers.back().macs();
+  const std::int64_t remaining = std::max<std::int64_t>(0, target_macs - head_macs - tail_macs);
+  const std::int64_t n_body =
+      std::max<std::int64_t>(1, (remaining + per_body_layer / 2) / per_body_layer);
+  for (std::int64_t i = 0; i < n_body; ++i) {
+    ir.layers.push_back(conv("body" + std::to_string(i), in_h, in_w, c, c, 3, 3));
+    ir.layers.push_back(act("act" + std::to_string(i), in_h, in_w, c));
+    if (i % 2 == 1) {
+      ir.layers.push_back(residual("skip" + std::to_string(i), in_h, in_w, c,
+                                   static_cast<std::int64_t>(ir.layers.size()) - 5));
+    }
+  }
+  ir.layers.push_back(conv("tail", in_h, in_w, c, scale * scale, 3, 3));
+  ir.layers.push_back(d2s("shuffle", in_h, in_w, scale * scale, scale));
+  return ir;
+}
+
+}  // namespace sesr::hw

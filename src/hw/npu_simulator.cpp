@@ -1,0 +1,128 @@
+#include "hw/npu_simulator.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace sesr::hw {
+
+NpuConfig ethos_n78_like() { return NpuConfig{}; }
+
+namespace {
+
+// Line-buffer bytes a layer needs to consume its input in streaming mode:
+// kh rows of the input tensor.
+std::int64_t line_buffer_bytes(const LayerDesc& l, const NpuConfig& cfg) {
+  const std::int64_t rows = std::max<std::int64_t>(1, l.kh);
+  return static_cast<std::int64_t>(static_cast<double>(rows * l.in_w * l.in_c) *
+                                   cfg.bytes_per_element);
+}
+
+std::int64_t tensor_bytes(std::int64_t elements, const NpuConfig& cfg) {
+  return static_cast<std::int64_t>(static_cast<double>(elements) * cfg.bytes_per_element);
+}
+
+struct Cascade {
+  std::size_t first = 0;
+  std::size_t last = 0;  // inclusive
+};
+
+// Greedy fusion: extend the cascade while the sum of internal boundary line
+// buffers stays within budget. Residual adds and shuffles are always fusable
+// (they add only their own small line buffer).
+std::vector<Cascade> build_cascades(const NetworkIr& ir, const NpuConfig& cfg) {
+  std::vector<Cascade> cascades;
+  std::size_t i = 0;
+  while (i < ir.layers.size()) {
+    Cascade c;
+    c.first = c.last = i;
+    std::int64_t buffers = 0;
+    while (c.last + 1 < ir.layers.size()) {
+      const std::int64_t next_buffer = line_buffer_bytes(ir.layers[c.last + 1], cfg);
+      if (buffers + next_buffer > cfg.cascade_buffer_bytes) break;
+      buffers += next_buffer;
+      ++c.last;
+    }
+    cascades.push_back(c);
+    i = c.last + 1;
+  }
+  return cascades;
+}
+
+}  // namespace
+
+PerfReport simulate(const NetworkIr& ir, const NpuConfig& cfg) {
+  if (ir.layers.empty()) throw std::invalid_argument("simulate: empty network " + ir.name);
+  PerfReport report;
+  report.model = ir.name;
+  report.macs = ir.total_macs();
+
+  const std::vector<Cascade> cascades = build_cascades(ir, cfg);
+  const double bytes_per_ms = cfg.dram_gbps * 1e9 / 1e3;
+  const double macs_per_ms = cfg.macs_per_second() / 1e3;
+
+  // Footprint: network input + output + every cascade-boundary tensor + skips.
+  std::int64_t footprint = tensor_bytes(ir.layers.front().input_elements(), cfg) +
+                           tensor_bytes(ir.layers.back().output_elements(), cfg);
+
+  for (const Cascade& c : cascades) {
+    const LayerDesc& head = ir.layers[c.first];
+    const LayerDesc& tail = ir.layers[c.last];
+    CascadeCost cost;
+    cost.label = head.label + (c.first == c.last ? "" : ".." + tail.label);
+
+    // Input read (with refetch penalty if even this layer alone cannot buffer
+    // its rows), output write, weights.
+    std::int64_t traffic = 0;
+    std::int64_t refetch = 1;
+    if (head.kind == OpKind::kConv || head.kind == OpKind::kConvTranspose) {
+      if (line_buffer_bytes(head, cfg) > cfg.line_buffer_bytes) refetch = head.kh;
+    }
+    traffic += tensor_bytes(head.input_elements(), cfg) * refetch;
+    traffic += tensor_bytes(tail.output_elements(), cfg);
+    if (c.first != 0) {
+      // Boundary tensor also had to be *written* by the previous cascade; that
+      // write is accounted there (as its output), so only reads counted here.
+      footprint += tensor_bytes(head.input_elements(), cfg);
+    }
+    for (std::size_t i = c.first; i <= c.last; ++i) {
+      const LayerDesc& l = ir.layers[i];
+      cost.macs += l.macs();
+      traffic += l.weight_bytes();
+      if (l.kind == OpKind::kResidualAdd) {
+        // Skip tensor: written when produced, read back at the add.
+        const std::int64_t skip = tensor_bytes(l.input_elements(), cfg);
+        traffic += 2 * skip;
+        footprint += skip;
+      }
+    }
+    cost.dram_bytes = traffic;
+    cost.compute_ms = static_cast<double>(cost.macs) / macs_per_ms;
+    cost.dram_ms = static_cast<double>(traffic) / bytes_per_ms;
+    report.runtime_ms += cost.runtime_ms();
+    report.dram_traffic_mb += static_cast<double>(traffic) / 1e6;
+    report.cascades.push_back(std::move(cost));
+  }
+  report.dram_footprint_mb = static_cast<double>(footprint) / 1e6;
+  report.fps = report.runtime_ms > 0.0 ? 1000.0 / report.runtime_ms : 0.0;
+  report.energy_compute_mj = static_cast<double>(report.macs) * cfg.pj_per_mac * 1e-9;
+  report.energy_dram_mj = report.dram_traffic_mb * 1e6 * cfg.pj_per_dram_byte * 1e-9;
+  report.energy_mj = report.energy_compute_mj + report.energy_dram_mj;
+  return report;
+}
+
+TiledReport simulate_tiled(const NetworkIr& full_ir, std::int64_t tile_h, std::int64_t tile_w,
+                           const NpuConfig& cfg, std::int64_t halo) {
+  if (tile_h < 1 || tile_w < 1 || halo < 0) {
+    throw std::invalid_argument("simulate_tiled: bad tile geometry");
+  }
+  TiledReport report;
+  const NetworkIr tile_ir = full_ir.with_input(tile_h + 2 * halo, tile_w + 2 * halo);
+  report.tile = simulate(tile_ir, cfg);
+  report.tile_count = (static_cast<double>(full_ir.input_h) / static_cast<double>(tile_h)) *
+                      (static_cast<double>(full_ir.input_w) / static_cast<double>(tile_w));
+  report.total_runtime_ms = report.tile.runtime_ms * report.tile_count;
+  report.fps = report.total_runtime_ms > 0.0 ? 1000.0 / report.total_runtime_ms : 0.0;
+  return report;
+}
+
+}  // namespace sesr::hw

@@ -1,0 +1,41 @@
+#include "metrics/evaluate.hpp"
+
+#include <stdexcept>
+
+#include "data/resize.hpp"
+#include "metrics/psnr.hpp"
+#include "metrics/ssim.hpp"
+
+namespace sesr::metrics {
+
+QualityScore evaluate_on_set(const Upscaler& upscaler, const data::BenchmarkSet& set,
+                             std::int64_t scale) {
+  if (set.hr.empty()) throw std::invalid_argument("evaluate_on_set: empty set " + set.name);
+  QualityScore score;
+  score.dataset = set.name;
+  for (const Tensor& hr : set.hr) {
+    const Tensor lr = data::downscale_bicubic(hr, scale);
+    const Tensor sr = upscaler(lr);
+    if (sr.shape() != hr.shape()) {
+      throw std::runtime_error("evaluate_on_set: upscaler returned " + sr.shape().to_string() +
+                               ", expected " + hr.shape().to_string());
+    }
+    score.psnr += psnr_shaved(sr, hr, scale);
+    score.ssim += ssim_shaved(sr, hr, scale);
+    ++score.images;
+  }
+  score.psnr /= static_cast<double>(score.images);
+  score.ssim /= static_cast<double>(score.images);
+  return score;
+}
+
+std::vector<QualityScore> evaluate_on_sets(const Upscaler& upscaler,
+                                           const std::vector<data::BenchmarkSet>& sets,
+                                           std::int64_t scale) {
+  std::vector<QualityScore> out;
+  out.reserve(sets.size());
+  for (const data::BenchmarkSet& set : sets) out.push_back(evaluate_on_set(upscaler, set, scale));
+  return out;
+}
+
+}  // namespace sesr::metrics

@@ -1,0 +1,34 @@
+// Dataset-level evaluation: run any upscaler over a benchmark set and report
+// mean PSNR/SSIM with the standard border-shave — the loop behind every
+// quality column reproduced from Tables 1 and 2.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "data/benchmark_sets.hpp"
+#include "tensor/tensor.hpp"
+
+namespace sesr::metrics {
+
+// Maps a (1, h, w, 1) LR image to its (1, h*scale, w*scale, 1) upscale.
+using Upscaler = std::function<Tensor(const Tensor& lr)>;
+
+struct QualityScore {
+  std::string dataset;
+  double psnr = 0.0;
+  double ssim = 0.0;
+  std::int64_t images = 0;
+};
+
+// LR images are derived from the set's HR by bicubic downscale (the standard
+// degradation protocol); PSNR/SSIM are shaved by `scale` pixels per side.
+QualityScore evaluate_on_set(const Upscaler& upscaler, const data::BenchmarkSet& set,
+                             std::int64_t scale);
+
+std::vector<QualityScore> evaluate_on_sets(const Upscaler& upscaler,
+                                           const std::vector<data::BenchmarkSet>& sets,
+                                           std::int64_t scale);
+
+}  // namespace sesr::metrics

@@ -1,0 +1,37 @@
+#include "metrics/psnr.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "tensor/tensor_ops.hpp"
+
+namespace sesr::metrics {
+
+double psnr(const Tensor& a, const Tensor& b) {
+  if (a.shape() != b.shape()) throw std::invalid_argument("psnr: shape mismatch");
+  if (a.numel() == 0) throw std::invalid_argument("psnr: empty tensors");
+  double mse = 0.0;
+  const float* pa = a.raw();
+  const float* pb = b.raw();
+  const std::int64_t n = a.numel();
+  for (std::int64_t i = 0; i < n; ++i) {
+    const double d = static_cast<double>(pa[i]) - pb[i];
+    mse += d * d;
+  }
+  mse /= static_cast<double>(n);
+  if (mse <= 0.0) return 100.0;  // identical images: conventional cap
+  return 10.0 * std::log10(1.0 / mse);
+}
+
+double psnr_shaved(const Tensor& a, const Tensor& b, std::int64_t border) {
+  if (border < 0) throw std::invalid_argument("psnr_shaved: negative border");
+  if (border == 0) return psnr(a, b);
+  const Shape& s = a.shape();
+  if (s.h() <= 2 * border || s.w() <= 2 * border) {
+    throw std::invalid_argument("psnr_shaved: border larger than image");
+  }
+  return psnr(crop_spatial(a, border, border, s.h() - 2 * border, s.w() - 2 * border),
+              crop_spatial(b, border, border, s.h() - 2 * border, s.w() - 2 * border));
+}
+
+}  // namespace sesr::metrics

@@ -1,0 +1,17 @@
+// PSNR on the Y channel with border shaving — the SISR evaluation convention
+// used by the paper (shave `scale` pixels from each border before comparing).
+#pragma once
+
+#include <cstdint>
+
+#include "tensor/tensor.hpp"
+
+namespace sesr::metrics {
+
+// PSNR in dB between two same-shaped tensors with values in [0, 1].
+double psnr(const Tensor& a, const Tensor& b);
+
+// Shave `border` pixels on every side of both images, then PSNR.
+double psnr_shaved(const Tensor& a, const Tensor& b, std::int64_t border);
+
+}  // namespace sesr::metrics

@@ -1,0 +1,21 @@
+#include "metrics/self_ensemble.hpp"
+
+#include "data/augment.hpp"
+#include "tensor/tensor_ops.hpp"
+
+namespace sesr::metrics {
+
+Upscaler self_ensemble(Upscaler base) {
+  return [base = std::move(base)](const Tensor& lr) {
+    Tensor acc;
+    for (int i = 0; i < 8; ++i) {
+      Tensor sr = data::dihedral_inverse(base(data::dihedral_transform(lr, i)), i);
+      if (i == 0) acc = std::move(sr);
+      else add_inplace(acc, sr);
+    }
+    scale_inplace(acc, 1.0F / 8.0F);
+    return acc;
+  };
+}
+
+}  // namespace sesr::metrics

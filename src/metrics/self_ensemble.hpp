@@ -1,0 +1,15 @@
+// Geometric self-ensemble (x8 TTA) — the standard SISR test-time trick:
+// upscale all eight dihedral transforms of the input, undo each transform,
+// and average. Typically worth ~0.1-0.2 dB at 8x the compute; wraps any
+// Upscaler so it composes with collapsed, quantized or tiled inference.
+#pragma once
+
+#include "metrics/evaluate.hpp"
+
+namespace sesr::metrics {
+
+// Returns an upscaler that applies `base` under the 8 dihedral transforms and
+// averages the aligned results.
+Upscaler self_ensemble(Upscaler base);
+
+}  // namespace sesr::metrics

@@ -1,0 +1,92 @@
+#include "metrics/ssim.hpp"
+
+#include <cmath>
+#include <stdexcept>
+#include <vector>
+
+#include "tensor/tensor_ops.hpp"
+
+namespace sesr::metrics {
+
+namespace {
+constexpr std::int64_t kWindow = 11;
+constexpr double kSigma = 1.5;
+constexpr double kK1 = 0.01;
+constexpr double kK2 = 0.03;
+
+std::vector<double> gaussian_window() {
+  std::vector<double> w(kWindow * kWindow);
+  const std::int64_t r = kWindow / 2;
+  double total = 0.0;
+  for (std::int64_t y = -r; y <= r; ++y) {
+    for (std::int64_t x = -r; x <= r; ++x) {
+      const double v = std::exp(-(static_cast<double>(y * y + x * x)) / (2.0 * kSigma * kSigma));
+      w[static_cast<std::size_t>((y + r) * kWindow + (x + r))] = v;
+      total += v;
+    }
+  }
+  for (double& v : w) v /= total;
+  return w;
+}
+}  // namespace
+
+double ssim(const Tensor& a, const Tensor& b) {
+  if (a.shape() != b.shape()) throw std::invalid_argument("ssim: shape mismatch");
+  const Shape& s = a.shape();
+  if (s.h() < kWindow || s.w() < kWindow) {
+    throw std::invalid_argument("ssim: image smaller than the 11x11 window");
+  }
+  static const std::vector<double> window = gaussian_window();
+  constexpr double c1 = (kK1 * 1.0) * (kK1 * 1.0);
+  constexpr double c2 = (kK2 * 1.0) * (kK2 * 1.0);
+  const std::int64_t r = kWindow / 2;
+
+  double total = 0.0;
+  std::int64_t count = 0;
+  for (std::int64_t n = 0; n < s.n(); ++n) {
+    for (std::int64_t c = 0; c < s.c(); ++c) {
+      for (std::int64_t y = r; y < s.h() - r; ++y) {
+        for (std::int64_t x = r; x < s.w() - r; ++x) {
+          double mu_a = 0.0;
+          double mu_b = 0.0;
+          double aa = 0.0;
+          double bb = 0.0;
+          double ab = 0.0;
+          for (std::int64_t dy = -r; dy <= r; ++dy) {
+            for (std::int64_t dx = -r; dx <= r; ++dx) {
+              const double w = window[static_cast<std::size_t>((dy + r) * kWindow + (dx + r))];
+              const double va = a(n, y + dy, x + dx, c);
+              const double vb = b(n, y + dy, x + dx, c);
+              mu_a += w * va;
+              mu_b += w * vb;
+              aa += w * va * va;
+              bb += w * vb * vb;
+              ab += w * va * vb;
+            }
+          }
+          const double var_a = aa - mu_a * mu_a;
+          const double var_b = bb - mu_b * mu_b;
+          const double cov = ab - mu_a * mu_b;
+          const double num = (2.0 * mu_a * mu_b + c1) * (2.0 * cov + c2);
+          const double den = (mu_a * mu_a + mu_b * mu_b + c1) * (var_a + var_b + c2);
+          total += num / den;
+          ++count;
+        }
+      }
+    }
+  }
+  return total / static_cast<double>(count);
+}
+
+double ssim_shaved(const Tensor& a, const Tensor& b, std::int64_t border) {
+  if (border < 0) throw std::invalid_argument("ssim_shaved: negative border");
+  if (border == 0) return ssim(a, b);
+  const Shape& s = a.shape();
+  if (s.h() <= 2 * border || s.w() <= 2 * border) {
+    throw std::invalid_argument("ssim_shaved: border larger than image");
+  }
+  return ssim(crop_spatial(a, border, border, s.h() - 2 * border, s.w() - 2 * border),
+              crop_spatial(b, border, border, s.h() - 2 * border, s.w() - 2 * border));
+}
+
+}  // namespace sesr::metrics

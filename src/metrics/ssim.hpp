@@ -1,0 +1,18 @@
+// SSIM (Wang et al. 2004) with the standard 11x11 Gaussian window,
+// sigma = 1.5, K1 = 0.01, K2 = 0.03 — the configuration behind the SSIM
+// columns of the paper's Tables 1 and 2.
+#pragma once
+
+#include <cstdint>
+
+#include "tensor/tensor.hpp"
+
+namespace sesr::metrics {
+
+// Mean SSIM over valid window positions; inputs in [0, 1], same shapes.
+double ssim(const Tensor& a, const Tensor& b);
+
+// Shave `border` pixels per side first (same convention as psnr_shaved).
+double ssim_shaved(const Tensor& a, const Tensor& b, std::int64_t border);
+
+}  // namespace sesr::metrics

@@ -1,0 +1,30 @@
+#include "metrics/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace sesr::metrics {
+
+SampleStats compute_stats(const std::vector<double>& samples) {
+  if (samples.empty()) throw std::invalid_argument("compute_stats: no samples");
+  SampleStats s;
+  s.count = static_cast<std::int64_t>(samples.size());
+  s.min = samples.front();
+  s.max = samples.front();
+  double total = 0.0;
+  for (const double v : samples) {
+    total += v;
+    s.min = std::min(s.min, v);
+    s.max = std::max(s.max, v);
+  }
+  s.mean = total / static_cast<double>(samples.size());
+  if (samples.size() > 1) {
+    double sq = 0.0;
+    for (const double v : samples) sq += (v - s.mean) * (v - s.mean);
+    s.stddev = std::sqrt(sq / static_cast<double>(samples.size() - 1));
+  }
+  return s;
+}
+
+}  // namespace sesr::metrics

@@ -1,0 +1,21 @@
+// Small-sample statistics for repeated-run studies (the paper's Section 5.5
+// remark that per-model PSNR standard deviation is ~0.02 dB underpins its
+// 0.1-0.2 dB comparisons; bench_seed_variance reproduces the measurement).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace sesr::metrics {
+
+struct SampleStats {
+  double mean = 0.0;
+  double stddev = 0.0;  // sample (n-1) standard deviation
+  double min = 0.0;
+  double max = 0.0;
+  std::int64_t count = 0;
+};
+
+SampleStats compute_stats(const std::vector<double>& samples);
+
+}  // namespace sesr::metrics

@@ -1,0 +1,97 @@
+#include "nas/candidate_network.hpp"
+
+#include <stdexcept>
+
+#include "nn/depth_to_space.hpp"
+#include "tensor/tensor_ops.hpp"
+
+namespace sesr::nas {
+
+namespace {
+core::LinearBlockConfig block_config(const KernelChoice& k, std::int64_t in_c, std::int64_t out_c,
+                                     std::int64_t expand, bool want_residual) {
+  core::LinearBlockConfig c;
+  c.kh = k.kh;
+  c.kw = k.kw;
+  c.in_channels = in_c;
+  c.out_channels = out_c;
+  c.expand_channels = expand;
+  c.short_residual = want_residual && k.odd() && in_c == out_c;
+  c.mode = core::BlockMode::kCollapsedForward;
+  return c;
+}
+}  // namespace
+
+CandidateNetwork::CandidateNetwork(const Genome& genome, std::int64_t expand, Rng& rng)
+    : genome_(genome) {
+  if (genome.scale != 2 && genome.scale != 4) {
+    throw std::invalid_argument("CandidateNetwork: scale must be 2 or 4");
+  }
+  first_ = std::make_unique<core::LinearBlock>(
+      "first", block_config(genome.first, 1, genome.f, expand, /*want_residual=*/false), rng);
+  for (std::size_t i = 0; i < genome.blocks.size(); ++i) {
+    blocks_.push_back(std::make_unique<core::LinearBlock>(
+        "block" + std::to_string(i),
+        block_config(genome.blocks[i], genome.f, genome.f, expand, /*want_residual=*/true), rng));
+  }
+  last_ = std::make_unique<core::LinearBlock>(
+      "last",
+      block_config(genome.last, genome.f, genome.scale * genome.scale, expand,
+                   /*want_residual=*/false),
+      rng);
+  for (std::size_t i = 0; i < genome.blocks.size() + 1; ++i) {
+    activations_.push_back(std::make_unique<nn::PRelu>("act" + std::to_string(i), genome.f));
+  }
+}
+
+Tensor CandidateNetwork::forward(const Tensor& input, bool training) {
+  if (input.shape().c() != 1) {
+    throw std::invalid_argument("CandidateNetwork: expects a single (Y) channel");
+  }
+  if (training) cached_input_ = input;
+  Tensor feat = activations_[0]->forward(first_->forward(input, training), training);
+  Tensor skip = feat;
+  for (std::size_t i = 0; i < blocks_.size(); ++i) {
+    feat = activations_[i + 1]->forward(blocks_[i]->forward(feat, training), training);
+  }
+  add_inplace(feat, skip);
+  Tensor out = last_->forward(feat, training);
+  pre_shuffle_shape_ = out.shape();
+  return nn::depth_to_space(out, genome_.scale);
+}
+
+void CandidateNetwork::backward(const Tensor& grad_output) {
+  if (cached_input_.empty()) throw std::logic_error("CandidateNetwork::backward before forward");
+  Tensor grad = nn::space_to_depth(grad_output, genome_.scale);
+  if (grad.shape() != pre_shuffle_shape_) {
+    throw std::logic_error("CandidateNetwork::backward: gradient shape mismatch");
+  }
+  Tensor grad_feat = last_->backward(grad);
+  Tensor grad_chain = grad_feat;
+  for (std::size_t i = blocks_.size(); i-- > 0;) {
+    grad_chain = blocks_[i]->backward(activations_[i + 1]->backward(grad_chain));
+  }
+  Tensor grad_skip = add(grad_chain, grad_feat);
+  first_->backward(activations_[0]->backward(grad_skip));
+}
+
+std::vector<nn::Parameter*> CandidateNetwork::parameters() {
+  std::vector<nn::Parameter*> out;
+  for (nn::Parameter* p : first_->parameters()) out.push_back(p);
+  for (auto& b : blocks_) {
+    for (nn::Parameter* p : b->parameters()) out.push_back(p);
+  }
+  for (nn::Parameter* p : last_->parameters()) out.push_back(p);
+  for (auto& a : activations_) {
+    for (nn::Parameter* p : a->parameters()) out.push_back(p);
+  }
+  return out;
+}
+
+std::int64_t CandidateNetwork::collapsed_parameter_count() const {
+  std::int64_t p = first_->collapsed_parameter_count() + last_->collapsed_parameter_count();
+  for (const auto& b : blocks_) p += b->collapsed_parameter_count();
+  return p;
+}
+
+}  // namespace sesr::nas

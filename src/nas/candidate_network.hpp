@@ -1,0 +1,45 @@
+// Trainable network decoded from a NAS genome.
+//
+// Same topology contract as SesrNetwork (first block -> m blocks -> last block
+// -> depth-to-space, long blue residual, PReLU after every block) but with
+// per-block kernel shapes from the genome. Blocks with odd x odd kernels carry
+// collapsible short residuals; even/asymmetric blocks run residual-free
+// (Algorithm 2's center-tap constraint). Used as the accuracy oracle during
+// evolutionary search and to verify the found architectures actually train.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "core/linear_block.hpp"
+#include "nas/search_space.hpp"
+#include "nn/activations.hpp"
+#include "train/model.hpp"
+
+namespace sesr::nas {
+
+class CandidateNetwork final : public train::Model {
+ public:
+  // `expand` = p inside the linear blocks (smaller than 256 keeps proxy
+  // training cheap during search).
+  CandidateNetwork(const Genome& genome, std::int64_t expand, Rng& rng);
+
+  Tensor forward(const Tensor& input, bool training) override;
+  void backward(const Tensor& grad_output) override;
+  std::vector<nn::Parameter*> parameters() override;
+  std::string name() const override { return "NAS " + genome_.describe(); }
+
+  const Genome& genome() const { return genome_; }
+  std::int64_t collapsed_parameter_count() const;
+
+ private:
+  Genome genome_;
+  std::unique_ptr<core::LinearBlock> first_;
+  std::vector<std::unique_ptr<core::LinearBlock>> blocks_;
+  std::unique_ptr<core::LinearBlock> last_;
+  std::vector<std::unique_ptr<nn::PRelu>> activations_;
+  Tensor cached_input_;
+  Shape pre_shuffle_shape_{0, 0, 0, 0};
+};
+
+}  // namespace sesr::nas

@@ -1,0 +1,276 @@
+#include "nas/dnas.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "nn/depth_to_space.hpp"
+#include "tensor/tensor_ops.hpp"
+#include "train/loss.hpp"
+#include "train/optimizer.hpp"
+
+namespace sesr::nas {
+
+namespace {
+std::vector<double> softmax(const Tensor& logits) {
+  std::vector<double> p(static_cast<std::size_t>(logits.numel()));
+  double max_logit = logits.raw()[0];
+  for (std::int64_t i = 1; i < logits.numel(); ++i) {
+    max_logit = std::max(max_logit, static_cast<double>(logits.raw()[i]));
+  }
+  double total = 0.0;
+  for (std::size_t i = 0; i < p.size(); ++i) {
+    p[i] = std::exp(static_cast<double>(logits.raw()[i]) - max_logit);
+    total += p[i];
+  }
+  for (double& v : p) v /= total;
+  return p;
+}
+
+// d(loss)/d(theta) from d(loss)/d(p) via the softmax Jacobian.
+void softmax_backward(const std::vector<double>& p, const std::vector<double>& dp,
+                      Tensor& grad_theta) {
+  double inner = 0.0;
+  for (std::size_t i = 0; i < p.size(); ++i) inner += p[i] * dp[i];
+  for (std::size_t i = 0; i < p.size(); ++i) {
+    grad_theta.raw()[i] += static_cast<float>(p[i] * (dp[i] - inner));
+  }
+}
+
+// Latency of one f -> f conv with kernel k at the given geometry.
+double branch_latency(const KernelChoice& k, std::int64_t f, std::int64_t h, std::int64_t w,
+                      const hw::NpuConfig& npu) {
+  hw::NetworkIr ir;
+  ir.name = "branch";
+  ir.input_h = h;
+  ir.input_w = w;
+  hw::LayerDesc l;
+  l.kind = hw::OpKind::kConv;
+  l.label = "conv";
+  l.in_h = h;
+  l.in_w = w;
+  l.in_c = f;
+  l.out_c = f;
+  l.kh = k.kh;
+  l.kw = k.kw;
+  ir.layers.push_back(l);
+  return hw::simulate(ir, npu).runtime_ms;
+}
+
+core::LinearBlockConfig branch_config(const KernelChoice& k, std::int64_t f, std::int64_t expand) {
+  core::LinearBlockConfig c;
+  c.kh = k.kh;
+  c.kw = k.kw;
+  c.in_channels = c.out_channels = f;
+  c.expand_channels = expand;
+  c.short_residual = k.odd();  // collapsible residual where Algorithm 2 allows
+  c.mode = core::BlockMode::kCollapsedForward;
+  return c;
+}
+}  // namespace
+
+DnasSupernet::DnasSupernet(const DnasOptions& options, const hw::NpuConfig& npu, Rng& rng)
+    : options_(options), kernel_menu_(block_kernel_menu()) {
+  if (options.slots < 1) throw std::invalid_argument("DnasSupernet: slots must be >= 1");
+  for (const KernelChoice& k : kernel_menu_) {
+    branch_latency_ms_.push_back(
+        branch_latency(k, options.f, options.latency_h, options.latency_w, npu));
+  }
+  branch_latency_ms_.push_back(0.0);  // skip branch costs nothing
+
+  core::LinearBlockConfig first = branch_config({5, 5}, options.f, options.expand);
+  first.in_channels = 1;
+  first.short_residual = false;
+  first_ = std::make_unique<core::LinearBlock>("first", first, rng);
+  first_act_ = std::make_unique<nn::PRelu>("first.act", options.f);
+
+  for (std::int64_t s = 0; s < options.slots; ++s) {
+    auto slot = std::make_unique<Slot>("slot" + std::to_string(s) + ".theta",
+                                       static_cast<std::int64_t>(branch_count()));
+    for (std::size_t k = 0; k < kernel_menu_.size(); ++k) {
+      slot->branches.push_back(std::make_unique<core::LinearBlock>(
+          "slot" + std::to_string(s) + ".k" + std::to_string(k),
+          branch_config(kernel_menu_[k], options.f, options.expand), rng));
+    }
+    slot->act = std::make_unique<nn::PRelu>("slot" + std::to_string(s) + ".act", options.f);
+    slots_.push_back(std::move(slot));
+  }
+
+  core::LinearBlockConfig last = branch_config({5, 5}, options.f, options.expand);
+  last.out_channels = options.scale * options.scale;
+  last.short_residual = false;
+  last_ = std::make_unique<core::LinearBlock>("last", last, rng);
+}
+
+Tensor DnasSupernet::forward(const Tensor& input, bool training) {
+  if (input.shape().c() != 1) throw std::invalid_argument("DnasSupernet: expects Y input");
+  if (training) cached_input_ = input;
+  Tensor feat = first_act_->forward(first_->forward(input, training), training);
+  Tensor skip = feat;
+  for (auto& slot : slots_) {
+    slot->probs = softmax(slot->theta.value);
+    if (training) {
+      slot->input = feat;
+      slot->branch_outputs.clear();
+    }
+    Tensor mixed = scale(feat, static_cast<float>(slot->probs.back()));  // skip branch
+    for (std::size_t k = 0; k < slot->branches.size(); ++k) {
+      Tensor out = slot->branches[k]->forward(feat, training);
+      axpy_inplace(mixed, out, static_cast<float>(slot->probs[k]));
+      if (training) slot->branch_outputs.push_back(std::move(out));
+    }
+    feat = slot->act->forward(mixed, training);
+  }
+  add_inplace(feat, skip);
+  Tensor out = last_->forward(feat, training);
+  // Input residual (as in SESR).
+  const std::int64_t oc = options_.scale * options_.scale;
+  float* po = out.raw();
+  const float* pi = input.raw();
+  const std::int64_t pixels = out.numel() / oc;
+  for (std::int64_t p = 0; p < pixels; ++p) {
+    for (std::int64_t c = 0; c < oc; ++c) po[p * oc + c] += pi[p];
+  }
+  pre_shuffle_ = out.shape();
+  Tensor y = nn::depth_to_space(out, 2);
+  if (options_.scale == 4) y = nn::depth_to_space(y, 2);
+  return y;
+}
+
+void DnasSupernet::backward(const Tensor& grad_output) {
+  if (cached_input_.empty()) throw std::logic_error("DnasSupernet::backward before forward");
+  Tensor g = nn::space_to_depth(grad_output, 2);
+  if (options_.scale == 4) g = nn::space_to_depth(g, 2);
+  if (g.shape() != pre_shuffle_) throw std::logic_error("DnasSupernet: grad shape mismatch");
+  Tensor g_feat = last_->backward(g);
+  Tensor g_chain = g_feat;  // flows through the slot chain
+  for (std::size_t s = slots_.size(); s-- > 0;) {
+    Slot& slot = *slots_[s];
+    Tensor g_mixed = slot.act->backward(g_chain);
+    // d(loss)/d(p_k) = <g_mixed, branch_k(x)>; skip branch uses x itself.
+    std::vector<double> dp(branch_count(), 0.0);
+    for (std::size_t k = 0; k < slot.branches.size(); ++k) {
+      const float* a = g_mixed.raw();
+      const float* b = slot.branch_outputs[k].raw();
+      double acc = 0.0;
+      for (std::int64_t i = 0; i < g_mixed.numel(); ++i) acc += static_cast<double>(a[i]) * b[i];
+      dp[k] = acc;
+    }
+    {
+      const float* a = g_mixed.raw();
+      const float* b = slot.input.raw();
+      double acc = 0.0;
+      for (std::int64_t i = 0; i < g_mixed.numel(); ++i) acc += static_cast<double>(a[i]) * b[i];
+      dp.back() = acc;
+    }
+    softmax_backward(slot.probs, dp, slot.theta.grad);
+    // Input gradient: skip path + each branch scaled by its probability.
+    Tensor g_in = scale(g_mixed, static_cast<float>(slot.probs.back()));
+    for (std::size_t k = 0; k < slot.branches.size(); ++k) {
+      Tensor gk = slot.branches[k]->backward(scale(g_mixed, static_cast<float>(slot.probs[k])));
+      add_inplace(g_in, gk);
+    }
+    g_chain = std::move(g_in);
+  }
+  Tensor g_skip = add(g_chain, g_feat);  // long blue residual
+  first_->backward(first_act_->backward(g_skip));
+}
+
+std::vector<nn::Parameter*> DnasSupernet::parameters() {
+  std::vector<nn::Parameter*> out;
+  for (nn::Parameter* p : first_->parameters()) out.push_back(p);
+  for (nn::Parameter* p : first_act_->parameters()) out.push_back(p);
+  for (auto& slot : slots_) {
+    for (auto& b : slot->branches) {
+      for (nn::Parameter* p : b->parameters()) out.push_back(p);
+    }
+    for (nn::Parameter* p : slot->act->parameters()) out.push_back(p);
+  }
+  for (nn::Parameter* p : last_->parameters()) out.push_back(p);
+  return out;
+}
+
+std::vector<nn::Parameter*> DnasSupernet::architecture_parameters() {
+  std::vector<nn::Parameter*> out;
+  for (auto& slot : slots_) out.push_back(&slot->theta);
+  return out;
+}
+
+std::vector<double> DnasSupernet::slot_probabilities(std::size_t slot) const {
+  return softmax(slots_.at(slot)->theta.value);
+}
+
+double DnasSupernet::expected_latency_ms() const {
+  double total = 0.0;
+  for (const auto& slot : slots_) {
+    const auto p = softmax(slot->theta.value);
+    for (std::size_t k = 0; k < p.size(); ++k) total += p[k] * branch_latency_ms_[k];
+  }
+  return total;
+}
+
+void DnasSupernet::accumulate_latency_gradients(double lambda) {
+  for (auto& slot : slots_) {
+    const auto p = softmax(slot->theta.value);
+    std::vector<double> dp(p.size());
+    for (std::size_t k = 0; k < p.size(); ++k) dp[k] = lambda * branch_latency_ms_[k];
+    softmax_backward(p, dp, slot->theta.grad);
+  }
+}
+
+Genome DnasSupernet::decode() const {
+  Genome g;
+  g.f = options_.f;
+  g.scale = options_.scale;
+  g.first = {5, 5};
+  g.last = {5, 5};
+  for (const auto& slot : slots_) {
+    const auto p = softmax(slot->theta.value);
+    std::size_t best = 0;
+    for (std::size_t k = 1; k < p.size(); ++k) {
+      if (p[k] > p[best]) best = k;
+    }
+    if (best == p.size() - 1) continue;  // skip branch: slot removed
+    g.blocks.push_back(kernel_menu_[best]);
+  }
+  if (g.blocks.empty()) g.blocks.push_back({3, 3});  // degenerate decode guard
+  return g;
+}
+
+DnasResult dnas_search(const data::SrDataset& dataset, const hw::NpuConfig& npu,
+                       const DnasOptions& options) {
+  Rng rng(options.seed);
+  DnasSupernet supernet(options, npu, rng);
+  train::Adam weight_opt(options.lr);
+  auto weights = supernet.parameters();
+  auto thetas = supernet.architecture_parameters();
+  Rng batch_rng = rng.fork();
+
+  double final_loss = 0.0;
+  for (std::int64_t step = 0; step < options.steps; ++step) {
+    auto [lr_img, hr_img] = dataset.sample_batch(options.batch, options.crop, batch_rng);
+    nn::zero_gradients(weights);
+    nn::zero_gradients(thetas);
+    Tensor y = supernet.forward(lr_img, true);
+    const train::LossResult loss = train::l1_loss(y, hr_img);
+    supernet.backward(loss.grad);
+    if (options.latency_weight > 0.0) {
+      supernet.accumulate_latency_gradients(options.latency_weight);
+    }
+    weight_opt.step(weights);
+    for (nn::Parameter* theta : thetas) {
+      axpy_inplace(theta->value, theta->grad, -options.theta_lr);
+    }
+    final_loss = loss.value;
+  }
+
+  DnasResult result;
+  result.genome = supernet.decode();
+  result.supernet_final_loss = final_loss;
+  result.expected_latency_ms = supernet.expected_latency_ms();
+  result.decoded_latency_ms =
+      hw::simulate(genome_ir(result.genome, options.latency_h, options.latency_w), npu)
+          .runtime_ms;
+  return result;
+}
+
+}  // namespace sesr::nas

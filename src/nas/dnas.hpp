@@ -1,0 +1,108 @@
+// Differentiable NAS over the SESR block space — the paper's actual search
+// method (Section 3.4: "we employ a generic differentiable NAS (DNAS) with
+// appropriate constraints", with a latency term following "standard
+// hardware-aware DNAS practices").
+//
+// Supernet: the SESR topology with `slots` intermediate positions. Every slot
+// holds one collapsible linear block per kernel choice (1x1 ... 3x3, even and
+// asymmetric) PLUS an identity branch ("skip") that lets the search shorten
+// the network — the paper's "skip connection branch ... added in parallel to
+// each collapsible linear block ... to create shortcuts for choosing the
+// number of layers". The slot output is the softmax-weighted sum of branches;
+// architecture parameters theta train jointly with the weights against
+//   L = L1(SR, HR) + lambda * E[latency],
+// where E[latency] = sum_slots sum_k softmax(theta)_k * latency_k with
+// per-branch latencies priced by the NPU simulator — so the constraint is
+// differentiable in theta. Decoding takes the argmax branch per slot (skip
+// branches are dropped), yielding a nas::Genome compatible with the rest of
+// the NAS stack. Width (f) is not relaxed (channel masking is out of scope;
+// the evolutionary searcher covers it) — documented in DESIGN.md.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "core/linear_block.hpp"
+#include "data/dataset.hpp"
+#include "hw/npu_simulator.hpp"
+#include "nas/search_space.hpp"
+#include "nn/activations.hpp"
+#include "train/model.hpp"
+
+namespace sesr::nas {
+
+struct DnasOptions {
+  std::int64_t slots = 5;     // intermediate block positions
+  std::int64_t f = 16;        // fixed channel width
+  std::int64_t expand = 32;   // p inside supernet linear blocks
+  std::int64_t scale = 2;
+  std::int64_t steps = 120;
+  std::int64_t batch = 2;
+  std::int64_t crop = 12;
+  float lr = 2e-3F;           // weight learning rate (Adam)
+  float theta_lr = 5e-2F;     // architecture learning rate (plain SGD)
+  double latency_weight = 0.0;      // lambda; 0 = accuracy-only search
+  std::int64_t latency_h = 200;     // geometry for the per-branch latency table
+  std::int64_t latency_w = 200;
+  std::uint64_t seed = 0xD9A5'0001;
+};
+
+class DnasSupernet final : public train::Model {
+ public:
+  DnasSupernet(const DnasOptions& options, const hw::NpuConfig& npu, Rng& rng);
+
+  Tensor forward(const Tensor& input, bool training) override;
+  void backward(const Tensor& grad_output) override;
+  std::vector<nn::Parameter*> parameters() override;  // weights only
+  std::string name() const override { return "DNAS supernet"; }
+
+  // Architecture parameters (one logit vector per slot).
+  std::vector<nn::Parameter*> architecture_parameters();
+  // Current branch probabilities of a slot (softmax of its logits).
+  std::vector<double> slot_probabilities(std::size_t slot) const;
+  // Expected latency under the current relaxation, and its gradient
+  // accumulation into the theta grads (scaled by lambda).
+  double expected_latency_ms() const;
+  void accumulate_latency_gradients(double lambda);
+
+  // Argmax decode; skip branches shorten the network.
+  Genome decode() const;
+
+  std::size_t branch_count() const { return kernel_menu_.size() + 1; }  // + skip
+
+ private:
+  struct Slot {
+    std::vector<std::unique_ptr<core::LinearBlock>> branches;
+    nn::Parameter theta;
+    std::unique_ptr<nn::PRelu> act;
+    // forward caches
+    std::vector<Tensor> branch_outputs;
+    Tensor input;
+    std::vector<double> probs;
+
+    Slot(std::string name, std::int64_t index) : theta(std::move(name), Tensor(1, 1, 1, index)) {}
+  };
+
+  DnasOptions options_;
+  std::vector<KernelChoice> kernel_menu_;
+  std::vector<double> branch_latency_ms_;  // per kernel choice (+0 for skip)
+  std::unique_ptr<core::LinearBlock> first_;
+  std::unique_ptr<core::LinearBlock> last_;
+  std::unique_ptr<nn::PRelu> first_act_;
+  std::vector<std::unique_ptr<Slot>> slots_;
+  Tensor cached_input_;
+  Shape pre_shuffle_{0, 0, 0, 0};
+};
+
+struct DnasResult {
+  Genome genome;
+  double supernet_final_loss = 0.0;
+  double expected_latency_ms = 0.0;  // of the relaxed supernet at the end
+  double decoded_latency_ms = 0.0;   // of the argmax-decoded network
+};
+
+// Train the supernet on the dataset and decode the architecture.
+DnasResult dnas_search(const data::SrDataset& dataset, const hw::NpuConfig& npu,
+                       const DnasOptions& options);
+
+}  // namespace sesr::nas

@@ -1,0 +1,110 @@
+#include "nas/evolution.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "metrics/psnr.hpp"
+#include "nas/candidate_network.hpp"
+#include "train/trainer.hpp"
+
+namespace sesr::nas {
+
+double candidate_latency_ms(const Genome& genome, const hw::NpuConfig& npu, std::int64_t h,
+                            std::int64_t w) {
+  return hw::simulate(genome_ir(genome, h, w), npu).runtime_ms;
+}
+
+double candidate_proxy_psnr(const Genome& genome, const data::SrDataset& dataset,
+                            const SearchOptions& options, Rng& rng) {
+  CandidateNetwork net(genome, options.proxy_expand, rng);
+  train::Adam adam(options.proxy_lr);
+  train::ConstantLr schedule(options.proxy_lr);
+  train::Trainer trainer(net, adam, schedule, train::l1_loss);
+  Rng batch_rng = rng.fork();
+  train::TrainOptions topts;
+  topts.steps = options.proxy_steps;
+  trainer.run(
+      [&](std::int64_t) {
+        return dataset.sample_batch(options.proxy_batch, options.proxy_crop, batch_rng);
+      },
+      topts);
+
+  double total = 0.0;
+  const auto count =
+      std::min<std::size_t>(static_cast<std::size_t>(options.eval_images), dataset.size());
+  for (std::size_t i = 0; i < count; ++i) {
+    auto [lr_img, hr_img] = dataset.image_pair(i);
+    total += metrics::psnr_shaved(net.predict(lr_img), hr_img, dataset.scale());
+  }
+  return total / static_cast<double>(count);
+}
+
+namespace {
+Evaluated evaluate(const Genome& genome, const data::SrDataset& dataset, const hw::NpuConfig& npu,
+                   const SearchOptions& options, Rng& rng) {
+  Evaluated e;
+  e.genome = genome;
+  e.latency_ms = candidate_latency_ms(genome, npu, options.latency_h, options.latency_w);
+  e.psnr = candidate_proxy_psnr(genome, dataset, options, rng);
+  e.feasible = e.latency_ms <= options.latency_limit_ms;
+  // PSNR with a steep penalty for exceeding the latency budget.
+  const double overrun = std::max(0.0, e.latency_ms / options.latency_limit_ms - 1.0);
+  e.fitness = e.psnr - 50.0 * overrun;
+  return e;
+}
+}  // namespace
+
+SearchResult evolutionary_search(const data::SrDataset& dataset, const hw::NpuConfig& npu,
+                                 const SearchOptions& options) {
+  if (options.latency_limit_ms <= 0.0) {
+    throw std::invalid_argument("evolutionary_search: latency_limit_ms must be > 0");
+  }
+  if (options.population < 2 || options.keep_top < 1 ||
+      options.keep_top >= options.population) {
+    throw std::invalid_argument("evolutionary_search: bad population/keep_top");
+  }
+  Rng rng(options.seed);
+
+  std::vector<Evaluated> population;
+  for (std::int64_t i = 0; i < options.population; ++i) {
+    population.push_back(evaluate(
+        random_genome(dataset.scale(), options.min_depth, options.max_depth, rng), dataset, npu,
+        options, rng));
+  }
+  auto by_fitness = [](const Evaluated& a, const Evaluated& b) { return a.fitness > b.fitness; };
+  std::sort(population.begin(), population.end(), by_fitness);
+
+  SearchResult result;
+  result.best_fitness_per_generation.push_back(population.front().fitness);
+  for (std::int64_t gen = 0; gen < options.generations; ++gen) {
+    std::vector<Evaluated> next(population.begin(), population.begin() + options.keep_top);
+    while (static_cast<std::int64_t>(next.size()) < options.population) {
+      const auto parent = [&]() -> const Genome& {
+        // Tournament of 2 over the current population.
+        const auto a = static_cast<std::size_t>(
+            rng.uniform_int(0, static_cast<std::int64_t>(population.size()) - 1));
+        const auto b = static_cast<std::size_t>(
+            rng.uniform_int(0, static_cast<std::int64_t>(population.size()) - 1));
+        return (population[a].fitness >= population[b].fitness ? population[a] : population[b])
+            .genome;
+      };
+      Genome child = rng.bernoulli(0.4) ? crossover(parent(), parent(), rng) : parent();
+      child = mutate(child, rng, options.min_depth, options.max_depth);
+      child.scale = dataset.scale();
+      next.push_back(evaluate(child, dataset, npu, options, rng));
+    }
+    population = std::move(next);
+    std::sort(population.begin(), population.end(), by_fitness);
+    result.best_fitness_per_generation.push_back(population.front().fitness);
+  }
+
+  // Prefer the best feasible candidate; fall back to best fitness overall.
+  result.best = population.front();
+  for (const Evaluated& e : population) {
+    if (e.feasible && (!result.best.feasible || e.psnr > result.best.psnr)) result.best = e;
+  }
+  result.final_population = std::move(population);
+  return result;
+}
+
+}  // namespace sesr::nas

@@ -1,0 +1,63 @@
+// Latency-constrained evolutionary search over the SESR block space — the
+// reproduction of the paper's "preliminary proof-of-concept" NAS (Section 3.4
+// and 5.6). The paper uses DNAS; the claim we reproduce is that searching the
+// same space (even/asymmetric kernels, widths, depths) under an NPU latency
+// budget yields nets faster than hand-designed SESR at matched quality.
+// See DESIGN.md's substitution table.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "data/dataset.hpp"
+#include "hw/npu_simulator.hpp"
+#include "nas/search_space.hpp"
+
+namespace sesr::nas {
+
+struct SearchOptions {
+  std::int64_t population = 8;
+  std::int64_t generations = 4;
+  std::int64_t keep_top = 3;  // elitism
+  // Latency oracle geometry (paper evaluates 200x200 -> 400x400).
+  std::int64_t latency_h = 200;
+  std::int64_t latency_w = 200;
+  double latency_limit_ms = 0.0;  // required (> 0)
+  // Accuracy oracle (proxy training).
+  std::int64_t proxy_steps = 40;
+  std::int64_t proxy_expand = 64;  // p inside candidate linear blocks
+  std::int64_t proxy_batch = 4;
+  std::int64_t proxy_crop = 16;
+  float proxy_lr = 2e-3F;
+  std::int64_t eval_images = 2;  // PSNR averaged over this many full val images
+  std::int64_t min_depth = 2;
+  std::int64_t max_depth = 10;
+  std::uint64_t seed = 0x9a5'0001;
+};
+
+struct Evaluated {
+  Genome genome;
+  double psnr = 0.0;
+  double latency_ms = 0.0;
+  bool feasible = false;
+  double fitness = 0.0;
+};
+
+struct SearchResult {
+  Evaluated best;                       // best feasible (or least-infeasible)
+  std::vector<Evaluated> final_population;
+  std::vector<double> best_fitness_per_generation;
+};
+
+// Train/val both come from `dataset` (train = random patches, val = the first
+// `eval_images` full images).
+SearchResult evolutionary_search(const data::SrDataset& dataset, const hw::NpuConfig& npu,
+                                 const SearchOptions& options);
+
+// The two oracles, exposed for testing and for pricing reference designs.
+double candidate_latency_ms(const Genome& genome, const hw::NpuConfig& npu, std::int64_t h,
+                            std::int64_t w);
+double candidate_proxy_psnr(const Genome& genome, const data::SrDataset& dataset,
+                            const SearchOptions& options, Rng& rng);
+
+}  // namespace sesr::nas

@@ -1,0 +1,92 @@
+#include "nn/activations.hpp"
+
+#include <stdexcept>
+
+namespace sesr::nn {
+
+Tensor relu(const Tensor& input) {
+  Tensor out(input.shape());
+  const float* pi = input.raw();
+  float* po = out.raw();
+  const std::int64_t n = input.numel();
+  for (std::int64_t i = 0; i < n; ++i) po[i] = pi[i] > 0.0F ? pi[i] : 0.0F;
+  return out;
+}
+
+Tensor relu_backward(const Tensor& input, const Tensor& grad_output) {
+  if (input.shape() != grad_output.shape()) {
+    throw std::invalid_argument("relu_backward: shape mismatch");
+  }
+  Tensor out(input.shape());
+  const float* pi = input.raw();
+  const float* pg = grad_output.raw();
+  float* po = out.raw();
+  const std::int64_t n = input.numel();
+  for (std::int64_t i = 0; i < n; ++i) po[i] = pi[i] > 0.0F ? pg[i] : 0.0F;
+  return out;
+}
+
+Tensor Relu::forward(const Tensor& input, bool training) {
+  if (training) cached_input_ = input;
+  return relu(input);
+}
+
+Tensor Relu::backward(const Tensor& grad_output) {
+  if (cached_input_.empty()) throw std::logic_error("Relu::backward before forward");
+  return relu_backward(cached_input_, grad_output);
+}
+
+PRelu::PRelu(std::string name, std::int64_t channels, float initial_alpha)
+    : name_(std::move(name)), alpha_(name_ + ".alpha", Tensor(1, 1, 1, channels)) {
+  alpha_.value.fill(initial_alpha);
+}
+
+Tensor PRelu::forward(const Tensor& input, bool training) {
+  if (input.shape().c() != alpha_.value.shape().c()) {
+    throw std::invalid_argument("PRelu: channel mismatch");
+  }
+  if (training) cached_input_ = input;
+  Tensor out(input.shape());
+  const float* pi = input.raw();
+  const float* pa = alpha_.value.raw();
+  float* po = out.raw();
+  const std::int64_t c = input.shape().c();
+  const std::int64_t pixels = input.numel() / c;
+  for (std::int64_t i = 0; i < pixels; ++i) {
+    for (std::int64_t ch = 0; ch < c; ++ch) {
+      const float v = pi[i * c + ch];
+      po[i * c + ch] = v > 0.0F ? v : pa[ch] * v;
+    }
+  }
+  return out;
+}
+
+Tensor PRelu::backward(const Tensor& grad_output) {
+  if (cached_input_.empty()) throw std::logic_error("PRelu::backward before forward");
+  if (grad_output.shape() != cached_input_.shape()) {
+    throw std::invalid_argument("PRelu::backward: shape mismatch");
+  }
+  Tensor grad_input(cached_input_.shape());
+  const float* pi = cached_input_.raw();
+  const float* pg = grad_output.raw();
+  const float* pa = alpha_.value.raw();
+  float* pga = alpha_.grad.raw();
+  float* pgi = grad_input.raw();
+  const std::int64_t c = cached_input_.shape().c();
+  const std::int64_t pixels = cached_input_.numel() / c;
+  for (std::int64_t i = 0; i < pixels; ++i) {
+    for (std::int64_t ch = 0; ch < c; ++ch) {
+      const float v = pi[i * c + ch];
+      const float g = pg[i * c + ch];
+      if (v > 0.0F) {
+        pgi[i * c + ch] = g;
+      } else {
+        pgi[i * c + ch] = pa[ch] * g;
+        pga[ch] += v * g;
+      }
+    }
+  }
+  return grad_input;
+}
+
+}  // namespace sesr::nn

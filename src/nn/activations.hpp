@@ -1,0 +1,51 @@
+// Activation layers: ReLU and trainable per-channel PReLU.
+//
+// SESR uses PReLU after each residual addition at training time; the
+// hardware-friendly variant (Section 5.5) swaps PReLU for ReLU.
+#pragma once
+
+#include <string>
+
+#include "nn/layer.hpp"
+#include "tensor/tensor.hpp"
+
+namespace sesr::nn {
+
+// Stateless functional forms.
+Tensor relu(const Tensor& input);
+Tensor relu_backward(const Tensor& input, const Tensor& grad_output);
+
+class Relu final : public Layer {
+ public:
+  explicit Relu(std::string name) : name_(std::move(name)) {}
+
+  Tensor forward(const Tensor& input, bool training) override;
+  Tensor backward(const Tensor& grad_output) override;
+  std::string name() const override { return name_; }
+
+ private:
+  std::string name_;
+  Tensor cached_input_;
+};
+
+// PReLU with one learnable slope per channel: y = x if x > 0 else alpha_c * x.
+class PRelu final : public Layer {
+ public:
+  // alpha initialized to `initial_alpha` (Keras/TF default 0.25 is common for SR).
+  PRelu(std::string name, std::int64_t channels, float initial_alpha = 0.25F);
+
+  Tensor forward(const Tensor& input, bool training) override;
+  Tensor backward(const Tensor& grad_output) override;
+  std::vector<Parameter*> parameters() override { return {&alpha_}; }
+  std::string name() const override { return name_; }
+
+  Parameter& alpha() { return alpha_; }
+  const Parameter& alpha() const { return alpha_; }
+
+ private:
+  std::string name_;
+  Parameter alpha_;  // (1, 1, 1, C)
+  Tensor cached_input_;
+};
+
+}  // namespace sesr::nn

@@ -1,0 +1,195 @@
+#include "nn/conv2d.hpp"
+
+#include <cmath>
+#include <stdexcept>
+#include <vector>
+
+#include "nn/gemm.hpp"
+#include "nn/init.hpp"
+#include "tensor/thread_pool.hpp"
+
+namespace sesr::nn {
+
+namespace {
+void check_weight(const Tensor& weight) {
+  if (!weight.shape().valid()) {
+    throw std::invalid_argument("conv2d: invalid weight shape " + weight.shape().to_string());
+  }
+}
+
+void check_channels(const Tensor& input, const Tensor& weight) {
+  if (input.shape().c() != weight.shape().dim(2)) {
+    throw std::invalid_argument("conv2d: input channels " + std::to_string(input.shape().c()) +
+                                " != weight in_channels " + std::to_string(weight.shape().dim(2)));
+  }
+}
+}  // namespace
+
+ConvGeometry conv_geometry(const Tensor& input, const Tensor& weight, Padding padding,
+                           std::int64_t stride) {
+  check_weight(weight);
+  check_channels(input, weight);
+  const Shape& s = input.shape();
+  const std::int64_t kh = weight.shape().dim(0);
+  const std::int64_t kw = weight.shape().dim(1);
+  if (padding == Padding::kSame) return same_geometry(s.h(), s.w(), s.c(), kh, kw, stride);
+  if (stride != 1) throw std::invalid_argument("conv2d: VALID padding supports stride 1 only");
+  return valid_geometry(s.h(), s.w(), s.c(), kh, kw);
+}
+
+Tensor conv2d(const Tensor& input, const Tensor& weight, Padding padding, std::int64_t stride) {
+  const ConvGeometry g = conv_geometry(input, weight, padding, stride);
+  const std::int64_t out_c = weight.shape().dim(3);
+  Tensor out(input.shape().n(), g.out_h, g.out_w, out_c);
+  const auto process_image = [&](std::int64_t n, std::vector<float>& cols) {
+    im2col(input, n, g, cols.data());
+    // cols [rows x (kh*kw*cin)] * weight [(kh*kw*cin) x out_c] -> out image [rows x out_c]
+    std::span<float> dst(out.raw() + out.shape().offset(n, 0, 0, 0),
+                         static_cast<std::size_t>(g.rows() * out_c));
+    gemm(cols, weight.data(), dst, g.rows(), g.cols(), out_c);
+  };
+  ThreadPool& pool = ThreadPool::global();
+  if (pool.worker_count() > 1 && input.shape().n() > 1) {
+    // Batch images are independent; each worker gets its own im2col buffer.
+    pool.parallel_for(0, input.shape().n(), [&](std::int64_t n) {
+      thread_local std::vector<float> cols;
+      cols.resize(static_cast<std::size_t>(g.rows() * g.cols()));
+      process_image(n, cols);
+    });
+  } else {
+    std::vector<float> cols(static_cast<std::size_t>(g.rows() * g.cols()));
+    for (std::int64_t n = 0; n < input.shape().n(); ++n) process_image(n, cols);
+  }
+  return out;
+}
+
+Tensor conv2d_bias(const Tensor& input, const Tensor& weight, const Tensor& bias, Padding padding,
+                   std::int64_t stride) {
+  const std::int64_t out_c = weight.shape().dim(3);
+  if (bias.numel() != out_c) {
+    throw std::invalid_argument("conv2d_bias: bias numel must equal out_channels");
+  }
+  Tensor out = conv2d(input, weight, padding, stride);
+  float* po = out.raw();
+  const float* pb = bias.raw();
+  const std::int64_t pixels = out.numel() / out_c;
+  for (std::int64_t i = 0; i < pixels; ++i) {
+    for (std::int64_t c = 0; c < out_c; ++c) po[i * out_c + c] += pb[c];
+  }
+  return out;
+}
+
+Tensor conv2d_backward_input(const Tensor& grad_output, const Tensor& weight,
+                             const Shape& input_shape, Padding padding, std::int64_t stride) {
+  check_weight(weight);
+  const std::int64_t out_c = weight.shape().dim(3);
+  if (grad_output.shape().c() != out_c) {
+    throw std::invalid_argument("conv2d_backward_input: grad_output channels mismatch");
+  }
+  Tensor probe(input_shape);  // only the shape is used
+  const ConvGeometry g = conv_geometry(probe, weight, padding, stride);
+  if (g.out_h != grad_output.shape().h() || g.out_w != grad_output.shape().w()) {
+    throw std::invalid_argument("conv2d_backward_input: grad_output spatial dims mismatch");
+  }
+  Tensor grad_input(input_shape);
+  std::vector<float> cols(static_cast<std::size_t>(g.rows() * g.cols()));
+  for (std::int64_t n = 0; n < input_shape.n(); ++n) {
+    // cols = grad_out [rows x out_c] * weight^T [out_c x (kh*kw*cin)]
+    std::span<const float> go(grad_output.raw() + grad_output.shape().offset(n, 0, 0, 0),
+                              static_cast<std::size_t>(g.rows() * out_c));
+    gemm_a_bt(go, weight.data(), cols, g.rows(), out_c, g.cols());
+    col2im_add(cols.data(), g, grad_input, n);
+  }
+  return grad_input;
+}
+
+void conv2d_backward_weight(const Tensor& input, const Tensor& grad_output, Tensor& grad_weight,
+                            Padding padding, std::int64_t stride) {
+  check_weight(grad_weight);
+  check_channels(input, grad_weight);
+  const ConvGeometry g = conv_geometry(input, grad_weight, padding, stride);
+  const std::int64_t out_c = grad_weight.shape().dim(3);
+  if (grad_output.shape().h() != g.out_h || grad_output.shape().w() != g.out_w ||
+      grad_output.shape().c() != out_c || grad_output.shape().n() != input.shape().n()) {
+    throw std::invalid_argument("conv2d_backward_weight: grad_output shape mismatch");
+  }
+  std::vector<float> cols(static_cast<std::size_t>(g.rows() * g.cols()));
+  for (std::int64_t n = 0; n < input.shape().n(); ++n) {
+    im2col(input, n, g, cols.data());
+    // grad_w [(kh*kw*cin) x out_c] += cols^T [cols x rows]^T... i.e. cols^T * grad_out
+    std::span<const float> go(grad_output.raw() + grad_output.shape().offset(n, 0, 0, 0),
+                              static_cast<std::size_t>(g.rows() * out_c));
+    gemm_at_b_accumulate(cols, go, grad_weight.data(), g.cols(), g.rows(), out_c);
+  }
+}
+
+Tensor conv2d_naive(const Tensor& input, const Tensor& weight, Padding padding,
+                    std::int64_t stride) {
+  const ConvGeometry g = conv_geometry(input, weight, padding, stride);
+  const Shape& s = input.shape();
+  const std::int64_t out_c = weight.shape().dim(3);
+  Tensor out(s.n(), g.out_h, g.out_w, out_c);
+  for (std::int64_t n = 0; n < s.n(); ++n) {
+    for (std::int64_t oy = 0; oy < g.out_h; ++oy) {
+      for (std::int64_t ox = 0; ox < g.out_w; ++ox) {
+        for (std::int64_t oc = 0; oc < out_c; ++oc) {
+          double acc = 0.0;
+          for (std::int64_t ky = 0; ky < g.kh; ++ky) {
+            const std::int64_t iy = oy * g.stride - g.pad_top + ky;
+            if (iy < 0 || iy >= s.h()) continue;
+            for (std::int64_t kx = 0; kx < g.kw; ++kx) {
+              const std::int64_t ix = ox * g.stride - g.pad_left + kx;
+              if (ix < 0 || ix >= s.w()) continue;
+              for (std::int64_t ic = 0; ic < s.c(); ++ic) {
+                acc += static_cast<double>(input(n, iy, ix, ic)) * weight(ky, kx, ic, oc);
+              }
+            }
+          }
+          out(n, oy, ox, oc) = static_cast<float>(acc);
+        }
+      }
+    }
+  }
+  return out;
+}
+
+Conv2d::Conv2d(std::string name, std::int64_t kh, std::int64_t kw, std::int64_t in_c,
+               std::int64_t out_c, Padding padding, bool with_bias, Rng& rng, std::int64_t stride)
+    : name_(std::move(name)),
+      padding_(padding),
+      stride_(stride),
+      weight_(name_ + ".weight", glorot_uniform_kernel(kh, kw, in_c, out_c, rng)) {
+  if (with_bias) bias_.emplace(name_ + ".bias", Tensor(1, 1, 1, out_c));
+}
+
+Tensor Conv2d::forward(const Tensor& input, bool training) {
+  if (training) cached_input_ = input;
+  if (bias_) return conv2d_bias(input, weight_.value, bias_->value, padding_, stride_);
+  return conv2d(input, weight_.value, padding_, stride_);
+}
+
+Tensor Conv2d::backward(const Tensor& grad_output) {
+  if (cached_input_.empty()) {
+    throw std::logic_error("Conv2d::backward called without forward(training=true)");
+  }
+  conv2d_backward_weight(cached_input_, grad_output, weight_.grad, padding_, stride_);
+  if (bias_) {
+    const std::int64_t out_c = out_channels();
+    float* gb = bias_->grad.raw();
+    const float* go = grad_output.raw();
+    const std::int64_t pixels = grad_output.numel() / out_c;
+    for (std::int64_t i = 0; i < pixels; ++i) {
+      for (std::int64_t c = 0; c < out_c; ++c) gb[c] += go[i * out_c + c];
+    }
+  }
+  return conv2d_backward_input(grad_output, weight_.value, cached_input_.shape(), padding_,
+                               stride_);
+}
+
+std::vector<Parameter*> Conv2d::parameters() {
+  std::vector<Parameter*> out{&weight_};
+  if (bias_) out.push_back(&*bias_);
+  return out;
+}
+
+}  // namespace sesr::nn

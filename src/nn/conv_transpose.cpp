@@ -1,0 +1,47 @@
+#include "nn/conv_transpose.hpp"
+
+#include <stdexcept>
+
+#include "nn/init.hpp"
+
+namespace sesr::nn {
+
+Tensor conv_transpose2d(const Tensor& input, const Tensor& weight, std::int64_t stride) {
+  // The forward transposed conv with stride s producing (H*s, W*s, out_c) is the
+  // input-gradient of a SAME conv with stride s mapping (H*s, W*s, out_c) ->
+  // (H, W, in_c), whose kernel is (kh, kw, out_c, in_c).
+  const Shape& s = input.shape();
+  if (weight.shape().dim(3) != s.c()) {
+    throw std::invalid_argument("conv_transpose2d: weight in_c (dim 3) must match input channels");
+  }
+  const std::int64_t out_c = weight.shape().dim(2);
+  Shape out_shape(s.n(), s.h() * stride, s.w() * stride, out_c);
+  return conv2d_backward_input(input, weight, out_shape, Padding::kSame, stride);
+}
+
+ConvTranspose2d::ConvTranspose2d(std::string name, std::int64_t kh, std::int64_t kw,
+                                 std::int64_t in_c, std::int64_t out_c, std::int64_t stride,
+                                 Rng& rng)
+    : name_(std::move(name)),
+      stride_(stride),
+      in_c_(in_c),
+      out_c_(out_c),
+      weight_(name_ + ".weight", glorot_uniform_kernel(kh, kw, out_c, in_c, rng)) {
+  if (stride < 1) throw std::invalid_argument("ConvTranspose2d: stride must be >= 1");
+}
+
+Tensor ConvTranspose2d::forward(const Tensor& input, bool training) {
+  if (training) cached_input_ = input;
+  return conv_transpose2d(input, weight_.value, stride_);
+}
+
+Tensor ConvTranspose2d::backward(const Tensor& grad_output) {
+  if (cached_input_.empty()) throw std::logic_error("ConvTranspose2d::backward before forward");
+  // Adjoint of the adjoint: grad wrt input is the plain strided conv of
+  // grad_output with the stored kernel; grad wrt weight swaps the roles of
+  // input and output in the conv weight-gradient kernel.
+  conv2d_backward_weight(grad_output, cached_input_, weight_.grad, Padding::kSame, stride_);
+  return conv2d(grad_output, weight_.value, Padding::kSame, stride_);
+}
+
+}  // namespace sesr::nn

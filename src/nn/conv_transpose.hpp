@@ -1,0 +1,43 @@
+// Transposed convolution (deconvolution), needed by the FSRCNN baseline whose
+// final layer is a 9x9 deconv with stride = scale.
+//
+// Implemented as the exact adjoint of a strided SAME convolution: forward here
+// is conv2d_backward_input of the corresponding forward conv, and backward
+// reuses the conv forward/weight-grad kernels. Output spatial size is
+// (in * stride), matching TF's SAME transposed conv.
+#pragma once
+
+#include <string>
+
+#include "nn/conv2d.hpp"
+#include "nn/layer.hpp"
+
+namespace sesr::nn {
+
+// Functional forward: input (N, H, W, Cin), weight HWIO (kh, kw, Cout, Cin)
+// — note in/out swapped relative to Conv2d, as in the adjoint view.
+Tensor conv_transpose2d(const Tensor& input, const Tensor& weight, std::int64_t stride);
+
+class ConvTranspose2d final : public Layer {
+ public:
+  ConvTranspose2d(std::string name, std::int64_t kh, std::int64_t kw, std::int64_t in_c,
+                  std::int64_t out_c, std::int64_t stride, Rng& rng);
+
+  Tensor forward(const Tensor& input, bool training) override;
+  Tensor backward(const Tensor& grad_output) override;
+  std::vector<Parameter*> parameters() override { return {&weight_}; }
+  std::string name() const override { return name_; }
+
+  std::int64_t stride() const { return stride_; }
+  Parameter& weight() { return weight_; }
+
+ private:
+  std::string name_;
+  std::int64_t stride_;
+  std::int64_t in_c_;
+  std::int64_t out_c_;
+  Parameter weight_;  // (kh, kw, out_c, in_c): kernel of the adjoint forward conv
+  Tensor cached_input_;
+};
+
+}  // namespace sesr::nn

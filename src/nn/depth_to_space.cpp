@@ -1,0 +1,64 @@
+#include "nn/depth_to_space.hpp"
+
+#include <stdexcept>
+
+namespace sesr::nn {
+
+Tensor depth_to_space(const Tensor& input, std::int64_t block) {
+  const Shape& s = input.shape();
+  if (block < 1) throw std::invalid_argument("depth_to_space: block must be >= 1");
+  if (s.c() % (block * block) != 0) {
+    throw std::invalid_argument("depth_to_space: channels " + std::to_string(s.c()) +
+                                " not divisible by block^2");
+  }
+  const std::int64_t out_c = s.c() / (block * block);
+  Tensor out(s.n(), s.h() * block, s.w() * block, out_c);
+  for (std::int64_t n = 0; n < s.n(); ++n) {
+    for (std::int64_t y = 0; y < s.h(); ++y) {
+      for (std::int64_t x = 0; x < s.w(); ++x) {
+        for (std::int64_t dy = 0; dy < block; ++dy) {
+          for (std::int64_t dx = 0; dx < block; ++dx) {
+            const float* src = input.raw() + s.offset(n, y, x, (dy * block + dx) * out_c);
+            float* dst = out.raw() + out.shape().offset(n, y * block + dy, x * block + dx, 0);
+            for (std::int64_t c = 0; c < out_c; ++c) dst[c] = src[c];
+          }
+        }
+      }
+    }
+  }
+  return out;
+}
+
+Tensor space_to_depth(const Tensor& input, std::int64_t block) {
+  const Shape& s = input.shape();
+  if (block < 1) throw std::invalid_argument("space_to_depth: block must be >= 1");
+  if (s.h() % block != 0 || s.w() % block != 0) {
+    throw std::invalid_argument("space_to_depth: spatial dims not divisible by block");
+  }
+  Tensor out(s.n(), s.h() / block, s.w() / block, s.c() * block * block);
+  const Shape& os = out.shape();
+  for (std::int64_t n = 0; n < os.n(); ++n) {
+    for (std::int64_t y = 0; y < os.h(); ++y) {
+      for (std::int64_t x = 0; x < os.w(); ++x) {
+        for (std::int64_t dy = 0; dy < block; ++dy) {
+          for (std::int64_t dx = 0; dx < block; ++dx) {
+            const float* src = input.raw() + s.offset(n, y * block + dy, x * block + dx, 0);
+            float* dst = out.raw() + os.offset(n, y, x, (dy * block + dx) * s.c());
+            for (std::int64_t c = 0; c < s.c(); ++c) dst[c] = src[c];
+          }
+        }
+      }
+    }
+  }
+  return out;
+}
+
+Tensor DepthToSpace::forward(const Tensor& input, bool /*training*/) {
+  return depth_to_space(input, block_);
+}
+
+Tensor DepthToSpace::backward(const Tensor& grad_output) {
+  return space_to_depth(grad_output, block_);
+}
+
+}  // namespace sesr::nn

@@ -1,0 +1,37 @@
+// Depth-to-space (pixel shuffle) — the upsampling primitive of SESR.
+//
+// Rearranges (N, H, W, C*r^2) into (N, H*r, W*r, C) with TF semantics:
+// out[n, y*r + dy, x*r + dx, c] = in[n, y, x, (dy*r + dx)*C + c].
+// SESR applies this once for x2 SISR (r=2 on 4 channels) and twice in a row
+// for x4 (16 channels -> two r=2 shuffles), saving the extra upsampling convs
+// prior networks use.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "nn/layer.hpp"
+#include "tensor/tensor.hpp"
+
+namespace sesr::nn {
+
+Tensor depth_to_space(const Tensor& input, std::int64_t block);
+// Exact inverse (also the adjoint, since the op is a permutation).
+Tensor space_to_depth(const Tensor& input, std::int64_t block);
+
+class DepthToSpace final : public Layer {
+ public:
+  DepthToSpace(std::string name, std::int64_t block) : name_(std::move(name)), block_(block) {}
+
+  Tensor forward(const Tensor& input, bool training) override;
+  Tensor backward(const Tensor& grad_output) override;
+  std::string name() const override { return name_; }
+
+  std::int64_t block() const { return block_; }
+
+ private:
+  std::string name_;
+  std::int64_t block_;
+};
+
+}  // namespace sesr::nn

@@ -1,0 +1,102 @@
+#include "nn/gemm.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace sesr::nn {
+
+namespace {
+void check_sizes(std::span<const float> a, std::span<const float> b, std::span<float> c,
+                 std::int64_t m, std::int64_t k, std::int64_t n, bool a_transposed,
+                 bool b_transposed) {
+  const std::int64_t a_need = a_transposed ? k * m : m * k;
+  const std::int64_t b_need = b_transposed ? n * k : k * n;
+  if (m < 0 || k < 0 || n < 0 || static_cast<std::int64_t>(a.size()) < a_need ||
+      static_cast<std::int64_t>(b.size()) < b_need || static_cast<std::int64_t>(c.size()) < m * n) {
+    throw std::invalid_argument("gemm: buffer sizes inconsistent with m/k/n");
+  }
+}
+
+// Core accumulating kernel: C += A * B, row-major, i-k-j order so the inner
+// loop streams contiguously through B and C.
+void kernel_accumulate(const float* a, const float* b, float* c, std::int64_t m, std::int64_t k,
+                       std::int64_t n) {
+  constexpr std::int64_t kBlock = 64;  // fits comfortably in L1 for the j stripe
+  for (std::int64_t j0 = 0; j0 < n; j0 += kBlock) {
+    const std::int64_t j1 = std::min(j0 + kBlock, n);
+    for (std::int64_t i = 0; i < m; ++i) {
+      float* crow = c + i * n;
+      const float* arow = a + i * k;
+      for (std::int64_t p = 0; p < k; ++p) {
+        const float av = arow[p];
+        if (av == 0.0F) continue;  // identity-probe inputs in Algorithm 1 are mostly zero
+        const float* brow = b + p * n;
+        for (std::int64_t j = j0; j < j1; ++j) crow[j] += av * brow[j];
+      }
+    }
+  }
+}
+}  // namespace
+
+void gemm(std::span<const float> a, std::span<const float> b, std::span<float> c, std::int64_t m,
+          std::int64_t k, std::int64_t n) {
+  check_sizes(a, b, c, m, k, n, false, false);
+  std::fill(c.begin(), c.begin() + static_cast<std::size_t>(m * n), 0.0F);
+  kernel_accumulate(a.data(), b.data(), c.data(), m, k, n);
+}
+
+void gemm_accumulate(std::span<const float> a, std::span<const float> b, std::span<float> c,
+                     std::int64_t m, std::int64_t k, std::int64_t n) {
+  check_sizes(a, b, c, m, k, n, false, false);
+  kernel_accumulate(a.data(), b.data(), c.data(), m, k, n);
+}
+
+void gemm_at_b(std::span<const float> a, std::span<const float> b, std::span<float> c,
+               std::int64_t m, std::int64_t k, std::int64_t n) {
+  check_sizes(a, b, c, m, k, n, true, false);
+  std::fill(c.begin(), c.begin() + static_cast<std::size_t>(m * n), 0.0F);
+  // A is [k x m]; C[i, j] = sum_p A[p, i] * B[p, j]. Loop p outer so both reads stream.
+  for (std::int64_t p = 0; p < k; ++p) {
+    const float* arow = a.data() + p * m;
+    const float* brow = b.data() + p * n;
+    for (std::int64_t i = 0; i < m; ++i) {
+      const float av = arow[i];
+      if (av == 0.0F) continue;
+      float* crow = c.data() + i * n;
+      for (std::int64_t j = 0; j < n; ++j) crow[j] += av * brow[j];
+    }
+  }
+}
+
+void gemm_at_b_accumulate(std::span<const float> a, std::span<const float> b, std::span<float> c,
+                          std::int64_t m, std::int64_t k, std::int64_t n) {
+  check_sizes(a, b, c, m, k, n, true, false);
+  for (std::int64_t p = 0; p < k; ++p) {
+    const float* arow = a.data() + p * m;
+    const float* brow = b.data() + p * n;
+    for (std::int64_t i = 0; i < m; ++i) {
+      const float av = arow[i];
+      if (av == 0.0F) continue;
+      float* crow = c.data() + i * n;
+      for (std::int64_t j = 0; j < n; ++j) crow[j] += av * brow[j];
+    }
+  }
+}
+
+void gemm_a_bt(std::span<const float> a, std::span<const float> b, std::span<float> c,
+               std::int64_t m, std::int64_t k, std::int64_t n) {
+  check_sizes(a, b, c, m, k, n, false, true);
+  // B is [n x k]; C[i, j] = dot(A[i, :], B[j, :]) — both rows contiguous.
+  for (std::int64_t i = 0; i < m; ++i) {
+    const float* arow = a.data() + i * k;
+    float* crow = c.data() + i * n;
+    for (std::int64_t j = 0; j < n; ++j) {
+      const float* brow = b.data() + j * k;
+      float acc = 0.0F;
+      for (std::int64_t p = 0; p < k; ++p) acc += arow[p] * brow[p];
+      crow[j] = acc;
+    }
+  }
+}
+
+}  // namespace sesr::nn

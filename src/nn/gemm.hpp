@@ -1,0 +1,33 @@
+// Single-threaded SGEMM used by the im2col convolution path.
+//
+// Row-major throughout: C[m x n] (+)= A[m x k] * B[k x n]. The kernel is a
+// cache-blocked i-k-j loop; it is not meant to rival vendor BLAS, but it keeps
+// the convolution benchmarks honest on one core and has no dependencies.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+namespace sesr::nn {
+
+// C = A * B. C must hold m*n elements; it is overwritten.
+void gemm(std::span<const float> a, std::span<const float> b, std::span<float> c, std::int64_t m,
+          std::int64_t k, std::int64_t n);
+
+// C += A * B (accumulating variant used by gradient accumulation over a batch).
+void gemm_accumulate(std::span<const float> a, std::span<const float> b, std::span<float> c,
+                     std::int64_t m, std::int64_t k, std::int64_t n);
+
+// C = A^T * B where A is [k x m] row-major (so A^T is [m x k]).
+void gemm_at_b(std::span<const float> a, std::span<const float> b, std::span<float> c,
+               std::int64_t m, std::int64_t k, std::int64_t n);
+
+// C += A^T * B.
+void gemm_at_b_accumulate(std::span<const float> a, std::span<const float> b, std::span<float> c,
+                          std::int64_t m, std::int64_t k, std::int64_t n);
+
+// C = A * B^T where B is [n x k] row-major (so B^T is [k x n]).
+void gemm_a_bt(std::span<const float> a, std::span<const float> b, std::span<float> c,
+               std::int64_t m, std::int64_t k, std::int64_t n);
+
+}  // namespace sesr::nn

@@ -1,0 +1,127 @@
+#include "nn/group_conv.hpp"
+
+#include <stdexcept>
+
+#include "nn/init.hpp"
+#include "tensor/tensor_ops.hpp"
+
+namespace sesr::nn {
+
+namespace {
+struct GroupDims {
+  std::int64_t in_per_group;
+  std::int64_t out_per_group;
+};
+
+GroupDims check_grouping(const Shape& ws, std::int64_t in_c, std::int64_t groups) {
+  if (groups < 1) throw std::invalid_argument("conv2d_grouped: groups must be >= 1");
+  if (in_c % groups != 0 || ws.dim(3) % groups != 0) {
+    throw std::invalid_argument("conv2d_grouped: channels not divisible by groups");
+  }
+  if (ws.dim(2) != in_c / groups) {
+    throw std::invalid_argument("conv2d_grouped: weight in_c must be in_c/groups");
+  }
+  return {in_c / groups, ws.dim(3) / groups};
+}
+
+// Kernel slice for group g: (kh, kw, in_per_group, out_per_group).
+Tensor slice_kernel(const Tensor& w, std::int64_t g, const GroupDims& d) {
+  const Shape& s = w.shape();
+  Tensor out(s.dim(0), s.dim(1), s.dim(2), d.out_per_group);
+  for (std::int64_t ky = 0; ky < s.dim(0); ++ky) {
+    for (std::int64_t kx = 0; kx < s.dim(1); ++kx) {
+      for (std::int64_t ic = 0; ic < s.dim(2); ++ic) {
+        for (std::int64_t oc = 0; oc < d.out_per_group; ++oc) {
+          out(ky, kx, ic, oc) = w(ky, kx, ic, g * d.out_per_group + oc);
+        }
+      }
+    }
+  }
+  return out;
+}
+
+void accumulate_kernel_slice(Tensor& w, std::int64_t g, const GroupDims& d, const Tensor& grad) {
+  const Shape& s = w.shape();
+  for (std::int64_t ky = 0; ky < s.dim(0); ++ky) {
+    for (std::int64_t kx = 0; kx < s.dim(1); ++kx) {
+      for (std::int64_t ic = 0; ic < s.dim(2); ++ic) {
+        for (std::int64_t oc = 0; oc < d.out_per_group; ++oc) {
+          w(ky, kx, ic, g * d.out_per_group + oc) += grad(ky, kx, ic, oc);
+        }
+      }
+    }
+  }
+}
+}  // namespace
+
+Tensor conv2d_grouped(const Tensor& input, const Tensor& weight, std::int64_t groups,
+                      Padding padding) {
+  const GroupDims d = check_grouping(weight.shape(), input.shape().c(), groups);
+  Tensor out;
+  for (std::int64_t g = 0; g < groups; ++g) {
+    Tensor xg = sesr::slice_channels(input, g * d.in_per_group, d.in_per_group);
+    Tensor yg = conv2d(xg, slice_kernel(weight, g, d), padding);
+    if (g == 0) {
+      out = Tensor(input.shape().n(), yg.shape().h(), yg.shape().w(),
+                   d.out_per_group * groups);
+    }
+    sesr::write_channels(out, g * d.out_per_group, yg);
+  }
+  return out;
+}
+
+Tensor grouped_to_dense(const Tensor& weight, std::int64_t groups) {
+  const Shape& s = weight.shape();
+  const std::int64_t in_per = s.dim(2);
+  const std::int64_t out_per = s.dim(3) / groups;
+  Tensor dense(kernel_shape(s.dim(0), s.dim(1), in_per * groups, s.dim(3)));
+  for (std::int64_t g = 0; g < groups; ++g) {
+    for (std::int64_t ky = 0; ky < s.dim(0); ++ky) {
+      for (std::int64_t kx = 0; kx < s.dim(1); ++kx) {
+        for (std::int64_t ic = 0; ic < in_per; ++ic) {
+          for (std::int64_t oc = 0; oc < out_per; ++oc) {
+            dense(ky, kx, g * in_per + ic, g * out_per + oc) =
+                weight(ky, kx, ic, g * out_per + oc);
+          }
+        }
+      }
+    }
+  }
+  return dense;
+}
+
+GroupedConv2d::GroupedConv2d(std::string name, std::int64_t kh, std::int64_t kw, std::int64_t in_c,
+                             std::int64_t out_c, std::int64_t groups, Padding padding, Rng& rng)
+    : name_(std::move(name)),
+      groups_(groups),
+      in_c_(in_c),
+      out_c_(out_c),
+      padding_(padding),
+      weight_(name_ + ".weight",
+              (check_grouping(kernel_shape(kh, kw, in_c / std::max<std::int64_t>(groups, 1), out_c),
+                              in_c, groups),
+               glorot_uniform_kernel(kh, kw, in_c / groups, out_c, rng))) {}
+
+Tensor GroupedConv2d::forward(const Tensor& input, bool training) {
+  if (training) cached_input_ = input;
+  return conv2d_grouped(input, weight_.value, groups_, padding_);
+}
+
+Tensor GroupedConv2d::backward(const Tensor& grad_output) {
+  if (cached_input_.empty()) throw std::logic_error("GroupedConv2d::backward before forward");
+  const GroupDims d = check_grouping(weight_.value.shape(), in_c_, groups_);
+  Tensor grad_input(cached_input_.shape());
+  for (std::int64_t g = 0; g < groups_; ++g) {
+    Tensor xg = sesr::slice_channels(cached_input_, g * d.in_per_group, d.in_per_group);
+    Tensor gg = sesr::slice_channels(grad_output, g * d.out_per_group, d.out_per_group);
+    Tensor wg = slice_kernel(weight_.value, g, d);
+    Tensor gw(wg.shape());
+    conv2d_backward_weight(xg, gg, gw, padding_);
+    accumulate_kernel_slice(weight_.grad, g, d, gw);
+    Tensor gi = conv2d_backward_input(gg, wg, xg.shape(), padding_);
+    sesr::write_channels(grad_input, g * d.in_per_group, gi);
+  }
+  return grad_input;
+}
+
+}  // namespace sesr::nn

@@ -1,0 +1,49 @@
+// Grouped convolution — the efficiency primitive behind CARN-M, SplitSR and
+// GhostSR (paper Section 2: "variants of group convolution", orthogonal to
+// SESR's overparameterization and combinable with it).
+//
+// in_c and out_c are split into `groups` equal slices; slice g of the output
+// sees only slice g of the input. Equivalent to a block-diagonal full conv
+// (property-tested), with groups x fewer parameters and MACs.
+#pragma once
+
+#include <string>
+
+#include "nn/conv2d.hpp"
+#include "nn/layer.hpp"
+
+namespace sesr::nn {
+
+// Functional forward: weight is (kh, kw, in_c/groups, out_c); output channel
+// slice g = conv(input slice g, weight slice g).
+Tensor conv2d_grouped(const Tensor& input, const Tensor& weight, std::int64_t groups,
+                      Padding padding);
+
+// Embed a grouped kernel into the equivalent block-diagonal dense kernel
+// (kh, kw, in_c, out_c) — used by tests and by collapse-style analysis.
+Tensor grouped_to_dense(const Tensor& weight, std::int64_t groups);
+
+class GroupedConv2d final : public Layer {
+ public:
+  GroupedConv2d(std::string name, std::int64_t kh, std::int64_t kw, std::int64_t in_c,
+                std::int64_t out_c, std::int64_t groups, Padding padding, Rng& rng);
+
+  Tensor forward(const Tensor& input, bool training) override;
+  Tensor backward(const Tensor& grad_output) override;
+  std::vector<Parameter*> parameters() override { return {&weight_}; }
+  std::string name() const override { return name_; }
+
+  std::int64_t groups() const { return groups_; }
+  Parameter& weight() { return weight_; }
+
+ private:
+  std::string name_;
+  std::int64_t groups_;
+  std::int64_t in_c_;
+  std::int64_t out_c_;
+  Padding padding_;
+  Parameter weight_;  // (kh, kw, in_c/groups, out_c)
+  Tensor cached_input_;
+};
+
+}  // namespace sesr::nn

@@ -1,0 +1,40 @@
+#include "nn/init.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace sesr::nn {
+
+Tensor he_normal_kernel(std::int64_t kh, std::int64_t kw, std::int64_t in_c, std::int64_t out_c,
+                        Rng& rng) {
+  Tensor w(kernel_shape(kh, kw, in_c, out_c));
+  const float fan_in = static_cast<float>(kh * kw * in_c);
+  const float stddev = std::sqrt(2.0F / fan_in);
+  w.fill_normal(rng, 0.0F, stddev);
+  return w;
+}
+
+Tensor glorot_uniform_kernel(std::int64_t kh, std::int64_t kw, std::int64_t in_c,
+                             std::int64_t out_c, Rng& rng) {
+  Tensor w(kernel_shape(kh, kw, in_c, out_c));
+  const float fan_in = static_cast<float>(kh * kw * in_c);
+  const float fan_out = static_cast<float>(kh * kw * out_c);
+  const float limit = std::sqrt(6.0F / (fan_in + fan_out));
+  w.fill_uniform(rng, -limit, limit);
+  return w;
+}
+
+Tensor identity_kernel(std::int64_t kh, std::int64_t kw, std::int64_t channels) {
+  if (kh % 2 == 0 || kw % 2 == 0) {
+    throw std::invalid_argument(
+        "identity_kernel: even kernels have no center tap; residuals collapse only into odd "
+        "kernels (Algorithm 2)");
+  }
+  Tensor w(kernel_shape(kh, kw, channels, channels));
+  const std::int64_t cy = kh / 2;
+  const std::int64_t cx = kw / 2;
+  for (std::int64_t c = 0; c < channels; ++c) w(cy, cx, c, c) = 1.0F;
+  return w;
+}
+
+}  // namespace sesr::nn

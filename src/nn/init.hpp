@@ -1,0 +1,24 @@
+// Weight initializers.
+#pragma once
+
+#include <cstdint>
+
+#include "tensor/rng.hpp"
+#include "tensor/tensor.hpp"
+
+namespace sesr::nn {
+
+// He (Kaiming) normal init for an HWIO conv kernel: stddev = sqrt(2 / fan_in),
+// fan_in = kh * kw * in_c. The standard choice for ReLU/PReLU networks.
+Tensor he_normal_kernel(std::int64_t kh, std::int64_t kw, std::int64_t in_c, std::int64_t out_c,
+                        Rng& rng);
+
+// Glorot (Xavier) uniform init: limit = sqrt(6 / (fan_in + fan_out)).
+Tensor glorot_uniform_kernel(std::int64_t kh, std::int64_t kw, std::int64_t in_c,
+                             std::int64_t out_c, Rng& rng);
+
+// Identity-like kernel for (kh, kw, c, c): center tap of channel i -> i is 1.
+// Requires odd kh, kw. This is exactly the W_R of the paper's Algorithm 2.
+Tensor identity_kernel(std::int64_t kh, std::int64_t kw, std::int64_t channels);
+
+}  // namespace sesr::nn

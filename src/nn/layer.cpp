@@ -1,0 +1,53 @@
+#include "nn/layer.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace sesr::nn {
+
+std::vector<Parameter*> collect_parameters(const std::vector<Layer*>& layers) {
+  std::vector<Parameter*> out;
+  for (Layer* layer : layers) {
+    if (layer == nullptr) throw std::invalid_argument("collect_parameters: null layer");
+    for (Parameter* p : layer->parameters()) out.push_back(p);
+  }
+  return out;
+}
+
+void zero_gradients(const std::vector<Parameter*>& params) {
+  for (Parameter* p : params) p->grad.zero();
+}
+
+float gradient_norm(const std::vector<Parameter*>& params) {
+  double acc = 0.0;
+  for (const Parameter* p : params) {
+    for (float g : p->grad.data()) acc += static_cast<double>(g) * g;
+  }
+  return static_cast<float>(std::sqrt(acc));
+}
+
+TensorMap parameters_to_map(const std::vector<Parameter*>& params) {
+  TensorMap map;
+  for (const Parameter* p : params) {
+    if (!map.emplace(p->name, p->value).second) {
+      throw std::runtime_error("parameters_to_map: duplicate parameter name " + p->name);
+    }
+  }
+  return map;
+}
+
+void load_parameters_from_map(const std::vector<Parameter*>& params, const TensorMap& map) {
+  for (Parameter* p : params) {
+    const auto it = map.find(p->name);
+    if (it == map.end()) {
+      throw std::runtime_error("load_parameters_from_map: missing parameter " + p->name);
+    }
+    if (it->second.shape() != p->value.shape()) {
+      throw std::runtime_error("load_parameters_from_map: shape mismatch for " + p->name);
+    }
+    p->value = it->second;
+    p->grad = p->value.zeros_like();
+  }
+}
+
+}  // namespace sesr::nn

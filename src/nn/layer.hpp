@@ -1,0 +1,64 @@
+// Layer abstraction for the training stack.
+//
+// A Layer owns its parameters (value + gradient buffers), caches whatever it
+// needs during forward(), and returns the input gradient from backward() while
+// accumulating parameter gradients. The optimizers in src/train consume the
+// flat Parameter list. There is no general autograd tape: SESR-family networks
+// are small static graphs, so each network wires its own backward pass — which
+// also keeps the efficient-training path (backprop *through* the collapse
+// operator, Fig. 3 of the paper) explicit and testable.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "tensor/serialize.hpp"
+#include "tensor/tensor.hpp"
+
+namespace sesr::nn {
+
+struct Parameter {
+  std::string name;
+  Tensor value;
+  Tensor grad;
+
+  Parameter(std::string n, Tensor v) : name(std::move(n)), value(std::move(v)), grad(value.zeros_like()) {}
+};
+
+class Layer {
+ public:
+  virtual ~Layer() = default;
+  Layer() = default;
+  Layer(const Layer&) = delete;
+  Layer& operator=(const Layer&) = delete;
+
+  // Computes the output; when `training` is true the layer caches activations
+  // needed by backward().
+  virtual Tensor forward(const Tensor& input, bool training) = 0;
+
+  // Consumes d(loss)/d(output), accumulates parameter gradients, returns
+  // d(loss)/d(input). Must be preceded by forward(..., true).
+  virtual Tensor backward(const Tensor& grad_output) = 0;
+
+  // Mutable views of this layer's parameters (empty for stateless layers).
+  virtual std::vector<Parameter*> parameters() { return {}; }
+
+  virtual std::string name() const = 0;
+};
+
+// Collect parameters from several layers into one optimizer-ready list.
+std::vector<Parameter*> collect_parameters(const std::vector<Layer*>& layers);
+
+// Zero all gradient buffers.
+void zero_gradients(const std::vector<Parameter*>& params);
+
+// Global L2 norm over all parameter gradients (vanishing-gradient telemetry
+// for the Section 5.4 reproduction).
+float gradient_norm(const std::vector<Parameter*>& params);
+
+// Checkpoint helpers: parameters keyed by their (unique) names.
+TensorMap parameters_to_map(const std::vector<Parameter*>& params);
+void load_parameters_from_map(const std::vector<Parameter*>& params, const TensorMap& map);
+
+}  // namespace sesr::nn

@@ -1,0 +1,170 @@
+#include "nn/winograd.hpp"
+
+#include <array>
+#include <stdexcept>
+#include <vector>
+
+namespace sesr::nn {
+
+namespace {
+// F(2x2, 3x3) transforms (Lavin & Gray, 2016):
+//   Y = A^T [ (G g G^T) .* (B^T d B) ] A
+// with d a 4x4 input tile, g the 3x3 kernel, Y the 2x2 output tile.
+
+// U = G g G^T for one (ic, oc) 3x3 kernel slice.
+std::array<float, 16> transform_kernel(const float g[9]) {
+  // G = [1, 0, 0; .5, .5, .5; .5, -.5, .5; 0, 0, 1]
+  float tmp[4][3];
+  for (int j = 0; j < 3; ++j) {
+    const float g0 = g[0 * 3 + j];
+    const float g1 = g[1 * 3 + j];
+    const float g2 = g[2 * 3 + j];
+    tmp[0][j] = g0;
+    tmp[1][j] = 0.5F * (g0 + g1 + g2);
+    tmp[2][j] = 0.5F * (g0 - g1 + g2);
+    tmp[3][j] = g2;
+  }
+  std::array<float, 16> u{};
+  for (int i = 0; i < 4; ++i) {
+    const float t0 = tmp[i][0];
+    const float t1 = tmp[i][1];
+    const float t2 = tmp[i][2];
+    u[static_cast<std::size_t>(i * 4 + 0)] = t0;
+    u[static_cast<std::size_t>(i * 4 + 1)] = 0.5F * (t0 + t1 + t2);
+    u[static_cast<std::size_t>(i * 4 + 2)] = 0.5F * (t0 - t1 + t2);
+    u[static_cast<std::size_t>(i * 4 + 3)] = t2;
+  }
+  return u;
+}
+
+// V = B^T d B for a 4x4 input tile.
+// B^T = [1, 0, -1, 0; 0, 1, 1, 0; 0, -1, 1, 0; 0, 1, 0, -1]
+void transform_input(const float d[16], float v[16]) {
+  float tmp[16];
+  for (int j = 0; j < 4; ++j) {
+    const float d0 = d[0 * 4 + j];
+    const float d1 = d[1 * 4 + j];
+    const float d2 = d[2 * 4 + j];
+    const float d3 = d[3 * 4 + j];
+    tmp[0 * 4 + j] = d0 - d2;
+    tmp[1 * 4 + j] = d1 + d2;
+    tmp[2 * 4 + j] = d2 - d1;
+    tmp[3 * 4 + j] = d1 - d3;
+  }
+  for (int i = 0; i < 4; ++i) {
+    const float t0 = tmp[i * 4 + 0];
+    const float t1 = tmp[i * 4 + 1];
+    const float t2 = tmp[i * 4 + 2];
+    const float t3 = tmp[i * 4 + 3];
+    v[i * 4 + 0] = t0 - t2;
+    v[i * 4 + 1] = t1 + t2;
+    v[i * 4 + 2] = t2 - t1;
+    v[i * 4 + 3] = t1 - t3;
+  }
+}
+
+// Y = A^T m A for the 4x4 elementwise product m; writes a 2x2 tile.
+// A^T = [1, 1, 1, 0; 0, 1, -1, -1]
+void transform_output(const float m[16], float y[4]) {
+  float tmp[8];
+  for (int j = 0; j < 4; ++j) {
+    const float m0 = m[0 * 4 + j];
+    const float m1 = m[1 * 4 + j];
+    const float m2 = m[2 * 4 + j];
+    const float m3 = m[3 * 4 + j];
+    tmp[0 * 4 + j] = m0 + m1 + m2;
+    tmp[1 * 4 + j] = m1 - m2 - m3;
+  }
+  for (int i = 0; i < 2; ++i) {
+    const float t0 = tmp[i * 4 + 0];
+    const float t1 = tmp[i * 4 + 1];
+    const float t2 = tmp[i * 4 + 2];
+    const float t3 = tmp[i * 4 + 3];
+    y[i * 2 + 0] = t0 + t1 + t2;
+    y[i * 2 + 1] = t1 - t2 - t3;
+  }
+}
+}  // namespace
+
+Tensor winograd_weight_transform(const Tensor& weight) {
+  const Shape& ws = weight.shape();
+  if (ws.dim(0) != 3 || ws.dim(1) != 3) {
+    throw std::invalid_argument("winograd: kernel must be 3x3, got " + ws.to_string());
+  }
+  Tensor u(4, 4, ws.dim(2), ws.dim(3));
+  float g[9];
+  for (std::int64_t ic = 0; ic < ws.dim(2); ++ic) {
+    for (std::int64_t oc = 0; oc < ws.dim(3); ++oc) {
+      for (int ky = 0; ky < 3; ++ky) {
+        for (int kx = 0; kx < 3; ++kx) g[ky * 3 + kx] = weight(ky, kx, ic, oc);
+      }
+      const auto t = transform_kernel(g);
+      for (int i = 0; i < 4; ++i) {
+        for (int j = 0; j < 4; ++j) u(i, j, ic, oc) = t[static_cast<std::size_t>(i * 4 + j)];
+      }
+    }
+  }
+  return u;
+}
+
+Tensor conv2d_winograd_3x3_pretransformed(const Tensor& input, const Tensor& transformed,
+                                          std::int64_t out_c) {
+  const Shape& s = input.shape();
+  const Shape& us = transformed.shape();
+  if (us.dim(0) != 4 || us.dim(1) != 4 || us.dim(2) != s.c() || us.dim(3) != out_c) {
+    throw std::invalid_argument("winograd: transformed weight shape mismatch");
+  }
+  Tensor out(s.n(), s.h(), s.w(), out_c);
+  const std::int64_t in_c = s.c();
+  std::vector<float> v(static_cast<std::size_t>(16 * in_c));
+  float d[16];
+  float m[16];
+  float y[4];
+  for (std::int64_t n = 0; n < s.n(); ++n) {
+    for (std::int64_t ty = 0; ty < s.h(); ty += 2) {
+      for (std::int64_t tx = 0; tx < s.w(); tx += 2) {
+        // Gather + transform the 4x4 input tile for every channel (SAME
+        // padding: tile starts one pixel up-left of the output tile).
+        for (std::int64_t c = 0; c < in_c; ++c) {
+          for (int dy = 0; dy < 4; ++dy) {
+            for (int dx = 0; dx < 4; ++dx) {
+              const std::int64_t iy = ty + dy - 1;
+              const std::int64_t ix = tx + dx - 1;
+              d[dy * 4 + dx] = (iy >= 0 && iy < s.h() && ix >= 0 && ix < s.w())
+                                   ? input(n, iy, ix, c)
+                                   : 0.0F;
+            }
+          }
+          transform_input(d, v.data() + c * 16);
+        }
+        for (std::int64_t oc = 0; oc < out_c; ++oc) {
+          for (int i = 0; i < 16; ++i) m[i] = 0.0F;
+          for (std::int64_t c = 0; c < in_c; ++c) {
+            const float* vc = v.data() + c * 16;
+            for (int i = 0; i < 4; ++i) {
+              for (int j = 0; j < 4; ++j) {
+                m[i * 4 + j] += vc[i * 4 + j] * transformed(i, j, c, oc);
+              }
+            }
+          }
+          transform_output(m, y);
+          for (int dy = 0; dy < 2; ++dy) {
+            for (int dx = 0; dx < 2; ++dx) {
+              const std::int64_t oy = ty + dy;
+              const std::int64_t ox = tx + dx;
+              if (oy < s.h() && ox < s.w()) out(n, oy, ox, oc) = y[dy * 2 + dx];
+            }
+          }
+        }
+      }
+    }
+  }
+  return out;
+}
+
+Tensor conv2d_winograd_3x3(const Tensor& input, const Tensor& weight) {
+  return conv2d_winograd_3x3_pretransformed(input, winograd_weight_transform(weight),
+                                            weight.shape().dim(3));
+}
+
+}  // namespace sesr::nn

@@ -1,0 +1,45 @@
+// Deterministic random number generation.
+//
+// All stochastic components (weight init, data synthesis, patch sampling, NAS
+// mutation) draw from an explicitly seeded Rng so every experiment in bench/ is
+// bit-reproducible run to run.
+#pragma once
+
+#include <cstdint>
+#include <random>
+
+namespace sesr {
+
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed) : engine_(seed) {}
+
+  // Uniform in [lo, hi).
+  float uniform(float lo = 0.0F, float hi = 1.0F) {
+    return std::uniform_real_distribution<float>(lo, hi)(engine_);
+  }
+
+  // Standard normal scaled to the given stddev and mean.
+  float normal(float mean = 0.0F, float stddev = 1.0F) {
+    return std::normal_distribution<float>(mean, stddev)(engine_);
+  }
+
+  // Uniform integer in [lo, hi] inclusive.
+  std::int64_t uniform_int(std::int64_t lo, std::int64_t hi) {
+    return std::uniform_int_distribution<std::int64_t>(lo, hi)(engine_);
+  }
+
+  // Bernoulli with probability p of true.
+  bool bernoulli(double p) { return std::bernoulli_distribution(p)(engine_); }
+
+  // Derive an independent child stream; used to give each subsystem its own
+  // stream so adding draws in one place does not perturb another.
+  Rng fork() { return Rng(engine_()); }
+
+  std::mt19937_64& engine() { return engine_; }
+
+ private:
+  std::mt19937_64 engine_;
+};
+
+}  // namespace sesr

@@ -1,0 +1,40 @@
+#include "tensor/shape.hpp"
+
+#include <limits>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+
+namespace sesr {
+
+std::int64_t Shape::numel() const {
+  std::int64_t total = 1;
+  for (std::int64_t d : dims_) {
+    if (d < 0) throw std::invalid_argument("Shape::numel: negative dimension in " + to_string());
+    if (d != 0 && total > std::numeric_limits<std::int64_t>::max() / d) {
+      throw std::overflow_error("Shape::numel: element count overflows int64 for " + to_string());
+    }
+    total *= d;
+  }
+  return total;
+}
+
+bool Shape::valid() const {
+  for (std::int64_t d : dims_) {
+    if (d < 1) return false;
+  }
+  return true;
+}
+
+std::string Shape::to_string() const {
+  std::ostringstream os;
+  os << *this;
+  return os.str();
+}
+
+std::ostream& operator<<(std::ostream& os, const Shape& s) {
+  os << '[' << s.dim(0) << ", " << s.dim(1) << ", " << s.dim(2) << ", " << s.dim(3) << ']';
+  return os;
+}
+
+}  // namespace sesr

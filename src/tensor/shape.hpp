@@ -1,0 +1,59 @@
+// Shape of an NHWC tensor: (batch, height, width, channels).
+//
+// Every tensor in this library is 4-D NHWC float32, matching the layout the SESR
+// paper's Algorithm 1 is written against ("First get NHWC tensor ..."). Lower-rank
+// data (e.g. a flat parameter vector) uses degenerate dimensions of size 1.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+
+namespace sesr {
+
+class Shape {
+ public:
+  constexpr Shape() = default;
+  constexpr Shape(std::int64_t n, std::int64_t h, std::int64_t w, std::int64_t c)
+      : dims_{n, h, w, c} {}
+
+  constexpr std::int64_t n() const { return dims_[0]; }
+  constexpr std::int64_t h() const { return dims_[1]; }
+  constexpr std::int64_t w() const { return dims_[2]; }
+  constexpr std::int64_t c() const { return dims_[3]; }
+
+  constexpr std::int64_t dim(int i) const { return dims_.at(static_cast<std::size_t>(i)); }
+
+  // Total number of elements. Throws std::overflow_error if the product overflows.
+  std::int64_t numel() const;
+
+  // Flat offset of (n, y, x, c) in row-major NHWC order. No bounds checking here;
+  // Tensor::at() performs checked access.
+  constexpr std::int64_t offset(std::int64_t n, std::int64_t y, std::int64_t x,
+                                std::int64_t c) const {
+    return ((n * dims_[1] + y) * dims_[2] + x) * dims_[3] + c;
+  }
+
+  bool valid() const;  // all dims >= 1
+
+  friend constexpr bool operator==(const Shape& a, const Shape& b) { return a.dims_ == b.dims_; }
+  friend constexpr bool operator!=(const Shape& a, const Shape& b) { return !(a == b); }
+
+  std::string to_string() const;  // e.g. "[2, 64, 64, 16]"
+
+ private:
+  std::array<std::int64_t, 4> dims_{0, 0, 0, 0};
+};
+
+std::ostream& operator<<(std::ostream& os, const Shape& s);
+
+// Shape of a convolution kernel stored as a tensor: (kh, kw, in_channels, out_channels).
+// This is the HWIO layout used by Algorithm 1 in the paper. Helper so call sites read
+// clearly at a glance.
+inline Shape kernel_shape(std::int64_t kh, std::int64_t kw, std::int64_t in_c,
+                          std::int64_t out_c) {
+  return Shape(kh, kw, in_c, out_c);
+}
+
+}  // namespace sesr

@@ -1,0 +1,68 @@
+#include "tensor/tensor.hpp"
+
+#include <stdexcept>
+#include <string>
+
+namespace sesr {
+
+Tensor::Tensor(const Shape& shape)
+    : shape_(shape), data_(static_cast<std::size_t>(shape.numel()), 0.0F) {
+  if (!shape.valid()) {
+    throw std::invalid_argument("Tensor: invalid shape " + shape.to_string());
+  }
+}
+
+Tensor::Tensor(const Shape& shape, std::vector<float> data) : shape_(shape), data_(std::move(data)) {
+  if (!shape.valid()) {
+    throw std::invalid_argument("Tensor: invalid shape " + shape.to_string());
+  }
+  if (static_cast<std::int64_t>(data_.size()) != shape.numel()) {
+    throw std::invalid_argument("Tensor: data size " + std::to_string(data_.size()) +
+                                " does not match shape " + shape.to_string());
+  }
+}
+
+namespace {
+[[noreturn]] void throw_oob(const Shape& s, std::int64_t n, std::int64_t y, std::int64_t x,
+                            std::int64_t c) {
+  throw std::out_of_range("Tensor::at(" + std::to_string(n) + ", " + std::to_string(y) + ", " +
+                          std::to_string(x) + ", " + std::to_string(c) + ") out of bounds for " +
+                          s.to_string());
+}
+
+bool in_bounds(const Shape& s, std::int64_t n, std::int64_t y, std::int64_t x, std::int64_t c) {
+  return n >= 0 && n < s.n() && y >= 0 && y < s.h() && x >= 0 && x < s.w() && c >= 0 && c < s.c();
+}
+}  // namespace
+
+float& Tensor::at(std::int64_t n, std::int64_t y, std::int64_t x, std::int64_t c) {
+  if (!in_bounds(shape_, n, y, x, c)) throw_oob(shape_, n, y, x, c);
+  return (*this)(n, y, x, c);
+}
+
+float Tensor::at(std::int64_t n, std::int64_t y, std::int64_t x, std::int64_t c) const {
+  if (!in_bounds(shape_, n, y, x, c)) throw_oob(shape_, n, y, x, c);
+  return (*this)(n, y, x, c);
+}
+
+void Tensor::fill(float value) {
+  for (float& v : data_) v = value;
+}
+
+void Tensor::fill_uniform(Rng& rng, float lo, float hi) {
+  for (float& v : data_) v = rng.uniform(lo, hi);
+}
+
+void Tensor::fill_normal(Rng& rng, float mean, float stddev) {
+  for (float& v : data_) v = rng.normal(mean, stddev);
+}
+
+Tensor Tensor::reshaped(const Shape& new_shape) const {
+  if (new_shape.numel() != shape_.numel()) {
+    throw std::invalid_argument("Tensor::reshaped: numel mismatch " + shape_.to_string() + " -> " +
+                                new_shape.to_string());
+  }
+  return Tensor(new_shape, std::vector<float>(data_.begin(), data_.end()));
+}
+
+}  // namespace sesr

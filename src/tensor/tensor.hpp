@@ -1,0 +1,69 @@
+// Owning, contiguous NHWC float32 tensor.
+//
+// This is the single data container used throughout the library: activations are
+// (N, H, W, C); convolution kernels are (kh, kw, Cin, Cout) in HWIO order (the
+// layout the paper's Algorithm 1 manipulates); 1-D parameter vectors such as
+// PReLU slopes are (1, 1, 1, C).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "tensor/rng.hpp"
+#include "tensor/shape.hpp"
+
+namespace sesr {
+
+class Tensor {
+ public:
+  Tensor() = default;
+
+  // Allocates and zero-fills.
+  explicit Tensor(const Shape& shape);
+  Tensor(std::int64_t n, std::int64_t h, std::int64_t w, std::int64_t c)
+      : Tensor(Shape(n, h, w, c)) {}
+
+  // Construct from existing data; data.size() must equal shape.numel().
+  Tensor(const Shape& shape, std::vector<float> data);
+
+  const Shape& shape() const { return shape_; }
+  std::int64_t numel() const { return static_cast<std::int64_t>(data_.size()); }
+  bool empty() const { return data_.empty(); }
+
+  std::span<float> data() { return data_; }
+  std::span<const float> data() const { return data_; }
+  float* raw() { return data_.data(); }
+  const float* raw() const { return data_.data(); }
+
+  // Unchecked element access (hot loops).
+  float& operator()(std::int64_t n, std::int64_t y, std::int64_t x, std::int64_t c) {
+    return data_[static_cast<std::size_t>(shape_.offset(n, y, x, c))];
+  }
+  float operator()(std::int64_t n, std::int64_t y, std::int64_t x, std::int64_t c) const {
+    return data_[static_cast<std::size_t>(shape_.offset(n, y, x, c))];
+  }
+
+  // Bounds-checked access; throws std::out_of_range.
+  float& at(std::int64_t n, std::int64_t y, std::int64_t x, std::int64_t c);
+  float at(std::int64_t n, std::int64_t y, std::int64_t x, std::int64_t c) const;
+
+  void fill(float value);
+  void zero() { fill(0.0F); }
+
+  // In-place random fills.
+  void fill_uniform(Rng& rng, float lo, float hi);
+  void fill_normal(Rng& rng, float mean, float stddev);
+
+  // Returns a tensor of the same shape, zero-filled (gradient buffers etc.).
+  Tensor zeros_like() const { return Tensor(shape_); }
+
+  // Reinterpret the same data with a different shape of equal numel.
+  Tensor reshaped(const Shape& new_shape) const;
+
+ private:
+  Shape shape_{0, 0, 0, 0};
+  std::vector<float> data_;
+};
+
+}  // namespace sesr

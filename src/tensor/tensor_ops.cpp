@@ -1,0 +1,258 @@
+#include "tensor/tensor_ops.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace sesr {
+
+namespace {
+void check_same_shape(const Tensor& a, const Tensor& b, const char* op) {
+  if (a.shape() != b.shape()) {
+    throw std::invalid_argument(std::string(op) + ": shape mismatch " + a.shape().to_string() +
+                                " vs " + b.shape().to_string());
+  }
+}
+}  // namespace
+
+Tensor add(const Tensor& a, const Tensor& b) {
+  check_same_shape(a, b, "add");
+  Tensor out(a.shape());
+  const float* pa = a.raw();
+  const float* pb = b.raw();
+  float* po = out.raw();
+  const std::int64_t n = a.numel();
+  for (std::int64_t i = 0; i < n; ++i) po[i] = pa[i] + pb[i];
+  return out;
+}
+
+void add_inplace(Tensor& a, const Tensor& b) {
+  check_same_shape(a, b, "add_inplace");
+  float* pa = a.raw();
+  const float* pb = b.raw();
+  const std::int64_t n = a.numel();
+  for (std::int64_t i = 0; i < n; ++i) pa[i] += pb[i];
+}
+
+Tensor sub(const Tensor& a, const Tensor& b) {
+  check_same_shape(a, b, "sub");
+  Tensor out(a.shape());
+  const float* pa = a.raw();
+  const float* pb = b.raw();
+  float* po = out.raw();
+  const std::int64_t n = a.numel();
+  for (std::int64_t i = 0; i < n; ++i) po[i] = pa[i] - pb[i];
+  return out;
+}
+
+Tensor scale(const Tensor& a, float s) {
+  Tensor out(a.shape());
+  const float* pa = a.raw();
+  float* po = out.raw();
+  const std::int64_t n = a.numel();
+  for (std::int64_t i = 0; i < n; ++i) po[i] = pa[i] * s;
+  return out;
+}
+
+void scale_inplace(Tensor& a, float s) {
+  float* pa = a.raw();
+  const std::int64_t n = a.numel();
+  for (std::int64_t i = 0; i < n; ++i) pa[i] *= s;
+}
+
+void axpy_inplace(Tensor& a, const Tensor& b, float s) {
+  check_same_shape(a, b, "axpy_inplace");
+  float* pa = a.raw();
+  const float* pb = b.raw();
+  const std::int64_t n = a.numel();
+  for (std::int64_t i = 0; i < n; ++i) pa[i] += pb[i] * s;
+}
+
+float sum(const Tensor& a) {
+  double acc = 0.0;  // double accumulator: keeps reductions stable on large images
+  for (float v : a.data()) acc += v;
+  return static_cast<float>(acc);
+}
+
+float mean(const Tensor& a) {
+  if (a.numel() == 0) throw std::invalid_argument("mean: empty tensor");
+  return sum(a) / static_cast<float>(a.numel());
+}
+
+float max_abs(const Tensor& a) {
+  float m = 0.0F;
+  for (float v : a.data()) m = std::max(m, std::fabs(v));
+  return m;
+}
+
+float l2_norm(const Tensor& a) {
+  double acc = 0.0;
+  for (float v : a.data()) acc += static_cast<double>(v) * v;
+  return static_cast<float>(std::sqrt(acc));
+}
+
+float max_abs_diff(const Tensor& a, const Tensor& b) {
+  check_same_shape(a, b, "max_abs_diff");
+  float m = 0.0F;
+  const float* pa = a.raw();
+  const float* pb = b.raw();
+  const std::int64_t n = a.numel();
+  for (std::int64_t i = 0; i < n; ++i) m = std::max(m, std::fabs(pa[i] - pb[i]));
+  return m;
+}
+
+Tensor pad_spatial(const Tensor& a, std::int64_t top, std::int64_t bottom, std::int64_t left,
+                   std::int64_t right) {
+  if (top < 0 || bottom < 0 || left < 0 || right < 0) {
+    throw std::invalid_argument("pad_spatial: negative padding");
+  }
+  const Shape& s = a.shape();
+  Tensor out(s.n(), s.h() + top + bottom, s.w() + left + right, s.c());
+  for (std::int64_t n = 0; n < s.n(); ++n) {
+    for (std::int64_t y = 0; y < s.h(); ++y) {
+      const float* src = a.raw() + s.offset(n, y, 0, 0);
+      float* dst = out.raw() + out.shape().offset(n, y + top, left, 0);
+      std::copy(src, src + s.w() * s.c(), dst);
+    }
+  }
+  return out;
+}
+
+Tensor crop_spatial(const Tensor& a, std::int64_t y0, std::int64_t x0, std::int64_t h,
+                    std::int64_t w) {
+  const Shape& s = a.shape();
+  if (y0 < 0 || x0 < 0 || h < 1 || w < 1 || y0 + h > s.h() || x0 + w > s.w()) {
+    throw std::invalid_argument("crop_spatial: window out of range for " + s.to_string());
+  }
+  Tensor out(s.n(), h, w, s.c());
+  for (std::int64_t n = 0; n < s.n(); ++n) {
+    for (std::int64_t y = 0; y < h; ++y) {
+      const float* src = a.raw() + s.offset(n, y0 + y, x0, 0);
+      float* dst = out.raw() + out.shape().offset(n, y, 0, 0);
+      std::copy(src, src + w * s.c(), dst);
+    }
+  }
+  return out;
+}
+
+Tensor reverse_spatial(const Tensor& a) {
+  const Shape& s = a.shape();
+  Tensor out(s);
+  for (std::int64_t n = 0; n < s.n(); ++n) {
+    for (std::int64_t y = 0; y < s.h(); ++y) {
+      for (std::int64_t x = 0; x < s.w(); ++x) {
+        const float* src = a.raw() + s.offset(n, y, x, 0);
+        float* dst = out.raw() + s.offset(n, s.h() - 1 - y, s.w() - 1 - x, 0);
+        std::copy(src, src + s.c(), dst);
+      }
+    }
+  }
+  return out;
+}
+
+Tensor transpose(const Tensor& a, const std::array<int, 4>& perm) {
+  std::array<bool, 4> seen{false, false, false, false};
+  for (int p : perm) {
+    if (p < 0 || p > 3 || seen[static_cast<std::size_t>(p)]) {
+      throw std::invalid_argument("transpose: perm is not a permutation of {0,1,2,3}");
+    }
+    seen[static_cast<std::size_t>(p)] = true;
+  }
+  const Shape& s = a.shape();
+  Shape os(s.dim(perm[0]), s.dim(perm[1]), s.dim(perm[2]), s.dim(perm[3]));
+  Tensor out(os);
+  std::array<std::int64_t, 4> idx{};  // index in the *input* tensor
+  for (idx[0] = 0; idx[0] < s.dim(0); ++idx[0]) {
+    for (idx[1] = 0; idx[1] < s.dim(1); ++idx[1]) {
+      for (idx[2] = 0; idx[2] < s.dim(2); ++idx[2]) {
+        for (idx[3] = 0; idx[3] < s.dim(3); ++idx[3]) {
+          out(idx[static_cast<std::size_t>(perm[0])], idx[static_cast<std::size_t>(perm[1])],
+              idx[static_cast<std::size_t>(perm[2])], idx[static_cast<std::size_t>(perm[3])]) =
+              a(idx[0], idx[1], idx[2], idx[3]);
+        }
+      }
+    }
+  }
+  return out;
+}
+
+Tensor concat_channels(const Tensor& a, const Tensor& b) {
+  const Shape& sa = a.shape();
+  const Shape& sb = b.shape();
+  if (sa.n() != sb.n() || sa.h() != sb.h() || sa.w() != sb.w()) {
+    throw std::invalid_argument("concat_channels: spatial/batch mismatch " + sa.to_string() +
+                                " vs " + sb.to_string());
+  }
+  Tensor out(sa.n(), sa.h(), sa.w(), sa.c() + sb.c());
+  for (std::int64_t n = 0; n < sa.n(); ++n) {
+    for (std::int64_t y = 0; y < sa.h(); ++y) {
+      for (std::int64_t x = 0; x < sa.w(); ++x) {
+        const float* pa = a.raw() + sa.offset(n, y, x, 0);
+        const float* pb = b.raw() + sb.offset(n, y, x, 0);
+        float* po = out.raw() + out.shape().offset(n, y, x, 0);
+        std::copy(pa, pa + sa.c(), po);
+        std::copy(pb, pb + sb.c(), po + sa.c());
+      }
+    }
+  }
+  return out;
+}
+
+Tensor slice_channels(const Tensor& a, std::int64_t c0, std::int64_t count) {
+  const Shape& s = a.shape();
+  if (c0 < 0 || count < 1 || c0 + count > s.c()) {
+    throw std::invalid_argument("slice_channels: range out of bounds for " + s.to_string());
+  }
+  Tensor out(s.n(), s.h(), s.w(), count);
+  for (std::int64_t n = 0; n < s.n(); ++n) {
+    for (std::int64_t y = 0; y < s.h(); ++y) {
+      for (std::int64_t x = 0; x < s.w(); ++x) {
+        const float* src = a.raw() + s.offset(n, y, x, c0);
+        float* dst = out.raw() + out.shape().offset(n, y, x, 0);
+        std::copy(src, src + count, dst);
+      }
+    }
+  }
+  return out;
+}
+
+void write_channels(Tensor& dst, std::int64_t c0, const Tensor& src) {
+  const Shape& sd = dst.shape();
+  const Shape& ss = src.shape();
+  if (ss.n() != sd.n() || ss.h() != sd.h() || ss.w() != sd.w() || c0 < 0 ||
+      c0 + ss.c() > sd.c()) {
+    throw std::invalid_argument("write_channels: shape/range mismatch " + ss.to_string() +
+                                " into " + sd.to_string());
+  }
+  for (std::int64_t n = 0; n < ss.n(); ++n) {
+    for (std::int64_t y = 0; y < ss.h(); ++y) {
+      for (std::int64_t x = 0; x < ss.w(); ++x) {
+        const float* p = src.raw() + ss.offset(n, y, x, 0);
+        float* q = dst.raw() + sd.offset(n, y, x, c0);
+        std::copy(p, p + ss.c(), q);
+      }
+    }
+  }
+}
+
+Tensor slice_batch(const Tensor& a, std::int64_t n) {
+  const Shape& s = a.shape();
+  if (n < 0 || n >= s.n()) throw std::out_of_range("slice_batch: index out of range");
+  Tensor out(1, s.h(), s.w(), s.c());
+  const float* src = a.raw() + s.offset(n, 0, 0, 0);
+  std::copy(src, src + out.numel(), out.raw());
+  return out;
+}
+
+void set_batch(Tensor& dst, std::int64_t n, const Tensor& src) {
+  const Shape& sd = dst.shape();
+  const Shape& ss = src.shape();
+  if (ss.n() != 1 || ss.h() != sd.h() || ss.w() != sd.w() || ss.c() != sd.c()) {
+    throw std::invalid_argument("set_batch: shape mismatch " + ss.to_string() + " into " +
+                                sd.to_string());
+  }
+  if (n < 0 || n >= sd.n()) throw std::out_of_range("set_batch: index out of range");
+  std::copy(src.raw(), src.raw() + src.numel(), dst.raw() + sd.offset(n, 0, 0, 0));
+}
+
+}  // namespace sesr

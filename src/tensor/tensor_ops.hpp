@@ -1,0 +1,67 @@
+// Elementwise and structural tensor operations.
+//
+// These are the shape-checked building blocks shared by the NN layers, the
+// collapse algebra (Algorithms 1 and 2 need pad / add / spatial reverse /
+// axis transpose) and the data pipeline.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "tensor/tensor.hpp"
+
+namespace sesr {
+
+// c = a + b (shapes must match).
+Tensor add(const Tensor& a, const Tensor& b);
+// a += b in place.
+void add_inplace(Tensor& a, const Tensor& b);
+// c = a - b.
+Tensor sub(const Tensor& a, const Tensor& b);
+// c = a * s.
+Tensor scale(const Tensor& a, float s);
+void scale_inplace(Tensor& a, float s);
+// a += b * s (axpy).
+void axpy_inplace(Tensor& a, const Tensor& b, float s);
+
+// Reductions over all elements.
+float sum(const Tensor& a);
+float mean(const Tensor& a);
+float max_abs(const Tensor& a);
+// L2 norm of all elements.
+float l2_norm(const Tensor& a);
+
+// Largest absolute elementwise difference; the workhorse of the collapse
+// exactness tests.
+float max_abs_diff(const Tensor& a, const Tensor& b);
+
+// Zero-pad the two spatial dimensions by (top, bottom, left, right).
+Tensor pad_spatial(const Tensor& a, std::int64_t top, std::int64_t bottom, std::int64_t left,
+                   std::int64_t right);
+
+// Crop the spatial dims: rows [y0, y0+h), cols [x0, x0+w).
+Tensor crop_spatial(const Tensor& a, std::int64_t y0, std::int64_t x0, std::int64_t h,
+                    std::int64_t w);
+
+// Reverse both spatial axes (the "reverse(x, [1, 2])" step of Algorithm 1).
+Tensor reverse_spatial(const Tensor& a);
+
+// Permute dimensions: out.dim(i) = in.dim(perm[i]). Algorithm 1 uses
+// perm = {1, 2, 0, 3} to turn the conv output (N=Cin, kh, kw, Cout) into an
+// HWIO kernel (kh, kw, Cin, Cout).
+Tensor transpose(const Tensor& a, const std::array<int, 4>& perm);
+
+// Concatenate along the channel axis.
+Tensor concat_channels(const Tensor& a, const Tensor& b);
+
+// Copy channels [c0, c0 + count) into a new tensor.
+Tensor slice_channels(const Tensor& a, std::int64_t c0, std::int64_t count);
+// Write src (same N/H/W) into channels [c0, c0 + src.c()) of dst.
+void write_channels(Tensor& dst, std::int64_t c0, const Tensor& src);
+
+// Extract one image of a batch as a (1, H, W, C) tensor.
+Tensor slice_batch(const Tensor& a, std::int64_t n);
+// Write a (1, H, W, C) tensor into batch slot n of dst.
+void set_batch(Tensor& dst, std::int64_t n, const Tensor& src);
+
+}  // namespace sesr

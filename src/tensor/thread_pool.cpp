@@ -1,0 +1,93 @@
+#include "tensor/thread_pool.hpp"
+
+#include <cstdlib>
+#include <string>
+
+namespace sesr {
+
+ThreadPool::ThreadPool(unsigned threads) {
+  if (threads <= 1) return;  // inline mode
+  workers_.reserve(threads);
+  for (unsigned i = 0; i < threads; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    shutting_down_ = true;
+  }
+  work_available_.notify_all();
+  for (std::thread& t : workers_) t.join();
+}
+
+void ThreadPool::worker_loop() {
+  for (;;) {
+    std::int64_t index = 0;
+    const std::function<void(std::int64_t)>* fn = nullptr;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      work_available_.wait(lock, [this] { return shutting_down_ || (has_batch_ && batch_.next < batch_.end); });
+      if (shutting_down_) return;
+      index = batch_.next++;
+      fn = batch_.fn;
+    }
+    std::exception_ptr error;
+    try {
+      (*fn)(index);
+    } catch (...) {
+      error = std::current_exception();
+    }
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (error && !batch_.error) batch_.error = error;
+      if (--batch_.remaining == 0) batch_done_.notify_all();
+    }
+  }
+}
+
+void ThreadPool::parallel_for(std::int64_t begin, std::int64_t end,
+                              const std::function<void(std::int64_t)>& fn) {
+  if (begin >= end) return;
+  bool inline_run = workers_.empty();
+  if (!inline_run) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (has_batch_) inline_run = true;  // reentrant call: run inline
+  }
+  if (inline_run) {
+    for (std::int64_t i = begin; i < end; ++i) fn(i);
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    batch_.next = begin;
+    batch_.end = end;
+    batch_.fn = &fn;
+    batch_.remaining = end - begin;
+    batch_.error = nullptr;
+    has_batch_ = true;
+  }
+  work_available_.notify_all();
+  std::exception_ptr error;
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    batch_done_.wait(lock, [this] { return batch_.remaining == 0; });
+    has_batch_ = false;
+    error = batch_.error;
+  }
+  if (error) std::rethrow_exception(error);
+}
+
+ThreadPool& ThreadPool::global() {
+  static ThreadPool pool([] {
+    if (const char* env = std::getenv("SESR_NUM_THREADS")) {
+      const long n = std::strtol(env, nullptr, 10);
+      if (n > 0) return static_cast<unsigned>(n);
+    }
+    return 1U;
+  }());
+  return pool;
+}
+
+}  // namespace sesr

@@ -1,0 +1,58 @@
+// Minimal blocking thread pool with a parallel_for primitive.
+//
+// The convolution layer parallelizes across batch images when the pool has
+// more than one worker (SESR_NUM_THREADS env var; default 1 = fully serial,
+// keeping single-core CI runs deterministic and oversubscription-free).
+// parallel_for blocks until every index is processed; exceptions from workers
+// are rethrown on the caller thread.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace sesr {
+
+class ThreadPool {
+ public:
+  // threads = number of workers; 0 or 1 means "run inline on the caller".
+  explicit ThreadPool(unsigned threads);
+  ~ThreadPool();
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  unsigned worker_count() const { return static_cast<unsigned>(workers_.size()); }
+
+  // Invokes fn(i) for every i in [begin, end), distributing indices across
+  // workers; blocks until done. Reentrant calls run inline (no deadlock).
+  void parallel_for(std::int64_t begin, std::int64_t end,
+                    const std::function<void(std::int64_t)>& fn);
+
+  // Process-wide pool sized from SESR_NUM_THREADS (default 1).
+  static ThreadPool& global();
+
+ private:
+  struct Batch {
+    std::int64_t next = 0;
+    std::int64_t end = 0;
+    const std::function<void(std::int64_t)>* fn = nullptr;
+    std::int64_t remaining = 0;  // indices not yet completed
+    std::exception_ptr error;
+  };
+
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::mutex mutex_;
+  std::condition_variable work_available_;
+  std::condition_variable batch_done_;
+  Batch batch_;
+  bool has_batch_ = false;
+  bool shutting_down_ = false;
+};
+
+}  // namespace sesr

@@ -1,0 +1,75 @@
+#include "theory/overparam.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace sesr::theory {
+
+double ScalarBlock::beta() const {
+  switch (scheme) {
+    case Scheme::kVgg: return w1;
+    case Scheme::kExpandNet: return w1 * w2;
+    case Scheme::kSesr: return w1 * w2 + 1.0;
+    case Scheme::kRepVgg: return w1 + w2 + 1.0;
+  }
+  throw std::logic_error("ScalarBlock: unknown scheme");
+}
+
+double ScalarBlock::step(double grad_beta, double eta) {
+  switch (scheme) {
+    case Scheme::kVgg:
+      // beta = w1: plain descent.
+      w1 -= eta * grad_beta;
+      break;
+    case Scheme::kExpandNet:
+    case Scheme::kSesr: {
+      // beta = w1*w2 (+1): d/dw1 = grad*w2, d/dw2 = grad*w1 (chain rule;
+      // the +1 constant drops out of both partials).
+      const double g1 = grad_beta * w2;
+      const double g2 = grad_beta * w1;
+      w1 -= eta * g1;
+      w2 -= eta * g2;
+      break;
+    }
+    case Scheme::kRepVgg: {
+      // beta = w1 + w2 + 1: both partials equal grad_beta -> beta moves by
+      // 2*eta*grad, exactly a VGG step with lambda = 2*eta (Eq. 5).
+      w1 -= eta * grad_beta;
+      w2 -= eta * grad_beta;
+      break;
+    }
+  }
+  return beta();
+}
+
+std::vector<double> train_scalar(Scheme scheme, double w1_init, double w2_init, double sxx,
+                                 double sxy, double eta, std::int64_t steps) {
+  if (steps < 1) throw std::invalid_argument("train_scalar: steps must be >= 1");
+  ScalarBlock block;
+  block.scheme = scheme;
+  block.w1 = w1_init;
+  block.w2 = w2_init;
+  std::vector<double> trajectory;
+  trajectory.reserve(static_cast<std::size_t>(steps) + 1);
+  trajectory.push_back(block.beta());
+  for (std::int64_t t = 0; t < steps; ++t) {
+    // d(loss)/d(beta) = E[(x*beta - y)x] = sxx*beta - sxy.
+    const double grad = sxx * block.beta() - sxy;
+    trajectory.push_back(block.step(grad, eta));
+  }
+  return trajectory;
+}
+
+double chain_gradient_no_skip(double w, std::int64_t depth) {
+  if (depth < 1) throw std::invalid_argument("chain_gradient: depth must be >= 1");
+  // beta = w^(2*depth) (each block contributes w1*w2 = w^2);
+  // |d(beta)/d(w_1)| = |w|^(2*depth - 1).
+  return std::pow(std::fabs(w), static_cast<double>(2 * depth - 1));
+}
+
+double chain_gradient_with_skip(double w, std::int64_t depth) {
+  // beta = (w^2 + 1)^depth; |d/d(w_1)| = |w| * (w^2 + 1)^(depth - 1) >= |w|.
+  return std::fabs(w) * std::pow(w * w + 1.0, static_cast<double>(depth - 1));
+}
+
+}  // namespace sesr::theory

@@ -1,0 +1,52 @@
+// Section 4 of the paper, executable: gradient-descent update rules for the
+// four overparameterization schemes on the scalar l2 linear-regression problem
+//   L(beta) = E[ (x * beta - y)^2 / 2 ],
+// with the collapsed weights
+//   ExpandNet: beta = w1 * w2            (Eq. 3)
+//   SESR:      beta = w1 * w2 + 1        (Eq. 4)
+//   RepVGG:    beta = w1 + w2 + 1        (Eq. 5; the 1x1 branch acts on the
+//                                         same scalar, and the skip adds 1)
+//   VGG:       beta = w1
+//
+// The paper's claims, which the tests verify exactly:
+//   * RepVGG's beta update equals plain VGG's with lambda = 2*eta — step for
+//     step, to machine precision (no adaptivity).
+//   * ExpandNet/SESR updates carry a time-varying effective LR rho = eta*w2^2
+//     and momentum-like gamma; SESR has the extra +gamma term from the skip.
+//   * Deep multiplicative chains WITHOUT skips vanish: d(beta)/d(w_i) is a
+//     product of the other weights, which collapses to ~0 for |w| < 1 as depth
+//     grows. With skips (SESR), the gradient stays O(1).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace sesr::theory {
+
+enum class Scheme { kVgg, kExpandNet, kSesr, kRepVgg };
+
+// State of one scalar overparameterized "layer".
+struct ScalarBlock {
+  Scheme scheme = Scheme::kVgg;
+  double w1 = 0.0;
+  double w2 = 1.0;  // unused by kVgg
+
+  double beta() const;  // collapsed weight
+  // One gradient-descent step against d(loss)/d(beta) = grad_beta;
+  // returns the new collapsed beta.
+  double step(double grad_beta, double eta);
+};
+
+// Run `steps` of gradient descent on the regression loss with fixed data
+// statistics E[x^2] = sxx, E[x y] = sxy; returns the trajectory of beta.
+std::vector<double> train_scalar(Scheme scheme, double w1_init, double w2_init, double sxx,
+                                 double sxy, double eta, std::int64_t steps);
+
+// Gradient magnitude |d(beta)/d(w_1)| for a depth-L multiplicative chain:
+//   no skips:  beta = prod w_i               (ExpandNet-style depth)
+//   with skip: beta = prod w_i + 1 per pair  — modeled as SESR blocks stacked,
+// computed for identical weights w. This is the vanishing-gradient probe.
+double chain_gradient_no_skip(double w, std::int64_t depth);
+double chain_gradient_with_skip(double w, std::int64_t depth);
+
+}  // namespace sesr::theory

@@ -1,0 +1,56 @@
+#include "train/loss.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace sesr::train {
+
+namespace {
+void check(const Tensor& p, const Tensor& t, const char* op) {
+  if (p.shape() != t.shape()) {
+    throw std::invalid_argument(std::string(op) + ": shape mismatch " + p.shape().to_string() +
+                                " vs " + t.shape().to_string());
+  }
+  if (p.numel() == 0) throw std::invalid_argument(std::string(op) + ": empty tensors");
+}
+}  // namespace
+
+LossResult l1_loss(const Tensor& prediction, const Tensor& target) {
+  check(prediction, target, "l1_loss");
+  LossResult r;
+  r.grad = Tensor(prediction.shape());
+  const float* pp = prediction.raw();
+  const float* pt = target.raw();
+  float* pg = r.grad.raw();
+  const std::int64_t n = prediction.numel();
+  const float inv_n = 1.0F / static_cast<float>(n);
+  double acc = 0.0;
+  for (std::int64_t i = 0; i < n; ++i) {
+    const float d = pp[i] - pt[i];
+    acc += std::fabs(d);
+    pg[i] = d > 0.0F ? inv_n : (d < 0.0F ? -inv_n : 0.0F);
+  }
+  r.value = static_cast<float>(acc / static_cast<double>(n));
+  return r;
+}
+
+LossResult l2_loss(const Tensor& prediction, const Tensor& target) {
+  check(prediction, target, "l2_loss");
+  LossResult r;
+  r.grad = Tensor(prediction.shape());
+  const float* pp = prediction.raw();
+  const float* pt = target.raw();
+  float* pg = r.grad.raw();
+  const std::int64_t n = prediction.numel();
+  const float inv_n = 1.0F / static_cast<float>(n);
+  double acc = 0.0;
+  for (std::int64_t i = 0; i < n; ++i) {
+    const float d = pp[i] - pt[i];
+    acc += 0.5 * static_cast<double>(d) * d;
+    pg[i] = d * inv_n;
+  }
+  r.value = static_cast<float>(acc / static_cast<double>(n));
+  return r;
+}
+
+}  // namespace sesr::train

@@ -1,0 +1,23 @@
+// Reconstruction losses with analytic gradients.
+//
+// SESR trains with mean absolute error (L1) between the generated and ground-
+// truth high-resolution images; L2 is provided for the Section 4 theory
+// experiments (the paper's analysis is for an l2 linear-regression loss).
+#pragma once
+
+#include "tensor/tensor.hpp"
+
+namespace sesr::train {
+
+struct LossResult {
+  float value = 0.0F;
+  Tensor grad;  // d(loss)/d(prediction), same shape as prediction
+};
+
+// Mean absolute error: mean(|pred - target|). Subgradient 0 at exact ties.
+LossResult l1_loss(const Tensor& prediction, const Tensor& target);
+
+// Mean squared error: mean((pred - target)^2) / 2.
+LossResult l2_loss(const Tensor& prediction, const Tensor& target);
+
+}  // namespace sesr::train

@@ -1,0 +1,17 @@
+#include "train/lr_schedule.hpp"
+
+#include <cmath>
+
+namespace sesr::train {
+
+float StepDecayLr::at(std::int64_t step) const {
+  const auto k = static_cast<float>(step / period_);
+  return lr_ * std::pow(decay_, k);
+}
+
+float WarmupLr::at(std::int64_t step) const {
+  if (step >= warmup_) return lr_;
+  return lr_ * static_cast<float>(step + 1) / static_cast<float>(warmup_);
+}
+
+}  // namespace sesr::train

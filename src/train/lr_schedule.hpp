@@ -1,0 +1,53 @@
+// Learning-rate schedules. The paper uses a constant 5e-4; step decay and
+// linear warmup are provided for the ablation/NAS proxy-training runs.
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+
+namespace sesr::train {
+
+class LrSchedule {
+ public:
+  virtual ~LrSchedule() = default;
+  // Learning rate to apply at (0-based) step.
+  virtual float at(std::int64_t step) const = 0;
+};
+
+class ConstantLr final : public LrSchedule {
+ public:
+  explicit ConstantLr(float lr) : lr_(lr) {}
+  float at(std::int64_t) const override { return lr_; }
+
+ private:
+  float lr_;
+};
+
+// lr * decay^(step / period), staircase.
+class StepDecayLr final : public LrSchedule {
+ public:
+  StepDecayLr(float lr, float decay, std::int64_t period) : lr_(lr), decay_(decay), period_(period) {
+    if (period < 1) throw std::invalid_argument("StepDecayLr: period must be >= 1");
+  }
+  float at(std::int64_t step) const override;
+
+ private:
+  float lr_;
+  float decay_;
+  std::int64_t period_;
+};
+
+// Linear ramp from 0 to lr over `warmup` steps, then constant.
+class WarmupLr final : public LrSchedule {
+ public:
+  WarmupLr(float lr, std::int64_t warmup) : lr_(lr), warmup_(warmup) {
+    if (warmup < 1) throw std::invalid_argument("WarmupLr: warmup must be >= 1");
+  }
+  float at(std::int64_t step) const override;
+
+ private:
+  float lr_;
+  std::int64_t warmup_;
+};
+
+}  // namespace sesr::train

@@ -1,0 +1,32 @@
+// Model abstraction consumed by the Trainer: a network with an explicit
+// forward/backward pair and a flat parameter list. SESR (expanded and
+// efficient-collapsed modes), FSRCNN and the overparameterization baselines
+// all implement this interface.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "nn/layer.hpp"
+#include "tensor/tensor.hpp"
+
+namespace sesr::train {
+
+class Model {
+ public:
+  virtual ~Model() = default;
+  Model() = default;
+  Model(const Model&) = delete;
+  Model& operator=(const Model&) = delete;
+
+  virtual Tensor forward(const Tensor& input, bool training) = 0;
+  // Propagates d(loss)/d(output); accumulates parameter gradients.
+  virtual void backward(const Tensor& grad_output) = 0;
+  virtual std::vector<nn::Parameter*> parameters() = 0;
+  virtual std::string name() const = 0;
+
+  // Convenience: inference-mode forward.
+  Tensor predict(const Tensor& input) { return forward(input, /*training=*/false); }
+};
+
+}  // namespace sesr::train

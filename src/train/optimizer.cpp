@@ -1,0 +1,58 @@
+#include "train/optimizer.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace sesr::train {
+
+void Sgd::step(const std::vector<nn::Parameter*>& params) {
+  for (nn::Parameter* p : params) {
+    float* v = p->value.raw();
+    const float* g = p->grad.raw();
+    const std::int64_t n = p->value.numel();
+    for (std::int64_t i = 0; i < n; ++i) v[i] -= lr_ * g[i];
+  }
+}
+
+Adam::Adam(float lr, float beta1, float beta2, float epsilon)
+    : lr_(lr), beta1_(beta1), beta2_(beta2), epsilon_(epsilon) {}
+
+void Adam::step(const std::vector<nn::Parameter*>& params) {
+  ++t_;
+  const float bias1 = 1.0F - std::pow(beta1_, static_cast<float>(t_));
+  const float bias2 = 1.0F - std::pow(beta2_, static_cast<float>(t_));
+  for (nn::Parameter* p : params) {
+    // Locate (or lazily create) this parameter's moment state. Parameter sets
+    // are tiny (tens of tensors), so a linear scan is fine and avoids imposing
+    // stable addresses via a map-by-name.
+    std::size_t idx = keys_.size();
+    for (std::size_t i = 0; i < keys_.size(); ++i) {
+      if (keys_[i] == p) {
+        idx = i;
+        break;
+      }
+    }
+    if (idx == keys_.size()) {
+      keys_.push_back(p);
+      states_.push_back(State{p->value.zeros_like(), p->value.zeros_like()});
+    }
+    State& s = states_[idx];
+    if (s.m.shape() != p->value.shape()) {
+      throw std::logic_error("Adam: parameter shape changed between steps for " + p->name);
+    }
+    float* value = p->value.raw();
+    const float* grad = p->grad.raw();
+    float* m = s.m.raw();
+    float* v = s.v.raw();
+    const std::int64_t n = p->value.numel();
+    for (std::int64_t i = 0; i < n; ++i) {
+      m[i] = beta1_ * m[i] + (1.0F - beta1_) * grad[i];
+      v[i] = beta2_ * v[i] + (1.0F - beta2_) * grad[i] * grad[i];
+      const float mhat = m[i] / bias1;
+      const float vhat = v[i] / bias2;
+      value[i] -= lr_ * mhat / (std::sqrt(vhat) + epsilon_);
+    }
+  }
+}
+
+}  // namespace sesr::train

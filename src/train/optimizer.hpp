@@ -1,0 +1,64 @@
+// Optimizers: Adam (the paper trains SESR with Adam, constant lr 5e-4) and
+// plain SGD (used by the Section 4 theory experiments, whose update rules are
+// derived for vanilla gradient descent).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "nn/layer.hpp"
+
+namespace sesr::train {
+
+class Optimizer {
+ public:
+  virtual ~Optimizer() = default;
+  Optimizer() = default;
+  Optimizer(const Optimizer&) = delete;
+  Optimizer& operator=(const Optimizer&) = delete;
+
+  // Applies one update using the gradients currently stored in the parameters,
+  // then leaves gradients untouched (callers zero them per step).
+  virtual void step(const std::vector<nn::Parameter*>& params) = 0;
+
+  virtual void set_learning_rate(float lr) = 0;
+  virtual float learning_rate() const = 0;
+};
+
+class Sgd final : public Optimizer {
+ public:
+  explicit Sgd(float lr) : lr_(lr) {}
+
+  void step(const std::vector<nn::Parameter*>& params) override;
+  void set_learning_rate(float lr) override { lr_ = lr; }
+  float learning_rate() const override { return lr_; }
+
+ private:
+  float lr_;
+};
+
+class Adam final : public Optimizer {
+ public:
+  explicit Adam(float lr, float beta1 = 0.9F, float beta2 = 0.999F, float epsilon = 1e-8F);
+
+  void step(const std::vector<nn::Parameter*>& params) override;
+  void set_learning_rate(float lr) override { lr_ = lr; }
+  float learning_rate() const override { return lr_; }
+
+ private:
+  struct State {
+    Tensor m;
+    Tensor v;
+  };
+
+  float lr_;
+  float beta1_;
+  float beta2_;
+  float epsilon_;
+  std::int64_t t_ = 0;
+  // First/second moment per parameter, keyed by insertion order of first sight.
+  std::vector<State> states_;
+  std::vector<const nn::Parameter*> keys_;
+};
+
+}  // namespace sesr::train

@@ -1,0 +1,43 @@
+#include "train/trainer.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <stdexcept>
+
+namespace sesr::train {
+
+float TrainHistory::mean_tail_loss(std::int64_t window) const {
+  if (loss.empty()) return 0.0F;
+  const auto n = static_cast<std::int64_t>(loss.size());
+  const std::int64_t start = std::max<std::int64_t>(0, n - window);
+  double acc = 0.0;
+  for (std::int64_t i = start; i < n; ++i) acc += loss[static_cast<std::size_t>(i)];
+  return static_cast<float>(acc / static_cast<double>(n - start));
+}
+
+TrainHistory Trainer::run(const BatchProvider& batches, const TrainOptions& options) {
+  if (options.steps < 1) throw std::invalid_argument("Trainer: steps must be >= 1");
+  TrainHistory history;
+  history.loss.reserve(static_cast<std::size_t>(options.steps));
+  history.grad_norm.reserve(static_cast<std::size_t>(options.steps));
+  std::vector<nn::Parameter*> params = model_.parameters();
+  for (std::int64_t step = 0; step < options.steps; ++step) {
+    auto [input, target] = batches(step);
+    nn::zero_gradients(params);
+    Tensor output = model_.forward(input, /*training=*/true);
+    LossResult loss = loss_fn_(output, target);
+    model_.backward(loss.grad);
+    optimizer_.set_learning_rate(schedule_.at(step));
+    optimizer_.step(params);
+    history.loss.push_back(loss.value);
+    history.grad_norm.push_back(nn::gradient_norm(params));
+    if (options.log_every > 0 && (step % options.log_every == 0 || step + 1 == options.steps)) {
+      std::printf("[%s] step %5lld  loss %.6f  |grad| %.4f\n", model_.name().c_str(),
+                  static_cast<long long>(step), static_cast<double>(loss.value),
+                  static_cast<double>(history.grad_norm.back()));
+    }
+  }
+  return history;
+}
+
+}  // namespace sesr::train

@@ -1,0 +1,51 @@
+// Generic training loop.
+//
+// The Trainer is deliberately small: it pulls (LR, HR) batches from a provider
+// callback, runs forward/loss/backward/step, applies the LR schedule, and
+// records telemetry (loss curve, global gradient norms) that the Section 5.4
+// vanishing-gradient reproduction plots.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "train/loss.hpp"
+#include "train/lr_schedule.hpp"
+#include "train/model.hpp"
+#include "train/optimizer.hpp"
+
+namespace sesr::train {
+
+// Supplies one training batch: first = network input (LR), second = target (HR).
+using BatchProvider = std::function<std::pair<Tensor, Tensor>(std::int64_t step)>;
+// Loss function signature (l1_loss / l2_loss or custom).
+using LossFn = std::function<LossResult(const Tensor&, const Tensor&)>;
+
+struct TrainOptions {
+  std::int64_t steps = 100;
+  std::int64_t log_every = 0;  // 0 = silent
+};
+
+struct TrainHistory {
+  std::vector<float> loss;       // per step
+  std::vector<float> grad_norm;  // global L2 gradient norm per step
+  float final_loss() const { return loss.empty() ? 0.0F : loss.back(); }
+  float mean_tail_loss(std::int64_t window) const;  // mean over the last `window` steps
+};
+
+class Trainer {
+ public:
+  Trainer(Model& model, Optimizer& optimizer, const LrSchedule& schedule, LossFn loss_fn)
+      : model_(model), optimizer_(optimizer), schedule_(schedule), loss_fn_(std::move(loss_fn)) {}
+
+  TrainHistory run(const BatchProvider& batches, const TrainOptions& options);
+
+ private:
+  Model& model_;
+  Optimizer& optimizer_;
+  const LrSchedule& schedule_;
+  LossFn loss_fn_;
+};
+
+}  // namespace sesr::train

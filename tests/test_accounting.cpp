@@ -1,0 +1,122 @@
+// Accounting tests: parameter counts and MAC counts must reproduce the
+// paper's published numbers exactly (Tables 1 and 2 columns, Fig. 3 training
+// costs, Table 3 MAC rows). These are closed-form identities, so exact
+// integer equality is asserted.
+#include <gtest/gtest.h>
+
+#include "core/macs.hpp"
+#include "core/paper_reference.hpp"
+#include "core/training_macs.hpp"
+
+namespace sesr::core {
+namespace {
+
+TEST(Parameters, SesrX2MatchesPaperTable1) {
+  EXPECT_EQ(sesr_parameter_count(sesr_m3(2)), 8912);     // 8.91K
+  EXPECT_EQ(sesr_parameter_count(sesr_m5(2)), 13520);    // 13.52K
+  EXPECT_EQ(sesr_parameter_count(sesr_m7(2)), 18128);    // 18.12K
+  EXPECT_EQ(sesr_parameter_count(sesr_m11(2)), 27344);   // 27.34K
+  EXPECT_EQ(sesr_parameter_count(sesr_xl(2)), 105376);   // 105.37K
+}
+
+TEST(Parameters, SesrX4MatchesPaperTable2) {
+  EXPECT_EQ(sesr_parameter_count(sesr_m3(4)), 13712);    // 13.71K
+  EXPECT_EQ(sesr_parameter_count(sesr_m5(4)), 18320);    // 18.32K
+  EXPECT_EQ(sesr_parameter_count(sesr_m7(4)), 22928);    // 22.92K
+  EXPECT_EQ(sesr_parameter_count(sesr_m11(4)), 32144);   // 32.14K
+  EXPECT_EQ(sesr_parameter_count(sesr_xl(4)), 114976);   // 114.97K
+}
+
+TEST(Parameters, FsrcnnMatchesPaper) {
+  EXPECT_EQ(fsrcnn_parameter_count(), 12464);  // 12.46K
+}
+
+TEST(Macs, SesrX2To720pMatchesPaperTable1) {
+  // Table 1 reports MACs to produce a 1280x720 output via x2 (LR = 640x360).
+  const std::int64_t h = lr_extent_for(720, 2);
+  const std::int64_t w = lr_extent_for(1280, 2);
+  EXPECT_NEAR(sesr_macs(sesr_m3(2), h, w).giga_macs(), 2.05, 0.01);
+  EXPECT_NEAR(sesr_macs(sesr_m5(2), h, w).giga_macs(), 3.11, 0.01);
+  EXPECT_NEAR(sesr_macs(sesr_m7(2), h, w).giga_macs(), 4.17, 0.01);
+  EXPECT_NEAR(sesr_macs(sesr_m11(2), h, w).giga_macs(), 6.30, 0.01);
+  EXPECT_NEAR(sesr_macs(sesr_xl(2), h, w).giga_macs(), 24.27, 0.02);
+}
+
+TEST(Macs, SesrX4To720pMatchesPaperTable2) {
+  const std::int64_t h = lr_extent_for(720, 4);
+  const std::int64_t w = lr_extent_for(1280, 4);
+  EXPECT_NEAR(sesr_macs(sesr_m3(4), h, w).giga_macs(), 0.79, 0.01);
+  EXPECT_NEAR(sesr_macs(sesr_m5(4), h, w).giga_macs(), 1.05, 0.01);
+  EXPECT_NEAR(sesr_macs(sesr_m7(4), h, w).giga_macs(), 1.32, 0.01);
+  EXPECT_NEAR(sesr_macs(sesr_m11(4), h, w).giga_macs(), 1.85, 0.01);
+  EXPECT_NEAR(sesr_macs(sesr_xl(4), h, w).giga_macs(), 6.62, 0.01);
+}
+
+TEST(Macs, FsrcnnTo720pMatchesPaper) {
+  EXPECT_NEAR(fsrcnn_macs(360, 640, 2).giga_macs(), 6.00, 0.01);   // Table 1
+  EXPECT_NEAR(fsrcnn_macs(180, 320, 4).giga_macs(), 4.63, 0.01);   // Table 2
+}
+
+TEST(Macs, Table3FullHdRows) {
+  // Table 3: FSRCNN x2 at 1080p = 54G; SESR-M5 x2 = 28G; x4 = 38G;
+  // tiled 400x300 x2 = 1.62G, x4 = 2.19G.
+  EXPECT_NEAR(fsrcnn_macs(1080, 1920, 2).giga_macs(), 54.0, 0.5);
+  EXPECT_NEAR(sesr_macs(sesr_m5(2), 1080, 1920).giga_macs(), 28.0, 0.1);
+  EXPECT_NEAR(sesr_macs(sesr_m5(4), 1080, 1920).giga_macs(), 38.0, 0.1);
+  EXPECT_NEAR(sesr_macs(sesr_m5(2), 300, 400).giga_macs(), 1.62, 0.01);
+  EXPECT_NEAR(sesr_macs(sesr_m5(4), 300, 400).giga_macs(), 2.19, 0.01);
+}
+
+TEST(Macs, PaperHeadlineRatios) {
+  // "SESR-M11 ... 331x fewer MACs than VDSR" (x4) and "97x" (x2).
+  const double vdsr = 612.6;  // GMACs, from the paper's tables
+  const double m11_x2 = sesr_macs(sesr_m11(2), 360, 640).giga_macs();
+  const double m11_x4 = sesr_macs(sesr_m11(4), 180, 320).giga_macs();
+  EXPECT_NEAR(vdsr / m11_x2, 97.0, 2.0);
+  EXPECT_NEAR(vdsr / m11_x4, 331.0, 5.0);
+}
+
+TEST(Macs, LrExtentValidation) {
+  EXPECT_EQ(lr_extent_for(720, 2), 360);
+  EXPECT_THROW(lr_extent_for(721, 2), std::invalid_argument);
+}
+
+TEST(TrainingMacs, Fig3NumbersReproduceExactly) {
+  // Fig. 3: SESR-M5, batch 32 of 64x64 crops: 41.77B expanded vs 1.84B
+  // collapsed-forward per forward pass.
+  const TrainingMacReport r = training_forward_macs(sesr_m5(2), 32, 64, 64);
+  EXPECT_NEAR(static_cast<double>(r.expanded_forward_macs) * 1e-9, 41.77, 0.01);
+  EXPECT_NEAR(static_cast<double>(r.efficient_total()) * 1e-9, 1.84, 0.01);
+  EXPECT_GT(r.speedup(), 20.0);
+  // The per-step collapse itself is tiny relative to the narrow forward.
+  EXPECT_LT(r.collapse_macs, r.collapsed_forward_macs / 10);
+}
+
+TEST(TrainingMacs, CollapseCostIndependentOfBatchAndImage) {
+  const TrainingMacReport small = training_forward_macs(sesr_m5(2), 1, 16, 16);
+  const TrainingMacReport large = training_forward_macs(sesr_m5(2), 32, 64, 64);
+  EXPECT_EQ(small.collapse_macs, large.collapse_macs);
+  EXPECT_LT(small.collapsed_forward_macs, large.collapsed_forward_macs);
+}
+
+TEST(PaperReference, TablesAreWellFormed) {
+  for (const auto& row : paper::kTable1X2) {
+    EXPECT_FALSE(row.model.empty());
+    for (const auto& entry : row.sets) {
+      if (entry.present()) {
+        EXPECT_GT(entry.psnr, 20.0);
+        EXPECT_LT(entry.psnr, 45.0);
+      }
+    }
+  }
+  // SESR-M11 dominates TPSR-NoGAN in the paper's medium regime on Set5.
+  const auto& tpsr = paper::kTable1X2[7];
+  const auto& m11 = paper::kTable1X2[8];
+  EXPECT_EQ(tpsr.model, "TPSR-NoGAN");
+  EXPECT_EQ(m11.model, "SESR-M11");
+  EXPECT_GT(m11.sets[0].psnr, tpsr.sets[0].psnr);
+  EXPECT_LT(m11.macs_g, tpsr.macs_g);
+}
+
+}  // namespace
+}  // namespace sesr::core

@@ -1,0 +1,326 @@
+// Tests for the baseline models: SingleConvBlock / RepVggBlock (collapse
+// correctness and gradients), the SequentialModel container, FSRCNN, and the
+// SESR topology built from baseline blocks (Section 5.4 variants).
+#include <gtest/gtest.h>
+
+#include "baselines/blocks.hpp"
+#include "baselines/fsrcnn.hpp"
+#include "baselines/sequential.hpp"
+#include "baselines/vdsr.hpp"
+#include "core/sesr_inference.hpp"
+#include "core/sesr_network.hpp"
+#include "nn/activations.hpp"
+#include "nn/conv2d.hpp"
+#include "tensor/tensor_ops.hpp"
+
+namespace sesr::baselines {
+namespace {
+
+core::BlockSpec spec(std::int64_t kh, std::int64_t kw, std::int64_t in_c, std::int64_t out_c,
+                     bool residual) {
+  core::BlockSpec s;
+  s.name = "blk";
+  s.kh = kh;
+  s.kw = kw;
+  s.in_channels = in_c;
+  s.out_channels = out_c;
+  s.short_residual = residual;
+  return s;
+}
+
+TEST(SingleConvBlock, CollapsedWeightReproducesForward) {
+  Rng rng(1);
+  SingleConvBlock block("b", spec(3, 3, 4, 4, true), rng);
+  Rng xrng(2);
+  Tensor x(1, 6, 6, 4);
+  x.fill_uniform(xrng, -1.0F, 1.0F);
+  Tensor via_forward = block.forward(x, false);
+  Tensor via_weight = nn::conv2d(x, block.collapsed_weight(), nn::Padding::kSame);
+  EXPECT_LT(max_abs_diff(via_forward, via_weight), 1e-5F);
+}
+
+TEST(SingleConvBlock, ResidualNeedsMatchingChannels) {
+  Rng rng(3);
+  EXPECT_THROW(SingleConvBlock("b", spec(3, 3, 4, 8, true), rng), std::invalid_argument);
+}
+
+TEST(SingleConvBlock, GradientFlowsToWeightAndInput) {
+  Rng rng(5);
+  SingleConvBlock block("b", spec(3, 3, 3, 3, true), rng);
+  Rng xrng(7);
+  Tensor x(1, 5, 5, 3);
+  x.fill_uniform(xrng, -1.0F, 1.0F);
+  Tensor y = block.forward(x, true);
+  nn::zero_gradients(block.parameters());
+  Tensor gi = block.backward(y);
+  EXPECT_EQ(gi.shape(), x.shape());
+  EXPECT_GT(max_abs(block.parameters()[0]->grad), 0.0F);
+}
+
+TEST(RepVggBlock, CollapsedWeightReproducesForward) {
+  Rng rng(11);
+  RepVggBlock block("b", spec(3, 3, 5, 5, true), rng);
+  Rng xrng(13);
+  Tensor x(1, 7, 6, 5);
+  x.fill_uniform(xrng, -1.0F, 1.0F);
+  Tensor via_forward = block.forward(x, false);
+  Tensor via_weight = nn::conv2d(x, block.collapsed_weight(), nn::Padding::kSame);
+  EXPECT_LT(max_abs_diff(via_forward, via_weight), 1e-5F);
+}
+
+TEST(RepVggBlock, WithoutIdentityStillCollapses) {
+  Rng rng(17);
+  RepVggBlock block("b", spec(5, 5, 1, 8, false), rng);
+  Rng xrng(19);
+  Tensor x(1, 6, 6, 1);
+  x.fill_uniform(xrng, -1.0F, 1.0F);
+  Tensor via_forward = block.forward(x, false);
+  Tensor via_weight = nn::conv2d(x, block.collapsed_weight(), nn::Padding::kSame);
+  EXPECT_LT(max_abs_diff(via_forward, via_weight), 1e-5F);
+}
+
+TEST(RepVggBlock, RejectsEvenKernel) {
+  Rng rng(23);
+  EXPECT_THROW(RepVggBlock("b", spec(2, 2, 4, 4, false), rng), std::invalid_argument);
+}
+
+TEST(RepVggBlock, BothBranchesReceiveGradient) {
+  Rng rng(29);
+  RepVggBlock block("b", spec(3, 3, 4, 4, true), rng);
+  Rng xrng(31);
+  Tensor x(1, 5, 5, 4);
+  x.fill_uniform(xrng, -1.0F, 1.0F);
+  Tensor y = block.forward(x, true);
+  nn::zero_gradients(block.parameters());
+  block.backward(y);
+  auto params = block.parameters();
+  ASSERT_EQ(params.size(), 2U);
+  EXPECT_GT(max_abs(params[0]->grad), 0.0F);
+  EXPECT_GT(max_abs(params[1]->grad), 0.0F);
+}
+
+TEST(RepVggBlock, CollapsedParametersCountOnlyKxK) {
+  Rng rng(37);
+  RepVggBlock block("b", spec(3, 3, 4, 4, true), rng);
+  EXPECT_EQ(block.collapsed_parameter_count(), 3 * 3 * 4 * 4);
+}
+
+TEST(AcNetBlock, CollapsedWeightReproducesForward) {
+  Rng rng(81);
+  AcNetBlock block("b", spec(3, 3, 4, 4, true), rng);
+  Rng xrng(83);
+  Tensor x(1, 7, 6, 4);
+  x.fill_uniform(xrng, -1.0F, 1.0F);
+  Tensor via_forward = block.forward(x, false);
+  Tensor via_weight = nn::conv2d(x, block.collapsed_weight(), nn::Padding::kSame);
+  EXPECT_LT(max_abs_diff(via_forward, via_weight), 1e-5F);
+}
+
+TEST(AcNetBlock, NoIdentityVariantCollapses) {
+  Rng rng(85);
+  AcNetBlock block("b", spec(5, 5, 2, 6, false), rng);
+  Rng xrng(87);
+  Tensor x(1, 6, 6, 2);
+  x.fill_uniform(xrng, -1.0F, 1.0F);
+  Tensor via_forward = block.forward(x, false);
+  Tensor via_weight = nn::conv2d(x, block.collapsed_weight(), nn::Padding::kSame);
+  EXPECT_LT(max_abs_diff(via_forward, via_weight), 1e-5F);
+}
+
+TEST(AcNetBlock, AllThreeBranchesReceiveGradient) {
+  Rng rng(89);
+  AcNetBlock block("b", spec(3, 3, 4, 4, true), rng);
+  Rng xrng(91);
+  Tensor x(1, 5, 5, 4);
+  x.fill_uniform(xrng, -1.0F, 1.0F);
+  Tensor y = block.forward(x, true);
+  nn::zero_gradients(block.parameters());
+  block.backward(y);
+  auto params = block.parameters();
+  ASSERT_EQ(params.size(), 3U);
+  for (nn::Parameter* p : params) EXPECT_GT(max_abs(p->grad), 0.0F) << p->name;
+}
+
+TEST(AcNetBlock, RejectsEvenKernel) {
+  Rng rng(93);
+  EXPECT_THROW(AcNetBlock("b", spec(2, 2, 4, 4, false), rng), std::invalid_argument);
+}
+
+TEST(AcNetBlock, PlugsIntoSesrTopologyAndCollapses) {
+  core::SesrConfig cfg;
+  cfg.f = 6;
+  cfg.m = 2;
+  cfg.scale = 2;
+  Rng rng(95);
+  core::SesrNetwork net(cfg, acnet_factory(), rng, "ACNet");
+  Rng xrng(97);
+  Tensor x(1, 8, 8, 1);
+  x.fill_uniform(xrng, 0.0F, 1.0F);
+  core::SesrInference deployed(net);
+  EXPECT_LT(max_abs_diff(net.forward(x, false), deployed.upscale(x)), 5e-4F);
+}
+
+TEST(Vdsr, ShapesAndParameterCount) {
+  Rng rng(101);
+  VdsrConfig cfg;  // full 20/64
+  Vdsr net(cfg, rng);
+  EXPECT_EQ(net.parameter_count(), 9 * 64 + 18 * 9 * 64 * 64 + 9 * 64);
+  EXPECT_NEAR(static_cast<double>(net.parameter_count()) * 1e-3, 665.0, 5.0);  // paper: 665K
+}
+
+TEST(Vdsr, TinyConfigForwardBackwardAndResidual) {
+  Rng rng(103);
+  VdsrConfig cfg;
+  cfg.depth = 4;
+  cfg.width = 8;
+  Vdsr net(cfg, rng);
+  Rng xrng(107);
+  Tensor x(1, 12, 12, 1);
+  x.fill_uniform(xrng, 0.0F, 1.0F);
+  Tensor y = net.forward(x, true);
+  EXPECT_EQ(y.shape(), x.shape());
+  nn::zero_gradients(net.parameters());
+  net.backward(sub(y, x));
+  for (nn::Parameter* p : net.parameters()) EXPECT_GT(max_abs(p->grad), 0.0F) << p->name;
+  // Global residual: at Glorot init the body output is small, so y ~ x.
+  EXPECT_LT(max_abs_diff(y, x), 0.5F);
+}
+
+TEST(Vdsr, UpscaleRunsBicubicPlusNetwork) {
+  Rng rng(109);
+  VdsrConfig cfg;
+  cfg.depth = 3;
+  cfg.width = 4;
+  Vdsr net(cfg, rng);
+  Tensor lr_img(1, 8, 8, 1);
+  Rng xrng(113);
+  lr_img.fill_uniform(xrng, 0.0F, 1.0F);
+  Tensor hr = net.upscale(lr_img);
+  EXPECT_EQ(hr.shape(), Shape(1, 16, 16, 1));
+}
+
+TEST(SequentialModel, ChainsLayersAndGradients) {
+  Rng rng(41);
+  SequentialModel model("seq");
+  model.add(std::make_unique<nn::Conv2d>("c1", 3, 3, 1, 4, nn::Padding::kSame, false, rng));
+  model.add(std::make_unique<nn::Relu>("r1"));
+  model.add(std::make_unique<nn::Conv2d>("c2", 3, 3, 4, 1, nn::Padding::kSame, false, rng));
+  Rng xrng(43);
+  Tensor x(1, 6, 6, 1);
+  x.fill_uniform(xrng, -1.0F, 1.0F);
+  Tensor y = model.forward(x, true);
+  EXPECT_EQ(y.shape(), x.shape());
+  nn::zero_gradients(model.parameters());
+  model.backward(y);
+  EXPECT_EQ(model.parameters().size(), 2U);
+  for (nn::Parameter* p : model.parameters()) EXPECT_GT(max_abs(p->grad), 0.0F);
+}
+
+TEST(SequentialModel, RejectsNullLayer) {
+  SequentialModel model("seq");
+  EXPECT_THROW(model.add(nullptr), std::invalid_argument);
+}
+
+TEST(Fsrcnn, OutputShapeAndParameterCount) {
+  Rng rng(47);
+  FsrcnnConfig cfg;
+  auto model = make_fsrcnn(cfg, rng);
+  Tensor x(1, 10, 12, 1);
+  Tensor y = model->forward(x, false);
+  EXPECT_EQ(y.shape(), Shape(1, 20, 24, 1));
+  // 12.46K parameters (bias-free), plus PReLU slopes.
+  std::int64_t conv_params = 0;
+  std::int64_t prelu_params = 0;
+  for (nn::Parameter* p : model->parameters()) {
+    if (p->name.find("act") != std::string::npos) prelu_params += p->value.numel();
+    else conv_params += p->value.numel();
+  }
+  EXPECT_EQ(conv_params, 12464);
+  EXPECT_EQ(conv_params, fsrcnn_parameters(cfg));
+  EXPECT_EQ(prelu_params, 56 + 12 + 4 * 12 + 56);
+}
+
+TEST(Fsrcnn, X4OutputShape) {
+  Rng rng(53);
+  FsrcnnConfig cfg;
+  cfg.scale = 4;
+  auto model = make_fsrcnn(cfg, rng);
+  Tensor x(1, 5, 6, 1);
+  Tensor y = model->forward(x, false);
+  EXPECT_EQ(y.shape(), Shape(1, 20, 24, 1));
+}
+
+TEST(Fsrcnn, TrainsOnIdentityTask) {
+  // A few steps on "output = bicubic-ish upscale of input" should reduce loss.
+  Rng rng(59);
+  FsrcnnConfig cfg;
+  cfg.d = 16;
+  cfg.s = 8;
+  cfg.m = 2;  // shrunken for test speed
+  auto model = make_fsrcnn(cfg, rng);
+  Rng xrng(61);
+  float first = 0.0F;
+  float last = 0.0F;
+  for (int step = 0; step < 80; ++step) {
+    Tensor x(1, 6, 6, 1);
+    x.fill_uniform(xrng, 0.0F, 1.0F);
+    Tensor target(1, 12, 12, 1);
+    for (std::int64_t yy = 0; yy < 12; ++yy) {
+      for (std::int64_t xx = 0; xx < 12; ++xx) {
+        target(0, yy, xx, 0) = x(0, yy / 2, xx / 2, 0);
+      }
+    }
+    Tensor y = model->forward(x, true);
+    Tensor diff = sub(y, target);
+    const float loss = l2_norm(diff);
+    if (step == 0) first = loss;
+    last = loss;
+    nn::zero_gradients(model->parameters());
+    model->backward(scale(diff, 2.0F / static_cast<float>(diff.numel())));
+    for (nn::Parameter* p : model->parameters()) axpy_inplace(p->value, p->grad, -0.1F);
+  }
+  EXPECT_LT(last, first * 0.8F);
+}
+
+TEST(VariantNetworks, SesrTopologyWithBaselineBlocks) {
+  // The Section 5.4 variants plug into the SESR topology via factories and
+  // must still collapse exactly (training graph == deployed net).
+  core::SesrConfig cfg;
+  cfg.f = 6;
+  cfg.m = 2;
+  cfg.scale = 2;
+  cfg.expand = 24;
+  for (const auto& [label, factory] :
+       std::vector<std::pair<std::string, core::BlockFactory>>{
+           {"VGG", single_conv_factory()}, {"RepVGG", repvgg_factory()}}) {
+    Rng rng(67);
+    core::SesrNetwork net(cfg, factory, rng, label);
+    Rng xrng(71);
+    Tensor x(1, 8, 8, 1);
+    x.fill_uniform(xrng, 0.0F, 1.0F);
+    Tensor y = net.forward(x, false);
+    EXPECT_EQ(y.shape(), Shape(1, 16, 16, 1)) << label;
+    core::SesrInference deployed(net);
+    EXPECT_LT(max_abs_diff(y, deployed.upscale(x)), 5e-4F) << label;
+    EXPECT_NE(net.name().find(label), std::string::npos);
+  }
+}
+
+TEST(VariantNetworks, ExpandNetVariantDropsShortResiduals) {
+  core::SesrConfig cfg;
+  cfg.f = 6;
+  cfg.m = 2;
+  cfg.scale = 2;
+  cfg.expand = 24;
+  cfg.short_residuals = false;  // ExpandNet-style training (Sec 5.4)
+  Rng rng(73);
+  core::SesrNetwork net(cfg, rng);
+  Rng xrng(79);
+  Tensor x(1, 8, 8, 1);
+  x.fill_uniform(xrng, 0.0F, 1.0F);
+  core::SesrInference deployed(net);
+  EXPECT_LT(max_abs_diff(net.forward(x, false), deployed.upscale(x)), 5e-4F);
+}
+
+}  // namespace
+}  // namespace sesr::baselines

@@ -1,0 +1,73 @@
+// Tests for the tools/ command-line argument parser.
+#include <gtest/gtest.h>
+
+#include "../tools/cli_args.hpp"
+
+namespace sesr::cli {
+namespace {
+
+std::vector<Args::Option> options() {
+  return {
+      {"steps", "100", "training steps"},
+      {"lr", "5e-4", "learning rate"},
+      {"name", "model", "output name"},
+      {"verbose", "", "boolean flag"},
+  };
+}
+
+Args parse(std::vector<const char*> argv) {
+  argv.insert(argv.begin(), "prog");
+  return Args(options(), static_cast<int>(argv.size()),
+              const_cast<char**>(argv.data()));
+}
+
+TEST(CliArgs, DefaultsApply) {
+  Args args = parse({});
+  EXPECT_EQ(args.get_int("steps"), 100);
+  EXPECT_DOUBLE_EQ(args.get_double("lr"), 5e-4);
+  EXPECT_EQ(args.get("name"), "model");
+  EXPECT_FALSE(args.get_flag("verbose"));
+}
+
+TEST(CliArgs, EqualsFormParses) {
+  Args args = parse({"--steps=250", "--lr=0.01", "--name=foo"});
+  EXPECT_EQ(args.get_int("steps"), 250);
+  EXPECT_DOUBLE_EQ(args.get_double("lr"), 0.01);
+  EXPECT_EQ(args.get("name"), "foo");
+}
+
+TEST(CliArgs, SpaceFormParses) {
+  Args args = parse({"--steps", "42", "--name", "bar"});
+  EXPECT_EQ(args.get_int("steps"), 42);
+  EXPECT_EQ(args.get("name"), "bar");
+}
+
+TEST(CliArgs, BooleanFlag) {
+  Args args = parse({"--verbose"});
+  EXPECT_TRUE(args.get_flag("verbose"));
+  Args off = parse({"--verbose=0"});
+  EXPECT_FALSE(off.get_flag("verbose"));
+  Args truthy = parse({"--verbose=true"});
+  EXPECT_TRUE(truthy.get_flag("verbose"));
+}
+
+TEST(CliArgs, UnknownOptionThrows) {
+  EXPECT_THROW(parse({"--bogus=1"}), std::invalid_argument);
+  EXPECT_THROW(parse({"--stepz", "10"}), std::invalid_argument);
+}
+
+TEST(CliArgs, PositionalArgumentsCollected) {
+  Args args = parse({"input.pgm", "--steps=5", "output.pgm"});
+  ASSERT_EQ(args.positional().size(), 2U);
+  EXPECT_EQ(args.positional()[0], "input.pgm");
+  EXPECT_EQ(args.positional()[1], "output.pgm");
+  EXPECT_EQ(args.get_int("steps"), 5);
+}
+
+TEST(CliArgs, LastValueWins) {
+  Args args = parse({"--steps=1", "--steps=2"});
+  EXPECT_EQ(args.get_int("steps"), 2);
+}
+
+}  // namespace
+}  // namespace sesr::cli

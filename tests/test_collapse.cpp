@@ -1,0 +1,271 @@
+// Property tests for the collapse algebra (paper Algorithms 1 and 2): the core
+// correctness claims of the whole method.
+//
+// Invariant 1 (Algorithm 1): convolving with the collapsed kernel equals
+// running the expanded sequence, for every kernel geometry in the SESR + NAS
+// search space (odd, even, asymmetric; 1-, 2- and 3-layer sequences).
+// Invariant 2 (Algorithm 2): adding the residual kernel W_R equals adding the
+// block input.
+// Invariant 3: collapse_backward is the exact adjoint of the (linear) collapse.
+#include <gtest/gtest.h>
+
+#include <array>
+#include <tuple>
+
+#include "core/collapse.hpp"
+#include "nn/conv2d.hpp"
+#include "nn/init.hpp"
+#include "tensor/tensor_ops.hpp"
+
+namespace sesr::core {
+namespace {
+
+TEST(ComposedExtent, Formula) {
+  const std::array<std::int64_t, 2> a{5, 1};
+  EXPECT_EQ(composed_kernel_extent(a), 5);
+  const std::array<std::int64_t, 2> b{3, 3};
+  EXPECT_EQ(composed_kernel_extent(b), 5);
+  const std::array<std::int64_t, 3> c{3, 1, 3};
+  EXPECT_EQ(composed_kernel_extent(c), 5);
+  const std::array<std::int64_t, 1> d{7};
+  EXPECT_EQ(composed_kernel_extent(d), 7);
+}
+
+// (kh, kw, in_c, mid_c, out_c) for the standard linear block: k x k then 1 x 1.
+class LinearBlockGeometry
+    : public ::testing::TestWithParam<std::tuple<int, int, int, int, int>> {};
+
+TEST_P(LinearBlockGeometry, CollapsedConvEqualsExpandedSequence) {
+  const auto [kh, kw, in_c, mid_c, out_c] = GetParam();
+  Rng rng(kh * 1009 + kw * 101 + in_c * 11 + mid_c + out_c);
+  Tensor w1 = nn::he_normal_kernel(kh, kw, in_c, mid_c, rng);
+  Tensor w2 = nn::he_normal_kernel(1, 1, mid_c, out_c, rng);
+  const std::array<Tensor, 2> weights{w1, w2};
+  Tensor wc = collapse_conv_sequence(weights);
+  EXPECT_EQ(wc.shape(), Shape(kh, kw, in_c, out_c));
+
+  Tensor x(2, 9, 8, in_c);
+  x.fill_uniform(rng, -1.0F, 1.0F);
+  Tensor expanded = nn::conv2d(nn::conv2d(x, w1, nn::Padding::kSame), w2, nn::Padding::kSame);
+  Tensor collapsed = nn::conv2d(x, wc, nn::Padding::kSame);
+  EXPECT_LT(max_abs_diff(expanded, collapsed), 2e-4F)
+      << "k=" << kh << "x" << kw << " " << in_c << "->" << mid_c << "->" << out_c;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Space, LinearBlockGeometry,
+    ::testing::Values(std::make_tuple(5, 5, 1, 64, 16),   // SESR first block
+                      std::make_tuple(3, 3, 16, 64, 16),  // SESR middle block
+                      std::make_tuple(5, 5, 16, 64, 4),   // SESR last block (x2)
+                      std::make_tuple(5, 5, 16, 64, 16),  // x4 head shape
+                      std::make_tuple(1, 1, 8, 32, 8),    // NAS: 1x1
+                      std::make_tuple(2, 2, 8, 32, 8),    // NAS: even
+                      std::make_tuple(2, 1, 8, 32, 8),    // NAS: asymmetric
+                      std::make_tuple(3, 2, 12, 48, 12),  // NAS: asymmetric
+                      std::make_tuple(2, 3, 12, 48, 12),
+                      std::make_tuple(7, 7, 2, 16, 3)));  // beyond the paper's sizes
+
+TEST(Collapse, ThreeLayerSequence) {
+  // 3x3 * 3x3 * 1x1 collapses to a 5x5 kernel that matches the triple conv.
+  Rng rng(77);
+  Tensor w1 = nn::he_normal_kernel(3, 3, 4, 16, rng);
+  Tensor w2 = nn::he_normal_kernel(3, 3, 16, 8, rng);
+  Tensor w3 = nn::he_normal_kernel(1, 1, 8, 4, rng);
+  const std::array<Tensor, 3> weights{w1, w2, w3};
+  Tensor wc = collapse_conv_sequence(weights);
+  EXPECT_EQ(wc.shape(), Shape(5, 5, 4, 4));
+  Tensor x(1, 10, 10, 4);
+  x.fill_uniform(rng, -1.0F, 1.0F);
+  Tensor expanded = nn::conv2d(
+      nn::conv2d(nn::conv2d(x, w1, nn::Padding::kSame), w2, nn::Padding::kSame), w3,
+      nn::Padding::kSame);
+  Tensor collapsed = nn::conv2d(x, wc, nn::Padding::kSame);
+  // SAME-padded composition differs from the collapsed conv only within the
+  // (composed) border; compare the interior.
+  Tensor interior_a = crop_spatial(expanded, 2, 2, 6, 6);
+  Tensor interior_b = crop_spatial(collapsed, 2, 2, 6, 6);
+  EXPECT_LT(max_abs_diff(interior_a, interior_b), 2e-4F);
+}
+
+TEST(Collapse, SingleLayerIsIdentityOperation) {
+  Rng rng(78);
+  Tensor w = nn::he_normal_kernel(3, 3, 2, 5, rng);
+  const std::array<Tensor, 1> weights{w};
+  Tensor wc = collapse_conv_sequence(weights);
+  EXPECT_LT(max_abs_diff(w, wc), 1e-6F);
+}
+
+TEST(Collapse, ChannelMismatchThrows) {
+  Rng rng(79);
+  Tensor w1 = nn::he_normal_kernel(3, 3, 2, 4, rng);
+  Tensor w2 = nn::he_normal_kernel(1, 1, 5, 2, rng);  // 5 != 4
+  const std::array<Tensor, 2> weights{w1, w2};
+  EXPECT_THROW(collapse_conv_sequence(weights), std::invalid_argument);
+}
+
+TEST(Collapse, EmptySequenceThrows) {
+  const std::vector<Tensor> empty;
+  EXPECT_THROW(collapse_conv_sequence(empty), std::invalid_argument);
+}
+
+TEST(ResidualKernel, ActsAsIdentity) {
+  Rng rng(81);
+  Tensor x(1, 6, 6, 4);
+  x.fill_uniform(rng, -1.0F, 1.0F);
+  Tensor wr = residual_kernel(3, 3, 4);
+  Tensor y = nn::conv2d(x, wr, nn::Padding::kSame);
+  EXPECT_LT(max_abs_diff(x, y), 1e-6F);
+}
+
+TEST(ResidualKernel, FoldEqualsExplicitAdd) {
+  // conv(x, W_C + W_R) == conv(x, W_C) + x — the exact Algorithm 2 claim.
+  Rng rng(83);
+  for (std::int64_t k : {3, 5}) {
+    Tensor wc = nn::he_normal_kernel(k, k, 6, 6, rng);
+    Tensor folded = wc;
+    add_residual_identity(folded);
+    Tensor x(1, 7, 9, 6);
+    x.fill_uniform(rng, -1.0F, 1.0F);
+    Tensor lhs = nn::conv2d(x, folded, nn::Padding::kSame);
+    Tensor rhs = add(nn::conv2d(x, wc, nn::Padding::kSame), x);
+    EXPECT_LT(max_abs_diff(lhs, rhs), 1e-5F) << "k=" << k;
+  }
+}
+
+TEST(ResidualKernel, RejectsNonSquareChannels) {
+  Rng rng(85);
+  Tensor w = nn::he_normal_kernel(3, 3, 4, 8, rng);
+  EXPECT_THROW(add_residual_identity(w), std::invalid_argument);
+}
+
+TEST(ResidualKernel, RejectsEvenKernels) {
+  Rng rng(86);
+  Tensor w = nn::he_normal_kernel(2, 2, 4, 4, rng);
+  EXPECT_THROW(add_residual_identity(w), std::invalid_argument);
+}
+
+TEST(CollapseBackward, IsExactAdjoint) {
+  // The collapse C(w1, w2) is linear in each weight; its backward must satisfy
+  // <C(w1+d1, w2) - C(w1, w2), g> == <d1, grad_w1> for infinitesimal d (here:
+  // exactly, by linearity, for any d in w1 with w2 fixed, and vice versa).
+  Rng rng(91);
+  Tensor w1 = nn::he_normal_kernel(3, 3, 4, 16, rng);
+  Tensor w2 = nn::he_normal_kernel(1, 1, 16, 4, rng);
+  const std::array<Tensor, 2> weights{w1, w2};
+  CollapseCache cache;
+  Tensor wc = collapse_conv_sequence_cached(weights, cache);
+
+  Tensor g(wc.shape());
+  g.fill_uniform(rng, -1.0F, 1.0F);
+  std::array<Tensor, 2> grads{w1.zeros_like(), w2.zeros_like()};
+  collapse_backward(g, weights, cache, grads);
+
+  // Directional derivative in w1.
+  Tensor d1(w1.shape());
+  d1.fill_uniform(rng, -1.0F, 1.0F);
+  Tensor w1p = add(w1, d1);
+  const std::array<Tensor, 2> weights_p{w1p, w2};
+  Tensor wcp = collapse_conv_sequence(weights_p);
+  double lhs = 0.0;
+  for (std::int64_t i = 0; i < wc.numel(); ++i) {
+    lhs += static_cast<double>(wcp.raw()[i] - wc.raw()[i]) * g.raw()[i];
+  }
+  double rhs = 0.0;
+  for (std::int64_t i = 0; i < d1.numel(); ++i) {
+    rhs += static_cast<double>(d1.raw()[i]) * grads[0].raw()[i];
+  }
+  EXPECT_NEAR(lhs, rhs, 1e-2 * std::max(1.0, std::abs(lhs)));
+
+  // Directional derivative in w2.
+  Tensor d2(w2.shape());
+  d2.fill_uniform(rng, -1.0F, 1.0F);
+  Tensor w2p = add(w2, d2);
+  const std::array<Tensor, 2> weights_q{w1, w2p};
+  Tensor wcq = collapse_conv_sequence(weights_q);
+  double lhs2 = 0.0;
+  for (std::int64_t i = 0; i < wc.numel(); ++i) {
+    lhs2 += static_cast<double>(wcq.raw()[i] - wc.raw()[i]) * g.raw()[i];
+  }
+  double rhs2 = 0.0;
+  for (std::int64_t i = 0; i < d2.numel(); ++i) {
+    rhs2 += static_cast<double>(d2.raw()[i]) * grads[1].raw()[i];
+  }
+  EXPECT_NEAR(lhs2, rhs2, 1e-2 * std::max(1.0, std::abs(lhs2)));
+}
+
+TEST(CollapseBias, MatchesExpandedBiasPropagation) {
+  // conv_bias(conv_bias(x, w1, b1), w2, b2) == conv_bias(x, W_C, B_C).
+  Rng rng(93);
+  Tensor w1 = nn::he_normal_kernel(3, 3, 3, 8, rng);
+  Tensor w2 = nn::he_normal_kernel(1, 1, 8, 3, rng);
+  Tensor b1(1, 1, 1, 8);
+  Tensor b2(1, 1, 1, 3);
+  b1.fill_uniform(rng, -0.5F, 0.5F);
+  b2.fill_uniform(rng, -0.5F, 0.5F);
+  const std::array<Tensor, 2> weights{w1, w2};
+  const std::array<Tensor, 2> biases{b1, b2};
+  Tensor wc = collapse_conv_sequence(weights);
+  Tensor bc = collapse_bias_sequence(weights, biases);
+
+  Tensor x(1, 6, 6, 3);
+  x.fill_uniform(rng, -1.0F, 1.0F);
+  Tensor expanded = nn::conv2d_bias(nn::conv2d_bias(x, w1, b1, nn::Padding::kSame), w2, b2,
+                                    nn::Padding::kSame);
+  Tensor collapsed = nn::conv2d_bias(x, wc, bc, nn::Padding::kSame);
+  EXPECT_LT(max_abs_diff(expanded, collapsed), 1e-4F);
+}
+
+TEST(CollapseBiasBackward, IsExactAdjoint) {
+  Rng rng(95);
+  Tensor w1 = nn::he_normal_kernel(3, 3, 2, 6, rng);
+  Tensor w2 = nn::he_normal_kernel(1, 1, 6, 2, rng);
+  Tensor b1(1, 1, 1, 6);
+  Tensor b2(1, 1, 1, 2);
+  b1.fill_uniform(rng, -0.5F, 0.5F);
+  b2.fill_uniform(rng, -0.5F, 0.5F);
+  const std::array<Tensor, 2> weights{w1, w2};
+  const std::array<Tensor, 2> biases{b1, b2};
+  Tensor bc = collapse_bias_sequence(weights, biases);
+
+  Tensor g(bc.shape());
+  g.fill_uniform(rng, -1.0F, 1.0F);
+  std::array<Tensor, 2> gw{w1.zeros_like(), w2.zeros_like()};
+  std::array<Tensor, 2> gb{b1.zeros_like(), b2.zeros_like()};
+  collapse_bias_backward(g, weights, biases, gw, gb);
+
+  // Check d(bias)/d(b1) via directional derivative (linear in b1).
+  Tensor d(b1.shape());
+  d.fill_uniform(rng, -1.0F, 1.0F);
+  const std::array<Tensor, 2> biases_p{add(b1, d), b2};
+  Tensor bcp = collapse_bias_sequence(weights, biases_p);
+  double lhs = 0.0;
+  for (std::int64_t i = 0; i < bc.numel(); ++i) {
+    lhs += static_cast<double>(bcp.raw()[i] - bc.raw()[i]) * g.raw()[i];
+  }
+  double rhs = 0.0;
+  for (std::int64_t i = 0; i < d.numel(); ++i) {
+    rhs += static_cast<double>(d.raw()[i]) * gb[0].raw()[i];
+  }
+  EXPECT_NEAR(lhs, rhs, 1e-3 * std::max(1.0, std::abs(lhs)));
+
+  // d(bias)/d(w2): finite difference on one sampled weight entry.
+  constexpr float kEps = 1e-3F;
+  auto bias_loss = [&](Tensor& w, std::int64_t idx, float delta) {
+    w.raw()[idx] += delta;
+    const std::array<Tensor, 2> ws{w1, w2};
+    Tensor b = collapse_bias_sequence(ws, biases);
+    w.raw()[idx] -= delta;
+    double acc = 0.0;
+    for (std::int64_t i = 0; i < b.numel(); ++i) {
+      acc += static_cast<double>(b.raw()[i]) * g.raw()[i];
+    }
+    return acc;
+  };
+  for (std::int64_t i = 0; i < w2.numel(); i += 4) {
+    const double numeric = (bias_loss(w2, i, kEps) - bias_loss(w2, i, -kEps)) / (2.0 * kEps);
+    EXPECT_NEAR(gw[1].raw()[i], numeric, 5e-2) << "w2 index " << i;
+  }
+}
+
+}  // namespace
+}  // namespace sesr::core

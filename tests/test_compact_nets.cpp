@@ -1,0 +1,199 @@
+// Tests for grouped convolution and the TPSR-like / CARN-M-like trainable
+// baselines (the paper's medium/large-regime comparison rows).
+#include <gtest/gtest.h>
+
+#include "baselines/compact_nets.hpp"
+#include "nn/group_conv.hpp"
+#include "nn/init.hpp"
+#include "tensor/tensor_ops.hpp"
+#include "train/loss.hpp"
+#include "train/optimizer.hpp"
+
+namespace sesr::baselines {
+namespace {
+
+TEST(GroupConv, EquivalentToBlockDiagonalDense) {
+  Rng rng(1);
+  constexpr std::int64_t groups = 4;
+  Tensor w = nn::glorot_uniform_kernel(3, 3, 8 / groups, 8, rng);  // (3,3,2,8)
+  Tensor x(2, 6, 6, 8);
+  x.fill_uniform(rng, -1.0F, 1.0F);
+  Tensor grouped = nn::conv2d_grouped(x, w, groups, nn::Padding::kSame);
+  Tensor dense = nn::conv2d(x, nn::grouped_to_dense(w, groups), nn::Padding::kSame);
+  EXPECT_EQ(grouped.shape(), dense.shape());
+  EXPECT_LT(max_abs_diff(grouped, dense), 1e-5F);
+}
+
+TEST(GroupConv, OneGroupIsPlainConv) {
+  Rng rng(3);
+  Tensor w = nn::glorot_uniform_kernel(3, 3, 4, 6, rng);
+  Tensor x(1, 5, 5, 4);
+  x.fill_uniform(rng, -1.0F, 1.0F);
+  Tensor a = nn::conv2d_grouped(x, w, 1, nn::Padding::kSame);
+  Tensor b = nn::conv2d(x, w, nn::Padding::kSame);
+  EXPECT_LT(max_abs_diff(a, b), 1e-6F);
+}
+
+TEST(GroupConv, DepthwiseExtreme) {
+  // groups == channels: each channel convolved independently.
+  Rng rng(5);
+  Tensor w = nn::glorot_uniform_kernel(3, 3, 1, 4, rng);
+  Tensor x(1, 6, 6, 4);
+  x.fill_uniform(rng, -1.0F, 1.0F);
+  Tensor y = nn::conv2d_grouped(x, w, 4, nn::Padding::kSame);
+  EXPECT_EQ(y.shape(), x.shape());
+  // Channel 0 of the output only depends on channel 0 of the input.
+  Tensor x2 = x;
+  for (std::int64_t i = 0; i < x2.numel(); i += 4) x2.raw()[i + 1] += 1.0F;  // perturb ch 1
+  Tensor y2 = nn::conv2d_grouped(x2, w, 4, nn::Padding::kSame);
+  for (std::int64_t n = 0; n < y.numel(); n += 4) {
+    EXPECT_EQ(y.raw()[n], y2.raw()[n]);  // ch 0 unchanged
+  }
+}
+
+TEST(GroupConv, RejectsBadGrouping) {
+  Rng rng(7);
+  Tensor w = nn::glorot_uniform_kernel(3, 3, 2, 6, rng);
+  Tensor x(1, 4, 4, 7);  // 7 not divisible by 3
+  EXPECT_THROW(nn::conv2d_grouped(x, w, 3, nn::Padding::kSame), std::invalid_argument);
+  EXPECT_THROW(nn::conv2d_grouped(x, w, 0, nn::Padding::kSame), std::invalid_argument);
+}
+
+TEST(GroupConv, LayerGradientMatchesDenseEquivalent) {
+  // Gradients of the grouped layer == block-diagonal entries of the dense
+  // layer's gradient.
+  Rng rng(9);
+  nn::GroupedConv2d grouped("g", 3, 3, 4, 4, 2, nn::Padding::kSame, rng);
+  Tensor dense_w = nn::grouped_to_dense(grouped.weight().value, 2);
+  Tensor x(1, 5, 5, 4);
+  x.fill_uniform(rng, -1.0F, 1.0F);
+  Tensor grad_out(1, 5, 5, 4);
+  grad_out.fill_uniform(rng, -1.0F, 1.0F);
+
+  grouped.forward(x, true);
+  nn::zero_gradients(grouped.parameters());
+  Tensor gi_grouped = grouped.backward(grad_out);
+
+  Tensor dense_grad(dense_w.shape());
+  nn::conv2d_backward_weight(x, grad_out, dense_grad, nn::Padding::kSame);
+  Tensor gi_dense = nn::conv2d_backward_input(grad_out, dense_w, x.shape(), nn::Padding::kSame);
+
+  EXPECT_LT(max_abs_diff(gi_grouped, gi_dense), 1e-4F);
+  // Compare the block-diagonal part of the dense weight grad.
+  const Tensor& gw = grouped.weight().grad;
+  for (std::int64_t ky = 0; ky < 3; ++ky) {
+    for (std::int64_t kx = 0; kx < 3; ++kx) {
+      for (std::int64_t g = 0; g < 2; ++g) {
+        for (std::int64_t ic = 0; ic < 2; ++ic) {
+          for (std::int64_t oc = 0; oc < 2; ++oc) {
+            EXPECT_NEAR(gw(ky, kx, ic, g * 2 + oc),
+                        dense_grad(ky, kx, g * 2 + ic, g * 2 + oc), 1e-4F);
+          }
+        }
+      }
+    }
+  }
+}
+
+TEST(TpsrLike, ShapeAndParameterRegime) {
+  Rng rng(11);
+  TpsrConfig cfg;  // default ~58K params, the paper's medium regime
+  TpsrLike net(cfg, rng);
+  Tensor x(1, 8, 10, 1);
+  Tensor y = net.forward(x, false);
+  EXPECT_EQ(y.shape(), Shape(1, 16, 20, 1));
+  std::int64_t total = 0;
+  for (nn::Parameter* p : net.parameters()) total += p->value.numel();
+  EXPECT_EQ(total, net.parameter_count());
+  EXPECT_NEAR(static_cast<double>(total) * 1e-3, 60.0, 5.0);  // paper: ~60K
+}
+
+TEST(TpsrLike, TrainsAndGradientsFlow) {
+  Rng rng(13);
+  TpsrConfig cfg;
+  cfg.f = 8;
+  cfg.blocks = 2;
+  TpsrLike net(cfg, rng);
+  Rng xrng(17);
+  Tensor x(1, 6, 6, 1);
+  x.fill_uniform(xrng, 0.0F, 1.0F);
+  Tensor target(1, 12, 12, 1);
+  target.fill_uniform(xrng, 0.0F, 1.0F);
+  train::Adam adam(1e-3F);
+  float first = -1.0F;
+  float last = 0.0F;
+  for (int step = 0; step < 25; ++step) {
+    nn::zero_gradients(net.parameters());
+    Tensor y = net.forward(x, true);
+    auto loss = train::l1_loss(y, target);
+    net.backward(loss.grad);
+    adam.step(net.parameters());
+    if (first < 0.0F) first = loss.value;
+    last = loss.value;
+  }
+  EXPECT_LT(last, first);
+  for (nn::Parameter* p : net.parameters()) EXPECT_GT(max_abs(p->grad), 0.0F) << p->name;
+}
+
+TEST(CarnMLike, ShapeAndX4) {
+  Rng rng(19);
+  CarnMConfig cfg;
+  CarnMLike net(cfg, rng);
+  Tensor x(1, 8, 8, 1);
+  EXPECT_EQ(net.forward(x, false).shape(), Shape(1, 16, 16, 1));
+  CarnMConfig cfg4;
+  cfg4.scale = 4;
+  Rng rng4(21);
+  CarnMLike net4(cfg4, rng4);
+  EXPECT_EQ(net4.forward(x, false).shape(), Shape(1, 32, 32, 1));
+}
+
+TEST(CarnMLike, ParameterCountMatchesLayers) {
+  Rng rng(23);
+  CarnMConfig cfg;
+  CarnMLike net(cfg, rng);
+  std::int64_t total = 0;
+  for (nn::Parameter* p : net.parameters()) total += p->value.numel();
+  EXPECT_EQ(total, net.parameter_count());
+  // Group conv saves parameters: grouped block part < dense equivalent.
+  EXPECT_LT(9 * (cfg.f / cfg.groups) * cfg.f, 9 * cfg.f * cfg.f);
+}
+
+TEST(CarnMLike, TrainsAndGradientsFlow) {
+  Rng rng(29);
+  CarnMConfig cfg;
+  cfg.f = 8;
+  cfg.blocks = 2;
+  cfg.groups = 2;
+  CarnMLike net(cfg, rng);
+  Rng xrng(31);
+  Tensor x(1, 6, 6, 1);
+  x.fill_uniform(xrng, 0.0F, 1.0F);
+  Tensor target(1, 12, 12, 1);
+  target.fill_uniform(xrng, 0.0F, 1.0F);
+  train::Adam adam(1e-3F);
+  float first = -1.0F;
+  float last = 0.0F;
+  for (int step = 0; step < 25; ++step) {
+    nn::zero_gradients(net.parameters());
+    Tensor y = net.forward(x, true);
+    auto loss = train::l1_loss(y, target);
+    net.backward(loss.grad);
+    adam.step(net.parameters());
+    if (first < 0.0F) first = loss.value;
+    last = loss.value;
+  }
+  EXPECT_LT(last, first);
+  for (nn::Parameter* p : net.parameters()) EXPECT_GT(max_abs(p->grad), 0.0F) << p->name;
+}
+
+TEST(CarnMLike, RejectsBadConfig) {
+  Rng rng(37);
+  CarnMConfig cfg;
+  cfg.f = 10;
+  cfg.groups = 4;  // 10 % 4 != 0
+  EXPECT_THROW(CarnMLike(cfg, rng), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace sesr::baselines

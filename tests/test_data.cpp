@@ -1,0 +1,333 @@
+// Tests for the data pipeline: bicubic resize, image I/O, color conversion,
+// procedural synthesis, benchmark sets, and LR/HR patch sampling.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+
+#include "data/augment.hpp"
+#include "data/benchmark_sets.hpp"
+#include "data/color.hpp"
+#include "data/dataset.hpp"
+#include "data/image_io.hpp"
+#include "data/resize.hpp"
+#include "data/synthetic.hpp"
+#include "tensor/tensor_ops.hpp"
+
+namespace sesr::data {
+namespace {
+
+TEST(CubicKernel, KeysProperties) {
+  EXPECT_DOUBLE_EQ(cubic_kernel(0.0), 1.0);
+  EXPECT_DOUBLE_EQ(cubic_kernel(1.0), 0.0);
+  EXPECT_DOUBLE_EQ(cubic_kernel(2.0), 0.0);
+  EXPECT_DOUBLE_EQ(cubic_kernel(2.5), 0.0);
+  EXPECT_DOUBLE_EQ(cubic_kernel(-0.5), cubic_kernel(0.5));  // even
+  EXPECT_LT(cubic_kernel(1.5), 0.0);                        // negative lobe
+}
+
+TEST(Resize, PreservesConstantImages) {
+  Tensor x(1, 8, 8, 1);
+  x.fill(0.37F);
+  Tensor up = upscale_bicubic(x, 2);
+  EXPECT_EQ(up.shape(), Shape(1, 16, 16, 1));
+  for (float v : up.data()) EXPECT_NEAR(v, 0.37F, 1e-5F);
+  Tensor down = downscale_bicubic(x, 2);
+  for (float v : down.data()) EXPECT_NEAR(v, 0.37F, 1e-5F);
+}
+
+TEST(Resize, PreservesLinearRamps) {
+  // Bicubic reproduces degree-1 polynomials away from the borders.
+  Tensor x(1, 16, 16, 1);
+  for (std::int64_t y = 0; y < 16; ++y) {
+    for (std::int64_t i = 0; i < 16; ++i) x(0, y, i, 0) = static_cast<float>(i) / 16.0F;
+  }
+  Tensor up = resize_bicubic(x, 16, 32);
+  for (std::int64_t i = 8; i < 24; ++i) {
+    // Input pixel centers map to output centers: x_out = (i + 0.5)/2 - 0.5.
+    const float expected = ((static_cast<float>(i) + 0.5F) / 2.0F - 0.5F) / 16.0F;
+    EXPECT_NEAR(up(0, 8, i, 0), expected, 5e-3F) << "column " << i;
+  }
+}
+
+TEST(Resize, DownThenUpApproximatesIdentityOnSmooth) {
+  Rng rng(3);
+  Tensor smooth = gaussian_blur(plasma_noise(32, 32, 0.5, rng), 2.0);
+  Tensor cycled = upscale_bicubic(downscale_bicubic(smooth, 2), 2);
+  // Smooth content survives a x2 round trip with small error.
+  double err = 0.0;
+  for (std::int64_t i = 0; i < smooth.numel(); ++i) {
+    err += std::fabs(static_cast<double>(smooth.raw()[i]) - cycled.raw()[i]);
+  }
+  EXPECT_LT(err / static_cast<double>(smooth.numel()), 0.02);
+}
+
+TEST(Resize, RejectsIndivisibleDownscale) {
+  Tensor x(1, 9, 8, 1);
+  EXPECT_THROW(downscale_bicubic(x, 2), std::invalid_argument);
+}
+
+TEST(ImageIo, PgmRoundTrip) {
+  Rng rng(5);
+  Tensor img(1, 6, 9, 1);
+  img.fill_uniform(rng, 0.0F, 1.0F);
+  const auto path = (std::filesystem::temp_directory_path() / "sesr_t.pgm").string();
+  write_pnm(path, img);
+  Tensor back = read_pnm(path);
+  EXPECT_EQ(back.shape(), img.shape());
+  EXPECT_LT(max_abs_diff(back, img), 1.0F / 255.0F + 1e-4F);  // 8-bit quantization
+  std::filesystem::remove(path);
+}
+
+TEST(ImageIo, PpmRoundTrip) {
+  Rng rng(7);
+  Tensor img(1, 4, 5, 3);
+  img.fill_uniform(rng, 0.0F, 1.0F);
+  const auto path = (std::filesystem::temp_directory_path() / "sesr_t.ppm").string();
+  write_pnm(path, img);
+  Tensor back = read_pnm(path);
+  EXPECT_EQ(back.shape(), img.shape());
+  EXPECT_LT(max_abs_diff(back, img), 1.0F / 255.0F + 1e-4F);
+  std::filesystem::remove(path);
+}
+
+TEST(ImageIo, HeaderCommentsAreSkipped) {
+  const auto path = (std::filesystem::temp_directory_path() / "sesr_comment.pgm").string();
+  {
+    std::ofstream os(path, std::ios::binary);
+    os << "P5\n# a comment line\n2 2\n# another\n255\n";
+    const unsigned char px[4] = {0, 85, 170, 255};
+    os.write(reinterpret_cast<const char*>(px), 4);
+  }
+  Tensor img = read_pnm(path);
+  EXPECT_EQ(img.shape(), Shape(1, 2, 2, 1));
+  EXPECT_NEAR(img(0, 0, 1, 0), 85.0F / 255.0F, 1e-6F);
+  EXPECT_NEAR(img(0, 1, 1, 0), 1.0F, 1e-6F);
+  std::filesystem::remove(path);
+}
+
+TEST(ImageIo, RejectsBadShapesAndFiles) {
+  Tensor bad(1, 2, 2, 2);
+  EXPECT_THROW(write_pnm("/tmp/x.pnm", bad), std::invalid_argument);
+  EXPECT_THROW(read_pnm("/nonexistent/no.pgm"), std::runtime_error);
+}
+
+TEST(Color, YcbcrRoundTrip) {
+  Rng rng(11);
+  Tensor rgb(1, 4, 4, 3);
+  rgb.fill_uniform(rng, 0.0F, 1.0F);
+  Tensor back = ycbcr_to_rgb(rgb_to_ycbcr(rgb));
+  EXPECT_LT(max_abs_diff(rgb, back), 1e-3F);
+}
+
+TEST(Color, GrayInputsHaveFlatChroma) {
+  Tensor rgb(1, 2, 2, 3);
+  rgb.fill(0.5F);
+  Tensor ycc = rgb_to_ycbcr(rgb);
+  EXPECT_NEAR(ycc(0, 0, 0, 0), 0.5F, 1e-5F);
+  EXPECT_NEAR(ycc(0, 0, 0, 1), 0.5F, 1e-5F);
+  EXPECT_NEAR(ycc(0, 0, 0, 2), 0.5F, 1e-5F);
+}
+
+TEST(Color, ExtractYMatchesLumaWeights) {
+  Tensor rgb(1, 1, 1, 3);
+  rgb(0, 0, 0, 0) = 1.0F;  // pure red
+  Tensor y = extract_y(rgb);
+  EXPECT_NEAR(y(0, 0, 0, 0), 0.299F, 1e-5F);
+  Tensor gray(1, 2, 2, 1);
+  gray.fill(0.3F);
+  EXPECT_EQ(max_abs_diff(extract_y(gray), gray), 0.0F);
+}
+
+TEST(Synthetic, AllFamiliesProduceValidImages) {
+  for (const ImageFamily fam : {ImageFamily::kObjects, ImageFamily::kNatural, ImageFamily::kUrban,
+                                ImageFamily::kLineArt}) {
+    Rng rng(static_cast<std::uint64_t>(fam) + 100);
+    Tensor img = synthesize_image(fam, 48, 64, rng);
+    EXPECT_EQ(img.shape(), Shape(1, 48, 64, 1));
+    for (float v : img.data()) {
+      EXPECT_GE(v, 0.0F);
+      EXPECT_LE(v, 1.0F);
+    }
+    // Images must carry actual content (non-constant).
+    EXPECT_GT(max_abs(sub(img, Tensor(img.shape(), std::vector<float>(
+                                                       static_cast<std::size_t>(img.numel()),
+                                                       mean(img))))),
+              0.02F) << to_string(fam);
+  }
+}
+
+TEST(Synthetic, DeterministicForFixedSeed) {
+  Rng a(42);
+  Rng b(42);
+  Tensor ia = synthesize_image(ImageFamily::kUrban, 32, 32, a);
+  Tensor ib = synthesize_image(ImageFamily::kUrban, 32, 32, b);
+  EXPECT_EQ(max_abs_diff(ia, ib), 0.0F);
+}
+
+TEST(Synthetic, PlasmaNoiseInRangeAndRough) {
+  Rng rng(13);
+  Tensor p = plasma_noise(33, 47, 0.6, rng);
+  EXPECT_EQ(p.shape(), Shape(1, 33, 47, 1));
+  float lo = 1.0F;
+  float hi = 0.0F;
+  for (float v : p.data()) {
+    lo = std::min(lo, v);
+    hi = std::max(hi, v);
+  }
+  EXPECT_NEAR(lo, 0.0F, 1e-5F);
+  EXPECT_NEAR(hi, 1.0F, 1e-5F);
+}
+
+TEST(Synthetic, GaussianBlurReducesVariance) {
+  Rng rng(17);
+  Tensor noisy(1, 24, 24, 1);
+  noisy.fill_uniform(rng, 0.0F, 1.0F);
+  Tensor blurred = gaussian_blur(noisy, 1.5);
+  auto variance = [](const Tensor& t) {
+    const float mu = mean(t);
+    double acc = 0.0;
+    for (float v : t.data()) acc += (v - mu) * (v - mu);
+    return acc / static_cast<double>(t.numel());
+  };
+  EXPECT_LT(variance(blurred), variance(noisy) * 0.3);
+  // Blur preserves the mean (kernel sums to 1, reflect padding).
+  EXPECT_NEAR(mean(blurred), mean(noisy), 0.01F);
+}
+
+TEST(Synthetic, MinimumSizeEnforced) {
+  Rng rng(19);
+  EXPECT_THROW(synthesize_image(ImageFamily::kObjects, 8, 8, rng), std::invalid_argument);
+}
+
+TEST(BenchmarkSets, SixSetsWithExpectedNames) {
+  const auto sets = make_benchmark_sets(48, /*reduced=*/true);
+  ASSERT_EQ(sets.size(), 6U);
+  EXPECT_EQ(sets[0].name, "Set5");
+  EXPECT_EQ(sets[5].name, "DIV2K");
+  for (const auto& set : sets) {
+    EXPECT_FALSE(set.hr.empty());
+    for (const Tensor& img : set.hr) EXPECT_EQ(img.shape(), Shape(1, 48, 48, 1));
+  }
+}
+
+TEST(BenchmarkSets, DeterministicAcrossCalls) {
+  const auto a = make_benchmark_set("Urban100", 48, true);
+  const auto b = make_benchmark_set("Urban100", 48, true);
+  ASSERT_EQ(a.hr.size(), b.hr.size());
+  for (std::size_t i = 0; i < a.hr.size(); ++i) {
+    EXPECT_EQ(max_abs_diff(a.hr[i], b.hr[i]), 0.0F);
+  }
+}
+
+TEST(BenchmarkSets, UnknownNameThrows) {
+  EXPECT_THROW(make_benchmark_set("Set99", 48, true), std::invalid_argument);
+  EXPECT_THROW(make_benchmark_sets(30, true), std::invalid_argument);  // not /4
+}
+
+TEST(Dataset, SampleBatchShapesAndRange) {
+  Rng rng(23);
+  SrDataset ds = SrDataset::synthetic_corpus(4, 48, 48, 2, rng);
+  Rng batch_rng(29);
+  auto [lr, hr] = ds.sample_batch(3, 12, batch_rng);
+  EXPECT_EQ(lr.shape(), Shape(3, 12, 12, 1));
+  EXPECT_EQ(hr.shape(), Shape(3, 24, 24, 1));
+  for (float v : hr.data()) {
+    EXPECT_GE(v, 0.0F);
+    EXPECT_LE(v, 1.0F);
+  }
+}
+
+TEST(Dataset, LrIsBicubicDownscaleOfHr) {
+  Rng rng(31);
+  SrDataset ds = SrDataset::synthetic_corpus(2, 32, 32, 2, rng);
+  auto [lr, hr] = ds.image_pair(0);
+  EXPECT_EQ(lr.shape(), Shape(1, 16, 16, 1));
+  Tensor expected = downscale_bicubic(hr, 2);
+  EXPECT_EQ(max_abs_diff(lr, expected), 0.0F);
+}
+
+TEST(Dataset, RejectsBadConfigs) {
+  Rng rng(37);
+  EXPECT_THROW(SrDataset({}, 2), std::invalid_argument);
+  std::vector<Tensor> imgs;
+  imgs.emplace_back(1, 33, 32, 1);  // not divisible by 2
+  EXPECT_THROW(SrDataset(std::move(imgs), 2), std::invalid_argument);
+  SrDataset ds = SrDataset::synthetic_corpus(1, 32, 32, 2, rng);
+  Rng batch_rng(41);
+  EXPECT_THROW(ds.sample_batch(1, 64, batch_rng), std::invalid_argument);  // crop too large
+}
+
+TEST(Augment, InverseUndoesEveryTransform) {
+  Rng rng(51);
+  Tensor img(1, 6, 9, 2);
+  img.fill_uniform(rng, 0.0F, 1.0F);
+  for (int i = 0; i < 8; ++i) {
+    Tensor t = dihedral_transform(img, i);
+    Tensor back = dihedral_inverse(t, i);
+    EXPECT_EQ(back.shape(), img.shape()) << "index " << i;
+    EXPECT_EQ(max_abs_diff(back, img), 0.0F) << "index " << i;
+  }
+}
+
+TEST(Augment, TransformsAreDistinct) {
+  // On an asymmetric image all 8 dihedral variants differ pairwise.
+  Tensor img(1, 4, 4, 1);
+  for (std::int64_t y = 0; y < 4; ++y) {
+    for (std::int64_t x = 0; x < 4; ++x) img(0, y, x, 0) = static_cast<float>(y * 4 + x);
+  }
+  for (int i = 0; i < 8; ++i) {
+    for (int j = i + 1; j < 8; ++j) {
+      EXPECT_GT(max_abs_diff(dihedral_transform(img, i), dihedral_transform(img, j)), 0.0F)
+          << i << " vs " << j;
+    }
+  }
+}
+
+TEST(Augment, IdentityIsIndexZero) {
+  Rng rng(53);
+  Tensor img(1, 5, 7, 1);
+  img.fill_uniform(rng, 0.0F, 1.0F);
+  EXPECT_EQ(max_abs_diff(dihedral_transform(img, 0), img), 0.0F);
+}
+
+TEST(Augment, PairGetsSameTransform) {
+  // Downscale-then-transform == transform-then-downscale for flips, so the
+  // augmented pair must stay consistent: check via a flip-invariant statistic
+  // and via direct reconstruction for a known seed.
+  Rng rng(57);
+  Tensor hr(1, 8, 8, 1);
+  hr.fill_uniform(rng, 0.0F, 1.0F);
+  Tensor lr(1, 4, 4, 1);
+  lr.fill_uniform(rng, 0.0F, 1.0F);
+  Rng arng(3);
+  auto [alr, ahr] = augment_pair(lr, hr, arng);
+  // Whatever index was drawn, some index must map both back simultaneously.
+  bool matched = false;
+  for (int i = 0; i < 8; ++i) {
+    if (max_abs_diff(dihedral_inverse(alr, i), lr) == 0.0F &&
+        max_abs_diff(dihedral_inverse(ahr, i), hr) == 0.0F) {
+      matched = true;
+      break;
+    }
+  }
+  EXPECT_TRUE(matched);
+}
+
+TEST(Augment, RejectsBadIndex) {
+  Tensor img(1, 2, 2, 1);
+  EXPECT_THROW(dihedral_transform(img, 8), std::invalid_argument);
+  EXPECT_THROW(dihedral_inverse(img, -1), std::invalid_argument);
+}
+
+TEST(Dataset, X4PatchAlignment) {
+  Rng rng(43);
+  SrDataset ds = SrDataset::synthetic_corpus(2, 64, 64, 4, rng);
+  Rng batch_rng(47);
+  auto [lr, hr] = ds.sample_batch(2, 8, batch_rng);
+  EXPECT_EQ(lr.shape(), Shape(2, 8, 8, 1));
+  EXPECT_EQ(hr.shape(), Shape(2, 32, 32, 1));
+}
+
+}  // namespace
+}  // namespace sesr::data

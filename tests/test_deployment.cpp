@@ -1,0 +1,325 @@
+// Tests for the deployment extensions: functional tiled inference
+// (Section 5.6 boundary correctness), int8 post-training quantization
+// (the NPU execution premise), and the Winograd 3x3 fast path.
+#include <gtest/gtest.h>
+
+#include "core/quantize.hpp"
+#include "core/sesr_inference.hpp"
+#include "core/sesr_network.hpp"
+#include "core/streaming.hpp"
+#include "core/tiled_inference.hpp"
+#include "data/synthetic.hpp"
+#include "metrics/psnr.hpp"
+#include "nn/conv2d.hpp"
+#include "nn/init.hpp"
+#include "nn/winograd.hpp"
+#include "tensor/tensor_ops.hpp"
+
+namespace sesr::core {
+namespace {
+
+SesrConfig tiny(std::int64_t scale = 2) {
+  SesrConfig c;
+  c.f = 6;
+  c.m = 2;
+  c.scale = scale;
+  c.expand = 24;
+  return c;
+}
+
+TEST(TiledInference, ReceptiveFieldRadius) {
+  Rng rng(1);
+  SesrNetwork net(sesr_m5(2), rng);
+  SesrInference deployed(net);
+  // Two 5x5 convs (radius 2 each) + five 3x3 convs (radius 1 each) = 9.
+  EXPECT_EQ(receptive_field_radius(deployed), 9);
+}
+
+TEST(TiledInference, ExactWithFullHalo) {
+  Rng rng(2);
+  SesrNetwork net(tiny(2), rng);
+  SesrInference deployed(net);
+  Rng irng(3);
+  Tensor image = data::synthesize_image(data::ImageFamily::kUrban, 40, 56, irng);
+  Tensor full = deployed.upscale(image);
+  TilingOptions options;
+  options.tile_h = 16;
+  options.tile_w = 16;
+  options.halo = -1;  // exact
+  Tensor tiled = upscale_tiled(deployed, image, options);
+  EXPECT_EQ(tiled.shape(), full.shape());
+  EXPECT_LT(max_abs_diff(tiled, full), 1e-5F);
+}
+
+TEST(TiledInference, ExactWithUnevenTiles) {
+  // Image dims not divisible by the tile size: edge tiles shrink.
+  Rng rng(4);
+  SesrNetwork net(tiny(2), rng);
+  SesrInference deployed(net);
+  Rng irng(5);
+  Tensor image = data::synthesize_image(data::ImageFamily::kNatural, 34, 46, irng);
+  Tensor full = deployed.upscale(image);
+  TilingOptions options;
+  options.tile_h = 15;
+  options.tile_w = 20;
+  Tensor tiled = upscale_tiled(deployed, image, options);
+  EXPECT_LT(max_abs_diff(tiled, full), 1e-5F);
+}
+
+TEST(TiledInference, ExactForX4) {
+  Rng rng(6);
+  SesrNetwork net(tiny(4), rng);
+  SesrInference deployed(net);
+  Rng irng(7);
+  Tensor image = data::synthesize_image(data::ImageFamily::kObjects, 32, 32, irng);
+  Tensor full = deployed.upscale(image);
+  TilingOptions options;
+  options.tile_h = 12;
+  options.tile_w = 12;
+  Tensor tiled = upscale_tiled(deployed, image, options);
+  EXPECT_LT(max_abs_diff(tiled, full), 1e-5F);
+}
+
+TEST(TiledInference, TruncatedHaloDegradesGracefully) {
+  Rng rng(8);
+  SesrNetwork net(tiny(2), rng);
+  SesrInference deployed(net);
+  Rng irng(9);
+  Tensor image = data::synthesize_image(data::ImageFamily::kNatural, 32, 32, irng);
+  Tensor full = deployed.upscale(image);
+  TilingOptions options;
+  options.tile_h = 16;
+  options.tile_w = 16;
+  options.halo = 1;  // smaller than the receptive field
+  Tensor tiled = upscale_tiled(deployed, image, options);
+  const float err = max_abs_diff(tiled, full);
+  EXPECT_GT(err, 0.0F);          // not exact ...
+  const double psnr = metrics::psnr(tiled, full);
+  EXPECT_GT(psnr, 20.0);         // ... but close (seam artifacts only)
+}
+
+TEST(TiledInference, OverheadAccounting) {
+  TilingOptions options;
+  options.tile_h = 16;
+  options.tile_w = 16;
+  // halo 0: no overhead at all.
+  EXPECT_DOUBLE_EQ(tiling_compute_overhead(64, 64, options, 0), 1.0);
+  // halo 4 on 16x16 tiles: interior tiles are 24x24 -> up to 2.25x.
+  const double overhead = tiling_compute_overhead(64, 64, options, 4);
+  EXPECT_GT(overhead, 1.5);
+  EXPECT_LT(overhead, 2.25 + 1e-9);
+}
+
+TEST(TiledInference, RejectsBadInputs) {
+  Rng rng(10);
+  SesrNetwork net(tiny(2), rng);
+  SesrInference deployed(net);
+  Tensor batch(2, 16, 16, 1);
+  EXPECT_THROW(upscale_tiled(deployed, batch, {}), std::invalid_argument);
+  Tensor rgb(1, 16, 16, 3);
+  EXPECT_THROW(upscale_tiled(deployed, rgb, {}), std::invalid_argument);
+  TilingOptions bad;
+  bad.tile_h = 0;
+  Tensor ok(1, 16, 16, 1);
+  EXPECT_THROW(upscale_tiled(deployed, ok, bad), std::invalid_argument);
+}
+
+TEST(Streaming, MatchesBatchInferenceX2) {
+  Rng rng(51);
+  SesrNetwork net(tiny(2), rng);
+  SesrInference deployed(net);
+  StreamingUpscaler streamer(deployed);
+  Rng irng(53);
+  Tensor image = data::synthesize_image(data::ImageFamily::kNatural, 40, 48, irng);
+  Tensor batch_out = deployed.upscale(image);
+  Tensor stream_out = streamer.upscale(image);
+  EXPECT_EQ(stream_out.shape(), batch_out.shape());
+  EXPECT_LT(max_abs_diff(stream_out, batch_out), 1e-5F);
+  EXPECT_GT(streamer.peak_buffered_rows(), 0);
+}
+
+TEST(Streaming, MatchesBatchInferenceX4) {
+  Rng rng(55);
+  SesrNetwork net(tiny(4), rng);
+  SesrInference deployed(net);
+  StreamingUpscaler streamer(deployed);
+  Rng irng(57);
+  Tensor image = data::synthesize_image(data::ImageFamily::kUrban, 32, 36, irng);
+  EXPECT_LT(max_abs_diff(streamer.upscale(image), deployed.upscale(image)), 1e-5F);
+}
+
+TEST(Streaming, MatchesHardwareVariant) {
+  Rng rng(59);
+  SesrNetwork net(hardware_variant(tiny(2)), rng);
+  SesrInference deployed(net);
+  StreamingUpscaler streamer(deployed);
+  Rng irng(61);
+  Tensor image = data::synthesize_image(data::ImageFamily::kLineArt, 36, 40, irng);
+  EXPECT_LT(max_abs_diff(streamer.upscale(image), deployed.upscale(image)), 1e-5F);
+}
+
+TEST(Streaming, MatchesOnFullSesrM5) {
+  Rng rng(63);
+  SesrNetwork net(sesr_m5(2), rng);
+  SesrInference deployed(net);
+  StreamingUpscaler streamer(deployed);
+  Rng irng(65);
+  Tensor image = data::synthesize_image(data::ImageFamily::kObjects, 32, 48, irng);
+  EXPECT_LT(max_abs_diff(streamer.upscale(image), deployed.upscale(image)), 1e-5F);
+}
+
+TEST(Streaming, PeakMemoryIndependentOfImageHeight) {
+  // The whole point of line-buffer streaming: buffered bytes depend on width
+  // and kernel rows, not on image height.
+  Rng rng(67);
+  SesrNetwork net(tiny(2), rng);
+  SesrInference deployed(net);
+  StreamingUpscaler streamer(deployed);
+  Rng irng(69);
+  Tensor short_img = data::synthesize_image(data::ImageFamily::kNatural, 24, 32, irng);
+  streamer.upscale(short_img);
+  const std::int64_t peak_short = streamer.peak_buffered_bytes();
+  Tensor tall_img = data::synthesize_image(data::ImageFamily::kNatural, 96, 32, irng);
+  streamer.upscale(tall_img);
+  const std::int64_t peak_tall = streamer.peak_buffered_bytes();
+  EXPECT_LE(peak_tall, peak_short + peak_short / 4) << "memory grew with height";
+  // And it is far below buffering the full feature maps (H * W * f * convs).
+  const std::int64_t full_buffering = 96 * 32 * 6 * 4 * 4;
+  EXPECT_LT(peak_tall, full_buffering / 2);
+}
+
+TEST(Streaming, RejectsBatchedOrColorInput) {
+  Rng rng(71);
+  SesrNetwork net(tiny(2), rng);
+  SesrInference deployed(net);
+  StreamingUpscaler streamer(deployed);
+  Tensor batch(2, 16, 16, 1);
+  EXPECT_THROW(streamer.upscale(batch), std::invalid_argument);
+  Tensor rgb(1, 16, 16, 3);
+  EXPECT_THROW(streamer.upscale(rgb), std::invalid_argument);
+}
+
+TEST(Quantize, SymmetricRoundTrip) {
+  Rng rng(11);
+  Tensor t(1, 4, 4, 3);
+  t.fill_uniform(rng, -2.0F, 2.0F);
+  QuantizedTensor q = quantize_symmetric(t);
+  Tensor back = dequantize(q);
+  EXPECT_EQ(back.shape(), t.shape());
+  // Max error bounded by half a quantization step.
+  EXPECT_LT(max_abs_diff(t, back), q.scale * 0.5F + 1e-7F);
+}
+
+TEST(Quantize, ZeroTensorHandled) {
+  Tensor t(1, 2, 2, 1);
+  QuantizedTensor q = quantize_symmetric(t);
+  EXPECT_EQ(q.scale, 1.0F);
+  EXPECT_EQ(max_abs(dequantize(q)), 0.0F);
+}
+
+TEST(Quantize, Int8ConvMatchesFloatWithinQuantNoise) {
+  Rng rng(13);
+  Tensor x(1, 8, 8, 4);
+  x.fill_uniform(rng, -1.0F, 1.0F);
+  Tensor w = nn::glorot_uniform_kernel(3, 3, 4, 6, rng);
+  Tensor reference = nn::conv2d(x, w, nn::Padding::kSame);
+  Tensor quantized = conv2d_int8(quantize_symmetric(x), quantize_symmetric(w));
+  EXPECT_EQ(quantized.shape(), reference.shape());
+  // Error should be small relative to the signal.
+  EXPECT_LT(max_abs_diff(reference, quantized), 0.05F * std::max(1.0F, max_abs(reference)));
+}
+
+TEST(Quantize, QuantizedSesrStaysCloseToFloat) {
+  Rng rng(17);
+  SesrNetwork net(tiny(2), rng);
+  SesrInference deployed(net);
+  Rng irng(19);
+  std::vector<Tensor> calib;
+  for (int i = 0; i < 2; ++i) {
+    calib.push_back(data::synthesize_image(data::ImageFamily::kNatural, 32, 32, irng));
+  }
+  QuantizedSesr quant(deployed, calib);
+  EXPECT_EQ(quant.weight_bytes(), deployed.parameter_count());
+
+  Tensor image = data::synthesize_image(data::ImageFamily::kObjects, 32, 32, irng);
+  Tensor float_out = deployed.upscale(image);
+  Tensor int8_out = quant.upscale(image);
+  EXPECT_EQ(int8_out.shape(), float_out.shape());
+  const double agreement = metrics::psnr(int8_out, float_out);
+  EXPECT_GT(agreement, 35.0) << "int8 output strays too far from float";
+}
+
+TEST(Quantize, WorksOnHardwareVariant) {
+  // ReLU + no input residual: the configuration that actually ships (Table 3).
+  Rng rng(101);
+  SesrNetwork net(hardware_variant(tiny(2)), rng);
+  SesrInference deployed(net);
+  Rng irng(103);
+  std::vector<Tensor> calib{data::synthesize_image(data::ImageFamily::kNatural, 32, 32, irng)};
+  QuantizedSesr quant(deployed, calib);
+  Tensor image = data::synthesize_image(data::ImageFamily::kUrban, 32, 32, irng);
+  Tensor a = deployed.upscale(image);
+  Tensor b = quant.upscale(image);
+  EXPECT_EQ(b.shape(), a.shape());
+  EXPECT_GT(metrics::psnr(b, a), 30.0);
+}
+
+TEST(Quantize, ConvRejectsChannelMismatch) {
+  Rng rng(107);
+  Tensor x(1, 4, 4, 3);
+  x.fill_uniform(rng, -1.0F, 1.0F);
+  Tensor w = nn::glorot_uniform_kernel(3, 3, 2, 2, rng);
+  EXPECT_THROW(conv2d_int8(quantize_symmetric(x), quantize_symmetric(w)), std::invalid_argument);
+}
+
+TEST(Quantize, RequiresCalibration) {
+  Rng rng(23);
+  SesrNetwork net(tiny(2), rng);
+  SesrInference deployed(net);
+  EXPECT_THROW(QuantizedSesr(deployed, {}), std::invalid_argument);
+}
+
+TEST(Winograd, MatchesIm2colConv) {
+  Rng rng(29);
+  for (const auto [h, w, in_c, out_c] :
+       {std::array<std::int64_t, 4>{8, 8, 4, 4}, std::array<std::int64_t, 4>{9, 7, 3, 5},
+        std::array<std::int64_t, 4>{16, 16, 16, 16}, std::array<std::int64_t, 4>{5, 5, 1, 2}}) {
+    Tensor x(1, h, w, in_c);
+    x.fill_uniform(rng, -1.0F, 1.0F);
+    Tensor weight = nn::glorot_uniform_kernel(3, 3, in_c, out_c, rng);
+    Tensor reference = nn::conv2d(x, weight, nn::Padding::kSame);
+    Tensor winograd = nn::conv2d_winograd_3x3(x, weight);
+    EXPECT_EQ(winograd.shape(), reference.shape());
+    EXPECT_LT(max_abs_diff(reference, winograd), 1e-4F) << h << "x" << w;
+  }
+}
+
+TEST(Winograd, PretransformedPathMatches) {
+  Rng rng(31);
+  Tensor x(2, 10, 10, 8);
+  x.fill_uniform(rng, -1.0F, 1.0F);
+  Tensor weight = nn::glorot_uniform_kernel(3, 3, 8, 8, rng);
+  Tensor u = nn::winograd_weight_transform(weight);
+  EXPECT_EQ(u.shape(), Shape(4, 4, 8, 8));
+  Tensor a = nn::conv2d_winograd_3x3(x, weight);
+  Tensor b = nn::conv2d_winograd_3x3_pretransformed(x, u, 8);
+  EXPECT_EQ(max_abs_diff(a, b), 0.0F);
+}
+
+TEST(Winograd, RejectsNon3x3) {
+  Rng rng(37);
+  Tensor w = nn::glorot_uniform_kernel(5, 5, 2, 2, rng);
+  EXPECT_THROW(nn::winograd_weight_transform(w), std::invalid_argument);
+}
+
+TEST(Winograd, IdentityKernelIsIdentity) {
+  Rng rng(41);
+  Tensor x(1, 6, 6, 3);
+  x.fill_uniform(rng, -1.0F, 1.0F);
+  Tensor id = nn::identity_kernel(3, 3, 3);
+  Tensor y = nn::conv2d_winograd_3x3(x, id);
+  EXPECT_LT(max_abs_diff(x, y), 1e-5F);
+}
+
+}  // namespace
+}  // namespace sesr::core

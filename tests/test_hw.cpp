@@ -1,0 +1,198 @@
+// Tests for the NPU performance simulator: IR construction and accounting,
+// roofline behavior, cascade fusion, the Table 3 mechanism (FSRCNN's
+// bandwidth-bound inversion), and tiling arithmetic.
+#include <gtest/gtest.h>
+
+#include "core/macs.hpp"
+#include "hw/network_ir.hpp"
+#include "hw/npu_simulator.hpp"
+
+namespace sesr::hw {
+namespace {
+
+TEST(NetworkIr, SesrMacsMatchAnalyticFormula) {
+  const core::SesrConfig cfg = core::sesr_m5(2);
+  const NetworkIr ir = sesr_ir(cfg, 1080, 1920);
+  EXPECT_EQ(ir.total_macs(), core::sesr_macs(cfg, 1080, 1920).macs);
+  EXPECT_EQ(ir.total_parameters(), core::sesr_parameter_count(cfg));
+}
+
+TEST(NetworkIr, SesrX4MacsMatchAnalyticFormula) {
+  const core::SesrConfig cfg = core::sesr_m5(4);
+  const NetworkIr ir = sesr_ir(cfg, 1080, 1920);
+  EXPECT_EQ(ir.total_macs(), core::sesr_macs(cfg, 1080, 1920).macs);
+}
+
+TEST(NetworkIr, FsrcnnMacsMatchAnalyticFormula) {
+  const NetworkIr ir = fsrcnn_ir(1080, 1920, 2);
+  EXPECT_EQ(ir.total_macs(), core::fsrcnn_macs(1080, 1920, 2).macs);
+  EXPECT_EQ(ir.total_parameters(), core::fsrcnn_parameter_count());
+}
+
+TEST(NetworkIr, LayerGeometryChains) {
+  const NetworkIr ir = fsrcnn_ir(100, 200, 2);
+  const LayerDesc& deconv = ir.layers.back();
+  EXPECT_EQ(deconv.kind, OpKind::kConvTranspose);
+  EXPECT_EQ(deconv.out_h(), 200);
+  EXPECT_EQ(deconv.out_w(), 400);
+  EXPECT_EQ(deconv.out_c, 1);
+}
+
+TEST(NetworkIr, WithInputRescalesEveryLayer) {
+  const NetworkIr ir = sesr_ir(core::sesr_m5(2), 1080, 1920);
+  const NetworkIr tile = ir.with_input(300, 400);
+  EXPECT_EQ(tile.layers.front().in_h, 300);
+  EXPECT_EQ(tile.layers.back().in_h, 300);     // shuffle consumes LR geometry
+  EXPECT_EQ(tile.layers.back().out_h(), 600);  // and emits HR
+  EXPECT_EQ(tile.total_macs(), core::sesr_macs(core::sesr_m5(2), 300, 400).macs);
+}
+
+TEST(NetworkIr, VdsrRunsAtHighResolution) {
+  const NetworkIr ir = vdsr_ir(360, 640, 2);
+  // VDSR body at HR: ~612.6 GMACs to produce 720p (the paper's number).
+  EXPECT_NEAR(static_cast<double>(ir.total_macs()) * 1e-9, 612.6, 15.0);
+  EXPECT_NEAR(static_cast<double>(ir.total_parameters()) * 1e-3, 665.0, 25.0);
+}
+
+TEST(NetworkIr, GenericResidualHitsMacBudget) {
+  const std::int64_t target = 91'200'000'000;  // CARN-M's Table 1 budget
+  const NetworkIr ir = generic_residual_ir("CARN-M-like", 360, 640, 2, 64, target);
+  const double ratio = static_cast<double>(ir.total_macs()) / static_cast<double>(target);
+  EXPECT_GT(ratio, 0.8);
+  EXPECT_LT(ratio, 1.2);
+}
+
+TEST(Simulator, RuntimeMonotoneInWork) {
+  const NpuConfig cfg = ethos_n78_like();
+  const PerfReport small = simulate(sesr_ir(core::sesr_m3(2), 540, 960), cfg);
+  const PerfReport large = simulate(sesr_ir(core::sesr_m11(2), 1080, 1920), cfg);
+  EXPECT_GT(large.runtime_ms, small.runtime_ms);
+  EXPECT_GT(small.fps, large.fps);
+}
+
+TEST(Simulator, ComputeTimeLowerBound) {
+  // Runtime can never beat the pure-compute roofline.
+  const NpuConfig cfg = ethos_n78_like();
+  const NetworkIr ir = sesr_ir(core::sesr_m5(2), 1080, 1920);
+  const PerfReport r = simulate(ir, cfg);
+  const double compute_ms = static_cast<double>(ir.total_macs()) / cfg.macs_per_second() * 1e3;
+  EXPECT_GE(r.runtime_ms, compute_ms * 0.999);
+}
+
+TEST(Simulator, NarrowNetFusesWideNetFractures) {
+  // The heart of Table 3: 16-channel SESR streams end-to-end (single or few
+  // cascades, low DRAM traffic); FSRCNN's 56-channel maps + 9x9 deconv break
+  // fusion and go DRAM-bound.
+  const NpuConfig cfg = ethos_n78_like();
+  const PerfReport sesr =
+      simulate(sesr_ir(core::hardware_variant(core::sesr_m5(2)), 1080, 1920), cfg);
+  const PerfReport fsrcnn = simulate(fsrcnn_ir(1080, 1920, 2), cfg);
+  EXPECT_LT(sesr.cascades.size(), fsrcnn.cascades.size());
+  EXPECT_LT(sesr.dram_traffic_mb, fsrcnn.dram_traffic_mb / 5.0);
+}
+
+TEST(Simulator, Table3RuntimeInversionReproduced) {
+  // Paper Table 3: SESR-M5 has ~2x fewer MACs than FSRCNN but ~6.15x lower
+  // runtime (both x2, 1080p -> 4K). Assert the inversion with a generous band.
+  const NpuConfig cfg = ethos_n78_like();
+  const PerfReport sesr =
+      simulate(sesr_ir(core::hardware_variant(core::sesr_m5(2)), 1080, 1920), cfg);
+  const PerfReport fsrcnn = simulate(fsrcnn_ir(1080, 1920, 2), cfg);
+  const double mac_ratio = static_cast<double>(fsrcnn.macs) / static_cast<double>(sesr.macs);
+  const double runtime_ratio = fsrcnn.runtime_ms / sesr.runtime_ms;
+  EXPECT_NEAR(mac_ratio, 1.93, 0.1);          // 54G / 28G
+  EXPECT_GT(runtime_ratio, 4.0);              // paper: 6.15x
+  EXPECT_LT(runtime_ratio, 9.0);
+  EXPECT_GT(runtime_ratio, mac_ratio * 2.0);  // the inversion itself
+}
+
+TEST(Simulator, ResidualAddsCostTraffic) {
+  // The standard SESR (with long residuals) must move more DRAM bytes than the
+  // hardware variant — the paper's motivation for dropping the input residual.
+  const NpuConfig cfg = ethos_n78_like();
+  const PerfReport standard = simulate(sesr_ir(core::sesr_m5(2), 1080, 1920), cfg);
+  const PerfReport hw = simulate(sesr_ir(core::hardware_variant(core::sesr_m5(2)), 1080, 1920), cfg);
+  EXPECT_GT(standard.dram_traffic_mb, hw.dram_traffic_mb);
+}
+
+TEST(Simulator, BigModelsAreSub3Fps) {
+  // Fig. 1(b): VDSR-class models achieve < 3 FPS for 1080p -> 4K on the
+  // 4-TOP/s NPU.
+  const NpuConfig cfg = ethos_n78_like();
+  const PerfReport vdsr = simulate(vdsr_ir(1080, 1920, 2), cfg);
+  EXPECT_LT(vdsr.fps, 3.0);
+}
+
+TEST(Simulator, EnergyModelSplitsComputeAndDram) {
+  const NpuConfig cfg = ethos_n78_like();
+  const PerfReport sesr =
+      simulate(sesr_ir(core::hardware_variant(core::sesr_m5(2)), 1080, 1920), cfg);
+  const PerfReport fsrcnn = simulate(fsrcnn_ir(1080, 1920, 2), cfg);
+  EXPECT_NEAR(sesr.energy_mj, sesr.energy_compute_mj + sesr.energy_dram_mj, 1e-9);
+  EXPECT_GT(sesr.energy_mj, 0.0);
+  // Fused SESR is compute-dominated; fractured FSRCNN is DRAM-dominated.
+  EXPECT_GT(sesr.energy_compute_mj, sesr.energy_dram_mj);
+  EXPECT_GT(fsrcnn.energy_dram_mj, fsrcnn.energy_compute_mj);
+  // And FSRCNN burns several times the energy per frame.
+  EXPECT_GT(fsrcnn.energy_mj, 2.0 * sesr.energy_mj);
+}
+
+TEST(Simulator, EmptyNetworkThrows) {
+  NetworkIr empty;
+  empty.name = "empty";
+  EXPECT_THROW(simulate(empty, ethos_n78_like()), std::invalid_argument);
+}
+
+TEST(Tiling, PaperTileCountIs17_28) {
+  const NpuConfig cfg = ethos_n78_like();
+  const NetworkIr full = sesr_ir(core::hardware_variant(core::sesr_m5(2)), 1080, 1920);
+  const TiledReport r = simulate_tiled(full, 300, 400, cfg);
+  EXPECT_NEAR(r.tile_count, 17.28, 1e-9);
+  EXPECT_NEAR(r.total_runtime_ms, r.tile.runtime_ms * 17.28, 1e-9);
+}
+
+TEST(Tiling, TileMacsMatchPaperRow) {
+  const NpuConfig cfg = ethos_n78_like();
+  const NetworkIr full = sesr_ir(core::hardware_variant(core::sesr_m5(2)), 1080, 1920);
+  const TiledReport r = simulate_tiled(full, 300, 400, cfg);
+  EXPECT_NEAR(static_cast<double>(r.tile.macs) * 1e-9, 1.62, 0.01);  // Table 3
+}
+
+TEST(Tiling, TilingReducesPerTileDram) {
+  const NpuConfig cfg = ethos_n78_like();
+  const NetworkIr full = fsrcnn_ir(1080, 1920, 2);
+  const PerfReport whole = simulate(full, cfg);
+  const TiledReport tiled = simulate_tiled(full, 300, 400, cfg);
+  // Per-frame traffic with tiling is lower: tiles fuse where the full frame
+  // could not.
+  EXPECT_LT(tiled.tile.dram_traffic_mb * tiled.tile_count, whole.dram_traffic_mb);
+}
+
+TEST(Tiling, TilingSpeedsUpFracturedNetworks) {
+  // FSRCNN fractures at full frame (deconv line-buffer overflow); 400x300
+  // tiles restore fusion, so the tiled frame beats the untiled frame.
+  const NpuConfig cfg = ethos_n78_like();
+  const NetworkIr full = fsrcnn_ir(1080, 1920, 2);
+  const PerfReport whole = simulate(full, cfg);
+  const TiledReport tiled = simulate_tiled(full, 300, 400, cfg, /*halo=*/4);
+  EXPECT_LT(tiled.total_runtime_ms, whole.runtime_ms * 0.7);
+}
+
+TEST(Tiling, HaloAddsOverhead) {
+  const NpuConfig cfg = ethos_n78_like();
+  const NetworkIr full = sesr_ir(core::hardware_variant(core::sesr_m5(2)), 1080, 1920);
+  const TiledReport no_halo = simulate_tiled(full, 300, 400, cfg, 0);
+  const TiledReport halo = simulate_tiled(full, 300, 400, cfg, 8);
+  EXPECT_GT(halo.total_runtime_ms, no_halo.total_runtime_ms);
+  EXPECT_THROW(simulate_tiled(full, 0, 400, cfg), std::invalid_argument);
+}
+
+TEST(Tiling, X4RowMatchesPaperMacs) {
+  const NpuConfig cfg = ethos_n78_like();
+  const NetworkIr full = sesr_ir(core::hardware_variant(core::sesr_m5(4)), 1080, 1920);
+  const TiledReport r = simulate_tiled(full, 300, 400, cfg);
+  EXPECT_NEAR(static_cast<double>(r.tile.macs) * 1e-9, 2.19, 0.01);  // Table 3 x4 tile
+}
+
+}  // namespace
+}  // namespace sesr::hw

@@ -1,0 +1,206 @@
+// Tests for the Collapsible Linear Block: forward equivalence between
+// expanded and collapsed-forward training modes, exact gradient equivalence
+// between the two (the paper's Fig. 3 efficient-training claim), residual
+// handling, and deployment export.
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "core/linear_block.hpp"
+#include "nn/conv2d.hpp"
+#include "tensor/tensor_ops.hpp"
+
+namespace sesr::core {
+namespace {
+
+LinearBlockConfig make_config(std::int64_t kh, std::int64_t kw, std::int64_t in_c,
+                              std::int64_t expand, std::int64_t out_c, bool residual,
+                              BlockMode mode, bool bias = false) {
+  LinearBlockConfig c;
+  c.kh = kh;
+  c.kw = kw;
+  c.in_channels = in_c;
+  c.expand_channels = expand;
+  c.out_channels = out_c;
+  c.short_residual = residual;
+  c.with_bias = bias;
+  c.mode = mode;
+  return c;
+}
+
+// Two blocks with identical weights but different modes.
+std::pair<std::unique_ptr<LinearBlock>, std::unique_ptr<LinearBlock>> twin_blocks(
+    const LinearBlockConfig& base, std::uint64_t seed) {
+  Rng rng_a(seed);
+  Rng rng_b(seed);
+  LinearBlockConfig a = base;
+  a.mode = BlockMode::kExpanded;
+  LinearBlockConfig b = base;
+  b.mode = BlockMode::kCollapsedForward;
+  return {std::make_unique<LinearBlock>("lb", a, rng_a),
+          std::make_unique<LinearBlock>("lb", b, rng_b)};
+}
+
+class BlockGeometry : public ::testing::TestWithParam<std::tuple<int, int, int, bool, bool>> {};
+
+TEST_P(BlockGeometry, ModesProduceIdenticalOutputs) {
+  const auto [kh, kw, channels, residual, bias] = GetParam();
+  auto cfg = make_config(kh, kw, channels, 48, channels, residual, BlockMode::kExpanded, bias);
+  auto [expanded, collapsed] = twin_blocks(cfg, 1000 + kh * 10 + kw);
+  Rng rng(5);
+  Tensor x(2, 7, 6, channels);
+  x.fill_uniform(rng, -1.0F, 1.0F);
+  Tensor ya = expanded->forward(x, false);
+  Tensor yb = collapsed->forward(x, false);
+  EXPECT_LT(max_abs_diff(ya, yb), 2e-4F);
+}
+
+INSTANTIATE_TEST_SUITE_P(Space, BlockGeometry,
+                         ::testing::Values(std::make_tuple(3, 3, 8, true, false),
+                                           std::make_tuple(3, 3, 8, false, false),
+                                           std::make_tuple(5, 5, 4, false, false),
+                                           std::make_tuple(3, 3, 8, true, true),
+                                           std::make_tuple(2, 2, 8, false, false),
+                                           std::make_tuple(3, 2, 6, false, true),
+                                           std::make_tuple(1, 1, 8, false, false)));
+
+TEST(LinearBlock, EfficientTrainingGradientsMatchExpanded) {
+  // The heart of Fig. 3: collapsed-forward training must compute the SAME
+  // weight gradients as expanded-space training, to float tolerance.
+  auto cfg = make_config(3, 3, 6, 32, 6, /*residual=*/true, BlockMode::kExpanded);
+  auto [expanded, collapsed] = twin_blocks(cfg, 42);
+  Rng rng(7);
+  Tensor x(2, 6, 6, 6);
+  x.fill_uniform(rng, -1.0F, 1.0F);
+  Tensor grad_out(2, 6, 6, 6);
+  grad_out.fill_uniform(rng, -1.0F, 1.0F);
+
+  expanded->forward(x, true);
+  nn::zero_gradients(expanded->parameters());
+  Tensor gi_a = expanded->backward(grad_out);
+
+  collapsed->forward(x, true);
+  nn::zero_gradients(collapsed->parameters());
+  Tensor gi_b = collapsed->backward(grad_out);
+
+  EXPECT_LT(max_abs_diff(gi_a, gi_b), 5e-4F) << "input gradients differ across modes";
+  EXPECT_LT(max_abs_diff(expanded->expand_weight().grad, collapsed->expand_weight().grad), 5e-3F);
+  EXPECT_LT(max_abs_diff(expanded->project_weight().grad, collapsed->project_weight().grad),
+            5e-3F);
+}
+
+TEST(LinearBlock, EfficientTrainingGradientsMatchExpandedWithBias) {
+  auto cfg = make_config(3, 3, 4, 24, 4, /*residual=*/true, BlockMode::kExpanded, /*bias=*/true);
+  auto [expanded, collapsed] = twin_blocks(cfg, 43);
+  Rng rng(9);
+  Tensor x(1, 5, 5, 4);
+  x.fill_uniform(rng, -1.0F, 1.0F);
+  Tensor grad_out(1, 5, 5, 4);
+  grad_out.fill_uniform(rng, -1.0F, 1.0F);
+
+  expanded->forward(x, true);
+  nn::zero_gradients(expanded->parameters());
+  expanded->backward(grad_out);
+  collapsed->forward(x, true);
+  nn::zero_gradients(collapsed->parameters());
+  collapsed->backward(grad_out);
+
+  auto pa = expanded->parameters();
+  auto pb = collapsed->parameters();
+  ASSERT_EQ(pa.size(), pb.size());
+  for (std::size_t i = 0; i < pa.size(); ++i) {
+    EXPECT_LT(max_abs_diff(pa[i]->grad, pb[i]->grad), 5e-3F) << pa[i]->name;
+  }
+}
+
+TEST(LinearBlock, ResidualRequiresMatchingChannelsAndOddKernel) {
+  Rng rng(11);
+  EXPECT_THROW(LinearBlock("bad", make_config(3, 3, 4, 16, 8, true, BlockMode::kExpanded), rng),
+               std::invalid_argument);
+  EXPECT_THROW(LinearBlock("bad", make_config(2, 2, 4, 16, 4, true, BlockMode::kExpanded), rng),
+               std::invalid_argument);
+}
+
+TEST(LinearBlock, ResidualForwardAddsInput) {
+  Rng rng_a(21);
+  Rng rng_b(21);
+  auto with = LinearBlock("lb", make_config(3, 3, 5, 20, 5, true, BlockMode::kExpanded), rng_a);
+  auto without = LinearBlock("lb", make_config(3, 3, 5, 20, 5, false, BlockMode::kExpanded), rng_b);
+  Rng rng(3);
+  Tensor x(1, 5, 5, 5);
+  x.fill_uniform(rng, -1.0F, 1.0F);
+  Tensor diff = sub(with.forward(x, false), without.forward(x, false));
+  EXPECT_LT(max_abs_diff(diff, x), 1e-5F);
+}
+
+TEST(LinearBlock, CollapsedWeightFoldsResidual) {
+  Rng rng(31);
+  LinearBlock block("lb", make_config(3, 3, 4, 16, 4, true, BlockMode::kCollapsedForward), rng);
+  Tensor w = block.collapsed_weight();
+  Rng xrng(1);
+  Tensor x(1, 6, 6, 4);
+  x.fill_uniform(xrng, -1.0F, 1.0F);
+  Tensor via_weight = nn::conv2d(x, w, nn::Padding::kSame);
+  Tensor via_forward = block.forward(x, false);
+  EXPECT_LT(max_abs_diff(via_weight, via_forward), 1e-5F);
+}
+
+TEST(LinearBlock, CollapsedParameterCount) {
+  Rng rng(33);
+  LinearBlock block("lb", make_config(3, 3, 16, 256, 16, true, BlockMode::kExpanded), rng);
+  EXPECT_EQ(block.collapsed_parameter_count(), 3 * 3 * 16 * 16);
+  LinearBlock biased("lb2", make_config(5, 5, 1, 256, 16, false, BlockMode::kExpanded, true), rng);
+  EXPECT_EQ(biased.collapsed_parameter_count(), 5 * 5 * 16 + 16);
+}
+
+TEST(LinearBlock, ParameterListSize) {
+  Rng rng(35);
+  LinearBlock plain("a", make_config(3, 3, 4, 16, 4, false, BlockMode::kExpanded), rng);
+  EXPECT_EQ(plain.parameters().size(), 2U);
+  LinearBlock biased("b", make_config(3, 3, 4, 16, 4, false, BlockMode::kExpanded, true), rng);
+  EXPECT_EQ(biased.parameters().size(), 4U);
+}
+
+TEST(LinearBlock, BackwardBeforeForwardThrows) {
+  Rng rng(37);
+  LinearBlock block("lb", make_config(3, 3, 4, 16, 4, false, BlockMode::kCollapsedForward), rng);
+  Tensor g(1, 4, 4, 4);
+  EXPECT_THROW(block.backward(g), std::logic_error);
+}
+
+TEST(LinearBlock, InputChannelMismatchThrows) {
+  Rng rng(39);
+  LinearBlock block("lb", make_config(3, 3, 4, 16, 4, false, BlockMode::kExpanded), rng);
+  Tensor x(1, 4, 4, 3);
+  EXPECT_THROW(block.forward(x, false), std::invalid_argument);
+}
+
+TEST(LinearBlock, TrainingReducesLossInBothModes) {
+  // One-block regression: learn y = 2x. Both modes should fit it; their loss
+  // trajectories must agree step for step (same updates).
+  for (const BlockMode mode : {BlockMode::kExpanded, BlockMode::kCollapsedForward}) {
+    Rng rng(55);
+    LinearBlock block("lb", make_config(3, 3, 2, 16, 2, true, mode), rng);
+    Rng data_rng(66);
+    float first_loss = 0.0F;
+    float last_loss = 0.0F;
+    const float lr = 0.005F;  // expanded parameterization amplifies raw SGD steps
+    for (int step = 0; step < 200; ++step) {
+      Tensor x(1, 6, 6, 2);
+      x.fill_uniform(data_rng, -1.0F, 1.0F);
+      Tensor target = scale(x, 2.0F);
+      Tensor y = block.forward(x, true);
+      Tensor diff = sub(y, target);
+      const float loss = l2_norm(diff);
+      if (step == 0) first_loss = loss;
+      last_loss = loss;
+      nn::zero_gradients(block.parameters());
+      block.backward(scale(diff, 2.0F / static_cast<float>(diff.numel())));
+      for (nn::Parameter* p : block.parameters()) axpy_inplace(p->value, p->grad, -lr);
+    }
+    EXPECT_LT(last_loss, first_loss * 0.5F) << "mode " << static_cast<int>(mode);
+  }
+}
+
+}  // namespace
+}  // namespace sesr::core

@@ -1,0 +1,300 @@
+// Tests for the NAS subsystem: search-space validity, genome operators,
+// candidate networks (shape, collapse-compatible residual rules), latency
+// oracle consistency, and a smoke run of the evolutionary search.
+#include <gtest/gtest.h>
+
+#include "data/dataset.hpp"
+#include "nas/candidate_network.hpp"
+#include "nas/dnas.hpp"
+#include "nas/evolution.hpp"
+#include "nas/search_space.hpp"
+#include "tensor/tensor_ops.hpp"
+
+namespace sesr::nas {
+namespace {
+
+TEST(SearchSpace, MenusContainPaperKernels) {
+  const auto& menu = block_kernel_menu();
+  auto contains = [&](std::int64_t kh, std::int64_t kw) {
+    for (const KernelChoice& k : menu) {
+      if (k.kh == kh && k.kw == kw) return true;
+    }
+    return false;
+  };
+  // Fig. 9(b) uses 2x2, 2x1, 2x3, 3x2 and 3x3 kernels.
+  EXPECT_TRUE(contains(2, 2));
+  EXPECT_TRUE(contains(2, 1));
+  EXPECT_TRUE(contains(2, 3));
+  EXPECT_TRUE(contains(3, 2));
+  EXPECT_TRUE(contains(3, 3));
+}
+
+TEST(SearchSpace, RandomGenomeRespectsBounds) {
+  Rng rng(1);
+  for (int i = 0; i < 50; ++i) {
+    const Genome g = random_genome(2, 2, 8, rng);
+    EXPECT_GE(static_cast<std::int64_t>(g.blocks.size()), 2);
+    EXPECT_LE(static_cast<std::int64_t>(g.blocks.size()), 8);
+    EXPECT_EQ(g.scale, 2);
+    EXPECT_GT(g.f, 0);
+  }
+}
+
+TEST(SearchSpace, ParameterCountFormula) {
+  Genome g;
+  g.f = 16;
+  g.scale = 2;
+  g.first = {5, 5};
+  g.last = {5, 5};
+  g.blocks = {{3, 3}, {3, 3}, {3, 3}, {3, 3}, {3, 3}};
+  // This genome IS SESR-M5: the counts must agree.
+  EXPECT_EQ(g.parameter_count(), 13520);
+}
+
+TEST(SearchSpace, MutationStaysInSpace) {
+  Rng rng(3);
+  Genome g = random_genome(2, 2, 8, rng);
+  for (int i = 0; i < 200; ++i) {
+    g = mutate(g, rng, 2, 8);
+    EXPECT_GE(static_cast<std::int64_t>(g.blocks.size()), 2);
+    EXPECT_LE(static_cast<std::int64_t>(g.blocks.size()), 8);
+  }
+}
+
+TEST(SearchSpace, CrossoverMixesParents) {
+  Rng rng(5);
+  Genome a = random_genome(2, 4, 4, rng);
+  Genome b = random_genome(2, 4, 4, rng);
+  const Genome c = crossover(a, b, rng);
+  EXPECT_GE(c.blocks.size(), 1U);
+  EXPECT_TRUE(c.f == a.f || c.f == b.f);
+}
+
+TEST(SearchSpace, GenomeIrAccounting) {
+  Genome g;
+  g.f = 16;
+  g.scale = 2;
+  g.blocks = {{3, 3}, {2, 2}, {3, 2}};
+  const hw::NetworkIr ir = genome_ir(g, 100, 100);
+  EXPECT_EQ(ir.total_parameters(), g.parameter_count());
+  EXPECT_EQ(ir.total_macs(), 100 * 100 * g.parameter_count());
+}
+
+TEST(CandidateNetwork, ForwardShapeWithMixedKernels) {
+  Genome g;
+  g.f = 8;
+  g.scale = 2;
+  g.first = {3, 3};
+  g.last = {5, 5};
+  g.blocks = {{2, 2}, {3, 2}, {1, 1}};
+  Rng rng(7);
+  CandidateNetwork net(g, 16, rng);
+  Tensor x(1, 10, 12, 1);
+  Tensor y = net.forward(x, false);
+  EXPECT_EQ(y.shape(), Shape(1, 20, 24, 1));
+  EXPECT_EQ(net.collapsed_parameter_count(), g.parameter_count());
+}
+
+TEST(CandidateNetwork, GradientsFlowThroughMixedKernels) {
+  Genome g;
+  g.f = 6;
+  g.scale = 2;
+  g.first = {3, 3};
+  g.last = {3, 3};
+  g.blocks = {{2, 3}, {3, 3}};
+  Rng rng(9);
+  CandidateNetwork net(g, 12, rng);
+  Rng xrng(11);
+  Tensor x(1, 8, 8, 1);
+  x.fill_uniform(xrng, 0.0F, 1.0F);
+  Tensor y = net.forward(x, true);
+  nn::zero_gradients(net.parameters());
+  Tensor grad(y.shape());
+  grad.fill_uniform(xrng, -1.0F, 1.0F);
+  net.backward(grad);
+  for (nn::Parameter* p : net.parameters()) {
+    EXPECT_GT(max_abs(p->grad), 0.0F) << p->name;
+  }
+}
+
+TEST(LatencyOracle, MonotoneInDepth) {
+  const hw::NpuConfig npu = hw::ethos_n78_like();
+  Genome shallow;
+  shallow.f = 16;
+  shallow.blocks = std::vector<KernelChoice>(3, KernelChoice{3, 3});
+  Genome deep = shallow;
+  deep.blocks.assign(9, KernelChoice{3, 3});
+  EXPECT_LT(candidate_latency_ms(shallow, npu, 200, 200),
+            candidate_latency_ms(deep, npu, 200, 200));
+}
+
+TEST(LatencyOracle, MonotoneInWidth) {
+  const hw::NpuConfig npu = hw::ethos_n78_like();
+  Genome narrow;
+  narrow.f = 8;
+  narrow.blocks = std::vector<KernelChoice>(5, KernelChoice{3, 3});
+  Genome wide = narrow;
+  wide.f = 32;
+  EXPECT_LT(candidate_latency_ms(narrow, npu, 200, 200),
+            candidate_latency_ms(wide, npu, 200, 200));
+}
+
+TEST(LatencyOracle, SmallerKernelsAreFaster) {
+  const hw::NpuConfig npu = hw::ethos_n78_like();
+  Genome big;
+  big.f = 16;
+  big.scale = 2;
+  big.blocks = std::vector<KernelChoice>(5, KernelChoice{3, 3});
+  Genome small = big;
+  small.blocks = std::vector<KernelChoice>(5, KernelChoice{2, 2});
+  const double lat_big = candidate_latency_ms(big, npu, 200, 200);
+  const double lat_small = candidate_latency_ms(small, npu, 200, 200);
+  EXPECT_LT(lat_small, lat_big);
+}
+
+TEST(Evolution, SmokeRunFindsFeasibleCandidate) {
+  Rng rng(13);
+  data::SrDataset dataset = data::SrDataset::synthetic_corpus(3, 32, 32, 2, rng);
+  const hw::NpuConfig npu = hw::ethos_n78_like();
+
+  SearchOptions options;
+  options.population = 4;
+  options.generations = 2;
+  options.keep_top = 1;
+  options.proxy_steps = 6;
+  options.proxy_expand = 16;
+  options.proxy_batch = 2;
+  options.proxy_crop = 8;
+  options.eval_images = 1;
+  options.min_depth = 2;
+  options.max_depth = 4;
+  options.latency_h = 64;
+  options.latency_w = 64;
+  // A permissive budget so the tiny run can satisfy it.
+  Genome reference;
+  reference.f = 16;
+  reference.blocks = std::vector<KernelChoice>(5, KernelChoice{3, 3});
+  options.latency_limit_ms = candidate_latency_ms(reference, npu, 64, 64);
+
+  const SearchResult result = evolutionary_search(dataset, npu, options);
+  EXPECT_EQ(result.final_population.size(), 4U);
+  EXPECT_TRUE(result.best.feasible);
+  EXPECT_LE(result.best.latency_ms, options.latency_limit_ms);
+  EXPECT_GT(result.best.psnr, 5.0);  // produced *some* reconstruction
+  // Elitism: best fitness never regresses across generations.
+  for (std::size_t i = 1; i < result.best_fitness_per_generation.size(); ++i) {
+    EXPECT_GE(result.best_fitness_per_generation[i],
+              result.best_fitness_per_generation[i - 1] - 1e-9);
+  }
+}
+
+DnasOptions tiny_dnas() {
+  DnasOptions o;
+  o.slots = 3;
+  o.f = 6;
+  o.expand = 12;
+  o.steps = 8;
+  o.batch = 1;
+  o.crop = 8;
+  o.latency_h = 32;
+  o.latency_w = 32;
+  return o;
+}
+
+TEST(Dnas, SupernetForwardShapeAndUniformInit) {
+  Rng rng(41);
+  const hw::NpuConfig npu = hw::ethos_n78_like();
+  DnasSupernet net(tiny_dnas(), npu, rng);
+  Tensor x(1, 8, 8, 1);
+  Tensor y = net.forward(x, false);
+  EXPECT_EQ(y.shape(), Shape(1, 16, 16, 1));
+  const auto p = net.slot_probabilities(0);
+  ASSERT_EQ(p.size(), net.branch_count());
+  double total = 0.0;
+  for (const double v : p) {
+    EXPECT_NEAR(v, 1.0 / static_cast<double>(p.size()), 1e-9);  // zero logits
+    total += v;
+  }
+  EXPECT_NEAR(total, 1.0, 1e-12);
+}
+
+TEST(Dnas, BackwardPopulatesWeightAndThetaGradients) {
+  Rng rng(43);
+  const hw::NpuConfig npu = hw::ethos_n78_like();
+  DnasSupernet net(tiny_dnas(), npu, rng);
+  Rng xrng(47);
+  Tensor x(1, 8, 8, 1);
+  x.fill_uniform(xrng, 0.0F, 1.0F);
+  Tensor y = net.forward(x, true);
+  nn::zero_gradients(net.parameters());
+  nn::zero_gradients(net.architecture_parameters());
+  Tensor g(y.shape());
+  g.fill_uniform(xrng, -1.0F, 1.0F);
+  net.backward(g);
+  for (nn::Parameter* p : net.parameters()) EXPECT_GT(max_abs(p->grad), 0.0F) << p->name;
+  for (nn::Parameter* t : net.architecture_parameters()) {
+    EXPECT_GT(max_abs(t->grad), 0.0F) << t->name;
+    // Softmax Jacobian output sums to ~0 along the logits.
+    EXPECT_NEAR(sum(t->grad), 0.0F, 1e-5F);
+  }
+}
+
+TEST(Dnas, PureLatencyPressureSelectsSkip) {
+  // With only the latency term driving theta, every slot should converge to
+  // the free skip branch.
+  Rng rng(53);
+  const hw::NpuConfig npu = hw::ethos_n78_like();
+  DnasOptions o = tiny_dnas();
+  o.latency_h = o.latency_w = 200;  // realistic geometry -> meaningful latencies
+  DnasSupernet net(o, npu, rng);
+  auto thetas = net.architecture_parameters();
+  for (int step = 0; step < 500; ++step) {
+    nn::zero_gradients(thetas);
+    net.accumulate_latency_gradients(/*lambda=*/200.0);
+    for (nn::Parameter* t : thetas) axpy_inplace(t->value, t->grad, -0.2F);
+  }
+  for (std::size_t s = 0; s < 3; ++s) {
+    const auto p = net.slot_probabilities(s);
+    std::size_t best = 0;
+    for (std::size_t k = 1; k < p.size(); ++k) {
+      if (p[k] > p[best]) best = k;
+    }
+    EXPECT_EQ(best, p.size() - 1) << "slot " << s << ": skip is not the argmax";
+    EXPECT_GT(p.back(), 0.5) << "slot " << s << " did not favor skip strongly";
+  }
+  const Genome g = net.decode();
+  EXPECT_EQ(g.blocks.size(), 1U);  // degenerate-decode guard keeps one block
+}
+
+TEST(Dnas, SearchSmokeRunProducesValidGenome) {
+  Rng rng(59);
+  data::SrDataset dataset = data::SrDataset::synthetic_corpus(2, 32, 32, 2, rng);
+  const hw::NpuConfig npu = hw::ethos_n78_like();
+  DnasOptions o = tiny_dnas();
+  o.latency_weight = 0.01;
+  const DnasResult result = dnas_search(dataset, npu, o);
+  EXPECT_GE(result.genome.blocks.size(), 1U);
+  EXPECT_LE(result.genome.blocks.size(), 3U);
+  EXPECT_GT(result.decoded_latency_ms, 0.0);
+  EXPECT_GT(result.expected_latency_ms, 0.0);
+  // The decoded genome must be trainable by the candidate machinery.
+  Rng crng(61);
+  CandidateNetwork net(result.genome, 12, crng);
+  Tensor x(1, 8, 8, 1);
+  EXPECT_EQ(net.forward(x, false).shape(), Shape(1, 16, 16, 1));
+}
+
+TEST(Evolution, RejectsBadOptions) {
+  Rng rng(17);
+  data::SrDataset dataset = data::SrDataset::synthetic_corpus(1, 32, 32, 2, rng);
+  const hw::NpuConfig npu = hw::ethos_n78_like();
+  SearchOptions options;
+  options.latency_limit_ms = 0.0;
+  EXPECT_THROW(evolutionary_search(dataset, npu, options), std::invalid_argument);
+  options.latency_limit_ms = 1.0;
+  options.population = 1;
+  EXPECT_THROW(evolutionary_search(dataset, npu, options), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace sesr::nas

@@ -1,0 +1,367 @@
+// Unit tests for the tensor substrate: Shape, Tensor, elementwise/structural
+// ops, RNG determinism and binary serialization.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "tensor/serialize.hpp"
+#include "tensor/tensor.hpp"
+#include "tensor/tensor_ops.hpp"
+#include "tensor/thread_pool.hpp"
+
+namespace sesr {
+namespace {
+
+TEST(Shape, NumelAndAccessors) {
+  Shape s(2, 3, 4, 5);
+  EXPECT_EQ(s.n(), 2);
+  EXPECT_EQ(s.h(), 3);
+  EXPECT_EQ(s.w(), 4);
+  EXPECT_EQ(s.c(), 5);
+  EXPECT_EQ(s.numel(), 120);
+}
+
+TEST(Shape, OffsetIsRowMajorNhwc) {
+  Shape s(2, 3, 4, 5);
+  EXPECT_EQ(s.offset(0, 0, 0, 0), 0);
+  EXPECT_EQ(s.offset(0, 0, 0, 1), 1);
+  EXPECT_EQ(s.offset(0, 0, 1, 0), 5);
+  EXPECT_EQ(s.offset(0, 1, 0, 0), 20);
+  EXPECT_EQ(s.offset(1, 0, 0, 0), 60);
+  EXPECT_EQ(s.offset(1, 2, 3, 4), 119);
+}
+
+TEST(Shape, Equality) {
+  EXPECT_EQ(Shape(1, 2, 3, 4), Shape(1, 2, 3, 4));
+  EXPECT_NE(Shape(1, 2, 3, 4), Shape(1, 2, 4, 3));
+}
+
+TEST(Shape, ValidRejectsNonPositive) {
+  EXPECT_TRUE(Shape(1, 1, 1, 1).valid());
+  EXPECT_FALSE(Shape(0, 1, 1, 1).valid());
+  EXPECT_FALSE(Shape(1, -1, 1, 1).valid());
+}
+
+TEST(Shape, NumelOverflowThrows) {
+  Shape s(1LL << 31, 1LL << 31, 2, 1);
+  EXPECT_THROW(s.numel(), std::overflow_error);
+}
+
+TEST(Shape, ToStringFormat) { EXPECT_EQ(Shape(1, 2, 3, 4).to_string(), "[1, 2, 3, 4]"); }
+
+TEST(Tensor, ConstructsZeroFilled) {
+  Tensor t(2, 3, 3, 1);
+  EXPECT_EQ(t.numel(), 18);
+  for (float v : t.data()) EXPECT_EQ(v, 0.0F);
+}
+
+TEST(Tensor, InvalidShapeThrows) {
+  EXPECT_THROW(Tensor(Shape(0, 1, 1, 1)), std::invalid_argument);
+}
+
+TEST(Tensor, DataSizeMismatchThrows) {
+  EXPECT_THROW(Tensor(Shape(1, 1, 1, 2), std::vector<float>{1.0F}), std::invalid_argument);
+}
+
+TEST(Tensor, ElementAccessRoundTrip) {
+  Tensor t(1, 2, 2, 2);
+  t(0, 1, 0, 1) = 7.5F;
+  EXPECT_EQ(t(0, 1, 0, 1), 7.5F);
+  EXPECT_EQ(t.at(0, 1, 0, 1), 7.5F);
+}
+
+TEST(Tensor, AtThrowsOutOfRange) {
+  Tensor t(1, 2, 2, 2);
+  EXPECT_THROW(t.at(0, 2, 0, 0), std::out_of_range);
+  EXPECT_THROW(t.at(-1, 0, 0, 0), std::out_of_range);
+  EXPECT_THROW(t.at(0, 0, 0, 2), std::out_of_range);
+}
+
+TEST(Tensor, FillAndZero) {
+  Tensor t(1, 2, 2, 1);
+  t.fill(3.0F);
+  for (float v : t.data()) EXPECT_EQ(v, 3.0F);
+  t.zero();
+  for (float v : t.data()) EXPECT_EQ(v, 0.0F);
+}
+
+TEST(Tensor, ReshapedPreservesData) {
+  Tensor t(1, 2, 2, 1);
+  t(0, 0, 0, 0) = 1.0F;
+  t(0, 1, 1, 0) = 4.0F;
+  Tensor r = t.reshaped(Shape(1, 1, 4, 1));
+  EXPECT_EQ(r(0, 0, 0, 0), 1.0F);
+  EXPECT_EQ(r(0, 0, 3, 0), 4.0F);
+  EXPECT_THROW(t.reshaped(Shape(1, 1, 5, 1)), std::invalid_argument);
+}
+
+TEST(Rng, Deterministic) {
+  Rng a(42);
+  Rng b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.uniform(), b.uniform());
+}
+
+TEST(Rng, ForkDecouplesStreams) {
+  Rng a(42);
+  Rng fork = a.fork();
+  const float after_fork = a.uniform();
+  Rng c(42);
+  (void)c.fork();
+  EXPECT_EQ(after_fork, c.uniform());  // fork consumes exactly one draw
+  (void)fork;
+}
+
+TEST(Rng, UniformIntInRange) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    const auto v = rng.uniform_int(3, 9);
+    EXPECT_GE(v, 3);
+    EXPECT_LE(v, 9);
+  }
+}
+
+TEST(Rng, NormalMoments) {
+  Rng rng(11);
+  double sum = 0.0;
+  double sq = 0.0;
+  constexpr int kN = 20000;
+  for (int i = 0; i < kN; ++i) {
+    const double v = rng.normal(1.0F, 2.0F);
+    sum += v;
+    sq += v * v;
+  }
+  const double mean = sum / kN;
+  const double var = sq / kN - mean * mean;
+  EXPECT_NEAR(mean, 1.0, 0.1);
+  EXPECT_NEAR(var, 4.0, 0.3);
+}
+
+TEST(TensorOps, AddSubScale) {
+  Tensor a(1, 1, 2, 1);
+  Tensor b(1, 1, 2, 1);
+  a(0, 0, 0, 0) = 1.0F;
+  a(0, 0, 1, 0) = 2.0F;
+  b(0, 0, 0, 0) = 10.0F;
+  b(0, 0, 1, 0) = 20.0F;
+  Tensor c = add(a, b);
+  EXPECT_EQ(c(0, 0, 0, 0), 11.0F);
+  Tensor d = sub(b, a);
+  EXPECT_EQ(d(0, 0, 1, 0), 18.0F);
+  Tensor e = scale(a, 3.0F);
+  EXPECT_EQ(e(0, 0, 1, 0), 6.0F);
+  add_inplace(a, b);
+  EXPECT_EQ(a(0, 0, 0, 0), 11.0F);
+  axpy_inplace(a, b, -1.0F);
+  EXPECT_EQ(a(0, 0, 0, 0), 1.0F);
+}
+
+TEST(TensorOps, ShapeMismatchThrows) {
+  Tensor a(1, 1, 2, 1);
+  Tensor b(1, 2, 1, 1);
+  EXPECT_THROW(add(a, b), std::invalid_argument);
+  EXPECT_THROW(max_abs_diff(a, b), std::invalid_argument);
+}
+
+TEST(TensorOps, Reductions) {
+  Tensor a(1, 1, 4, 1);
+  a(0, 0, 0, 0) = -3.0F;
+  a(0, 0, 1, 0) = 4.0F;
+  EXPECT_FLOAT_EQ(sum(a), 1.0F);
+  EXPECT_FLOAT_EQ(mean(a), 0.25F);
+  EXPECT_FLOAT_EQ(max_abs(a), 4.0F);
+  EXPECT_FLOAT_EQ(l2_norm(a), 5.0F);
+}
+
+TEST(TensorOps, PadSpatial) {
+  Tensor a(1, 2, 2, 1);
+  a.fill(1.0F);
+  Tensor p = pad_spatial(a, 1, 2, 3, 0);
+  EXPECT_EQ(p.shape(), Shape(1, 5, 5, 1));
+  EXPECT_EQ(p(0, 0, 3, 0), 0.0F);
+  EXPECT_EQ(p(0, 1, 3, 0), 1.0F);
+  EXPECT_EQ(p(0, 2, 4, 0), 1.0F);
+  EXPECT_EQ(p(0, 3, 3, 0), 0.0F);
+  EXPECT_THROW(pad_spatial(a, -1, 0, 0, 0), std::invalid_argument);
+}
+
+TEST(TensorOps, CropSpatial) {
+  Tensor a(1, 4, 4, 1);
+  a(0, 1, 2, 0) = 5.0F;
+  Tensor c = crop_spatial(a, 1, 2, 2, 2);
+  EXPECT_EQ(c.shape(), Shape(1, 2, 2, 1));
+  EXPECT_EQ(c(0, 0, 0, 0), 5.0F);
+  EXPECT_THROW(crop_spatial(a, 3, 3, 2, 2), std::invalid_argument);
+}
+
+TEST(TensorOps, CropIsInverseOfPad) {
+  Rng rng(3);
+  Tensor a(2, 3, 4, 2);
+  a.fill_uniform(rng, -1.0F, 1.0F);
+  Tensor padded = pad_spatial(a, 2, 1, 1, 2);
+  Tensor back = crop_spatial(padded, 2, 1, 3, 4);
+  EXPECT_EQ(max_abs_diff(a, back), 0.0F);
+}
+
+TEST(TensorOps, ReverseSpatialInvolution) {
+  Rng rng(5);
+  Tensor a(1, 3, 5, 2);
+  a.fill_uniform(rng, -1.0F, 1.0F);
+  Tensor twice = reverse_spatial(reverse_spatial(a));
+  EXPECT_EQ(max_abs_diff(a, twice), 0.0F);
+  Tensor r = reverse_spatial(a);
+  EXPECT_EQ(r(0, 0, 0, 0), a(0, 2, 4, 0));
+  EXPECT_EQ(r(0, 2, 4, 1), a(0, 0, 0, 1));
+}
+
+TEST(TensorOps, TransposePermutes) {
+  Tensor a(2, 3, 4, 5);
+  Rng rng(9);
+  a.fill_uniform(rng, -1.0F, 1.0F);
+  Tensor t = transpose(a, {1, 2, 0, 3});
+  EXPECT_EQ(t.shape(), Shape(3, 4, 2, 5));
+  EXPECT_EQ(t(1, 2, 0, 3), a(0, 1, 2, 3));
+  // The inverse permutation restores the original.
+  Tensor back = transpose(t, {2, 0, 1, 3});
+  EXPECT_EQ(max_abs_diff(a, back), 0.0F);
+}
+
+TEST(TensorOps, TransposeRejectsBadPerm) {
+  Tensor a(1, 1, 1, 1);
+  EXPECT_THROW(transpose(a, {0, 0, 1, 2}), std::invalid_argument);
+  EXPECT_THROW(transpose(a, {0, 1, 2, 4}), std::invalid_argument);
+}
+
+TEST(TensorOps, ConcatChannels) {
+  Tensor a(1, 2, 2, 1);
+  Tensor b(1, 2, 2, 2);
+  a.fill(1.0F);
+  b.fill(2.0F);
+  Tensor c = concat_channels(a, b);
+  EXPECT_EQ(c.shape(), Shape(1, 2, 2, 3));
+  EXPECT_EQ(c(0, 1, 1, 0), 1.0F);
+  EXPECT_EQ(c(0, 1, 1, 2), 2.0F);
+  Tensor bad(1, 3, 2, 1);
+  EXPECT_THROW(concat_channels(a, bad), std::invalid_argument);
+}
+
+TEST(TensorOps, BatchSliceAndSet) {
+  Tensor batch(3, 2, 2, 1);
+  Tensor img(1, 2, 2, 1);
+  img.fill(4.0F);
+  set_batch(batch, 2, img);
+  Tensor out = slice_batch(batch, 2);
+  EXPECT_EQ(max_abs_diff(out, img), 0.0F);
+  Tensor zero = slice_batch(batch, 0);
+  EXPECT_EQ(max_abs(zero), 0.0F);
+  EXPECT_THROW(slice_batch(batch, 3), std::out_of_range);
+  EXPECT_THROW(set_batch(batch, -1, img), std::out_of_range);
+}
+
+TEST(ThreadPool, InlineModeRunsEveryIndex) {
+  ThreadPool pool(1);  // inline
+  EXPECT_EQ(pool.worker_count(), 0U);
+  std::vector<int> hits(10, 0);
+  pool.parallel_for(0, 10, [&](std::int64_t i) { ++hits[static_cast<std::size_t>(i)]; });
+  for (int h : hits) EXPECT_EQ(h, 1);
+}
+
+TEST(ThreadPool, WorkersRunEveryIndexExactlyOnce) {
+  ThreadPool pool(3);
+  EXPECT_EQ(pool.worker_count(), 3U);
+  std::vector<std::atomic<int>> hits(100);
+  pool.parallel_for(0, 100, [&](std::int64_t i) { ++hits[static_cast<std::size_t>(i)]; });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPool, EmptyRangeIsNoop) {
+  ThreadPool pool(2);
+  bool called = false;
+  pool.parallel_for(5, 5, [&](std::int64_t) { called = true; });
+  EXPECT_FALSE(called);
+}
+
+TEST(ThreadPool, ExceptionsPropagateToCaller) {
+  ThreadPool pool(2);
+  EXPECT_THROW(pool.parallel_for(0, 8,
+                                 [](std::int64_t i) {
+                                   if (i == 3) throw std::runtime_error("boom");
+                                 }),
+               std::runtime_error);
+  // The pool stays usable afterwards.
+  std::atomic<int> count{0};
+  pool.parallel_for(0, 4, [&](std::int64_t) { ++count; });
+  EXPECT_EQ(count.load(), 4);
+}
+
+TEST(ThreadPool, ReentrantCallsRunInline) {
+  ThreadPool pool(2);
+  std::atomic<int> count{0};
+  pool.parallel_for(0, 4, [&](std::int64_t) {
+    pool.parallel_for(0, 3, [&](std::int64_t) { ++count; });
+  });
+  EXPECT_EQ(count.load(), 12);
+}
+
+TEST(ThreadPool, GlobalDefaultsToInline) {
+  // SESR_NUM_THREADS unset in tests: single-threaded, deterministic.
+  EXPECT_EQ(ThreadPool::global().worker_count(), 0U);
+}
+
+TEST(Serialize, TensorRoundTripThroughStream) {
+  Rng rng(13);
+  Tensor t(2, 3, 4, 5);
+  t.fill_uniform(rng, -10.0F, 10.0F);
+  std::stringstream ss;
+  write_tensor(ss, t);
+  Tensor back = read_tensor(ss);
+  EXPECT_EQ(back.shape(), t.shape());
+  EXPECT_EQ(max_abs_diff(back, t), 0.0F);
+}
+
+TEST(Serialize, FileRoundTripMultipleTensors) {
+  const std::string path = (std::filesystem::temp_directory_path() / "sesr_test.ckpt").string();
+  Rng rng(17);
+  TensorMap map;
+  Tensor a(1, 2, 2, 1);
+  a.fill_uniform(rng, 0.0F, 1.0F);
+  Tensor b(3, 1, 1, 7);
+  b.fill_uniform(rng, -1.0F, 0.0F);
+  map.emplace("alpha", a);
+  map.emplace("beta", b);
+  save_tensors(path, map);
+  TensorMap back = load_tensors(path);
+  ASSERT_EQ(back.size(), 2U);
+  EXPECT_EQ(max_abs_diff(back.at("alpha"), a), 0.0F);
+  EXPECT_EQ(max_abs_diff(back.at("beta"), b), 0.0F);
+  std::remove(path.c_str());
+}
+
+TEST(Serialize, MissingFileThrows) {
+  EXPECT_THROW(load_tensors("/nonexistent/path/x.ckpt"), std::runtime_error);
+}
+
+TEST(Serialize, CorruptMagicThrows) {
+  const std::string path = (std::filesystem::temp_directory_path() / "sesr_bad.ckpt").string();
+  {
+    std::ofstream os(path, std::ios::binary);
+    os << "NOPE garbage";
+  }
+  EXPECT_THROW(load_tensors(path), std::runtime_error);
+  std::remove(path.c_str());
+}
+
+TEST(Serialize, TruncatedStreamThrows) {
+  std::stringstream ss;
+  Tensor t(1, 2, 2, 1);
+  write_tensor(ss, t);
+  std::string s = ss.str();
+  std::stringstream cut(s.substr(0, s.size() - 3));
+  EXPECT_THROW(read_tensor(cut), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace sesr

@@ -1,0 +1,199 @@
+// Tests for losses, optimizers, LR schedules, and the Trainer loop.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "nn/conv2d.hpp"
+#include "train/loss.hpp"
+#include "train/lr_schedule.hpp"
+#include "train/optimizer.hpp"
+#include "train/trainer.hpp"
+#include "tensor/tensor_ops.hpp"
+
+namespace sesr::train {
+namespace {
+
+TEST(Loss, L1ValueAndGradient) {
+  Tensor p(1, 1, 4, 1);
+  Tensor t(1, 1, 4, 1);
+  p(0, 0, 0, 0) = 1.0F;   // +1 diff
+  t(0, 0, 1, 0) = 2.0F;   // -2 diff
+  p(0, 0, 2, 0) = 0.5F;
+  t(0, 0, 2, 0) = 0.5F;   // tie: zero subgradient
+  LossResult r = l1_loss(p, t);
+  EXPECT_FLOAT_EQ(r.value, (1.0F + 2.0F + 0.0F + 0.0F) / 4.0F);
+  EXPECT_FLOAT_EQ(r.grad(0, 0, 0, 0), 0.25F);
+  EXPECT_FLOAT_EQ(r.grad(0, 0, 1, 0), -0.25F);
+  EXPECT_FLOAT_EQ(r.grad(0, 0, 2, 0), 0.0F);
+}
+
+TEST(Loss, L2ValueAndGradient) {
+  Tensor p(1, 1, 2, 1);
+  Tensor t(1, 1, 2, 1);
+  p(0, 0, 0, 0) = 3.0F;
+  LossResult r = l2_loss(p, t);
+  EXPECT_FLOAT_EQ(r.value, 0.5F * 9.0F / 2.0F);
+  EXPECT_FLOAT_EQ(r.grad(0, 0, 0, 0), 3.0F / 2.0F);
+  EXPECT_FLOAT_EQ(r.grad(0, 0, 1, 0), 0.0F);
+}
+
+TEST(Loss, L1GradientIsFiniteDifferenceOfValue) {
+  Rng rng(5);
+  Tensor p(1, 2, 2, 1);
+  Tensor t(1, 2, 2, 1);
+  p.fill_uniform(rng, -1.0F, 1.0F);
+  t.fill_uniform(rng, -1.0F, 1.0F);
+  LossResult r = l1_loss(p, t);
+  constexpr float kEps = 1e-3F;
+  for (std::int64_t i = 0; i < p.numel(); ++i) {
+    Tensor pp = p;
+    pp.raw()[i] += kEps;
+    Tensor pm = p;
+    pm.raw()[i] -= kEps;
+    const float numeric = (l1_loss(pp, t).value - l1_loss(pm, t).value) / (2.0F * kEps);
+    EXPECT_NEAR(r.grad.raw()[i], numeric, 1e-3F);
+  }
+}
+
+TEST(Loss, ShapeMismatchThrows) {
+  Tensor a(1, 1, 2, 1);
+  Tensor b(1, 2, 1, 1);
+  EXPECT_THROW(l1_loss(a, b), std::invalid_argument);
+  EXPECT_THROW(l2_loss(a, b), std::invalid_argument);
+}
+
+// A trivial "model": output = input + w (per element), so L2 loss against a
+// target drives w toward (target - input).
+class QuadraticModel final : public Model {
+ public:
+  explicit QuadraticModel(std::int64_t dim) : param_("w", Tensor(1, 1, 1, dim)) {}
+
+  Tensor forward(const Tensor& input, bool) override { return add(input, param_.value); }
+  void backward(const Tensor& grad_output) override { add_inplace(param_.grad, grad_output); }
+  std::vector<nn::Parameter*> parameters() override { return {&param_}; }
+  std::string name() const override { return "quadratic"; }
+
+  nn::Parameter param_;
+};
+
+TEST(Sgd, ConvergesOnQuadratic) {
+  QuadraticModel model(4);
+  model.param_.value.fill(5.0F);
+  Sgd sgd(0.5F);
+  Tensor zero(1, 1, 1, 4);
+  Tensor target(1, 1, 1, 4);
+  target.fill(1.0F);
+  for (int i = 0; i < 100; ++i) {
+    nn::zero_gradients(model.parameters());
+    Tensor out = model.forward(zero, true);
+    LossResult r = l2_loss(out, target);
+    model.backward(r.grad);
+    sgd.step(model.parameters());
+  }
+  for (float v : model.param_.value.data()) EXPECT_NEAR(v, 1.0F, 1e-3F);
+}
+
+TEST(Adam, ConvergesOnQuadratic) {
+  QuadraticModel model(4);
+  model.param_.value.fill(-3.0F);
+  Adam adam(0.1F);
+  Tensor zero(1, 1, 1, 4);
+  Tensor target(1, 1, 1, 4);
+  target.fill(2.0F);
+  for (int i = 0; i < 400; ++i) {
+    nn::zero_gradients(model.parameters());
+    Tensor out = model.forward(zero, true);
+    LossResult r = l2_loss(out, target);
+    model.backward(r.grad);
+    adam.step(model.parameters());
+  }
+  for (float v : model.param_.value.data()) EXPECT_NEAR(v, 2.0F, 1e-2F);
+}
+
+TEST(Adam, FirstStepMovesByLearningRate) {
+  // With bias correction, the very first Adam step has magnitude ~lr.
+  QuadraticModel model(1);
+  model.param_.value.fill(10.0F);
+  Adam adam(0.01F);
+  nn::zero_gradients(model.parameters());
+  model.param_.grad.fill(123.0F);  // any positive gradient
+  adam.step(model.parameters());
+  EXPECT_NEAR(model.param_.value.raw()[0], 10.0F - 0.01F, 1e-5F);
+}
+
+TEST(LrSchedule, Constant) {
+  ConstantLr lr(0.1F);
+  EXPECT_FLOAT_EQ(lr.at(0), 0.1F);
+  EXPECT_FLOAT_EQ(lr.at(1000), 0.1F);
+}
+
+TEST(LrSchedule, StepDecayStaircase) {
+  StepDecayLr lr(1.0F, 0.5F, 10);
+  EXPECT_FLOAT_EQ(lr.at(0), 1.0F);
+  EXPECT_FLOAT_EQ(lr.at(9), 1.0F);
+  EXPECT_FLOAT_EQ(lr.at(10), 0.5F);
+  EXPECT_FLOAT_EQ(lr.at(25), 0.25F);
+  EXPECT_THROW(StepDecayLr(1.0F, 0.5F, 0), std::invalid_argument);
+}
+
+TEST(LrSchedule, WarmupRampsLinearly) {
+  WarmupLr lr(1.0F, 4);
+  EXPECT_FLOAT_EQ(lr.at(0), 0.25F);
+  EXPECT_FLOAT_EQ(lr.at(1), 0.5F);
+  EXPECT_FLOAT_EQ(lr.at(3), 1.0F);
+  EXPECT_FLOAT_EQ(lr.at(100), 1.0F);
+}
+
+TEST(Trainer, LossDecreasesOnLinearTask) {
+  // Learn a 1x1 conv to scale its input by 2.
+  Rng rng(7);
+  class OneConv final : public Model {
+   public:
+    explicit OneConv(Rng& rng) : conv_("c", 1, 1, 1, 1, nn::Padding::kSame, false, rng) {}
+    Tensor forward(const Tensor& x, bool training) override { return conv_.forward(x, training); }
+    void backward(const Tensor& g) override { conv_.backward(g); }
+    std::vector<nn::Parameter*> parameters() override { return conv_.parameters(); }
+    std::string name() const override { return "one-conv"; }
+    nn::Conv2d conv_;
+  } model(rng);
+
+  Adam adam(0.05F);
+  ConstantLr schedule(0.05F);
+  Trainer trainer(model, adam, schedule, l2_loss);
+  Rng data_rng(11);
+  TrainOptions options;
+  options.steps = 120;
+  TrainHistory history = trainer.run(
+      [&](std::int64_t) {
+        Tensor x(2, 4, 4, 1);
+        x.fill_uniform(data_rng, -1.0F, 1.0F);
+        return std::make_pair(x, scale(x, 2.0F));
+      },
+      options);
+  EXPECT_EQ(history.loss.size(), 120U);
+  EXPECT_EQ(history.grad_norm.size(), 120U);
+  EXPECT_LT(history.mean_tail_loss(10), history.loss.front() * 0.05F);
+  EXPECT_NEAR(model.conv_.weight().value.raw()[0], 2.0F, 0.05F);
+}
+
+TEST(Trainer, RejectsZeroSteps) {
+  QuadraticModel model(1);
+  Sgd sgd(0.1F);
+  ConstantLr schedule(0.1F);
+  Trainer trainer(model, sgd, schedule, l2_loss);
+  TrainOptions options;
+  options.steps = 0;
+  EXPECT_THROW(trainer.run([](std::int64_t) { return std::pair<Tensor, Tensor>{}; }, options),
+               std::invalid_argument);
+}
+
+TEST(TrainHistory, TailMean) {
+  TrainHistory h;
+  h.loss = {10.0F, 4.0F, 2.0F};
+  EXPECT_FLOAT_EQ(h.mean_tail_loss(2), 3.0F);
+  EXPECT_FLOAT_EQ(h.mean_tail_loss(10), 16.0F / 3.0F);
+  EXPECT_FLOAT_EQ(h.final_loss(), 2.0F);
+}
+
+}  // namespace
+}  // namespace sesr::train

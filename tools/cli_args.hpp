@@ -1,0 +1,85 @@
+// Minimal command-line argument parser for the tools/ binaries.
+//
+// Supports --key=value and --key value forms plus bare --flag booleans.
+// Unknown keys are an error (catches typos); every tool prints its option
+// table via usage().
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <map>
+#include <optional>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace sesr::cli {
+
+class Args {
+ public:
+  struct Option {
+    std::string key;
+    std::string default_value;  // empty = boolean flag
+    std::string help;
+  };
+
+  Args(std::vector<Option> options, int argc, char** argv) : options_(std::move(options)) {
+    for (const Option& o : options_) values_[o.key] = o.default_value;
+    for (int i = 1; i < argc; ++i) {
+      std::string arg = argv[i];
+      if (arg.rfind("--", 0) != 0) positional_.push_back(std::move(arg));
+      else {
+        arg = arg.substr(2);
+        std::string key;
+        std::string value;
+        const auto eq = arg.find('=');
+        if (eq != std::string::npos) {
+          key = arg.substr(0, eq);
+          value = arg.substr(eq + 1);
+        } else {
+          key = arg;
+          const Option* opt = find(key);
+          if (opt != nullptr && !opt->default_value.empty() && i + 1 < argc) {
+            value = argv[++i];
+          } else {
+            value = "1";  // boolean flag
+          }
+        }
+        if (find(key) == nullptr) throw std::invalid_argument("unknown option --" + key);
+        values_[key] = value;
+      }
+    }
+  }
+
+  std::string get(const std::string& key) const { return values_.at(key); }
+  std::int64_t get_int(const std::string& key) const { return std::stoll(values_.at(key)); }
+  double get_double(const std::string& key) const { return std::stod(values_.at(key)); }
+  bool get_flag(const std::string& key) const {
+    const std::string v = values_.at(key);
+    return !v.empty() && v != "0" && v != "false";
+  }
+  const std::vector<std::string>& positional() const { return positional_; }
+
+  void usage(const char* program, const char* summary) const {
+    std::printf("%s — %s\n\noptions:\n", program, summary);
+    for (const Option& o : options_) {
+      std::printf("  --%-18s %s%s%s\n", o.key.c_str(), o.help.c_str(),
+                  o.default_value.empty() ? "" : "  [default: ",
+                  o.default_value.empty() ? "" : (o.default_value + "]").c_str());
+    }
+  }
+
+ private:
+  const Option* find(const std::string& key) const {
+    for (const Option& o : options_) {
+      if (o.key == key) return &o;
+    }
+    return nullptr;
+  }
+
+  std::vector<Option> options_;
+  std::map<std::string, std::string> values_;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace sesr::cli
