@@ -2,6 +2,12 @@
 // rides on — GEMM, im2col convolution (vs the naive reference), Algorithm-1
 // collapse, residual folding, depth-to-space, and one collapsed SESR-M5
 // inference step on a 360p frame.
+//
+// Machine-readable output: pass `--benchmark_format=json` (optionally
+// `--benchmark_out=<file> --benchmark_out_format=json`) — the GFLOP/s and
+// img/s figures below are emitted as per-benchmark counters in that JSON.
+// Thread-count cases read SESR_NUM_THREADS at process start, so run e.g.
+// `SESR_NUM_THREADS=4 bench_micro_kernels` to measure the striped conv paths.
 #include <benchmark/benchmark.h>
 
 #include "core/collapse.hpp"
@@ -12,10 +18,17 @@
 #include "nn/depth_to_space.hpp"
 #include "nn/gemm.hpp"
 #include "nn/init.hpp"
+#include "tensor/thread_pool.hpp"
 
 namespace {
 
 using namespace sesr;
+
+void set_gflops_counter(benchmark::State& state, double flops_per_iter) {
+  state.counters["GFLOP/s"] = benchmark::Counter(flops_per_iter * state.iterations(),
+                                                 benchmark::Counter::kIsRate,
+                                                 benchmark::Counter::kIs1000);
+}
 
 void BM_Gemm(benchmark::State& state) {
   const auto n = state.range(0);
@@ -32,6 +45,44 @@ void BM_Gemm(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * n * n * n);
 }
 BENCHMARK(BM_Gemm)->Arg(64)->Arg(128)->Arg(256);
+
+// The SESR-typical GEMM: one 3x3 16->16 conv layer on a 64x64 patch after
+// im2col is m = 64*64 = 4096 rows, k = 9*16 = 144, n = 16. Dense tiled kernel
+// vs the zero-skip kernel (kept for Algorithm-1 identity probes) on the same
+// dense operands — the gap is the cost the old default paid on real data.
+void BM_GemmSesrShape(benchmark::State& state) {
+  const std::int64_t m = 4096, k = 144, n = 16;
+  Rng rng(21);
+  std::vector<float> a(static_cast<std::size_t>(m * k));
+  std::vector<float> b(static_cast<std::size_t>(k * n));
+  std::vector<float> c(static_cast<std::size_t>(m * n));
+  for (float& v : a) v = rng.uniform(-1.0F, 1.0F);
+  for (float& v : b) v = rng.uniform(-1.0F, 1.0F);
+  for (auto _ : state) {
+    nn::gemm(a, b, c, m, k, n);
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.SetItemsProcessed(state.iterations() * m * k * n);
+  set_gflops_counter(state, 2.0 * static_cast<double>(m * k * n));
+}
+BENCHMARK(BM_GemmSesrShape);
+
+void BM_GemmZeroSkipSesrShape(benchmark::State& state) {
+  const std::int64_t m = 4096, k = 144, n = 16;
+  Rng rng(22);
+  std::vector<float> a(static_cast<std::size_t>(m * k));
+  std::vector<float> b(static_cast<std::size_t>(k * n));
+  std::vector<float> c(static_cast<std::size_t>(m * n));
+  for (float& v : a) v = rng.uniform(-1.0F, 1.0F);
+  for (float& v : b) v = rng.uniform(-1.0F, 1.0F);
+  for (auto _ : state) {
+    nn::gemm_zero_skip(a, b, c, m, k, n);
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.SetItemsProcessed(state.iterations() * m * k * n);
+  set_gflops_counter(state, 2.0 * static_cast<double>(m * k * n));
+}
+BENCHMARK(BM_GemmZeroSkipSesrShape);
 
 void BM_Conv2dGemmPath(benchmark::State& state) {
   const auto hw = state.range(0);
@@ -60,6 +111,49 @@ void BM_Conv2dNaive(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * hw * hw * 9 * 16 * 16);
 }
 BENCHMARK(BM_Conv2dNaive)->Arg(32)->Arg(64);
+
+// 1x1 stride-1 convs skip im2col entirely (NHWC makes the lowered matrix the
+// input itself). This is the expand layer of every linear block.
+void BM_Conv1x1FastPath(benchmark::State& state) {
+  const auto hw = state.range(0);
+  Rng rng(23);
+  Tensor x(1, hw, hw, 64);
+  x.fill_uniform(rng, -1.0F, 1.0F);
+  Tensor w = nn::he_normal_kernel(1, 1, 64, 16, rng);
+  Tensor bias(1, 1, 1, 16);
+  bias.fill_uniform(rng, -0.1F, 0.1F);
+  for (auto _ : state) {
+    Tensor y = nn::conv2d_bias(x, w, bias, nn::Padding::kSame);
+    benchmark::DoNotOptimize(y.raw());
+  }
+  state.SetItemsProcessed(state.iterations() * hw * hw * 64 * 16);
+  set_gflops_counter(state, 2.0 * static_cast<double>(hw * hw * 64 * 16));
+  state.counters["img/s"] =
+      benchmark::Counter(static_cast<double>(state.iterations()), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_Conv1x1FastPath)->Arg(64)->Arg(180);
+
+// Single-image (N=1) 3x3 conv on a 360p frame: the latency-critical inference
+// case the row-striped im2col path exists for. Run with SESR_NUM_THREADS=1
+// and =4 and compare img/s — the stripes give intra-image scaling where the
+// old per-image parallelism had nothing to hand out at N=1.
+void BM_ConvStripedN1(benchmark::State& state) {
+  Rng rng(24);
+  Tensor x(1, 360, 640, 16);
+  x.fill_uniform(rng, -1.0F, 1.0F);
+  Tensor w = nn::he_normal_kernel(3, 3, 16, 16, rng);
+  for (auto _ : state) {
+    Tensor y = nn::conv2d(x, w, nn::Padding::kSame);
+    benchmark::DoNotOptimize(y.raw());
+  }
+  const double macs = 360.0 * 640.0 * 9.0 * 16.0 * 16.0;
+  state.SetItemsProcessed(state.iterations() * static_cast<std::int64_t>(macs));
+  set_gflops_counter(state, 2.0 * macs);
+  state.counters["img/s"] =
+      benchmark::Counter(static_cast<double>(state.iterations()), benchmark::Counter::kIsRate);
+  state.counters["threads"] = static_cast<double>(ThreadPool::global().worker_count() + 1);
+}
+BENCHMARK(BM_ConvStripedN1)->Unit(benchmark::kMillisecond);
 
 void BM_CollapseLinearBlock(benchmark::State& state) {
   // Algorithm 1 on the paper's production geometry: 3x3, 16 -> 256 -> 16.

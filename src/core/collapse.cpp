@@ -65,7 +65,9 @@ Tensor collapse_conv_sequence_cached(std::span<const Tensor> weights, CollapseCa
   cache.inputs.reserve(weights.size());
   for (const Tensor& w : weights) {
     cache.inputs.push_back(probe);
-    probe = nn::conv2d(probe, w, nn::Padding::kValid);
+    // The padded probe is overwhelmingly zero, which is exactly the case the
+    // zero-skipping kernel exists for (dense activations use nn::conv2d).
+    probe = nn::conv2d_zero_skip(probe, w, nn::Padding::kValid);
   }
   // probe is now (in_c, kh, kw, out_c); flip taps and move in_c to dim 2.
   return transpose(reverse_spatial(probe), kProbeToKernel);

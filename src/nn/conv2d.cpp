@@ -1,11 +1,12 @@
 #include "nn/conv2d.hpp"
 
+#include <algorithm>
 #include <cmath>
 #include <stdexcept>
-#include <vector>
 
 #include "nn/gemm.hpp"
 #include "nn/init.hpp"
+#include "tensor/scratch.hpp"
 #include "tensor/thread_pool.hpp"
 
 namespace sesr::nn {
@@ -23,6 +24,79 @@ void check_channels(const Tensor& input, const Tensor& weight) {
                                 " != weight in_channels " + std::to_string(weight.shape().dim(2)));
   }
 }
+
+// Output pixels per parallel stripe. Fixed — never derived from the worker
+// count — so stripe boundaries, and with them every floating-point reduction
+// order in the backward passes, are identical for any SESR_NUM_THREADS.
+constexpr std::int64_t kStripePixels = 1024;
+
+std::int64_t stripes_per_image(std::int64_t rows) {
+  return (rows + kStripePixels - 1) / kStripePixels;
+}
+
+// Shared forward: stripes the im2col row space across the pool and fuses the
+// optional bias into the GEMM store. `zero_skip` selects the branchy
+// zero-skipping kernel kept for Algorithm-1 identity probes.
+Tensor conv2d_impl(const Tensor& input, const Tensor& weight, const float* bias, Padding padding,
+                   std::int64_t stride, bool zero_skip) {
+  const ConvGeometry g = conv_geometry(input, weight, padding, stride);
+  const std::int64_t out_c = weight.shape().dim(3);
+  const std::int64_t batch = input.shape().n();
+  Tensor out(batch, g.out_h, g.out_w, out_c);
+  ThreadPool& pool = ThreadPool::global();
+
+  // 1x1 stride-1 fast path (dominant in expanded SESR linear blocks): im2col
+  // is the identity, so the whole batch is a single [batch*H*W, C] x
+  // [C, out_c] product straight off the NHWC activations — no lowering, no
+  // copies, bias fused into the epilogue.
+  if (!zero_skip && g.kh == 1 && g.kw == 1 && g.stride == 1) {
+    const std::int64_t cin = g.channels;
+    pool.parallel_for_chunks(
+        0, batch * g.rows(), kStripePixels, [&](std::int64_t lo, std::int64_t hi) {
+          const std::int64_t rows = hi - lo;
+          std::span<const float> src(input.raw() + lo * cin,
+                                     static_cast<std::size_t>(rows * cin));
+          std::span<float> dst(out.raw() + lo * out_c, static_cast<std::size_t>(rows * out_c));
+          if (bias != nullptr) {
+            gemm_bias(src, weight.data(), {bias, static_cast<std::size_t>(out_c)}, dst, rows, cin,
+                      out_c);
+          } else {
+            gemm(src, weight.data(), dst, rows, cin, out_c);
+          }
+        });
+    return out;
+  }
+
+  // General path: one flat index space over (image, stripe) gives batch
+  // parallelism and intra-image parallelism from the same loop, so N=1
+  // deployment inference still uses the whole machine.
+  const std::int64_t sc = stripes_per_image(g.rows());
+  pool.parallel_for(0, batch * sc, [&](std::int64_t idx) {
+    const std::int64_t n = idx / sc;
+    const std::int64_t r0 = (idx % sc) * kStripePixels;
+    const std::int64_t r1 = std::min(r0 + kStripePixels, g.rows());
+    const std::int64_t rows = r1 - r0;
+    std::span<float> cols =
+        scratch_floats(ScratchSlot::kIm2col, static_cast<std::size_t>(rows * g.cols()));
+    im2col_rows(input, n, g, r0, r1, cols.data());
+    std::span<float> dst(out.raw() + out.shape().offset(n, 0, 0, 0) + r0 * out_c,
+                         static_cast<std::size_t>(rows * out_c));
+    if (zero_skip) {
+      gemm_zero_skip(cols, weight.data(), dst, rows, g.cols(), out_c);
+      if (bias != nullptr) {
+        for (std::int64_t i = 0; i < rows; ++i) {
+          for (std::int64_t c = 0; c < out_c; ++c) dst[i * out_c + c] += bias[c];
+        }
+      }
+    } else if (bias != nullptr) {
+      gemm_bias(cols, weight.data(), {bias, static_cast<std::size_t>(out_c)}, dst, rows, g.cols(),
+                out_c);
+    } else {
+      gemm(cols, weight.data(), dst, rows, g.cols(), out_c);
+    }
+  });
+  return out;
+}
 }  // namespace
 
 ConvGeometry conv_geometry(const Tensor& input, const Tensor& weight, Padding padding,
@@ -38,29 +112,12 @@ ConvGeometry conv_geometry(const Tensor& input, const Tensor& weight, Padding pa
 }
 
 Tensor conv2d(const Tensor& input, const Tensor& weight, Padding padding, std::int64_t stride) {
-  const ConvGeometry g = conv_geometry(input, weight, padding, stride);
-  const std::int64_t out_c = weight.shape().dim(3);
-  Tensor out(input.shape().n(), g.out_h, g.out_w, out_c);
-  const auto process_image = [&](std::int64_t n, std::vector<float>& cols) {
-    im2col(input, n, g, cols.data());
-    // cols [rows x (kh*kw*cin)] * weight [(kh*kw*cin) x out_c] -> out image [rows x out_c]
-    std::span<float> dst(out.raw() + out.shape().offset(n, 0, 0, 0),
-                         static_cast<std::size_t>(g.rows() * out_c));
-    gemm(cols, weight.data(), dst, g.rows(), g.cols(), out_c);
-  };
-  ThreadPool& pool = ThreadPool::global();
-  if (pool.worker_count() > 1 && input.shape().n() > 1) {
-    // Batch images are independent; each worker gets its own im2col buffer.
-    pool.parallel_for(0, input.shape().n(), [&](std::int64_t n) {
-      thread_local std::vector<float> cols;
-      cols.resize(static_cast<std::size_t>(g.rows() * g.cols()));
-      process_image(n, cols);
-    });
-  } else {
-    std::vector<float> cols(static_cast<std::size_t>(g.rows() * g.cols()));
-    for (std::int64_t n = 0; n < input.shape().n(); ++n) process_image(n, cols);
-  }
-  return out;
+  return conv2d_impl(input, weight, nullptr, padding, stride, /*zero_skip=*/false);
+}
+
+Tensor conv2d_zero_skip(const Tensor& input, const Tensor& weight, Padding padding,
+                        std::int64_t stride) {
+  return conv2d_impl(input, weight, nullptr, padding, stride, /*zero_skip=*/true);
 }
 
 Tensor conv2d_bias(const Tensor& input, const Tensor& weight, const Tensor& bias, Padding padding,
@@ -69,14 +126,7 @@ Tensor conv2d_bias(const Tensor& input, const Tensor& weight, const Tensor& bias
   if (bias.numel() != out_c) {
     throw std::invalid_argument("conv2d_bias: bias numel must equal out_channels");
   }
-  Tensor out = conv2d(input, weight, padding, stride);
-  float* po = out.raw();
-  const float* pb = bias.raw();
-  const std::int64_t pixels = out.numel() / out_c;
-  for (std::int64_t i = 0; i < pixels; ++i) {
-    for (std::int64_t c = 0; c < out_c; ++c) po[i * out_c + c] += pb[c];
-  }
-  return out;
+  return conv2d_impl(input, weight, bias.raw(), padding, stride, /*zero_skip=*/false);
 }
 
 Tensor conv2d_backward_input(const Tensor& grad_output, const Tensor& weight,
@@ -92,19 +142,35 @@ Tensor conv2d_backward_input(const Tensor& grad_output, const Tensor& weight,
     throw std::invalid_argument("conv2d_backward_input: grad_output spatial dims mismatch");
   }
   Tensor grad_input(input_shape);
-  std::vector<float> cols(static_cast<std::size_t>(g.rows() * g.cols()));
+  ThreadPool& pool = ThreadPool::global();
+  std::span<float> cols =
+      scratch_floats(ScratchSlot::kConvCols, static_cast<std::size_t>(g.rows() * g.cols()));
+  // Stripe the scatter over disjoint *input* row bands; each band receives
+  // contributions in the same order as a serial col2im, so the result does not
+  // depend on the thread count.
+  const std::int64_t grain_y =
+      std::max<std::int64_t>(1, kStripePixels / std::max<std::int64_t>(1, g.in_w));
   for (std::int64_t n = 0; n < input_shape.n(); ++n) {
-    // cols = grad_out [rows x out_c] * weight^T [out_c x (kh*kw*cin)]
-    std::span<const float> go(grad_output.raw() + grad_output.shape().offset(n, 0, 0, 0),
-                              static_cast<std::size_t>(g.rows() * out_c));
-    gemm_a_bt(go, weight.data(), cols, g.rows(), out_c, g.cols());
-    col2im_add(cols.data(), g, grad_input, n);
+    const float* go_base = grad_output.raw() + grad_output.shape().offset(n, 0, 0, 0);
+    // cols = grad_out [rows x out_c] * weight^T [out_c x (kh*kw*cin)], striped
+    // over output rows (disjoint writes).
+    pool.parallel_for_chunks(0, g.rows(), kStripePixels, [&](std::int64_t lo, std::int64_t hi) {
+      const std::int64_t rows = hi - lo;
+      std::span<const float> go(go_base + lo * out_c, static_cast<std::size_t>(rows * out_c));
+      std::span<float> dst(cols.data() + lo * g.cols(),
+                           static_cast<std::size_t>(rows * g.cols()));
+      gemm_a_bt(go, weight.data(), dst, rows, out_c, g.cols());
+    });
+    pool.parallel_for_chunks(0, g.in_h, grain_y, [&](std::int64_t y0, std::int64_t y1) {
+      col2im_add_rows(cols.data(), g, grad_input, n, y0, y1);
+    });
   }
   return grad_input;
 }
 
-void conv2d_backward_weight(const Tensor& input, const Tensor& grad_output, Tensor& grad_weight,
-                            Padding padding, std::int64_t stride) {
+namespace {
+void backward_weight_impl(const Tensor& input, const Tensor& grad_output, Tensor& grad_weight,
+                          float* grad_bias, Padding padding, std::int64_t stride) {
   check_weight(grad_weight);
   check_channels(input, grad_weight);
   const ConvGeometry g = conv_geometry(input, grad_weight, padding, stride);
@@ -113,14 +179,60 @@ void conv2d_backward_weight(const Tensor& input, const Tensor& grad_output, Tens
       grad_output.shape().c() != out_c || grad_output.shape().n() != input.shape().n()) {
     throw std::invalid_argument("conv2d_backward_weight: grad_output shape mismatch");
   }
-  std::vector<float> cols(static_cast<std::size_t>(g.rows() * g.cols()));
-  for (std::int64_t n = 0; n < input.shape().n(); ++n) {
-    im2col(input, n, g, cols.data());
-    // grad_w [(kh*kw*cin) x out_c] += cols^T [cols x rows]^T... i.e. cols^T * grad_out
-    std::span<const float> go(grad_output.raw() + grad_output.shape().offset(n, 0, 0, 0),
-                              static_cast<std::size_t>(g.rows() * out_c));
-    gemm_at_b_accumulate(cols, go, grad_weight.data(), g.cols(), g.rows(), out_c);
+  const std::int64_t sc = stripes_per_image(g.rows());
+  const std::int64_t total = input.shape().n() * sc;
+  const std::int64_t wn = grad_weight.numel();
+  // Per-stripe partial accumulators (weight grad + fused bias grad), reduced
+  // below in fixed stripe order so the sum is bit-identical for any thread
+  // count. The arena buffer is caller-owned; workers only write their slice.
+  const std::int64_t slice = wn + (grad_bias != nullptr ? out_c : 0);
+  std::span<float> partials =
+      scratch_floats(ScratchSlot::kGradPartial, static_cast<std::size_t>(total * slice));
+  std::fill(partials.begin(), partials.end(), 0.0F);
+  ThreadPool::global().parallel_for(0, total, [&](std::int64_t idx) {
+    const std::int64_t n = idx / sc;
+    const std::int64_t r0 = (idx % sc) * kStripePixels;
+    const std::int64_t r1 = std::min(r0 + kStripePixels, g.rows());
+    const std::int64_t rows = r1 - r0;
+    std::span<float> cols =
+        scratch_floats(ScratchSlot::kIm2col, static_cast<std::size_t>(rows * g.cols()));
+    im2col_rows(input, n, g, r0, r1, cols.data());
+    std::span<const float> go(grad_output.raw() + grad_output.shape().offset(n, 0, 0, 0) +
+                                  r0 * out_c,
+                              static_cast<std::size_t>(rows * out_c));
+    float* pw = partials.data() + idx * slice;
+    // partial grad_w [(kh*kw*cin) x out_c] += cols^T * grad_out
+    gemm_at_b_accumulate(cols, go, {pw, static_cast<std::size_t>(wn)}, g.cols(), rows, out_c);
+    if (grad_bias != nullptr) {
+      float* pb = pw + wn;
+      for (std::int64_t i = 0; i < rows; ++i) {
+        for (std::int64_t c = 0; c < out_c; ++c) pb[c] += go[i * out_c + c];
+      }
+    }
+  });
+  float* gw = grad_weight.raw();
+  for (std::int64_t idx = 0; idx < total; ++idx) {
+    const float* pw = partials.data() + idx * slice;
+    for (std::int64_t i = 0; i < wn; ++i) gw[i] += pw[i];
+    if (grad_bias != nullptr) {
+      for (std::int64_t c = 0; c < out_c; ++c) grad_bias[c] += pw[wn + c];
+    }
   }
+}
+}  // namespace
+
+void conv2d_backward_weight(const Tensor& input, const Tensor& grad_output, Tensor& grad_weight,
+                            Padding padding, std::int64_t stride) {
+  backward_weight_impl(input, grad_output, grad_weight, nullptr, padding, stride);
+}
+
+void conv2d_backward_weight_bias(const Tensor& input, const Tensor& grad_output,
+                                 Tensor& grad_weight, Tensor& grad_bias, Padding padding,
+                                 std::int64_t stride) {
+  if (grad_bias.numel() != grad_weight.shape().dim(3)) {
+    throw std::invalid_argument("conv2d_backward_weight_bias: bias grad numel mismatch");
+  }
+  backward_weight_impl(input, grad_output, grad_weight, grad_bias.raw(), padding, stride);
 }
 
 Tensor conv2d_naive(const Tensor& input, const Tensor& weight, Padding padding,
@@ -172,15 +284,13 @@ Tensor Conv2d::backward(const Tensor& grad_output) {
   if (cached_input_.empty()) {
     throw std::logic_error("Conv2d::backward called without forward(training=true)");
   }
-  conv2d_backward_weight(cached_input_, grad_output, weight_.grad, padding_, stride_);
   if (bias_) {
-    const std::int64_t out_c = out_channels();
-    float* gb = bias_->grad.raw();
-    const float* go = grad_output.raw();
-    const std::int64_t pixels = grad_output.numel() / out_c;
-    for (std::int64_t i = 0; i < pixels; ++i) {
-      for (std::int64_t c = 0; c < out_c; ++c) gb[c] += go[i * out_c + c];
-    }
+    // Bias grad rides on the same striped pass as the weight grad instead of a
+    // second sweep over grad_output.
+    conv2d_backward_weight_bias(cached_input_, grad_output, weight_.grad, bias_->grad, padding_,
+                                stride_);
+  } else {
+    conv2d_backward_weight(cached_input_, grad_output, weight_.grad, padding_, stride_);
   }
   return conv2d_backward_input(grad_output, weight_.value, cached_input_.shape(), padding_,
                                stride_);

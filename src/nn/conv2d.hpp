@@ -25,9 +25,16 @@ ConvGeometry conv_geometry(const Tensor& input, const Tensor& weight, Padding pa
 // out[n, oy, ox, oc] = sum_{ky,kx,ic} in[n, oy*s - pt + ky, ox*s - pl + kx, ic] * w[ky, kx, ic, oc]
 Tensor conv2d(const Tensor& input, const Tensor& weight, Padding padding, std::int64_t stride = 1);
 
-// Same, plus per-output-channel bias (1, 1, 1, out_c).
+// Same, plus per-output-channel bias (1, 1, 1, out_c) fused into the GEMM
+// epilogue (single pass over the output).
 Tensor conv2d_bias(const Tensor& input, const Tensor& weight, const Tensor& bias, Padding padding,
                    std::int64_t stride = 1);
+
+// conv2d through the zero-skipping GEMM kernel. Only worthwhile when the
+// input is overwhelmingly zero — i.e. the padded identity probes Algorithm 1
+// convolves to collapse a linear block; dense activations should use conv2d.
+Tensor conv2d_zero_skip(const Tensor& input, const Tensor& weight, Padding padding,
+                        std::int64_t stride = 1);
 
 // d(loss)/d(input) given d(loss)/d(output).
 Tensor conv2d_backward_input(const Tensor& grad_output, const Tensor& weight,
@@ -36,6 +43,12 @@ Tensor conv2d_backward_input(const Tensor& grad_output, const Tensor& weight,
 // Accumulates d(loss)/d(weight) into grad_weight (same HWIO shape as weight).
 void conv2d_backward_weight(const Tensor& input, const Tensor& grad_output, Tensor& grad_weight,
                             Padding padding, std::int64_t stride = 1);
+
+// Same, with the bias gradient (column sums of grad_output) accumulated into
+// grad_bias during the same striped pass — no second sweep over grad_output.
+void conv2d_backward_weight_bias(const Tensor& input, const Tensor& grad_output,
+                                 Tensor& grad_weight, Tensor& grad_bias, Padding padding,
+                                 std::int64_t stride = 1);
 
 // Reference direct convolution (no im2col); used only to validate the fast path.
 Tensor conv2d_naive(const Tensor& input, const Tensor& weight, Padding padding,

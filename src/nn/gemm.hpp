@@ -1,8 +1,18 @@
 // Single-threaded SGEMM used by the im2col convolution path.
 //
-// Row-major throughout: C[m x n] (+)= A[m x k] * B[k x n]. The kernel is a
-// cache-blocked i-k-j loop; it is not meant to rival vendor BLAS, but it keeps
-// the convolution benchmarks honest on one core and has no dependencies.
+// Row-major throughout: C[m x n] (+)= A[m x k] * B[k x n]. The implementation
+// is a register-tiled, cache-blocked kernel: A and B are packed into
+// contiguous MR-row / NR-column panels and multiplied by a 6x16 micro-kernel
+// whose accumulators live in registers (dispatched to an AVX2+FMA build of the
+// kernel at runtime when the CPU supports it). Threading happens *above* this
+// layer — the convolution stripes its row space and calls gemm per stripe —
+// so every call here is deterministic and allocation-free (packing buffers
+// come from the per-thread scratch arena).
+//
+// `gemm_zero_skip` keeps the old branchy zero-skipping kernel. It only pays
+// off when A is mostly zeros, which in this codebase means one thing: the
+// padded identity probes of Algorithm 1 (collapse). Everything else should
+// use the dense kernels.
 #pragma once
 
 #include <cstdint>
@@ -13,6 +23,12 @@ namespace sesr::nn {
 // C = A * B. C must hold m*n elements; it is overwritten.
 void gemm(std::span<const float> a, std::span<const float> b, std::span<float> c, std::int64_t m,
           std::int64_t k, std::int64_t n);
+
+// C = A * B + bias, bias broadcast over rows (bias holds n elements). This is
+// the fused epilogue used by conv2d_bias: the bias add rides on the final
+// store of the GEMM instead of a second pass over the output.
+void gemm_bias(std::span<const float> a, std::span<const float> b, std::span<const float> bias,
+               std::span<float> c, std::int64_t m, std::int64_t k, std::int64_t n);
 
 // C += A * B (accumulating variant used by gradient accumulation over a batch).
 void gemm_accumulate(std::span<const float> a, std::span<const float> b, std::span<float> c,
@@ -29,5 +45,11 @@ void gemm_at_b_accumulate(std::span<const float> a, std::span<const float> b, st
 // C = A * B^T where B is [n x k] row-major (so B^T is [k x n]).
 void gemm_a_bt(std::span<const float> a, std::span<const float> b, std::span<float> c,
                std::int64_t m, std::int64_t k, std::int64_t n);
+
+// C = A * B with rows of A scanned once and zero entries skipped. Use only
+// when A is overwhelmingly zero (Algorithm-1 identity probes); on dense data
+// the branch makes it several times slower than gemm().
+void gemm_zero_skip(std::span<const float> a, std::span<const float> b, std::span<float> c,
+                    std::int64_t m, std::int64_t k, std::int64_t n);
 
 }  // namespace sesr::nn

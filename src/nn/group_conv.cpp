@@ -4,6 +4,7 @@
 
 #include "nn/init.hpp"
 #include "tensor/tensor_ops.hpp"
+#include "tensor/thread_pool.hpp"
 
 namespace sesr::nn {
 
@@ -57,16 +58,22 @@ void accumulate_kernel_slice(Tensor& w, std::int64_t g, const GroupDims& d, cons
 Tensor conv2d_grouped(const Tensor& input, const Tensor& weight, std::int64_t groups,
                       Padding padding) {
   const GroupDims d = check_grouping(weight.shape(), input.shape().c(), groups);
-  Tensor out;
-  for (std::int64_t g = 0; g < groups; ++g) {
+  const ConvGeometry geo = same_geometry(input.shape().h(), input.shape().w(), d.in_per_group,
+                                         weight.shape().dim(0), weight.shape().dim(1));
+  const std::int64_t out_h = padding == Padding::kSame
+                                 ? geo.out_h
+                                 : input.shape().h() - weight.shape().dim(0) + 1;
+  const std::int64_t out_w = padding == Padding::kSame
+                                 ? geo.out_w
+                                 : input.shape().w() - weight.shape().dim(1) + 1;
+  Tensor out(input.shape().n(), out_h, out_w, d.out_per_group * groups);
+  // Groups are independent and write disjoint channel slices; the inner conv2d
+  // detects the nested call and runs its stripes inline.
+  ThreadPool::global().parallel_for(0, groups, [&](std::int64_t g) {
     Tensor xg = sesr::slice_channels(input, g * d.in_per_group, d.in_per_group);
     Tensor yg = conv2d(xg, slice_kernel(weight, g, d), padding);
-    if (g == 0) {
-      out = Tensor(input.shape().n(), yg.shape().h(), yg.shape().w(),
-                   d.out_per_group * groups);
-    }
     sesr::write_channels(out, g * d.out_per_group, yg);
-  }
+  });
   return out;
 }
 
@@ -111,7 +118,9 @@ Tensor GroupedConv2d::backward(const Tensor& grad_output) {
   if (cached_input_.empty()) throw std::logic_error("GroupedConv2d::backward before forward");
   const GroupDims d = check_grouping(weight_.value.shape(), in_c_, groups_);
   Tensor grad_input(cached_input_.shape());
-  for (std::int64_t g = 0; g < groups_; ++g) {
+  // Each group touches disjoint slices of weight_.grad and grad_input, so the
+  // group loop parallelizes without synchronization.
+  ThreadPool::global().parallel_for(0, groups_, [&](std::int64_t g) {
     Tensor xg = sesr::slice_channels(cached_input_, g * d.in_per_group, d.in_per_group);
     Tensor gg = sesr::slice_channels(grad_output, g * d.out_per_group, d.out_per_group);
     Tensor wg = slice_kernel(weight_.value, g, d);
@@ -120,7 +129,7 @@ Tensor GroupedConv2d::backward(const Tensor& grad_output) {
     accumulate_kernel_slice(weight_.grad, g, d, gw);
     Tensor gi = conv2d_backward_input(gg, wg, xg.shape(), padding_);
     sesr::write_channels(grad_input, g * d.in_per_group, gi);
-  }
+  });
   return grad_input;
 }
 

@@ -48,14 +48,24 @@ ConvGeometry valid_geometry(std::int64_t in_h, std::int64_t in_w, std::int64_t c
 }
 
 void im2col(const Tensor& input, std::int64_t n, const ConvGeometry& g, float* cols) {
+  im2col_rows(input, n, g, 0, g.rows(), cols);
+}
+
+void im2col_rows(const Tensor& input, std::int64_t n, const ConvGeometry& g,
+                 std::int64_t row_begin, std::int64_t row_end, float* cols) {
   const Shape& s = input.shape();
   if (s.h() != g.in_h || s.w() != g.in_w || s.c() != g.channels) {
     throw std::invalid_argument("im2col: tensor shape does not match geometry");
   }
+  if (row_begin < 0 || row_end > g.rows() || row_begin > row_end) {
+    throw std::invalid_argument("im2col_rows: row range out of bounds");
+  }
   const std::int64_t c = g.channels;
-  for (std::int64_t oy = 0; oy < g.out_h; ++oy) {
-    for (std::int64_t ox = 0; ox < g.out_w; ++ox) {
-      float* row = cols + (oy * g.out_w + ox) * g.cols();
+  for (std::int64_t r = row_begin; r < row_end; ++r) {
+    const std::int64_t oy = r / g.out_w;
+    const std::int64_t ox = r % g.out_w;
+    {
+      float* row = cols + (r - row_begin) * g.cols();
       for (std::int64_t ky = 0; ky < g.kh; ++ky) {
         const std::int64_t iy = oy * g.stride - g.pad_top + ky;
         float* dst = row + ky * g.kw * c;
@@ -78,17 +88,30 @@ void im2col(const Tensor& input, std::int64_t n, const ConvGeometry& g, float* c
 }
 
 void col2im_add(const float* cols, const ConvGeometry& g, Tensor& grad_input, std::int64_t n) {
+  col2im_add_rows(cols, g, grad_input, n, 0, g.in_h);
+}
+
+void col2im_add_rows(const float* cols, const ConvGeometry& g, Tensor& grad_input, std::int64_t n,
+                     std::int64_t y_begin, std::int64_t y_end) {
   const Shape& s = grad_input.shape();
   if (s.h() != g.in_h || s.w() != g.in_w || s.c() != g.channels) {
     throw std::invalid_argument("col2im_add: tensor shape does not match geometry");
   }
+  if (y_begin < 0 || y_end > g.in_h || y_begin > y_end) {
+    throw std::invalid_argument("col2im_add_rows: input row range out of bounds");
+  }
   const std::int64_t c = g.channels;
-  for (std::int64_t oy = 0; oy < g.out_h; ++oy) {
+  // Only output rows whose kh-tall receptive field intersects [y_begin, y_end)
+  // can contribute: oy*stride - pad_top + ky in range for some ky in [0, kh).
+  const std::int64_t oy_lo =
+      std::max<std::int64_t>(0, (y_begin + g.pad_top - g.kh + g.stride) / g.stride);
+  const std::int64_t oy_hi = std::min(g.out_h - 1, (y_end - 1 + g.pad_top) / g.stride);
+  for (std::int64_t oy = oy_lo; oy <= oy_hi; ++oy) {
     for (std::int64_t ox = 0; ox < g.out_w; ++ox) {
       const float* row = cols + (oy * g.out_w + ox) * g.cols();
       for (std::int64_t ky = 0; ky < g.kh; ++ky) {
         const std::int64_t iy = oy * g.stride - g.pad_top + ky;
-        if (iy < 0 || iy >= g.in_h) continue;
+        if (iy < y_begin || iy >= y_end) continue;
         for (std::int64_t kx = 0; kx < g.kw; ++kx) {
           const std::int64_t ix = ox * g.stride - g.pad_left + kx;
           if (ix < 0 || ix >= g.in_w) continue;

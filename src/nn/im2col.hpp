@@ -44,7 +44,22 @@ ConvGeometry valid_geometry(std::int64_t in_h, std::int64_t in_w, std::int64_t c
 // Lower batch image n of `input` into `cols` (must hold rows()*cols() floats).
 void im2col(const Tensor& input, std::int64_t n, const ConvGeometry& g, float* cols);
 
+// Stripe form: lowers only output rows [row_begin, row_end) (row = oy*out_w+ox)
+// into `cols`, which must hold (row_end - row_begin) * cols() floats. This is
+// the unit of intra-image parallelism: each stripe is independent, so N=1
+// inference scales across cores by splitting the row space.
+void im2col_rows(const Tensor& input, std::int64_t n, const ConvGeometry& g,
+                 std::int64_t row_begin, std::int64_t row_end, float* cols);
+
 // Adjoint: scatter-add `cols` back into batch image n of `grad_input`.
 void col2im_add(const float* cols, const ConvGeometry& g, Tensor& grad_input, std::int64_t n);
+
+// Stripe form of the adjoint, partitioned over *input* rows: only input rows
+// iy in [y_begin, y_end) receive contributions. Disjoint ranges touch disjoint
+// elements, and for each element the contributions arrive in the same order as
+// the full col2im_add, so a fixed partition yields bit-identical results for
+// any thread count. `cols` is the full rows()*cols() matrix.
+void col2im_add_rows(const float* cols, const ConvGeometry& g, Tensor& grad_input, std::int64_t n,
+                     std::int64_t y_begin, std::int64_t y_end);
 
 }  // namespace sesr::nn

@@ -1,0 +1,16 @@
+#include "tensor/scratch.hpp"
+
+#include <array>
+#include <vector>
+
+namespace sesr {
+
+std::span<float> scratch_floats(ScratchSlot slot, std::size_t n) {
+  thread_local std::array<std::vector<float>, static_cast<std::size_t>(ScratchSlot::kSlotCount)>
+      buffers;
+  std::vector<float>& buf = buffers[static_cast<std::size_t>(slot)];
+  if (buf.size() < n) buf.resize(n);  // never shrinks: capacity is retained
+  return {buf.data(), n};
+}
+
+}  // namespace sesr

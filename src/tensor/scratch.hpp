@@ -1,0 +1,35 @@
+// Per-thread scratch arena for kernel workspace buffers.
+//
+// Hot paths (im2col lowering, GEMM packing, striped gradient partials) need
+// short-lived float buffers on every call; allocating them per call dominates
+// steady-state training time. Each thread owns one growable buffer per slot:
+// the first call allocates, later calls reuse the retained capacity, so
+// steady-state runs do no allocation at all.
+//
+// Ownership rules (see docs/PERFORMANCE.md):
+//  - A span is valid until the SAME slot is requested again on the SAME thread.
+//  - Slots are per call site: two live buffers in one kernel must use two slots.
+//  - Never hand a span to another thread that may re-request the slot; sharing
+//    the memory read/write across a parallel_for from the owning thread is fine
+//    (the workers never touch the arena slot itself).
+#pragma once
+
+#include <cstddef>
+#include <span>
+
+namespace sesr {
+
+enum class ScratchSlot : std::size_t {
+  kGemmPackA = 0,   // packed A panels inside gemm
+  kGemmPackB,       // packed B panels inside gemm
+  kIm2col,          // per-stripe im2col patch matrix (conv forward / weight grad)
+  kConvCols,        // full-image column matrix (conv backward input)
+  kGradPartial,     // per-stripe weight/bias gradient partials
+  kSlotCount,
+};
+
+// Returns this thread's buffer for `slot`, grown to at least `n` floats.
+// Contents are unspecified (callers overwrite or explicitly zero).
+std::span<float> scratch_floats(ScratchSlot slot, std::size_t n);
+
+}  // namespace sesr

@@ -1,9 +1,28 @@
 #include "tensor/thread_pool.hpp"
 
+#include <algorithm>
 #include <cstdlib>
+#include <memory>
 #include <string>
 
 namespace sesr {
+
+namespace {
+unsigned pool_size_from_env() {
+  if (const char* env = std::getenv("SESR_NUM_THREADS")) {
+    const long n = std::strtol(env, nullptr, 10);
+    if (n > 0) return static_cast<unsigned>(n);
+    return 1U;  // malformed or non-positive: stay serial rather than guess
+  }
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw > 0 ? hw : 1U;
+}
+
+std::unique_ptr<ThreadPool>& global_slot() {
+  static std::unique_ptr<ThreadPool> pool = std::make_unique<ThreadPool>(pool_size_from_env());
+  return pool;
+}
+}  // namespace
 
 ThreadPool::ThreadPool(unsigned threads) {
   if (threads <= 1) return;  // inline mode
@@ -22,56 +41,77 @@ ThreadPool::~ThreadPool() {
   for (std::thread& t : workers_) t.join();
 }
 
+std::int64_t ThreadPool::drain_chunks() {
+  std::int64_t done = 0;
+  for (;;) {
+    const std::int64_t c = batch_.next_chunk.fetch_add(1, std::memory_order_relaxed);
+    if (c >= batch_.chunk_count) return done;
+    const std::int64_t lo = batch_.begin + c * batch_.grain;
+    const std::int64_t hi = std::min(lo + batch_.grain, batch_.end);
+    try {
+      (*batch_.fn)(lo, hi);
+    } catch (...) {
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (!batch_.error) batch_.error = std::current_exception();
+    }
+    ++done;
+  }
+}
+
 void ThreadPool::worker_loop() {
   for (;;) {
-    std::int64_t index = 0;
-    const std::function<void(std::int64_t)>* fn = nullptr;
     {
       std::unique_lock<std::mutex> lock(mutex_);
-      work_available_.wait(lock, [this] { return shutting_down_ || (has_batch_ && batch_.next < batch_.end); });
+      work_available_.wait(lock, [this] {
+        return shutting_down_ ||
+               (has_batch_ &&
+                batch_.next_chunk.load(std::memory_order_relaxed) < batch_.chunk_count);
+      });
       if (shutting_down_) return;
-      index = batch_.next++;
-      fn = batch_.fn;
     }
-    std::exception_ptr error;
-    try {
-      (*fn)(index);
-    } catch (...) {
-      error = std::current_exception();
-    }
-    {
+    const std::int64_t done = drain_chunks();
+    if (done > 0) {
       std::lock_guard<std::mutex> lock(mutex_);
-      if (error && !batch_.error) batch_.error = error;
-      if (--batch_.remaining == 0) batch_done_.notify_all();
+      batch_.remaining -= done;
+      if (batch_.remaining == 0) batch_done_.notify_all();
     }
   }
 }
 
-void ThreadPool::parallel_for(std::int64_t begin, std::int64_t end,
-                              const std::function<void(std::int64_t)>& fn) {
+void ThreadPool::parallel_for_chunks(std::int64_t begin, std::int64_t end, std::int64_t grain,
+                                     const std::function<void(std::int64_t, std::int64_t)>& fn) {
   if (begin >= end) return;
-  bool inline_run = workers_.empty();
+  grain = std::max<std::int64_t>(grain, 1);
+  const std::int64_t chunks = (end - begin + grain - 1) / grain;
+  bool inline_run = workers_.empty() || chunks <= 1;
   if (!inline_run) {
     std::lock_guard<std::mutex> lock(mutex_);
     if (has_batch_) inline_run = true;  // reentrant call: run inline
   }
   if (inline_run) {
-    for (std::int64_t i = begin; i < end; ++i) fn(i);
+    // Same chunk decomposition as the threaded path, run in order.
+    for (std::int64_t lo = begin; lo < end; lo += grain) fn(lo, std::min(lo + grain, end));
     return;
   }
   {
     std::lock_guard<std::mutex> lock(mutex_);
-    batch_.next = begin;
+    batch_.begin = begin;
     batch_.end = end;
+    batch_.grain = grain;
+    batch_.chunk_count = chunks;
+    batch_.next_chunk.store(0, std::memory_order_relaxed);
+    batch_.remaining = chunks;
     batch_.fn = &fn;
-    batch_.remaining = end - begin;
     batch_.error = nullptr;
     has_batch_ = true;
   }
   work_available_.notify_all();
+  // The caller works too instead of blocking idle.
+  const std::int64_t done = drain_chunks();
   std::exception_ptr error;
   {
     std::unique_lock<std::mutex> lock(mutex_);
+    batch_.remaining -= done;
     batch_done_.wait(lock, [this] { return batch_.remaining == 0; });
     has_batch_ = false;
     error = batch_.error;
@@ -79,15 +119,22 @@ void ThreadPool::parallel_for(std::int64_t begin, std::int64_t end,
   if (error) std::rethrow_exception(error);
 }
 
-ThreadPool& ThreadPool::global() {
-  static ThreadPool pool([] {
-    if (const char* env = std::getenv("SESR_NUM_THREADS")) {
-      const long n = std::strtol(env, nullptr, 10);
-      if (n > 0) return static_cast<unsigned>(n);
-    }
-    return 1U;
-  }());
-  return pool;
+void ThreadPool::parallel_for(std::int64_t begin, std::int64_t end,
+                              const std::function<void(std::int64_t)>& fn) {
+  if (begin >= end) return;
+  // ~4 chunks per way of parallelism keeps the tail balanced without paying
+  // one dispatch per index.
+  const std::int64_t ways = static_cast<std::int64_t>(worker_count()) + 1;
+  const std::int64_t grain = std::max<std::int64_t>(1, (end - begin) / (ways * 4));
+  parallel_for_chunks(begin, end, grain, [&fn](std::int64_t lo, std::int64_t hi) {
+    for (std::int64_t i = lo; i < hi; ++i) fn(i);
+  });
+}
+
+ThreadPool& ThreadPool::global() { return *global_slot(); }
+
+void ThreadPool::set_global_threads(unsigned threads) {
+  global_slot() = std::make_unique<ThreadPool>(threads);
 }
 
 }  // namespace sesr

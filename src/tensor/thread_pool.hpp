@@ -1,12 +1,23 @@
-// Minimal blocking thread pool with a parallel_for primitive.
+// Minimal blocking thread pool with chunked parallel_for primitives.
 //
-// The convolution layer parallelizes across batch images when the pool has
-// more than one worker (SESR_NUM_THREADS env var; default 1 = fully serial,
-// keeping single-core CI runs deterministic and oversubscription-free).
+// Work is handed out as contiguous index ranges (chunks), not single indices:
+// workers grab chunks off an atomic cursor, so per-index locking never happens
+// and small loop bodies are amortized over a whole range. The caller thread
+// participates in chunk processing while it waits, so `threads` workers give
+// `threads + 1`-way parallelism inside parallel_for.
+//
+// Sizing: SESR_NUM_THREADS env var; unset defaults to
+// std::thread::hardware_concurrency(). 0/1 means fully serial (inline on the
+// caller, no worker threads). All kernels built on this pool are deterministic
+// in the thread count: they partition work by fixed grain (not by worker
+// count) and fix every floating-point reduction order, so N threads and 1
+// thread produce bit-identical tensors.
+//
 // parallel_for blocks until every index is processed; exceptions from workers
-// are rethrown on the caller thread.
+// are rethrown on the caller thread. Reentrant calls run inline (no deadlock).
 #pragma once
 
+#include <atomic>
 #include <condition_variable>
 #include <cstdint>
 #include <exception>
@@ -27,24 +38,43 @@ class ThreadPool {
 
   unsigned worker_count() const { return static_cast<unsigned>(workers_.size()); }
 
-  // Invokes fn(i) for every i in [begin, end), distributing indices across
-  // workers; blocks until done. Reentrant calls run inline (no deadlock).
+  // Invokes fn(i) for every i in [begin, end), distributing contiguous chunks
+  // across workers; blocks until done.
   void parallel_for(std::int64_t begin, std::int64_t end,
                     const std::function<void(std::int64_t)>& fn);
 
-  // Process-wide pool sized from SESR_NUM_THREADS (default 1).
+  // Range form: invokes fn(chunk_begin, chunk_end) over chunks of at most
+  // `grain` indices. Chunk boundaries depend only on (begin, end, grain) —
+  // never on the worker count — so callers may key deterministic reductions
+  // off them. An inline (serial) pool runs the same chunks in order.
+  void parallel_for_chunks(std::int64_t begin, std::int64_t end, std::int64_t grain,
+                           const std::function<void(std::int64_t, std::int64_t)>& fn);
+
+  // Process-wide pool sized from SESR_NUM_THREADS (default: hardware
+  // concurrency).
   static ThreadPool& global();
+
+  // Replaces the process-wide pool (drains the old one first). Intended for
+  // tests and benchmarks that compare thread counts; not safe to call while
+  // another thread is inside the global pool.
+  static void set_global_threads(unsigned threads);
 
  private:
   struct Batch {
-    std::int64_t next = 0;
+    std::int64_t begin = 0;
+    std::int64_t grain = 1;
+    std::int64_t chunk_count = 0;
     std::int64_t end = 0;
-    const std::function<void(std::int64_t)>* fn = nullptr;
-    std::int64_t remaining = 0;  // indices not yet completed
-    std::exception_ptr error;
+    std::atomic<std::int64_t> next_chunk{0};
+    std::int64_t remaining = 0;  // chunks not yet completed (guarded by mutex_)
+    const std::function<void(std::int64_t, std::int64_t)>* fn = nullptr;
+    std::exception_ptr error;  // first failure (guarded by mutex_)
   };
 
   void worker_loop();
+  // Runs chunks off the current batch until the cursor is exhausted; returns
+  // the number of chunks this thread completed.
+  std::int64_t drain_chunks();
 
   std::vector<std::thread> workers_;
   std::mutex mutex_;

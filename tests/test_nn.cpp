@@ -4,6 +4,8 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <cstdlib>
+#include <thread>
 #include <tuple>
 
 #include "nn/activations.hpp"
@@ -14,6 +16,7 @@
 #include "nn/im2col.hpp"
 #include "nn/init.hpp"
 #include "tensor/tensor_ops.hpp"
+#include "tensor/thread_pool.hpp"
 
 namespace sesr::nn {
 namespace {
@@ -51,7 +54,12 @@ INSTANTIATE_TEST_SUITE_P(Shapes, GemmSizes,
                          ::testing::Values(std::make_tuple(1, 1, 1), std::make_tuple(3, 5, 7),
                                            std::make_tuple(16, 16, 16), std::make_tuple(1, 64, 3),
                                            std::make_tuple(65, 33, 17),
-                                           std::make_tuple(128, 9, 64)));
+                                           std::make_tuple(128, 9, 64),
+                                           // exercise the 6x16 register-tile edges
+                                           std::make_tuple(6, 16, 16), std::make_tuple(7, 17, 15),
+                                           std::make_tuple(5, 300, 19),
+                                           std::make_tuple(97, 144, 16),
+                                           std::make_tuple(130, 260, 37)));
 
 TEST(Gemm, AccumulateAddsToExisting) {
   std::vector<float> a{1.0F, 2.0F};
@@ -96,6 +104,67 @@ TEST(Gemm, SizeCheckThrows) {
   std::vector<float> b(2);
   std::vector<float> c(1);
   EXPECT_THROW(gemm(a, b, c, 2, 2, 2), std::invalid_argument);
+}
+
+TEST(Gemm, ZeroSkipMatchesDense) {
+  constexpr std::int64_t m = 23;
+  constexpr std::int64_t k = 31;
+  constexpr std::int64_t n = 19;
+  Rng rng(41);
+  std::vector<float> a(static_cast<std::size_t>(m * k));
+  std::vector<float> b(static_cast<std::size_t>(k * n));
+  // Mostly-zero A, the regime the kernel is kept for.
+  for (float& v : a) v = rng.uniform(0.0F, 1.0F) < 0.1F ? rng.uniform(-1.0F, 1.0F) : 0.0F;
+  for (float& v : b) v = rng.uniform(-1.0F, 1.0F);
+  std::vector<float> dense(static_cast<std::size_t>(m * n));
+  std::vector<float> skip(dense.size());
+  gemm(a, b, dense, m, k, n);
+  gemm_zero_skip(a, b, skip, m, k, n);
+  for (std::size_t i = 0; i < dense.size(); ++i) EXPECT_NEAR(skip[i], dense[i], 1e-5F);
+}
+
+TEST(Gemm, BiasIsFusedIntoEpilogue) {
+  constexpr std::int64_t m = 37;
+  constexpr std::int64_t k = 65;
+  constexpr std::int64_t n = 21;
+  Rng rng(43);
+  std::vector<float> a(static_cast<std::size_t>(m * k));
+  std::vector<float> b(static_cast<std::size_t>(k * n));
+  std::vector<float> bias(static_cast<std::size_t>(n));
+  for (float& v : a) v = rng.uniform(-1.0F, 1.0F);
+  for (float& v : b) v = rng.uniform(-1.0F, 1.0F);
+  for (float& v : bias) v = rng.uniform(-2.0F, 2.0F);
+  std::vector<float> plain(static_cast<std::size_t>(m * n));
+  std::vector<float> fused(plain.size());
+  gemm(a, b, plain, m, k, n);
+  gemm_bias(a, b, bias, fused, m, k, n);
+  for (std::int64_t i = 0; i < m; ++i) {
+    for (std::int64_t j = 0; j < n; ++j) {
+      // Identical k-order in both kernels: adding bias on the store is exact.
+      EXPECT_EQ(fused[i * n + j], plain[i * n + j] + bias[j]);
+    }
+  }
+}
+
+TEST(Gemm, AtBAccumulateMatchesReference) {
+  constexpr std::int64_t m = 29;
+  constexpr std::int64_t k = 330;  // spans two k-blocks
+  constexpr std::int64_t n = 18;
+  Rng rng(47);
+  std::vector<float> at(static_cast<std::size_t>(k * m));
+  std::vector<float> b(static_cast<std::size_t>(k * n));
+  for (float& v : at) v = rng.uniform(-1.0F, 1.0F);
+  for (float& v : b) v = rng.uniform(-1.0F, 1.0F);
+  std::vector<float> a(static_cast<std::size_t>(m * k));
+  for (std::int64_t i = 0; i < m; ++i) {
+    for (std::int64_t p = 0; p < k; ++p) a[i * k + p] = at[p * m + i];
+  }
+  std::vector<float> want(static_cast<std::size_t>(m * n), 0.5F);
+  std::vector<float> ref(want.size());
+  reference_gemm(a, b, ref, m, k, n);
+  for (std::size_t i = 0; i < want.size(); ++i) ref[i] += want[i];
+  gemm_at_b_accumulate(at, b, want, m, k, n);
+  for (std::size_t i = 0; i < want.size(); ++i) EXPECT_NEAR(want[i], ref[i], 1e-3F);
 }
 
 // ------------------------------------------------------------- im2col -------
@@ -195,7 +264,14 @@ INSTANTIATE_TEST_SUITE_P(
                       std::make_tuple(5, 7, 2, 3, 1, 1, 1), std::make_tuple(8, 8, 2, 2, 2, 2, 1),
                       std::make_tuple(7, 6, 3, 3, 3, 2, 1), std::make_tuple(6, 7, 2, 4, 2, 3, 1),
                       std::make_tuple(9, 9, 1, 1, 5, 5, 0), std::make_tuple(7, 7, 2, 2, 3, 3, 0),
-                      std::make_tuple(16, 16, 4, 8, 3, 3, 1)));
+                      std::make_tuple(16, 16, 4, 8, 3, 3, 1),
+                      // channel counts off the 6x16 tile grid, kh != kw
+                      std::make_tuple(10, 9, 5, 7, 3, 1, 1),
+                      std::make_tuple(9, 10, 3, 19, 1, 3, 1),
+                      std::make_tuple(13, 11, 7, 17, 3, 3, 0),
+                      // 1x1 fast path (no im2col) over a non-square image
+                      std::make_tuple(12, 7, 5, 9, 1, 1, 1),
+                      std::make_tuple(12, 7, 5, 9, 1, 1, 0)));
 
 TEST(Conv2d, Stride2MatchesNaive) {
   Rng rng(3);
@@ -206,6 +282,101 @@ TEST(Conv2d, Stride2MatchesNaive) {
   Tensor slow = conv2d_naive(x, w, Padding::kSame, 2);
   EXPECT_EQ(fast.shape(), Shape(1, 5, 5, 4));
   EXPECT_LT(max_abs_diff(fast, slow), 1e-4F);
+}
+
+TEST(Conv2d, ZeroSkipPathMatchesNaive) {
+  // The Algorithm-1 probe path: mostly-zero input through the branchy kernel.
+  Rng rng(11);
+  Tensor x(1, 9, 9, 4);
+  for (std::int64_t i = 0; i < x.numel(); ++i) {
+    x.raw()[i] = rng.uniform(0.0F, 1.0F) < 0.05F ? rng.uniform(-1.0F, 1.0F) : 0.0F;
+  }
+  Tensor w = he_normal_kernel(3, 3, 4, 5, rng);
+  Tensor fast = conv2d_zero_skip(x, w, Padding::kValid);
+  Tensor slow = conv2d_naive(x, w, Padding::kValid);
+  EXPECT_EQ(fast.shape(), slow.shape());
+  EXPECT_LT(max_abs_diff(fast, slow), 1e-4F);
+}
+
+TEST(Conv2d, FusedBiasMatchesSeparateAdd) {
+  Rng rng(13);
+  Tensor x(2, 8, 9, 5);
+  x.fill_uniform(rng, -1.0F, 1.0F);
+  for (const auto& [kh, kw] : {std::pair<int, int>{3, 3}, std::pair<int, int>{1, 1}}) {
+    Tensor w = he_normal_kernel(kh, kw, 5, 7, rng);
+    Tensor bias(1, 1, 1, 7);
+    bias.fill_uniform(rng, -2.0F, 2.0F);
+    Tensor fused = conv2d_bias(x, w, bias, Padding::kSame);
+    Tensor plain = conv2d(x, w, Padding::kSame);
+    for (std::int64_t i = 0; i < plain.numel(); ++i) {
+      plain.raw()[i] += bias.raw()[i % 7];
+    }
+    EXPECT_EQ(max_abs_diff(fused, plain), 0.0F) << "kernel " << kh << "x" << kw;
+  }
+}
+
+TEST(Conv2d, BackwardWeightBiasMatchesSeparatePasses) {
+  Rng rng(17);
+  Tensor x(2, 7, 6, 3);
+  x.fill_uniform(rng, -1.0F, 1.0F);
+  Tensor w = he_normal_kernel(3, 3, 3, 5, rng);
+  Tensor go(2, 7, 6, 5);
+  go.fill_uniform(rng, -1.0F, 1.0F);
+  Tensor gw_fused(w.shape());
+  Tensor gb_fused(1, 1, 1, 5);
+  conv2d_backward_weight_bias(x, go, gw_fused, gb_fused, Padding::kSame);
+  Tensor gw_plain(w.shape());
+  conv2d_backward_weight(x, go, gw_plain, Padding::kSame);
+  EXPECT_EQ(max_abs_diff(gw_fused, gw_plain), 0.0F);
+  // Reference bias grad: column sums of grad_output.
+  Tensor gb_ref(1, 1, 1, 5);
+  for (std::int64_t i = 0; i < go.numel(); ++i) gb_ref.raw()[i % 5] += go.raw()[i];
+  EXPECT_LT(max_abs_diff(gb_fused, gb_ref), 1e-4F);
+}
+
+TEST(Conv2d, BitIdenticalAcrossThreadCounts) {
+  // Forward, input-grad and weight/bias-grad must not depend on
+  // SESR_NUM_THREADS: stripes are fixed by shape and every reduction order is
+  // pinned, so 1 thread and 4 threads agree bit for bit.
+  Rng rng(19);
+  Tensor x(1, 37, 29, 8);  // N=1: exercises intra-image striping
+  x.fill_uniform(rng, -1.0F, 1.0F);
+  Tensor w = he_normal_kernel(3, 3, 8, 16, rng);
+  Tensor w1 = he_normal_kernel(1, 1, 8, 16, rng);
+  Tensor bias(1, 1, 1, 16);
+  bias.fill_uniform(rng, -1.0F, 1.0F);
+  Tensor go(1, 37, 29, 16);
+  go.fill_uniform(rng, -1.0F, 1.0F);
+
+  struct Results {
+    Tensor fwd, fwd_1x1, gin, gw, gb;
+  };
+  const auto run = [&] {
+    Results r;
+    r.fwd = conv2d_bias(x, w, bias, Padding::kSame);
+    r.fwd_1x1 = conv2d(x, w1, Padding::kSame);
+    r.gin = conv2d_backward_input(go, w, x.shape(), Padding::kSame);
+    r.gw = Tensor(w.shape());
+    r.gb = Tensor(1, 1, 1, 16);
+    conv2d_backward_weight_bias(x, go, r.gw, r.gb, Padding::kSame);
+    return r;
+  };
+  ThreadPool::set_global_threads(1);
+  const Results serial = run();
+  ThreadPool::set_global_threads(4);
+  const Results threaded = run();
+  // Restore the env-configured pool for the remaining tests.
+  unsigned restore = std::thread::hardware_concurrency();
+  if (const char* env = std::getenv("SESR_NUM_THREADS")) {
+    const long t = std::strtol(env, nullptr, 10);
+    restore = t > 0 ? static_cast<unsigned>(t) : 1U;
+  }
+  ThreadPool::set_global_threads(restore > 0 ? restore : 1U);
+  EXPECT_EQ(max_abs_diff(serial.fwd, threaded.fwd), 0.0F);
+  EXPECT_EQ(max_abs_diff(serial.fwd_1x1, threaded.fwd_1x1), 0.0F);
+  EXPECT_EQ(max_abs_diff(serial.gin, threaded.gin), 0.0F);
+  EXPECT_EQ(max_abs_diff(serial.gw, threaded.gw), 0.0F);
+  EXPECT_EQ(max_abs_diff(serial.gb, threaded.gb), 0.0F);
 }
 
 TEST(Conv2d, IdentityKernelIsIdentity) {

@@ -2,8 +2,11 @@
 // ops, RNG determinism and binary serialization.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <atomic>
 #include <cstdio>
+#include <cstdlib>
+#include <thread>
 #include <filesystem>
 #include <fstream>
 #include <sstream>
@@ -306,9 +309,73 @@ TEST(ThreadPool, ReentrantCallsRunInline) {
   EXPECT_EQ(count.load(), 12);
 }
 
-TEST(ThreadPool, GlobalDefaultsToInline) {
-  // SESR_NUM_THREADS unset in tests: single-threaded, deterministic.
-  EXPECT_EQ(ThreadPool::global().worker_count(), 0U);
+// Pool size the global pool should have picked: SESR_NUM_THREADS wins when
+// set; otherwise hardware_concurrency() (<= 1 means inline, zero workers).
+unsigned expected_global_threads() {
+  if (const char* env = std::getenv("SESR_NUM_THREADS")) {
+    const long n = std::strtol(env, nullptr, 10);
+    return n > 0 ? static_cast<unsigned>(n) : 1U;
+  }
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw > 0 ? hw : 1U;
+}
+
+TEST(ThreadPool, GlobalSizeFollowsEnvThenHardware) {
+  const unsigned expected = expected_global_threads();
+  EXPECT_EQ(ThreadPool::global().worker_count(), expected <= 1 ? 0U : expected);
+}
+
+TEST(ThreadPool, SetGlobalThreadsReplacesPool) {
+  ThreadPool::set_global_threads(3);
+  EXPECT_EQ(ThreadPool::global().worker_count(), 3U);
+  std::atomic<int> count{0};
+  ThreadPool::global().parallel_for(0, 17, [&](std::int64_t) { ++count; });
+  EXPECT_EQ(count.load(), 17);
+  ThreadPool::set_global_threads(expected_global_threads());
+}
+
+TEST(ThreadPool, ChunksCoverRangeExactlyOnce) {
+  ThreadPool pool(3);
+  std::vector<std::atomic<int>> hits(103);
+  std::atomic<int> calls{0};
+  pool.parallel_for_chunks(0, 103, 10, [&](std::int64_t lo, std::int64_t hi) {
+    EXPECT_LT(lo, hi);
+    EXPECT_LE(hi - lo, 10);
+    ++calls;
+    for (std::int64_t i = lo; i < hi; ++i) ++hits[static_cast<std::size_t>(i)];
+  });
+  EXPECT_EQ(calls.load(), 11);  // ceil(103 / 10) — boundaries fixed by grain alone
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPool, ChunkBoundariesMatchBetweenInlineAndThreaded) {
+  // The deterministic-reduction contract: both pools decompose [5, 47) with
+  // grain 8 into the same chunks; only the execution order may differ.
+  auto collect = [](ThreadPool& pool) {
+    std::mutex m;
+    std::vector<std::pair<std::int64_t, std::int64_t>> chunks;
+    pool.parallel_for_chunks(5, 47, 8, [&](std::int64_t lo, std::int64_t hi) {
+      std::lock_guard<std::mutex> lock(m);
+      chunks.emplace_back(lo, hi);
+    });
+    std::sort(chunks.begin(), chunks.end());
+    return chunks;
+  };
+  ThreadPool serial(1);
+  ThreadPool threaded(4);
+  EXPECT_EQ(collect(serial), collect(threaded));
+}
+
+TEST(ThreadPool, ChunkedExceptionsPropagate) {
+  ThreadPool pool(2);
+  EXPECT_THROW(pool.parallel_for_chunks(0, 40, 4,
+                                        [](std::int64_t lo, std::int64_t) {
+                                          if (lo == 12) throw std::runtime_error("boom");
+                                        }),
+               std::runtime_error);
+  std::atomic<int> count{0};
+  pool.parallel_for_chunks(0, 8, 2, [&](std::int64_t lo, std::int64_t hi) { count += hi - lo; });
+  EXPECT_EQ(count.load(), 8);
 }
 
 TEST(Serialize, TensorRoundTripThroughStream) {
