@@ -22,12 +22,20 @@ std::unique_ptr<ThreadPool>& global_slot() {
   static std::unique_ptr<ThreadPool> pool = std::make_unique<ThreadPool>(pool_size_from_env());
   return pool;
 }
+
+// Pool whose chunks this thread is currently executing (nullptr outside a
+// loop body). A parallel_for issued from inside a running chunk must run
+// inline — blocking on its own pool would deadlock — and this marker detects
+// that without touching the pool mutex.
+thread_local const ThreadPool* tl_draining_pool = nullptr;
 }  // namespace
 
 ThreadPool::ThreadPool(unsigned threads) {
   if (threads <= 1) return;  // inline mode
-  workers_.reserve(threads);
-  for (unsigned i = 0; i < threads; ++i) {
+  // The caller participates in every parallel_for, so threads-1 workers make
+  // `threads` the total compute width (SESR_NUM_THREADS=4 computes 4-wide).
+  workers_.reserve(threads - 1);
+  for (unsigned i = 1; i < threads; ++i) {
     workers_.emplace_back([this] { worker_loop(); });
   }
 }
@@ -41,39 +49,47 @@ ThreadPool::~ThreadPool() {
   for (std::thread& t : workers_) t.join();
 }
 
-std::int64_t ThreadPool::drain_chunks() {
+std::int64_t ThreadPool::drain_chunks(Batch& batch) {
+  const ThreadPool* prev = tl_draining_pool;
+  tl_draining_pool = this;
   std::int64_t done = 0;
   for (;;) {
-    const std::int64_t c = batch_.next_chunk.fetch_add(1, std::memory_order_relaxed);
-    if (c >= batch_.chunk_count) return done;
-    const std::int64_t lo = batch_.begin + c * batch_.grain;
-    const std::int64_t hi = std::min(lo + batch_.grain, batch_.end);
+    const std::int64_t c = batch.next_chunk.fetch_add(1, std::memory_order_relaxed);
+    if (c >= batch.chunk_count) break;
+    const std::int64_t lo = batch.begin + c * batch.grain;
+    const std::int64_t hi = std::min(lo + batch.grain, batch.end);
     try {
-      (*batch_.fn)(lo, hi);
+      (*batch.fn)(lo, hi);
     } catch (...) {
       std::lock_guard<std::mutex> lock(mutex_);
-      if (!batch_.error) batch_.error = std::current_exception();
+      if (!batch.error) batch.error = std::current_exception();
     }
     ++done;
   }
+  tl_draining_pool = prev;
+  return done;
 }
 
 void ThreadPool::worker_loop() {
   for (;;) {
+    std::shared_ptr<Batch> batch;
     {
       std::unique_lock<std::mutex> lock(mutex_);
       work_available_.wait(lock, [this] {
         return shutting_down_ ||
-               (has_batch_ &&
-                batch_.next_chunk.load(std::memory_order_relaxed) < batch_.chunk_count);
+               (batch_ != nullptr &&
+                batch_->next_chunk.load(std::memory_order_relaxed) < batch_->chunk_count);
       });
       if (shutting_down_) return;
+      // Snapshot under the lock: this worker drains exactly the batch it was
+      // admitted to, even if a new one is installed while it runs.
+      batch = batch_;
     }
-    const std::int64_t done = drain_chunks();
+    const std::int64_t done = drain_chunks(*batch);
     if (done > 0) {
       std::lock_guard<std::mutex> lock(mutex_);
-      batch_.remaining -= done;
-      if (batch_.remaining == 0) batch_done_.notify_all();
+      batch->remaining -= done;
+      if (batch->remaining == 0) batch_done_.notify_all();
     }
   }
 }
@@ -83,39 +99,39 @@ void ThreadPool::parallel_for_chunks(std::int64_t begin, std::int64_t end, std::
   if (begin >= end) return;
   grain = std::max<std::int64_t>(grain, 1);
   const std::int64_t chunks = (end - begin + grain - 1) / grain;
-  bool inline_run = workers_.empty() || chunks <= 1;
-  if (!inline_run) {
-    std::lock_guard<std::mutex> lock(mutex_);
-    if (has_batch_) inline_run = true;  // reentrant call: run inline
-  }
-  if (inline_run) {
-    // Same chunk decomposition as the threaded path, run in order.
+  if (workers_.empty() || chunks <= 1 || tl_draining_pool == this) {
+    // Same chunk decomposition as the threaded path, run in order. The
+    // tl_draining_pool case is a reentrant call from inside a loop body.
     for (std::int64_t lo = begin; lo < end; lo += grain) fn(lo, std::min(lo + grain, end));
     return;
   }
+  auto batch = std::make_shared<Batch>();
+  batch->begin = begin;
+  batch->end = end;
+  batch->grain = grain;
+  batch->chunk_count = chunks;
+  batch->remaining = chunks;
+  batch->fn = &fn;
   {
-    std::lock_guard<std::mutex> lock(mutex_);
-    batch_.begin = begin;
-    batch_.end = end;
-    batch_.grain = grain;
-    batch_.chunk_count = chunks;
-    batch_.next_chunk.store(0, std::memory_order_relaxed);
-    batch_.remaining = chunks;
-    batch_.fn = &fn;
-    batch_.error = nullptr;
-    has_batch_ = true;
+    std::unique_lock<std::mutex> lock(mutex_);
+    // One batch in flight at a time: a concurrent submitter on another
+    // non-worker thread queues here until the slot frees instead of
+    // clobbering the active batch.
+    batch_done_.wait(lock, [this] { return batch_ == nullptr; });
+    batch_ = batch;
   }
   work_available_.notify_all();
   // The caller works too instead of blocking idle.
-  const std::int64_t done = drain_chunks();
+  const std::int64_t done = drain_chunks(*batch);
   std::exception_ptr error;
   {
     std::unique_lock<std::mutex> lock(mutex_);
-    batch_.remaining -= done;
-    batch_done_.wait(lock, [this] { return batch_.remaining == 0; });
-    has_batch_ = false;
-    error = batch_.error;
+    batch->remaining -= done;
+    batch_done_.wait(lock, [&] { return batch->remaining == 0; });
+    batch_ = nullptr;  // frees the submission slot
+    error = batch->error;
   }
+  batch_done_.notify_all();  // wake submitters queued on the slot
   if (error) std::rethrow_exception(error);
 }
 

@@ -1,20 +1,29 @@
 // Minimal blocking thread pool with chunked parallel_for primitives.
 //
 // Work is handed out as contiguous index ranges (chunks), not single indices:
-// workers grab chunks off an atomic cursor, so per-index locking never happens
+// threads grab chunks off an atomic cursor, so per-index locking never happens
 // and small loop bodies are amortized over a whole range. The caller thread
-// participates in chunk processing while it waits, so `threads` workers give
-// `threads + 1`-way parallelism inside parallel_for.
+// participates in chunk processing while it waits, so a pool of size N
+// computes N-wide: N-1 worker threads plus the caller.
 //
-// Sizing: SESR_NUM_THREADS env var; unset defaults to
+// Sizing: SESR_NUM_THREADS env var = total compute threads; unset defaults to
 // std::thread::hardware_concurrency(). 0/1 means fully serial (inline on the
 // caller, no worker threads). All kernels built on this pool are deterministic
 // in the thread count: they partition work by fixed grain (not by worker
 // count) and fix every floating-point reduction order, so N threads and 1
 // thread produce bit-identical tensors.
 //
+// Each parallel_for call installs one heap-allocated batch; workers snapshot
+// a shared_ptr to it while holding the pool mutex and only ever drain the
+// batch they were admitted to, so a worker that wakes late can never touch
+// the next batch's cursor or a caller-owned function object that has already
+// been destroyed. At most one batch is in flight per pool: concurrent
+// submissions from distinct non-worker threads serialize (second submitter
+// blocks until the slot frees), while reentrant calls from inside a loop body
+// run inline (no deadlock).
+//
 // parallel_for blocks until every index is processed; exceptions from workers
-// are rethrown on the caller thread. Reentrant calls run inline (no deadlock).
+// are rethrown on the caller thread.
 #pragma once
 
 #include <atomic>
@@ -22,6 +31,7 @@
 #include <cstdint>
 #include <exception>
 #include <functional>
+#include <memory>
 #include <mutex>
 #include <thread>
 #include <vector>
@@ -30,7 +40,8 @@ namespace sesr {
 
 class ThreadPool {
  public:
-  // threads = number of workers; 0 or 1 means "run inline on the caller".
+  // threads = total compute width including the caller thread, so N-1 workers
+  // are spawned; 0 or 1 means "run inline on the caller".
   explicit ThreadPool(unsigned threads);
   ~ThreadPool();
   ThreadPool(const ThreadPool&) = delete;
@@ -60,11 +71,17 @@ class ThreadPool {
   static void set_global_threads(unsigned threads);
 
  private:
+  // One parallel_for_chunks invocation. Heap-allocated and shared so a worker
+  // holding a stale snapshot can only ever see an exhausted cursor, never the
+  // fields of a successor batch. `fn` points at the submitter's function
+  // object; it stays valid because the submitter cannot return before
+  // `remaining` hits zero, and no thread dereferences `fn` after claiming a
+  // chunk index >= chunk_count.
   struct Batch {
     std::int64_t begin = 0;
+    std::int64_t end = 0;
     std::int64_t grain = 1;
     std::int64_t chunk_count = 0;
-    std::int64_t end = 0;
     std::atomic<std::int64_t> next_chunk{0};
     std::int64_t remaining = 0;  // chunks not yet completed (guarded by mutex_)
     const std::function<void(std::int64_t, std::int64_t)>* fn = nullptr;
@@ -72,16 +89,15 @@ class ThreadPool {
   };
 
   void worker_loop();
-  // Runs chunks off the current batch until the cursor is exhausted; returns
-  // the number of chunks this thread completed.
-  std::int64_t drain_chunks();
+  // Runs chunks off `batch` until its cursor is exhausted; returns the number
+  // of chunks this thread completed.
+  std::int64_t drain_chunks(Batch& batch);
 
   std::vector<std::thread> workers_;
   std::mutex mutex_;
   std::condition_variable work_available_;
   std::condition_variable batch_done_;
-  Batch batch_;
-  bool has_batch_ = false;
+  std::shared_ptr<Batch> batch_;  // non-null while a batch is in flight (guarded by mutex_)
   bool shutting_down_ = false;
 };
 

@@ -273,8 +273,9 @@ TEST(ThreadPool, InlineModeRunsEveryIndex) {
 }
 
 TEST(ThreadPool, WorkersRunEveryIndexExactlyOnce) {
+  // Pool size counts the participating caller, so size 3 = 2 workers.
   ThreadPool pool(3);
-  EXPECT_EQ(pool.worker_count(), 3U);
+  EXPECT_EQ(pool.worker_count(), 2U);
   std::vector<std::atomic<int>> hits(100);
   pool.parallel_for(0, 100, [&](std::int64_t i) { ++hits[static_cast<std::size_t>(i)]; });
   for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
@@ -321,13 +322,14 @@ unsigned expected_global_threads() {
 }
 
 TEST(ThreadPool, GlobalSizeFollowsEnvThenHardware) {
+  // The caller is one of the compute threads, so N total = N - 1 workers.
   const unsigned expected = expected_global_threads();
-  EXPECT_EQ(ThreadPool::global().worker_count(), expected <= 1 ? 0U : expected);
+  EXPECT_EQ(ThreadPool::global().worker_count(), expected <= 1 ? 0U : expected - 1);
 }
 
 TEST(ThreadPool, SetGlobalThreadsReplacesPool) {
   ThreadPool::set_global_threads(3);
-  EXPECT_EQ(ThreadPool::global().worker_count(), 3U);
+  EXPECT_EQ(ThreadPool::global().worker_count(), 2U);
   std::atomic<int> count{0};
   ThreadPool::global().parallel_for(0, 17, [&](std::int64_t) { ++count; });
   EXPECT_EQ(count.load(), 17);
@@ -376,6 +378,46 @@ TEST(ThreadPool, ChunkedExceptionsPropagate) {
   std::atomic<int> count{0};
   pool.parallel_for_chunks(0, 8, 2, [&](std::int64_t lo, std::int64_t hi) { count += hi - lo; });
   EXPECT_EQ(count.load(), 8);
+}
+
+TEST(ThreadPool, ConcurrentExternalSubmittersSerialize) {
+  // Two non-worker threads submitting at once must not clobber each other's
+  // batch: every index of both loops runs exactly once. (Regression for the
+  // check-then-install TOCTOU; run under -DSESR_SANITIZE=thread for full
+  // effect.)
+  ThreadPool pool(4);
+  constexpr int kIters = 200;
+  constexpr std::int64_t kIndices = 64;
+  std::atomic<std::int64_t> total{0};
+  std::vector<std::atomic<int>> hits(2 * kIndices);
+  auto submitter = [&](std::int64_t base) {
+    for (int it = 0; it < kIters; ++it) {
+      pool.parallel_for(0, kIndices, [&](std::int64_t i) {
+        ++hits[static_cast<std::size_t>(base + i)];
+        ++total;
+      });
+    }
+  };
+  std::thread a(submitter, 0);
+  std::thread b(submitter, kIndices);
+  a.join();
+  b.join();
+  EXPECT_EQ(total.load(), 2 * kIters * kIndices);
+  for (const auto& h : hits) EXPECT_EQ(h.load(), kIters);
+}
+
+TEST(ThreadPool, BackToBackBatchesNeverLeakAcrossBatches) {
+  // Rapid-fire tiny batches maximize the window where a worker wakes for
+  // batch G after batch G+1 is installed. A stale worker must see only its
+  // own (exhausted) batch — never double-run chunk 0 of the next one or
+  // touch a destroyed std::function. (Regression for the stale-worker race;
+  // run under -DSESR_SANITIZE=thread for full effect.)
+  ThreadPool pool(4);
+  for (int it = 0; it < 2000; ++it) {
+    std::atomic<int> calls{0};
+    pool.parallel_for_chunks(0, 8, 1, [&](std::int64_t, std::int64_t) { ++calls; });
+    ASSERT_EQ(calls.load(), 8) << "iteration " << it;
+  }
 }
 
 TEST(Serialize, TensorRoundTripThroughStream) {
