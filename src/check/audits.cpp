@@ -1,0 +1,534 @@
+// The builtin optimized-vs-reference pairs of the numerical audit.
+//
+// Each pair's trial draws a random configuration from its seed (shapes,
+// strides, padding, sparsity, data), runs the optimized path and the double
+// reference in src/check/reference.cpp, and returns the error statistics
+// plus a bit hash of the optimized output (for the cross-thread-count
+// determinism check). Tolerances are per pair and documented in
+// docs/AUDIT.md; a trial fails only when it exceeds BOTH the absolute and
+// the ULP tolerance.
+#include <cmath>
+#include <cstdint>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "check/audit.hpp"
+#include "check/compare.hpp"
+#include "check/reference.hpp"
+#include "core/collapse.hpp"
+#include "core/quantize.hpp"
+#include "core/sesr_inference.hpp"
+#include "core/sesr_network.hpp"
+#include "core/streaming.hpp"
+#include "core/tiled_inference.hpp"
+#include "data/resize.hpp"
+#include "metrics/psnr.hpp"
+#include "metrics/ssim.hpp"
+#include "nn/conv2d.hpp"
+#include "nn/depth_to_space.hpp"
+#include "nn/gemm.hpp"
+#include "nn/winograd.hpp"
+#include "tensor/rng.hpp"
+#include "tensor/tensor.hpp"
+
+namespace sesr::check {
+
+namespace {
+
+Tensor random_tensor(Rng& rng, std::int64_t n, std::int64_t h, std::int64_t w, std::int64_t c,
+                     float lo = -1.0F, float hi = 1.0F) {
+  Tensor t(n, h, w, c);
+  t.fill_uniform(rng, lo, hi);
+  return t;
+}
+
+std::string shape_str(const Shape& s) {
+  std::ostringstream os;
+  os << s.n() << "x" << s.h() << "x" << s.w() << "x" << s.c();
+  return os.str();
+}
+
+// Restores the GEMM micro-kernel dispatch to auto when a trial that pinned it
+// leaves scope (normally or by exception).
+class GemmIsaGuard {
+ public:
+  explicit GemmIsaGuard(nn::GemmIsa isa) { ok_ = nn::set_gemm_isa(isa); }
+  ~GemmIsaGuard() { nn::set_gemm_isa(nn::GemmIsa::kAuto); }
+  bool ok() const { return ok_; }
+  GemmIsaGuard(const GemmIsaGuard&) = delete;
+  GemmIsaGuard& operator=(const GemmIsaGuard&) = delete;
+
+ private:
+  bool ok_ = false;
+};
+
+// ---------------------------------------------------------------- GEMM pairs
+
+TrialResult gemm_trial_with_isa(std::uint64_t seed, nn::GemmIsa isa) {
+  TrialResult r;
+  GemmIsaGuard guard(isa);
+  if (!guard.ok()) {
+    r.skipped = true;
+    return r;
+  }
+  Rng rng(seed);
+  const std::int64_t m = rng.uniform_int(1, 64);
+  const std::int64_t k = rng.uniform_int(1, 96);
+  const std::int64_t n = rng.uniform_int(1, 64);
+  std::vector<float> a(static_cast<std::size_t>(m * k));
+  std::vector<float> b(static_cast<std::size_t>(k * n));
+  for (float& v : a) v = rng.uniform(-1.0F, 1.0F);
+  for (float& v : b) v = rng.uniform(-1.0F, 1.0F);
+  std::vector<float> c(static_cast<std::size_t>(m * n));
+  nn::gemm(a, b, c, m, k, n);
+  const std::vector<double> want = ref_gemm(a, b, m, k, n);
+  r.stats = compare_f32(c, want);
+  r.output_hash = hash_bits(c);
+  std::ostringstream os;
+  os << "m=" << m << " k=" << k << " n=" << n;
+  r.detail = os.str();
+  return r;
+}
+
+TrialResult gemm_zero_skip_trial(std::uint64_t seed) {
+  TrialResult r;
+  Rng rng(seed);
+  const std::int64_t m = rng.uniform_int(1, 48);
+  const std::int64_t k = rng.uniform_int(1, 96);
+  const std::int64_t n = rng.uniform_int(1, 48);
+  // A is overwhelmingly zero — the identity-probe regime this kernel exists for.
+  std::vector<float> a(static_cast<std::size_t>(m * k), 0.0F);
+  for (float& v : a) {
+    if (rng.bernoulli(0.06)) v = rng.uniform(-1.0F, 1.0F);
+  }
+  std::vector<float> b(static_cast<std::size_t>(k * n));
+  for (float& v : b) v = rng.uniform(-1.0F, 1.0F);
+  std::vector<float> c(static_cast<std::size_t>(m * n));
+  nn::gemm_zero_skip(a, b, c, m, k, n);
+  r.stats = compare_f32(c, ref_gemm(a, b, m, k, n));
+  r.output_hash = hash_bits(c);
+  std::ostringstream os;
+  os << "m=" << m << " k=" << k << " n=" << n << " sparse";
+  r.detail = os.str();
+  return r;
+}
+
+// ---------------------------------------------------------------- conv pairs
+
+TrialResult conv2d_trial(std::uint64_t seed) {
+  TrialResult r;
+  Rng rng(seed);
+  const std::int64_t kk = 2 * rng.uniform_int(1, 3) + 1;  // 3, 5, 7
+  const bool valid = rng.bernoulli(0.3);
+  const std::int64_t stride = (!valid && rng.bernoulli(0.3)) ? 2 : 1;
+  const std::int64_t lo = valid ? kk : 4;
+  const std::int64_t h = rng.uniform_int(lo, 48);
+  const std::int64_t w = rng.uniform_int(lo, 48);
+  const std::int64_t in_c = rng.uniform_int(1, 8);
+  const std::int64_t out_c = rng.uniform_int(1, 8);
+  const Tensor input = random_tensor(rng, rng.uniform_int(1, 2), h, w, in_c);
+  const Tensor weight = random_tensor(rng, kk, kk, in_c, out_c);
+  const nn::Padding pad = valid ? nn::Padding::kValid : nn::Padding::kSame;
+  const Tensor got = nn::conv2d(input, weight, pad, stride);
+  const DTensor want = ref_conv2d(input, weight, nn::conv_geometry(input, weight, pad, stride));
+  r.stats = compare_f32(got.data(), want.data);
+  r.output_hash = hash_bits(got.data());
+  std::ostringstream os;
+  os << "in=" << shape_str(input.shape()) << " k=" << kk << " stride=" << stride
+     << (valid ? " valid" : " same");
+  r.detail = os.str();
+  return r;
+}
+
+TrialResult conv2d_1x1_trial(std::uint64_t seed) {
+  TrialResult r;
+  Rng rng(seed);
+  const std::int64_t h = rng.uniform_int(1, 40);
+  const std::int64_t w = rng.uniform_int(1, 40);
+  const std::int64_t in_c = rng.uniform_int(1, 16);
+  const std::int64_t out_c = rng.uniform_int(1, 16);
+  const Tensor input = random_tensor(rng, rng.uniform_int(1, 2), h, w, in_c);
+  const Tensor weight = random_tensor(rng, 1, 1, in_c, out_c);
+  const Tensor got = nn::conv2d(input, weight, nn::Padding::kSame);
+  const DTensor want =
+      ref_conv2d(input, weight, nn::conv_geometry(input, weight, nn::Padding::kSame));
+  r.stats = compare_f32(got.data(), want.data);
+  r.output_hash = hash_bits(got.data());
+  r.detail = "in=" + shape_str(input.shape()) + " 1x1";
+  return r;
+}
+
+TrialResult conv2d_zero_skip_trial(std::uint64_t seed) {
+  TrialResult r;
+  Rng rng(seed);
+  const std::int64_t kk = 2 * rng.uniform_int(1, 2) + 1;  // 3, 5
+  const std::int64_t h = rng.uniform_int(kk, 32);
+  const std::int64_t w = rng.uniform_int(kk, 32);
+  const std::int64_t in_c = rng.uniform_int(1, 8);
+  const std::int64_t out_c = rng.uniform_int(1, 8);
+  Tensor input(1, h, w, in_c);
+  for (std::int64_t i = 0; i < input.numel(); ++i) {
+    input.raw()[i] = rng.bernoulli(0.05) ? rng.uniform(-1.0F, 1.0F) : 0.0F;
+  }
+  const Tensor weight = random_tensor(rng, kk, kk, in_c, out_c);
+  const bool valid = rng.bernoulli(0.5);
+  const nn::Padding pad = valid ? nn::Padding::kValid : nn::Padding::kSame;
+  const Tensor got = nn::conv2d_zero_skip(input, weight, pad);
+  const DTensor want = ref_conv2d(input, weight, nn::conv_geometry(input, weight, pad));
+  r.stats = compare_f32(got.data(), want.data);
+  r.output_hash = hash_bits(got.data());
+  std::ostringstream os;
+  os << "in=" << shape_str(input.shape()) << " k=" << kk << (valid ? " valid" : " same")
+     << " sparse";
+  r.detail = os.str();
+  return r;
+}
+
+TrialResult winograd_trial(std::uint64_t seed) {
+  TrialResult r;
+  Rng rng(seed);
+  // Odd/tiny sizes on purpose: every partial-tile and sub-tile-size branch of
+  // the F(2x2, 3x3) path gets exercised, including H or W in {1, 2}.
+  const std::int64_t h = rng.uniform_int(1, 17);
+  const std::int64_t w = rng.uniform_int(1, 13);
+  const std::int64_t in_c = rng.uniform_int(1, 4);
+  const std::int64_t out_c = rng.uniform_int(1, 4);
+  const Tensor input = random_tensor(rng, 1, h, w, in_c);
+  const Tensor weight = random_tensor(rng, 3, 3, in_c, out_c);
+  const bool pretransformed = rng.bernoulli(0.5);
+  const Tensor got =
+      pretransformed
+          ? nn::conv2d_winograd_3x3_pretransformed(input, nn::winograd_weight_transform(weight),
+                                                   out_c)
+          : nn::conv2d_winograd_3x3(input, weight);
+  const DTensor want =
+      ref_conv2d(input, weight, nn::conv_geometry(input, weight, nn::Padding::kSame));
+  r.stats = compare_f32(got.data(), want.data);
+  r.output_hash = hash_bits(got.data());
+  std::ostringstream os;
+  os << "in=" << shape_str(input.shape()) << (pretransformed ? " pretransformed" : "");
+  r.detail = os.str();
+  return r;
+}
+
+// ------------------------------------------------------------ collapse pair
+
+TrialResult collapse_trial(std::uint64_t seed) {
+  TrialResult r;
+  Rng rng(seed);
+  const std::int64_t kk = 2 * rng.uniform_int(1, 2) + 1;  // 3, 5
+  const std::int64_t in_c = rng.uniform_int(1, 4);
+  const std::int64_t layers = rng.uniform_int(2, 3);
+  std::vector<std::int64_t> ch(static_cast<std::size_t>(layers) + 1);
+  ch[0] = in_c;
+  for (std::size_t i = 1; i < ch.size(); ++i) ch[i] = rng.uniform_int(1, 8);
+  // SESR linear blocks: only the first conv has spatial extent, the rest are
+  // 1x1 — exactly the chains Algorithm 1 collapses during training.
+  std::vector<Tensor> weights;
+  for (std::int64_t l = 0; l < layers; ++l) {
+    const std::int64_t lk = l == 0 ? kk : 1;
+    const float scale = 1.0F / std::sqrt(static_cast<float>(lk * lk * ch[static_cast<std::size_t>(l)]));
+    weights.push_back(random_tensor(rng, lk, lk, ch[static_cast<std::size_t>(l)],
+                                    ch[static_cast<std::size_t>(l) + 1], -scale, scale));
+  }
+  const std::int64_t h = rng.uniform_int(kk, 24);
+  const std::int64_t w = rng.uniform_int(kk, 24);
+  const Tensor input = random_tensor(rng, 1, h, w, in_c);
+
+  const Tensor collapsed = core::collapse_conv_sequence(weights);
+  const Tensor got = nn::conv2d(input, collapsed, nn::Padding::kSame);
+
+  // Reference: push the input through the *expanded* chain entirely in double.
+  DTensor want = to_dtensor(input);
+  for (const Tensor& wt : weights) {
+    const nn::ConvGeometry g = nn::same_geometry(want.shape.h(), want.shape.w(), want.shape.c(),
+                                                 wt.shape().dim(0), wt.shape().dim(1));
+    want = ref_conv2d(want, wt, g);
+  }
+  r.stats = compare_f32(got.data(), want.data);
+  r.output_hash = hash_bits(got.data());
+  std::ostringstream os;
+  os << "in=" << shape_str(input.shape()) << " chain k=" << kk << " L=" << layers;
+  r.detail = os.str();
+  return r;
+}
+
+// ---------------------------------------------------------------- int8 pairs
+
+TrialResult conv2d_int8_trial(std::uint64_t seed) {
+  TrialResult r;
+  Rng rng(seed);
+  const std::int64_t kk = 2 * rng.uniform_int(1, 2) + 1;  // 3, 5
+  const std::int64_t h = rng.uniform_int(4, 24);
+  const std::int64_t w = rng.uniform_int(4, 24);
+  const std::int64_t in_c = rng.uniform_int(1, 8);
+  const std::int64_t out_c = rng.uniform_int(1, 8);
+  // Every few trials hit the degenerate-range convention: all-zero or
+  // near-zero inputs must quantize with scale kDegenerateQuantScale and
+  // dequantize exactly (the unified convention of src/core/quantize.hpp).
+  const std::int64_t mode = rng.uniform_int(0, 3);
+  Tensor input(1, h, w, in_c);
+  const char* regime = "dense";
+  if (mode == 0) {
+    regime = "zero";
+  } else if (mode == 1) {
+    input.fill_uniform(rng, -1e-20F, 1e-20F);
+    regime = "near-zero";
+  } else {
+    input.fill_uniform(rng, -1.0F, 1.0F);
+  }
+  const Tensor weight = random_tensor(rng, kk, kk, in_c, out_c);
+  const core::QuantizedTensor qi = core::quantize_symmetric(input);
+  const core::QuantizedTensor qw = core::quantize_symmetric(weight);
+  const Tensor got = core::conv2d_int8(qi, qw);
+  const DTensor want = ref_conv2d_int8(qi, qw);
+  r.stats = compare_f32(got.data(), want.data);
+  r.output_hash = hash_bits(got.data());
+  std::ostringstream os;
+  os << "in=" << shape_str(input.shape()) << " k=" << kk << " " << regime;
+  r.detail = os.str();
+  return r;
+}
+
+// ----------------------------------------------------------- network pairs
+
+core::SesrConfig small_config(Rng& rng) {
+  core::SesrConfig config;
+  config.f = 8;
+  config.m = 2;
+  config.scale = rng.bernoulli(0.5) ? 2 : 4;
+  config.expand = 16;
+  config.prelu = rng.bernoulli(0.5);
+  config.input_residual = rng.bernoulli(0.5);
+  config.with_bias = false;
+  return config;
+}
+
+TrialResult quantized_sesr_trial(std::uint64_t seed) {
+  TrialResult r;
+  Rng rng(seed);
+  const core::SesrConfig config = small_config(rng);
+  Rng init = rng.fork();
+  const core::SesrNetwork network(config, init);
+  const core::SesrInference inference(network);
+  std::vector<Tensor> calibration;
+  const std::int64_t n_cal = rng.uniform_int(1, 2);
+  for (std::int64_t i = 0; i < n_cal; ++i) {
+    calibration.push_back(random_tensor(rng, 1, 12, 12, 1, 0.0F, 1.0F));
+  }
+  const core::QuantizedSesr quantized(inference, calibration);
+  const std::int64_t h = rng.uniform_int(6, 16);
+  const std::int64_t w = rng.uniform_int(6, 16);
+  const Tensor input = random_tensor(rng, 1, h, w, 1, 0.0F, 1.0F);
+  const Tensor got = quantized.upscale(input);
+  const Tensor want = ref_quantized_upscale(quantized, input);
+  const DTensor want_d = to_dtensor(want);
+  r.stats = compare_f32(got.data(), want_d.data);
+  r.output_hash = hash_bits(got.data());
+  std::ostringstream os;
+  os << "in=" << shape_str(input.shape()) << " " << config.describe();
+  r.detail = os.str();
+  return r;
+}
+
+TrialResult tiled_trial(std::uint64_t seed) {
+  TrialResult r;
+  Rng rng(seed);
+  const core::SesrConfig config = small_config(rng);
+  Rng init = rng.fork();
+  const core::SesrNetwork network(config, init);
+  const core::SesrInference inference(network);
+  const std::int64_t h = rng.uniform_int(12, 32);
+  const std::int64_t w = rng.uniform_int(12, 32);
+  const Tensor input = random_tensor(rng, 1, h, w, 1, 0.0F, 1.0F);
+  core::TilingOptions options;
+  options.tile_h = rng.uniform_int(6, 16);
+  options.tile_w = rng.uniform_int(6, 16);
+  options.halo = -1;  // exact halo: tiling must reproduce the full frame
+  const Tensor got = core::upscale_tiled(inference, input, options);
+  const DTensor want = to_dtensor(inference.upscale(input));
+  r.stats = compare_f32(got.data(), want.data);
+  r.output_hash = hash_bits(got.data());
+  std::ostringstream os;
+  os << "in=" << shape_str(input.shape()) << " tile=" << options.tile_h << "x" << options.tile_w
+     << " " << config.describe();
+  r.detail = os.str();
+  return r;
+}
+
+TrialResult streaming_trial(std::uint64_t seed) {
+  TrialResult r;
+  Rng rng(seed);
+  const core::SesrConfig config = small_config(rng);
+  Rng init = rng.fork();
+  const core::SesrNetwork network(config, init);
+  const core::SesrInference inference(network);
+  const std::int64_t h = rng.uniform_int(8, 24);
+  const std::int64_t w = rng.uniform_int(8, 24);
+  const Tensor input = random_tensor(rng, 1, h, w, 1, 0.0F, 1.0F);
+  core::StreamingUpscaler streamer(inference);
+  const Tensor got = streamer.upscale(input);
+  const DTensor want = to_dtensor(inference.upscale(input));
+  r.stats = compare_f32(got.data(), want.data);
+  r.output_hash = hash_bits(got.data());
+  std::ostringstream os;
+  os << "in=" << shape_str(input.shape()) << " " << config.describe();
+  r.detail = os.str();
+  return r;
+}
+
+// -------------------------------------------------------- data/metric pairs
+
+TrialResult depth_to_space_trial(std::uint64_t seed) {
+  TrialResult r;
+  Rng rng(seed);
+  const std::int64_t block = rng.uniform_int(2, 3);
+  const std::int64_t oc = rng.uniform_int(1, 4);
+  const Tensor input = random_tensor(rng, rng.uniform_int(1, 2), rng.uniform_int(1, 12),
+                                     rng.uniform_int(1, 12), block * block * oc);
+  const Tensor got = nn::depth_to_space(input, block);
+  const DTensor want = ref_depth_to_space(to_dtensor(input), block);
+  r.stats = compare_f32(got.data(), want.data);
+  r.output_hash = hash_bits(got.data());
+  std::ostringstream os;
+  os << "in=" << shape_str(input.shape()) << " r=" << block;
+  r.detail = os.str();
+  return r;
+}
+
+TrialResult resize_trial(std::uint64_t seed) {
+  TrialResult r;
+  Rng rng(seed);
+  const std::int64_t h = rng.uniform_int(4, 24);
+  const std::int64_t w = rng.uniform_int(4, 24);
+  const std::int64_t c = rng.bernoulli(0.5) ? 1 : 3;
+  const std::int64_t out_h = rng.uniform_int(2, 32);
+  const std::int64_t out_w = rng.uniform_int(2, 32);
+  const Tensor input = random_tensor(rng, 1, h, w, c, 0.0F, 1.0F);
+  const Tensor got = data::resize_bicubic(input, out_h, out_w);
+  const DTensor want = ref_resize_bicubic(input, out_h, out_w);
+  r.stats = compare_f32(got.data(), want.data);
+  r.output_hash = hash_bits(got.data());
+  std::ostringstream os;
+  os << "in=" << shape_str(input.shape()) << " out=" << out_h << "x" << out_w;
+  r.detail = os.str();
+  return r;
+}
+
+TrialResult ssim_trial(std::uint64_t seed) {
+  TrialResult r;
+  Rng rng(seed);
+  const std::int64_t h = rng.uniform_int(11, 24);
+  const std::int64_t w = rng.uniform_int(11, 24);
+  // Alternate between generic images and the cancellation regime the SSIM
+  // fix targets: flat / near-flat windows where E[x^2] - E[x]^2 collapses.
+  const std::int64_t mode = rng.uniform_int(0, 2);
+  Tensor a(1, h, w, 1);
+  Tensor b(1, h, w, 1);
+  const char* regime = "random";
+  if (mode == 0) {
+    const float base = rng.uniform(0.0F, 1.0F);
+    a.fill(base);
+    b.fill(base);
+    for (std::int64_t i = 0; i < b.numel(); ++i) {
+      if (rng.bernoulli(0.1)) b.raw()[i] += rng.uniform(-1e-6F, 1e-6F);
+    }
+    regime = "near-flat";
+  } else {
+    a.fill_uniform(rng, 0.0F, 1.0F);
+    b = a;
+    if (mode == 2) {
+      for (std::int64_t i = 0; i < b.numel(); ++i) b.raw()[i] += rng.uniform(-0.05F, 0.05F);
+      regime = "perturbed";
+    } else {
+      regime = "identical";
+    }
+  }
+  const double got = metrics::ssim(a, b);
+  const double want = ref_ssim(a, b);
+  const std::vector<double> gv{got};
+  const std::vector<double> wv{want};
+  r.stats = compare_f64(gv, wv);
+  r.output_hash = hash_bits_f64(gv);
+  std::ostringstream os;
+  os << h << "x" << w << " " << regime;
+  r.detail = os.str();
+  return r;
+}
+
+TrialResult psnr_trial(std::uint64_t seed) {
+  TrialResult r;
+  Rng rng(seed);
+  const std::int64_t h = rng.uniform_int(4, 32);
+  const std::int64_t w = rng.uniform_int(4, 32);
+  Tensor a = random_tensor(rng, 1, h, w, 1, 0.0F, 1.0F);
+  Tensor b = a;
+  const bool identical = rng.bernoulli(0.25);
+  if (!identical) {
+    for (std::int64_t i = 0; i < b.numel(); ++i) b.raw()[i] += rng.uniform(-0.1F, 0.1F);
+  }
+  const double got = metrics::psnr(a, b);
+  const double want = ref_psnr(a, b);
+  const std::vector<double> gv{got};
+  const std::vector<double> wv{want};
+  r.stats = compare_f64(gv, wv);
+  r.output_hash = hash_bits_f64(gv);
+  std::ostringstream os;
+  os << h << "x" << w << (identical ? " identical" : " perturbed");
+  r.detail = os.str();
+  return r;
+}
+
+std::vector<AuditPair> make_builtin_pairs() {
+  std::vector<AuditPair> pairs;
+  pairs.push_back({"gemm_scalar", "register-tiled GEMM, generic micro-kernel, vs double GEMM",
+                   1e-4, 256.0,
+                   [](std::uint64_t s) { return gemm_trial_with_isa(s, nn::GemmIsa::kGeneric); }});
+  pairs.push_back({"gemm_avx2", "register-tiled GEMM, AVX2+FMA micro-kernel, vs double GEMM",
+                   1e-4, 256.0,
+                   [](std::uint64_t s) { return gemm_trial_with_isa(s, nn::GemmIsa::kAvx2); }});
+  pairs.push_back({"gemm_zero_skip", "zero-skipping GEMM on sparse probes vs double GEMM", 1e-4,
+                   256.0, gemm_zero_skip_trial});
+  pairs.push_back({"conv2d_striped", "striped im2col conv (k in {3,5,7}, strides, SAME/VALID)",
+                   1e-4, 256.0, conv2d_trial});
+  pairs.push_back(
+      {"conv2d_1x1", "pointwise conv fast path (no im2col)", 1e-5, 64.0, conv2d_1x1_trial});
+  pairs.push_back({"conv2d_zero_skip", "zero-skipping conv on sparse inputs", 1e-4, 256.0,
+                   conv2d_zero_skip_trial});
+  pairs.push_back({"conv2d_winograd", "Winograd F(2x2,3x3) incl. partial boundary tiles", 1e-4,
+                   512.0, winograd_trial});
+  pairs.push_back({"collapse_linear_block",
+                   "collapsed kernel vs expanded chain run in double (Algorithm 1)", 5e-4, 512.0,
+                   collapse_trial});
+  pairs.push_back({"conv2d_int8",
+                   "int8 conv, int32 accumulation, vs exact int64 reference (incl. "
+                   "zero/near-zero calibration)",
+                   1e-6, 4.0, conv2d_int8_trial});
+  pairs.push_back({"quantized_sesr",
+                   "full quantized pipeline vs bit-accurate int64-accumulated replay", 0.0, 0.0,
+                   quantized_sesr_trial});
+  pairs.push_back({"tiled_inference", "exact-halo tiled upscale vs full-frame upscale", 1e-5, 0.0,
+                   tiled_trial});
+  pairs.push_back({"streaming_inference", "line-buffer streaming upscale vs full-frame upscale",
+                   1e-5, 0.0, streaming_trial});
+  pairs.push_back({"depth_to_space", "pixel shuffle vs reference permutation (must be exact)",
+                   0.0, 0.0, depth_to_space_trial});
+  pairs.push_back({"resize_bicubic",
+                   "separable float bicubic vs double MATLAB-convention reference", 1e-5, 64.0,
+                   resize_trial});
+  pairs.push_back({"ssim", "clamped SSIM vs cancellation-free two-pass reference", 1e-9, 0.0,
+                   ssim_trial});
+  pairs.push_back({"psnr", "PSNR vs Kahan-summed reference (incl. identical images)", 1e-9, 0.0,
+                   psnr_trial});
+  return pairs;
+}
+
+}  // namespace
+
+const std::vector<AuditPair>& builtin_pairs() {
+  static const std::vector<AuditPair> pairs = make_builtin_pairs();
+  return pairs;
+}
+
+}  // namespace sesr::check

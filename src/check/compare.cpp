@@ -1,0 +1,124 @@
+#include "check/compare.hpp"
+
+#include <algorithm>
+#include <cfloat>
+#include <cmath>
+#include <cstring>
+#include <limits>
+#include <stdexcept>
+
+namespace sesr::check {
+
+void ErrorStats::merge(const ErrorStats& other) {
+  max_abs = std::max(max_abs, other.max_abs);
+  if (other.worst_index >= 0 && (worst_index < 0 || other.max_ulp > max_ulp)) {
+    worst_index = count + other.worst_index;
+    worst_got = other.worst_got;
+    worst_want = other.worst_want;
+  }
+  max_ulp = std::max(max_ulp, other.max_ulp);
+  count += other.count;
+}
+
+namespace {
+
+// Spacing between adjacent floats at |x|, floored at the smallest normal so
+// the distance stays finite (and meaningful) around zero and denormals.
+double float_spacing(double x) {
+  const float ax = static_cast<float>(std::fabs(x));
+  const float next = std::nextafter(ax, std::numeric_limits<float>::infinity());
+  const double spacing = static_cast<double>(next) - static_cast<double>(ax);
+  return std::max(spacing, static_cast<double>(FLT_MIN));
+}
+
+double double_spacing(double x) {
+  const double ax = std::fabs(x);
+  const double next = std::nextafter(ax, std::numeric_limits<double>::infinity());
+  return std::max(next - ax, DBL_MIN);
+}
+
+}  // namespace
+
+double ulp_distance_f32(float got, double want) {
+  if (std::isnan(got) || std::isnan(want) || std::isinf(got) || std::isinf(want)) {
+    // Only an exact match of non-finite values counts as zero distance.
+    const double g = static_cast<double>(got);
+    if (std::isinf(g) && std::isinf(want) && std::signbit(g) == std::signbit(want)) return 0.0;
+    if (std::isnan(g) && std::isnan(want)) return 0.0;
+    return std::numeric_limits<double>::infinity();
+  }
+  return std::fabs(static_cast<double>(got) - want) / float_spacing(want);
+}
+
+double ulp_distance_f64(double got, double want) {
+  if (std::isnan(got) || std::isnan(want) || std::isinf(got) || std::isinf(want)) {
+    if (std::isinf(got) && std::isinf(want) && std::signbit(got) == std::signbit(want)) return 0.0;
+    if (std::isnan(got) && std::isnan(want)) return 0.0;
+    return std::numeric_limits<double>::infinity();
+  }
+  return std::fabs(got - want) / double_spacing(want);
+}
+
+ErrorStats compare_f32(std::span<const float> got, std::span<const double> want) {
+  if (got.size() != want.size()) throw std::invalid_argument("compare_f32: size mismatch");
+  ErrorStats stats;
+  stats.count = static_cast<std::int64_t>(got.size());
+  for (std::size_t i = 0; i < got.size(); ++i) {
+    const double abs_err = std::fabs(static_cast<double>(got[i]) - want[i]);
+    stats.max_abs = std::max(stats.max_abs, abs_err);
+    const double ulp = ulp_distance_f32(got[i], want[i]);
+    if (ulp > stats.max_ulp || stats.worst_index < 0) {
+      stats.max_ulp = std::max(stats.max_ulp, ulp);
+      stats.worst_index = static_cast<std::int64_t>(i);
+      stats.worst_got = static_cast<double>(got[i]);
+      stats.worst_want = want[i];
+    }
+  }
+  return stats;
+}
+
+ErrorStats compare_f64(std::span<const double> got, std::span<const double> want) {
+  if (got.size() != want.size()) throw std::invalid_argument("compare_f64: size mismatch");
+  ErrorStats stats;
+  stats.count = static_cast<std::int64_t>(got.size());
+  for (std::size_t i = 0; i < got.size(); ++i) {
+    const double abs_err = std::fabs(got[i] - want[i]);
+    stats.max_abs = std::max(stats.max_abs, abs_err);
+    const double ulp = ulp_distance_f64(got[i], want[i]);
+    if (ulp > stats.max_ulp || stats.worst_index < 0) {
+      stats.max_ulp = std::max(stats.max_ulp, ulp);
+      stats.worst_index = static_cast<std::int64_t>(i);
+      stats.worst_got = got[i];
+      stats.worst_want = want[i];
+    }
+  }
+  return stats;
+}
+
+std::uint64_t hash_bits(std::span<const float> data) {
+  std::uint64_t h = 1469598103934665603ULL;  // FNV offset basis
+  for (const float v : data) {
+    std::uint32_t bits;
+    std::memcpy(&bits, &v, sizeof(bits));
+    for (int shift = 0; shift < 32; shift += 8) {
+      h ^= (bits >> shift) & 0xFFU;
+      h *= 1099511628211ULL;  // FNV prime
+    }
+  }
+  return h;
+}
+
+std::uint64_t hash_bits_f64(std::span<const double> data) {
+  std::uint64_t h = 1469598103934665603ULL;
+  for (const double v : data) {
+    std::uint64_t bits;
+    std::memcpy(&bits, &v, sizeof(bits));
+    for (int shift = 0; shift < 64; shift += 8) {
+      h ^= (bits >> shift) & 0xFFU;
+      h *= 1099511628211ULL;
+    }
+  }
+  return h;
+}
+
+}  // namespace sesr::check

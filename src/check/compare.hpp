@@ -1,0 +1,52 @@
+// Error measurement between an optimized result and its high-precision
+// reference.
+//
+// Every audit in src/check reduces to "how far is this float (or double)
+// output from the double-precision reference?", answered two ways at once:
+// max absolute error, and max error in ULPs of the *output* type at the
+// reference's magnitude. The pair matters: ULP distance is scale-free and
+// catches relative drift in large values, absolute error covers cancellation
+// toward zero where ULP distance explodes meaninglessly. A sweep fails only
+// when a trial exceeds BOTH tolerances (see docs/AUDIT.md).
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+namespace sesr::check {
+
+struct ErrorStats {
+  double max_abs = 0.0;
+  double max_ulp = 0.0;
+  std::int64_t count = 0;
+  // Element behind the largest ULP error, kept for replay diagnostics.
+  std::int64_t worst_index = -1;
+  double worst_got = 0.0;
+  double worst_want = 0.0;
+
+  // Fold another stats block in, keeping the worst of each metric.
+  void merge(const ErrorStats& other);
+};
+
+// |got - want| measured in units of the float spacing at want's magnitude
+// (floored at the smallest normal float so zeros don't divide out). Infinite
+// or NaN mismatches return +inf.
+double ulp_distance_f32(float got, double want);
+
+// Same, in units of double spacing — for auditing the double-precision
+// metrics (SSIM / PSNR) against their stable references.
+double ulp_distance_f64(double got, double want);
+
+// Elementwise comparison of a float tensor against its double reference.
+// Spans must be equal length.
+ErrorStats compare_f32(std::span<const float> got, std::span<const double> want);
+
+// Elementwise comparison of two double buffers (metric audits).
+ErrorStats compare_f64(std::span<const double> got, std::span<const double> want);
+
+// FNV-1a over the raw bit pattern — used to assert that optimized outputs are
+// bit-identical across SESR_NUM_THREADS settings.
+std::uint64_t hash_bits(std::span<const float> data);
+std::uint64_t hash_bits_f64(std::span<const double> data);
+
+}  // namespace sesr::check

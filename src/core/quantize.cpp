@@ -16,7 +16,7 @@ QuantizedTensor quantize_symmetric(const Tensor& t) {
   q.shape = t.shape();
   q.values.resize(static_cast<std::size_t>(t.numel()));
   const float max_abs_val = max_abs(t);
-  q.scale = max_abs_val > 0.0F ? max_abs_val / 127.0F : 1.0F;
+  q.scale = max_abs_val > 0.0F ? max_abs_val / 127.0F : kDegenerateQuantScale;
   const float inv = 1.0F / q.scale;
   for (std::int64_t i = 0; i < t.numel(); ++i) {
     const float v = std::round(t.raw()[i] * inv);
@@ -136,7 +136,7 @@ QuantizedSesr::QuantizedSesr(const SesrInference& network, const std::vector<Ten
     });
   }
   for (float& s : activation_scale_) {
-    if (s <= 0.0F) s = 1.0F / 127.0F;
+    if (s <= 0.0F) s = kDegenerateQuantScale;
   }
 }
 

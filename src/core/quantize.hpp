@@ -22,6 +22,14 @@ struct QuantizedTensor {
   float scale = 1.0F;  // real = scale * q
 };
 
+// Degenerate-range convention shared by every quantizer in this module: a
+// tensor (or calibration set) with no signal maps to scale 1/127, so the int8
+// grid spans [-1, 1] and dequantization of the all-zero code is exact. Both
+// quantize_symmetric and the QuantizedSesr activation-scale floor use this
+// single constant; the audit's int8 sweep covers zero/near-zero inputs so the
+// two can never drift apart again.
+inline constexpr float kDegenerateQuantScale = 1.0F / 127.0F;
+
 // Symmetric per-tensor quantization: scale = max|x| / 127.
 QuantizedTensor quantize_symmetric(const Tensor& t);
 Tensor dequantize(const QuantizedTensor& q);
@@ -44,6 +52,12 @@ class QuantizedSesr {
   const SesrConfig& config() const { return config_; }
   // Total int8 weight bytes (what would ship to the device).
   std::int64_t weight_bytes() const;
+
+  // Read-only view of the quantized state, exposed so the numerical audit
+  // (src/check) can replay the exact pipeline with a wider accumulator.
+  const std::vector<QuantizedTensor>& weights() const { return weights_; }
+  const std::vector<float>& activation_scales() const { return activation_scale_; }
+  const std::vector<Tensor>& prelu_alphas() const { return prelu_alpha_; }
 
  private:
   Tensor apply_activation(std::size_t index, const Tensor& x) const;

@@ -17,42 +17,68 @@ double cubic_kernel(double x) {
 
 namespace {
 struct FilterTap {
-  std::int64_t first;           // first source index
-  std::vector<double> weights;  // normalized
+  std::int64_t first;           // first source index, always in [0, in_size)
+  std::vector<double> weights;  // folded into range, then normalized
 };
+
+// MATLAB imresize boundary convention: indices beyond the image reflect
+// symmetrically about the border with edge repeat (-1 -> 0, -2 -> 1, ...,
+// in_size -> in_size - 1). The modulus handles supports wider than the image
+// (large downscale factors on small images).
+std::int64_t mirror_index(std::int64_t i, std::int64_t size) {
+  const std::int64_t period = 2 * size;
+  i %= period;
+  if (i < 0) i += period;
+  return i < size ? i : period - 1 - i;
+}
 
 // Precompute, for each output coordinate, the contributing source range and
 // weights. `ratio` = in / out; antialiasing widens support when ratio > 1.
+// Out-of-range taps are folded into their mirrored in-range pixels BEFORE
+// normalization, so the stored taps are exactly the weights each real source
+// pixel receives — the MATLAB (a = -0.5, symmetric padding) convention the
+// golden-vector tests pin down.
 std::vector<FilterTap> build_taps(std::int64_t in_size, std::int64_t out_size) {
   if (in_size < 1 || out_size < 1) throw std::invalid_argument("resize: empty dimension");
   const double ratio = static_cast<double>(in_size) / static_cast<double>(out_size);
   const double support_scale = std::max(1.0, ratio);
   const double support = 2.0 * support_scale;
   std::vector<FilterTap> taps(static_cast<std::size_t>(out_size));
+  std::vector<double> folded(static_cast<std::size_t>(in_size));
   for (std::int64_t o = 0; o < out_size; ++o) {
     // Center of output pixel o in input coordinates (pixel-center convention).
     const double center = (static_cast<double>(o) + 0.5) * ratio - 0.5;
     const std::int64_t first = static_cast<std::int64_t>(std::floor(center - support + 0.5));
     const std::int64_t last = static_cast<std::int64_t>(std::floor(center + support + 0.5));
-    FilterTap tap;
-    tap.first = first;
-    tap.weights.reserve(static_cast<std::size_t>(last - first + 1));
+    std::fill(folded.begin(), folded.end(), 0.0);
     double total = 0.0;
+    std::int64_t lo = in_size;
+    std::int64_t hi = -1;
     for (std::int64_t i = first; i <= last; ++i) {
       const double w = cubic_kernel((static_cast<double>(i) - center) / support_scale);
-      tap.weights.push_back(w);
+      if (w == 0.0) continue;
+      const std::int64_t j = mirror_index(i, in_size);
+      folded[static_cast<std::size_t>(j)] += w;
       total += w;
+      lo = std::min(lo, j);
+      hi = std::max(hi, j);
     }
-    if (total != 0.0) {
+    FilterTap tap;
+    if (hi < lo) {  // kernel identically zero over the window (cannot happen
+                    // for the cubic, but keep the tap well-defined)
+      tap.first = mirror_index(static_cast<std::int64_t>(std::llround(center)), in_size);
+      tap.weights.assign(1, 1.0);
+    } else {
+      tap.first = lo;
+      tap.weights.assign(folded.begin() + lo, folded.begin() + hi + 1);
+      // The folded cubic weights sum to ~1 (upscale) or ~scale (downscale);
+      // they are never near zero, so this divide is always safe — the old
+      // exact `total != 0.0` float compare is gone.
       for (double& w : tap.weights) w /= total;
     }
     taps[static_cast<std::size_t>(o)] = std::move(tap);
   }
   return taps;
-}
-
-std::int64_t clamp_index(std::int64_t i, std::int64_t size) {
-  return std::clamp<std::int64_t>(i, 0, size - 1);
 }
 }  // namespace
 
@@ -70,8 +96,7 @@ Tensor resize_bicubic(const Tensor& input, std::int64_t out_h, std::int64_t out_
         for (std::int64_t c = 0; c < s.c(); ++c) {
           double acc = 0.0;
           for (std::size_t k = 0; k < tap.weights.size(); ++k) {
-            const std::int64_t iy = clamp_index(tap.first + static_cast<std::int64_t>(k), s.h());
-            acc += tap.weights[k] * input(n, iy, x, c);
+            acc += tap.weights[k] * input(n, tap.first + static_cast<std::int64_t>(k), x, c);
           }
           mid(n, oy, x, c) = static_cast<float>(acc);
         }
@@ -88,8 +113,7 @@ Tensor resize_bicubic(const Tensor& input, std::int64_t out_h, std::int64_t out_
         for (std::int64_t c = 0; c < s.c(); ++c) {
           double acc = 0.0;
           for (std::size_t k = 0; k < tap.weights.size(); ++k) {
-            const std::int64_t ix = clamp_index(tap.first + static_cast<std::int64_t>(k), s.w());
-            acc += tap.weights[k] * mid(n, y, ix, c);
+            acc += tap.weights[k] * mid(n, y, tap.first + static_cast<std::int64_t>(k), c);
           }
           out(n, y, ox, c) = static_cast<float>(acc);
         }

@@ -1,10 +1,13 @@
 // Bicubic resampling (the "Bicubic" baseline of Tables 1/2 and the LR-image
 // generator for training/eval pairs).
 //
-// Separable convolutional resampler with the Keys cubic kernel (a = -0.5), the
-// same family Matlab's imresize uses. Downscaling applies antialiasing by
-// widening the kernel support by the scale factor — standard SISR practice for
-// generating LR inputs. Edges are handled by clamping (replicate padding).
+// Separable convolutional resampler matching Matlab's imresize convention:
+// Keys cubic kernel (a = -0.5), pixel-center alignment, and symmetric
+// (mirror-with-edge-repeat) boundary handling, with boundary taps folded into
+// their in-range pixels before normalization. Downscaling applies antialiasing
+// by widening the kernel support by the scale factor — standard SISR practice
+// for generating LR inputs. Golden-vector tests pin the border weights to
+// precomputed values from this convention.
 #pragma once
 
 #include <cstdint>

@@ -1,5 +1,6 @@
 #include "metrics/ssim.hpp"
 
+#include <algorithm>
 #include <cmath>
 #include <stdexcept>
 #include <vector>
@@ -64,9 +65,16 @@ double ssim(const Tensor& a, const Tensor& b) {
               ab += w * va * vb;
             }
           }
-          const double var_a = aa - mu_a * mu_a;
-          const double var_b = bb - mu_b * mu_b;
-          const double cov = ab - mu_a * mu_b;
+          // E[x^2] - E[x]^2 cancels catastrophically on flat windows: the
+          // computed variance can come out (slightly) negative, shrinking the
+          // denominator and pushing the per-window score above 1. Clamp the
+          // variances at zero and bound the covariance by Cauchy-Schwarz
+          // (|cov| <= sqrt(var_a * var_b), an identity in exact arithmetic) so
+          // ssim(x, x) == 1 exactly and ssim <= 1 for every input.
+          const double var_a = std::max(aa - mu_a * mu_a, 0.0);
+          const double var_b = std::max(bb - mu_b * mu_b, 0.0);
+          const double cov_limit = std::sqrt(var_a * var_b);
+          const double cov = std::clamp(ab - mu_a * mu_b, -cov_limit, cov_limit);
           const double num = (2.0 * mu_a * mu_b + c1) * (2.0 * cov + c2);
           const double den = (mu_a * mu_a + mu_b * mu_b + c1) * (var_a + var_b + c2);
           total += num / den;

@@ -1,6 +1,7 @@
 #include "nn/gemm.hpp"
 
 #include <algorithm>
+#include <atomic>
 #include <stdexcept>
 
 #include "tensor/scratch.hpp"
@@ -164,7 +165,9 @@ MicroKernelFn pick_micro_kernel() {
   return micro_kernel_generic;
 }
 
-const MicroKernelFn g_micro_kernel = pick_micro_kernel();
+// Atomic so the audit's set_gemm_isa() between sweeps is race-free against
+// worker threads reading the dispatch inside gemm_tiled.
+std::atomic<MicroKernelFn> g_micro_kernel{pick_micro_kernel()};
 
 // Shared macro-kernel: packs panels and walks register tiles. Summation over k
 // happens in kKc blocks in a fixed order, so results for a given (m, k, n) are
@@ -181,6 +184,7 @@ void gemm_tiled(const float* a, std::int64_t a_rs, std::int64_t a_cs, const floa
     }
     return;
   }
+  const MicroKernelFn micro_kernel = g_micro_kernel.load(std::memory_order_relaxed);
   const std::int64_t nc_max = std::min(n, kNc);
   const std::int64_t nc_round = (nc_max + kNr - 1) / kNr * kNr;
   const std::int64_t kc_max = std::min(k, kKc);
@@ -203,7 +207,7 @@ void gemm_tiled(const float* a, std::int64_t a_rs, std::int64_t a_cs, const floa
         for (std::int64_t jj = 0; jj < nc; jj += kNr) {
           const std::int64_t nr = std::min(kNr, nc - jj);
           for (std::int64_t ii = 0; ii < mc; ii += kMr) {
-            g_micro_kernel(apack + ii * kc, bpack + jj * kc, kc,
+            micro_kernel(apack + ii * kc, bpack + jj * kc, kc,
                            c + (i0 + ii) * n + (j0 + jj), n, std::min(kMr, mc - ii), nr,
                            acc_block,
                            bias_block != nullptr ? bias_block + j0 + jj : nullptr);
@@ -214,6 +218,34 @@ void gemm_tiled(const float* a, std::int64_t a_rs, std::int64_t a_cs, const floa
   }
 }
 }  // namespace
+
+bool gemm_avx2_supported() {
+#if defined(__x86_64__) || defined(__i386__)
+  return __builtin_cpu_supports("avx2") && __builtin_cpu_supports("fma");
+#else
+  return false;
+#endif
+}
+
+bool set_gemm_isa(GemmIsa isa) {
+  switch (isa) {
+    case GemmIsa::kAuto:
+      g_micro_kernel.store(pick_micro_kernel(), std::memory_order_relaxed);
+      return true;
+    case GemmIsa::kGeneric:
+      g_micro_kernel.store(micro_kernel_generic, std::memory_order_relaxed);
+      return true;
+    case GemmIsa::kAvx2:
+#if defined(__x86_64__) || defined(__i386__)
+      if (gemm_avx2_supported()) {
+        g_micro_kernel.store(micro_kernel_avx2, std::memory_order_relaxed);
+        return true;
+      }
+#endif
+      return false;
+  }
+  return false;
+}
 
 void gemm(std::span<const float> a, std::span<const float> b, std::span<float> c, std::int64_t m,
           std::int64_t k, std::int64_t n) {

@@ -20,6 +20,20 @@
 
 namespace sesr::nn {
 
+// Which micro-kernel build the dense GEMM dispatches to. kAuto picks the best
+// the CPU supports (the default, chosen at startup); the explicit values exist
+// so the numerical audit (src/check) can sweep the scalar and AVX2 kernels as
+// separate optimized-vs-reference pairs on the same machine.
+enum class GemmIsa { kAuto, kGeneric, kAvx2 };
+
+// Force the micro-kernel dispatch; returns false (leaving the dispatch
+// unchanged) when the requested ISA is not supported by this CPU. Only call
+// between kernel invocations — not while another thread is inside a GEMM.
+bool set_gemm_isa(GemmIsa isa);
+
+// True when the AVX2+FMA micro-kernel is available on this CPU.
+bool gemm_avx2_supported();
+
 // C = A * B. C must hold m*n elements; it is overwritten.
 void gemm(std::span<const float> a, std::span<const float> b, std::span<float> c, std::int64_t m,
           std::int64_t k, std::int64_t n);

@@ -67,6 +67,39 @@ TEST(Resize, RejectsIndivisibleDownscale) {
   EXPECT_THROW(downscale_bicubic(x, 2), std::invalid_argument);
 }
 
+TEST(Resize, GoldenRampUpscaleMatchesMatlabConvention) {
+  // Precomputed in double with the MATLAB imresize convention (Keys a = -0.5,
+  // pixel centers, symmetric mirror boundary, taps folded before
+  // normalization) for the width-8 ramp k/8 upscaled x2. The first/last two
+  // values reach mirrored taps two pixels past the border; the pre-fix
+  // replicate-style boundary got exactly those entries wrong (~3e-3 off).
+  constexpr double kGolden[16] = {
+      -0.011718750000, 0.022460937500, 0.090820312500, 0.156250000000,
+      0.218750000000,  0.281250000000, 0.343750000000,  0.406250000000,
+      0.468750000000,  0.531250000000, 0.593750000000,  0.656250000000,
+      0.718750000000,  0.784179687500, 0.852539062500,  0.886718750000};
+  Tensor x(1, 1, 8, 1);
+  for (std::int64_t k = 0; k < 8; ++k) x(0, 0, k, 0) = static_cast<float>(k) / 8.0F;
+  const Tensor up = resize_bicubic(x, 1, 16);
+  for (std::int64_t i = 0; i < 16; ++i) {
+    EXPECT_NEAR(up(0, 0, i, 0), kGolden[i], 1e-5) << "column " << i;
+  }
+}
+
+TEST(Resize, GoldenRampDownscaleMatchesMatlabConvention) {
+  // Same convention, width-16 ramp k/16 downscaled x2 with antialiasing (the
+  // LR-generation path); border values again pin the mirror-fold behaviour.
+  constexpr double kGolden[8] = {0.028076171875, 0.155517578125, 0.281250000000,
+                                 0.406250000000, 0.531250000000, 0.656250000000,
+                                 0.781982421875, 0.909423828125};
+  Tensor x(1, 1, 16, 1);
+  for (std::int64_t k = 0; k < 16; ++k) x(0, 0, k, 0) = static_cast<float>(k) / 16.0F;
+  const Tensor down = resize_bicubic(x, 1, 8);
+  for (std::int64_t i = 0; i < 8; ++i) {
+    EXPECT_NEAR(down(0, 0, i, 0), kGolden[i], 1e-5) << "column " << i;
+  }
+}
+
 TEST(ImageIo, PgmRoundTrip) {
   Rng rng(5);
   Tensor img(1, 6, 9, 1);

@@ -3,6 +3,8 @@
 // (the NPU execution premise), and the Winograd 3x3 fast path.
 #include <gtest/gtest.h>
 
+#include <cmath>
+
 #include "core/quantize.hpp"
 #include "core/sesr_inference.hpp"
 #include "core/sesr_network.hpp"
@@ -211,10 +213,31 @@ TEST(Quantize, SymmetricRoundTrip) {
 }
 
 TEST(Quantize, ZeroTensorHandled) {
+  // Degenerate ranges use the module-wide convention (scale 1/127), the same
+  // floor the QuantizedSesr activation calibration applies — the two used to
+  // disagree (1.0 vs 1/127).
   Tensor t(1, 2, 2, 1);
   QuantizedTensor q = quantize_symmetric(t);
-  EXPECT_EQ(q.scale, 1.0F);
+  EXPECT_EQ(q.scale, kDegenerateQuantScale);
   EXPECT_EQ(max_abs(dequantize(q)), 0.0F);
+}
+
+TEST(Quantize, ZeroCalibrationImagesUseDegenerateScale) {
+  // An all-zero calibration set must not produce zero (or mismatched)
+  // activation scales: every layer falls back to kDegenerateQuantScale and
+  // inference still runs.
+  Rng rng(43);
+  SesrNetwork net(tiny(2), rng);
+  SesrInference deployed(net);
+  std::vector<Tensor> calib{Tensor(1, 16, 16, 1)};  // zero-filled
+  QuantizedSesr quant(deployed, calib);
+  for (const float s : quant.activation_scales()) {
+    EXPECT_EQ(s, kDegenerateQuantScale);
+  }
+  Tensor zero_img(1, 12, 12, 1);
+  const Tensor out = quant.upscale(zero_img);
+  EXPECT_EQ(out.shape(), Shape(1, 24, 24, 1));
+  for (const float v : out.data()) EXPECT_TRUE(std::isfinite(v));
 }
 
 TEST(Quantize, Int8ConvMatchesFloatWithinQuantNoise) {
@@ -291,6 +314,37 @@ TEST(Winograd, MatchesIm2colConv) {
     Tensor winograd = nn::conv2d_winograd_3x3(x, weight);
     EXPECT_EQ(winograd.shape(), reference.shape());
     EXPECT_LT(max_abs_diff(reference, winograd), 1e-4F) << h << "x" << w;
+  }
+}
+
+TEST(Winograd, BoundaryTilesMatchNaiveOnOddSizes) {
+  // Property sweep over odd / tiny spatial sizes: F(2x2, 3x3) tiles the output
+  // in 2x2 blocks, so every H or W that is not a multiple of 2 ends in partial
+  // tiles, and H or W in {1, 2} makes EVERY tile a border tile. Each case must
+  // match the direct convolution.
+  Rng rng(47);
+  for (std::int64_t h = 1; h <= 17; h += 2) {
+    for (std::int64_t w = 1; w <= 13; w += 4) {
+      for (const std::int64_t in_c : {1, 3}) {
+        Tensor x(1, h, w, in_c);
+        x.fill_uniform(rng, -1.0F, 1.0F);
+        Tensor weight = nn::glorot_uniform_kernel(3, 3, in_c, 2, rng);
+        Tensor reference = nn::conv2d_naive(x, weight, nn::Padding::kSame);
+        Tensor winograd = nn::conv2d_winograd_3x3(x, weight);
+        ASSERT_EQ(winograd.shape(), reference.shape()) << h << "x" << w << "x" << in_c;
+        EXPECT_LT(max_abs_diff(reference, winograd), 1e-4F) << h << "x" << w << "x" << in_c;
+      }
+    }
+  }
+  // Even-but-small sizes where the image is narrower than one 4x4 input tile.
+  for (const auto [h, w] : {std::pair<std::int64_t, std::int64_t>{2, 2}, {2, 6}, {6, 2}, {1, 2}}) {
+    Tensor x(1, h, w, 2);
+    x.fill_uniform(rng, -1.0F, 1.0F);
+    Tensor weight = nn::glorot_uniform_kernel(3, 3, 2, 3, rng);
+    EXPECT_LT(max_abs_diff(nn::conv2d_naive(x, weight, nn::Padding::kSame),
+                           nn::conv2d_winograd_3x3(x, weight)),
+              1e-4F)
+        << h << "x" << w;
   }
 }
 

@@ -70,6 +70,45 @@ TEST(Ssim, SelfSimilarityIsOne) {
   EXPECT_NEAR(ssim(a, a), 1.0, 1e-9);
 }
 
+TEST(Ssim, SelfSimilarityIsExactlyOne) {
+  // Regression: E[x^2] - E[x]^2 goes (slightly) negative on flat windows, and
+  // before the variance clamp + Cauchy-Schwarz covariance bound, ssim(x, x)
+  // could land on either side of 1. It must now be 1.0 to the last bit, for
+  // constant and textured images alike.
+  for (const float v : {0.0F, 0.25F, 0.994000018F, 1.0F}) {
+    Tensor a(1, 16, 16, 1);
+    a.fill(v);
+    EXPECT_EQ(ssim(a, a), 1.0) << "constant " << v;
+  }
+  Rng rng(29);
+  Tensor t(1, 20, 20, 1);
+  t.fill_uniform(rng, 0.0F, 1.0F);
+  EXPECT_EQ(ssim(t, t), 1.0);
+}
+
+TEST(Ssim, NeverExceedsOneOnNearConstantImages) {
+  // Regression: this exact pair of constants (3 ULPs apart) drove the pre-fix
+  // implementation to ssim = 1.0000000000035614 — the negative-variance
+  // denominator shrinkage the clamp eliminates.
+  Tensor a(1, 16, 16, 1);
+  Tensor b(1, 16, 16, 1);
+  a.fill(0x1.fced92p-1F);
+  b.fill(0x1.fced98p-1F);
+  EXPECT_LE(ssim(a, b), 1.0);
+
+  Rng rng(31);
+  for (int trial = 0; trial < 50; ++trial) {
+    const float base = rng.uniform(0.0F, 1.0F);
+    a.fill(base);
+    b.fill(base);
+    for (std::int64_t i = 0; i < b.numel(); ++i) {
+      if (rng.bernoulli(0.2)) b.raw()[i] = std::nextafter(b.raw()[i], 2.0F);
+    }
+    const double s = ssim(a, b);
+    EXPECT_LE(s, 1.0) << "base " << base << " trial " << trial;
+  }
+}
+
 TEST(Ssim, DegradationLowersScore) {
   Rng rng(11);
   Tensor ref(1, 24, 24, 1);

@@ -1,0 +1,122 @@
+// Differential numerical audit of every optimized kernel in the library.
+//
+// Sweeps each optimized-vs-reference pair (src/check/audits.cpp) over
+// randomized shapes/strides/data and over multiple global thread counts,
+// reporting max-abs and max-ULP error per pair. Any tolerance violation or
+// cross-thread-count nondeterminism prints the trial's seed and exits
+// nonzero; `--pair <name> --replay <seed>` reruns exactly that trial.
+//
+//   sesr-audit                          # full sweep, all pairs
+//   sesr-audit --quick                  # CI-sized sweep (fewer trials)
+//   sesr-audit --pairs gemm_scalar,ssim # subset
+//   sesr-audit --pair conv2d_striped --replay 1234567
+//   sesr-audit --list
+#include <cstdio>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "check/audit.hpp"
+#include "cli_args.hpp"
+
+namespace {
+
+std::vector<std::string> split_csv(const std::string& csv) {
+  std::vector<std::string> out;
+  std::stringstream ss(csv);
+  std::string item;
+  while (std::getline(ss, item, ',')) {
+    if (!item.empty()) out.push_back(item);
+  }
+  return out;
+}
+
+std::vector<unsigned> parse_threads(const std::string& csv) {
+  std::vector<unsigned> out;
+  for (const std::string& t : split_csv(csv)) {
+    out.push_back(static_cast<unsigned>(std::stoul(t)));
+  }
+  return out;
+}
+
+int list_pairs() {
+  for (const auto& pair : sesr::check::builtin_pairs()) {
+    std::printf("%-24s tol_abs=%-8g tol_ulp=%-6g %s\n", pair.name.c_str(), pair.tol_abs,
+                pair.tol_ulp, pair.description.c_str());
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using sesr::cli::Args;
+  const std::vector<Args::Option> options = {
+      {"pairs", "all", "comma-separated pair names to audit (\"all\" = every pair)"},
+      {"pair", "none", "single pair name (required with --replay)"},
+      {"trials", "32", "random trials per pair per thread count"},
+      {"seed", "0", "base seed (0 = the built-in default)"},
+      {"threads", "1,4", "comma-separated global thread counts to sweep"},
+      {"replay", "-1", "rerun one trial with this exact seed (needs --pair)"},
+      {"quick", "", "CI preset: 8 trials per pair"},
+      {"list", "", "list the registered audit pairs and exit"},
+      {"help", "", "show this help"},
+  };
+  try {
+    const Args args(options, argc, argv);
+    if (args.get_flag("help")) {
+      args.usage("sesr-audit", "differential numerical audit of the optimized kernels");
+      return 0;
+    }
+    if (args.get_flag("list")) return list_pairs();
+
+    sesr::check::AuditOptions audit;
+    audit.thread_counts = parse_threads(args.get("threads"));
+    if (args.get_int("seed") != 0) {
+      audit.base_seed = static_cast<std::uint64_t>(args.get_int("seed"));
+    }
+    audit.trials = static_cast<int>(args.get_int("trials"));
+    if (args.get_flag("quick")) audit.trials = 8;
+
+    // Replay mode: one pair, one explicit seed.
+    if (args.get_int("replay") >= 0) {
+      const std::string name = args.get("pair");
+      const sesr::check::AuditPair* pair = sesr::check::find_pair(name);
+      if (pair == nullptr) {
+        std::fprintf(stderr, "sesr-audit: --replay needs --pair <name>; \"%s\" is not a pair "
+                             "(see --list)\n", name.c_str());
+        return 2;
+      }
+      const auto seed = static_cast<std::uint64_t>(args.get_int("replay"));
+      const sesr::check::PairReport report =
+          sesr::check::replay_trial(*pair, seed, audit.thread_counts);
+      audit.trials = 1;
+      audit.base_seed = seed;
+      sesr::check::print_report(std::cout, {report}, audit);
+      return report.passed() ? 0 : 1;
+    }
+
+    if (args.get("pairs") != "all") audit.pair_filter = split_csv(args.get("pairs"));
+    if (args.get("pair") != "none") audit.pair_filter.push_back(args.get("pair"));
+    if (!audit.pair_filter.empty()) {
+      for (const std::string& name : audit.pair_filter) {
+        if (sesr::check::find_pair(name) == nullptr) {
+          std::fprintf(stderr, "sesr-audit: unknown pair \"%s\" (see --list)\n", name.c_str());
+          return 2;
+        }
+      }
+    }
+
+    const std::vector<sesr::check::PairReport> reports = sesr::check::run_audit(audit);
+    if (reports.empty()) {
+      std::fprintf(stderr, "sesr-audit: no pairs selected\n");
+      return 2;
+    }
+    sesr::check::print_report(std::cout, reports, audit);
+    return sesr::check::all_passed(reports) ? 0 : 1;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "sesr-audit: %s\n", e.what());
+    return 2;
+  }
+}
