@@ -378,6 +378,84 @@ TrialResult streaming_trial(std::uint64_t seed) {
   return r;
 }
 
+// Serve-regime tiling: the eval server routes arbitrary request shapes
+// through upscale_tiled, so this pair sweeps the geometry corners the
+// original tiled_inference pair never draws — frames down to 1x1, tiles
+// larger than the image, extra halo beyond the receptive field, and extreme
+// aspect ratios. Exactness promise: halo >= radius reproduces the full frame.
+TrialResult tiled_vs_fullframe_trial(std::uint64_t seed) {
+  TrialResult r;
+  Rng rng(seed);
+  const core::SesrConfig config = small_config(rng);
+  Rng init = rng.fork();
+  const core::SesrNetwork network(config, init);
+  const core::SesrInference inference(network);
+  const std::int64_t regime = rng.uniform_int(0, 2);
+  std::int64_t h = 0;
+  std::int64_t w = 0;
+  if (regime == 0) {  // tiny frames, smaller than any sane tile
+    h = rng.uniform_int(1, 6);
+    w = rng.uniform_int(1, 6);
+  } else if (regime == 1) {  // extreme aspect (row / column strips)
+    h = rng.bernoulli(0.5) ? rng.uniform_int(1, 3) : rng.uniform_int(16, 40);
+    w = rng.bernoulli(0.5) ? rng.uniform_int(16, 40) : rng.uniform_int(1, 3);
+  } else {  // generic
+    h = rng.uniform_int(8, 40);
+    w = rng.uniform_int(8, 40);
+  }
+  const Tensor input = random_tensor(rng, 1, h, w, 1, 0.0F, 1.0F);
+  core::TilingOptions options;
+  options.tile_h = rng.uniform_int(1, 48);  // may exceed the image
+  options.tile_w = rng.uniform_int(1, 48);
+  const std::int64_t radius = core::receptive_field_radius(inference);
+  // Exact by construction: radius, or radius plus slack (also exact).
+  options.halo = rng.bernoulli(0.5) ? radius : radius + rng.uniform_int(1, 4);
+  const Tensor got = core::upscale_tiled(inference, input, options);
+  const DTensor want = to_dtensor(inference.upscale(input));
+  r.stats = compare_f32(got.data(), want.data);
+  r.output_hash = hash_bits(got.data());
+  std::ostringstream os;
+  os << "in=" << shape_str(input.shape()) << " tile=" << options.tile_h << "x" << options.tile_w
+     << " halo=" << options.halo << " " << config.describe();
+  r.detail = os.str();
+  return r;
+}
+
+// Serve-regime streaming: same widened shape sweep for the line-buffer path
+// (row/column strips stress the pipeline's prune logic). Exactness promise:
+// streaming equals the full-frame pass to float tolerance.
+TrialResult streaming_vs_fullframe_trial(std::uint64_t seed) {
+  TrialResult r;
+  Rng rng(seed);
+  const core::SesrConfig config = small_config(rng);
+  Rng init = rng.fork();
+  const core::SesrNetwork network(config, init);
+  const core::SesrInference inference(network);
+  const std::int64_t regime = rng.uniform_int(0, 2);
+  std::int64_t h = 0;
+  std::int64_t w = 0;
+  if (regime == 0) {
+    h = rng.uniform_int(1, 5);
+    w = rng.uniform_int(1, 5);
+  } else if (regime == 1) {
+    h = rng.bernoulli(0.5) ? rng.uniform_int(1, 2) : rng.uniform_int(12, 32);
+    w = rng.bernoulli(0.5) ? rng.uniform_int(12, 32) : rng.uniform_int(1, 2);
+  } else {
+    h = rng.uniform_int(6, 32);
+    w = rng.uniform_int(6, 32);
+  }
+  const Tensor input = random_tensor(rng, 1, h, w, 1, 0.0F, 1.0F);
+  core::StreamingUpscaler streamer(inference);
+  const Tensor got = streamer.upscale(input);
+  const DTensor want = to_dtensor(inference.upscale(input));
+  r.stats = compare_f32(got.data(), want.data);
+  r.output_hash = hash_bits(got.data());
+  std::ostringstream os;
+  os << "in=" << shape_str(input.shape()) << " " << config.describe();
+  r.detail = os.str();
+  return r;
+}
+
 // -------------------------------------------------------- data/metric pairs
 
 TrialResult depth_to_space_trial(std::uint64_t seed) {
@@ -512,6 +590,13 @@ std::vector<AuditPair> make_builtin_pairs() {
                    tiled_trial});
   pairs.push_back({"streaming_inference", "line-buffer streaming upscale vs full-frame upscale",
                    1e-5, 0.0, streaming_trial});
+  pairs.push_back({"tiled_vs_fullframe",
+                   "serve-regime tiling (tiny/strip frames, tile > image, halo slack) vs full "
+                   "frame",
+                   1e-5, 0.0, tiled_vs_fullframe_trial});
+  pairs.push_back({"streaming_vs_fullframe",
+                   "serve-regime streaming (tiny/strip frames) vs full frame", 1e-5, 0.0,
+                   streaming_vs_fullframe_trial});
   pairs.push_back({"depth_to_space", "pixel shuffle vs reference permutation (must be exact)",
                    0.0, 0.0, depth_to_space_trial});
   pairs.push_back({"resize_bicubic",

@@ -1,0 +1,77 @@
+#include "serve/request_queue.hpp"
+
+#include <algorithm>
+
+namespace sesr::serve {
+
+RequestQueue::RequestQueue(std::size_t capacity) : capacity_(std::max<std::size_t>(1, capacity)) {}
+
+RequestQueue::PushResult RequestQueue::push(FrameRequest& request, OverloadPolicy policy) {
+  std::unique_lock<std::mutex> lock(mutex_);
+  if (policy == OverloadPolicy::kBlock) {
+    not_full_.wait(lock, [&] { return closed_ || queue_.size() < capacity_; });
+  }
+  if (closed_) return PushResult::kClosed;
+  if (queue_.size() >= capacity_) return PushResult::kFull;  // kReject path
+  queue_.push_back(std::move(request));
+  // A full queue is the batcher's pressure signal; wake it even mid-wait.
+  not_empty_.notify_one();
+  return PushResult::kAccepted;
+}
+
+std::vector<FrameRequest> RequestQueue::pop_batch(std::int64_t max_batch,
+                                                  std::chrono::microseconds max_delay) {
+  max_batch = std::max<std::int64_t>(1, max_batch);
+  std::unique_lock<std::mutex> lock(mutex_);
+  not_empty_.wait(lock, [&] { return closed_ || !queue_.empty(); });
+  if (queue_.empty()) return {};  // closed and drained
+
+  const auto key_h = queue_.front().frame.shape().h();
+  const auto key_w = queue_.front().frame.shape().w();
+  const auto deadline = queue_.front().enqueue_time + max_delay;
+  auto compatible = [&] {
+    std::int64_t n = 0;
+    for (const FrameRequest& r : queue_) {
+      if (r.frame.shape().h() == key_h && r.frame.shape().w() == key_w) ++n;
+    }
+    return n;
+  };
+  // Wait for the batch to fill unless the deadline passes, the queue comes
+  // under pressure (full: flushing now unblocks producers), or we close.
+  while (compatible() < max_batch && queue_.size() < capacity_ && !closed_) {
+    if (not_empty_.wait_until(lock, deadline) == std::cv_status::timeout) break;
+  }
+
+  std::vector<FrameRequest> batch;
+  for (auto it = queue_.begin(); it != queue_.end() && std::ssize(batch) < max_batch;) {
+    if (it->frame.shape().h() == key_h && it->frame.shape().w() == key_w) {
+      batch.push_back(std::move(*it));
+      it = queue_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  not_full_.notify_all();
+  return batch;
+}
+
+void RequestQueue::close() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    closed_ = true;
+  }
+  not_full_.notify_all();
+  not_empty_.notify_all();
+}
+
+bool RequestQueue::closed() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return closed_;
+}
+
+std::size_t RequestQueue::size() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return queue_.size();
+}
+
+}  // namespace sesr::serve

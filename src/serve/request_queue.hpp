@@ -1,0 +1,81 @@
+// Bounded multi-producer submission queue with shape-grouping batch pops.
+//
+// Producers push FrameRequests under the configured overload policy: kBlock
+// waits for space, kReject fails fast when full. The single batcher thread
+// calls pop_batch, which collects up to max_batch requests sharing the oldest
+// request's (H, W) — so one dispatch can stack them into a single (B, H, W, 1)
+// batched upscale — and flushes early when the deadline passes or the queue is
+// under pressure (full). close() stops new pushes, wakes every waiter, and
+// lets pop_batch drain what was already accepted: graceful shutdown completes
+// every admitted request.
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <future>
+#include <mutex>
+#include <stdexcept>
+#include <vector>
+
+#include "serve/serve_options.hpp"
+#include "tensor/tensor.hpp"
+
+namespace sesr::serve {
+
+// submit() failed because the bounded queue was full under kReject.
+class QueueFullError : public std::runtime_error {
+ public:
+  QueueFullError() : std::runtime_error("eval server: submission queue full") {}
+};
+
+// submit() arrived after shutdown began.
+class ServerClosedError : public std::runtime_error {
+ public:
+  ServerClosedError() : std::runtime_error("eval server: shut down") {}
+};
+
+struct FrameRequest {
+  std::uint64_t id = 0;
+  Tensor frame;  // (1, H, W, 1)
+  std::promise<Tensor> promise;
+  std::chrono::steady_clock::time_point enqueue_time;
+};
+
+class RequestQueue {
+ public:
+  enum class PushResult { kAccepted, kFull, kClosed };
+
+  explicit RequestQueue(std::size_t capacity);
+
+  // On kAccepted the request has been moved into the queue; on kFull/kClosed
+  // the caller keeps ownership (and typically fails the promise).
+  PushResult push(FrameRequest& request, OverloadPolicy policy);
+
+  // Pops [1, max_batch] requests whose frames share the oldest request's
+  // (H, W). Blocks until at least one request is available (or the queue is
+  // closed and drained — then returns empty). A partial batch waits at most
+  // max_delay past the oldest request's enqueue time, but flushes immediately
+  // when the queue is full, so blocked producers free up fast.
+  std::vector<FrameRequest> pop_batch(std::int64_t max_batch,
+                                      std::chrono::microseconds max_delay);
+
+  // Stops accepting pushes and wakes all waiters; already-accepted requests
+  // remain poppable (drain semantics).
+  void close();
+
+  bool closed() const;
+  std::size_t size() const;
+  std::size_t capacity() const { return capacity_; }
+
+ private:
+  const std::size_t capacity_;
+  mutable std::mutex mutex_;
+  std::condition_variable not_full_;
+  std::condition_variable not_empty_;
+  std::deque<FrameRequest> queue_;
+  bool closed_ = false;
+};
+
+}  // namespace sesr::serve

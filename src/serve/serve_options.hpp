@@ -1,0 +1,55 @@
+// Policy knobs for the batched eval server (src/serve/server.hpp).
+//
+// The server accepts (1, H, W, 1) Y-frame requests into a bounded queue, a
+// batcher thread groups compatible shapes into micro-batches, and a pool of
+// worker sessions executes them. ServeOptions decides every trade-off in that
+// pipeline: how large micro-batches may grow, how long the batcher may hold a
+// partial batch, what happens when the queue is full, and which execution
+// path (full-frame / tiled / streaming) each frame takes.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "core/tiled_inference.hpp"
+
+namespace sesr::serve {
+
+// What submit() does when the bounded queue is full.
+enum class OverloadPolicy {
+  kBlock,   // submit() waits for space (closed-loop producers)
+  kReject,  // submit() fails the future immediately with QueueFullError
+};
+
+// Which execution path a worker session uses for a frame.
+enum class ExecMode {
+  kFullFrame,  // SesrInference::upscale on the (possibly batched) frames
+  kTiled,      // cut into TileTasks, fanned out across all workers
+  kStreaming,  // per-worker StreamingUpscaler (line buffers; no biased nets)
+  kAuto,       // frames >= tiled_threshold_pixels go kTiled, the rest batch
+};
+
+struct ServeOptions {
+  // Micro-batching: the batcher groups up to max_batch same-shape frames,
+  // flushing early after max_delay_us or when the queue is full (pressure).
+  std::int64_t max_batch = 8;
+  std::int64_t max_delay_us = 2000;
+
+  // Bounded submission queue.
+  std::size_t queue_capacity = 64;
+  OverloadPolicy overload = OverloadPolicy::kBlock;
+
+  // Worker sessions, each owning a collapsed-network replica.
+  int workers = 4;
+
+  ExecMode mode = ExecMode::kFullFrame;
+  core::TilingOptions tiling;                        // kTiled / kAuto tile geometry
+  std::int64_t tiled_threshold_pixels = 128 * 128;   // kAuto: LR pixels >= this tile
+
+  // Test seam: when set, every worker invokes this immediately before
+  // executing a unit of work. The concurrency tests use it to hold workers on
+  // a latch so overload and shutdown-while-full become deterministic.
+  std::function<void()> worker_hook;
+};
+
+}  // namespace sesr::serve

@@ -1,0 +1,50 @@
+#include "serve/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace sesr::serve {
+
+void StatsRecorder::on_completed(Clock::time_point enqueue) {
+  const double us =
+      std::chrono::duration<double, std::micro>(Clock::now() - enqueue).count();
+  std::lock_guard<std::mutex> lock(mutex_);
+  latency_us_.push_back(us);
+}
+
+double percentile(std::vector<double> samples, double p) {
+  if (samples.empty()) return 0.0;
+  p = std::clamp(p, 0.0, 100.0);
+  const auto rank = static_cast<std::size_t>(
+      std::ceil(p / 100.0 * static_cast<double>(samples.size())));
+  const std::size_t index = rank == 0 ? 0 : rank - 1;
+  std::nth_element(samples.begin(), samples.begin() + static_cast<std::ptrdiff_t>(index),
+                   samples.end());
+  return samples[index];
+}
+
+ServerStats StatsRecorder::snapshot() const {
+  ServerStats s;
+  s.submitted = submitted_.load(std::memory_order_relaxed);
+  s.rejected = rejected_.load(std::memory_order_relaxed);
+  s.batches = batches_.load(std::memory_order_relaxed);
+  s.tiles = tiles_.load(std::memory_order_relaxed);
+  s.failed = failed_.load(std::memory_order_relaxed);
+  std::vector<double> samples;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    samples = latency_us_;
+  }
+  s.completed = samples.size();
+  s.mean_batch_frames =
+      s.batches == 0 ? 0.0 : static_cast<double>(s.completed) / static_cast<double>(s.batches);
+  s.p50_us = percentile(samples, 50.0);
+  s.p95_us = percentile(samples, 95.0);
+  s.p99_us = percentile(samples, 99.0);
+  s.max_us = samples.empty() ? 0.0 : *std::max_element(samples.begin(), samples.end());
+  s.wall_seconds = std::chrono::duration<double>(Clock::now() - start_).count();
+  s.fps = s.wall_seconds > 0.0 ? static_cast<double>(s.completed) / s.wall_seconds : 0.0;
+  return s;
+}
+
+}  // namespace sesr::serve

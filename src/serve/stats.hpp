@@ -1,0 +1,64 @@
+// Request-level counters and latency percentiles for the eval server.
+//
+// Workers record one sample per completed request (submit-to-completion,
+// microseconds); counters are plain atomics. snapshot() is safe to call while
+// traffic is in flight and computes percentiles over the samples so far.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <mutex>
+#include <vector>
+
+namespace sesr::serve {
+
+// Immutable view returned by EvalServer::stats().
+struct ServerStats {
+  std::uint64_t submitted = 0;   // accepted into the queue
+  std::uint64_t rejected = 0;    // refused by the kReject overload policy
+  std::uint64_t completed = 0;   // futures fulfilled (value or error)
+  std::uint64_t failed = 0;      // futures fulfilled with an exception
+  std::uint64_t batches = 0;     // execution units dispatched (batch or tile job)
+  std::uint64_t tiles = 0;       // TileTasks executed by the fan-out path
+  double mean_batch_frames = 0.0;  // completed / batches
+  double p50_us = 0.0;
+  double p95_us = 0.0;
+  double p99_us = 0.0;
+  double max_us = 0.0;
+  double wall_seconds = 0.0;  // since server start
+  double fps = 0.0;           // completed / wall_seconds
+};
+
+class StatsRecorder {
+ public:
+  using Clock = std::chrono::steady_clock;
+
+  StatsRecorder() : start_(Clock::now()) {}
+
+  void on_submitted() { submitted_.fetch_add(1, std::memory_order_relaxed); }
+  void on_rejected() { rejected_.fetch_add(1, std::memory_order_relaxed); }
+  void on_batch() { batches_.fetch_add(1, std::memory_order_relaxed); }
+  void on_tile() { tiles_.fetch_add(1, std::memory_order_relaxed); }
+  void on_failed() { failed_.fetch_add(1, std::memory_order_relaxed); }
+
+  // One completed request; `enqueue` is its submit() timestamp.
+  void on_completed(Clock::time_point enqueue);
+
+  ServerStats snapshot() const;
+
+ private:
+  Clock::time_point start_;
+  std::atomic<std::uint64_t> submitted_{0};
+  std::atomic<std::uint64_t> rejected_{0};
+  std::atomic<std::uint64_t> batches_{0};
+  std::atomic<std::uint64_t> tiles_{0};
+  std::atomic<std::uint64_t> failed_{0};
+  mutable std::mutex mutex_;           // guards latency_us_
+  std::vector<double> latency_us_;
+};
+
+// p in [0, 100]; empty samples give 0. (Nearest-rank on a sorted copy.)
+double percentile(std::vector<double> samples, double p);
+
+}  // namespace sesr::serve

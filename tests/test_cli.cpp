@@ -1,7 +1,10 @@
-// Tests for the tools/ command-line argument parser.
+// Tests for the tools/ command-line argument parser and the sesr-serve
+// option table (bad values must raise UsageError — sesr-serve turns that
+// into usage text plus a nonzero exit).
 #include <gtest/gtest.h>
 
 #include "../tools/cli_args.hpp"
+#include "../tools/serve_cli.hpp"
 
 namespace sesr::cli {
 namespace {
@@ -67,6 +70,83 @@ TEST(CliArgs, PositionalArgumentsCollected) {
 TEST(CliArgs, LastValueWins) {
   Args args = parse({"--steps=1", "--steps=2"});
   EXPECT_EQ(args.get_int("steps"), 2);
+}
+
+// ------------------------- sesr-serve option table ---------------------------
+
+ServeCliConfig parse_serve(std::vector<const char*> argv) {
+  argv.insert(argv.begin(), "sesr-serve");
+  const Args args(serve_cli_options(), static_cast<int>(argv.size()),
+                  const_cast<char**>(argv.data()));
+  return parse_serve_cli(args);
+}
+
+TEST(ServeCli, DefaultsAreServable) {
+  const ServeCliConfig config = parse_serve({});
+  EXPECT_EQ(config.net, "m5");
+  EXPECT_EQ(config.scale, 2);
+  EXPECT_EQ(config.serve.workers, 4);
+  EXPECT_EQ(config.serve.max_batch, 8);
+  EXPECT_EQ(config.serve.overload, serve::OverloadPolicy::kBlock);
+  EXPECT_EQ(config.serve.mode, serve::ExecMode::kFullFrame);
+  EXPECT_DOUBLE_EQ(config.qps, 0.0);  // closed loop
+  ASSERT_EQ(config.shapes.size(), 1U);
+  EXPECT_EQ(config.shapes[0].first, 64);
+  EXPECT_EQ(config.shapes[0].second, 64);
+}
+
+TEST(ServeCli, ParsesFullTrafficSpec) {
+  const ServeCliConfig config =
+      parse_serve({"--net=m3", "--scale=4", "--workers=2", "--max-batch=4", "--policy=reject",
+                   "--mode=auto", "--qps=120.5", "--shapes=64x64,128x96", "--threads=2"});
+  EXPECT_EQ(config.net, "m3");
+  EXPECT_EQ(config.scale, 4);
+  EXPECT_EQ(config.serve.workers, 2);
+  EXPECT_EQ(config.serve.overload, serve::OverloadPolicy::kReject);
+  EXPECT_EQ(config.serve.mode, serve::ExecMode::kAuto);
+  EXPECT_DOUBLE_EQ(config.qps, 120.5);
+  ASSERT_EQ(config.shapes.size(), 2U);
+  EXPECT_EQ(config.shapes[1].first, 128);
+  EXPECT_EQ(config.shapes[1].second, 96);
+}
+
+TEST(ServeCli, BadQpsRaisesUsageError) {
+  EXPECT_THROW(parse_serve({"--qps=-1"}), UsageError);
+  EXPECT_THROW(parse_serve({"--qps", "-0.5"}), UsageError);
+}
+
+TEST(ServeCli, ZeroWorkersRaisesUsageError) {
+  EXPECT_THROW(parse_serve({"--workers=0"}), UsageError);
+  EXPECT_THROW(parse_serve({"--workers=-2"}), UsageError);
+}
+
+TEST(ServeCli, MutuallyExclusiveStopConditionsRaiseUsageError) {
+  EXPECT_THROW(parse_serve({"--frames=10", "--duration-s=2"}), UsageError);
+  // Each alone is fine.
+  EXPECT_EQ(parse_serve({"--frames=10"}).frames, 10);
+  EXPECT_DOUBLE_EQ(parse_serve({"--duration-s=2"}).duration_s, 2.0);
+}
+
+TEST(ServeCli, BadEnumsRaiseUsageError) {
+  EXPECT_THROW(parse_serve({"--mode=bogus"}), UsageError);
+  EXPECT_THROW(parse_serve({"--policy=maybe"}), UsageError);
+  EXPECT_THROW(parse_serve({"--net=m4"}), UsageError);
+  EXPECT_THROW(parse_serve({"--scale=3"}), UsageError);
+}
+
+TEST(ServeCli, BadShapesRaiseUsageError) {
+  EXPECT_THROW(parse_serve({"--shapes=64"}), UsageError);
+  EXPECT_THROW(parse_serve({"--shapes=64x"}), UsageError);
+  EXPECT_THROW(parse_serve({"--shapes=0x64"}), UsageError);
+  EXPECT_THROW(parse_serve({"--shapes=64x64,,32x32"}), UsageError);
+}
+
+TEST(ServeCli, BadBatchingKnobsRaiseUsageError) {
+  EXPECT_THROW(parse_serve({"--max-batch=0"}), UsageError);
+  EXPECT_THROW(parse_serve({"--max-delay-us=-1"}), UsageError);
+  EXPECT_THROW(parse_serve({"--queue-capacity=0"}), UsageError);
+  EXPECT_THROW(parse_serve({"--tile=0"}), UsageError);
+  EXPECT_THROW(parse_serve({"--threads=0"}), UsageError);
 }
 
 }  // namespace

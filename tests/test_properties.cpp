@@ -2,6 +2,8 @@
 // library must satisfy for ANY configuration in the paper's design space.
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <limits>
 #include <tuple>
 
 #include "core/collapse.hpp"
@@ -206,6 +208,117 @@ TEST(DeploymentAgreement, BatchTiledAndStreamingCoincide) {
   Tensor streamed = streamer.upscale(image);
   EXPECT_LT(max_abs_diff(batch, tiled), 1e-5F);
   EXPECT_LT(max_abs_diff(batch, streamed), 1e-5F);
+}
+
+// ------------- tiled-inference edge cases the eval server dispatches ---------
+
+// The serve layer routes arbitrary request shapes through upscale_tiled; these
+// pin down the geometry corners it will hit in production.
+
+TEST(TiledEdgeCases, ImageSmallerThanOneTileIsBitExact) {
+  core::SesrConfig cfg;
+  cfg.f = 6;
+  cfg.m = 2;
+  cfg.scale = 2;
+  cfg.expand = 16;
+  Rng rng(601);
+  core::SesrNetwork net(cfg, rng);
+  core::SesrInference deployed(net);
+  Rng irng(603);
+  Tensor image(1, 5, 7, 1);
+  image.fill_uniform(irng, 0.0F, 1.0F);
+  // Tile dims larger than the image: the grid degenerates to a single tile
+  // whose clamped halo is the whole image — the exact full-frame computation.
+  core::TilingOptions tiles;
+  tiles.tile_h = 64;
+  tiles.tile_w = 64;
+  EXPECT_EQ(max_abs_diff(core::upscale_tiled(deployed, image, tiles), deployed.upscale(image)),
+            0.0F);
+  const auto grid = core::tile_grid(5, 7, tiles, core::receptive_field_radius(deployed));
+  ASSERT_EQ(grid.size(), 1U);
+  EXPECT_EQ(grid[0].hh, 5);
+  EXPECT_EQ(grid[0].hw, 7);
+}
+
+TEST(TiledEdgeCases, NonDivisibleGridMatchesFullFrame) {
+  core::SesrConfig cfg;
+  cfg.f = 6;
+  cfg.m = 2;
+  cfg.scale = 2;
+  cfg.expand = 16;
+  Rng rng(607);
+  core::SesrNetwork net(cfg, rng);
+  core::SesrInference deployed(net);
+  Rng irng(609);
+  Tensor image(1, 13, 17, 1);
+  image.fill_uniform(irng, 0.0F, 1.0F);
+  // 13/5 and 17/6 both leave ragged edge tiles; exact halo must still
+  // reproduce the full frame.
+  core::TilingOptions tiles;
+  tiles.tile_h = 5;
+  tiles.tile_w = 6;
+  EXPECT_LT(max_abs_diff(core::upscale_tiled(deployed, image, tiles), deployed.upscale(image)),
+            1e-5F);
+  // The grid covers every LR pixel exactly once.
+  const auto grid = core::tile_grid(13, 17, tiles, 0);
+  std::int64_t covered = 0;
+  for (const auto& t : grid) covered += t.th * t.tw;
+  EXPECT_EQ(covered, 13 * 17);
+}
+
+TEST(TiledEdgeCases, HaloZeroInexactnessConfinedToTileBorders) {
+  core::SesrConfig cfg;
+  cfg.f = 6;
+  cfg.m = 2;
+  cfg.scale = 2;
+  cfg.expand = 16;
+  Rng rng(611);
+  core::SesrNetwork net(cfg, rng);
+  core::SesrInference deployed(net);
+  Rng irng(613);
+  Tensor image(1, 16, 16, 1);
+  image.fill_uniform(irng, 0.0F, 1.0F);
+  core::TilingOptions tiles;
+  tiles.tile_h = 8;
+  tiles.tile_w = 8;
+  tiles.halo = 0;
+  const std::int64_t radius = core::receptive_field_radius(deployed);
+  const Tensor full = deployed.upscale(image);
+  const Tensor approx = core::upscale_tiled(deployed, image, tiles);
+  const std::int64_t scale = cfg.scale;
+  // The sharp halo=0 bound: an LR pixel whose distance to every INTERIOR tile
+  // boundary is >= the receptive-field radius sees the identical input window
+  // in both passes, so its HR block must match exactly. (Image borders are
+  // excluded — there the clamped halo equals full-frame padding anyway.)
+  std::int64_t interior_checked = 0;
+  for (std::int64_t y = 0; y < 16; ++y) {
+    for (std::int64_t x = 0; x < 16; ++x) {
+      const std::int64_t ty = y % tiles.tile_h;
+      const std::int64_t tx = x % tiles.tile_w;
+      auto dist = [&](std::int64_t local, std::int64_t extent, std::int64_t origin,
+                      std::int64_t image_extent) {
+        std::int64_t d = std::numeric_limits<std::int64_t>::max();
+        if (origin > 0) d = std::min(d, local);  // interior low edge
+        if (origin + extent < image_extent) d = std::min(d, extent - 1 - local);
+        return d;
+      };
+      const std::int64_t dy = dist(ty, tiles.tile_h, y - ty, 16);
+      const std::int64_t dx = dist(tx, tiles.tile_w, x - tx, 16);
+      if (std::min(dy, dx) < radius) continue;
+      ++interior_checked;
+      for (std::int64_t sy = 0; sy < scale; ++sy) {
+        for (std::int64_t sx = 0; sx < scale; ++sx) {
+          ASSERT_EQ(approx(0, y * scale + sy, x * scale + sx, 0),
+                    full(0, y * scale + sy, x * scale + sx, 0))
+              << "LR pixel (" << y << ", " << x << ")";
+        }
+      }
+    }
+  }
+  ASSERT_GT(interior_checked, 0);
+  // And the borders genuinely differ — halo=0 is an approximation, not a
+  // freebie; if this ever becomes exact the overhead accounting is obsolete.
+  EXPECT_GT(max_abs_diff(approx, full), 0.0F);
 }
 
 // -------------------- quantization error scales with range -------------------

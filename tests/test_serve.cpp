@@ -1,0 +1,394 @@
+// Deterministic concurrency tests for the batched eval server (src/serve).
+//
+// The load-bearing promises under test:
+//   1. Every accepted future completes — under multi-producer stress, under
+//      shutdown-while-full, and under overload.
+//   2. Served results are BIT-IDENTICAL to the single-threaded reference for
+//      the same execution path (and, for exact-halo tiling, within float
+//      tolerance of the full-frame pass).
+//   3. The bounded queue's reject policy actually fires when the pipeline is
+//      saturated, and blocked producers drain on shutdown without deadlock.
+//
+// The stress test is seeded: SESR_SERVE_STRESS_ITERS overrides the iteration
+// count (CI's serve-tsan soak runs 100 under ThreadSanitizer). Worker threads
+// are made deterministic where it matters via ServeOptions::worker_hook,
+// which lets a test hold all workers on a latch.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdlib>
+#include <future>
+#include <thread>
+#include <vector>
+
+#include "core/sesr_inference.hpp"
+#include "core/sesr_network.hpp"
+#include "core/streaming.hpp"
+#include "core/tiled_inference.hpp"
+#include "serve/request_queue.hpp"
+#include "serve/server.hpp"
+#include "tensor/tensor_ops.hpp"
+
+namespace sesr::serve {
+namespace {
+
+core::SesrConfig small_config(bool with_bias = false, bool prelu = true) {
+  core::SesrConfig config;
+  config.f = 8;
+  config.m = 2;
+  config.scale = 2;
+  config.expand = 16;
+  config.prelu = prelu;
+  config.with_bias = with_bias;
+  return config;
+}
+
+core::SesrInference make_inference(std::uint64_t seed, const core::SesrConfig& config) {
+  Rng rng(seed);
+  core::SesrNetwork network(config, rng);
+  return core::SesrInference(network);
+}
+
+Tensor make_frame(std::uint64_t seed, std::int64_t h, std::int64_t w) {
+  Rng rng(seed);
+  Tensor frame(1, h, w, 1);
+  frame.fill_uniform(rng, 0.0F, 1.0F);
+  return frame;
+}
+
+int stress_iterations() {
+  if (const char* v = std::getenv("SESR_SERVE_STRESS_ITERS")) {
+    const long n = std::strtol(v, nullptr, 10);
+    if (n > 0) return static_cast<int>(n);
+  }
+  return 10;
+}
+
+// ------------------------------------------------------- RequestQueue unit
+
+TEST(RequestQueue, RejectPolicyFailsFastWhenFull) {
+  RequestQueue queue(2);
+  for (int i = 0; i < 2; ++i) {
+    FrameRequest r;
+    r.frame = make_frame(1, 4, 4);
+    ASSERT_EQ(queue.push(r, OverloadPolicy::kReject), RequestQueue::PushResult::kAccepted);
+  }
+  FrameRequest overflow;
+  overflow.frame = make_frame(2, 4, 4);
+  EXPECT_EQ(queue.push(overflow, OverloadPolicy::kReject), RequestQueue::PushResult::kFull);
+  // The rejected request is still owned by the caller; its promise is intact.
+  overflow.promise.set_exception(std::make_exception_ptr(QueueFullError()));
+}
+
+TEST(RequestQueue, BlockedPushReturnsClosedOnShutdown) {
+  RequestQueue queue(1);
+  FrameRequest first;
+  first.frame = make_frame(3, 4, 4);
+  ASSERT_EQ(queue.push(first, OverloadPolicy::kBlock), RequestQueue::PushResult::kAccepted);
+  std::promise<RequestQueue::PushResult> result;
+  std::thread blocked([&] {
+    FrameRequest r;
+    r.frame = make_frame(4, 4, 4);
+    result.set_value(queue.push(r, OverloadPolicy::kBlock));
+  });
+  queue.close();  // wakes the blocked producer
+  EXPECT_EQ(result.get_future().get(), RequestQueue::PushResult::kClosed);
+  blocked.join();
+}
+
+TEST(RequestQueue, PopBatchGroupsCompatibleShapesFifo) {
+  RequestQueue queue(8);
+  const std::int64_t dims[][2] = {{4, 4}, {4, 4}, {6, 8}, {4, 4}};
+  for (std::uint64_t i = 0; i < 4; ++i) {
+    FrameRequest r;
+    r.id = i;
+    r.frame = make_frame(i, dims[i][0], dims[i][1]);
+    r.enqueue_time = std::chrono::steady_clock::now();
+    ASSERT_EQ(queue.push(r, OverloadPolicy::kReject), RequestQueue::PushResult::kAccepted);
+  }
+  auto batch = queue.pop_batch(8, std::chrono::microseconds(0));
+  ASSERT_EQ(batch.size(), 3U);  // the three 4x4 frames, oldest shape first
+  EXPECT_EQ(batch[0].id, 0U);
+  EXPECT_EQ(batch[1].id, 1U);
+  EXPECT_EQ(batch[2].id, 3U);
+  auto rest = queue.pop_batch(8, std::chrono::microseconds(0));
+  ASSERT_EQ(rest.size(), 1U);
+  EXPECT_EQ(rest[0].id, 2U);
+}
+
+TEST(RequestQueue, CloseDrainsRemainingThenReturnsEmpty) {
+  RequestQueue queue(4);
+  for (std::uint64_t i = 0; i < 3; ++i) {
+    FrameRequest r;
+    r.frame = make_frame(i, 5, 5);
+    ASSERT_EQ(queue.push(r, OverloadPolicy::kReject), RequestQueue::PushResult::kAccepted);
+  }
+  queue.close();
+  std::size_t drained = 0;
+  while (true) {
+    auto batch = queue.pop_batch(2, std::chrono::microseconds(0));
+    if (batch.empty()) break;
+    drained += batch.size();
+  }
+  EXPECT_EQ(drained, 3U);
+}
+
+// ------------------------------------------------- batching bit-exactness
+
+TEST(BatchedUpscale, StackedBatchBitIdenticalToSingleFrames) {
+  const core::SesrInference inference = make_inference(11, small_config());
+  std::vector<Tensor> frames;
+  Tensor batched(5, 12, 14, 1);
+  for (std::int64_t i = 0; i < 5; ++i) {
+    frames.push_back(make_frame(100 + static_cast<std::uint64_t>(i), 12, 14));
+    set_batch(batched, i, frames.back());
+  }
+  const Tensor out = inference.upscale(batched);
+  for (std::int64_t i = 0; i < 5; ++i) {
+    EXPECT_EQ(max_abs_diff(slice_batch(out, i), inference.upscale(frames[i])), 0.0F)
+        << "sample " << i;
+  }
+}
+
+// ------------------------------------------------------- end-to-end server
+
+TEST(EvalServer, SingleFrameRoundTrip) {
+  const core::SesrInference inference = make_inference(21, small_config());
+  ServeOptions options;
+  options.workers = 2;
+  EvalServer server(inference, options);
+  const Tensor frame = make_frame(77, 16, 16);
+  Tensor out = server.submit(frame).get();
+  EXPECT_EQ(max_abs_diff(out, inference.upscale(frame)), 0.0F);
+  const ServerStats stats = server.stats();
+  EXPECT_EQ(stats.submitted, 1U);
+  EXPECT_EQ(stats.completed, 1U);
+  EXPECT_EQ(stats.rejected, 0U);
+}
+
+TEST(EvalServer, BadFrameShapeFailsTheFutureNotTheServer) {
+  const core::SesrInference inference = make_inference(22, small_config());
+  EvalServer server(inference, ServeOptions{});
+  EXPECT_THROW(server.submit(Tensor(2, 8, 8, 1)).get(), std::invalid_argument);
+  EXPECT_THROW(server.submit(Tensor(1, 8, 8, 3)).get(), std::invalid_argument);
+  // The server still serves after bad submissions.
+  const Tensor frame = make_frame(5, 8, 8);
+  EXPECT_EQ(max_abs_diff(server.submit(frame).get(), inference.upscale(frame)), 0.0F);
+}
+
+TEST(EvalServer, SubmitAfterShutdownFailsWithServerClosed) {
+  const core::SesrInference inference = make_inference(23, small_config());
+  EvalServer server(inference, ServeOptions{});
+  server.shutdown();
+  EXPECT_THROW(server.submit(make_frame(6, 8, 8)).get(), ServerClosedError);
+}
+
+TEST(EvalServer, StreamingModeRejectsBiasedNetworks) {
+  const core::SesrInference inference = make_inference(24, small_config(/*with_bias=*/true));
+  ServeOptions options;
+  options.mode = ExecMode::kStreaming;
+  EXPECT_THROW(EvalServer(inference, options), std::invalid_argument);
+}
+
+TEST(EvalServer, TiledFanOutBitIdenticalToUpscaleTiled) {
+  const core::SesrInference inference = make_inference(25, small_config());
+  ServeOptions options;
+  options.workers = 3;
+  options.mode = ExecMode::kTiled;
+  options.tiling.tile_h = 16;
+  options.tiling.tile_w = 16;
+  EvalServer server(inference, options);
+  const Tensor frame = make_frame(88, 40, 52);
+  const Tensor out = server.submit(frame).get();
+  EXPECT_EQ(max_abs_diff(out, core::upscale_tiled(inference, frame, options.tiling)), 0.0F);
+  // Exact halo: the fan-out result also matches the full frame to tolerance.
+  EXPECT_LT(max_abs_diff(out, inference.upscale(frame)), 1e-5F);
+  EXPECT_GE(server.stats().tiles, 6U);  // ceil(40/16) * ceil(52/16) = 3 * 4
+}
+
+// Deterministic overload: all workers held on a latch, so the pipeline's
+// absorption capacity is finite and a bounded burst MUST trip kReject.
+TEST(EvalServer, RejectPolicyFiresUnderOverloadAndAcceptedWorkCompletes) {
+  const core::SesrInference inference = make_inference(26, small_config());
+  std::atomic<bool> release{false};
+  ServeOptions options;
+  options.workers = 1;
+  options.max_batch = 1;
+  options.max_delay_us = 0;
+  options.queue_capacity = 2;
+  options.overload = OverloadPolicy::kReject;
+  options.worker_hook = [&] {
+    while (!release.load(std::memory_order_acquire)) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+  };
+  EvalServer server(inference, options);
+  const Tensor frame = make_frame(9, 10, 10);
+  // Queue(2) + batcher(1) + dispatch(2) + worker(1) bounds absorption; with
+  // nothing draining, 50 submissions must see at least one rejection.
+  std::vector<std::future<Tensor>> futures;
+  bool saw_reject = false;
+  for (int i = 0; i < 50 && !saw_reject; ++i) {
+    futures.push_back(server.submit(frame));
+    saw_reject = server.stats().rejected > 0;
+  }
+  ASSERT_TRUE(saw_reject);
+  release.store(true, std::memory_order_release);
+  const Tensor want = inference.upscale(frame);
+  std::size_t completed = 0;
+  std::size_t rejected = 0;
+  for (auto& f : futures) {
+    try {
+      EXPECT_EQ(max_abs_diff(f.get(), want), 0.0F);
+      ++completed;
+    } catch (const QueueFullError&) {
+      ++rejected;
+    }
+  }
+  EXPECT_EQ(completed + rejected, futures.size());
+  EXPECT_GE(completed, 1U);
+  EXPECT_GE(rejected, 1U);
+}
+
+// Shutdown with a saturated pipeline and blocked producers: every accepted
+// request must still complete, and shutdown() must not deadlock.
+TEST(EvalServer, ShutdownWhileFullDrainsWithoutDeadlock) {
+  const core::SesrInference inference = make_inference(27, small_config());
+  std::atomic<bool> release{false};
+  ServeOptions options;
+  options.workers = 2;
+  options.max_batch = 2;
+  options.max_delay_us = 100;
+  options.queue_capacity = 4;
+  options.overload = OverloadPolicy::kBlock;
+  options.worker_hook = [&] {
+    while (!release.load(std::memory_order_acquire)) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+  };
+  EvalServer server(inference, options);
+  const Tensor frame = make_frame(13, 10, 12);
+  const Tensor want = inference.upscale(frame);
+  std::vector<std::future<Tensor>> futures(8);
+  std::vector<std::thread> producers;
+  std::atomic<int> submitted{0};
+  for (int t = 0; t < 2; ++t) {
+    producers.emplace_back([&, t] {
+      for (int i = 0; i < 4; ++i) {
+        futures[static_cast<std::size_t>(t * 4 + i)] = server.submit(frame);
+        submitted.fetch_add(1);
+      }
+    });
+  }
+  // Wait until every producer has pushed (some submits may be blocking on
+  // the full queue only if capacity is exceeded; 8 <= absorption here).
+  for (auto& p : producers) p.join();
+  ASSERT_EQ(submitted.load(), 8);
+  std::thread closer([&] { server.shutdown(); });
+  release.store(true, std::memory_order_release);
+  closer.join();
+  for (auto& f : futures) {
+    EXPECT_EQ(max_abs_diff(f.get(), want), 0.0F);
+  }
+  EXPECT_EQ(server.stats().completed, 8U);
+}
+
+// --------------------------------------------------- seeded stress harness
+
+struct StressShape {
+  std::int64_t h;
+  std::int64_t w;
+};
+
+// One seeded iteration: N producer threads submit M frames each; every
+// future must complete bit-identically to the single-threaded reference for
+// the mode's execution path.
+void run_stress_iteration(std::uint64_t seed) {
+  const ExecMode modes[] = {ExecMode::kFullFrame, ExecMode::kTiled, ExecMode::kStreaming,
+                            ExecMode::kAuto};
+  const ExecMode mode = modes[seed % 4];
+  const core::SesrConfig config = small_config(/*with_bias=*/false, /*prelu=*/seed % 2 == 0);
+  const core::SesrInference inference = make_inference(1000 + seed, config);
+
+  ServeOptions options;
+  options.workers = 1 + static_cast<int>(seed % 4);
+  options.max_batch = 1 + static_cast<std::int64_t>(seed % 5);
+  options.max_delay_us = 500;
+  options.queue_capacity = 8;
+  options.overload = OverloadPolicy::kBlock;
+  options.mode = mode;
+  options.tiling.tile_h = 6;
+  options.tiling.tile_w = 7;
+  options.tiled_threshold_pixels = 12 * 12;  // kAuto: the larger shapes tile
+
+  const StressShape shapes[] = {{10, 10}, {12, 14}, {16, 16}, {9, 11}};
+  constexpr int kProducers = 3;
+  constexpr int kFramesPerProducer = 6;
+
+  EvalServer server(inference, options);
+  std::vector<std::vector<std::future<Tensor>>> futures(kProducers);
+  std::vector<std::vector<Tensor>> sent(kProducers);
+  std::vector<std::thread> producers;
+  for (int t = 0; t < kProducers; ++t) {
+    futures[static_cast<std::size_t>(t)].resize(kFramesPerProducer);
+    sent[static_cast<std::size_t>(t)].resize(kFramesPerProducer);
+    producers.emplace_back([&, t] {
+      Rng rng(seed * 7919 + static_cast<std::uint64_t>(t));
+      for (int i = 0; i < kFramesPerProducer; ++i) {
+        const StressShape s = shapes[rng.uniform_int(0, 3)];
+        Tensor frame(1, s.h, s.w, 1);
+        frame.fill_uniform(rng, 0.0F, 1.0F);
+        sent[static_cast<std::size_t>(t)][static_cast<std::size_t>(i)] = frame;
+        futures[static_cast<std::size_t>(t)][static_cast<std::size_t>(i)] =
+            server.submit(std::move(frame));
+      }
+    });
+  }
+  for (auto& p : producers) p.join();
+
+  // Single-threaded references for the path each frame actually took.
+  core::StreamingUpscaler reference_streamer(inference);
+  auto reference = [&](const Tensor& frame) -> Tensor {
+    ExecMode resolved = mode;
+    if (mode == ExecMode::kAuto) {
+      resolved = frame.shape().h() * frame.shape().w() >= options.tiled_threshold_pixels
+                     ? ExecMode::kTiled
+                     : ExecMode::kFullFrame;
+    }
+    switch (resolved) {
+      case ExecMode::kTiled:
+        return core::upscale_tiled(inference, frame, options.tiling);
+      case ExecMode::kStreaming:
+        return reference_streamer.upscale(frame);
+      default:
+        return inference.upscale(frame);
+    }
+  };
+  for (int t = 0; t < kProducers; ++t) {
+    for (int i = 0; i < kFramesPerProducer; ++i) {
+      Tensor got = futures[static_cast<std::size_t>(t)][static_cast<std::size_t>(i)].get();
+      const Tensor& frame = sent[static_cast<std::size_t>(t)][static_cast<std::size_t>(i)];
+      ASSERT_EQ(max_abs_diff(got, reference(frame)), 0.0F)
+          << "seed=" << seed << " producer=" << t << " frame=" << i << " mode="
+          << static_cast<int>(mode);
+    }
+  }
+  server.shutdown();
+  const ServerStats stats = server.stats();
+  ASSERT_EQ(stats.completed, static_cast<std::uint64_t>(kProducers * kFramesPerProducer))
+      << "seed=" << seed;
+  ASSERT_EQ(stats.failed, 0U) << "seed=" << seed;
+}
+
+TEST(EvalServerStress, SeededMultiProducerBitIdentical) {
+  const int iterations = stress_iterations();
+  for (int i = 0; i < iterations; ++i) {
+    SCOPED_TRACE("iteration " + std::to_string(i));
+    run_stress_iteration(static_cast<std::uint64_t>(i));
+    if (HasFatalFailure()) return;
+  }
+}
+
+}  // namespace
+}  // namespace sesr::serve

@@ -1,0 +1,141 @@
+// Option table and validation for the sesr-serve load generator, separated
+// from main() so tests/test_cli.cpp can drive the parser in-process. Every
+// validation failure throws UsageError; sesr-serve turns that into the usage
+// table plus a nonzero exit.
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "cli_args.hpp"
+#include "serve/serve_options.hpp"
+
+namespace sesr::cli {
+
+class UsageError : public std::invalid_argument {
+ public:
+  using std::invalid_argument::invalid_argument;
+};
+
+struct ServeCliConfig {
+  serve::ServeOptions serve;
+  std::string net = "m5";                                  // m3|m5|m7|m11|xl
+  std::int64_t scale = 2;
+  double qps = 0.0;                                        // 0 = closed loop
+  std::int64_t frames = 256;                               // total request count
+  double duration_s = 0.0;                                 // >0 = run for wall time
+  std::vector<std::pair<std::int64_t, std::int64_t>> shapes;  // (H, W) mix
+  std::int64_t threads = 1;                                // intra-op pool width
+  std::uint64_t seed = 1;
+};
+
+inline std::vector<Args::Option> serve_cli_options() {
+  return {
+      {"net", "m5", "SESR config: m3|m5|m7|m11|xl"},
+      {"scale", "2", "upscale factor: 2 or 4"},
+      {"workers", "4", "worker sessions (>= 1)"},
+      {"max-batch", "8", "micro-batch size cap (>= 1)"},
+      {"max-delay-us", "2000", "batcher flush deadline in microseconds"},
+      {"queue-capacity", "64", "bounded submission queue depth"},
+      {"policy", "block", "overload policy: block|reject"},
+      {"mode", "full", "execution: full|tiled|streaming|auto"},
+      {"tile", "64", "LR tile edge for tiled/auto modes"},
+      {"qps", "0", "open-loop Poisson arrival rate; 0 = closed loop"},
+      {"frames", "256", "total frames to submit (exclusive with --duration-s)"},
+      {"duration-s", "0", "run for this many seconds (exclusive with --frames)"},
+      {"shapes", "64x64", "comma list of LR HxW shapes, e.g. 64x64,128x96"},
+      {"threads", "1", "intra-op threads per upscale (1 = workers scale freely)"},
+      {"seed", "1", "rng seed for weights, frames, and arrivals"},
+  };
+}
+
+inline std::vector<std::pair<std::int64_t, std::int64_t>> parse_shapes(const std::string& list) {
+  std::vector<std::pair<std::int64_t, std::int64_t>> shapes;
+  std::size_t pos = 0;
+  while (pos <= list.size()) {
+    const std::size_t comma = std::min(list.find(',', pos), list.size());
+    const std::string item = list.substr(pos, comma - pos);
+    const std::size_t x = item.find('x');
+    if (item.empty() || x == std::string::npos) {
+      throw UsageError("bad --shapes entry '" + item + "' (expected HxW, e.g. 64x64)");
+    }
+    try {
+      const std::int64_t h = std::stoll(item.substr(0, x));
+      const std::int64_t w = std::stoll(item.substr(x + 1));
+      if (h < 1 || w < 1) throw UsageError("--shapes dims must be positive: '" + item + "'");
+      shapes.emplace_back(h, w);
+    } catch (const UsageError&) {
+      throw;
+    } catch (const std::exception&) {
+      throw UsageError("bad --shapes entry '" + item + "' (expected HxW, e.g. 64x64)");
+    }
+    pos = comma + 1;
+  }
+  return shapes;
+}
+
+// Parses and validates; throws UsageError on any bad or contradictory value.
+inline ServeCliConfig parse_serve_cli(const Args& args) {
+  ServeCliConfig config;
+  config.net = args.get("net");
+  if (config.net != "m3" && config.net != "m5" && config.net != "m7" && config.net != "m11" &&
+      config.net != "xl") {
+    throw UsageError("unknown --net '" + config.net + "' (expected m3|m5|m7|m11|xl)");
+  }
+  config.scale = args.get_int("scale");
+  if (config.scale != 2 && config.scale != 4) throw UsageError("--scale must be 2 or 4");
+
+  const std::int64_t workers = args.get_int("workers");
+  if (workers < 1) throw UsageError("--workers must be >= 1");
+  config.serve.workers = static_cast<int>(workers);
+  config.serve.max_batch = args.get_int("max-batch");
+  if (config.serve.max_batch < 1) throw UsageError("--max-batch must be >= 1");
+  config.serve.max_delay_us = args.get_int("max-delay-us");
+  if (config.serve.max_delay_us < 0) throw UsageError("--max-delay-us must be >= 0");
+  const std::int64_t capacity = args.get_int("queue-capacity");
+  if (capacity < 1) throw UsageError("--queue-capacity must be >= 1");
+  config.serve.queue_capacity = static_cast<std::size_t>(capacity);
+
+  const std::string policy = args.get("policy");
+  if (policy == "block") config.serve.overload = serve::OverloadPolicy::kBlock;
+  else if (policy == "reject") config.serve.overload = serve::OverloadPolicy::kReject;
+  else throw UsageError("unknown --policy '" + policy + "' (expected block|reject)");
+
+  const std::string mode = args.get("mode");
+  if (mode == "full") config.serve.mode = serve::ExecMode::kFullFrame;
+  else if (mode == "tiled") config.serve.mode = serve::ExecMode::kTiled;
+  else if (mode == "streaming") config.serve.mode = serve::ExecMode::kStreaming;
+  else if (mode == "auto") config.serve.mode = serve::ExecMode::kAuto;
+  else throw UsageError("unknown --mode '" + mode + "' (expected full|tiled|streaming|auto)");
+
+  const std::int64_t tile = args.get_int("tile");
+  if (tile < 1) throw UsageError("--tile must be >= 1");
+  config.serve.tiling.tile_h = tile;
+  config.serve.tiling.tile_w = tile;
+
+  config.qps = args.get_double("qps");
+  if (config.qps < 0.0) throw UsageError("--qps must be >= 0 (0 = closed loop)");
+
+  config.frames = args.get_int("frames");
+  config.duration_s = args.get_double("duration-s");
+  if (config.duration_s < 0.0) throw UsageError("--duration-s must be >= 0");
+  // Mutually exclusive stop conditions: a non-default --frames together with
+  // --duration-s is ambiguous, so refuse rather than guess.
+  if (config.duration_s > 0.0 && args.get("frames") != "256") {
+    throw UsageError("--frames and --duration-s are mutually exclusive; give one");
+  }
+  if (config.frames < 1 && config.duration_s <= 0.0) {
+    throw UsageError("--frames must be >= 1 (or use --duration-s)");
+  }
+
+  config.shapes = parse_shapes(args.get("shapes"));
+  config.threads = args.get_int("threads");
+  if (config.threads < 1) throw UsageError("--threads must be >= 1");
+  config.seed = static_cast<std::uint64_t>(args.get_int("seed"));
+  return config;
+}
+
+}  // namespace sesr::cli

@@ -1,0 +1,123 @@
+// sesr-serve — synthetic-traffic load generator for the batched eval server.
+//
+// Spins up an EvalServer over a freshly initialized collapsed SESR network
+// and drives it with synthetic Y frames:
+//
+//   open loop  (--qps > 0): Poisson arrivals at the requested rate, submitted
+//     on schedule regardless of completions — the honest way to measure tail
+//     latency under a fixed offered load.
+//   closed loop (--qps 0): submits as fast as the bounded queue admits
+//     (kBlock) or retries drop counting (kReject) — a saturation probe.
+//
+// Prints per-request latency percentiles (p50/p95/p99), achieved FPS, batch
+// occupancy, and reject counts. docs/SERVING.md explains how to read them.
+#include <chrono>
+#include <cstdio>
+#include <future>
+#include <random>
+#include <thread>
+#include <vector>
+
+#include "cli_args.hpp"
+#include "core/sesr_inference.hpp"
+#include "core/sesr_network.hpp"
+#include "serve/request_queue.hpp"
+#include "serve/server.hpp"
+#include "serve_cli.hpp"
+#include "tensor/thread_pool.hpp"
+
+namespace {
+
+using namespace sesr;
+
+core::SesrConfig named_config(const std::string& name, std::int64_t scale) {
+  if (name == "m3") return core::sesr_m3(scale);
+  if (name == "m5") return core::sesr_m5(scale);
+  if (name == "m7") return core::sesr_m7(scale);
+  if (name == "m11") return core::sesr_m11(scale);
+  return core::sesr_xl(scale);
+}
+
+int run(const cli::ServeCliConfig& config) {
+  ThreadPool::set_global_threads(static_cast<unsigned>(config.threads));
+  Rng rng(config.seed);
+  core::SesrNetwork network(named_config(config.net, config.scale), rng);
+  const core::SesrInference inference(network);
+  serve::EvalServer server(inference, config.serve);
+
+  // One pre-generated frame per shape; traffic cycles through the mix.
+  std::vector<Tensor> frames;
+  for (const auto& [h, w] : config.shapes) {
+    Tensor frame(1, h, w, 1);
+    frame.fill_uniform(rng, 0.0F, 1.0F);
+    frames.push_back(std::move(frame));
+  }
+
+  std::printf("sesr-serve: %s x%lld | workers=%d max_batch=%lld delay=%lldus queue=%zu\n",
+              inference.name().c_str(), static_cast<long long>(config.scale),
+              config.serve.workers, static_cast<long long>(config.serve.max_batch),
+              static_cast<long long>(config.serve.max_delay_us), config.serve.queue_capacity);
+
+  std::mt19937_64 arrivals(config.seed ^ 0x9E3779B97F4A7C15ULL);
+  std::exponential_distribution<double> inter_arrival(config.qps > 0.0 ? config.qps : 1.0);
+  const auto start = std::chrono::steady_clock::now();
+  const auto stop_at = config.duration_s > 0.0
+                           ? start + std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+                                         std::chrono::duration<double>(config.duration_s))
+                           : std::chrono::steady_clock::time_point::max();
+
+  std::vector<std::future<Tensor>> pending;
+  auto next_arrival = start;
+  std::int64_t submitted = 0;
+  for (std::int64_t i = 0; config.duration_s > 0.0 || i < config.frames; ++i) {
+    if (std::chrono::steady_clock::now() >= stop_at) break;
+    if (config.qps > 0.0) {
+      std::this_thread::sleep_until(next_arrival);
+      next_arrival += std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+          std::chrono::duration<double>(inter_arrival(arrivals)));
+    }
+    pending.push_back(server.submit(frames[static_cast<std::size_t>(i) % frames.size()]));
+    ++submitted;
+  }
+  std::int64_t dropped = 0;
+  std::int64_t errors = 0;
+  for (auto& f : pending) {
+    try {
+      f.get();
+    } catch (const serve::QueueFullError&) {
+      ++dropped;
+    } catch (const std::exception& e) {
+      if (++errors == 1) std::fprintf(stderr, "request failed: %s\n", e.what());
+    }
+  }
+  const double wall = std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
+  server.shutdown();
+  const serve::ServerStats stats = server.stats();
+
+  std::printf("submitted %lld  completed %llu  dropped %lld  errors %lld\n",
+              static_cast<long long>(submitted),
+              static_cast<unsigned long long>(stats.completed), static_cast<long long>(dropped),
+              static_cast<long long>(errors));
+  std::printf("offered %s  achieved %.1f fps  mean batch %.2f frames (%llu units, %llu tiles)\n",
+              config.qps > 0.0 ? (std::to_string(config.qps) + " qps").c_str() : "closed-loop",
+              static_cast<double>(stats.completed) / wall, stats.mean_batch_frames,
+              static_cast<unsigned long long>(stats.batches),
+              static_cast<unsigned long long>(stats.tiles));
+  std::printf("latency  p50 %.2f ms  p95 %.2f ms  p99 %.2f ms  max %.2f ms\n", stats.p50_us / 1e3,
+              stats.p95_us / 1e3, stats.p99_us / 1e3, stats.max_us / 1e3);
+  return errors == 0 ? 0 : 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    const cli::Args args(cli::serve_cli_options(), argc, argv);
+    return run(cli::parse_serve_cli(args));
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "sesr-serve: %s\n\n", e.what());
+    const cli::Args usage(cli::serve_cli_options(), 1, argv);
+    usage.usage("sesr-serve", "synthetic-traffic load generator for the batched eval server");
+    return 2;
+  }
+}
