@@ -5,17 +5,22 @@
 //   SESR_BENCH_FAST=1    — quarter the training budget and shrink eval sets
 //                          (CI mode; orderings still hold, margins shrink).
 //   SESR_BENCH_STEPS=N   — override the training-step budget exactly.
+//   SESR_BENCH_JSON=dir  — also write machine-readable results to
+//                          <dir>/BENCH_<bench-name>.json (see BenchJson).
 #pragma once
 
 #include <cstdio>
 #include <cstdlib>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "data/benchmark_sets.hpp"
 #include "data/dataset.hpp"
 #include "metrics/evaluate.hpp"
 #include "metrics/psnr.hpp"
+#include "nn/gemm.hpp"
+#include "tensor/fp16.hpp"
 #include "train/trainer.hpp"
 
 namespace sesr::bench {
@@ -79,6 +84,70 @@ inline double validation_psnr(train::Model& model, const data::SrDataset& datase
 inline std::vector<data::BenchmarkSet> eval_sets() {
   return data::make_benchmark_sets(fast_mode() ? 48 : 64, /*reduced=*/true);
 }
+
+// The vector ISA the kernels actually dispatch to on this host (what a
+// BENCH_*.json consumer needs to compare runs across machines).
+inline std::string host_isa_string() {
+  std::string isa = nn::gemm_avx2_supported() ? "avx2" : "generic";
+  if (fp16::f16c_supported()) isa += "+f16c";
+  return isa;
+}
+
+// Machine-readable bench results. Rows accumulate in memory; if the
+// SESR_BENCH_JSON=<dir> knob is set, the destructor writes them to
+// <dir>/BENCH_<bench-name>.json so CI can track the perf trajectory. With the
+// knob unset this is a no-op and benches print their usual tables only.
+class BenchJson {
+ public:
+  explicit BenchJson(std::string bench_name) : name_(std::move(bench_name)) {}
+
+  BenchJson(const BenchJson&) = delete;
+  BenchJson& operator=(const BenchJson&) = delete;
+
+  // gb_per_s <= 0 means "not a bandwidth-style measurement" (emitted as null).
+  void add(const std::string& case_name, double ns_per_op, double gb_per_s, int threads) {
+    rows_.push_back({case_name, ns_per_op, gb_per_s, threads});
+  }
+
+  ~BenchJson() {
+    const char* dir = std::getenv("SESR_BENCH_JSON");
+    if (dir == nullptr || *dir == '\0' || rows_.empty()) return;
+    const std::string path = std::string(dir) + "/BENCH_" + name_ + ".json";
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "BenchJson: cannot write %s\n", path.c_str());
+      return;
+    }
+    const std::string isa = host_isa_string();
+    std::fprintf(f, "{\n  \"bench\": \"%s\",\n  \"isa\": \"%s\",\n  \"results\": [\n",
+                 name_.c_str(), isa.c_str());
+    for (std::size_t i = 0; i < rows_.size(); ++i) {
+      const Row& r = rows_[i];
+      std::fprintf(f, "    {\"name\": \"%s\", \"ns_per_op\": %.3f, \"gb_per_s\": ",
+                   r.name.c_str(), r.ns_per_op);
+      if (r.gb_per_s > 0.0) {
+        std::fprintf(f, "%.3f", r.gb_per_s);
+      } else {
+        std::fprintf(f, "null");
+      }
+      std::fprintf(f, ", \"threads\": %d, \"isa\": \"%s\"}%s\n", r.threads, isa.c_str(),
+                   i + 1 < rows_.size() ? "," : "");
+    }
+    std::fprintf(f, "  ]\n}\n");
+    std::fclose(f);
+    std::printf("wrote %s (%zu rows)\n", path.c_str(), rows_.size());
+  }
+
+ private:
+  struct Row {
+    std::string name;
+    double ns_per_op;
+    double gb_per_s;
+    int threads;
+  };
+  std::string name_;
+  std::vector<Row> rows_;
+};
 
 inline void print_header(const char* title, const char* paper_ref) {
   std::printf("\n================================================================\n");

@@ -54,6 +54,20 @@ int main() {
                   metrics::psnr_shaved(float_out, hr_img, 2));
   std::printf("int8-vs-float agreement: %.1f dB\n\n", metrics::psnr(int8_out, float_out));
 
+  // --- fp16 ------------------------------------------------------------------
+  deployed.set_precision(core::InferencePrecision::kFp16);
+  const Tensor fp16_out = deployed.upscale(lr_img);
+  deployed.set_precision(core::InferencePrecision::kFp32);
+  const double fp16_delta = metrics::psnr_shaved(fp16_out, hr_img, 2) -
+                            metrics::psnr_shaved(float_out, hr_img, 2);
+  std::printf("fp16 weights: %lld bytes (binary16 storage, fp32 accumulate)\n",
+              static_cast<long long>(deployed.parameter_count() * 2));
+  std::printf("PSNR vs ground truth:  float %.2f dB   fp16 %.2f dB   (delta %+.3f dB; "
+              "budget |delta| <= 0.05)\n",
+              metrics::psnr_shaved(float_out, hr_img, 2),
+              metrics::psnr_shaved(fp16_out, hr_img, 2), fp16_delta);
+  std::printf("fp16-vs-float agreement: %.1f dB\n\n", metrics::psnr(fp16_out, float_out));
+
   // --- tiling ----------------------------------------------------------------
   const Tensor full = deployed.upscale(image);
   const std::int64_t radius = core::receptive_field_radius(deployed);

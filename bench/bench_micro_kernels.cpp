@@ -10,6 +10,11 @@
 // `SESR_NUM_THREADS=4 bench_micro_kernels` to measure the striped conv paths.
 #include <benchmark/benchmark.h>
 
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "bench_common.hpp"
 #include "core/collapse.hpp"
 #include "core/linear_block.hpp"
 #include "core/sesr_inference.hpp"
@@ -238,4 +243,118 @@ void BM_TrainingStepCollapsedMode(benchmark::State& state) {
 }
 BENCHMARK(BM_TrainingStepCollapsedMode)->Unit(benchmark::kMillisecond);
 
+// --- fp16 conversion + GEMM --------------------------------------------------
+
+void BM_Fp16ConvertToHalf(benchmark::State& state) {
+  const auto n = state.range(0);
+  Rng rng(12);
+  std::vector<float> src(static_cast<std::size_t>(n));
+  std::vector<fp16::Half> dst(src.size());
+  for (float& v : src) v = rng.uniform(-4.0F, 4.0F);
+  for (auto _ : state) {
+    fp16::convert_to_half(src.data(), dst.data(), n);
+    benchmark::DoNotOptimize(dst.data());
+  }
+  // 4 bytes read + 2 written per element.
+  state.SetBytesProcessed(state.iterations() * n * 6);
+}
+BENCHMARK(BM_Fp16ConvertToHalf)->Arg(4096)->Arg(1 << 20);
+
+void BM_Fp16ConvertToFloat(benchmark::State& state) {
+  const auto n = state.range(0);
+  Rng rng(13);
+  std::vector<float> tmp(static_cast<std::size_t>(n));
+  std::vector<fp16::Half> src(tmp.size());
+  std::vector<float> dst(tmp.size());
+  for (float& v : tmp) v = rng.uniform(-4.0F, 4.0F);
+  fp16::convert_to_half(tmp.data(), src.data(), n);
+  for (auto _ : state) {
+    fp16::convert_to_float(src.data(), dst.data(), n);
+    benchmark::DoNotOptimize(dst.data());
+  }
+  state.SetBytesProcessed(state.iterations() * n * 6);
+}
+BENCHMARK(BM_Fp16ConvertToFloat)->Arg(4096)->Arg(1 << 20);
+
+void BM_GemmFp16wSesrShape(benchmark::State& state) {
+  // The fp16-storage counterpart of BM_GemmSesrShape: same flops, half the
+  // operand bytes, staging through the F16C widening kernels.
+  const std::int64_t m = 4096, k = 144, n = 16;
+  Rng rng(23);
+  std::vector<float> af(static_cast<std::size_t>(m * k));
+  std::vector<float> bf(static_cast<std::size_t>(k * n));
+  for (float& v : af) v = rng.uniform(-1.0F, 1.0F);
+  for (float& v : bf) v = rng.uniform(-1.0F, 1.0F);
+  std::vector<fp16::Half> a(af.size());
+  std::vector<fp16::Half> b(bf.size());
+  fp16::convert_to_half(af.data(), a.data(), static_cast<std::int64_t>(af.size()));
+  fp16::convert_to_half(bf.data(), b.data(), static_cast<std::int64_t>(bf.size()));
+  std::vector<float> c(static_cast<std::size_t>(m * n));
+  for (auto _ : state) {
+    nn::gemm_fp16w(a, b, {}, c, m, k, n, nn::Epilogue{});
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.SetItemsProcessed(state.iterations() * m * k * n);
+  set_gflops_counter(state, 2.0 * static_cast<double>(m * k * n));
+}
+BENCHMARK(BM_GemmFp16wSesrShape);
+
+void BM_SesrM5Fp16Inference360p(benchmark::State& state) {
+  Rng rng(14);
+  core::SesrNetwork net(core::sesr_m5(2), rng);
+  core::SesrInference deployed(net);
+  deployed.set_precision(core::InferencePrecision::kFp16);
+  Rng xrng(15);
+  Tensor x(1, 360, 640, 1);
+  x.fill_uniform(xrng, 0.0F, 1.0F);
+  for (auto _ : state) {
+    Tensor y = deployed.upscale(x);
+    benchmark::DoNotOptimize(y.raw());
+  }
+  state.SetItemsProcessed(state.iterations() * 13520LL * 360 * 640);
+}
+BENCHMARK(BM_SesrM5Fp16Inference360p)->Unit(benchmark::kMillisecond);
+
+// Console output as usual, plus a BenchJson row per run so SESR_BENCH_JSON
+// captures ns/op (and GB/s where SetBytesProcessed is in play) — the reason
+// this binary has its own main instead of benchmark::benchmark_main.
+class JsonCaptureReporter : public benchmark::ConsoleReporter {
+ public:
+  explicit JsonCaptureReporter(sesr::bench::BenchJson* json, int threads)
+      : json_(json), threads_(threads) {}
+
+  void ReportRuns(const std::vector<Run>& reports) override {
+    ConsoleReporter::ReportRuns(reports);
+    for (const Run& run : reports) {
+      if (run.run_type != Run::RT_Iteration || run.error_occurred) continue;
+      const double ns_per_op =
+          run.iterations > 0
+              ? run.real_accumulated_time / static_cast<double>(run.iterations) * 1e9
+              : 0.0;
+      const auto bytes = run.counters.find("bytes_per_second");
+      const double gb_per_s = bytes != run.counters.end() ? bytes->second.value / 1e9 : 0.0;
+      json_->add(run.benchmark_name(), ns_per_op, gb_per_s, threads_);
+    }
+  }
+
+ private:
+  sesr::bench::BenchJson* json_;
+  int threads_;
+};
+
 }  // namespace
+
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  int threads = 1;
+  if (const char* env = std::getenv("SESR_NUM_THREADS")) {
+    const long t = std::strtol(env, nullptr, 10);
+    if (t > 0) threads = static_cast<int>(t);
+  }
+  sesr::bench::BenchJson json("micro_kernels");
+  JsonCaptureReporter reporter(&json, threads);
+  benchmark::RunSpecifiedBenchmarks(&reporter);
+  benchmark::Shutdown();
+  return 0;
+}

@@ -18,6 +18,7 @@
 #include <thread>
 #include <vector>
 
+#include "bench_common.hpp"
 #include "core/sesr_inference.hpp"
 #include "core/sesr_network.hpp"
 #include "serve/server.hpp"
@@ -90,6 +91,8 @@ int main() {
   std::printf("baseline single-threaded full-frame: %.1f fps\n\n", base_fps);
   std::printf("%8s %10s %10s %9s %9s %9s %9s\n", "workers", "max_batch", "fps", "speedup",
               "p50_ms", "p95_ms", "p99_ms");
+  bench::BenchJson json("serve_throughput");
+  json.add("baseline/full_frame", 1e9 / base_fps, 0.0, 1);
   double speedup_4w = 0.0;
   for (const int workers : {1, 2, 4}) {
     for (const std::int64_t max_batch : {1, 4, 8}) {
@@ -99,6 +102,8 @@ int main() {
       std::printf("%8d %10lld %10.1f %8.2fx %9.2f %9.2f %9.2f\n", p.workers,
                   static_cast<long long>(p.max_batch), p.fps, speedup, p.p50_ms, p.p95_ms,
                   p.p99_ms);
+      json.add("workers" + std::to_string(workers) + "/batch" + std::to_string(max_batch),
+               1e9 / p.fps, 0.0, workers);
     }
   }
   std::printf("\nbest 4-worker speedup vs single-threaded baseline: %.2fx (target >= 2x on >= 2 cores)\n",

@@ -9,6 +9,7 @@
 // the ULP tolerance.
 #include <cmath>
 #include <cstdint>
+#include <optional>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -29,6 +30,7 @@
 #include "nn/depth_to_space.hpp"
 #include "nn/gemm.hpp"
 #include "nn/winograd.hpp"
+#include "tensor/fp16.hpp"
 #include "tensor/rng.hpp"
 #include "tensor/tensor.hpp"
 
@@ -58,6 +60,19 @@ class GemmIsaGuard {
   bool ok() const { return ok_; }
   GemmIsaGuard(const GemmIsaGuard&) = delete;
   GemmIsaGuard& operator=(const GemmIsaGuard&) = delete;
+
+ private:
+  bool ok_ = false;
+};
+
+// Same restore-on-exit pattern for the fp16 conversion dispatch.
+class F16cIsaGuard {
+ public:
+  explicit F16cIsaGuard(fp16::F16cIsa isa) { ok_ = fp16::set_f16c_isa(isa); }
+  ~F16cIsaGuard() { fp16::set_f16c_isa(fp16::F16cIsa::kAuto); }
+  bool ok() const { return ok_; }
+  F16cIsaGuard(const F16cIsaGuard&) = delete;
+  F16cIsaGuard& operator=(const F16cIsaGuard&) = delete;
 
  private:
   bool ok_ = false;
@@ -456,6 +471,110 @@ TrialResult streaming_vs_fullframe_trial(std::uint64_t seed) {
   return r;
 }
 
+// --------------------------------------------------------------- fp16 pairs
+
+// Dispatched (possibly F16C) fp32->fp16->fp32 round trip vs the scalar
+// bit-manipulation reference. Exact: the two implementations must agree
+// bitwise on every finite input, across the magnitude regimes where the
+// rounding rules differ (normals, half-subnormals, underflow-to-zero).
+// Non-finite inputs are covered exhaustively by tests/test_fp16.cpp.
+TrialResult fp16_roundtrip_trial_with_isa(std::uint64_t seed, fp16::F16cIsa isa) {
+  TrialResult r;
+  F16cIsaGuard guard(isa);
+  if (!guard.ok()) {
+    r.skipped = true;
+    return r;
+  }
+  Rng rng(seed);
+  const std::int64_t n = rng.uniform_int(1, 4096);
+  std::vector<float> src(static_cast<std::size_t>(n));
+  for (float& v : src) {
+    switch (rng.uniform_int(0, 3)) {
+      case 0: v = rng.uniform(-1.0F, 1.0F); break;
+      case 1: v = rng.uniform(-60000.0F, 60000.0F); break;       // large normals
+      case 2: v = rng.uniform(-6e-5F, 6e-5F); break;             // half subnormals
+      default: v = rng.uniform(-6e-8F, 6e-8F); break;            // underflow to +-0
+    }
+  }
+  std::vector<fp16::Half> h(static_cast<std::size_t>(n));
+  std::vector<float> got(static_cast<std::size_t>(n));
+  fp16::convert_to_half(src.data(), h.data(), n);
+  fp16::convert_to_float(h.data(), got.data(), n);
+  std::vector<double> want(static_cast<std::size_t>(n));
+  for (std::size_t i = 0; i < src.size(); ++i) {
+    want[i] = static_cast<double>(fp16::half_bits_to_float(fp16::float_to_half_bits(src[i])));
+  }
+  r.stats = compare_f32(got, want);
+  r.output_hash = hash_bits(got);
+  r.detail = "n=" + std::to_string(n);
+  return r;
+}
+
+// fp16-storage conv (fp32 accumulate, one output rounding) vs the double
+// reference convolution over the SAME binary16-rounded input and weight.
+// The residual error is fp32-vs-double accumulation plus the single binary16
+// store rounding, bounded by 2^-11 of the accumulator magnitude.
+TrialResult conv2d_fp16_trial(std::uint64_t seed) {
+  TrialResult r;
+  Rng rng(seed);
+  const std::int64_t kk = rng.bernoulli(0.3) ? 1 : 2 * rng.uniform_int(1, 2) + 1;  // 1, 3, 5
+  const bool valid = kk > 1 && rng.bernoulli(0.3);
+  const std::int64_t lo = valid ? kk : 4;
+  const std::int64_t h = rng.uniform_int(lo, 32);
+  const std::int64_t w = rng.uniform_int(lo, 32);
+  const std::int64_t in_c = rng.uniform_int(1, 8);
+  const std::int64_t out_c = rng.uniform_int(1, 8);
+  const Tensor input = random_tensor(rng, rng.uniform_int(1, 2), h, w, in_c);
+  const Tensor weight = random_tensor(rng, kk, kk, in_c, out_c);
+  const nn::Padding pad = valid ? nn::Padding::kValid : nn::Padding::kSame;
+  const fp16::HalfTensor hin = fp16::HalfTensor::from_float(input);
+  const fp16::HalfTensor hw = fp16::HalfTensor::from_float(weight);
+  std::optional<Tensor> bias;
+  if (rng.bernoulli(0.5)) bias = random_tensor(rng, 1, 1, 1, out_c);
+  const Tensor got =
+      nn::conv2d_fp16(hin, hw, bias ? &*bias : nullptr, nn::Epilogue{}, pad).to_float();
+  const Tensor rin = hin.to_float();
+  const Tensor rw = hw.to_float();
+  DTensor want = ref_conv2d(rin, rw, nn::conv_geometry(rin, rw, pad, 1));
+  if (bias) {
+    for (std::int64_t i = 0; i < static_cast<std::int64_t>(want.data.size()); ++i) {
+      want.data[static_cast<std::size_t>(i)] += static_cast<double>(bias->raw()[i % out_c]);
+    }
+  }
+  r.stats = compare_f32(got.data(), want.data);
+  r.output_hash = hash_bits(got.data());
+  std::ostringstream os;
+  os << "in=" << shape_str(input.shape()) << " k=" << kk << (valid ? " valid" : " same")
+     << (bias ? " bias" : "");
+  r.detail = os.str();
+  return r;
+}
+
+// End-to-end collapsed network: fp16 upscale vs the fp32 upscale in double.
+// This is the deployment question ("how much quality does fp16 cost?") in
+// audit form; the tolerance bounds the layer-by-layer rounding drift through
+// m+2 convs, the residual adds and the depth-to-space for [0,1] inputs.
+TrialResult collapsed_fp16_trial(std::uint64_t seed) {
+  TrialResult r;
+  Rng rng(seed);
+  const core::SesrConfig config = small_config(rng);
+  Rng init = rng.fork();
+  const core::SesrNetwork network(config, init);
+  core::SesrInference inference(network);
+  const std::int64_t h = rng.uniform_int(8, 24);
+  const std::int64_t w = rng.uniform_int(8, 24);
+  const Tensor input = random_tensor(rng, 1, h, w, 1, 0.0F, 1.0F);
+  const DTensor want = to_dtensor(inference.upscale(input));
+  inference.set_precision(core::InferencePrecision::kFp16);
+  const Tensor got = inference.upscale(input);
+  r.stats = compare_f32(got.data(), want.data);
+  r.output_hash = hash_bits(got.data());
+  std::ostringstream os;
+  os << "in=" << shape_str(input.shape()) << " " << config.describe();
+  r.detail = os.str();
+  return r;
+}
+
 // -------------------------------------------------------- data/metric pairs
 
 TrialResult depth_to_space_trial(std::uint64_t seed) {
@@ -597,6 +716,23 @@ std::vector<AuditPair> make_builtin_pairs() {
   pairs.push_back({"streaming_vs_fullframe",
                    "serve-regime streaming (tiny/strip frames) vs full frame", 1e-5, 0.0,
                    streaming_vs_fullframe_trial});
+  pairs.push_back({"fp16_roundtrip_scalar",
+                   "fp32->fp16->fp32 round trip, scalar kernels, vs scalar reference (exact)",
+                   0.0, 0.0, [](std::uint64_t s) {
+                     return fp16_roundtrip_trial_with_isa(s, fp16::F16cIsa::kGeneric);
+                   }});
+  pairs.push_back({"fp16_roundtrip_f16c",
+                   "fp32->fp16->fp32 round trip, F16C kernels, vs scalar reference (exact)", 0.0,
+                   0.0, [](std::uint64_t s) {
+                     return fp16_roundtrip_trial_with_isa(s, fp16::F16cIsa::kF16c);
+                   }});
+  pairs.push_back({"conv2d_fp16_vs_fp32",
+                   "fp16-storage conv (fp32 accumulate, rounded store) vs double conv on the "
+                   "rounded operands",
+                   2e-2, 0.0, conv2d_fp16_trial});
+  pairs.push_back({"collapsed_fp16_vs_fp32",
+                   "collapsed network fp16 upscale vs fp32 upscale (cumulative rounding drift)",
+                   1e-2, 0.0, collapsed_fp16_trial});
   pairs.push_back({"depth_to_space", "pixel shuffle vs reference permutation (must be exact)",
                    0.0, 0.0, depth_to_space_trial});
   pairs.push_back({"resize_bicubic",

@@ -43,6 +43,24 @@ CollapsedConv collapse_block(const CollapsibleBlock& block) {
   conv.bias = block.collapsed_bias();
   return conv;
 }
+
+// Fused-epilogue descriptor for the activation after a conv with out_c
+// output channels: ReLU when the stored alpha tensor is empty, per-channel
+// PReLU otherwise. The epilogue applies the exact same expressions as
+// SesrInference::activate, just inside the GEMM write-back.
+nn::Epilogue act_epilogue(const Tensor& alpha, std::int64_t out_c) {
+  nn::Epilogue e;
+  if (alpha.empty()) {
+    e.act = nn::Epilogue::Act::kRelu;
+    return e;
+  }
+  if (alpha.numel() != out_c) throw std::runtime_error("SesrInference: alpha/channel mismatch");
+  e.act = nn::Epilogue::Act::kPRelu;
+  e.prelu_alpha = alpha.raw();
+  return e;
+}
+
+const Tensor* bias_ptr(const CollapsedConv& c) { return c.bias ? &*c.bias : nullptr; }
 }  // namespace
 
 SesrInference::SesrInference(const SesrNetwork& network) : config_(network.config()) {
@@ -112,17 +130,25 @@ Tensor SesrInference::upscale(const Tensor& input) const {
   if (input.shape().c() != 1) {
     throw std::invalid_argument("SesrInference::upscale expects a single (Y) channel");
   }
-  auto run_conv = [](const CollapsedConv& c, const Tensor& x) {
-    return c.bias ? nn::conv2d_bias(x, c.weight, *c.bias, nn::Padding::kSame)
-                  : nn::conv2d(x, c.weight, nn::Padding::kSame);
+  if (precision_ == InferencePrecision::kFp16) return upscale_fp16(input);
+  // Every conv except the last fuses its activation into the GEMM store
+  // (bit-identical to conv + a separate activate() pass, one less full
+  // sweep over the feature maps).
+  auto run_act_conv = [this](std::size_t i, const Tensor& x) {
+    const CollapsedConv& c = convs_[i];
+    return nn::conv2d_fused(x, c.weight, bias_ptr(c),
+                            act_epilogue(prelu_alpha_[i], c.weight.shape().dim(3)),
+                            nn::Padding::kSame);
   };
-  Tensor feat = activate(0, run_conv(convs_.front(), input));
+  Tensor feat = run_act_conv(0, input);
   Tensor skip = feat;
   for (std::size_t i = 1; i + 1 < convs_.size(); ++i) {
-    feat = activate(i, run_conv(convs_[i], feat));
+    feat = run_act_conv(i, feat);
   }
   add_inplace(feat, skip);
-  Tensor out = run_conv(convs_.back(), feat);
+  const CollapsedConv& last = convs_.back();
+  Tensor out = last.bias ? nn::conv2d_bias(feat, last.weight, *last.bias, nn::Padding::kSame)
+                         : nn::conv2d(feat, last.weight, nn::Padding::kSame);
   if (config_.input_residual) {
     const std::int64_t oc = config_.output_channels();
     float* po = out.raw();
@@ -135,6 +161,53 @@ Tensor SesrInference::upscale(const Tensor& input) const {
   Tensor y = nn::depth_to_space(out, 2);
   if (config_.scale == 4) y = nn::depth_to_space(y, 2);
   return y;
+}
+
+Tensor SesrInference::upscale_fp16(const Tensor& input) const {
+  // Input is rounded to binary16 once; from there every layer reads fp16
+  // activations, accumulates in fp32, applies bias + activation in fp32 and
+  // stores back one binary16 rounding. The tail (input residual and
+  // depth-to-space) runs on the last conv's fp32 accumulator directly.
+  fp16::HalfTensor x = fp16::HalfTensor::from_float(input);
+  auto run_act_conv = [this](std::size_t i, const fp16::HalfTensor& h) {
+    const CollapsedConv& c = convs_[i];
+    return nn::conv2d_fp16(h, fp16_weights_[i], bias_ptr(c),
+                           act_epilogue(prelu_alpha_[i], c.weight.shape().dim(3)),
+                           nn::Padding::kSame);
+  };
+  fp16::HalfTensor feat = run_act_conv(0, x);
+  fp16::HalfTensor skip = feat;
+  for (std::size_t i = 1; i + 1 < convs_.size(); ++i) {
+    feat = run_act_conv(i, feat);
+  }
+  fp16::add_inplace(feat, skip);
+  Tensor out = nn::conv2d_fp16_to_float(feat, fp16_weights_.back(), bias_ptr(convs_.back()),
+                                        nn::Epilogue{}, nn::Padding::kSame);
+  if (config_.input_residual) {
+    // The fp16 path saw the rounded input, so the residual adds the same
+    // rounded values (in fp32 arithmetic, no extra rounding on the result).
+    const Tensor rounded_in = x.to_float();
+    const std::int64_t oc = config_.output_channels();
+    float* po = out.raw();
+    const float* pi = rounded_in.raw();
+    const std::int64_t pixels = out.numel() / oc;
+    for (std::int64_t p = 0; p < pixels; ++p) {
+      for (std::int64_t c = 0; c < oc; ++c) po[p * oc + c] += pi[p];
+    }
+  }
+  Tensor y = nn::depth_to_space(out, 2);
+  if (config_.scale == 4) y = nn::depth_to_space(y, 2);
+  return y;
+}
+
+void SesrInference::set_precision(InferencePrecision precision) {
+  if (precision == InferencePrecision::kFp16 && fp16_weights_.empty()) {
+    fp16_weights_.reserve(convs_.size());
+    for (const CollapsedConv& c : convs_) {
+      fp16_weights_.push_back(fp16::HalfTensor::from_float(c.weight));
+    }
+  }
+  precision_ = precision;
 }
 
 std::int64_t SesrInference::parameter_count() const {

@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "core/sesr_network.hpp"
+#include "tensor/fp16.hpp"
 #include "tensor/serialize.hpp"
 #include "tensor/tensor.hpp"
 
@@ -22,6 +23,14 @@ struct CollapsedConv {
   std::optional<Tensor> bias;   // (1, 1, 1, out_c)
 };
 
+// Arithmetic mode of the collapsed forward pass. kFp16 stores weights and
+// inter-layer activations as binary16 (halving the conv working-set traffic)
+// while every dot product still accumulates in fp32; biases, PReLU slopes,
+// the residual adds and the depth-to-space stay in fp32 arithmetic, with one
+// binary16 rounding per stored activation. See docs/PERFORMANCE.md,
+// "Precision".
+enum class InferencePrecision { kFp32, kFp16 };
+
 class SesrInference {
  public:
   // Collapse a trained (or freshly initialized) SESR network.
@@ -30,8 +39,15 @@ class SesrInference {
   // Reconstruct from a checkpoint previously written by to_tensor_map().
   explicit SesrInference(const TensorMap& map);
 
-  // Upscale a (N, H, W, 1) Y-channel tensor to (N, scale*H, scale*W, 1).
+  // Upscale a (N, H, W, 1) Y-channel tensor to (N, scale*H, scale*W, 1),
+  // using the precision selected by set_precision (fp32 by default).
   Tensor upscale(const Tensor& input) const;
+
+  // Select the forward-pass precision. Switching to kFp16 rounds every conv
+  // kernel to binary16 once (cached); switching back restores the untouched
+  // fp32 weights. Not thread-safe against concurrent upscale calls.
+  void set_precision(InferencePrecision precision);
+  InferencePrecision precision() const { return precision_; }
 
   const SesrConfig& config() const { return config_; }
   std::int64_t parameter_count() const;  // conv weights (+ biases), the paper's P
@@ -50,10 +66,13 @@ class SesrInference {
   const std::vector<Tensor>& prelu_alphas() const { return prelu_alpha_; }
 
  private:
+  Tensor upscale_fp16(const Tensor& input) const;
 
   SesrConfig config_;
   std::vector<CollapsedConv> convs_;  // first, m middle (residual folded), last
   std::vector<Tensor> prelu_alpha_;   // per activation; empty tensors when ReLU
+  InferencePrecision precision_ = InferencePrecision::kFp32;
+  std::vector<fp16::HalfTensor> fp16_weights_;  // per conv; built on first kFp16 switch
 };
 
 }  // namespace sesr::core

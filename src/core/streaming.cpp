@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "tensor/fp16.hpp"
+
 namespace sesr::core {
 
 namespace {
@@ -88,6 +90,18 @@ Tensor StreamingUpscaler::upscale(const Tensor& input) {
   const std::int64_t width = s.w();
   const auto& convs = net_.convolutions();
   const std::size_t n_convs = convs.size();
+  // fp16 mode mirrors the full-frame reduced-precision dataflow row by row:
+  // rounded weights, rounded input rows, one binary16 rounding per produced
+  // activation row (and on the residual sum), fp32 pre-shuffle stream.
+  const bool fp16_mode = net_.precision() == InferencePrecision::kFp16;
+  if (fp16_mode && fp16_weights_.empty()) {
+    fp16_weights_.reserve(n_convs);
+    for (const CollapsedConv& conv : convs) {
+      Tensor w = conv.weight;
+      fp16::round_through_half(w.raw(), w.numel());
+      fp16_weights_.push_back(std::move(w));
+    }
+  }
   const std::int64_t scale = net_.config().scale;
   const std::int64_t out_c = net_.config().output_channels();
   Tensor output(1, height * scale, width * scale, 1);
@@ -128,6 +142,9 @@ Tensor StreamingUpscaler::upscale(const Tensor& input) {
         if (skip == nullptr) throw std::logic_error("StreamingUpscaler: skip row pruned too early");
         std::vector<float> sum(static_cast<std::size_t>(width * src.channels));
         for (std::size_t i = 0; i < sum.size(); ++i) sum[i] = base[i] + skip[i];
+        if (fp16_mode) {
+          fp16::round_through_half(sum.data(), static_cast<std::int64_t>(sum.size()));
+        }
         combined.push_back(std::move(sum));
         rows[static_cast<std::size_t>(ky)] = combined.back().data();
       } else {
@@ -135,9 +152,12 @@ Tensor StreamingUpscaler::upscale(const Tensor& input) {
       }
     }
     std::vector<float> out(static_cast<std::size_t>(width * dst.channels));
-    conv_row(rows, width, convs[layer].weight, out.data());
+    conv_row(rows, width, fp16_mode ? fp16_weights_[layer] : convs[layer].weight, out.data());
     if (!is_last) {
       activate_row(net_.prelu_alphas().at(layer), width, dst.channels, out.data());
+      if (fp16_mode) {
+        fp16::round_through_half(out.data(), static_cast<std::int64_t>(out.size()));
+      }
     } else if (net_.config().input_residual) {
       const float* in_row = streams[0].row(y);
       if (in_row == nullptr) throw std::logic_error("StreamingUpscaler: input row pruned too early");
@@ -194,10 +214,13 @@ Tensor StreamingUpscaler::upscale(const Tensor& input) {
     streams[n_convs].prune(shuffled);
     std::int64_t rows = 0;
     std::int64_t bytes = 0;
-    for (const Stream& st : streams) {
+    for (std::size_t i = 0; i < streams.size(); ++i) {
+      const Stream& st = streams[i];
+      // In fp16 mode every line buffer except the fp32 pre-shuffle stream
+      // holds binary16 cells.
+      const std::int64_t elem_bytes = (fp16_mode && i < n_convs) ? 2 : 4;
       rows += static_cast<std::int64_t>(st.rows.size());
-      bytes += static_cast<std::int64_t>(st.rows.size()) * width * st.channels *
-               static_cast<std::int64_t>(sizeof(float));
+      bytes += static_cast<std::int64_t>(st.rows.size()) * width * st.channels * elem_bytes;
     }
     peak_rows_ = std::max(peak_rows_, rows);
     peak_bytes_ = std::max(peak_bytes_, bytes);
@@ -211,6 +234,7 @@ Tensor StreamingUpscaler::upscale(const Tensor& input) {
       std::vector<float> row(static_cast<std::size_t>(width));
       const float* src = input.raw() + s.offset(0, fed, 0, 0);
       std::copy(src, src + width, row.begin());
+      if (fp16_mode) fp16::round_through_half(row.data(), width);
       streams[0].push(fed, std::move(row));
       ++fed;
       progress = true;

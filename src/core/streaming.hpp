@@ -29,7 +29,10 @@ class StreamingUpscaler {
   Tensor upscale(const Tensor& input);
 
   // Instrumentation from the last upscale() call: peak rows simultaneously
-  // buffered across all streams, and the equivalent float bytes.
+  // buffered across all streams, and the equivalent storage bytes (4 bytes
+  // per element, or 2 for the line buffers a binary16 pipeline would hold —
+  // everything except the fp32 pre-shuffle stream when the network is in
+  // fp16 precision).
   std::int64_t peak_buffered_rows() const { return peak_rows_; }
   std::int64_t peak_buffered_bytes() const { return peak_bytes_; }
 
@@ -46,6 +49,11 @@ class StreamingUpscaler {
 
   const SesrInference& net_;
   std::vector<std::int64_t> radius_;  // per conv layer
+  // Mirrors the network's fp16 weight rounding when it is in kFp16 precision:
+  // fp32 copies whose values are exactly round16(weight), built lazily. Row
+  // values stay fp32 in the deques (every stored value is binary16-exact),
+  // so only the byte accounting changes.
+  std::vector<Tensor> fp16_weights_;
   std::int64_t peak_rows_ = 0;
   std::int64_t peak_bytes_ = 0;
 };

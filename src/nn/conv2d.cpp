@@ -38,12 +38,15 @@ std::int64_t stripes_per_image(std::int64_t rows) {
 // optional bias into the GEMM store. `zero_skip` selects the branchy
 // zero-skipping kernel kept for Algorithm-1 identity probes.
 Tensor conv2d_impl(const Tensor& input, const Tensor& weight, const float* bias, Padding padding,
-                   std::int64_t stride, bool zero_skip) {
+                   std::int64_t stride, bool zero_skip, const Epilogue* epi = nullptr) {
   const ConvGeometry g = conv_geometry(input, weight, padding, stride);
   const std::int64_t out_c = weight.shape().dim(3);
   const std::int64_t batch = input.shape().n();
   Tensor out(batch, g.out_h, g.out_w, out_c);
   ThreadPool& pool = ThreadPool::global();
+  const std::span<const float> bspan =
+      bias != nullptr ? std::span<const float>{bias, static_cast<std::size_t>(out_c)}
+                      : std::span<const float>{};
 
   // 1x1 stride-1 fast path (dominant in expanded SESR linear blocks): im2col
   // is the identity, so the whole batch is a single [batch*H*W, C] x
@@ -57,9 +60,10 @@ Tensor conv2d_impl(const Tensor& input, const Tensor& weight, const float* bias,
           std::span<const float> src(input.raw() + lo * cin,
                                      static_cast<std::size_t>(rows * cin));
           std::span<float> dst(out.raw() + lo * out_c, static_cast<std::size_t>(rows * out_c));
-          if (bias != nullptr) {
-            gemm_bias(src, weight.data(), {bias, static_cast<std::size_t>(out_c)}, dst, rows, cin,
-                      out_c);
+          if (epi != nullptr) {
+            gemm_fused(src, weight.data(), bspan, dst, rows, cin, out_c, *epi);
+          } else if (bias != nullptr) {
+            gemm_bias(src, weight.data(), bspan, dst, rows, cin, out_c);
           } else {
             gemm(src, weight.data(), dst, rows, cin, out_c);
           }
@@ -88,14 +92,141 @@ Tensor conv2d_impl(const Tensor& input, const Tensor& weight, const float* bias,
           for (std::int64_t c = 0; c < out_c; ++c) dst[i * out_c + c] += bias[c];
         }
       }
+    } else if (epi != nullptr) {
+      gemm_fused(cols, weight.data(), bspan, dst, rows, g.cols(), out_c, *epi);
     } else if (bias != nullptr) {
-      gemm_bias(cols, weight.data(), {bias, static_cast<std::size_t>(out_c)}, dst, rows, g.cols(),
-                out_c);
+      gemm_bias(cols, weight.data(), bspan, dst, rows, g.cols(), out_c);
     } else {
       gemm(cols, weight.data(), dst, rows, g.cols(), out_c);
     }
   });
   return out;
+}
+
+ConvGeometry conv_geometry_fp16(const Shape& in_s, const Shape& w_s, Padding padding,
+                                std::int64_t stride) {
+  if (!w_s.valid()) {
+    throw std::invalid_argument("conv2d_fp16: invalid weight shape " + w_s.to_string());
+  }
+  if (in_s.c() != w_s.dim(2)) {
+    throw std::invalid_argument("conv2d_fp16: input channels " + std::to_string(in_s.c()) +
+                                " != weight in_channels " + std::to_string(w_s.dim(2)));
+  }
+  const std::int64_t kh = w_s.dim(0);
+  const std::int64_t kw = w_s.dim(1);
+  if (padding == Padding::kSame) return same_geometry(in_s.h(), in_s.w(), in_s.c(), kh, kw, stride);
+  if (stride != 1) {
+    throw std::invalid_argument("conv2d_fp16: VALID padding supports stride 1 only");
+  }
+  return valid_geometry(in_s.h(), in_s.w(), in_s.c(), kh, kw);
+}
+
+// Implicit im2col source for the fp16 GEMM: widens the k-slice [p0, p0+kc) of
+// im2col row `row` (stripe-local; `row0` rebases to the image row space)
+// straight from the NHWC fp16 activations. The fp16 conv path never builds a
+// column matrix — lowering happens inside the GEMM's A-pack, so the largest
+// intermediate of the explicit scheme (rows x kh*kw*c halves, written by
+// im2col and re-read by the pack) disappears. Values are identical to
+// lowering first and widening after, so conv results stay bit-identical.
+struct Im2colFp16Source {
+  const fp16::Half* img;  // base of batch image n
+  const ConvGeometry* g;
+  std::int64_t row0;      // first image-space im2col row of this stripe
+};
+
+void im2col_fp16_row(const void* vctx, std::int64_t row, std::int64_t p0, std::int64_t kc,
+                     float* dst) {
+  const auto& s = *static_cast<const Im2colFp16Source*>(vctx);
+  const ConvGeometry& g = *s.g;
+  const std::int64_t c = g.channels;
+  const std::int64_t kwc = g.kw * c;
+  const std::int64_t r = s.row0 + row;
+  const std::int64_t oy = r / g.out_w;
+  const std::int64_t ox = r % g.out_w;
+  const std::int64_t iy0 = oy * g.stride - g.pad_top;
+  const std::int64_t ix0 = ox * g.stride - g.pad_left;
+  // Column q maps to kernel row (q / (kw*c)) and cell (q % (kw*c)); within one
+  // kernel row, consecutive kx taps are adjacent in NHWC memory, so the whole
+  // in-bounds cell range [lo, hi) widens as a single contiguous F16C run with
+  // at most one zero-fill on either side for the horizontal padding.
+  const std::int64_t lo = std::max<std::int64_t>(0, -ix0) * c;
+  const std::int64_t hi = (std::min(g.kw, g.in_w - ix0)) * c;
+  std::int64_t q = p0;
+  const std::int64_t q_end = p0 + kc;
+  std::int64_t ky = q / kwc;
+  std::int64_t cell = q - ky * kwc;
+  while (q < q_end) {
+    const std::int64_t len = std::min(kwc - cell, q_end - q);
+    const std::int64_t iy = iy0 + ky;
+    if (iy < 0 || iy >= g.in_h || hi <= lo) {
+      std::fill(dst, dst + len, 0.0F);
+    } else {
+      const std::int64_t cut0 = std::clamp(lo, cell, cell + len);
+      const std::int64_t cut1 = std::clamp(hi, cell, cell + len);
+      std::fill(dst, dst + (cut0 - cell), 0.0F);
+      fp16::convert_to_float(s.img + (iy * g.in_w + ix0) * c + cut0, dst + (cut0 - cell),
+                             cut1 - cut0);
+      std::fill(dst + (cut1 - cell), dst + len, 0.0F);
+    }
+    dst += len;
+    q += len;
+    ++ky;
+    cell = 0;
+  }
+}
+
+// Shared fp16-storage forward. Exactly one of out_h / out_f receives the
+// result: out_h gets each stripe rounded to binary16 once, out_f stores the
+// fp32 accumulator stripes directly.
+void conv2d_fp16_impl(const fp16::HalfTensor& input, const fp16::HalfTensor& weight,
+                      const Tensor* bias, const Epilogue& epi, Padding padding,
+                      std::int64_t stride, fp16::HalfTensor* out_h, Tensor* out_f) {
+  const ConvGeometry g = conv_geometry_fp16(input.shape(), weight.shape(), padding, stride);
+  const std::int64_t out_c = weight.shape().dim(3);
+  const std::int64_t batch = input.shape().n();
+  if (bias != nullptr && bias->numel() != out_c) {
+    throw std::invalid_argument("conv2d_fp16: bias numel must equal out_channels");
+  }
+  if (out_h != nullptr) {
+    *out_h = fp16::HalfTensor(batch, g.out_h, g.out_w, out_c);
+  } else {
+    *out_f = Tensor(batch, g.out_h, g.out_w, out_c);
+  }
+  const Shape out_shape(batch, g.out_h, g.out_w, out_c);
+  const std::span<const fp16::Half> wspan(weight.raw(),
+                                          static_cast<std::size_t>(weight.numel()));
+  const std::span<const float> bspan =
+      bias != nullptr ? std::span<const float>{bias->raw(), static_cast<std::size_t>(out_c)}
+                      : std::span<const float>{};
+  // For 1x1 stride-1 the im2col is the identity, so the GEMM reads straight
+  // off the NHWC fp16 activations (g.cols() == channels there). Everything
+  // else lowers implicitly inside the GEMM's A-pack (see Im2colFp16Source).
+  const bool fast_1x1 = g.kh == 1 && g.kw == 1 && g.stride == 1;
+  const std::int64_t sc = stripes_per_image(g.rows());
+  ThreadPool::global().parallel_for(0, batch * sc, [&](std::int64_t idx) {
+    const std::int64_t n = idx / sc;
+    const std::int64_t r0 = (idx % sc) * kStripePixels;
+    const std::int64_t r1 = std::min(r0 + kStripePixels, g.rows());
+    const std::int64_t rows = r1 - r0;
+    const std::int64_t base = out_shape.offset(n, 0, 0, 0) + r0 * out_c;
+    std::span<float> dst;
+    if (out_f != nullptr) {
+      dst = {out_f->raw() + base, static_cast<std::size_t>(rows * out_c)};
+    } else {
+      dst = scratch_floats(ScratchSlot::kF16OutStripe, static_cast<std::size_t>(rows * out_c));
+    }
+    if (fast_1x1) {
+      const std::span<const fp16::Half> a{input.raw() + (n * g.rows() + r0) * g.channels,
+                                          static_cast<std::size_t>(rows * g.channels)};
+      gemm_fp16w(a, wspan, bspan, dst, rows, g.cols(), out_c, epi);
+    } else {
+      const Im2colFp16Source src{input.raw() + input.shape().offset(n, 0, 0, 0), &g, r0};
+      gemm_fp16_rows(im2col_fp16_row, &src, wspan, bspan, dst, rows, g.cols(), out_c, epi);
+    }
+    if (out_h != nullptr) {
+      fp16::convert_to_half(dst.data(), out_h->raw() + base, rows * out_c);
+    }
+  });
 }
 }  // namespace
 
@@ -127,6 +258,32 @@ Tensor conv2d_bias(const Tensor& input, const Tensor& weight, const Tensor& bias
     throw std::invalid_argument("conv2d_bias: bias numel must equal out_channels");
   }
   return conv2d_impl(input, weight, bias.raw(), padding, stride, /*zero_skip=*/false);
+}
+
+Tensor conv2d_fused(const Tensor& input, const Tensor& weight, const Tensor* bias,
+                    const Epilogue& epilogue, Padding padding, std::int64_t stride) {
+  const std::int64_t out_c = weight.shape().dim(3);
+  if (bias != nullptr && bias->numel() != out_c) {
+    throw std::invalid_argument("conv2d_fused: bias numel must equal out_channels");
+  }
+  return conv2d_impl(input, weight, bias != nullptr ? bias->raw() : nullptr, padding, stride,
+                     /*zero_skip=*/false, &epilogue);
+}
+
+fp16::HalfTensor conv2d_fp16(const fp16::HalfTensor& input, const fp16::HalfTensor& weight,
+                             const Tensor* bias, const Epilogue& epilogue, Padding padding,
+                             std::int64_t stride) {
+  fp16::HalfTensor out;
+  conv2d_fp16_impl(input, weight, bias, epilogue, padding, stride, &out, nullptr);
+  return out;
+}
+
+Tensor conv2d_fp16_to_float(const fp16::HalfTensor& input, const fp16::HalfTensor& weight,
+                            const Tensor* bias, const Epilogue& epilogue, Padding padding,
+                            std::int64_t stride) {
+  Tensor out;
+  conv2d_fp16_impl(input, weight, bias, epilogue, padding, stride, nullptr, &out);
+  return out;
 }
 
 Tensor conv2d_backward_input(const Tensor& grad_output, const Tensor& weight,

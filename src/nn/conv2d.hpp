@@ -10,8 +10,10 @@
 #include <optional>
 #include <string>
 
+#include "nn/gemm.hpp"
 #include "nn/im2col.hpp"
 #include "nn/layer.hpp"
+#include "tensor/fp16.hpp"
 #include "tensor/tensor.hpp"
 
 namespace sesr::nn {
@@ -29,6 +31,30 @@ Tensor conv2d(const Tensor& input, const Tensor& weight, Padding padding, std::i
 // epilogue (single pass over the output).
 Tensor conv2d_bias(const Tensor& input, const Tensor& weight, const Tensor& bias, Padding padding,
                    std::int64_t stride = 1);
+
+// out = act(conv2d(input, weight) + bias) with the activation fused into the
+// GEMM write-back (see nn::Epilogue) — one pass over the output instead of a
+// conv pass plus an elementwise activation pass. `bias` may be null. The
+// result is bit-identical to conv2d_bias / conv2d followed by the equivalent
+// elementwise activation.
+Tensor conv2d_fused(const Tensor& input, const Tensor& weight, const Tensor* bias,
+                    const Epilogue& epilogue, Padding padding, std::int64_t stride = 1);
+
+// Reduced-precision forward: input and weight are binary16 storage, the GEMM
+// accumulates in fp32 (gemm_fp16w), bias add and activation ride the fused
+// epilogue in fp32, and each finished output stripe is rounded to binary16
+// exactly once. Deterministic for any thread count (fixed stripe boundaries,
+// fixed k-block order), so tiled and full-frame fp16 inference agree bitwise.
+fp16::HalfTensor conv2d_fp16(const fp16::HalfTensor& input, const fp16::HalfTensor& weight,
+                             const Tensor* bias, const Epilogue& epilogue, Padding padding,
+                             std::int64_t stride = 1);
+
+// Same compute, but the fp32 accumulator stripe is stored directly — no final
+// rounding. Used for the last conv of the fp16 network, whose output feeds
+// the fp32 residual add + depth_to_space.
+Tensor conv2d_fp16_to_float(const fp16::HalfTensor& input, const fp16::HalfTensor& weight,
+                            const Tensor* bias, const Epilogue& epilogue, Padding padding,
+                            std::int64_t stride = 1);
 
 // conv2d through the zero-skipping GEMM kernel. Only worthwhile when the
 // input is overwhelmingly zero — i.e. the padded identity probes Algorithm 1

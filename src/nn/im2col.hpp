@@ -11,6 +11,7 @@
 
 #include <cstdint>
 
+#include "tensor/fp16.hpp"
 #include "tensor/tensor.hpp"
 
 namespace sesr::nn {

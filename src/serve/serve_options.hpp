@@ -46,6 +46,10 @@ struct ServeOptions {
   core::TilingOptions tiling;                        // kTiled / kAuto tile geometry
   std::int64_t tiled_threshold_pixels = 128 * 128;   // kAuto: LR pixels >= this tile
 
+  // Arithmetic precision of every worker replica (full-frame, tiled and
+  // streaming paths all follow it; see core::InferencePrecision).
+  core::InferencePrecision precision = core::InferencePrecision::kFp32;
+
   // Test seam: when set, every worker invokes this immediately before
   // executing a unit of work. The concurrency tests use it to hold workers on
   // a latch so overload and shutdown-while-full become deterministic.

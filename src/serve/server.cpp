@@ -52,6 +52,9 @@ EvalServer::EvalServer(const core::SesrInference& network, ServeOptions options)
   const TensorMap checkpoint = network.to_tensor_map();
   for (int i = 0; i < options_.workers; ++i) {
     sessions_.push_back(std::make_unique<WorkerSession>(checkpoint));
+    // Each replica rounds its own fp16 weight cache before the worker
+    // threads start, so serving never hits the lazy conversion path.
+    sessions_.back()->network.set_precision(options_.precision);
   }
   for (auto& session : sessions_) {
     session->thread = std::thread([this, s = session.get()] { worker_loop(*s); });

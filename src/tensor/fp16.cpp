@@ -1,0 +1,231 @@
+#include "tensor/fp16.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <cstdlib>
+#include <cstring>
+#include <stdexcept>
+#include <string>
+
+#if defined(__x86_64__) || defined(__i386__)
+#include <immintrin.h>
+#endif
+
+namespace sesr::fp16 {
+
+namespace {
+
+std::uint32_t float_bits(float value) {
+  std::uint32_t bits;
+  std::memcpy(&bits, &value, sizeof(bits));
+  return bits;
+}
+
+float bits_to_float(std::uint32_t bits) {
+  float value;
+  std::memcpy(&value, &bits, sizeof(value));
+  return value;
+}
+
+}  // namespace
+
+std::uint16_t float_to_half_bits(float value) {
+  const std::uint32_t bits = float_bits(value);
+  const auto sign = static_cast<std::uint16_t>((bits >> 16) & 0x8000U);
+  const std::uint32_t abs = bits & 0x7fffffffU;
+  if (abs >= 0x7f800000U) {  // inf / NaN
+    if (abs == 0x7f800000U) return sign | 0x7c00U;
+    // Quiet NaN keeping the top 10 payload bits — matches VCVTPS2PH, which
+    // quietens signalling NaNs and truncates the payload.
+    return static_cast<std::uint16_t>(sign | 0x7e00U | ((abs >> 13) & 0x3ffU));
+  }
+  if (abs >= 0x47800000U) return sign | 0x7c00U;  // >= 2^16: overflow to inf
+  if (abs < 0x33000000U) return sign;             // < 2^-25: underflow to +-0
+  const int exp32 = static_cast<int>(abs >> 23) - 127;
+  const std::uint32_t sig = (abs & 0x007fffffU) | 0x00800000U;  // 24-bit significand
+  // Normal halves shift the significand by 13; subnormals shift further, one
+  // bit per exponent step below 2^-14. Carry out of the rounded mantissa
+  // propagates into the exponent field, which also handles the
+  // subnormal->normal and 65504->inf promotions exactly.
+  std::uint32_t h_exp = 0;
+  int shift = 13;
+  if (exp32 >= -14) {
+    // Biased exponent minus one: mant below keeps the implicit leading bit
+    // (1 << 10), which supplies the missing exponent step when added in.
+    h_exp = static_cast<std::uint32_t>(exp32 + 14);
+  } else {
+    shift += -14 - exp32;  // at most 24 (exp32 >= -25 here)
+  }
+  const std::uint32_t halfway = 1U << (shift - 1);
+  const std::uint32_t rem = sig & ((1U << shift) - 1U);
+  std::uint32_t mant = sig >> shift;
+  if (rem > halfway || (rem == halfway && (mant & 1U) != 0)) ++mant;
+  return static_cast<std::uint16_t>(sign | ((h_exp << 10) + mant));
+}
+
+float half_bits_to_float(std::uint16_t bits) {
+  const std::uint32_t sign = static_cast<std::uint32_t>(bits & 0x8000U) << 16;
+  const std::uint32_t exp = (bits >> 10) & 0x1fU;
+  std::uint32_t mant = bits & 0x3ffU;
+  if (exp == 0x1fU) {  // inf / NaN
+    // Quieten signalling NaNs (set the top mantissa bit) to stay bit-identical
+    // with VCVTPH2PS, which never emits an sNaN.
+    if (mant != 0) mant |= 0x200U;
+    return bits_to_float(sign | 0x7f800000U | (mant << 13));
+  }
+  if (exp != 0) return bits_to_float(sign | ((exp + 112U) << 23) | (mant << 13));
+  if (mant == 0) return bits_to_float(sign);  // +-0
+  // Subnormal: value = mant * 2^-24. Normalize into an fp32 exponent.
+  std::uint32_t shift = 0;
+  while ((mant & 0x400U) == 0) {
+    mant <<= 1;
+    ++shift;
+  }
+  return bits_to_float(sign | ((113U - shift) << 23) | ((mant & 0x3ffU) << 13));
+}
+
+namespace {
+
+void convert_to_float_generic(const Half* src, float* dst, std::int64_t n) {
+  for (std::int64_t i = 0; i < n; ++i) dst[i] = half_bits_to_float(src[i].bits);
+}
+
+void convert_to_half_generic(const float* src, Half* dst, std::int64_t n) {
+  for (std::int64_t i = 0; i < n; ++i) dst[i].bits = float_to_half_bits(src[i]);
+}
+
+#if defined(__x86_64__) || defined(__i386__)
+__attribute__((target("f16c,avx"))) void convert_to_float_f16c(const Half* src, float* dst,
+                                                               std::int64_t n) {
+  std::int64_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    const __m128i h = _mm_loadu_si128(reinterpret_cast<const __m128i*>(src + i));
+    _mm256_storeu_ps(dst + i, _mm256_cvtph_ps(h));
+  }
+  for (; i < n; ++i) dst[i] = half_bits_to_float(src[i].bits);
+}
+
+__attribute__((target("f16c,avx"))) void convert_to_half_f16c(const float* src, Half* dst,
+                                                              std::int64_t n) {
+  std::int64_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    const __m256 f = _mm256_loadu_ps(src + i);
+    const __m128i h = _mm256_cvtps_ph(f, _MM_FROUND_TO_NEAREST_INT | _MM_FROUND_NO_EXC);
+    _mm_storeu_si128(reinterpret_cast<__m128i*>(dst + i), h);
+  }
+  for (; i < n; ++i) dst[i].bits = float_to_half_bits(src[i]);
+}
+#endif
+
+using ToFloatFn = void (*)(const Half*, float*, std::int64_t);
+using ToHalfFn = void (*)(const float*, Half*, std::int64_t);
+
+bool f16c_cpu_supported() {
+#if defined(__x86_64__) || defined(__i386__)
+  return __builtin_cpu_supports("f16c") && __builtin_cpu_supports("avx");
+#else
+  return false;
+#endif
+}
+
+bool f16c_env_disabled() {
+  const char* v = std::getenv("SESR_DISABLE_F16C");
+  return v != nullptr && std::string(v) != "0";
+}
+
+ToFloatFn pick_to_float() {
+#if defined(__x86_64__) || defined(__i386__)
+  if (f16c_cpu_supported() && !f16c_env_disabled()) return convert_to_float_f16c;
+#endif
+  return convert_to_float_generic;
+}
+
+ToHalfFn pick_to_half() {
+#if defined(__x86_64__) || defined(__i386__)
+  if (f16c_cpu_supported() && !f16c_env_disabled()) return convert_to_half_f16c;
+#endif
+  return convert_to_half_generic;
+}
+
+// Atomic so the audit's set_f16c_isa() between sweeps is race-free against
+// worker threads converting inside the conv/GEMM drivers.
+std::atomic<ToFloatFn> g_to_float{pick_to_float()};
+std::atomic<ToHalfFn> g_to_half{pick_to_half()};
+
+}  // namespace
+
+bool f16c_supported() { return f16c_cpu_supported() && !f16c_env_disabled(); }
+
+bool set_f16c_isa(F16cIsa isa) {
+  switch (isa) {
+    case F16cIsa::kAuto:
+      g_to_float.store(pick_to_float(), std::memory_order_relaxed);
+      g_to_half.store(pick_to_half(), std::memory_order_relaxed);
+      return true;
+    case F16cIsa::kGeneric:
+      g_to_float.store(convert_to_float_generic, std::memory_order_relaxed);
+      g_to_half.store(convert_to_half_generic, std::memory_order_relaxed);
+      return true;
+    case F16cIsa::kF16c:
+#if defined(__x86_64__) || defined(__i386__)
+      if (f16c_supported()) {
+        g_to_float.store(convert_to_float_f16c, std::memory_order_relaxed);
+        g_to_half.store(convert_to_half_f16c, std::memory_order_relaxed);
+        return true;
+      }
+#endif
+      return false;
+  }
+  return false;
+}
+
+void convert_to_float(const Half* src, float* dst, std::int64_t n) {
+  g_to_float.load(std::memory_order_relaxed)(src, dst, n);
+}
+
+void convert_to_half(const float* src, Half* dst, std::int64_t n) {
+  g_to_half.load(std::memory_order_relaxed)(src, dst, n);
+}
+
+HalfTensor HalfTensor::from_float(const Tensor& t) {
+  HalfTensor h(t.shape());
+  convert_to_half(t.raw(), h.raw(), t.numel());
+  return h;
+}
+
+Tensor HalfTensor::to_float() const {
+  Tensor t(shape_);
+  convert_to_float(data_.data(), t.raw(), numel());
+  return t;
+}
+
+void add_inplace(HalfTensor& a, const HalfTensor& b) {
+  if (!(a.shape() == b.shape())) {
+    throw std::invalid_argument("fp16::add_inplace: shape mismatch");
+  }
+  // Chunked through small stack buffers so the fp32 working set stays
+  // register/L1-resident while the conversions run vectorized.
+  constexpr std::int64_t kChunk = 2048;
+  float fa[kChunk];
+  float fb[kChunk];
+  const std::int64_t n = a.numel();
+  for (std::int64_t i = 0; i < n; i += kChunk) {
+    const std::int64_t len = std::min(kChunk, n - i);
+    convert_to_float(a.raw() + i, fa, len);
+    convert_to_float(b.raw() + i, fb, len);
+    for (std::int64_t j = 0; j < len; ++j) fa[j] += fb[j];
+    convert_to_half(fa, a.raw() + i, len);
+  }
+}
+
+void round_through_half(float* data, std::int64_t n) {
+  constexpr std::int64_t kChunk = 2048;
+  Half h[kChunk];
+  for (std::int64_t i = 0; i < n; i += kChunk) {
+    const std::int64_t len = std::min(kChunk, n - i);
+    convert_to_half(data + i, h, len);
+    convert_to_float(h, data + i, len);
+  }
+}
+
+}  // namespace sesr::fp16

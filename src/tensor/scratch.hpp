@@ -15,6 +15,7 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <span>
 
 namespace sesr {
@@ -25,6 +26,9 @@ enum class ScratchSlot : std::size_t {
   kIm2col,          // per-stripe im2col patch matrix (conv forward / weight grad)
   kConvCols,        // full-image column matrix (conv backward input)
   kGradPartial,     // per-stripe weight/bias gradient partials
+  kF16StageA,       // fp32 row buffer for the fp16 GEMM's A-pack widening
+  kF16StageB,       // fp32 row buffer for the fp16 GEMM's B-pack widening
+  kF16OutStripe,    // fp32 conv output stripe before the fp16 store
   kSlotCount,
 };
 

@@ -110,6 +110,14 @@ TEST(ServeCli, ParsesFullTrafficSpec) {
   EXPECT_EQ(config.shapes[1].second, 96);
 }
 
+TEST(ServeCli, PrecisionParses) {
+  EXPECT_EQ(parse_serve({}).serve.precision, core::InferencePrecision::kFp32);
+  EXPECT_EQ(parse_serve({"--precision=fp32"}).serve.precision, core::InferencePrecision::kFp32);
+  EXPECT_EQ(parse_serve({"--precision=fp16"}).serve.precision, core::InferencePrecision::kFp16);
+  EXPECT_THROW(parse_serve({"--precision=int8"}), UsageError);
+  EXPECT_THROW(parse_serve({"--precision=half"}), UsageError);
+}
+
 TEST(ServeCli, BadQpsRaisesUsageError) {
   EXPECT_THROW(parse_serve({"--qps=-1"}), UsageError);
   EXPECT_THROW(parse_serve({"--qps", "-0.5"}), UsageError);

@@ -15,6 +15,7 @@
 #include "nn/gemm.hpp"
 #include "nn/im2col.hpp"
 #include "nn/init.hpp"
+#include "tensor/fp16.hpp"
 #include "tensor/tensor_ops.hpp"
 #include "tensor/thread_pool.hpp"
 
@@ -143,6 +144,82 @@ TEST(Gemm, BiasIsFusedIntoEpilogue) {
       // Identical k-order in both kernels: adding bias on the store is exact.
       EXPECT_EQ(fused[i * n + j], plain[i * n + j] + bias[j]);
     }
+  }
+}
+
+TEST(Gemm, FusedActivationBitIdenticalToTwoPass) {
+  // The activation epilogue rides the GEMM write-back; it must equal the
+  // two-pass form (gemm_bias then elementwise activation) bit for bit, across
+  // shapes that hit full tiles, register-tile edges, and multiple k-blocks.
+  const std::tuple<std::int64_t, std::int64_t, std::int64_t> shapes[] = {
+      {1, 1, 1}, {7, 17, 15}, {65, 33, 17}, {6, 300, 19}, {37, 513, 21}};
+  for (const auto& [m, k, n] : shapes) {
+    Rng rng(53 + m + k + n);
+    std::vector<float> a(static_cast<std::size_t>(m * k));
+    std::vector<float> b(static_cast<std::size_t>(k * n));
+    std::vector<float> bias(static_cast<std::size_t>(n));
+    std::vector<float> alpha(static_cast<std::size_t>(n));
+    for (float& v : a) v = rng.uniform(-1.0F, 1.0F);
+    for (float& v : b) v = rng.uniform(-1.0F, 1.0F);
+    for (float& v : bias) v = rng.uniform(-2.0F, 2.0F);
+    for (float& v : alpha) v = rng.uniform(-0.5F, 0.5F);
+    std::vector<float> two_pass(static_cast<std::size_t>(m * n));
+    gemm_bias(a, b, bias, two_pass, m, k, n);
+    std::vector<float> relu_want = two_pass;
+    for (float& v : relu_want) v = v > 0.0F ? v : 0.0F;
+    std::vector<float> prelu_want = two_pass;
+    for (std::int64_t i = 0; i < m; ++i) {
+      for (std::int64_t j = 0; j < n; ++j) {
+        float& v = prelu_want[i * n + j];
+        v = v > 0.0F ? v : alpha[j] * v;
+      }
+    }
+    std::vector<float> got(two_pass.size());
+    gemm_fused(a, b, bias, got, m, k, n, Epilogue{Epilogue::Act::kRelu, nullptr});
+    EXPECT_EQ(got, relu_want) << "relu m=" << m << " k=" << k << " n=" << n;
+    gemm_fused(a, b, bias, got, m, k, n, Epilogue{Epilogue::Act::kPRelu, alpha.data()});
+    EXPECT_EQ(got, prelu_want) << "prelu m=" << m << " k=" << k << " n=" << n;
+    // No activation + bias must reduce to gemm_bias exactly.
+    gemm_fused(a, b, bias, got, m, k, n, Epilogue{});
+    EXPECT_EQ(got, two_pass) << "none m=" << m << " k=" << k << " n=" << n;
+  }
+}
+
+TEST(Gemm, FusedPReluRequiresAlpha) {
+  std::vector<float> a(4);
+  std::vector<float> b(4);
+  std::vector<float> c(4);
+  EXPECT_THROW(gemm_fused(a, b, {}, c, 2, 2, 2, Epilogue{Epilogue::Act::kPRelu, nullptr}),
+               std::invalid_argument);
+}
+
+TEST(Gemm, Fp16WeightsMatchWidenedFp32) {
+  // gemm_fp16w stages the binary16 operands through the same packing as the
+  // fp32 kernel, so it must agree bitwise with widening up front and calling
+  // gemm_fused on the fp32 copies.
+  const std::tuple<std::int64_t, std::int64_t, std::int64_t> shapes[] = {
+      {1, 1, 1}, {7, 17, 15}, {25, 300, 33}, {97, 40, 17}};
+  for (const auto& [m, k, n] : shapes) {
+    Rng rng(59 + m + k + n);
+    std::vector<float> af(static_cast<std::size_t>(m * k));
+    std::vector<float> bf(static_cast<std::size_t>(k * n));
+    std::vector<float> bias(static_cast<std::size_t>(n));
+    for (float& v : af) v = rng.uniform(-1.0F, 1.0F);
+    for (float& v : bf) v = rng.uniform(-1.0F, 1.0F);
+    for (float& v : bias) v = rng.uniform(-1.0F, 1.0F);
+    std::vector<fp16::Half> ah(af.size());
+    std::vector<fp16::Half> bh(bf.size());
+    fp16::convert_to_half(af.data(), ah.data(), static_cast<std::int64_t>(af.size()));
+    fp16::convert_to_half(bf.data(), bh.data(), static_cast<std::int64_t>(bf.size()));
+    // Widen the *rounded* halves back so both kernels see identical values.
+    fp16::convert_to_float(ah.data(), af.data(), static_cast<std::int64_t>(af.size()));
+    fp16::convert_to_float(bh.data(), bf.data(), static_cast<std::int64_t>(bf.size()));
+    std::vector<float> want(static_cast<std::size_t>(m * n));
+    std::vector<float> got(want.size());
+    const Epilogue epilogue{Epilogue::Act::kRelu, nullptr};
+    gemm_fused(af, bf, bias, want, m, k, n, epilogue);
+    gemm_fp16w(ah, bh, bias, got, m, k, n, epilogue);
+    EXPECT_EQ(got, want) << "m=" << m << " k=" << k << " n=" << n;
   }
 }
 
@@ -313,6 +390,65 @@ TEST(Conv2d, FusedBiasMatchesSeparateAdd) {
     }
     EXPECT_EQ(max_abs_diff(fused, plain), 0.0F) << "kernel " << kh << "x" << kw;
   }
+}
+
+TEST(Conv2d, FusedActivationBitIdenticalToTwoPass) {
+  // conv2d_fused must equal conv2d_bias followed by the elementwise
+  // activation exactly, in both the striped-im2col and 1x1 fast paths, with
+  // odd spatial extents that leave partial stripes.
+  Rng rng(61);
+  Tensor x(2, 13, 11, 5);
+  x.fill_uniform(rng, -1.0F, 1.0F);
+  Tensor alpha(1, 1, 1, 7);
+  alpha.fill_uniform(rng, -0.5F, 0.5F);
+  for (const auto& [kh, kw] : {std::pair<int, int>{3, 3}, std::pair<int, int>{1, 1}}) {
+    Tensor w = he_normal_kernel(kh, kw, 5, 7, rng);
+    Tensor bias(1, 1, 1, 7);
+    bias.fill_uniform(rng, -2.0F, 2.0F);
+    Tensor two_pass = conv2d_bias(x, w, bias, Padding::kSame);
+    Tensor relu_want = two_pass;
+    for (std::int64_t i = 0; i < relu_want.numel(); ++i) {
+      float& v = relu_want.raw()[i];
+      v = v > 0.0F ? v : 0.0F;
+    }
+    Tensor prelu_want = two_pass;
+    for (std::int64_t i = 0; i < prelu_want.numel(); ++i) {
+      float& v = prelu_want.raw()[i];
+      v = v > 0.0F ? v : alpha.raw()[i % 7] * v;
+    }
+    const Tensor relu_got =
+        conv2d_fused(x, w, &bias, Epilogue{Epilogue::Act::kRelu, nullptr}, Padding::kSame);
+    const Tensor prelu_got =
+        conv2d_fused(x, w, &bias, Epilogue{Epilogue::Act::kPRelu, alpha.raw()}, Padding::kSame);
+    EXPECT_EQ(max_abs_diff(relu_got, relu_want), 0.0F) << "kernel " << kh << "x" << kw;
+    EXPECT_EQ(max_abs_diff(prelu_got, prelu_want), 0.0F) << "kernel " << kh << "x" << kw;
+    // Without bias or activation it reduces to plain conv2d.
+    const Tensor plain = conv2d_fused(x, w, nullptr, Epilogue{}, Padding::kSame);
+    EXPECT_EQ(max_abs_diff(plain, conv2d(x, w, Padding::kSame)), 0.0F);
+  }
+}
+
+TEST(Conv2d, Fp16FusedEpilogueMatchesTwoPass) {
+  // Same law on the reduced-precision path: the fp32-output variant applies
+  // the epilogue before any rounding, so fused == act(two-pass) bitwise; the
+  // fp16-output variant rounds exactly once after the epilogue.
+  Rng rng(67);
+  Tensor x(1, 9, 15, 4);
+  x.fill_uniform(rng, -1.0F, 1.0F);
+  Tensor w = he_normal_kernel(3, 3, 4, 6, rng);
+  const fp16::HalfTensor hx = fp16::HalfTensor::from_float(x);
+  const fp16::HalfTensor hw = fp16::HalfTensor::from_float(w);
+  const Epilogue relu{Epilogue::Act::kRelu, nullptr};
+  Tensor want = conv2d_fp16_to_float(hx, hw, nullptr, Epilogue{}, Padding::kSame);
+  for (std::int64_t i = 0; i < want.numel(); ++i) {
+    float& v = want.raw()[i];
+    v = v > 0.0F ? v : 0.0F;
+  }
+  const Tensor got_f32 = conv2d_fp16_to_float(hx, hw, nullptr, relu, Padding::kSame);
+  EXPECT_EQ(max_abs_diff(got_f32, want), 0.0F);
+  const Tensor got_f16 = conv2d_fp16(hx, hw, nullptr, relu, Padding::kSame).to_float();
+  fp16::round_through_half(want.raw(), want.numel());
+  EXPECT_EQ(max_abs_diff(got_f16, want), 0.0F);
 }
 
 TEST(Conv2d, BackwardWeightBiasMatchesSeparatePasses) {

@@ -167,6 +167,23 @@ TEST(EvalServer, SingleFrameRoundTrip) {
   EXPECT_EQ(stats.rejected, 0U);
 }
 
+TEST(EvalServer, Fp16PrecisionBitIdenticalToDirectFp16Upscale) {
+  // Worker replicas round their weight caches at construction; a served fp16
+  // frame must match a direct fp16 upscale on the source network bit for bit,
+  // and must actually differ from the fp32 answer (the knob is not a no-op).
+  core::SesrInference inference = make_inference(31, small_config());
+  ServeOptions options;
+  options.workers = 2;
+  options.precision = core::InferencePrecision::kFp16;
+  EvalServer server(inference, options);
+  const Tensor frame = make_frame(79, 16, 16);
+  Tensor served = server.submit(frame).get();
+  const Tensor fp32_ref = inference.upscale(frame);
+  inference.set_precision(core::InferencePrecision::kFp16);
+  EXPECT_EQ(max_abs_diff(served, inference.upscale(frame)), 0.0F);
+  EXPECT_GT(max_abs_diff(served, fp32_ref), 0.0F);
+}
+
 TEST(EvalServer, BadFrameShapeFailsTheFutureNotTheServer) {
   const core::SesrInference inference = make_inference(22, small_config());
   EvalServer server(inference, ServeOptions{});

@@ -42,6 +42,7 @@ inline std::vector<Args::Option> serve_cli_options() {
       {"queue-capacity", "64", "bounded submission queue depth"},
       {"policy", "block", "overload policy: block|reject"},
       {"mode", "full", "execution: full|tiled|streaming|auto"},
+      {"precision", "fp32", "worker arithmetic: fp32|fp16"},
       {"tile", "64", "LR tile edge for tiled/auto modes"},
       {"qps", "0", "open-loop Poisson arrival rate; 0 = closed loop"},
       {"frames", "256", "total frames to submit (exclusive with --duration-s)"},
@@ -110,6 +111,11 @@ inline ServeCliConfig parse_serve_cli(const Args& args) {
   else if (mode == "streaming") config.serve.mode = serve::ExecMode::kStreaming;
   else if (mode == "auto") config.serve.mode = serve::ExecMode::kAuto;
   else throw UsageError("unknown --mode '" + mode + "' (expected full|tiled|streaming|auto)");
+
+  const std::string precision = args.get("precision");
+  if (precision == "fp32") config.serve.precision = core::InferencePrecision::kFp32;
+  else if (precision == "fp16") config.serve.precision = core::InferencePrecision::kFp16;
+  else throw UsageError("unknown --precision '" + precision + "' (expected fp32|fp16)");
 
   const std::int64_t tile = args.get_int("tile");
   if (tile < 1) throw UsageError("--tile must be >= 1");

@@ -4,8 +4,11 @@
 //   sesr_eval --model=sesr_model.collapsed.ckpt
 //   sesr_eval --model=... --int8 --tiled --tile=64
 //   sesr_eval --bicubic --scale=2
+#include <chrono>
 #include <cstdio>
 #include <stdexcept>
+#include <string>
+#include <vector>
 
 #include "cli_args.hpp"
 #include "core/quantize.hpp"
@@ -25,6 +28,7 @@ int main(int argc, char** argv) {
           {"image-size", "64", "HR edge length of the synthetic eval sets"},
           {"full", "", "use the larger (non-reduced) set sizes"},
           {"int8", "", "quantize to int8 (calibrated on the first set)"},
+          {"precision", "", "per-precision summary: fp32|fp16|int8|all (full-frame)"},
           {"tiled", "", "run tile-by-tile with an exact halo"},
           {"tile", "32", "tile size for --tiled"},
           {"help", "", "show this help"},
@@ -52,6 +56,61 @@ int main(int argc, char** argv) {
       scale = net->config().scale;
       std::printf("evaluating: %s (%lld params)\n", net->name().c_str(),
                   static_cast<long long>(net->parameter_count()));
+      const std::string precision = args.get("precision");
+      if (!precision.empty()) {
+        // Per-precision summary: one row per arithmetic mode, quality
+        // aggregated over every set (image-weighted) plus mean wall time per
+        // frame. Full-frame path only; --int8/--tiled flags are ignored here.
+        if (precision != "fp32" && precision != "fp16" && precision != "int8" &&
+            precision != "all") {
+          throw std::invalid_argument("--precision must be fp32|fp16|int8|all");
+        }
+        const std::vector<std::string> modes =
+            precision == "all" ? std::vector<std::string>{"fp32", "fp16", "int8"}
+                               : std::vector<std::string>{precision};
+        std::shared_ptr<core::QuantizedSesr> quant;
+        std::printf("\n%-10s %10s %8s %10s\n", "precision", "PSNR", "SSIM", "ms/frame");
+        for (const std::string& mode : modes) {
+          metrics::Upscaler base;
+          if (mode == "int8") {
+            if (!quant) {
+              std::vector<Tensor> calib(sets.front().hr.begin(), sets.front().hr.end());
+              for (Tensor& t : calib) t = data::downscale_bicubic(t, scale);
+              quant = std::make_shared<core::QuantizedSesr>(*net, calib);
+            }
+            base = [quant](const Tensor& lr_img) { return quant->upscale(lr_img); };
+          } else {
+            net->set_precision(mode == "fp16" ? core::InferencePrecision::kFp16
+                                              : core::InferencePrecision::kFp32);
+            base = [net](const Tensor& lr_img) { return net->upscale(lr_img); };
+          }
+          double total_ms = 0.0;
+          std::int64_t frames = 0;
+          const metrics::Upscaler timed = [&total_ms, &frames, base](const Tensor& lr_img) {
+            const auto t0 = std::chrono::steady_clock::now();
+            Tensor out = base(lr_img);
+            total_ms +=
+                std::chrono::duration<double, std::milli>(std::chrono::steady_clock::now() - t0)
+                    .count();
+            ++frames;
+            return out;
+          };
+          double psnr_sum = 0.0;
+          double ssim_sum = 0.0;
+          std::int64_t images = 0;
+          for (const auto& score : metrics::evaluate_on_sets(timed, sets, scale)) {
+            psnr_sum += score.psnr * static_cast<double>(score.images);
+            ssim_sum += score.ssim * static_cast<double>(score.images);
+            images += score.images;
+          }
+          std::printf("%-10s %9.2f %8.4f %9.2f\n", mode.c_str(),
+                      psnr_sum / static_cast<double>(images),
+                      ssim_sum / static_cast<double>(images),
+                      total_ms / static_cast<double>(frames));
+        }
+        net->set_precision(core::InferencePrecision::kFp32);
+        return 0;
+      }
       if (args.get_flag("int8")) {
         std::vector<Tensor> calib(sets.front().hr.begin(), sets.front().hr.end());
         for (Tensor& t : calib) t = data::downscale_bicubic(t, scale);

@@ -53,10 +53,11 @@ int run(const cli::ServeCliConfig& config) {
     frames.push_back(std::move(frame));
   }
 
-  std::printf("sesr-serve: %s x%lld | workers=%d max_batch=%lld delay=%lldus queue=%zu\n",
+  std::printf("sesr-serve: %s x%lld | workers=%d max_batch=%lld delay=%lldus queue=%zu prec=%s\n",
               inference.name().c_str(), static_cast<long long>(config.scale),
               config.serve.workers, static_cast<long long>(config.serve.max_batch),
-              static_cast<long long>(config.serve.max_delay_us), config.serve.queue_capacity);
+              static_cast<long long>(config.serve.max_delay_us), config.serve.queue_capacity,
+              config.serve.precision == core::InferencePrecision::kFp16 ? "fp16" : "fp32");
 
   std::mt19937_64 arrivals(config.seed ^ 0x9E3779B97F4A7C15ULL);
   std::exponential_distribution<double> inter_arrival(config.qps > 0.0 ? config.qps : 1.0);
