@@ -93,6 +93,35 @@ inline std::string host_isa_string() {
   return isa;
 }
 
+// Escapes a string for embedding inside a JSON string literal: backslash and
+// double quote are backslash-escaped, control characters (< 0x20) become
+// \n/\t/\r/\b/\f or \u00XX. Bench and case names routinely carry user input
+// (paths, shape specs), so emitting them raw would produce invalid JSON.
+inline std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      case '\r': out += "\\r"; break;
+      case '\b': out += "\\b"; break;
+      case '\f': out += "\\f"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", static_cast<unsigned char>(c));
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
 // Machine-readable bench results. Rows accumulate in memory; if the
 // SESR_BENCH_JSON=<dir> knob is set, the destructor writes them to
 // <dir>/BENCH_<bench-name>.json so CI can track the perf trajectory. With the
@@ -118,13 +147,13 @@ class BenchJson {
       std::fprintf(stderr, "BenchJson: cannot write %s\n", path.c_str());
       return;
     }
-    const std::string isa = host_isa_string();
+    const std::string isa = json_escape(host_isa_string());
     std::fprintf(f, "{\n  \"bench\": \"%s\",\n  \"isa\": \"%s\",\n  \"results\": [\n",
-                 name_.c_str(), isa.c_str());
+                 json_escape(name_).c_str(), isa.c_str());
     for (std::size_t i = 0; i < rows_.size(); ++i) {
       const Row& r = rows_[i];
       std::fprintf(f, "    {\"name\": \"%s\", \"ns_per_op\": %.3f, \"gb_per_s\": ",
-                   r.name.c_str(), r.ns_per_op);
+                   json_escape(r.name).c_str(), r.ns_per_op);
       if (r.gb_per_s > 0.0) {
         std::fprintf(f, "%.3f", r.gb_per_s);
       } else {

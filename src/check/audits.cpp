@@ -26,10 +26,13 @@
 #include "data/resize.hpp"
 #include "metrics/psnr.hpp"
 #include "metrics/ssim.hpp"
+#include <limits>
+
 #include "nn/conv2d.hpp"
 #include "nn/depth_to_space.hpp"
 #include "nn/gemm.hpp"
 #include "nn/winograd.hpp"
+#include "serve/server.hpp"
 #include "tensor/fp16.hpp"
 #include "tensor/rng.hpp"
 #include "tensor/tensor.hpp"
@@ -471,6 +474,61 @@ TrialResult streaming_vs_fullframe_trial(std::uint64_t seed) {
   return r;
 }
 
+// ------------------------------------------------ serve response-cache pair
+
+// A served response-cache hit must be BIT-IDENTICAL to the cold inference
+// that populated it, for every execution mode and both precisions. The trial
+// spins up a cached EvalServer, submits the same frame twice (the first run
+// is the cold reference, the second must come from the cache — asserted via
+// the server's cache_hits counter), and compares bitwise with zero tolerance.
+TrialResult cached_vs_cold_serve_trial(std::uint64_t seed) {
+  TrialResult r;
+  Rng rng(seed);
+  const core::SesrConfig config = small_config(rng);  // with_bias=false: streaming-safe
+  Rng init = rng.fork();
+  const core::SesrNetwork network(config, init);
+  const core::SesrInference inference(network);
+
+  const serve::ExecMode modes[] = {serve::ExecMode::kFullFrame, serve::ExecMode::kTiled,
+                                   serve::ExecMode::kStreaming, serve::ExecMode::kAuto};
+  serve::ServeOptions options;
+  options.mode = modes[rng.uniform_int(0, 3)];
+  options.precision = rng.bernoulli(0.5) ? core::InferencePrecision::kFp16
+                                         : core::InferencePrecision::kFp32;
+  options.workers = 1 + static_cast<int>(rng.uniform_int(0, 2));
+  options.max_batch = 1 + rng.uniform_int(0, 3);
+  options.max_delay_us = 200;
+  options.tiling.tile_h = rng.uniform_int(4, 12);
+  options.tiling.tile_w = rng.uniform_int(4, 12);
+  options.tiled_threshold_pixels = 10 * 10;  // kAuto: larger trial frames tile
+  options.cache_entries = 8;
+  serve::EvalServer server(inference, options);
+
+  const std::int64_t h = rng.uniform_int(4, 20);
+  const std::int64_t w = rng.uniform_int(4, 20);
+  const Tensor frame = random_tensor(rng, 1, h, w, 1, 0.0F, 1.0F);
+  const Tensor cold = server.submit(frame).get();  // executes, populates the cache
+  const Tensor hit = server.submit(frame).get();   // must be served from the cache
+  server.shutdown();
+  const std::uint64_t cache_hits = server.stats().cache_hits;
+
+  const DTensor want = to_dtensor(cold);
+  r.stats = compare_f32(hit.data(), want.data);
+  r.output_hash = hash_bits(hit.data());
+  std::ostringstream os;
+  os << "in=" << shape_str(frame.shape()) << " mode=" << static_cast<int>(options.mode)
+     << " prec=" << (options.precision == core::InferencePrecision::kFp16 ? "fp16" : "fp32")
+     << " workers=" << options.workers << " " << config.describe();
+  if (cache_hits != 1) {
+    // Without a real hit the bit comparison is vacuous; fail the trial loudly.
+    r.stats.max_abs = std::numeric_limits<double>::infinity();
+    r.stats.max_ulp = std::numeric_limits<double>::infinity();
+    os << " CACHE-MISS(hits=" << cache_hits << ")";
+  }
+  r.detail = os.str();
+  return r;
+}
+
 // --------------------------------------------------------------- fp16 pairs
 
 // Dispatched (possibly F16C) fp32->fp16->fp32 round trip vs the scalar
@@ -716,6 +774,10 @@ std::vector<AuditPair> make_builtin_pairs() {
   pairs.push_back({"streaming_vs_fullframe",
                    "serve-regime streaming (tiny/strip frames) vs full frame", 1e-5, 0.0,
                    streaming_vs_fullframe_trial});
+  pairs.push_back({"cached_vs_cold_serve",
+                   "response-cache hit vs the cold serve that filled it (all exec modes, both "
+                   "precisions; must be bit-exact)",
+                   0.0, 0.0, cached_vs_cold_serve_trial});
   pairs.push_back({"fp16_roundtrip_scalar",
                    "fp32->fp16->fp32 round trip, scalar kernels, vs scalar reference (exact)",
                    0.0, 0.0, [](std::uint64_t s) {

@@ -1,0 +1,169 @@
+#include "serve/dispatch.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "serve/response_cache.hpp"
+#include "tensor/tensor_ops.hpp"
+
+namespace sesr::serve {
+
+// ------------------------------------------------------- FairDispatchQueue
+
+FairDispatchQueue::FairDispatchQueue(std::size_t shard_count, std::size_t depth_limit, bool fair)
+    : depth_limit_(std::max<std::size_t>(1, depth_limit)), fair_(fair), shards_(shard_count) {}
+
+bool FairDispatchQueue::push(std::size_t shard, std::uint64_t lane, Unit unit,
+                             std::size_t weight) {
+  std::unique_lock<std::mutex> lock(mutex_);
+  not_full_.wait(lock, [&] { return weight == 0 || total_units_ < depth_limit_ || closed_; });
+  if (closed_) return false;
+  if (!fair_) lane = 0;  // single FIFO lane per shard
+  ShardLanes& sl = shards_.at(shard);
+  auto it = sl.by_id.find(lane);
+  if (it == sl.by_id.end()) {
+    // A new logical request: schedule it ahead of lanes that already had a
+    // turn (fresh lanes stay FIFO among themselves). Lane counts are bounded
+    // by the depth limit, so the linear scan stays cheap.
+    auto pos = std::find_if(sl.rotation.begin(), sl.rotation.end(),
+                            [](const Lane& l) { return l.served; });
+    pos = sl.rotation.insert(pos, Lane{lane, false, {}});
+    it = sl.by_id.emplace(lane, pos).first;
+  }
+  it->second->units.emplace_back(std::move(unit), weight);
+  ++sl.units;
+  total_units_ += weight;
+  lock.unlock();
+  not_empty_.notify_all();
+  return true;
+}
+
+bool FairDispatchQueue::pop(std::size_t shard, Unit& out) {
+  std::unique_lock<std::mutex> lock(mutex_);
+  ShardLanes& sl = shards_.at(shard);
+  not_empty_.wait(lock, [&] { return closed_ || sl.units > 0; });
+  if (sl.units == 0) return false;  // closed and this shard drained
+  Lane& lane = sl.rotation.front();
+  out = std::move(lane.units.front().first);
+  total_units_ -= lane.units.front().second;
+  lane.units.pop_front();
+  lane.served = true;
+  --sl.units;
+  if (lane.units.empty()) {
+    sl.by_id.erase(lane.id);
+    sl.rotation.pop_front();
+  } else {
+    // Round-robin: the served lane goes to the back of the rotation.
+    sl.rotation.splice(sl.rotation.end(), sl.rotation, sl.rotation.begin());
+  }
+  lock.unlock();
+  not_full_.notify_all();
+  return true;
+}
+
+void FairDispatchQueue::close() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    closed_ = true;
+  }
+  not_empty_.notify_all();
+  not_full_.notify_all();
+}
+
+std::size_t FairDispatchQueue::size() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return total_units_;
+}
+
+// ------------------------------------------------------------- unit execution
+
+namespace {
+
+// Stack same-shape (1, H, W, 1) frames into one (B, H, W, 1) tensor. NHWC is
+// contiguous per sample, so this is a straight concatenation of the buffers.
+Tensor stack_frames(const std::vector<FrameRequest>& requests) {
+  const Shape& s = requests.front().frame.shape();
+  Tensor batched(static_cast<std::int64_t>(requests.size()), s.h(), s.w(), s.c());
+  float* dst = batched.raw();
+  for (const FrameRequest& r : requests) {
+    dst = std::copy(r.frame.raw(), r.frame.raw() + r.frame.numel(), dst);
+  }
+  return batched;
+}
+
+// Completion bookkeeping shared by the batch and tile paths. The cache insert
+// precedes set_value so a observed completion guarantees a subsequent hit.
+void complete_request(FrameRequest& request, Tensor output, StatsRecorder& stats) {
+  if (request.cache != nullptr) request.cache->insert(request.route_id, request.frame, output);
+  if (request.route != nullptr) request.route->completed.fetch_add(1, std::memory_order_relaxed);
+  request.promise.set_value(std::move(output));
+  stats.on_completed(request.enqueue_time);
+}
+
+void fail_request(FrameRequest& request, const std::exception_ptr& error, StatsRecorder& stats) {
+  if (request.route != nullptr) request.route->failed.fetch_add(1, std::memory_order_relaxed);
+  stats.on_failed();
+  request.promise.set_exception(error);
+}
+
+void run_batch(WorkerSession& session, BatchUnit& unit, StatsRecorder& stats) {
+  std::vector<Tensor> outputs;
+  try {
+    outputs.reserve(unit.requests.size());
+    if (unit.mode == ExecMode::kStreaming) {
+      if (!session.streamer) session.streamer.emplace(session.network);
+      for (const FrameRequest& r : unit.requests) {
+        outputs.push_back(session.streamer->upscale(r.frame));
+      }
+    } else if (unit.requests.size() == 1) {
+      outputs.push_back(session.network.upscale(unit.requests.front().frame));
+    } else {
+      // The whole micro-batch in one stacked upscale. Per-sample results are
+      // bit-identical to B=1 calls: the conv kernels stripe each image
+      // independently with batch-invariant reduction orders.
+      const Tensor batched = session.network.upscale(stack_frames(unit.requests));
+      for (std::int64_t i = 0; i < std::ssize(unit.requests); ++i) {
+        outputs.push_back(slice_batch(batched, i));
+      }
+    }
+  } catch (...) {
+    const std::exception_ptr error = std::current_exception();
+    for (FrameRequest& r : unit.requests) fail_request(r, error, stats);
+    return;
+  }
+  for (std::size_t i = 0; i < unit.requests.size(); ++i) {
+    complete_request(unit.requests[i], std::move(outputs[i]), stats);
+  }
+}
+
+void run_tiles(WorkerSession& session, TileUnit& unit, StatsRecorder& stats) {
+  TiledJob& job = *unit.job;
+  for (std::size_t t = unit.first_task; t < unit.first_task + unit.task_count; ++t) {
+    const core::TileTask& task = job.tasks[t];
+    try {
+      const Tensor roi = core::upscale_tile(session.network, job.request.frame, task);
+      core::paste_tile(job.output, roi, task, session.network.config().scale);
+      stats.on_tile();
+    } catch (...) {
+      if (!job.failed.exchange(true, std::memory_order_acq_rel)) {
+        fail_request(job.request, std::current_exception(), stats);
+      }
+    }
+    if (job.remaining.fetch_sub(1, std::memory_order_acq_rel) == 1 &&
+        !job.failed.load(std::memory_order_acquire)) {
+      complete_request(job.request, std::move(job.output), stats);
+    }
+  }
+}
+
+}  // namespace
+
+void execute_unit(WorkerSession& session, Unit& unit, StatsRecorder& stats) {
+  if (auto* batch = std::get_if<BatchUnit>(&unit)) {
+    run_batch(session, *batch, stats);
+  } else {
+    run_tiles(session, std::get<TileUnit>(unit), stats);
+  }
+}
+
+}  // namespace sesr::serve

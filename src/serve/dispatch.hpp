@@ -1,0 +1,136 @@
+// Execution units, the shared fair dispatch queue, and the worker-session
+// execution core — the machinery common to EvalServer (one network) and
+// ShardedServer (a registry of networks).
+//
+// Units flow   batcher(s) ──push──> FairDispatchQueue ──pop──> worker sessions
+//
+// The queue is ONE object shared by every shard: a single global depth bound
+// (backpressure reaches the submission queues, never pools in a staging
+// area), with per-shard unit storage because a worker can only execute units
+// of the shard whose network replica it holds.
+//
+// Fairness: within a shard, units are grouped into LANES — one lane per
+// logical request (a micro-batch is one lane entry; a tiled frame's whole tile
+// fan-out shares one lane). pop() serves fresh lanes first (FIFO among
+// themselves), then cycles already-served lanes round-robin, one unit per
+// turn: a newly arrived small request is scheduled after at most the units
+// already executing, and a 100-tile frame interleaves 1:1 with its peers
+// instead of holding the workers for its entire fan-out. With fair == false
+// every unit lands in a single FIFO lane per shard, which is exactly the
+// pre-fairness behaviour (and the bench's comparison baseline).
+//
+// Depth is counted in LOGICAL requests, not units: push() takes a weight, and
+// the batchers push a tiled job's first unit with weight 1 and the rest of
+// its fan-out with weight 0. A weight-0 push never blocks — otherwise a
+// batcher could stall mid-fan-out with the rest of the job stuck behind it in
+// the FIFO submission queue, where no lane scheduling can reach it.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <thread>
+#include <unordered_map>
+#include <variant>
+#include <vector>
+
+#include "core/sesr_inference.hpp"
+#include "core/streaming.hpp"
+#include "core/tiled_inference.hpp"
+#include "serve/request_queue.hpp"
+#include "serve/serve_options.hpp"
+#include "serve/stats.hpp"
+
+namespace sesr::serve {
+
+// One micro-batch of same-shape requests executed by a single worker.
+struct BatchUnit {
+  std::vector<FrameRequest> requests;
+  ExecMode mode = ExecMode::kFullFrame;  // resolved (never kAuto)
+};
+
+// One frame being tiled across a shard's workers; the last tile fulfils the
+// promise.
+struct TiledJob {
+  FrameRequest request;
+  Tensor output;  // (1, scale*H, scale*W, 1); tiles write disjoint regions
+  std::vector<core::TileTask> tasks;
+  std::atomic<std::int64_t> remaining{0};  // tiles left, counts down to 0
+  std::atomic<bool> failed{false};
+};
+
+// A contiguous run of a TiledJob's tasks (ServeOptions::tiles_per_unit wide).
+struct TileUnit {
+  std::shared_ptr<TiledJob> job;
+  std::size_t first_task = 0;
+  std::size_t task_count = 1;
+};
+
+using Unit = std::variant<BatchUnit, TileUnit>;
+
+class FairDispatchQueue {
+ public:
+  // `depth_limit` bounds the TOTAL weighted depth across all shards.
+  FairDispatchQueue(std::size_t shard_count, std::size_t depth_limit, bool fair);
+
+  // Blocks while the queue is at its weighted depth limit (weight-0 pushes
+  // never block: they extend an already-admitted job). Returns false when the
+  // queue was closed (the unit was NOT enqueued; the caller must fail its
+  // promises).
+  bool push(std::size_t shard, std::uint64_t lane, Unit unit, std::size_t weight = 1);
+
+  // Pops the next unit for `shard`: fresh lanes first in arrival order, then
+  // already-served lanes round-robin. Blocks until a unit arrives; returns
+  // false once the queue is closed and the shard is drained.
+  bool pop(std::size_t shard, Unit& out);
+
+  // Wakes everyone; pending units remain poppable (drain semantics).
+  void close();
+
+  // Current weighted depth (admitted logical requests still queued).
+  std::size_t size() const;
+
+ private:
+  struct Lane {
+    std::uint64_t id = 0;
+    bool served = false;  // has pop() taken a unit from this lane yet?
+    std::deque<std::pair<Unit, std::size_t>> units;  // (unit, weight)
+  };
+  struct ShardLanes {
+    std::list<Lane> rotation;  // front = next lane to serve
+    std::unordered_map<std::uint64_t, std::list<Lane>::iterator> by_id;
+    std::size_t units = 0;
+  };
+
+  const std::size_t depth_limit_;
+  const bool fair_;
+  mutable std::mutex mutex_;
+  std::condition_variable not_full_;
+  std::condition_variable not_empty_;
+  std::vector<ShardLanes> shards_;
+  std::size_t total_units_ = 0;
+  bool closed_ = false;
+};
+
+// One worker's private execution context: a bit-exact network replica
+// (reconstructed from the registry checkpoint) and its lazily-built streamer.
+struct WorkerSession {
+  explicit WorkerSession(const TensorMap& checkpoint) : network(checkpoint) {}
+  core::SesrInference network;
+  std::optional<core::StreamingUpscaler> streamer;  // built on first use
+  std::thread thread;
+};
+
+// Executes one unit on one session: runs the batch / tile work, inserts
+// completed outputs into each request's response cache (when routed through
+// one), fulfils the promises, and records stats. Cache insertion happens
+// BEFORE the promise is fulfilled, so a caller that observed a completion can
+// rely on the next identical submission hitting the cache.
+void execute_unit(WorkerSession& session, Unit& unit, StatsRecorder& stats);
+
+}  // namespace sesr::serve

@@ -1,0 +1,84 @@
+#include "serve/registry.hpp"
+
+#include "core/tiled_inference.hpp"
+
+namespace sesr::serve {
+
+namespace {
+
+const char* precision_string(core::InferencePrecision precision) {
+  return precision == core::InferencePrecision::kFp16 ? "fp16" : "fp32";
+}
+
+}  // namespace
+
+std::string route_string(const RouteKey& key) {
+  return key.network + ":" + std::to_string(key.scale) + ":" + precision_string(key.precision);
+}
+
+RouteKey parse_route(const std::string& spec) {
+  const std::size_t first = spec.find(':');
+  if (first == 0 || first == std::string::npos) {
+    throw std::invalid_argument("bad route '" + spec + "' (expected name:scale[:precision])");
+  }
+  const std::size_t second = spec.find(':', first + 1);
+  RouteKey key;
+  key.network = spec.substr(0, first);
+  const std::string scale_part =
+      spec.substr(first + 1, second == std::string::npos ? std::string::npos : second - first - 1);
+  try {
+    std::size_t consumed = 0;
+    key.scale = std::stoll(scale_part, &consumed);
+    if (consumed != scale_part.size()) throw std::invalid_argument(scale_part);
+  } catch (const std::exception&) {
+    throw std::invalid_argument("bad route scale in '" + spec + "'");
+  }
+  if (key.scale < 1) throw std::invalid_argument("bad route scale in '" + spec + "'");
+  if (second != std::string::npos) {
+    const std::string precision = spec.substr(second + 1);
+    if (precision == "fp32") key.precision = core::InferencePrecision::kFp32;
+    else if (precision == "fp16") key.precision = core::InferencePrecision::kFp16;
+    else throw std::invalid_argument("bad route precision '" + precision + "' in '" + spec + "'");
+  }
+  return key;
+}
+
+void NetworkRegistry::add(const RouteKey& key, const core::SesrInference& network) {
+  if (key.network.empty()) {
+    throw std::invalid_argument("NetworkRegistry: route needs a network name");
+  }
+  if (key.scale != network.config().scale) {
+    throw std::invalid_argument("NetworkRegistry: route '" + route_string(key) + "' scale " +
+                                std::to_string(key.scale) + " != network scale " +
+                                std::to_string(network.config().scale));
+  }
+  if (contains(key)) {
+    throw std::invalid_argument("NetworkRegistry: duplicate route '" + route_string(key) + "'");
+  }
+  RegisteredNetwork entry;
+  entry.key = key;
+  entry.config = network.config();
+  entry.checkpoint = network.to_tensor_map();
+  entry.exact_halo = core::receptive_field_radius(network);
+  entry.biased = false;
+  for (const core::CollapsedConv& conv : network.convolutions()) {
+    if (conv.bias) entry.biased = true;
+  }
+  entries_.push_back(std::move(entry));
+}
+
+bool NetworkRegistry::contains(const RouteKey& key) const {
+  for (const RegisteredNetwork& entry : entries_) {
+    if (entry.key == key) return true;
+  }
+  return false;
+}
+
+const RegisteredNetwork& NetworkRegistry::find(const RouteKey& key) const {
+  for (const RegisteredNetwork& entry : entries_) {
+    if (entry.key == key) return entry;
+  }
+  throw UnknownRouteError(route_string(key));
+}
+
+}  // namespace sesr::serve

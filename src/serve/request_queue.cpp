@@ -22,6 +22,11 @@ RequestQueue::PushResult RequestQueue::push(FrameRequest& request, OverloadPolic
 std::vector<FrameRequest> RequestQueue::pop_batch(std::int64_t max_batch,
                                                   std::chrono::microseconds max_delay) {
   max_batch = std::max<std::int64_t>(1, max_batch);
+  // Clamp the flush deadline to 10 minutes: a pathological max_delay (e.g.
+  // INT64_MAX microseconds from a CLI) would overflow enqueue_time + delay
+  // into the past and flush every batch immediately.
+  max_delay = std::clamp(max_delay, std::chrono::microseconds(0),
+                         std::chrono::microseconds(600'000'000LL));
   std::unique_lock<std::mutex> lock(mutex_);
   not_empty_.wait(lock, [&] { return closed_ || !queue_.empty(); });
   if (queue_.empty()) return {};  // closed and drained

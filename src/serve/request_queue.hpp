@@ -36,11 +36,20 @@ class ServerClosedError : public std::runtime_error {
   ServerClosedError() : std::runtime_error("eval server: shut down") {}
 };
 
+class ResponseCache;
+struct RouteCounters;
+
 struct FrameRequest {
   std::uint64_t id = 0;
   Tensor frame;  // (1, H, W, 1)
   std::promise<Tensor> promise;
   std::chrono::steady_clock::time_point enqueue_time;
+  // Routing context (sharded server). When `cache` is set, the execution core
+  // inserts the completed output under (route_id, frame) before fulfilling
+  // the promise; `route` receives per-network completion counters.
+  ResponseCache* cache = nullptr;
+  RouteCounters* route = nullptr;
+  std::size_t route_id = 0;
 };
 
 class RequestQueue {
@@ -51,6 +60,15 @@ class RequestQueue {
 
   // On kAccepted the request has been moved into the queue; on kFull/kClosed
   // the caller keeps ownership (and typically fails the promise).
+  //
+  // Status contract (every path returns, none hangs, none drops the request):
+  //   * kBlock, queue full: waits until space frees OR close() — a submitter
+  //     blocked at close time wakes and gets kClosed, never a hang.
+  //   * kReject, queue full: kFull immediately.
+  //   * closed (including drain-on-close, when pops are still emptying the
+  //     queue): kClosed under BOTH policies — closed wins over full, so a
+  //     reject-policy producer racing the drain sees the server's state, not
+  //     a transient kFull.
   PushResult push(FrameRequest& request, OverloadPolicy policy);
 
   // Pops [1, max_batch] requests whose frames share the oldest request's

@@ -1,0 +1,88 @@
+#include "serve/response_cache.hpp"
+
+#include <cstring>
+
+namespace sesr::serve {
+
+std::uint64_t ResponseCache::fnv1a(const void* data, std::size_t bytes, std::uint64_t seed) {
+  const auto* p = static_cast<const unsigned char*>(data);
+  std::uint64_t h = seed;
+  for (std::size_t i = 0; i < bytes; ++i) {
+    h ^= p[i];
+    h *= 1099511628211ULL;
+  }
+  return h;
+}
+
+std::uint64_t ResponseCache::content_hash(std::size_t route_id, const Tensor& frame) {
+  const std::uint64_t route = route_id;
+  const std::int64_t dims[2] = {frame.shape().h(), frame.shape().w()};
+  std::uint64_t h = fnv1a(&route, sizeof(route), kFnvOffsetBasis);
+  h = fnv1a(dims, sizeof(dims), h);
+  return fnv1a(frame.raw(), static_cast<std::size_t>(frame.numel()) * sizeof(float), h);
+}
+
+bool ResponseCache::matches(const Entry& entry, std::size_t route_id, const Tensor& frame) const {
+  return entry.route_id == route_id && entry.frame.shape() == frame.shape() &&
+         std::memcmp(entry.frame.raw(), frame.raw(),
+                     static_cast<std::size_t>(frame.numel()) * sizeof(float)) == 0;
+}
+
+std::optional<Tensor> ResponseCache::lookup(std::size_t route_id, const Tensor& frame) {
+  if (!enabled()) return std::nullopt;
+  const std::uint64_t hash = content_hash(route_id, frame);
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = index_.find(hash);
+  if (it == index_.end()) {
+    ++stats_.misses;
+    return std::nullopt;
+  }
+  if (!matches(*it->second, route_id, frame)) {
+    ++stats_.collisions;
+    ++stats_.misses;
+    return std::nullopt;
+  }
+  entries_.splice(entries_.begin(), entries_, it->second);  // refresh recency
+  ++stats_.hits;
+  return it->second->output;  // copy made outside the entry's lifetime worries
+}
+
+void ResponseCache::insert(std::size_t route_id, const Tensor& frame, const Tensor& output) {
+  if (!enabled()) return;
+  const std::uint64_t hash = content_hash(route_id, frame);
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = index_.find(hash);
+  if (it != index_.end()) {
+    // Same content re-inserted (two in-flight misses of one frame), or a
+    // colliding key: either way the slot is refreshed with the new value.
+    if (!matches(*it->second, route_id, frame)) ++stats_.collisions;
+    it->second->route_id = route_id;
+    it->second->frame = frame;
+    it->second->output = output;
+    entries_.splice(entries_.begin(), entries_, it->second);
+    return;
+  }
+  if (entries_.size() >= max_entries_) {
+    index_.erase(entries_.back().hash);
+    entries_.pop_back();
+    ++stats_.evictions;
+  }
+  entries_.push_front(Entry{hash, route_id, frame, output});
+  index_[hash] = entries_.begin();
+  ++stats_.insertions;
+}
+
+void ResponseCache::clear() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  entries_.clear();
+  index_.clear();
+}
+
+CacheStats ResponseCache::stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  CacheStats s = stats_;
+  s.entries = entries_.size();
+  return s;
+}
+
+}  // namespace sesr::serve

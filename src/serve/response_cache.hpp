@@ -1,0 +1,83 @@
+// Bit-exact LRU response cache for repeated frames.
+//
+// Video and game traffic repeats LR content heavily (static UI, paused
+// frames, looping scenes); a collapsed SESR upscale is deterministic, so an
+// identical (route, LR frame) pair always yields the identical HR output.
+// The cache keys on an FNV-1a hash over the raw LR float bytes mixed with the
+// route id and frame geometry, and — because a served result must be
+// BIT-IDENTICAL to a cold run, never merely probably identical — every hash
+// hit is confirmed by comparing the stored LR bytes before the stored HR
+// tensor is returned. A hash collision therefore degrades to a miss, never to
+// a wrong frame. Eviction is strict LRU over a bounded entry count;
+// max_entries == 0 disables the cache entirely (every lookup misses, inserts
+// are dropped), which is the single-network server's default.
+//
+// Thread safety: lookup/insert/stats are safe from any thread (one mutex; the
+// tensors copied in and out are never shared across the lock boundary).
+#pragma once
+
+#include <cstdint>
+#include <list>
+#include <mutex>
+#include <optional>
+#include <unordered_map>
+
+#include "tensor/tensor.hpp"
+
+namespace sesr::serve {
+
+struct CacheStats {
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;      // lookups that found nothing usable
+  std::uint64_t insertions = 0;
+  std::uint64_t evictions = 0;   // LRU displacement (capacity pressure)
+  std::uint64_t collisions = 0;  // hash matched but LR bytes differed
+  std::size_t entries = 0;
+};
+
+class ResponseCache {
+ public:
+  explicit ResponseCache(std::size_t max_entries) : max_entries_(max_entries) {}
+
+  bool enabled() const { return max_entries_ > 0; }
+  std::size_t max_entries() const { return max_entries_; }
+
+  // FNV-1a over `bytes`, continuing from `seed` (use kFnvOffsetBasis to
+  // start). Exposed for the content-hash tests.
+  static constexpr std::uint64_t kFnvOffsetBasis = 1469598103934665603ULL;
+  static std::uint64_t fnv1a(const void* data, std::size_t bytes, std::uint64_t seed);
+
+  // Content hash of one (route, frame) pair: route id, H, W, and the raw
+  // float bytes, all folded through FNV-1a.
+  static std::uint64_t content_hash(std::size_t route_id, const Tensor& frame);
+
+  // Returns a copy of the cached HR output when (route_id, frame) has been
+  // inserted and its LR bytes match bit for bit; refreshes LRU recency.
+  std::optional<Tensor> lookup(std::size_t route_id, const Tensor& frame);
+
+  // Stores `output` for (route_id, frame), evicting the least recently used
+  // entry when full. Re-inserting an existing key refreshes its recency.
+  void insert(std::size_t route_id, const Tensor& frame, const Tensor& output);
+
+  void clear();
+  CacheStats stats() const;
+
+ private:
+  struct Entry {
+    std::uint64_t hash = 0;
+    std::size_t route_id = 0;
+    Tensor frame;   // the LR key, kept for exact confirmation
+    Tensor output;  // the HR value
+  };
+  using EntryList = std::list<Entry>;  // front = most recently used
+
+  bool matches(const Entry& entry, std::size_t route_id, const Tensor& frame) const;
+
+  const std::size_t max_entries_;
+  mutable std::mutex mutex_;
+  EntryList entries_;
+  std::unordered_map<std::uint64_t, EntryList::iterator> index_;  // hash -> entry
+  CacheStats stats_;
+};
+
+}  // namespace sesr::serve

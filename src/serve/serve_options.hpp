@@ -47,8 +47,25 @@ struct ServeOptions {
   std::int64_t tiled_threshold_pixels = 128 * 128;   // kAuto: LR pixels >= this tile
 
   // Arithmetic precision of every worker replica (full-frame, tiled and
-  // streaming paths all follow it; see core::InferencePrecision).
+  // streaming paths all follow it; see core::InferencePrecision). The
+  // sharded server overrides this per shard with each route's own precision.
   core::InferencePrecision precision = core::InferencePrecision::kFp32;
+
+  // Response cache: maximum (route, LR frame) -> HR frame entries kept in the
+  // bit-exact LRU cache (src/serve/response_cache.hpp). 0 disables caching.
+  std::size_t cache_entries = 0;
+
+  // Cross-request tile fairness: with true, each request (and each tiled
+  // frame's whole fan-out) occupies one dispatch lane and workers serve lanes
+  // round-robin, so a large frame's tiles interleave with small requests.
+  // With false, dispatch is a single FIFO per shard (a large fan-out runs to
+  // completion ahead of everything submitted after it).
+  bool fair_tiles = true;
+
+  // Tile fan-out granularity: how many TileTasks ride in one dispatch unit
+  // (core::plan_tile_units). 1 = finest interleaving; larger values cut
+  // dispatch overhead for huge grids at some fairness cost.
+  std::int64_t tiles_per_unit = 1;
 
   // Test seam: when set, every worker invokes this immediately before
   // executing a unit of work. The concurrency tests use it to hold workers on

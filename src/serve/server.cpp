@@ -1,238 +1,16 @@
 #include "serve/server.hpp"
 
-#include <algorithm>
-#include <stdexcept>
-#include <utility>
-
-#include "tensor/tensor_ops.hpp"
-
 namespace sesr::serve {
 
-namespace {
-
-// Stack same-shape (1, H, W, 1) frames into one (B, H, W, 1) tensor. NHWC is
-// contiguous per sample, so this is a straight concatenation of the buffers.
-Tensor stack_frames(const std::vector<FrameRequest>& requests) {
-  const Shape& s = requests.front().frame.shape();
-  Tensor batched(static_cast<std::int64_t>(requests.size()), s.h(), s.w(), s.c());
-  float* dst = batched.raw();
-  for (const FrameRequest& r : requests) {
-    dst = std::copy(r.frame.raw(), r.frame.raw() + r.frame.numel(), dst);
-  }
-  return batched;
+NetworkRegistry EvalServer::single_registry(const core::SesrInference& network,
+                                            const ServeOptions& options) {
+  NetworkRegistry registry;
+  registry.add(RouteKey{"default", network.config().scale, options.precision}, network);
+  return registry;
 }
-
-void validate(const ServeOptions& o, const core::SesrInference& network) {
-  if (o.workers < 1) throw std::invalid_argument("EvalServer: workers must be >= 1");
-  if (o.max_batch < 1) throw std::invalid_argument("EvalServer: max_batch must be >= 1");
-  if (o.max_delay_us < 0) throw std::invalid_argument("EvalServer: max_delay_us must be >= 0");
-  if (o.queue_capacity < 1) {
-    throw std::invalid_argument("EvalServer: queue_capacity must be >= 1");
-  }
-  if ((o.mode == ExecMode::kTiled || o.mode == ExecMode::kAuto) &&
-      (o.tiling.tile_h < 1 || o.tiling.tile_w < 1)) {
-    throw std::invalid_argument("EvalServer: tile dims must be positive");
-  }
-  if (o.mode == ExecMode::kStreaming) {
-    for (const core::CollapsedConv& conv : network.convolutions()) {
-      if (conv.bias) {
-        throw std::invalid_argument("EvalServer: streaming mode cannot serve biased networks");
-      }
-    }
-  }
-}
-
-}  // namespace
 
 EvalServer::EvalServer(const core::SesrInference& network, ServeOptions options)
-    : options_(std::move(options)),
-      queue_(options_.queue_capacity),
-      dispatch_depth_limit_(static_cast<std::size_t>(options_.workers) * 2) {
-  validate(options_, network);
-  const TensorMap checkpoint = network.to_tensor_map();
-  for (int i = 0; i < options_.workers; ++i) {
-    sessions_.push_back(std::make_unique<WorkerSession>(checkpoint));
-    // Each replica rounds its own fp16 weight cache before the worker
-    // threads start, so serving never hits the lazy conversion path.
-    sessions_.back()->network.set_precision(options_.precision);
-  }
-  for (auto& session : sessions_) {
-    session->thread = std::thread([this, s = session.get()] { worker_loop(*s); });
-  }
-  batcher_ = std::thread([this] { batcher_loop(); });
-}
-
-EvalServer::~EvalServer() { shutdown(); }
-
-std::future<Tensor> EvalServer::submit(Tensor frame) {
-  FrameRequest request;
-  request.id = next_id_.fetch_add(1, std::memory_order_relaxed);
-  request.frame = std::move(frame);
-  request.enqueue_time = std::chrono::steady_clock::now();
-  std::future<Tensor> future = request.promise.get_future();
-  const Shape& s = request.frame.shape();
-  if (s.n() != 1 || s.c() != 1 || s.h() < 1 || s.w() < 1) {
-    request.promise.set_exception(std::make_exception_ptr(
-        std::invalid_argument("EvalServer::submit expects a (1, H, W, 1) Y frame")));
-    return future;
-  }
-  switch (queue_.push(request, options_.overload)) {
-    case RequestQueue::PushResult::kAccepted:
-      stats_.on_submitted();
-      break;
-    case RequestQueue::PushResult::kFull:
-      stats_.on_rejected();
-      request.promise.set_exception(std::make_exception_ptr(QueueFullError()));
-      break;
-    case RequestQueue::PushResult::kClosed:
-      request.promise.set_exception(std::make_exception_ptr(ServerClosedError()));
-      break;
-  }
-  return future;
-}
-
-ExecMode EvalServer::resolve_mode(const Shape& shape) const {
-  if (options_.mode != ExecMode::kAuto) return options_.mode;
-  return shape.h() * shape.w() >= options_.tiled_threshold_pixels ? ExecMode::kTiled
-                                                                  : ExecMode::kFullFrame;
-}
-
-void EvalServer::batcher_loop() {
-  // Any session's replica works for read-only geometry queries.
-  const core::SesrInference& net = sessions_.front()->network;
-  const std::int64_t exact_halo = core::receptive_field_radius(net);
-  const std::int64_t scale = net.config().scale;
-  while (true) {
-    std::vector<FrameRequest> batch =
-        queue_.pop_batch(options_.max_batch, std::chrono::microseconds(options_.max_delay_us));
-    if (batch.empty()) break;  // closed and drained
-    const ExecMode mode = resolve_mode(batch.front().frame.shape());
-    if (mode == ExecMode::kTiled) {
-      // Large frames: one TiledJob per frame, tiles fanned out across the
-      // whole worker pool so a single frame uses every session.
-      const std::int64_t halo = options_.tiling.halo >= 0 ? options_.tiling.halo : exact_halo;
-      for (FrameRequest& request : batch) {
-        auto job = std::make_shared<TiledJob>();
-        const Shape& s = request.frame.shape();
-        job->tasks = core::tile_grid(s.h(), s.w(), options_.tiling, halo);
-        job->output = Tensor(1, s.h() * scale, s.w() * scale, 1);
-        job->remaining.store(static_cast<std::int64_t>(job->tasks.size()),
-                             std::memory_order_relaxed);
-        job->request = std::move(request);
-        stats_.on_batch();
-        for (std::size_t t = 0; t < job->tasks.size(); ++t) {
-          dispatch(TileUnit{job, t});
-        }
-      }
-    } else {
-      stats_.on_batch();
-      dispatch(BatchUnit{std::move(batch), mode});
-    }
-  }
-}
-
-void EvalServer::dispatch(Unit unit) {
-  std::unique_lock<std::mutex> lock(dispatch_mutex_);
-  dispatch_not_full_.wait(
-      lock, [&] { return dispatch_queue_.size() < dispatch_depth_limit_ || dispatch_closed_; });
-  dispatch_queue_.push_back(std::move(unit));
-  lock.unlock();
-  dispatch_not_empty_.notify_one();
-}
-
-bool EvalServer::next_unit(Unit& unit) {
-  std::unique_lock<std::mutex> lock(dispatch_mutex_);
-  dispatch_not_empty_.wait(lock, [&] { return dispatch_closed_ || !dispatch_queue_.empty(); });
-  if (dispatch_queue_.empty()) return false;
-  unit = std::move(dispatch_queue_.front());
-  dispatch_queue_.pop_front();
-  lock.unlock();
-  dispatch_not_full_.notify_one();
-  return true;
-}
-
-void EvalServer::worker_loop(WorkerSession& session) {
-  Unit unit;
-  while (next_unit(unit)) execute(session, unit);
-}
-
-void EvalServer::execute(WorkerSession& session, Unit& unit) {
-  if (options_.worker_hook) options_.worker_hook();
-  if (auto* batch = std::get_if<BatchUnit>(&unit)) {
-    run_batch(session, *batch);
-  } else {
-    run_tile(session, std::get<TileUnit>(unit));
-  }
-}
-
-void EvalServer::run_batch(WorkerSession& session, BatchUnit& unit) {
-  std::vector<Tensor> outputs;
-  try {
-    outputs.reserve(unit.requests.size());
-    if (unit.mode == ExecMode::kStreaming) {
-      if (!session.streamer) session.streamer.emplace(session.network);
-      for (const FrameRequest& r : unit.requests) {
-        outputs.push_back(session.streamer->upscale(r.frame));
-      }
-    } else if (unit.requests.size() == 1) {
-      outputs.push_back(session.network.upscale(unit.requests.front().frame));
-    } else {
-      // The whole micro-batch in one stacked upscale. Per-sample results are
-      // bit-identical to B=1 calls: the conv kernels stripe each image
-      // independently with batch-invariant reduction orders.
-      const Tensor batched = session.network.upscale(stack_frames(unit.requests));
-      for (std::int64_t i = 0; i < std::ssize(unit.requests); ++i) {
-        outputs.push_back(slice_batch(batched, i));
-      }
-    }
-  } catch (...) {
-    const std::exception_ptr error = std::current_exception();
-    for (FrameRequest& r : unit.requests) {
-      stats_.on_failed();
-      r.promise.set_exception(error);
-    }
-    return;
-  }
-  for (std::size_t i = 0; i < unit.requests.size(); ++i) {
-    unit.requests[i].promise.set_value(std::move(outputs[i]));
-    stats_.on_completed(unit.requests[i].enqueue_time);
-  }
-}
-
-void EvalServer::run_tile(WorkerSession& session, TileUnit& unit) {
-  TiledJob& job = *unit.job;
-  const core::TileTask& task = job.tasks[unit.task_index];
-  try {
-    const Tensor roi = core::upscale_tile(session.network, job.request.frame, task);
-    core::paste_tile(job.output, roi, task, session.network.config().scale);
-    stats_.on_tile();
-  } catch (...) {
-    if (!job.failed.exchange(true, std::memory_order_acq_rel)) {
-      stats_.on_failed();
-      job.request.promise.set_exception(std::current_exception());
-    }
-  }
-  if (job.remaining.fetch_sub(1, std::memory_order_acq_rel) == 1 &&
-      !job.failed.load(std::memory_order_acquire)) {
-    job.request.promise.set_value(std::move(job.output));
-    stats_.on_completed(job.request.enqueue_time);
-  }
-}
-
-void EvalServer::shutdown() {
-  std::call_once(shutdown_once_, [this] {
-    queue_.close();
-    if (batcher_.joinable()) batcher_.join();  // drains the submission queue
-    {
-      std::lock_guard<std::mutex> lock(dispatch_mutex_);
-      dispatch_closed_ = true;
-    }
-    dispatch_not_empty_.notify_all();
-    dispatch_not_full_.notify_all();
-    for (auto& session : sessions_) {
-      if (session->thread.joinable()) session->thread.join();
-    }
-  });
-}
+    : route_{"default", network.config().scale, options.precision},
+      server_(single_registry(network, options), std::move(options)) {}
 
 }  // namespace sesr::serve

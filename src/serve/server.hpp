@@ -1,44 +1,29 @@
-// Asynchronous batched eval server over the collapsed SESR network.
+// Asynchronous batched eval server over ONE collapsed SESR network — the
+// single-network special case of the sharded front end (sharded_server.hpp).
 //
 // Request flow (see docs/SERVING.md for the full picture):
 //
-//   submit(frame) ──> bounded RequestQueue ──> batcher thread ──> dispatch
-//                      (block / reject)         groups (H, W)      queue
+//   submit(frame) ──> bounded RequestQueue ──> batcher thread ──> shared
+//                      (block / reject)         groups (H, W)      dispatch
 //                                               micro-batches        │
 //                                                          ┌─────────┴───────┐
 //                                                     worker session ... worker session
 //                                                     (SesrInference replica each)
 //
-// The batcher pops shape-compatible micro-batches (flush on max_delay_us or
-// queue pressure) and converts each to execution units: a full-frame batch
-// runs as ONE stacked (B, H, W, 1) upscale; a tiled frame is split into
-// TileTasks fanned out across every worker; streaming frames run on the
-// worker's line-buffer StreamingUpscaler. All paths are bit-identical to
-// their single-threaded counterparts (the kernels are deterministic and the
-// per-sample reduction orders are batch-invariant), which the serve stress
-// test asserts.
+// EvalServer wraps a ShardedServer holding exactly one route ("default", the
+// network's scale, ServeOptions::precision), so every execution property of
+// the sharded path — bit-identical batched/tiled/streaming results, fair
+// round-robin tile scheduling, the optional bit-exact response cache
+// (ServeOptions::cache_entries), drain-on-close shutdown — holds here too.
 //
 // shutdown() is graceful: no new submissions, but everything already accepted
 // is executed and every future completes. The destructor calls shutdown().
 #pragma once
 
-#include <atomic>
-#include <condition_variable>
-#include <deque>
 #include <future>
-#include <memory>
-#include <mutex>
-#include <optional>
-#include <thread>
-#include <variant>
-#include <vector>
 
 #include "core/sesr_inference.hpp"
-#include "core/streaming.hpp"
-#include "core/tiled_inference.hpp"
-#include "serve/request_queue.hpp"
-#include "serve/serve_options.hpp"
-#include "serve/stats.hpp"
+#include "serve/sharded_server.hpp"
 
 namespace sesr::serve {
 
@@ -47,75 +32,29 @@ class EvalServer {
   // The network is copied (via its checkpoint form) into one replica per
   // worker session, so the caller's instance is not retained.
   EvalServer(const core::SesrInference& network, ServeOptions options);
-  ~EvalServer();
   EvalServer(const EvalServer&) = delete;
   EvalServer& operator=(const EvalServer&) = delete;
 
   // Enqueue a (1, H, W, 1) Y frame. The future resolves to the upscaled
   // (1, scale*H, scale*W, 1) frame, or to QueueFullError (kReject overload),
   // ServerClosedError (after shutdown), or the execution error.
-  std::future<Tensor> submit(Tensor frame);
+  std::future<Tensor> submit(Tensor frame) { return server_.submit(route_, std::move(frame)); }
 
   // Drain in-flight requests, complete every accepted future, stop all
-  // threads. Idempotent; called by the destructor.
-  void shutdown();
+  // threads. Idempotent; also run by the (defaulted) destructor via
+  // ShardedServer's.
+  void shutdown() { server_.shutdown(); }
 
-  ServerStats stats() const { return stats_.snapshot(); }
-  const ServeOptions& options() const { return options_; }
+  ServerStats stats() const { return server_.stats().total; }
+  CacheStats cache_stats() const { return server_.stats().cache; }
+  const ServeOptions& options() const { return server_.options(); }
 
  private:
-  // One micro-batch of same-shape requests executed by a single worker.
-  struct BatchUnit {
-    std::vector<FrameRequest> requests;
-    ExecMode mode = ExecMode::kFullFrame;  // resolved (never kAuto)
-  };
-  // One frame being tiled across workers; the last tile fulfils the promise.
-  struct TiledJob {
-    FrameRequest request;
-    Tensor output;  // (1, scale*H, scale*W, 1); tiles write disjoint regions
-    std::vector<core::TileTask> tasks;
-    std::atomic<std::int64_t> remaining{0};
-    std::atomic<bool> failed{false};
-  };
-  struct TileUnit {
-    std::shared_ptr<TiledJob> job;
-    std::size_t task_index = 0;
-  };
-  using Unit = std::variant<BatchUnit, TileUnit>;
+  static NetworkRegistry single_registry(const core::SesrInference& network,
+                                         const ServeOptions& options);
 
-  struct WorkerSession {
-    explicit WorkerSession(const TensorMap& checkpoint) : network(checkpoint) {}
-    core::SesrInference network;
-    std::optional<core::StreamingUpscaler> streamer;  // built on first use
-    std::thread thread;
-  };
-
-  ExecMode resolve_mode(const Shape& shape) const;
-  void batcher_loop();
-  void worker_loop(WorkerSession& session);
-  void dispatch(Unit unit);              // blocks while the dispatch queue is deep
-  bool next_unit(Unit& unit);            // false = closed and drained
-  void execute(WorkerSession& session, Unit& unit);
-  void run_batch(WorkerSession& session, BatchUnit& unit);
-  void run_tile(WorkerSession& session, TileUnit& unit);
-
-  ServeOptions options_;
-  RequestQueue queue_;
-  StatsRecorder stats_;
-  std::atomic<std::uint64_t> next_id_{0};
-
-  // Dispatch stage: units ready for any worker. Depth-bounded so backpressure
-  // reaches the submission queue instead of hiding here.
-  std::mutex dispatch_mutex_;
-  std::condition_variable dispatch_not_empty_;
-  std::condition_variable dispatch_not_full_;
-  std::deque<Unit> dispatch_queue_;
-  std::size_t dispatch_depth_limit_;
-  bool dispatch_closed_ = false;
-
-  std::vector<std::unique_ptr<WorkerSession>> sessions_;
-  std::thread batcher_;
-  std::once_flag shutdown_once_;
+  RouteKey route_;
+  ShardedServer server_;
 };
 
 }  // namespace sesr::serve

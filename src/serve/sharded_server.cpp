@@ -1,0 +1,231 @@
+#include "serve/sharded_server.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <utility>
+
+namespace sesr::serve {
+
+namespace {
+
+void validate(const ServeOptions& o, const NetworkRegistry& registry) {
+  if (registry.empty()) {
+    throw std::invalid_argument("ShardedServer: registry has no networks");
+  }
+  if (o.workers < 1) throw std::invalid_argument("EvalServer: workers must be >= 1");
+  if (o.max_batch < 1) throw std::invalid_argument("EvalServer: max_batch must be >= 1");
+  if (o.max_delay_us < 0) throw std::invalid_argument("EvalServer: max_delay_us must be >= 0");
+  if (o.queue_capacity < 1) {
+    throw std::invalid_argument("EvalServer: queue_capacity must be >= 1");
+  }
+  if ((o.mode == ExecMode::kTiled || o.mode == ExecMode::kAuto) &&
+      (o.tiling.tile_h < 1 || o.tiling.tile_w < 1)) {
+    throw std::invalid_argument("EvalServer: tile dims must be positive");
+  }
+  if (o.tiles_per_unit < 1) {
+    throw std::invalid_argument("EvalServer: tiles_per_unit must be >= 1");
+  }
+  if (o.mode == ExecMode::kStreaming) {
+    for (const RegisteredNetwork& entry : registry.entries()) {
+      if (entry.biased) {
+        throw std::invalid_argument("EvalServer: streaming mode cannot serve biased networks");
+      }
+    }
+  }
+}
+
+}  // namespace
+
+ShardedServer::ShardedServer(const NetworkRegistry& registry, ServeOptions options)
+    : options_(std::move(options)),
+      cache_(options_.cache_entries),
+      // Depth is weighted in logical requests (a tiled job admits as 1, not
+      // as its fan-out), so the bound is per-shard headroom for staged
+      // requests, not units; the per-shard RequestQueue remains the primary
+      // admission control.
+      dispatch_(registry.size(),
+                std::max<std::size_t>(16, static_cast<std::size_t>(options_.workers) * 4) *
+                    std::max<std::size_t>(1, registry.size()),
+                options_.fair_tiles) {
+  validate(options_, registry);
+  for (const RegisteredNetwork& entry : registry.entries()) {
+    auto shard = std::make_unique<Shard>();
+    shard->index = shards_.size();
+    shard->net = entry;
+    shard->queue = std::make_unique<RequestQueue>(options_.queue_capacity);
+    for (int i = 0; i < options_.workers; ++i) {
+      shard->sessions.push_back(std::make_unique<WorkerSession>(entry.checkpoint));
+      // Each replica rounds its own fp16 weight cache before the worker
+      // threads start, so serving never hits the lazy conversion path.
+      shard->sessions.back()->network.set_precision(entry.key.precision);
+    }
+    route_index_.emplace(route_string(entry.key), shard->index);
+    shards_.push_back(std::move(shard));
+  }
+  for (auto& shard : shards_) {
+    for (auto& session : shard->sessions) {
+      session->thread =
+          std::thread([this, sh = shard.get(), s = session.get()] { worker_loop(*sh, *s); });
+    }
+    shard->batcher = std::thread([this, sh = shard.get()] { batcher_loop(*sh); });
+  }
+}
+
+ShardedServer::~ShardedServer() { shutdown(); }
+
+std::future<Tensor> ShardedServer::submit(const RouteKey& route, Tensor frame) {
+  FrameRequest request;
+  request.id = next_id_.fetch_add(1, std::memory_order_relaxed);
+  request.frame = std::move(frame);
+  request.enqueue_time = std::chrono::steady_clock::now();
+  std::future<Tensor> future = request.promise.get_future();
+  const Shape& s = request.frame.shape();
+  if (s.n() != 1 || s.c() != 1 || s.h() < 1 || s.w() < 1) {
+    request.promise.set_exception(std::make_exception_ptr(
+        std::invalid_argument("ShardedServer::submit expects a (1, H, W, 1) Y frame")));
+    return future;
+  }
+  const auto it = route_index_.find(route_string(route));
+  if (it == route_index_.end()) {
+    request.promise.set_exception(std::make_exception_ptr(UnknownRouteError(route_string(route))));
+    return future;
+  }
+  Shard& shard = *shards_[it->second];
+
+  // Response cache: a hit never touches the pipeline — the stored output is
+  // bit-identical to a cold run because the cache confirmed the LR bytes.
+  if (cache_.enabled()) {
+    if (std::optional<Tensor> hit = cache_.lookup(shard.index, request.frame)) {
+      stats_.on_submitted();
+      stats_.on_cache_hit();
+      shard.counters.submitted.fetch_add(1, std::memory_order_relaxed);
+      shard.counters.cache_hits.fetch_add(1, std::memory_order_relaxed);
+      shard.counters.completed.fetch_add(1, std::memory_order_relaxed);
+      request.promise.set_value(*std::move(hit));
+      stats_.on_completed(request.enqueue_time);
+      return future;
+    }
+    request.cache = &cache_;
+  }
+  request.route = &shard.counters;
+  request.route_id = shard.index;
+
+  switch (shard.queue->push(request, options_.overload)) {
+    case RequestQueue::PushResult::kAccepted:
+      stats_.on_submitted();
+      shard.counters.submitted.fetch_add(1, std::memory_order_relaxed);
+      break;
+    case RequestQueue::PushResult::kFull:
+      stats_.on_rejected();
+      request.promise.set_exception(std::make_exception_ptr(QueueFullError()));
+      break;
+    case RequestQueue::PushResult::kClosed:
+      request.promise.set_exception(std::make_exception_ptr(ServerClosedError()));
+      break;
+  }
+  return future;
+}
+
+ExecMode ShardedServer::resolve_mode(const Shape& shape) const {
+  if (options_.mode != ExecMode::kAuto) return options_.mode;
+  return shape.h() * shape.w() >= options_.tiled_threshold_pixels ? ExecMode::kTiled
+                                                                  : ExecMode::kFullFrame;
+}
+
+void ShardedServer::batcher_loop(Shard& shard) {
+  const std::int64_t scale = shard.net.config.scale;
+  while (true) {
+    std::vector<FrameRequest> batch = shard.queue->pop_batch(
+        options_.max_batch, std::chrono::microseconds(options_.max_delay_us));
+    if (batch.empty()) break;  // closed and drained
+    const ExecMode mode = resolve_mode(batch.front().frame.shape());
+    if (mode == ExecMode::kTiled) {
+      // Large frames: one TiledJob per frame. Its units all share one
+      // dispatch lane, so concurrent small requests interleave fairly.
+      const std::int64_t halo =
+          options_.tiling.halo >= 0 ? options_.tiling.halo : shard.net.exact_halo;
+      for (FrameRequest& request : batch) {
+        auto job = std::make_shared<TiledJob>();
+        const Shape& s = request.frame.shape();
+        job->tasks = core::tile_grid(s.h(), s.w(), options_.tiling, halo);
+        job->output = Tensor(1, s.h() * scale, s.w() * scale, 1);
+        job->remaining.store(static_cast<std::int64_t>(job->tasks.size()),
+                             std::memory_order_relaxed);
+        job->request = std::move(request);
+        const std::uint64_t lane = job->request.id;
+        stats_.on_batch();
+        bool dropped = false;
+        bool first = true;
+        // The job admits against the depth bound once (weight 1); the rest of
+        // its fan-out must never block, or this batcher would stall with the
+        // queue behind it frozen in FIFO order.
+        for (const core::TileUnitRange& range :
+             core::plan_tile_units(job->tasks.size(), options_.tiles_per_unit)) {
+          if (!dispatch_.push(shard.index, lane, TileUnit{job, range.first, range.count},
+                              first ? 1 : 0)) {
+            dropped = true;
+            break;
+          }
+          first = false;
+        }
+        if (dropped && !job->failed.exchange(true, std::memory_order_acq_rel)) {
+          // Dispatch closed mid-fan-out (shutdown was not graceful for this
+          // job); fail the frame rather than leave its future dangling.
+          stats_.on_failed();
+          shard.counters.failed.fetch_add(1, std::memory_order_relaxed);
+          job->request.promise.set_exception(std::make_exception_ptr(ServerClosedError()));
+        }
+      }
+    } else {
+      stats_.on_batch();
+      const std::uint64_t lane = batch.front().id;
+      BatchUnit unit{std::move(batch), mode};
+      if (!dispatch_.push(shard.index, lane, std::move(unit))) {
+        // The queue rejects pushes only after close(); shutdown() drains the
+        // batchers before closing dispatch, so this is purely defensive.
+        break;
+      }
+    }
+  }
+}
+
+void ShardedServer::worker_loop(Shard& shard, WorkerSession& session) {
+  Unit unit;
+  while (dispatch_.pop(shard.index, unit)) {
+    if (options_.worker_hook) options_.worker_hook();
+    execute_unit(session, unit, stats_);
+  }
+}
+
+void ShardedServer::shutdown() {
+  std::call_once(shutdown_once_, [this] {
+    for (auto& shard : shards_) shard->queue->close();
+    for (auto& shard : shards_) {
+      if (shard->batcher.joinable()) shard->batcher.join();  // drains the submission queue
+    }
+    dispatch_.close();
+    for (auto& shard : shards_) {
+      for (auto& session : shard->sessions) {
+        if (session->thread.joinable()) session->thread.join();
+      }
+    }
+  });
+}
+
+ShardedStats ShardedServer::stats() const {
+  ShardedStats s;
+  s.total = stats_.snapshot();
+  for (const auto& shard : shards_) {
+    RouteStats r;
+    r.route = route_string(shard->net.key);
+    r.submitted = shard->counters.submitted.load(std::memory_order_relaxed);
+    r.completed = shard->counters.completed.load(std::memory_order_relaxed);
+    r.failed = shard->counters.failed.load(std::memory_order_relaxed);
+    r.cache_hits = shard->counters.cache_hits.load(std::memory_order_relaxed);
+    s.per_route.push_back(std::move(r));
+  }
+  s.cache = cache_.stats();
+  return s;
+}
+
+}  // namespace sesr::serve

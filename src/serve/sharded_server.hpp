@@ -1,0 +1,110 @@
+// Multi-network sharded serving front end.
+//
+//   submit(route, frame)
+//        │  route lookup · response-cache probe (bit-exact hit -> immediate)
+//        ▼
+//   shard[m5:2:fp32]   shard[m11:2:fp16]  ...       (one per registered route)
+//   RequestQueue        RequestQueue                 bounded, per shard
+//   batcher thread      batcher thread               shape-grouping micro-batches
+//        │                   │
+//        └────── shared FairDispatchQueue ───────────one global depth bound,
+//        ▲                   ▲                       per-shard lanes, round-robin
+//   worker sessions     worker sessions              (replicas of the shard's net,
+//                                                    pinned to the route precision)
+//
+// Each registered (network, scale, precision) route gets a SHARD: its own
+// bounded submission queue, its own batcher, and `workers` sessions holding
+// bit-exact replicas of that route's network. All shards dispatch into ONE
+// shared bounded queue (global backpressure) whose round-robin lane scheduler
+// keeps a large frame's tile fan-out from starving small requests — see
+// dispatch.hpp. The response cache sits in front of the pipeline: a hit is
+// fulfilled on the submit path with an output that is bit-identical to a cold
+// run (the cache stores and confirms the exact LR bytes; the audit pair
+// `cached_vs_cold_serve` holds it to that).
+//
+// shutdown() is graceful and idempotent: all accepted work completes, every
+// future resolves, all threads join. The destructor calls shutdown().
+#pragma once
+
+#include <atomic>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "serve/dispatch.hpp"
+#include "serve/registry.hpp"
+#include "serve/request_queue.hpp"
+#include "serve/response_cache.hpp"
+#include "serve/serve_options.hpp"
+#include "serve/stats.hpp"
+
+namespace sesr::serve {
+
+// Per-route counter snapshot inside ShardedStats.
+struct RouteStats {
+  std::string route;  // route_string of the shard's key
+  std::uint64_t submitted = 0;
+  std::uint64_t completed = 0;
+  std::uint64_t failed = 0;
+  std::uint64_t cache_hits = 0;
+};
+
+struct ShardedStats {
+  ServerStats total;                  // aggregate across every shard
+  std::vector<RouteStats> per_route;  // registration order
+  CacheStats cache;
+};
+
+class ShardedServer {
+ public:
+  // Builds one shard per registry entry. The registry is snapshotted (its
+  // checkpoints are copied into the shards), so it need not outlive the
+  // server. `options` applies to every shard (workers, batching, queue depth,
+  // mode, tiling, overload) except `precision`, which each route overrides.
+  ShardedServer(const NetworkRegistry& registry, ServeOptions options);
+  ~ShardedServer();
+  ShardedServer(const ShardedServer&) = delete;
+  ShardedServer& operator=(const ShardedServer&) = delete;
+
+  // Enqueue a (1, H, W, 1) Y frame for the given route. The future resolves
+  // to the upscaled frame, or to UnknownRouteError, QueueFullError (kReject
+  // overload), ServerClosedError (after shutdown), or the execution error.
+  std::future<Tensor> submit(const RouteKey& route, Tensor frame);
+
+  // Drain in-flight requests, complete every accepted future, stop all
+  // threads. Idempotent; called by the destructor.
+  void shutdown();
+
+  ShardedStats stats() const;
+  const ServeOptions& options() const { return options_; }
+  std::size_t shard_count() const { return shards_.size(); }
+
+ private:
+  struct Shard {
+    std::size_t index = 0;
+    RegisteredNetwork net;
+    std::unique_ptr<RequestQueue> queue;
+    std::vector<std::unique_ptr<WorkerSession>> sessions;
+    std::thread batcher;
+    RouteCounters counters;
+  };
+
+  ExecMode resolve_mode(const Shape& shape) const;
+  void batcher_loop(Shard& shard);
+  void worker_loop(Shard& shard, WorkerSession& session);
+
+  ServeOptions options_;
+  StatsRecorder stats_;
+  ResponseCache cache_;
+  FairDispatchQueue dispatch_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+  std::unordered_map<std::string, std::size_t> route_index_;  // route_string -> shard
+  std::atomic<std::uint64_t> next_id_{0};
+  std::once_flag shutdown_once_;
+};
+
+}  // namespace sesr::serve

@@ -15,9 +15,15 @@ void StatsRecorder::on_completed(Clock::time_point enqueue) {
 double percentile(std::vector<double> samples, double p) {
   if (samples.empty()) return 0.0;
   p = std::clamp(p, 0.0, 100.0);
-  const auto rank = static_cast<std::size_t>(
-      std::ceil(p / 100.0 * static_cast<double>(samples.size())));
-  const std::size_t index = rank == 0 ? 0 : rank - 1;
+  const std::size_t n = samples.size();
+  // Nearest rank: ceil(p/100 * n), computed with a half-ULP guard. Without
+  // it the binary representation of p/100 pushes exact products past their
+  // integer (0.95 * 20 evaluates to 19.000000000000004, whose ceil selects
+  // rank 20 — the max — instead of rank 19).
+  const double exact = p / 100.0 * static_cast<double>(n);
+  auto rank = static_cast<std::size_t>(std::ceil(exact - 1e-9));
+  rank = std::clamp<std::size_t>(rank, 1, n);  // p=0 floors to the minimum; p=100 stays in range
+  const std::size_t index = rank - 1;
   std::nth_element(samples.begin(), samples.begin() + static_cast<std::ptrdiff_t>(index),
                    samples.end());
   return samples[index];
@@ -30,14 +36,18 @@ ServerStats StatsRecorder::snapshot() const {
   s.batches = batches_.load(std::memory_order_relaxed);
   s.tiles = tiles_.load(std::memory_order_relaxed);
   s.failed = failed_.load(std::memory_order_relaxed);
+  s.cache_hits = cache_hits_.load(std::memory_order_relaxed);
   std::vector<double> samples;
   {
     std::lock_guard<std::mutex> lock(mutex_);
     samples = latency_us_;
   }
   s.completed = samples.size();
+  // Cache hits complete on the submit path without ever forming a batch;
+  // counting them here would report occupancies above max_batch.
+  const std::uint64_t batched = s.completed > s.cache_hits ? s.completed - s.cache_hits : 0;
   s.mean_batch_frames =
-      s.batches == 0 ? 0.0 : static_cast<double>(s.completed) / static_cast<double>(s.batches);
+      s.batches == 0 ? 0.0 : static_cast<double>(batched) / static_cast<double>(s.batches);
   s.p50_us = percentile(samples, 50.0);
   s.p95_us = percentile(samples, 95.0);
   s.p99_us = percentile(samples, 99.0);

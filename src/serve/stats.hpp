@@ -15,13 +15,14 @@ namespace sesr::serve {
 
 // Immutable view returned by EvalServer::stats().
 struct ServerStats {
-  std::uint64_t submitted = 0;   // accepted into the queue
+  std::uint64_t submitted = 0;   // accepted (queued or served from cache)
   std::uint64_t rejected = 0;    // refused by the kReject overload policy
   std::uint64_t completed = 0;   // futures fulfilled (value or error)
   std::uint64_t failed = 0;      // futures fulfilled with an exception
   std::uint64_t batches = 0;     // execution units dispatched (batch or tile job)
   std::uint64_t tiles = 0;       // TileTasks executed by the fan-out path
-  double mean_batch_frames = 0.0;  // completed / batches
+  std::uint64_t cache_hits = 0;  // requests fulfilled by the response cache
+  double mean_batch_frames = 0.0;  // (completed - cache_hits) / batches
   double p50_us = 0.0;
   double p95_us = 0.0;
   double p99_us = 0.0;
@@ -41,6 +42,7 @@ class StatsRecorder {
   void on_batch() { batches_.fetch_add(1, std::memory_order_relaxed); }
   void on_tile() { tiles_.fetch_add(1, std::memory_order_relaxed); }
   void on_failed() { failed_.fetch_add(1, std::memory_order_relaxed); }
+  void on_cache_hit() { cache_hits_.fetch_add(1, std::memory_order_relaxed); }
 
   // One completed request; `enqueue` is its submit() timestamp.
   void on_completed(Clock::time_point enqueue);
@@ -54,11 +56,25 @@ class StatsRecorder {
   std::atomic<std::uint64_t> batches_{0};
   std::atomic<std::uint64_t> tiles_{0};
   std::atomic<std::uint64_t> failed_{0};
+  std::atomic<std::uint64_t> cache_hits_{0};
   mutable std::mutex mutex_;           // guards latency_us_
   std::vector<double> latency_us_;
 };
 
-// p in [0, 100]; empty samples give 0. (Nearest-rank on a sorted copy.)
+// Per-network counters of the sharded server (one block per route). Updated
+// lock-free from the submit path and the worker sessions; read via
+// ShardedServer::stats().
+struct RouteCounters {
+  std::atomic<std::uint64_t> submitted{0};
+  std::atomic<std::uint64_t> completed{0};
+  std::atomic<std::uint64_t> failed{0};
+  std::atomic<std::uint64_t> cache_hits{0};
+};
+
+// Nearest-rank percentile: the smallest sample s such that at least p percent
+// of the samples are <= s. p is clamped to [0, 100]; empty input returns 0;
+// a single sample is every percentile of itself; p = 100 is the maximum (the
+// upper rank is clamped in-range, never one past the end).
 double percentile(std::vector<double> samples, double p);
 
 }  // namespace sesr::serve

@@ -3,6 +3,7 @@
 // into usage text plus a nonzero exit).
 #include <gtest/gtest.h>
 
+#include "../bench/bench_common.hpp"
 #include "../tools/cli_args.hpp"
 #include "../tools/serve_cli.hpp"
 
@@ -155,6 +156,99 @@ TEST(ServeCli, BadBatchingKnobsRaiseUsageError) {
   EXPECT_THROW(parse_serve({"--queue-capacity=0"}), UsageError);
   EXPECT_THROW(parse_serve({"--tile=0"}), UsageError);
   EXPECT_THROW(parse_serve({"--threads=0"}), UsageError);
+}
+
+TEST(ServeCli, DefaultRoutesMirrorSingleNetworkFlags) {
+  const ServeCliConfig config = parse_serve({"--net=m11", "--scale=4", "--precision=fp16"});
+  ASSERT_EQ(config.routes.size(), 1U);
+  EXPECT_EQ(config.routes[0].network, "m11");
+  EXPECT_EQ(config.routes[0].scale, 4);
+  EXPECT_EQ(config.routes[0].precision, core::InferencePrecision::kFp16);
+}
+
+TEST(ServeCli, NetworksFlagParsesShardedRoutes) {
+  const ServeCliConfig config = parse_serve({"--networks", "m5:2,m11:2:fp16,m3:4"});
+  ASSERT_EQ(config.routes.size(), 3U);
+  EXPECT_EQ(config.routes[0].network, "m5");
+  EXPECT_EQ(config.routes[0].precision, core::InferencePrecision::kFp32);
+  EXPECT_EQ(config.routes[1].network, "m11");
+  EXPECT_EQ(config.routes[1].precision, core::InferencePrecision::kFp16);
+  EXPECT_EQ(config.routes[2].network, "m3");
+  EXPECT_EQ(config.routes[2].scale, 4);
+}
+
+TEST(ServeCli, BadNetworksRaiseUsageError) {
+  EXPECT_THROW(parse_serve({"--networks=m5"}), UsageError);          // missing scale
+  EXPECT_THROW(parse_serve({"--networks=m4:2"}), UsageError);        // unknown net
+  EXPECT_THROW(parse_serve({"--networks=m5:3"}), UsageError);        // bad scale
+  EXPECT_THROW(parse_serve({"--networks=m5:2:int8"}), UsageError);   // bad precision
+  EXPECT_THROW(parse_serve({"--networks=m5:2,m5:2"}), UsageError);   // duplicate route
+  EXPECT_THROW(parse_serve({"--networks=m5:2,,m3:2"}), UsageError);  // empty entry
+}
+
+TEST(ServeCli, CacheAndFairnessKnobsParse) {
+  const ServeCliConfig defaults = parse_serve({});
+  EXPECT_EQ(defaults.serve.cache_entries, 0U);
+  EXPECT_EQ(defaults.unique_frames, 1);
+  EXPECT_TRUE(defaults.serve.fair_tiles);
+  const ServeCliConfig config =
+      parse_serve({"--cache-entries=128", "--unique-frames=5", "--fair-tiles=0"});
+  EXPECT_EQ(config.serve.cache_entries, 128U);
+  EXPECT_EQ(config.unique_frames, 5);
+  EXPECT_FALSE(config.serve.fair_tiles);
+  EXPECT_THROW(parse_serve({"--cache-entries=-1"}), UsageError);
+  EXPECT_THROW(parse_serve({"--unique-frames=0"}), UsageError);
+}
+
+// ------------------------------ bench JSON escaping --------------------------
+
+TEST(JsonEscape, PassesPlainStringsThrough) {
+  EXPECT_EQ(bench::json_escape("workers4/batch8"), "workers4/batch8");
+  EXPECT_EQ(bench::json_escape(""), "");
+}
+
+TEST(JsonEscape, EscapesQuotesBackslashesAndControls) {
+  EXPECT_EQ(bench::json_escape("a\"b"), "a\\\"b");
+  EXPECT_EQ(bench::json_escape("a\\b"), "a\\\\b");
+  EXPECT_EQ(bench::json_escape("line\nbreak\ttab\r"), "line\\nbreak\\ttab\\r");
+  EXPECT_EQ(bench::json_escape(std::string("nul\x01") + "x"), "nul\\u0001x");
+  EXPECT_EQ(bench::json_escape("\b\f"), "\\b\\f");
+}
+
+TEST(JsonEscape, RoundTripsThroughAnUnescaper) {
+  // Un-escape json_escape's output and require the original bytes back — the
+  // round-trip check that catches both under- and over-escaping.
+  const auto unescape = [](const std::string& s) {
+    std::string out;
+    for (std::size_t i = 0; i < s.size(); ++i) {
+      if (s[i] != '\\') {
+        out += s[i];
+        continue;
+      }
+      ++i;
+      switch (s[i]) {
+        case 'n': out += '\n'; break;
+        case 't': out += '\t'; break;
+        case 'r': out += '\r'; break;
+        case 'b': out += '\b'; break;
+        case 'f': out += '\f'; break;
+        case 'u':
+          out += static_cast<char>(std::stoi(s.substr(i + 1, 4), nullptr, 16));
+          i += 4;
+          break;
+        default: out += s[i];  // \" and \\ and anything else escaped literally
+      }
+    }
+    return out;
+  };
+  const std::string nasty = "shape \"64x64\"\\path\n\ttab\x01\x1f end";
+  EXPECT_EQ(unescape(bench::json_escape(nasty)), nasty);
+  const std::string escaped = bench::json_escape(nasty);
+  // The escaped form must contain no raw quote, backslash-run ambiguity, or
+  // control bytes — i.e. it is safe inside a JSON string literal.
+  for (const char c : escaped) {
+    EXPECT_GE(static_cast<unsigned char>(c), 0x20U);
+  }
 }
 
 }  // namespace

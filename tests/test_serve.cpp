@@ -26,8 +26,13 @@
 #include "core/sesr_network.hpp"
 #include "core/streaming.hpp"
 #include "core/tiled_inference.hpp"
+#include "serve/dispatch.hpp"
+#include "serve/registry.hpp"
 #include "serve/request_queue.hpp"
+#include "serve/response_cache.hpp"
 #include "serve/server.hpp"
+#include "serve/sharded_server.hpp"
+#include "serve/stats.hpp"
 #include "tensor/tensor_ops.hpp"
 
 namespace sesr::serve {
@@ -403,6 +408,441 @@ TEST(EvalServerStress, SeededMultiProducerBitIdentical) {
   for (int i = 0; i < iterations; ++i) {
     SCOPED_TRACE("iteration " + std::to_string(i));
     run_stress_iteration(static_cast<std::uint64_t>(i));
+    if (HasFatalFailure()) return;
+  }
+}
+
+// ----------------------------------------------------- percentile boundary
+
+TEST(Percentile, EmptyInputReturnsZeroForEveryP) {
+  for (const double p : {0.0, 50.0, 95.0, 99.0, 100.0}) {
+    EXPECT_EQ(percentile({}, p), 0.0) << "p=" << p;
+  }
+}
+
+TEST(Percentile, SingleSampleIsEveryPercentileOfItself) {
+  for (const double p : {0.0, 50.0, 95.0, 99.0, 100.0}) {
+    EXPECT_EQ(percentile({3.5}, p), 3.5) << "p=" << p;
+  }
+}
+
+TEST(Percentile, TwoSamplesNearestRank) {
+  const std::vector<double> two = {1.0, 2.0};
+  EXPECT_EQ(percentile(two, 0.0), 1.0);
+  EXPECT_EQ(percentile(two, 50.0), 1.0);  // rank ceil(0.5 * 2) = 1
+  EXPECT_EQ(percentile(two, 95.0), 2.0);
+  EXPECT_EQ(percentile(two, 99.0), 2.0);
+  EXPECT_EQ(percentile(two, 100.0), 2.0);
+}
+
+TEST(Percentile, P95OfTwentyIsTheNineteenthSample) {
+  // Regression: 0.95 * 20 is 19.000000000000004 in binary, so a naive
+  // ceil() lands on rank 20 and p95 silently reports the maximum.
+  std::vector<double> samples;
+  for (int i = 1; i <= 20; ++i) samples.push_back(static_cast<double>(i));
+  EXPECT_EQ(percentile(samples, 95.0), 19.0);
+  EXPECT_EQ(percentile(samples, 99.0), 20.0);  // rank ceil(19.8) = 20
+  EXPECT_EQ(percentile(samples, 100.0), 20.0);
+  EXPECT_EQ(percentile(samples, 0.0), 1.0);  // lower rank clamps to 1
+  EXPECT_EQ(percentile(samples, 120.0), 20.0);
+  EXPECT_EQ(percentile(samples, -5.0), 1.0);
+}
+
+// -------------------------------------------------- RequestQueue satellites
+
+TEST(RequestQueue, RejectPushDuringDrainOnCloseReturnsClosed) {
+  // After close() the queue drains already-accepted work, but new pushes must
+  // report kClosed — never kFull, which would invite a retry loop against a
+  // queue that will never accept again.
+  RequestQueue queue(2);
+  for (std::uint64_t i = 0; i < 2; ++i) {
+    FrameRequest r;
+    r.frame = make_frame(i, 4, 4);
+    ASSERT_EQ(queue.push(r, OverloadPolicy::kReject), RequestQueue::PushResult::kAccepted);
+  }
+  queue.close();
+  FrameRequest late;
+  late.frame = make_frame(9, 4, 4);
+  EXPECT_EQ(queue.push(late, OverloadPolicy::kReject), RequestQueue::PushResult::kClosed);
+  EXPECT_EQ(queue.push(late, OverloadPolicy::kBlock), RequestQueue::PushResult::kClosed);
+  // The accepted work is still drainable after the rejected pushes.
+  EXPECT_EQ(queue.pop_batch(8, std::chrono::microseconds(0)).size(), 2U);
+}
+
+// ------------------------------------------------------------ ResponseCache
+
+TEST(ResponseCache, DisabledCacheNeverHitsOrStores) {
+  ResponseCache cache(0);
+  EXPECT_FALSE(cache.enabled());
+  const Tensor frame = make_frame(1, 6, 6);
+  cache.insert(0, frame, make_frame(2, 12, 12));
+  EXPECT_FALSE(cache.lookup(0, frame).has_value());
+  EXPECT_EQ(cache.stats().entries, 0U);
+  EXPECT_EQ(cache.stats().insertions, 0U);
+}
+
+TEST(ResponseCache, HitIsBitIdenticalAndRouteScoped) {
+  ResponseCache cache(4);
+  const Tensor frame = make_frame(3, 6, 6);
+  const Tensor output = make_frame(4, 12, 12);
+  cache.insert(1, frame, output);
+  const std::optional<Tensor> hit = cache.lookup(1, frame);
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(max_abs_diff(*hit, output), 0.0F);
+  // Same bytes under a different route is a different response: miss.
+  EXPECT_FALSE(cache.lookup(2, frame).has_value());
+  // A different frame misses.
+  EXPECT_FALSE(cache.lookup(1, make_frame(5, 6, 6)).has_value());
+  const CacheStats stats = cache.stats();
+  EXPECT_EQ(stats.hits, 1U);
+  EXPECT_EQ(stats.misses, 2U);
+  EXPECT_EQ(stats.entries, 1U);
+}
+
+TEST(ResponseCache, LruEvictionDropsTheColdestEntry) {
+  ResponseCache cache(2);
+  const Tensor a = make_frame(10, 5, 5);
+  const Tensor b = make_frame(11, 5, 5);
+  const Tensor c = make_frame(12, 5, 5);
+  cache.insert(0, a, make_frame(20, 10, 10));
+  cache.insert(0, b, make_frame(21, 10, 10));
+  ASSERT_TRUE(cache.lookup(0, a).has_value());  // touch a: b becomes coldest
+  cache.insert(0, c, make_frame(22, 10, 10));   // evicts b
+  EXPECT_TRUE(cache.lookup(0, a).has_value());
+  EXPECT_FALSE(cache.lookup(0, b).has_value());
+  EXPECT_TRUE(cache.lookup(0, c).has_value());
+  EXPECT_EQ(cache.stats().evictions, 1U);
+  EXPECT_EQ(cache.stats().entries, 2U);
+}
+
+// -------------------------------------------------------- FairDispatchQueue
+
+// Queue-only tests drive the scheduler with tagged dummy units.
+Unit tagged_unit(std::uint64_t id) {
+  BatchUnit unit;
+  unit.requests.emplace_back();
+  unit.requests.back().id = id;
+  return unit;
+}
+
+std::uint64_t unit_tag(const Unit& unit) {
+  return std::get<BatchUnit>(unit).requests.front().id;
+}
+
+TEST(FairDispatchQueue, FreshLanesFirstThenRoundRobin) {
+  FairDispatchQueue queue(1, 64, /*fair=*/true);
+  // Three lanes, pushed fully before any pop: a has 3 units, b has 2, c has 1.
+  ASSERT_TRUE(queue.push(0, 1, tagged_unit(10)));
+  ASSERT_TRUE(queue.push(0, 1, tagged_unit(11)));
+  ASSERT_TRUE(queue.push(0, 1, tagged_unit(12)));
+  ASSERT_TRUE(queue.push(0, 2, tagged_unit(20)));
+  ASSERT_TRUE(queue.push(0, 2, tagged_unit(21)));
+  ASSERT_TRUE(queue.push(0, 3, tagged_unit(30)));
+  queue.close();
+  std::vector<std::uint64_t> order;
+  Unit unit;
+  while (queue.pop(0, unit)) order.push_back(unit_tag(unit));
+  // Fresh lanes in arrival order, then round-robin over the survivors.
+  EXPECT_EQ(order, (std::vector<std::uint64_t>{10, 20, 30, 11, 21, 12}));
+}
+
+TEST(FairDispatchQueue, NewLanePreemptsServedLanes) {
+  FairDispatchQueue queue(1, 64, /*fair=*/true);
+  ASSERT_TRUE(queue.push(0, 1, tagged_unit(10)));
+  ASSERT_TRUE(queue.push(0, 1, tagged_unit(11)));
+  Unit unit;
+  ASSERT_TRUE(queue.pop(0, unit));
+  EXPECT_EQ(unit_tag(unit), 10U);  // lane 1 is now "served"
+  // A new logical request arrives mid-fan-out: it is scheduled next.
+  ASSERT_TRUE(queue.push(0, 2, tagged_unit(20)));
+  ASSERT_TRUE(queue.pop(0, unit));
+  EXPECT_EQ(unit_tag(unit), 20U);
+  ASSERT_TRUE(queue.pop(0, unit));
+  EXPECT_EQ(unit_tag(unit), 11U);
+}
+
+TEST(FairDispatchQueue, UnfairModeIsPlainFifo) {
+  FairDispatchQueue queue(1, 64, /*fair=*/false);
+  ASSERT_TRUE(queue.push(0, 1, tagged_unit(10)));
+  ASSERT_TRUE(queue.push(0, 2, tagged_unit(20)));
+  ASSERT_TRUE(queue.push(0, 1, tagged_unit(11)));
+  queue.close();
+  std::vector<std::uint64_t> order;
+  Unit unit;
+  while (queue.pop(0, unit)) order.push_back(unit_tag(unit));
+  EXPECT_EQ(order, (std::vector<std::uint64_t>{10, 20, 11}));
+}
+
+TEST(FairDispatchQueue, WeightZeroPushNeverBlocksAtDepthLimit) {
+  FairDispatchQueue queue(1, /*depth_limit=*/1, /*fair=*/true);
+  ASSERT_TRUE(queue.push(0, 1, tagged_unit(10), 1));  // fills the depth bound
+  // A fan-out continuation (weight 0) must go through without blocking.
+  ASSERT_TRUE(queue.push(0, 1, tagged_unit(11), 0));
+  EXPECT_EQ(queue.size(), 1U);  // weighted depth: one admitted request
+  // A weighted push blocks until the admitted request is popped.
+  std::promise<bool> pushed;
+  std::thread blocked([&] { pushed.set_value(queue.push(0, 2, tagged_unit(20), 1)); });
+  auto future = pushed.get_future();
+  EXPECT_EQ(future.wait_for(std::chrono::milliseconds(50)), std::future_status::timeout);
+  Unit unit;
+  ASSERT_TRUE(queue.pop(0, unit));
+  EXPECT_TRUE(future.get());
+  blocked.join();
+  queue.close();
+}
+
+TEST(FairDispatchQueue, CloseRejectsPushesAndDrainsPops) {
+  FairDispatchQueue queue(2, 8, /*fair=*/true);
+  ASSERT_TRUE(queue.push(0, 1, tagged_unit(10)));
+  ASSERT_TRUE(queue.push(1, 1, tagged_unit(40)));
+  queue.close();
+  EXPECT_FALSE(queue.push(0, 2, tagged_unit(20)));
+  Unit unit;
+  ASSERT_TRUE(queue.pop(0, unit));
+  EXPECT_EQ(unit_tag(unit), 10U);
+  EXPECT_FALSE(queue.pop(0, unit));  // shard 0 drained
+  ASSERT_TRUE(queue.pop(1, unit));
+  EXPECT_EQ(unit_tag(unit), 40U);
+  EXPECT_FALSE(queue.pop(1, unit));
+}
+
+// ---------------------------------------------------------- NetworkRegistry
+
+TEST(NetworkRegistry, RouteStringParseRoundTrip) {
+  const RouteKey fp16{"m11", 4, core::InferencePrecision::kFp16};
+  EXPECT_EQ(route_string(fp16), "m11:4:fp16");
+  EXPECT_TRUE(parse_route("m11:4:fp16") == fp16);
+  const RouteKey defaulted = parse_route("m5:2");
+  EXPECT_EQ(defaulted.network, "m5");
+  EXPECT_EQ(defaulted.scale, 2);
+  EXPECT_EQ(defaulted.precision, core::InferencePrecision::kFp32);
+  EXPECT_THROW(parse_route(""), std::invalid_argument);
+  EXPECT_THROW(parse_route("m5"), std::invalid_argument);
+  EXPECT_THROW(parse_route("m5:x"), std::invalid_argument);
+  EXPECT_THROW(parse_route("m5:2:fp8"), std::invalid_argument);
+  EXPECT_THROW(parse_route(":2"), std::invalid_argument);
+}
+
+TEST(NetworkRegistry, AddValidatesAndFindThrowsOnUnknown) {
+  NetworkRegistry registry;
+  const core::SesrInference inference = make_inference(41, small_config());
+  const RouteKey key{"a", 2, core::InferencePrecision::kFp32};
+  registry.add(key, inference);
+  EXPECT_TRUE(registry.contains(key));
+  EXPECT_EQ(registry.find(key).config.scale, 2);
+  // Duplicate route.
+  EXPECT_THROW(registry.add(key, inference), std::invalid_argument);
+  // Scale disagreeing with the network's own scale.
+  EXPECT_THROW(registry.add(RouteKey{"a", 4, core::InferencePrecision::kFp32}, inference),
+               std::invalid_argument);
+  // Same network under another precision is a distinct route.
+  registry.add(RouteKey{"a", 2, core::InferencePrecision::kFp16}, inference);
+  EXPECT_EQ(registry.size(), 2U);
+  EXPECT_THROW(registry.find(RouteKey{"b", 2, core::InferencePrecision::kFp32}),
+               UnknownRouteError);
+}
+
+TEST(PlanTileUnits, PartitionsTasksIntoContiguousRanges) {
+  const auto units = core::plan_tile_units(10, 3);
+  ASSERT_EQ(units.size(), 4U);
+  EXPECT_EQ(units[0].first, 0U);
+  EXPECT_EQ(units[0].count, 3U);
+  EXPECT_EQ(units[3].first, 9U);
+  EXPECT_EQ(units[3].count, 1U);
+  EXPECT_EQ(core::plan_tile_units(10, 0).size(), 10U);  // <1 treated as 1
+  ASSERT_EQ(core::plan_tile_units(5, 100).size(), 1U);
+  EXPECT_EQ(core::plan_tile_units(5, 100)[0].count, 5U);
+  EXPECT_TRUE(core::plan_tile_units(0, 3).empty());
+}
+
+// ------------------------------------------------------------ ShardedServer
+
+TEST(ShardedServer, MultiNetworkRoutingBitIdentical) {
+  const core::SesrInference net_a = make_inference(51, small_config());
+  const core::SesrInference net_b = make_inference(52, small_config(/*with_bias=*/true));
+  const RouteKey route_a{"a", 2, core::InferencePrecision::kFp32};
+  const RouteKey route_b{"b", 2, core::InferencePrecision::kFp32};
+  NetworkRegistry registry;
+  registry.add(route_a, net_a);
+  registry.add(route_b, net_b);
+  ServeOptions options;
+  options.workers = 2;
+  ShardedServer server(registry, options);
+  EXPECT_EQ(server.shard_count(), 2U);
+  const Tensor frame = make_frame(90, 12, 12);
+  Tensor out_a = server.submit(route_a, frame).get();
+  Tensor out_b = server.submit(route_b, frame).get();
+  EXPECT_EQ(max_abs_diff(out_a, net_a.upscale(frame)), 0.0F);
+  EXPECT_EQ(max_abs_diff(out_b, net_b.upscale(frame)), 0.0F);
+  EXPECT_GT(max_abs_diff(out_a, out_b), 0.0F);  // the routes really differ
+  server.shutdown();
+  const ShardedStats stats = server.stats();
+  ASSERT_EQ(stats.per_route.size(), 2U);
+  EXPECT_EQ(stats.per_route[0].route, "a:2:fp32");
+  EXPECT_EQ(stats.per_route[0].submitted, 1U);
+  EXPECT_EQ(stats.per_route[0].completed, 1U);
+  EXPECT_EQ(stats.per_route[1].route, "b:2:fp32");
+  EXPECT_EQ(stats.per_route[1].completed, 1U);
+  EXPECT_EQ(stats.total.completed, 2U);
+}
+
+TEST(ShardedServer, UnknownRouteFailsTheFutureNotTheServer) {
+  const core::SesrInference inference = make_inference(53, small_config());
+  const RouteKey known{"a", 2, core::InferencePrecision::kFp32};
+  NetworkRegistry registry;
+  registry.add(known, inference);
+  ShardedServer server(registry, ServeOptions{});
+  EXPECT_THROW(
+      server.submit(RouteKey{"nope", 2, core::InferencePrecision::kFp32}, make_frame(1, 8, 8))
+          .get(),
+      UnknownRouteError);
+  const Tensor frame = make_frame(2, 8, 8);
+  EXPECT_EQ(max_abs_diff(server.submit(known, frame).get(), inference.upscale(frame)), 0.0F);
+}
+
+TEST(ShardedServer, PerRoutePrecisionOverridesGlobalOption) {
+  // One network registered under both precisions: each route's replicas are
+  // pinned to the route's precision, whatever options.precision says.
+  core::SesrInference inference = make_inference(54, small_config());
+  const RouteKey fp32_route{"a", 2, core::InferencePrecision::kFp32};
+  const RouteKey fp16_route{"a", 2, core::InferencePrecision::kFp16};
+  NetworkRegistry registry;
+  registry.add(fp32_route, inference);
+  registry.add(fp16_route, inference);
+  ShardedServer server(registry, ServeOptions{});
+  const Tensor frame = make_frame(91, 16, 16);
+  Tensor out32 = server.submit(fp32_route, frame).get();
+  Tensor out16 = server.submit(fp16_route, frame).get();
+  EXPECT_EQ(max_abs_diff(out32, inference.upscale(frame)), 0.0F);
+  inference.set_precision(core::InferencePrecision::kFp16);
+  EXPECT_EQ(max_abs_diff(out16, inference.upscale(frame)), 0.0F);
+  EXPECT_GT(max_abs_diff(out32, out16), 0.0F);
+}
+
+TEST(ShardedServer, CacheHitIsBitIdenticalAndCounted) {
+  const core::SesrInference inference = make_inference(55, small_config());
+  const RouteKey route{"a", 2, core::InferencePrecision::kFp32};
+  NetworkRegistry registry;
+  registry.add(route, inference);
+  ServeOptions options;
+  options.cache_entries = 4;
+  ShardedServer server(registry, options);
+  const Tensor frame = make_frame(92, 10, 10);
+  const Tensor cold = server.submit(route, frame).get();
+  const Tensor hit = server.submit(route, frame).get();
+  EXPECT_EQ(max_abs_diff(hit, cold), 0.0F);
+  server.shutdown();
+  const ShardedStats stats = server.stats();
+  EXPECT_EQ(stats.total.submitted, 2U);
+  EXPECT_EQ(stats.total.completed, 2U);
+  EXPECT_EQ(stats.total.cache_hits, 1U);
+  EXPECT_EQ(stats.cache.hits, 1U);
+  EXPECT_EQ(stats.cache.misses, 1U);
+  EXPECT_EQ(stats.per_route[0].cache_hits, 1U);
+  EXPECT_EQ(stats.per_route[0].completed, 2U);
+}
+
+// --------------------------------------- sharded seeded stress (soak: TSan)
+
+// One seeded iteration of mixed-network traffic: producers interleave two
+// routes (one of them fp16) across shapes and modes; every future must be
+// bit-identical to its route's single-threaded reference, and the per-route
+// counters must reconcile.
+void run_sharded_stress_iteration(std::uint64_t seed) {
+  const ExecMode modes[] = {ExecMode::kFullFrame, ExecMode::kTiled, ExecMode::kAuto};
+  const ExecMode mode = modes[seed % 3];
+  core::SesrInference net_a = make_inference(2000 + seed, small_config());
+  core::SesrInference net_b =
+      make_inference(3000 + seed, small_config(/*with_bias=*/seed % 2 == 0));
+  const RouteKey route_a{"a", 2, core::InferencePrecision::kFp32};
+  const RouteKey route_b{"b", 2, core::InferencePrecision::kFp16};
+  NetworkRegistry registry;
+  registry.add(route_a, net_a);
+  registry.add(route_b, net_b);
+
+  ServeOptions options;
+  options.workers = 1 + static_cast<int>(seed % 3);
+  options.max_batch = 1 + static_cast<std::int64_t>(seed % 4);
+  options.max_delay_us = 500;
+  options.queue_capacity = 8;
+  options.mode = mode;
+  options.tiling.tile_h = 6;
+  options.tiling.tile_w = 7;
+  options.tiled_threshold_pixels = 12 * 12;
+  options.cache_entries = seed % 2 == 0 ? 4 : 0;  // alternate: cache on/off
+  options.fair_tiles = seed % 3 != 2;
+
+  const StressShape shapes[] = {{10, 10}, {12, 14}, {16, 16}};
+  constexpr int kProducers = 3;
+  constexpr int kFramesPerProducer = 6;
+
+  ShardedServer server(registry, options);
+  std::vector<std::vector<std::future<Tensor>>> futures(kProducers);
+  std::vector<std::vector<Tensor>> sent(kProducers);
+  std::vector<std::vector<bool>> to_b(kProducers);
+  std::vector<std::thread> producers;
+  for (int t = 0; t < kProducers; ++t) {
+    futures[static_cast<std::size_t>(t)].resize(kFramesPerProducer);
+    sent[static_cast<std::size_t>(t)].resize(kFramesPerProducer);
+    to_b[static_cast<std::size_t>(t)].resize(kFramesPerProducer);
+    producers.emplace_back([&, t] {
+      Rng rng(seed * 104729 + static_cast<std::uint64_t>(t));
+      for (int i = 0; i < kFramesPerProducer; ++i) {
+        const StressShape s = shapes[rng.uniform_int(0, 2)];
+        // A small pool of repeated frames so the cache path gets real hits.
+        Tensor frame(1, s.h, s.w, 1);
+        Rng frame_rng(seed * 31 + static_cast<std::uint64_t>(rng.uniform_int(0, 3)));
+        frame.fill_uniform(frame_rng, 0.0F, 1.0F);
+        const bool b = rng.uniform_int(0, 1) == 1;
+        sent[static_cast<std::size_t>(t)][static_cast<std::size_t>(i)] = frame;
+        to_b[static_cast<std::size_t>(t)][static_cast<std::size_t>(i)] = b;
+        futures[static_cast<std::size_t>(t)][static_cast<std::size_t>(i)] =
+            server.submit(b ? route_b : route_a, std::move(frame));
+      }
+    });
+  }
+  for (auto& p : producers) p.join();
+
+  net_b.set_precision(core::InferencePrecision::kFp16);
+  auto reference = [&](const core::SesrInference& net, const Tensor& frame) -> Tensor {
+    ExecMode resolved = mode;
+    if (mode == ExecMode::kAuto) {
+      resolved = frame.shape().h() * frame.shape().w() >= options.tiled_threshold_pixels
+                     ? ExecMode::kTiled
+                     : ExecMode::kFullFrame;
+    }
+    if (resolved == ExecMode::kTiled) return core::upscale_tiled(net, frame, options.tiling);
+    return net.upscale(frame);
+  };
+  std::uint64_t want_b = 0;
+  for (int t = 0; t < kProducers; ++t) {
+    for (int i = 0; i < kFramesPerProducer; ++i) {
+      Tensor got = futures[static_cast<std::size_t>(t)][static_cast<std::size_t>(i)].get();
+      const Tensor& frame = sent[static_cast<std::size_t>(t)][static_cast<std::size_t>(i)];
+      const bool b = to_b[static_cast<std::size_t>(t)][static_cast<std::size_t>(i)];
+      want_b += b ? 1 : 0;
+      ASSERT_EQ(max_abs_diff(got, reference(b ? net_b : net_a, frame)), 0.0F)
+          << "seed=" << seed << " producer=" << t << " frame=" << i << " route="
+          << (b ? "b" : "a");
+    }
+  }
+  server.shutdown();
+  const ShardedStats stats = server.stats();
+  constexpr auto kTotal = static_cast<std::uint64_t>(kProducers * kFramesPerProducer);
+  ASSERT_EQ(stats.total.completed, kTotal) << "seed=" << seed;
+  ASSERT_EQ(stats.total.failed, 0U) << "seed=" << seed;
+  ASSERT_EQ(stats.per_route[0].completed + stats.per_route[1].completed, kTotal)
+      << "seed=" << seed;
+  ASSERT_EQ(stats.per_route[1].completed, want_b) << "seed=" << seed;
+  ASSERT_EQ(stats.total.cache_hits, stats.per_route[0].cache_hits + stats.per_route[1].cache_hits)
+      << "seed=" << seed;
+}
+
+TEST(ShardedServerStress, SeededMixedNetworkBitIdentical) {
+  const int iterations = stress_iterations();
+  for (int i = 0; i < iterations; ++i) {
+    SCOPED_TRACE("iteration " + std::to_string(i));
+    run_sharded_stress_iteration(static_cast<std::uint64_t>(i));
     if (HasFatalFailure()) return;
   }
 }

@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "cli_args.hpp"
+#include "serve/registry.hpp"
 #include "serve/serve_options.hpp"
 
 namespace sesr::cli {
@@ -24,6 +25,11 @@ struct ServeCliConfig {
   serve::ServeOptions serve;
   std::string net = "m5";                                  // m3|m5|m7|m11|xl
   std::int64_t scale = 2;
+  // Sharded serving: every route the server loads (always >= 1 entry; the
+  // single-network flags --net/--scale/--precision populate one route when
+  // --networks is not given). Traffic cycles through routes round-robin.
+  std::vector<serve::RouteKey> routes;
+  std::int64_t unique_frames = 1;                          // distinct frames per (route, shape)
   double qps = 0.0;                                        // 0 = closed loop
   std::int64_t frames = 256;                               // total request count
   double duration_s = 0.0;                                 // >0 = run for wall time
@@ -36,6 +42,11 @@ inline std::vector<Args::Option> serve_cli_options() {
   return {
       {"net", "m5", "SESR config: m3|m5|m7|m11|xl"},
       {"scale", "2", "upscale factor: 2 or 4"},
+      {"networks", "auto", "sharded routes name:scale[:precision], e.g. m5:2,m11:2:fp16 "
+                           "(auto = one route from --net/--scale/--precision)"},
+      {"cache-entries", "0", "bit-exact LRU response cache capacity (0 = off)"},
+      {"unique-frames", "1", "distinct frames per route+shape; 1 = maximal repetition"},
+      {"fair-tiles", "1", "round-robin tile scheduling across requests (0 = FIFO)"},
       {"workers", "4", "worker sessions (>= 1)"},
       {"max-batch", "8", "micro-batch size cap (>= 1)"},
       {"max-delay-us", "2000", "batcher flush deadline in microseconds"},
@@ -76,6 +87,39 @@ inline std::vector<std::pair<std::int64_t, std::int64_t>> parse_shapes(const std
     pos = comma + 1;
   }
   return shapes;
+}
+
+inline bool known_net(const std::string& name) {
+  return name == "m3" || name == "m5" || name == "m7" || name == "m11" || name == "xl";
+}
+
+// Parses the --networks route list; throws UsageError on malformed specs,
+// unknown nets, bad scales, or duplicate routes.
+inline std::vector<serve::RouteKey> parse_networks(const std::string& list) {
+  std::vector<serve::RouteKey> routes;
+  std::size_t pos = 0;
+  while (pos <= list.size()) {
+    const std::size_t comma = std::min(list.find(',', pos), list.size());
+    const std::string item = list.substr(pos, comma - pos);
+    serve::RouteKey route;
+    try {
+      route = serve::parse_route(item);
+    } catch (const std::exception& e) {
+      throw UsageError("bad --networks entry '" + item + "': " + e.what());
+    }
+    if (!known_net(route.network)) {
+      throw UsageError("unknown net '" + route.network + "' in --networks (expected m3|m5|m7|m11|xl)");
+    }
+    if (route.scale != 2 && route.scale != 4) {
+      throw UsageError("--networks scale must be 2 or 4 in '" + item + "'");
+    }
+    for (const serve::RouteKey& existing : routes) {
+      if (existing == route) throw UsageError("duplicate --networks route '" + item + "'");
+    }
+    routes.push_back(std::move(route));
+    pos = comma + 1;
+  }
+  return routes;
 }
 
 // Parses and validates; throws UsageError on any bad or contradictory value.
@@ -141,6 +185,22 @@ inline ServeCliConfig parse_serve_cli(const Args& args) {
   config.threads = args.get_int("threads");
   if (config.threads < 1) throw UsageError("--threads must be >= 1");
   config.seed = static_cast<std::uint64_t>(args.get_int("seed"));
+
+  const std::string networks = args.get("networks");
+  if (networks != "auto" && !networks.empty()) {
+    config.routes = parse_networks(networks);
+  } else {
+    config.routes = {serve::RouteKey{config.net, config.scale, config.serve.precision}};
+  }
+
+  const std::int64_t cache_entries = args.get_int("cache-entries");
+  if (cache_entries < 0) throw UsageError("--cache-entries must be >= 0");
+  config.serve.cache_entries = static_cast<std::size_t>(cache_entries);
+
+  config.unique_frames = args.get_int("unique-frames");
+  if (config.unique_frames < 1) throw UsageError("--unique-frames must be >= 1");
+
+  config.serve.fair_tiles = args.get_int("fair-tiles") != 0;
   return config;
 }
 

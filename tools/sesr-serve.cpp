@@ -1,7 +1,8 @@
 // sesr-serve — synthetic-traffic load generator for the batched eval server.
 //
-// Spins up an EvalServer over a freshly initialized collapsed SESR network
-// and drives it with synthetic Y frames:
+// Spins up a ShardedServer over one or more freshly initialized collapsed
+// SESR networks (--networks m5:2,m11:2:fp16; a single --net/--scale route by
+// default) and drives it with synthetic Y frames:
 //
 //   open loop  (--qps > 0): Poisson arrivals at the requested rate, submitted
 //     on schedule regardless of completions — the honest way to measure tail
@@ -9,20 +10,25 @@
 //   closed loop (--qps 0): submits as fast as the bounded queue admits
 //     (kBlock) or retries drop counting (kReject) — a saturation probe.
 //
-// Prints per-request latency percentiles (p50/p95/p99), achieved FPS, batch
-// occupancy, and reject counts. docs/SERVING.md explains how to read them.
+// Traffic cycles round-robin over routes x shapes x --unique-frames distinct
+// frames, so --cache-entries with unique-frames=1 exercises the bit-exact
+// response cache at maximal repetition. Prints per-request latency
+// percentiles (p50/p95/p99), achieved FPS, batch occupancy, reject counts,
+// per-route counters, and cache hit rates. docs/SERVING.md explains how to
+// read them.
 #include <chrono>
 #include <cstdio>
 #include <future>
 #include <random>
+#include <string>
 #include <thread>
 #include <vector>
 
 #include "cli_args.hpp"
-#include "core/sesr_inference.hpp"
 #include "core/sesr_network.hpp"
+#include "serve/registry.hpp"
 #include "serve/request_queue.hpp"
-#include "serve/server.hpp"
+#include "serve/sharded_server.hpp"
 #include "serve_cli.hpp"
 #include "tensor/thread_pool.hpp"
 
@@ -41,23 +47,40 @@ core::SesrConfig named_config(const std::string& name, std::int64_t scale) {
 int run(const cli::ServeCliConfig& config) {
   ThreadPool::set_global_threads(static_cast<unsigned>(config.threads));
   Rng rng(config.seed);
-  core::SesrNetwork network(named_config(config.net, config.scale), rng);
-  const core::SesrInference inference(network);
-  serve::EvalServer server(inference, config.serve);
+  serve::NetworkRegistry registry;
+  for (const serve::RouteKey& route : config.routes) {
+    core::SesrNetwork network(named_config(route.network, route.scale), rng);
+    registry.add(route, core::SesrInference(network));
+  }
+  serve::ShardedServer server(registry, config.serve);
 
-  // One pre-generated frame per shape; traffic cycles through the mix.
-  std::vector<Tensor> frames;
-  for (const auto& [h, w] : config.shapes) {
-    Tensor frame(1, h, w, 1);
-    frame.fill_uniform(rng, 0.0F, 1.0F);
-    frames.push_back(std::move(frame));
+  // Pre-generated frames: unique_frames per (route, shape); traffic cycles
+  // route-major through the mix so every shard sees every shape.
+  struct Stimulus {
+    serve::RouteKey route;
+    Tensor frame;
+  };
+  std::vector<Stimulus> stimuli;
+  for (const serve::RouteKey& route : config.routes) {
+    for (const auto& [h, w] : config.shapes) {
+      for (std::int64_t u = 0; u < config.unique_frames; ++u) {
+        Tensor frame(1, h, w, 1);
+        frame.fill_uniform(rng, 0.0F, 1.0F);
+        stimuli.push_back({route, std::move(frame)});
+      }
+    }
   }
 
-  std::printf("sesr-serve: %s x%lld | workers=%d max_batch=%lld delay=%lldus queue=%zu prec=%s\n",
-              inference.name().c_str(), static_cast<long long>(config.scale),
-              config.serve.workers, static_cast<long long>(config.serve.max_batch),
-              static_cast<long long>(config.serve.max_delay_us), config.serve.queue_capacity,
-              config.serve.precision == core::InferencePrecision::kFp16 ? "fp16" : "fp32");
+  std::string route_list;
+  for (const serve::RouteKey& route : config.routes) {
+    if (!route_list.empty()) route_list += ",";
+    route_list += serve::route_string(route);
+  }
+  std::printf(
+      "sesr-serve: %s | workers=%d max_batch=%lld delay=%lldus queue=%zu cache=%zu fair=%d\n",
+      route_list.c_str(), config.serve.workers, static_cast<long long>(config.serve.max_batch),
+      static_cast<long long>(config.serve.max_delay_us), config.serve.queue_capacity,
+      config.serve.cache_entries, config.serve.fair_tiles ? 1 : 0);
 
   std::mt19937_64 arrivals(config.seed ^ 0x9E3779B97F4A7C15ULL);
   std::exponential_distribution<double> inter_arrival(config.qps > 0.0 ? config.qps : 1.0);
@@ -77,7 +100,8 @@ int run(const cli::ServeCliConfig& config) {
       next_arrival += std::chrono::duration_cast<std::chrono::steady_clock::duration>(
           std::chrono::duration<double>(inter_arrival(arrivals)));
     }
-    pending.push_back(server.submit(frames[static_cast<std::size_t>(i) % frames.size()]));
+    const Stimulus& s = stimuli[static_cast<std::size_t>(i) % stimuli.size()];
+    pending.push_back(server.submit(s.route, s.frame));
     ++submitted;
   }
   std::int64_t dropped = 0;
@@ -93,7 +117,8 @@ int run(const cli::ServeCliConfig& config) {
   }
   const double wall = std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
   server.shutdown();
-  const serve::ServerStats stats = server.stats();
+  const serve::ShardedStats sharded = server.stats();
+  const serve::ServerStats& stats = sharded.total;
 
   std::printf("submitted %lld  completed %llu  dropped %lld  errors %lld\n",
               static_cast<long long>(submitted),
@@ -106,6 +131,24 @@ int run(const cli::ServeCliConfig& config) {
               static_cast<unsigned long long>(stats.tiles));
   std::printf("latency  p50 %.2f ms  p95 %.2f ms  p99 %.2f ms  max %.2f ms\n", stats.p50_us / 1e3,
               stats.p95_us / 1e3, stats.p99_us / 1e3, stats.max_us / 1e3);
+  for (const serve::RouteStats& route : sharded.per_route) {
+    std::printf("route %-14s submitted %llu  completed %llu  failed %llu  cache hits %llu\n",
+                route.route.c_str(), static_cast<unsigned long long>(route.submitted),
+                static_cast<unsigned long long>(route.completed),
+                static_cast<unsigned long long>(route.failed),
+                static_cast<unsigned long long>(route.cache_hits));
+  }
+  if (config.serve.cache_entries > 0) {
+    const serve::CacheStats& cache = sharded.cache;
+    const std::uint64_t probes = cache.hits + cache.misses;
+    std::printf("cache    hits %llu/%llu (%.1f%%)  entries %zu/%zu  evictions %llu\n",
+                static_cast<unsigned long long>(cache.hits),
+                static_cast<unsigned long long>(probes),
+                probes > 0 ? 100.0 * static_cast<double>(cache.hits) / static_cast<double>(probes)
+                           : 0.0,
+                cache.entries, config.serve.cache_entries,
+                static_cast<unsigned long long>(cache.evictions));
+  }
   return errors == 0 ? 0 : 1;
 }
 
