@@ -11,6 +11,7 @@
 #include <cstdio>
 
 #include "bench_common.hpp"
+#include "core/hybrid_plan.hpp"
 #include "core/quantize.hpp"
 #include "core/sesr_inference.hpp"
 #include "core/tiled_inference.hpp"
@@ -20,6 +21,24 @@
 #include "tensor/tensor_ops.hpp"
 
 using namespace sesr;
+
+namespace {
+
+// Best-of-N wall time per call, in milliseconds.
+template <typename Fn>
+double best_ms(int iters, Fn&& fn) {
+  double best = 1e300;
+  for (int i = 0; i < iters; ++i) {
+    const auto t0 = std::chrono::steady_clock::now();
+    fn();
+    const double ms =
+        std::chrono::duration<double, std::milli>(std::chrono::steady_clock::now() - t0).count();
+    if (ms < best) best = ms;
+  }
+  return best;
+}
+
+}  // namespace
 
 int main() {
   bench::print_header("Deployment — int8 quantization, functional tiling, Winograd",
@@ -67,6 +86,57 @@ int main() {
               metrics::psnr_shaved(float_out, hr_img, 2),
               metrics::psnr_shaved(fp16_out, hr_img, 2), fp16_delta);
   std::printf("fp16-vs-float agreement: %.1f dB\n\n", metrics::psnr(fp16_out, float_out));
+
+  // --- native int8 / hybrid serving path -------------------------------------
+  // The serving-path counterpart of the legacy QuantizedSesr study above:
+  // calibrated per-tensor activation scales, per-channel s8 weights, and the
+  // packed u8 x s8 GEMM behind SesrInference::set_precision. Two bars ride in
+  // the JSON rows:
+  //   int8  — full-frame single-thread SESR-M5 x2 >= 1.8x fp32;
+  //   hybrid — planner-reported Y-PSNR drop <= 0.3 dB at the default budget.
+  bench::BenchJson json("deployment_int8");
+  deployed.calibrate_int8(calib);
+  std::vector<Tensor> plan_lr;
+  std::vector<Tensor> plan_hr;
+  for (std::size_t i = 0; i < std::min<std::size_t>(3, corpus.size()); ++i) {
+    auto [lr, hr] = corpus.image_pair(i);
+    plan_lr.push_back(std::move(lr));
+    plan_hr.push_back(std::move(hr));
+  }
+  const core::HybridPlanReport plan = core::plan_hybrid_precision(deployed, plan_lr, plan_hr);
+  std::printf("hybrid plan: %lld/%zu int8 layers, Y-PSNR drop %.3f dB "
+              "(budget 0.3, %lld plans scored)\n",
+              static_cast<long long>(plan.int8_layers), plan.plan.size(), plan.drop_db,
+              static_cast<long long>(plan.evaluated));
+  json.add("m5_x2/hybrid_psnr_drop_db", plan.drop_db, 0.0, 1);
+
+  const int prec_iters = bench::fast_mode() ? 2 : 5;
+  const Tensor timing_frame = image;  // 96x96 natural, full-frame
+  double fp32_ms = 0.0;
+  double int8_ms = 0.0;
+  std::printf("%-7s %10s %9s %16s\n", "prec", "ms/frame", "vs fp32", "PSNR vs fp32 (dB)");
+  for (const char* prec : {"fp32", "fp16", "int8", "hybrid"}) {
+    const std::string p(prec);
+    deployed.set_precision(p == "fp16"   ? core::InferencePrecision::kFp16
+                           : p == "int8" ? core::InferencePrecision::kInt8
+                           : p == "hybrid" ? core::InferencePrecision::kHybrid
+                                           : core::InferencePrecision::kFp32);
+    const double ms = best_ms(prec_iters, [&] {
+      volatile float v = deployed.upscale(timing_frame).raw()[0];
+      (void)v;
+    });
+    const Tensor out = deployed.upscale(lr_img);
+    if (p == "fp32") fp32_ms = ms;
+    if (p == "int8") int8_ms = ms;
+    std::printf("%-7s %10.2f %8.2fx %16.1f\n", prec, ms, fp32_ms / ms,
+                p == "fp32" ? 99.0 : metrics::psnr(out, float_out));
+    json.add(std::string("m5_x2/") + prec + "/full/t1", ms * 1e6, 0.0, 1);
+  }
+  deployed.set_precision(core::InferencePrecision::kFp32);
+  json.add("m5_x2/int8_speedup_vs_fp32", fp32_ms / int8_ms, 0.0, 1);
+  std::printf("SESR-M5 x2 full-frame single-thread: int8 %.2f ms vs fp32 %.2f ms = %.2fx "
+              "(target >= 1.8x)\n\n",
+              int8_ms, fp32_ms, fp32_ms / int8_ms);
 
   // --- tiling ----------------------------------------------------------------
   const Tensor full = deployed.upscale(image);

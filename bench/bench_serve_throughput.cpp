@@ -57,10 +57,12 @@ struct SweepPoint {
 };
 
 SweepPoint run_point(const core::SesrInference& inference, const Tensor& frame, int workers,
-                     std::int64_t max_batch, std::int64_t frames) {
+                     std::int64_t max_batch, std::int64_t frames,
+                     core::InferencePrecision precision = core::InferencePrecision::kFp32) {
   serve::ServeOptions options;
   options.workers = workers;
   options.max_batch = max_batch;
+  options.precision = precision;
   options.max_delay_us = 500;
   options.queue_capacity = static_cast<std::size_t>(4 * max_batch * workers);
   options.overload = serve::OverloadPolicy::kBlock;  // closed loop: saturation probe
@@ -262,6 +264,51 @@ int main() {
     std::printf("\nmixed-network sharded closed loop (m5:2:fp32 + m3:2:fp16, 2 workers/shard): %.1f fps\n",
                 sharded_fps);
     json.add("sharded/m5_fp32+m3_fp16", 1e9 / sharded_fps, 0.0, 4);
+  }
+
+  // --- precision sweep ---------------------------------------------------
+  // Serve-side counterpart of bench_deployment_int8: the same M5 x2 model
+  // behind EvalServer at each InferencePrecision, once single-worker and once
+  // with the worker count saturating the machine. The saturation row is the
+  // check that the int8 advantage survives contention: worker sessions run
+  // with intra-op threads = 1, so per-worker quantize/pack scratch must not
+  // serialize on shared state — if int8's speedup over fp32 collapses at
+  // saturation, something in the int8 path is fighting the thread pool.
+  {
+    core::SesrInference quant(network);
+    quant.calibrate_int8(pool);
+    std::vector<core::LayerPrecision> plan(quant.convolutions().size(),
+                                           core::LayerPrecision::kFp16);
+    for (std::size_t i = 0; i < plan.size(); i += 2) plan[i] = core::LayerPrecision::kInt8;
+    quant.set_hybrid_plan(plan);
+    const int sat_workers =
+        static_cast<int>(std::max(2U, std::thread::hardware_concurrency()));
+    std::printf("\nprecision sweep (EvalServer, batch 4; saturation = %d workers):\n",
+                sat_workers);
+    std::printf("%8s %12s %12s %14s\n", "prec", "fps w1", "fps sat", "sat vs fp32");
+    double fp32_sat_fps = 0.0;
+    double int8_sat_fps = 0.0;
+    for (const char* prec : {"fp32", "fp16", "int8", "hybrid"}) {
+      const std::string p(prec);
+      const core::InferencePrecision precision =
+          p == "fp16"     ? core::InferencePrecision::kFp16
+          : p == "int8"   ? core::InferencePrecision::kInt8
+          : p == "hybrid" ? core::InferencePrecision::kHybrid
+                          : core::InferencePrecision::kFp32;
+      const SweepPoint one = run_point(quant, frame, 1, 4, frames, precision);
+      const SweepPoint sat = run_point(quant, frame, sat_workers, 4, frames, precision);
+      if (p == "fp32") fp32_sat_fps = sat.fps;
+      if (p == "int8") int8_sat_fps = sat.fps;
+      std::printf("%8s %12.1f %12.1f %13.2fx\n", prec, one.fps, sat.fps,
+                  fp32_sat_fps > 0.0 ? sat.fps / fp32_sat_fps : 1.0);
+      json.add("precision/" + p + "/w1", 1e9 / one.fps, 0.0, 1);
+      json.add("precision/" + p + "/saturated", 1e9 / sat.fps, 0.0, sat_workers);
+    }
+    json.add("precision/int8_saturated_speedup_vs_fp32", int8_sat_fps / fp32_sat_fps, 0.0,
+             sat_workers);
+    std::printf("int8 speedup vs fp32 at saturation: %.2fx (single-worker advantage should "
+                "persist; a collapse here means the int8 path serializes on shared state)\n",
+                int8_sat_fps / fp32_sat_fps);
   }
   return 0;
 }

@@ -29,13 +29,16 @@
 #include <limits>
 
 #include "nn/conv2d.hpp"
+#include "nn/conv2d_s8.hpp"
 #include "nn/depth_to_space.hpp"
 #include "nn/gemm.hpp"
+#include "nn/gemm_s8.hpp"
 #include "nn/winograd.hpp"
 #include "serve/server.hpp"
 #include "tensor/fp16.hpp"
 #include "tensor/rng.hpp"
 #include "tensor/tensor.hpp"
+#include "tensor/tensor_ops.hpp"
 
 namespace sesr::check {
 
@@ -63,6 +66,19 @@ class GemmIsaGuard {
   bool ok() const { return ok_; }
   GemmIsaGuard(const GemmIsaGuard&) = delete;
   GemmIsaGuard& operator=(const GemmIsaGuard&) = delete;
+
+ private:
+  bool ok_ = false;
+};
+
+// Same restore-on-exit pattern for the packed int8 GEMM dispatch.
+class S8IsaGuard {
+ public:
+  explicit S8IsaGuard(nn::GemmS8Isa isa) { ok_ = nn::set_gemm_s8_isa(isa); }
+  ~S8IsaGuard() { nn::set_gemm_s8_isa(nn::GemmS8Isa::kAuto); }
+  bool ok() const { return ok_; }
+  S8IsaGuard(const S8IsaGuard&) = delete;
+  S8IsaGuard& operator=(const S8IsaGuard&) = delete;
 
  private:
   bool ok_ = false;
@@ -128,6 +144,43 @@ TrialResult gemm_zero_skip_trial(std::uint64_t seed) {
   r.output_hash = hash_bits(c);
   std::ostringstream os;
   os << "m=" << m << " k=" << k << " n=" << n << " sparse";
+  r.detail = os.str();
+  return r;
+}
+
+// Packed u8 x s8 GEMM (raw compensated int32 accumulators, no epilogue) vs
+// the exact int64 reference. Zero tolerance: the integer core must be exact
+// whenever the true dot fits int32, which [-127, 127] operands at these k
+// always do. Shapes deliberately straddle the 6x8 tile and 4-wide k-group
+// boundaries (remainders, k-tails, single rows/cols).
+TrialResult gemm_s8_trial_with_isa(std::uint64_t seed, nn::GemmS8Isa isa) {
+  TrialResult r;
+  S8IsaGuard guard(isa);
+  if (!guard.ok()) {
+    r.skipped = true;
+    return r;
+  }
+  Rng rng(seed);
+  const std::int64_t m = rng.uniform_int(1, 40);
+  const std::int64_t k = rng.uniform_int(1, 160);
+  const std::int64_t n = rng.uniform_int(1, 40);
+  std::vector<std::uint8_t> a(static_cast<std::size_t>(m * k));
+  std::vector<std::int8_t> b(static_cast<std::size_t>(k * n));
+  // Offset-binary activations in [1, 255] (zero point 128), full-range weights.
+  for (std::uint8_t& v : a) {
+    v = static_cast<std::uint8_t>(rng.uniform_int(-127, 127) + 128);
+  }
+  for (std::int8_t& v : b) v = static_cast<std::int8_t>(rng.uniform_int(-127, 127));
+  const std::vector<std::int32_t> colsum = nn::s8_column_sums(b, k, n);
+  std::vector<std::int32_t> got(static_cast<std::size_t>(m * n));
+  nn::gemm_s8_i32(a, b, colsum, got, m, k, n);
+  const std::vector<std::int32_t> want = ref_gemm_s8_i32(a, b, m, k, n);
+  std::vector<double> gd(got.begin(), got.end());
+  std::vector<double> wd(want.begin(), want.end());
+  r.stats = compare_f64(gd, wd);
+  r.output_hash = hash_bits_f64(gd);
+  std::ostringstream os;
+  os << "m=" << m << " k=" << k << " n=" << n;
   r.detail = os.str();
   return r;
 }
@@ -633,6 +686,87 @@ TrialResult collapsed_fp16_trial(std::uint64_t seed) {
   return r;
 }
 
+// Serving-path int8 conv (packed u8 x s8 GEMM, implicit im2col, fused
+// dequant/bias/activation store) vs the int64-accumulated reference applying
+// the identical epilogue expressions. Zero tolerance: any difference means
+// the quantized conv drifted from the int8 reference semantics.
+TrialResult conv2d_s8_vs_ref_trial(std::uint64_t seed) {
+  TrialResult r;
+  Rng rng(seed);
+  const std::int64_t kk = rng.bernoulli(0.3) ? 1 : 2 * rng.uniform_int(1, 2) + 1;  // 1, 3, 5
+  const std::int64_t h = rng.uniform_int(4, 24);
+  const std::int64_t w = rng.uniform_int(4, 24);
+  const std::int64_t in_c = rng.uniform_int(1, 8);
+  const std::int64_t out_c = rng.uniform_int(1, 8);
+  const Tensor input = random_tensor(rng, rng.uniform_int(1, 2), h, w, in_c);
+  Tensor wt = random_tensor(rng, kk, kk, in_c, out_c);
+  if (rng.bernoulli(0.1)) {
+    // Degenerate channel: all-zero kernel exercises the scale floor.
+    for (std::int64_t i = 0; i < wt.numel(); i += out_c) wt.raw()[i] = 0.0F;
+  }
+  const nn::S8ConvWeights qw = nn::quantize_conv_weights(wt);
+  const float act_scale = max_abs(input) > 0.0F ? max_abs(input) / 127.0F
+                                                : nn::kDegenerateQuantScale;
+  std::optional<Tensor> bias;
+  if (rng.bernoulli(0.5)) bias = random_tensor(rng, 1, 1, 1, out_c);
+  nn::Epilogue epi;
+  Tensor alpha;
+  const std::int64_t act = rng.uniform_int(0, 2);
+  if (act == 1) {
+    epi.act = nn::Epilogue::Act::kRelu;
+  } else if (act == 2) {
+    alpha = random_tensor(rng, 1, 1, 1, out_c, 0.01F, 0.5F);
+    epi.act = nn::Epilogue::Act::kPRelu;
+    epi.prelu_alpha = alpha.raw();
+  }
+  const Tensor got =
+      nn::conv2d_s8(input, act_scale, qw, bias ? &*bias : nullptr, epi, nn::Padding::kSame);
+  const Tensor want = ref_conv2d_s8(input, act_scale, qw, bias ? &*bias : nullptr, epi);
+  r.stats = compare_f32(got.data(), to_dtensor(want).data);
+  r.output_hash = hash_bits(got.data());
+  std::ostringstream os;
+  os << "in=" << shape_str(input.shape()) << " k=" << kk << " act=" << act
+     << (bias ? " bias" : "");
+  r.detail = os.str();
+  return r;
+}
+
+// End-to-end collapsed network in pure int8 vs the fp32 upscale, gated on
+// PSNR rather than elementwise error: quantization error is large per element
+// but must stay small in aggregate. A trial whose int8-vs-fp32 PSNR falls
+// under the floor inflates max_abs past the (loose) elementwise tolerance so
+// the sweep fails with the PSNR in its detail string.
+TrialResult collapsed_int8_trial(std::uint64_t seed) {
+  constexpr double kPsnrFloorDb = 35.0;
+  TrialResult r;
+  Rng rng(seed);
+  const core::SesrConfig config = small_config(rng);
+  Rng init = rng.fork();
+  const core::SesrNetwork network(config, init);
+  core::SesrInference inference(network);
+  std::vector<Tensor> calibration;
+  const std::int64_t n_cal = rng.uniform_int(1, 2);
+  for (std::int64_t i = 0; i < n_cal; ++i) {
+    calibration.push_back(random_tensor(rng, 1, 12, 12, 1, 0.0F, 1.0F));
+  }
+  const std::int64_t h = rng.uniform_int(8, 24);
+  const std::int64_t w = rng.uniform_int(8, 24);
+  const Tensor input = random_tensor(rng, 1, h, w, 1, 0.0F, 1.0F);
+  const Tensor want = inference.upscale(input);
+  inference.calibrate_int8(calibration);
+  inference.set_precision(core::InferencePrecision::kInt8);
+  const Tensor got = inference.upscale(input);
+  r.stats = compare_f32(got.data(), to_dtensor(want).data);
+  const double psnr = ref_psnr(got, want);
+  if (psnr < kPsnrFloorDb) r.stats.max_abs = std::numeric_limits<double>::infinity();
+  r.output_hash = hash_bits(got.data());
+  std::ostringstream os;
+  os << "in=" << shape_str(input.shape()) << " " << config.describe() << " cal=" << n_cal
+     << " psnr=" << psnr;
+  r.detail = os.str();
+  return r;
+}
+
 // -------------------------------------------------------- data/metric pairs
 
 TrialResult depth_to_space_trial(std::uint64_t seed) {
@@ -763,6 +897,28 @@ std::vector<AuditPair> make_builtin_pairs() {
   pairs.push_back({"quantized_sesr",
                    "full quantized pipeline vs bit-accurate int64-accumulated replay", 0.0, 0.0,
                    quantized_sesr_trial});
+  pairs.push_back({"gemm_s8_generic",
+                   "packed u8 x s8 GEMM, scalar micro-kernel, vs exact int64 reference", 0.0, 0.0,
+                   [](std::uint64_t s) {
+                     return gemm_s8_trial_with_isa(s, nn::GemmS8Isa::kGeneric);
+                   }});
+  pairs.push_back({"gemm_s8_avx2",
+                   "packed u8 x s8 GEMM, AVX2 madd_epi16 micro-kernel, vs exact int64 reference",
+                   0.0, 0.0, [](std::uint64_t s) {
+                     return gemm_s8_trial_with_isa(s, nn::GemmS8Isa::kAvx2);
+                   }});
+  pairs.push_back({"gemm_s8_vnni",
+                   "packed u8 x s8 GEMM, AVX-VNNI dpbusd micro-kernel, vs exact int64 reference",
+                   0.0, 0.0, [](std::uint64_t s) {
+                     return gemm_s8_trial_with_isa(s, nn::GemmS8Isa::kVnni);
+                   }});
+  pairs.push_back({"conv2d_int8_vs_ref",
+                   "serving-path int8 conv (fused dequant/bias/act) vs int64 reference with "
+                   "identical epilogue (must be bit-exact)",
+                   0.0, 0.0, conv2d_s8_vs_ref_trial});
+  pairs.push_back({"collapsed_int8_vs_fp32",
+                   "collapsed network pure-int8 upscale vs fp32 upscale, PSNR-gated (>= 35 dB)",
+                   1.0, 0.0, collapsed_int8_trial});
   pairs.push_back({"tiled_inference", "exact-halo tiled upscale vs full-frame upscale", 1e-5, 0.0,
                    tiled_trial});
   pairs.push_back({"streaming_inference", "line-buffer streaming upscale vs full-frame upscale",

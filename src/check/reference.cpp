@@ -438,4 +438,80 @@ Tensor ref_quantized_upscale(const core::QuantizedSesr& q, const Tensor& input) 
   return y;
 }
 
+std::vector<std::int32_t> ref_gemm_s8_i32(std::span<const std::uint8_t> a,
+                                          std::span<const std::int8_t> b, std::int64_t m,
+                                          std::int64_t k, std::int64_t n) {
+  std::vector<std::int32_t> c(static_cast<std::size_t>(m * n));
+  for (std::int64_t i = 0; i < m; ++i) {
+    for (std::int64_t j = 0; j < n; ++j) {
+      std::int64_t acc = 0;
+      for (std::int64_t p = 0; p < k; ++p) {
+        acc += (static_cast<std::int64_t>(a[static_cast<std::size_t>(i * k + p)]) - 128) *
+               static_cast<std::int64_t>(b[static_cast<std::size_t>(p * n + j)]);
+      }
+      if (acc > std::numeric_limits<std::int32_t>::max() ||
+          acc < std::numeric_limits<std::int32_t>::min()) {
+        throw std::overflow_error("ref_gemm_s8_i32: accumulator exceeds int32 range");
+      }
+      c[static_cast<std::size_t>(i * n + j)] = static_cast<std::int32_t>(acc);
+    }
+  }
+  return c;
+}
+
+Tensor ref_conv2d_s8(const Tensor& input, float act_scale, const nn::S8ConvWeights& weight,
+                     const Tensor* bias, const nn::Epilogue& epilogue) {
+  const Shape& is = input.shape();
+  const Shape& ws = weight.shape;
+  if (is.c() != ws.dim(2)) throw std::invalid_argument("ref_conv2d_s8: channel mismatch");
+  const nn::ConvGeometry g = nn::same_geometry(is.h(), is.w(), is.c(), ws.dim(0), ws.dim(1));
+  const std::int64_t out_c = ws.dim(3);
+  // Quantize the activations exactly as the serving path's A-pack does.
+  const float inv = 1.0F / act_scale;
+  std::vector<std::int8_t> q(static_cast<std::size_t>(input.numel()));
+  for (std::int64_t i = 0; i < input.numel(); ++i) {
+    q[static_cast<std::size_t>(i)] = nn::quantize_value(input.raw()[i], inv);
+  }
+  Tensor out(is.n(), g.out_h, g.out_w, out_c);
+  for (std::int64_t n = 0; n < is.n(); ++n) {
+    for (std::int64_t oy = 0; oy < g.out_h; ++oy) {
+      for (std::int64_t ox = 0; ox < g.out_w; ++ox) {
+        for (std::int64_t oc = 0; oc < out_c; ++oc) {
+          std::int64_t acc = 0;
+          for (std::int64_t ky = 0; ky < g.kh; ++ky) {
+            const std::int64_t iy = oy - g.pad_top + ky;
+            if (iy < 0 || iy >= is.h()) continue;
+            for (std::int64_t kx = 0; kx < g.kw; ++kx) {
+              const std::int64_t ix = ox - g.pad_left + kx;
+              if (ix < 0 || ix >= is.w()) continue;
+              for (std::int64_t ic = 0; ic < is.c(); ++ic) {
+                const std::int64_t xv = q[static_cast<std::size_t>(is.offset(n, iy, ix, ic))];
+                const std::int64_t wv =
+                    weight.values[static_cast<std::size_t>(ws.offset(ky, kx, ic, oc))];
+                acc += xv * wv;
+              }
+            }
+          }
+          if (acc > std::numeric_limits<std::int32_t>::max() ||
+              acc < std::numeric_limits<std::int32_t>::min()) {
+            throw std::overflow_error("ref_conv2d_s8: accumulator exceeds int32 range");
+          }
+          // The exact fused-store expressions: one single-rounded dequant
+          // product per channel, fmaf into the bias, epilogue on f.
+          const float dq = act_scale * weight.scale[static_cast<std::size_t>(oc)];
+          float f = std::fmaf(static_cast<float>(static_cast<std::int32_t>(acc)), dq,
+                              bias != nullptr ? bias->raw()[oc] : 0.0F);
+          if (epilogue.act == nn::Epilogue::Act::kRelu) {
+            f = f > 0.0F ? f : 0.0F;
+          } else if (epilogue.act == nn::Epilogue::Act::kPRelu) {
+            f = f > 0.0F ? f : epilogue.prelu_alpha[oc] * f;
+          }
+          out(n, oy, ox, oc) = f;
+        }
+      }
+    }
+  }
+  return out;
+}
+
 }  // namespace sesr::check

@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "core/quantize.hpp"
+#include "nn/conv2d_s8.hpp"
 #include "nn/im2col.hpp"
 #include "tensor/shape.hpp"
 #include "tensor/tensor.hpp"
@@ -78,5 +79,23 @@ DTensor ref_conv2d_int8(const core::QuantizedTensor& input, const core::Quantize
 // int64 with an int32-range check. Expected to match the optimized pipeline
 // bit for bit — any difference means the fast path's integer core is wrong.
 Tensor ref_quantized_upscale(const core::QuantizedSesr& q, const Tensor& input);
+
+// u8 (offset-binary, zero point 128) x s8 GEMM reference: exact int64
+// accumulation of (a - 128) * b, row-major. Throws std::overflow_error when
+// any accumulator leaves int32 range — the width the packed gemm_s8 kernels
+// report — so the audit distinguishes kernel bugs from too-narrow shapes.
+std::vector<std::int32_t> ref_gemm_s8_i32(std::span<const std::uint8_t> a,
+                                          std::span<const std::int8_t> b, std::int64_t m,
+                                          std::int64_t k, std::int64_t n);
+
+// Serving-path int8 conv reference (SAME, stride 1): quantizes `input` with
+// nn::quantize_value at the fixed activation scale, accumulates s8 x s8 in
+// int64 (int32-range checked), then applies the dequant -> bias -> activation
+// epilogue with the exact expressions the fused GEMM store uses (per-channel
+// single-rounded dequant product, fmaf, f > 0 ? f : alpha * f). Expected to
+// match nn::conv2d_s8 bit for bit — this pair pins the serving path to the
+// int64 reference at the int32-accumulator level.
+Tensor ref_conv2d_s8(const Tensor& input, float act_scale, const nn::S8ConvWeights& weight,
+                     const Tensor* bias, const nn::Epilogue& epilogue);
 
 }  // namespace sesr::check

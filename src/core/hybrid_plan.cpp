@@ -1,0 +1,127 @@
+#include "core/hybrid_plan.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+#include <stdexcept>
+#include <utility>
+
+namespace sesr::core {
+
+namespace {
+
+// Plain full-image Y-PSNR against peak 1.0, double-accumulated. The planner
+// only ever compares its own scores against its own fp32 baseline, so it uses
+// this self-contained definition instead of pulling the metrics library (and
+// its data dependency) into core.
+double psnr_db(const Tensor& got, const Tensor& want) {
+  if (got.numel() != want.numel()) {
+    throw std::invalid_argument("plan_hybrid_precision: LR/HR pair shape mismatch");
+  }
+  double se = 0.0;
+  for (std::int64_t i = 0; i < got.numel(); ++i) {
+    const double d = static_cast<double>(got.raw()[i]) - static_cast<double>(want.raw()[i]);
+    se += d * d;
+  }
+  const double mse = se / static_cast<double>(got.numel());
+  if (mse <= 0.0) return 199.0;  // identical images; finite so means stay finite
+  return 10.0 * std::log10(1.0 / mse);
+}
+
+}  // namespace
+
+HybridPlanReport plan_hybrid_precision(SesrInference& network, const std::vector<Tensor>& lr,
+                                       const std::vector<Tensor>& hr, double budget_db) {
+  if (lr.empty() || lr.size() != hr.size()) {
+    throw std::invalid_argument("plan_hybrid_precision: need matching LR/HR calibration pairs");
+  }
+  if (!network.int8_calibrated()) {
+    throw std::logic_error("plan_hybrid_precision: calibrate_int8() must run first");
+  }
+  const std::size_t n_layers = network.convolutions().size();
+  const InferencePrecision saved_precision = network.precision();
+
+  HybridPlanReport report;
+  const auto mean_psnr = [&]() {
+    double sum = 0.0;
+    for (std::size_t i = 0; i < lr.size(); ++i) sum += psnr_db(network.upscale(lr[i]), hr[i]);
+    return sum / static_cast<double>(lr.size());
+  };
+  network.set_precision(InferencePrecision::kFp32);
+  report.fp32_psnr = mean_psnr();
+
+  const auto score = [&](const std::vector<LayerPrecision>& plan) {
+    network.set_hybrid_plan(plan);
+    network.set_precision(InferencePrecision::kHybrid);
+    ++report.evaluated;
+    return mean_psnr();
+  };
+  const auto int8_count = [](const std::vector<LayerPrecision>& plan) {
+    return static_cast<std::int64_t>(
+        std::count(plan.begin(), plan.end(), LayerPrecision::kInt8));
+  };
+
+  // Best feasible plan (max int8 layers, PSNR tie-break) plus the best plan
+  // overall as the fallback if nothing fits the budget.
+  std::vector<LayerPrecision> best_plan;
+  double best_psnr = 0.0;
+  bool best_feasible = false;
+  const auto consider = [&](const std::vector<LayerPrecision>& plan, double plan_psnr) {
+    const bool feasible = report.fp32_psnr - plan_psnr <= budget_db;
+    bool better = false;
+    if (best_plan.empty()) {
+      better = true;
+    } else if (feasible != best_feasible) {
+      better = feasible;
+    } else if (feasible) {
+      const std::int64_t c = int8_count(plan);
+      const std::int64_t bc = int8_count(best_plan);
+      better = c > bc || (c == bc && plan_psnr > best_psnr);
+    } else {
+      better = plan_psnr > best_psnr;
+    }
+    if (better) {
+      best_plan = plan;
+      best_psnr = plan_psnr;
+      best_feasible = feasible;
+    }
+  };
+
+  if (n_layers <= static_cast<std::size_t>(kExhaustiveLayers)) {
+    for (std::uint32_t mask = 0; mask < (1U << n_layers); ++mask) {
+      std::vector<LayerPrecision> plan(n_layers, LayerPrecision::kFp16);
+      for (std::size_t i = 0; i < n_layers; ++i) {
+        if ((mask >> i) & 1U) plan[i] = LayerPrecision::kInt8;
+      }
+      consider(plan, score(plan));
+    }
+  } else {
+    // Sensitivity-ordered greedy: measure each layer's solo int8 PSNR drop,
+    // then try quantizing the k most tolerant layers for k = L..0 and keep
+    // the largest feasible k. O(2L) scores instead of 2^L.
+    std::vector<std::pair<double, std::size_t>> order;
+    for (std::size_t i = 0; i < n_layers; ++i) {
+      std::vector<LayerPrecision> plan(n_layers, LayerPrecision::kFp16);
+      plan[i] = LayerPrecision::kInt8;
+      order.emplace_back(report.fp32_psnr - score(plan), i);
+    }
+    std::sort(order.begin(), order.end());
+    for (std::size_t k = n_layers + 1; k-- > 0;) {
+      std::vector<LayerPrecision> plan(n_layers, LayerPrecision::kFp16);
+      for (std::size_t j = 0; j < k; ++j) plan[order[j].second] = LayerPrecision::kInt8;
+      const double s = score(plan);
+      consider(plan, s);
+      if (report.fp32_psnr - s <= budget_db) break;  // largest feasible k found
+    }
+  }
+
+  network.set_hybrid_plan(best_plan);
+  network.set_precision(saved_precision);
+  report.plan = std::move(best_plan);
+  report.plan_psnr = best_psnr;
+  report.drop_db = report.fp32_psnr - report.plan_psnr;
+  report.int8_layers = int8_count(report.plan);
+  return report;
+}
+
+}  // namespace sesr::core

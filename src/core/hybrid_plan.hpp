@@ -1,0 +1,43 @@
+// Per-layer fp16/int8 precision planning for the collapsed network.
+//
+// NAWQ-SR's observation (PAPERS.md) is that uniform int8 needlessly costs
+// quality on SR nets while most layers tolerate it — so pick the precision
+// per layer against an explicit quality budget. A collapsed SESR net has only
+// m+2 convs, few enough to score every 2^(m+2) assignment exhaustively on the
+// calibration set (m5: 128 plans); beyond kExhaustiveLayers the planner falls
+// back to a sensitivity-ordered greedy sweep (quantize the most tolerant
+// layers first, largest int8 count that still fits the budget).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/sesr_inference.hpp"
+#include "tensor/tensor.hpp"
+
+namespace sesr::core {
+
+struct HybridPlanReport {
+  std::vector<LayerPrecision> plan;  // chosen assignment, one entry per conv
+  double fp32_psnr = 0.0;            // mean Y-PSNR of fp32 output vs HR
+  double plan_psnr = 0.0;            // same for the chosen plan
+  double drop_db = 0.0;              // fp32_psnr - plan_psnr
+  std::int64_t int8_layers = 0;      // quantized layers in the chosen plan
+  std::int64_t evaluated = 0;        // candidate plans scored
+};
+
+// Largest layer count swept exhaustively (2^12 = 4096 forwards on the tiny
+// calibration frames); larger nets use the greedy order.
+inline constexpr std::int64_t kExhaustiveLayers = 12;
+
+// Scores per-layer fp16/int8 assignments of `network` on (lr, hr) calibration
+// pairs and installs the winner via set_hybrid_plan: the plan with the most
+// int8 layers whose mean Y-PSNR sits within `budget_db` of fp32 (ties broken
+// by higher PSNR). The all-fp16 plan is always feasible in practice (fp16
+// tracks fp32 to ~1e-3 dB); if even it misses the budget, the best-PSNR plan
+// is installed and the report's drop_db exposes the miss. The network must be
+// calibrated (calibrate_int8) first; its precision setting is left unchanged.
+HybridPlanReport plan_hybrid_precision(SesrInference& network, const std::vector<Tensor>& lr,
+                                       const std::vector<Tensor>& hr, double budget_db = 0.3);
+
+}  // namespace sesr::core

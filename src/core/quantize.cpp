@@ -19,9 +19,7 @@ QuantizedTensor quantize_symmetric(const Tensor& t) {
   q.scale = max_abs_val > 0.0F ? max_abs_val / 127.0F : kDegenerateQuantScale;
   const float inv = 1.0F / q.scale;
   for (std::int64_t i = 0; i < t.numel(); ++i) {
-    const float v = std::round(t.raw()[i] * inv);
-    q.values[static_cast<std::size_t>(i)] =
-        static_cast<std::int8_t>(std::clamp(v, -127.0F, 127.0F));
+    q.values[static_cast<std::size_t>(i)] = nn::quantize_value(t.raw()[i], inv);
   }
   return q;
 }
@@ -108,9 +106,7 @@ QuantizedTensor quantize_with_scale(const Tensor& t, float scale) {
   q.values.resize(static_cast<std::size_t>(t.numel()));
   const float inv = 1.0F / scale;
   for (std::int64_t i = 0; i < t.numel(); ++i) {
-    const float v = std::round(t.raw()[i] * inv);
-    q.values[static_cast<std::size_t>(i)] =
-        static_cast<std::int8_t>(std::clamp(v, -127.0F, 127.0F));
+    q.values[static_cast<std::size_t>(i)] = nn::quantize_value(t.raw()[i], inv);
   }
   return q;
 }

@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "core/sesr_inference.hpp"
+#include "nn/gemm_s8.hpp"
 #include "tensor/tensor.hpp"
 
 namespace sesr::core {
@@ -22,13 +23,14 @@ struct QuantizedTensor {
   float scale = 1.0F;  // real = scale * q
 };
 
-// Degenerate-range convention shared by every quantizer in this module: a
+// Degenerate-range convention shared by every quantizer in the repo: a
 // tensor (or calibration set) with no signal maps to scale 1/127, so the int8
-// grid spans [-1, 1] and dequantization of the all-zero code is exact. Both
-// quantize_symmetric and the QuantizedSesr activation-scale floor use this
-// single constant; the audit's int8 sweep covers zero/near-zero inputs so the
-// two can never drift apart again.
-inline constexpr float kDegenerateQuantScale = 1.0F / 127.0F;
+// grid spans [-1, 1] and dequantization of the all-zero code is exact. The
+// constant (and the rounding expression every quantizer funnels through,
+// nn::quantize_value) lives next to the int8 GEMM so the serving path, this
+// module, and the src/check references can never drift apart again; the
+// audit's int8 sweeps cover zero/near-zero inputs to enforce that.
+inline constexpr float kDegenerateQuantScale = nn::kDegenerateQuantScale;
 
 // Symmetric per-tensor quantization: scale = max|x| / 127.
 QuantizedTensor quantize_symmetric(const Tensor& t);

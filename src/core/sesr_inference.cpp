@@ -1,5 +1,6 @@
 #include "core/sesr_inference.hpp"
 
+#include <algorithm>
 #include <stdexcept>
 
 #include "nn/conv2d.hpp"
@@ -10,6 +11,13 @@ namespace sesr::core {
 
 namespace {
 constexpr const char* kConfigKey = "__config";
+// Calibration state rides the checkpoint as extra tensors (ignored by older
+// readers): activation scales as-is, the hybrid plan as 0/1 floats. The s8
+// weights themselves are NOT stored — quantize_conv_weights is deterministic,
+// so restoring replays it on the fp32 kernels and every replica of a
+// checkpoint holds bit-identical quantized state.
+constexpr const char* kActScaleKey = "__int8.act_scale";
+constexpr const char* kPlanKey = "__int8.plan";
 
 Tensor encode_config(const SesrConfig& c) {
   Tensor t(1, 1, 1, 8);
@@ -101,6 +109,26 @@ SesrInference::SesrInference(const TensorMap& map) {
       prelu_alpha_.emplace_back();
     }
   }
+  const auto scale_it = map.find(kActScaleKey);
+  if (scale_it != map.end()) {
+    if (scale_it->second.numel() != n_convs) {
+      throw std::runtime_error("SesrInference: malformed int8 activation scales");
+    }
+    act_scales_.assign(scale_it->second.raw(), scale_it->second.raw() + n_convs);
+    s8_weights_.reserve(convs_.size());
+    for (const CollapsedConv& c : convs_) s8_weights_.push_back(nn::quantize_conv_weights(c.weight));
+  }
+  const auto plan_it = map.find(kPlanKey);
+  if (plan_it != map.end()) {
+    if (plan_it->second.numel() != n_convs) {
+      throw std::runtime_error("SesrInference: malformed hybrid plan");
+    }
+    plan_.reserve(static_cast<std::size_t>(n_convs));
+    for (std::int64_t i = 0; i < n_convs; ++i) {
+      plan_.push_back(plan_it->second.raw()[i] != 0.0F ? LayerPrecision::kInt8
+                                                       : LayerPrecision::kFp16);
+    }
+  }
 }
 
 Tensor SesrInference::activate(std::size_t index, const Tensor& x) const {
@@ -131,6 +159,9 @@ Tensor SesrInference::upscale(const Tensor& input) const {
     throw std::invalid_argument("SesrInference::upscale expects a single (Y) channel");
   }
   if (precision_ == InferencePrecision::kFp16) return upscale_fp16(input);
+  if (precision_ == InferencePrecision::kInt8 || precision_ == InferencePrecision::kHybrid) {
+    return upscale_mixed(input);
+  }
   // Every conv except the last fuses its activation into the GEMM store
   // (bit-identical to conv + a separate activate() pass, one less full
   // sweep over the feature maps).
@@ -200,14 +231,142 @@ Tensor SesrInference::upscale_fp16(const Tensor& input) const {
   return y;
 }
 
+void SesrInference::ensure_fp16_weights() {
+  if (!fp16_weights_.empty()) return;
+  fp16_weights_.reserve(convs_.size());
+  for (const CollapsedConv& c : convs_) {
+    fp16_weights_.push_back(fp16::HalfTensor::from_float(c.weight));
+  }
+}
+
 void SesrInference::set_precision(InferencePrecision precision) {
-  if (precision == InferencePrecision::kFp16 && fp16_weights_.empty()) {
-    fp16_weights_.reserve(convs_.size());
-    for (const CollapsedConv& c : convs_) {
-      fp16_weights_.push_back(fp16::HalfTensor::from_float(c.weight));
+  if (precision == InferencePrecision::kFp16) ensure_fp16_weights();
+  if (precision == InferencePrecision::kInt8 || precision == InferencePrecision::kHybrid) {
+    if (!int8_calibrated()) {
+      throw std::logic_error("SesrInference: int8/hybrid precision requires calibrate_int8()");
     }
   }
+  if (precision == InferencePrecision::kHybrid) {
+    if (plan_.size() != convs_.size()) {
+      throw std::logic_error("SesrInference: hybrid precision requires set_hybrid_plan()");
+    }
+    ensure_fp16_weights();  // the plan's fp16 layers
+  }
   precision_ = precision;
+}
+
+void SesrInference::set_hybrid_plan(std::vector<LayerPrecision> plan) {
+  if (plan.size() != convs_.size()) {
+    throw std::invalid_argument("SesrInference: hybrid plan must hold one entry per conv");
+  }
+  plan_ = std::move(plan);
+}
+
+Tensor SesrInference::replay_fp32(
+    const Tensor& input, const std::function<void(std::size_t, const Tensor&)>& observe) const {
+  // Mirrors upscale()'s fp32 dataflow (bias included) with an observer hook
+  // before each conv; calibration sees exactly what the quantized layers will
+  // consume at serve time, up to quantization error itself.
+  auto run_act_conv = [this](std::size_t i, const Tensor& x) {
+    const CollapsedConv& c = convs_[i];
+    return nn::conv2d_fused(x, c.weight, bias_ptr(c),
+                            act_epilogue(prelu_alpha_[i], c.weight.shape().dim(3)),
+                            nn::Padding::kSame);
+  };
+  observe(0, input);
+  Tensor feat = run_act_conv(0, input);
+  Tensor skip = feat;
+  for (std::size_t i = 1; i + 1 < convs_.size(); ++i) {
+    observe(i, feat);
+    feat = run_act_conv(i, feat);
+  }
+  add_inplace(feat, skip);
+  observe(convs_.size() - 1, feat);
+  const CollapsedConv& last = convs_.back();
+  Tensor out = last.bias ? nn::conv2d_bias(feat, last.weight, *last.bias, nn::Padding::kSame)
+                         : nn::conv2d(feat, last.weight, nn::Padding::kSame);
+  if (config_.input_residual) {
+    const std::int64_t oc = config_.output_channels();
+    float* po = out.raw();
+    const float* pi = input.raw();
+    const std::int64_t pixels = out.numel() / oc;
+    for (std::int64_t p = 0; p < pixels; ++p) {
+      for (std::int64_t c = 0; c < oc; ++c) po[p * oc + c] += pi[p];
+    }
+  }
+  Tensor y = nn::depth_to_space(out, 2);
+  if (config_.scale == 4) y = nn::depth_to_space(y, 2);
+  return y;
+}
+
+void SesrInference::calibrate_int8(const std::vector<Tensor>& frames) {
+  if (frames.empty()) {
+    throw std::invalid_argument("SesrInference::calibrate_int8: no calibration frames");
+  }
+  s8_weights_.clear();
+  s8_weights_.reserve(convs_.size());
+  for (const CollapsedConv& c : convs_) s8_weights_.push_back(nn::quantize_conv_weights(c.weight));
+  std::vector<float> scales(convs_.size(), 0.0F);
+  for (const Tensor& frame : frames) {
+    if (frame.shape().c() != 1) {
+      throw std::invalid_argument(
+          "SesrInference::calibrate_int8: calibration frames must be Y-channel");
+    }
+    replay_fp32(frame, [&](std::size_t layer, const Tensor& x) {
+      scales[layer] = std::max(scales[layer], max_abs(x) / 127.0F);
+    });
+  }
+  for (float& s : scales) {
+    if (s <= 0.0F) s = nn::kDegenerateQuantScale;
+  }
+  act_scales_ = std::move(scales);
+}
+
+Tensor SesrInference::upscale_mixed(const Tensor& input) const {
+  // fp32 carrier between layers: int8 layers quantize their input inside the
+  // GEMM's A-pack with the calibrated fixed scale; fp16 layers round the
+  // carrier through binary16 on the way in and round their stored output once
+  // (so an fp16 layer behaves exactly like one layer of the pure-fp16 path).
+  // The residual adds and the tail stay fp32. With a fixed per-layer scale
+  // every elementwise step commutes with cropping, so tiled and streaming
+  // execution reproduce this path bit-exactly.
+  const std::size_t n_convs = convs_.size();
+  auto layer_is_int8 = [&](std::size_t i) {
+    return precision_ == InferencePrecision::kInt8 || plan_[i] == LayerPrecision::kInt8;
+  };
+  auto run_conv = [&](std::size_t i, const Tensor& x, bool with_act) {
+    const CollapsedConv& c = convs_[i];
+    const nn::Epilogue epi =
+        with_act ? act_epilogue(prelu_alpha_[i], c.weight.shape().dim(3)) : nn::Epilogue{};
+    if (layer_is_int8(i)) {
+      return nn::conv2d_s8(x, act_scales_[i], s8_weights_[i], bias_ptr(c), epi,
+                           nn::Padding::kSame);
+    }
+    const fp16::HalfTensor h = fp16::HalfTensor::from_float(x);
+    Tensor out = nn::conv2d_fp16_to_float(h, fp16_weights_[i], bias_ptr(c), epi,
+                                          nn::Padding::kSame);
+    if (i + 1 < n_convs) fp16::round_through_half(out.raw(), out.numel());
+    return out;
+  };
+  Tensor feat = run_conv(0, input, /*with_act=*/true);
+  Tensor skip = feat;
+  for (std::size_t i = 1; i + 1 < n_convs; ++i) {
+    feat = run_conv(i, feat, /*with_act=*/true);
+  }
+  add_inplace(feat, skip);
+  Tensor out = run_conv(n_convs - 1, feat, /*with_act=*/false);
+  if (config_.input_residual) {
+    const std::int64_t oc = config_.output_channels();
+    float* po = out.raw();
+    const float* pi = input.raw();
+    const std::int64_t pixels = out.numel() / oc;
+    for (std::int64_t p = 0; p < pixels; ++p) {
+      for (std::int64_t c = 0; c < oc; ++c) po[p * oc + c] += pi[p];
+    }
+  }
+  Tensor y = nn::depth_to_space(out, 2);
+  if (config_.scale == 4) y = nn::depth_to_space(y, 2);
+  return y;
 }
 
 std::int64_t SesrInference::parameter_count() const {
@@ -228,6 +387,18 @@ TensorMap SesrInference::to_tensor_map() const {
   }
   for (std::size_t i = 0; i < prelu_alpha_.size(); ++i) {
     if (!prelu_alpha_[i].empty()) map.emplace("act" + std::to_string(i) + ".alpha", prelu_alpha_[i]);
+  }
+  if (int8_calibrated()) {
+    Tensor scales(1, 1, 1, static_cast<std::int64_t>(act_scales_.size()));
+    for (std::size_t i = 0; i < act_scales_.size(); ++i) scales.raw()[i] = act_scales_[i];
+    map.emplace(kActScaleKey, std::move(scales));
+  }
+  if (!plan_.empty()) {
+    Tensor plan(1, 1, 1, static_cast<std::int64_t>(plan_.size()));
+    for (std::size_t i = 0; i < plan_.size(); ++i) {
+      plan.raw()[i] = plan_[i] == LayerPrecision::kInt8 ? 1.0F : 0.0F;
+    }
+    map.emplace(kPlanKey, std::move(plan));
   }
   return map;
 }

@@ -7,11 +7,13 @@
 // weights, forward-only — what one would ship to an NPU.
 #pragma once
 
+#include <functional>
 #include <optional>
 #include <string>
 #include <vector>
 
 #include "core/sesr_network.hpp"
+#include "nn/conv2d_s8.hpp"
 #include "tensor/fp16.hpp"
 #include "tensor/serialize.hpp"
 #include "tensor/tensor.hpp"
@@ -27,9 +29,18 @@ struct CollapsedConv {
 // inter-layer activations as binary16 (halving the conv working-set traffic)
 // while every dot product still accumulates in fp32; biases, PReLU slopes,
 // the residual adds and the depth-to-space stay in fp32 arithmetic, with one
-// binary16 rounding per stored activation. See docs/PERFORMANCE.md,
-// "Precision".
-enum class InferencePrecision { kFp32, kFp16 };
+// binary16 rounding per stored activation. kInt8 runs every conv through the
+// quantized u8 x s8 GEMM (per-output-channel weight scales, calibrated
+// per-tensor activation scales; requires calibrate_int8 first) on an fp32
+// carrier between layers. kHybrid runs the per-layer fp16/int8 split stored
+// by set_hybrid_plan — the NAWQ-SR-style assignment the hybrid planner
+// searches. See docs/PERFORMANCE.md, "Precision".
+enum class InferencePrecision { kFp32, kFp16, kInt8, kHybrid };
+
+// Per-layer arithmetic of a hybrid plan (fp32 never appears in a plan: the
+// planner trades int8 speed against fp16 quality, and fp16 already matches
+// fp32 to far below the planning budget).
+enum class LayerPrecision : std::uint8_t { kFp16 = 0, kInt8 = 1 };
 
 class SesrInference {
  public:
@@ -45,9 +56,29 @@ class SesrInference {
 
   // Select the forward-pass precision. Switching to kFp16 rounds every conv
   // kernel to binary16 once (cached); switching back restores the untouched
-  // fp32 weights. Not thread-safe against concurrent upscale calls.
+  // fp32 weights. kInt8 requires calibrate_int8 to have run (throws
+  // std::logic_error otherwise); kHybrid additionally requires a stored plan.
+  // Not thread-safe against concurrent upscale calls.
   void set_precision(InferencePrecision precision);
   InferencePrecision precision() const { return precision_; }
+
+  // Calibrates the int8 path: quantizes every conv kernel (symmetric,
+  // per-output-channel) and derives one max-abs activation scale per layer by
+  // replaying the exact fused fp32 dataflow — bias included — over the given
+  // LR Y-frames. Deterministic; the result serializes through to_tensor_map,
+  // so restored replicas inherit bit-identical scales without the frames.
+  void calibrate_int8(const std::vector<Tensor>& frames);
+  bool int8_calibrated() const { return !act_scales_.empty(); }
+  // Per-layer activation scales (m+2 entries once calibrated).
+  const std::vector<float>& activation_scales() const { return act_scales_; }
+  // Quantized kernels (valid once calibrated).
+  const std::vector<nn::S8ConvWeights>& s8_weights() const { return s8_weights_; }
+
+  // Stores the per-layer fp16/int8 assignment used by kHybrid (one entry per
+  // conv). Produced by plan_hybrid_precision (core/hybrid_plan.hpp), but any
+  // plan of the right length is accepted. Serialized with the checkpoint.
+  void set_hybrid_plan(std::vector<LayerPrecision> plan);
+  const std::vector<LayerPrecision>& hybrid_plan() const { return plan_; }
 
   const SesrConfig& config() const { return config_; }
   std::int64_t parameter_count() const;  // conv weights (+ biases), the paper's P
@@ -67,12 +98,22 @@ class SesrInference {
 
  private:
   Tensor upscale_fp16(const Tensor& input) const;
+  // kInt8 / kHybrid forward on the fp32 carrier (quantize-in-pack per layer).
+  Tensor upscale_mixed(const Tensor& input) const;
+  // Replays the fused fp32 dataflow, calling observe(layer, input) just
+  // before each conv — the calibration observer hook.
+  Tensor replay_fp32(const Tensor& input,
+                     const std::function<void(std::size_t, const Tensor&)>& observe) const;
+  void ensure_fp16_weights();
 
   SesrConfig config_;
   std::vector<CollapsedConv> convs_;  // first, m middle (residual folded), last
   std::vector<Tensor> prelu_alpha_;   // per activation; empty tensors when ReLU
   InferencePrecision precision_ = InferencePrecision::kFp32;
   std::vector<fp16::HalfTensor> fp16_weights_;  // per conv; built on first kFp16 switch
+  std::vector<float> act_scales_;               // per conv; set by calibrate_int8
+  std::vector<nn::S8ConvWeights> s8_weights_;   // per conv; set by calibrate_int8
+  std::vector<LayerPrecision> plan_;            // per conv; set by set_hybrid_plan
 };
 
 }  // namespace sesr::core

@@ -1,8 +1,12 @@
 #include "core/streaming.hpp"
 
 #include <algorithm>
+#include <cmath>
+#include <cstdint>
 #include <stdexcept>
 
+#include "nn/conv2d_s8.hpp"
+#include "nn/gemm_s8.hpp"
 #include "tensor/fp16.hpp"
 
 namespace sesr::core {
@@ -35,6 +39,42 @@ void conv_row(const std::vector<const float*>& rows, std::int64_t width, const T
           if (v == 0.0F) continue;
           const float* wc = w + ic * out_c;
           for (std::int64_t oc = 0; oc < out_c; ++oc) dst[oc] += v * wc[oc];
+        }
+      }
+    }
+  }
+}
+
+// One output row of the SAME-padded s8 x s8 conv, int32 accumulate. Skipped
+// (out-of-bounds) taps contribute zero, exactly like the u8 zero-point
+// padding in the packed GEMM; since integer sums are order-independent the
+// accumulator equals gemm_s8's compensated accumulator bit for bit.
+void conv_row_s8(const std::vector<const std::int8_t*>& rows, std::int64_t width,
+                 const nn::S8ConvWeights& weight, std::int32_t* acc) {
+  const Shape& ws = weight.shape;
+  const std::int64_t kh = ws.dim(0);
+  const std::int64_t kw = ws.dim(1);
+  const std::int64_t in_c = ws.dim(2);
+  const std::int64_t out_c = ws.dim(3);
+  const std::int64_t rw = kw / 2;
+  std::fill(acc, acc + width * out_c, 0);
+  for (std::int64_t ky = 0; ky < kh; ++ky) {
+    const std::int8_t* src = rows[static_cast<std::size_t>(ky)];
+    if (src == nullptr) continue;
+    for (std::int64_t x = 0; x < width; ++x) {
+      std::int32_t* dst = acc + x * out_c;
+      for (std::int64_t kx = 0; kx < kw; ++kx) {
+        const std::int64_t ix = x - rw + kx;
+        if (ix < 0 || ix >= width) continue;
+        const std::int8_t* pix = src + ix * in_c;
+        const std::int8_t* w = weight.values.data() + (ky * kw + kx) * in_c * out_c;
+        for (std::int64_t ic = 0; ic < in_c; ++ic) {
+          const std::int32_t v = pix[ic];
+          if (v == 0) continue;
+          const std::int8_t* wc = w + ic * out_c;
+          for (std::int64_t oc = 0; oc < out_c; ++oc) {
+            dst[oc] += v * static_cast<std::int32_t>(wc[oc]);
+          }
         }
       }
     }
@@ -93,8 +133,41 @@ Tensor StreamingUpscaler::upscale(const Tensor& input) {
   // fp16 mode mirrors the full-frame reduced-precision dataflow row by row:
   // rounded weights, rounded input rows, one binary16 rounding per produced
   // activation row (and on the residual sum), fp32 pre-shuffle stream.
-  const bool fp16_mode = net_.precision() == InferencePrecision::kFp16;
-  if (fp16_mode && fp16_weights_.empty()) {
+  // int8/hybrid mode keeps the fp32 carrier in the deques and quantizes (or
+  // rounds, for the plan's fp16 layers) at consumption, exactly as
+  // upscale_mixed does per layer.
+  const InferencePrecision prec = net_.precision();
+  const bool fp16_mode = prec == InferencePrecision::kFp16;
+  const bool mixed_mode =
+      prec == InferencePrecision::kInt8 || prec == InferencePrecision::kHybrid;
+  auto layer_int8 = [&](std::size_t i) {
+    return prec == InferencePrecision::kInt8 ||
+           (prec == InferencePrecision::kHybrid &&
+            net_.hybrid_plan()[i] == LayerPrecision::kInt8);
+  };
+  if (mixed_mode && !net_.int8_calibrated()) {
+    throw std::logic_error("StreamingUpscaler: network not calibrated for int8");
+  }
+  const bool need_fp16_w =
+      fp16_mode || (mixed_mode && [&] {
+        for (std::size_t i = 0; i < n_convs; ++i) {
+          if (!layer_int8(i)) return true;
+        }
+        return false;
+      }());
+  // Per-layer single-rounded dequant products, mirroring conv2d_s8 exactly.
+  std::vector<std::vector<float>> s8_dequant;
+  if (mixed_mode) {
+    s8_dequant.resize(n_convs);
+    for (std::size_t i = 0; i < n_convs; ++i) {
+      const nn::S8ConvWeights& w8 = net_.s8_weights()[i];
+      s8_dequant[i].resize(w8.scale.size());
+      for (std::size_t oc = 0; oc < w8.scale.size(); ++oc) {
+        s8_dequant[i][oc] = net_.activation_scales()[i] * w8.scale[oc];
+      }
+    }
+  }
+  if (need_fp16_w && fp16_weights_.empty()) {
     fp16_weights_.reserve(n_convs);
     for (const CollapsedConv& conv : convs) {
       Tensor w = conv.weight;
@@ -152,13 +225,78 @@ Tensor StreamingUpscaler::upscale(const Tensor& input) {
       }
     }
     std::vector<float> out(static_cast<std::size_t>(width * dst.channels));
-    conv_row(rows, width, fp16_mode ? fp16_weights_[layer] : convs[layer].weight, out.data());
-    if (!is_last) {
-      activate_row(net_.prelu_alphas().at(layer), width, dst.channels, out.data());
-      if (fp16_mode) {
+    if (mixed_mode && layer_int8(layer)) {
+      // Quantize the taps with the layer's calibrated scale and run the
+      // direct s8 conv; the dequant + activation below restate the fused
+      // GEMM epilogue expression exactly (fmaf, then f > 0 ? f : alpha * f),
+      // so pure-int8 rows are bitwise equal to the full-frame path.
+      const float inv = 1.0F / net_.activation_scales()[layer];
+      std::vector<std::vector<std::int8_t>> qstore;
+      qstore.reserve(static_cast<std::size_t>(kh));
+      std::vector<const std::int8_t*> qrows(static_cast<std::size_t>(kh), nullptr);
+      for (std::int64_t ky = 0; ky < kh; ++ky) {
+        const float* src_row = rows[static_cast<std::size_t>(ky)];
+        if (src_row == nullptr) continue;
+        std::vector<std::int8_t> q(static_cast<std::size_t>(width * src.channels));
+        for (std::size_t i = 0; i < q.size(); ++i) q[i] = nn::quantize_value(src_row[i], inv);
+        qstore.push_back(std::move(q));
+        qrows[static_cast<std::size_t>(ky)] = qstore.back().data();
+      }
+      std::vector<std::int32_t> acc(out.size());
+      conv_row_s8(qrows, width, net_.s8_weights()[layer], acc.data());
+      const std::vector<float>& dq = s8_dequant[layer];
+      const std::int64_t ch = dst.channels;
+      for (std::int64_t x = 0; x < width; ++x) {
+        for (std::int64_t oc = 0; oc < ch; ++oc) {
+          out[static_cast<std::size_t>(x * ch + oc)] = std::fmaf(
+              static_cast<float>(acc[static_cast<std::size_t>(x * ch + oc)]), dq[static_cast<std::size_t>(oc)], 0.0F);
+        }
+      }
+      if (!is_last) {
+        const Tensor& alpha = net_.prelu_alphas().at(layer);
+        if (alpha.empty()) {
+          for (float& f : out) f = f > 0.0F ? f : 0.0F;
+        } else {
+          const float* pa = alpha.raw();
+          for (std::int64_t x = 0; x < width; ++x) {
+            for (std::int64_t oc = 0; oc < ch; ++oc) {
+              float& f = out[static_cast<std::size_t>(x * ch + oc)];
+              f = f > 0.0F ? f : pa[oc] * f;
+            }
+          }
+        }
+      }
+    } else if (mixed_mode) {
+      // fp16 layer of a hybrid plan: binary16-round copies of the taps (the
+      // deques hold the raw fp32 carrier), conv with the rounded weights,
+      // one rounding on the stored activation row (except after the last
+      // conv) — one layer of the pure-fp16 path, quantize-at-consumption.
+      std::vector<std::vector<float>> rstore;
+      rstore.reserve(static_cast<std::size_t>(kh));
+      std::vector<const float*> rrows(static_cast<std::size_t>(kh), nullptr);
+      for (std::int64_t ky = 0; ky < kh; ++ky) {
+        const float* src_row = rows[static_cast<std::size_t>(ky)];
+        if (src_row == nullptr) continue;
+        std::vector<float> r(src_row, src_row + width * src.channels);
+        fp16::round_through_half(r.data(), static_cast<std::int64_t>(r.size()));
+        rstore.push_back(std::move(r));
+        rrows[static_cast<std::size_t>(ky)] = rstore.back().data();
+      }
+      conv_row(rrows, width, fp16_weights_[layer], out.data());
+      if (!is_last) {
+        activate_row(net_.prelu_alphas().at(layer), width, dst.channels, out.data());
         fp16::round_through_half(out.data(), static_cast<std::int64_t>(out.size()));
       }
-    } else if (net_.config().input_residual) {
+    } else {
+      conv_row(rows, width, fp16_mode ? fp16_weights_[layer] : convs[layer].weight, out.data());
+      if (!is_last) {
+        activate_row(net_.prelu_alphas().at(layer), width, dst.channels, out.data());
+        if (fp16_mode) {
+          fp16::round_through_half(out.data(), static_cast<std::int64_t>(out.size()));
+        }
+      }
+    }
+    if (is_last && net_.config().input_residual) {
       const float* in_row = streams[0].row(y);
       if (in_row == nullptr) throw std::logic_error("StreamingUpscaler: input row pruned too early");
       for (std::int64_t x = 0; x < width; ++x) {
@@ -217,8 +355,20 @@ Tensor StreamingUpscaler::upscale(const Tensor& input) {
     for (std::size_t i = 0; i < streams.size(); ++i) {
       const Stream& st = streams[i];
       // In fp16 mode every line buffer except the fp32 pre-shuffle stream
-      // holds binary16 cells.
-      const std::int64_t elem_bytes = (fp16_mode && i < n_convs) ? 2 : 4;
+      // holds binary16 cells; in int8/hybrid mode each buffer holds what its
+      // consuming conv reads (s8 or binary16), except the long-residual
+      // sources (input with input_residual, act0), whose second consumer
+      // adds on the carrier and which therefore stay binary16 at minimum.
+      std::int64_t elem_bytes = 4;
+      if (i < n_convs) {
+        if (fp16_mode) {
+          elem_bytes = 2;
+        } else if (mixed_mode) {
+          elem_bytes = layer_int8(i) ? 1 : 2;
+          const bool residual_source = (i == 0 && net_.config().input_residual) || i == 1;
+          if (residual_source) elem_bytes = std::max<std::int64_t>(elem_bytes, 2);
+        }
+      }
       rows += static_cast<std::int64_t>(st.rows.size());
       bytes += static_cast<std::int64_t>(st.rows.size()) * width * st.channels * elem_bytes;
     }

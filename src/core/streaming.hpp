@@ -10,6 +10,11 @@
 // retained across the pipeline delay, visible here as extra buffered rows.
 //
 // Output equals SesrInference::upscale to float tolerance (property-tested).
+// In pure kInt8 precision the match is bitwise: integer accumulation is
+// order-independent and the fixed calibrated scales commute with cropping, so
+// the row-by-row pipeline reproduces the full-frame GEMM path exactly. Hybrid
+// plans with fp16 layers match to float tolerance like kFp16 (fp32 summation
+// order differs between conv_row and the blocked GEMM).
 #pragma once
 
 #include <cstdint>
@@ -32,7 +37,11 @@ class StreamingUpscaler {
   // buffered across all streams, and the equivalent storage bytes (4 bytes
   // per element, or 2 for the line buffers a binary16 pipeline would hold —
   // everything except the fp32 pre-shuffle stream when the network is in
-  // fp16 precision).
+  // fp16 precision). In kInt8/kHybrid a quantized pipeline holds each line
+  // buffer at the width its consuming conv needs — 1 byte for an int8
+  // consumer, 2 for an fp16 one — except the two long-residual sources
+  // (input and act0), whose second consumer adds on the carrier and which
+  // therefore stay at binary16 minimum.
   std::int64_t peak_buffered_rows() const { return peak_rows_; }
   std::int64_t peak_buffered_bytes() const { return peak_bytes_; }
 

@@ -91,13 +91,15 @@ Tensor stack_frames(const std::vector<FrameRequest>& requests) {
   return batched;
 }
 
-// Completion bookkeeping shared by the batch and tile paths. The cache insert
-// precedes set_value so a observed completion guarantees a subsequent hit.
+// Completion bookkeeping shared by the batch and tile paths. Every side
+// effect — cache insert, route counter, stats sample — precedes set_value, so
+// a caller whose future has resolved observes the completion in stats() and
+// gets a cache hit on the next identical submission.
 void complete_request(FrameRequest& request, Tensor output, StatsRecorder& stats) {
   if (request.cache != nullptr) request.cache->insert(request.route_id, request.frame, output);
   if (request.route != nullptr) request.route->completed.fetch_add(1, std::memory_order_relaxed);
-  request.promise.set_value(std::move(output));
   stats.on_completed(request.enqueue_time);
+  request.promise.set_value(std::move(output));
 }
 
 void fail_request(FrameRequest& request, const std::exception_ptr& error, StatsRecorder& stats) {

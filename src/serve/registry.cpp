@@ -7,7 +7,13 @@ namespace sesr::serve {
 namespace {
 
 const char* precision_string(core::InferencePrecision precision) {
-  return precision == core::InferencePrecision::kFp16 ? "fp16" : "fp32";
+  switch (precision) {
+    case core::InferencePrecision::kFp16: return "fp16";
+    case core::InferencePrecision::kInt8: return "int8";
+    case core::InferencePrecision::kHybrid: return "hybrid";
+    case core::InferencePrecision::kFp32: break;
+  }
+  return "fp32";
 }
 
 }  // namespace
@@ -38,6 +44,8 @@ RouteKey parse_route(const std::string& spec) {
     const std::string precision = spec.substr(second + 1);
     if (precision == "fp32") key.precision = core::InferencePrecision::kFp32;
     else if (precision == "fp16") key.precision = core::InferencePrecision::kFp16;
+    else if (precision == "int8") key.precision = core::InferencePrecision::kInt8;
+    else if (precision == "hybrid") key.precision = core::InferencePrecision::kHybrid;
     else throw std::invalid_argument("bad route precision '" + precision + "' in '" + spec + "'");
   }
   return key;
@@ -54,6 +62,22 @@ void NetworkRegistry::add(const RouteKey& key, const core::SesrInference& networ
   }
   if (contains(key)) {
     throw std::invalid_argument("NetworkRegistry: duplicate route '" + route_string(key) + "'");
+  }
+  // int8/hybrid routes need the calibration (and plan) to travel with the
+  // checkpoint: every shard replica is rebuilt from it and pinned to the
+  // route precision, so reject uncalibrated networks here rather than deep
+  // inside shard construction.
+  if (key.precision == core::InferencePrecision::kInt8 ||
+      key.precision == core::InferencePrecision::kHybrid) {
+    if (!network.int8_calibrated()) {
+      throw std::invalid_argument("NetworkRegistry: route '" + route_string(key) +
+                                  "' requires calibrate_int8() on the network");
+    }
+  }
+  if (key.precision == core::InferencePrecision::kHybrid &&
+      network.hybrid_plan().size() != network.convolutions().size()) {
+    throw std::invalid_argument("NetworkRegistry: route '" + route_string(key) +
+                                "' requires a hybrid plan (set_hybrid_plan)");
   }
   RegisteredNetwork entry;
   entry.key = key;

@@ -101,8 +101,8 @@ std::future<Tensor> ShardedServer::submit(const RouteKey& route, Tensor frame) {
       shard.counters.submitted.fetch_add(1, std::memory_order_relaxed);
       shard.counters.cache_hits.fetch_add(1, std::memory_order_relaxed);
       shard.counters.completed.fetch_add(1, std::memory_order_relaxed);
-      request.promise.set_value(*std::move(hit));
       stats_.on_completed(request.enqueue_time);
+      request.promise.set_value(*std::move(hit));
       return future;
     }
     request.cache = &cache_;

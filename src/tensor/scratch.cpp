@@ -13,4 +13,13 @@ std::span<float> scratch_floats(ScratchSlot slot, std::size_t n) {
   return {buf.data(), n};
 }
 
+std::span<std::uint8_t> scratch_bytes(ScratchSlot slot, std::size_t n) {
+  thread_local std::array<std::vector<std::uint8_t>,
+                          static_cast<std::size_t>(ScratchSlot::kSlotCount)>
+      buffers;
+  std::vector<std::uint8_t>& buf = buffers[static_cast<std::size_t>(slot)];
+  if (buf.size() < n) buf.resize(n);
+  return {buf.data(), n};
+}
+
 }  // namespace sesr

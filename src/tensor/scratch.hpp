@@ -29,11 +29,19 @@ enum class ScratchSlot : std::size_t {
   kF16StageA,       // fp32 row buffer for the fp16 GEMM's A-pack widening
   kF16StageB,       // fp32 row buffer for the fp16 GEMM's B-pack widening
   kF16OutStripe,    // fp32 conv output stripe before the fp16 store
+  kS8PackA,         // packed u8 activation panels inside the int8 GEMM
+  kS8PackB,         // packed s8 weight panels inside the int8 GEMM
   kSlotCount,
 };
 
 // Returns this thread's buffer for `slot`, grown to at least `n` floats.
 // Contents are unspecified (callers overwrite or explicitly zero).
 std::span<float> scratch_floats(ScratchSlot slot, std::size_t n);
+
+// Byte-typed variant for the int8 kernels' packed panels. Slots are shared
+// with scratch_floats only in name: each slot owns one float buffer AND one
+// byte buffer per thread, so requesting bytes never invalidates a float span
+// of the same slot (the int8 slots above only ever use the byte side).
+std::span<std::uint8_t> scratch_bytes(ScratchSlot slot, std::size_t n);
 
 }  // namespace sesr

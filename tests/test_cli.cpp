@@ -115,7 +115,9 @@ TEST(ServeCli, PrecisionParses) {
   EXPECT_EQ(parse_serve({}).serve.precision, core::InferencePrecision::kFp32);
   EXPECT_EQ(parse_serve({"--precision=fp32"}).serve.precision, core::InferencePrecision::kFp32);
   EXPECT_EQ(parse_serve({"--precision=fp16"}).serve.precision, core::InferencePrecision::kFp16);
-  EXPECT_THROW(parse_serve({"--precision=int8"}), UsageError);
+  EXPECT_EQ(parse_serve({"--precision=int8"}).serve.precision, core::InferencePrecision::kInt8);
+  EXPECT_EQ(parse_serve({"--precision=hybrid"}).serve.precision,
+            core::InferencePrecision::kHybrid);
   EXPECT_THROW(parse_serve({"--precision=half"}), UsageError);
 }
 
@@ -181,7 +183,7 @@ TEST(ServeCli, BadNetworksRaiseUsageError) {
   EXPECT_THROW(parse_serve({"--networks=m5"}), UsageError);          // missing scale
   EXPECT_THROW(parse_serve({"--networks=m4:2"}), UsageError);        // unknown net
   EXPECT_THROW(parse_serve({"--networks=m5:3"}), UsageError);        // bad scale
-  EXPECT_THROW(parse_serve({"--networks=m5:2:int8"}), UsageError);   // bad precision
+  EXPECT_THROW(parse_serve({"--networks=m5:2:int4"}), UsageError);   // bad precision
   EXPECT_THROW(parse_serve({"--networks=m5:2,m5:2"}), UsageError);   // duplicate route
   EXPECT_THROW(parse_serve({"--networks=m5:2,,m3:2"}), UsageError);  // empty entry
 }

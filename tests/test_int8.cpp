@@ -1,0 +1,452 @@
+// Tests for the int8 serving path: the canonical quantizer, the packed
+// u8 x s8 GEMM micro-kernels (every ISA build against an int64 reference and
+// against each other), the fused conv2d_s8 layer, end-to-end calibrated
+// inference (kInt8 / kHybrid), checkpoint round-trips, the hybrid-precision
+// planner, and the cross-mode bit-exactness promise (full-frame == tiled ==
+// streaming for pure int8).
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <stdexcept>
+#include <vector>
+
+#include "check/reference.hpp"
+#include "core/hybrid_plan.hpp"
+#include "core/sesr_inference.hpp"
+#include "core/sesr_network.hpp"
+#include "core/streaming.hpp"
+#include "core/tiled_inference.hpp"
+#include "metrics/psnr.hpp"
+#include "nn/conv2d_s8.hpp"
+#include "nn/gemm_s8.hpp"
+#include "tensor/rng.hpp"
+#include "tensor/tensor.hpp"
+#include "tensor/tensor_ops.hpp"
+
+namespace sesr {
+namespace {
+
+core::SesrConfig small_config(bool with_bias = false, bool prelu = true) {
+  core::SesrConfig config;
+  config.f = 8;
+  config.m = 2;
+  config.scale = 2;
+  config.expand = 16;
+  config.prelu = prelu;
+  config.with_bias = with_bias;
+  return config;
+}
+
+core::SesrInference make_inference(std::uint64_t seed,
+                                   const core::SesrConfig& config = small_config()) {
+  Rng rng(seed);
+  core::SesrNetwork network(config, rng);
+  return core::SesrInference(network);
+}
+
+Tensor make_frame(std::uint64_t seed, std::int64_t h, std::int64_t w) {
+  Rng rng(seed);
+  Tensor frame(1, h, w, 1);
+  frame.fill_uniform(rng, 0.0F, 1.0F);
+  return frame;
+}
+
+std::vector<Tensor> make_calibration(std::uint64_t seed, int frames = 3) {
+  std::vector<Tensor> calib;
+  for (int i = 0; i < frames; ++i) {
+    calib.push_back(make_frame(seed + static_cast<std::uint64_t>(i), 14, 14));
+  }
+  return calib;
+}
+
+// ----------------------------------------------------------- quantize_value
+
+TEST(QuantizeValue, RoundsHalfAwayFromZeroAndClamps) {
+  EXPECT_EQ(nn::quantize_value(0.0F, 1.0F), 0);
+  EXPECT_EQ(nn::quantize_value(0.5F, 1.0F), 1);
+  EXPECT_EQ(nn::quantize_value(-0.5F, 1.0F), -1);
+  EXPECT_EQ(nn::quantize_value(1.49F, 1.0F), 1);
+  EXPECT_EQ(nn::quantize_value(2.5F, 1.0F), 3);
+  EXPECT_EQ(nn::quantize_value(-2.5F, 1.0F), -3);
+  // Saturation: anything past the symmetric range pins at +/-127.
+  EXPECT_EQ(nn::quantize_value(1000.0F, 1.0F), 127);
+  EXPECT_EQ(nn::quantize_value(-1000.0F, 1.0F), -127);
+  EXPECT_EQ(nn::quantize_value(127.49F, 1.0F), 127);
+  // inv_scale applies before rounding.
+  EXPECT_EQ(nn::quantize_value(0.5F, 2.0F), 1);
+}
+
+TEST(QuantizeValue, MatchesStdRoundOverTheRepresentableRange) {
+  Rng rng(11);
+  for (int i = 0; i < 20000; ++i) {
+    const float v = rng.uniform(-130.0F, 130.0F);
+    const float clamped = v < -127.0F ? -127.0F : (v > 127.0F ? 127.0F : v);
+    EXPECT_EQ(nn::quantize_value(v, 1.0F),
+              static_cast<std::int8_t>(std::lround(clamped)))
+        << "v=" << v;
+  }
+}
+
+// ----------------------------------------------------- quantize_conv_weights
+
+TEST(QuantizeConvWeights, PerChannelScalesAndColumnSums) {
+  Rng rng(5);
+  Tensor weight(3, 3, 4, 6);  // HWIO
+  weight.fill_uniform(rng, -0.8F, 0.8F);
+  const nn::S8ConvWeights q = nn::quantize_conv_weights(weight);
+  ASSERT_EQ(q.scale.size(), 6U);
+  ASSERT_EQ(q.colsum.size(), 6U);
+  ASSERT_EQ(q.values.size(), static_cast<std::size_t>(weight.numel()));
+  const std::int64_t k = 3 * 3 * 4;
+  for (std::int64_t oc = 0; oc < 6; ++oc) {
+    // scale = per-channel max|w| / 127.
+    float max_abs_w = 0.0F;
+    for (std::int64_t p = 0; p < k; ++p) {
+      max_abs_w = std::max(max_abs_w, std::fabs(weight.raw()[p * 6 + oc]));
+    }
+    EXPECT_FLOAT_EQ(q.scale[static_cast<std::size_t>(oc)], max_abs_w / 127.0F);
+    // Every value rounds through the canonical quantizer; colsum matches.
+    std::int32_t sum = 0;
+    for (std::int64_t p = 0; p < k; ++p) {
+      const std::int8_t want = nn::quantize_value(
+          weight.raw()[p * 6 + oc], 1.0F / q.scale[static_cast<std::size_t>(oc)]);
+      EXPECT_EQ(q.values[static_cast<std::size_t>(p * 6 + oc)], want);
+      sum += want;
+    }
+    EXPECT_EQ(q.colsum[static_cast<std::size_t>(oc)], sum);
+  }
+}
+
+TEST(QuantizeConvWeights, AllZeroChannelGetsDegenerateScale) {
+  Tensor weight(1, 1, 2, 2);
+  weight.raw()[0] = 0.0F;  // oc 0 all-zero
+  weight.raw()[1] = 0.5F;
+  weight.raw()[2] = 0.0F;
+  weight.raw()[3] = -0.25F;
+  const nn::S8ConvWeights q = nn::quantize_conv_weights(weight);
+  EXPECT_FLOAT_EQ(q.scale[0], nn::kDegenerateQuantScale);
+  EXPECT_EQ(q.values[0], 0);
+  EXPECT_EQ(q.values[2], 0);
+  EXPECT_EQ(q.colsum[0], 0);
+}
+
+// ----------------------------------------------------------------- GEMM core
+
+std::vector<std::int32_t> naive_s8_i32(const std::vector<std::uint8_t>& a,
+                                       const std::vector<std::int8_t>& b, std::int64_t m,
+                                       std::int64_t k, std::int64_t n) {
+  std::vector<std::int32_t> c(static_cast<std::size_t>(m * n));
+  for (std::int64_t i = 0; i < m; ++i) {
+    for (std::int64_t j = 0; j < n; ++j) {
+      std::int64_t acc = 0;
+      for (std::int64_t p = 0; p < k; ++p) {
+        acc += (static_cast<std::int64_t>(a[static_cast<std::size_t>(i * k + p)]) - 128) *
+               static_cast<std::int64_t>(b[static_cast<std::size_t>(p * n + j)]);
+      }
+      c[static_cast<std::size_t>(i * n + j)] = static_cast<std::int32_t>(acc);
+    }
+  }
+  return c;
+}
+
+void fill_random_s8(Rng& rng, std::vector<std::uint8_t>& a, std::vector<std::int8_t>& b) {
+  for (std::uint8_t& v : a) v = static_cast<std::uint8_t>(rng.uniform_int(-127, 127) + 128);
+  for (std::int8_t& v : b) v = static_cast<std::int8_t>(rng.uniform_int(-127, 127));
+}
+
+class S8IsaGuard {
+ public:
+  explicit S8IsaGuard(nn::GemmS8Isa isa) { ok_ = nn::set_gemm_s8_isa(isa); }
+  ~S8IsaGuard() { nn::set_gemm_s8_isa(nn::GemmS8Isa::kAuto); }
+  bool ok() const { return ok_; }
+
+ private:
+  bool ok_ = false;
+};
+
+void check_gemm_s8_shapes(nn::GemmS8Isa isa) {
+  S8IsaGuard guard(isa);
+  if (!guard.ok()) GTEST_SKIP() << "ISA unsupported on this CPU";
+  // Edge shapes straddling the 6x8 micro-tile and the 4-wide k-groups.
+  const std::int64_t shapes[][3] = {{1, 1, 1},   {6, 4, 8},   {7, 5, 9},  {5, 3, 7},
+                                    {12, 16, 8}, {13, 17, 9}, {6, 160, 8}, {40, 33, 25}};
+  std::uint64_t seed = 100;
+  for (const auto& s : shapes) {
+    const std::int64_t m = s[0];
+    const std::int64_t k = s[1];
+    const std::int64_t n = s[2];
+    Rng rng(seed++);
+    std::vector<std::uint8_t> a(static_cast<std::size_t>(m * k));
+    std::vector<std::int8_t> b(static_cast<std::size_t>(k * n));
+    fill_random_s8(rng, a, b);
+    const std::vector<std::int32_t> colsum = nn::s8_column_sums(b, k, n);
+    std::vector<std::int32_t> got(static_cast<std::size_t>(m * n));
+    nn::gemm_s8_i32(a, b, colsum, got, m, k, n);
+    EXPECT_EQ(got, naive_s8_i32(a, b, m, k, n)) << "m=" << m << " k=" << k << " n=" << n;
+  }
+}
+
+TEST(GemmS8, GenericMatchesInt64Reference) { check_gemm_s8_shapes(nn::GemmS8Isa::kGeneric); }
+TEST(GemmS8, Avx2MatchesInt64Reference) { check_gemm_s8_shapes(nn::GemmS8Isa::kAvx2); }
+TEST(GemmS8, VnniMatchesInt64Reference) { check_gemm_s8_shapes(nn::GemmS8Isa::kVnni); }
+
+TEST(GemmS8, AllIsaBuildsBitIdentical) {
+  Rng rng(42);
+  const std::int64_t m = 23;
+  const std::int64_t k = 71;
+  const std::int64_t n = 19;
+  std::vector<std::uint8_t> a(static_cast<std::size_t>(m * k));
+  std::vector<std::int8_t> b(static_cast<std::size_t>(k * n));
+  fill_random_s8(rng, a, b);
+  const std::vector<std::int32_t> colsum = nn::s8_column_sums(b, k, n);
+  std::vector<float> scale(static_cast<std::size_t>(n));
+  std::vector<float> bias(static_cast<std::size_t>(n));
+  std::vector<float> alpha(static_cast<std::size_t>(n));
+  for (std::int64_t j = 0; j < n; ++j) {
+    scale[static_cast<std::size_t>(j)] = rng.uniform(1e-4F, 1e-2F);
+    bias[static_cast<std::size_t>(j)] = rng.uniform(-0.1F, 0.1F);
+    alpha[static_cast<std::size_t>(j)] = rng.uniform(0.01F, 0.5F);
+  }
+  nn::S8Epilogue epi;
+  epi.scale = scale.data();
+  epi.bias = bias.data();
+  epi.act = nn::Epilogue::Act::kPRelu;
+  epi.prelu_alpha = alpha.data();
+  std::vector<std::vector<float>> outs;
+  for (const nn::GemmS8Isa isa :
+       {nn::GemmS8Isa::kGeneric, nn::GemmS8Isa::kAvx2, nn::GemmS8Isa::kVnni}) {
+    S8IsaGuard guard(isa);
+    if (!guard.ok()) continue;
+    std::vector<float> c(static_cast<std::size_t>(m * n));
+    nn::gemm_s8(a, b, colsum, c, m, k, n, epi);
+    outs.push_back(std::move(c));
+  }
+  ASSERT_GE(outs.size(), 1U);
+  for (std::size_t i = 1; i < outs.size(); ++i) EXPECT_EQ(outs[i], outs[0]);
+}
+
+TEST(GemmS8, EpilogueMatchesScalarFmafExpression) {
+  Rng rng(8);
+  const std::int64_t m = 9;
+  const std::int64_t k = 27;
+  const std::int64_t n = 11;
+  std::vector<std::uint8_t> a(static_cast<std::size_t>(m * k));
+  std::vector<std::int8_t> b(static_cast<std::size_t>(k * n));
+  fill_random_s8(rng, a, b);
+  const std::vector<std::int32_t> colsum = nn::s8_column_sums(b, k, n);
+  const std::vector<std::int32_t> acc = naive_s8_i32(a, b, m, k, n);
+  std::vector<float> scale(static_cast<std::size_t>(n));
+  std::vector<float> bias(static_cast<std::size_t>(n));
+  for (std::int64_t j = 0; j < n; ++j) {
+    scale[static_cast<std::size_t>(j)] = rng.uniform(1e-4F, 1e-2F);
+    bias[static_cast<std::size_t>(j)] = rng.uniform(-0.1F, 0.1F);
+  }
+  nn::S8Epilogue epi;
+  epi.scale = scale.data();
+  epi.bias = bias.data();
+  epi.act = nn::Epilogue::Act::kRelu;
+  std::vector<float> got(static_cast<std::size_t>(m * n));
+  nn::gemm_s8(a, b, colsum, got, m, k, n, epi);
+  for (std::int64_t i = 0; i < m * n; ++i) {
+    const std::size_t j = static_cast<std::size_t>(i % n);
+    // The documented store: one fmaf, then the activation.
+    float want = std::fmaf(static_cast<float>(acc[static_cast<std::size_t>(i)]), scale[j],
+                           bias[j]);
+    want = want > 0.0F ? want : 0.0F;
+    EXPECT_EQ(got[static_cast<std::size_t>(i)], want) << "i=" << i;
+  }
+}
+
+// ----------------------------------------------------------------- conv2d_s8
+
+TEST(Conv2dS8, BitExactAgainstInt64Reference) {
+  Rng rng(21);
+  for (int trial = 0; trial < 8; ++trial) {
+    const std::int64_t kk = 1 + 2 * rng.uniform_int(0, 2);  // 1, 3, 5
+    const std::int64_t in_c = rng.uniform_int(1, 6);
+    const std::int64_t out_c = rng.uniform_int(1, 6);
+    Tensor input(1, rng.uniform_int(5, 14), rng.uniform_int(5, 14), in_c);
+    input.fill_uniform(rng, -1.0F, 1.0F);
+    Tensor weight(kk, kk, in_c, out_c);
+    weight.fill_uniform(rng, -0.6F, 0.6F);
+    const nn::S8ConvWeights q = nn::quantize_conv_weights(weight);
+    const float act_scale = max_abs(input) > 0.0F ? max_abs(input) / 127.0F
+                                                  : nn::kDegenerateQuantScale;
+    Tensor bias(1, 1, 1, out_c);
+    bias.fill_uniform(rng, -0.2F, 0.2F);
+    nn::Epilogue epi;
+    epi.act = nn::Epilogue::Act::kRelu;
+    const Tensor got = nn::conv2d_s8(input, act_scale, q, &bias, epi, nn::Padding::kSame);
+    const Tensor want = check::ref_conv2d_s8(input, act_scale, q, &bias, epi);
+    EXPECT_EQ(max_abs_diff(got, want), 0.0F) << "trial=" << trial;
+  }
+}
+
+// -------------------------------------------------------- end-to-end network
+
+TEST(Int8Network, UncalibratedPrecisionSwitchThrows) {
+  core::SesrInference net = make_inference(3);
+  EXPECT_THROW(net.set_precision(core::InferencePrecision::kInt8), std::logic_error);
+  EXPECT_THROW(net.set_precision(core::InferencePrecision::kHybrid), std::logic_error);
+  net.calibrate_int8(make_calibration(30));
+  net.set_precision(core::InferencePrecision::kInt8);
+  // Calibrated but no plan: hybrid still refuses.
+  EXPECT_THROW(net.set_precision(core::InferencePrecision::kHybrid), std::logic_error);
+  EXPECT_THROW(net.set_hybrid_plan({core::LayerPrecision::kInt8}), std::invalid_argument);
+  net.set_hybrid_plan(std::vector<core::LayerPrecision>(net.convolutions().size(),
+                                                        core::LayerPrecision::kInt8));
+  net.set_precision(core::InferencePrecision::kHybrid);
+}
+
+TEST(Int8Network, CalibratedInt8StaysCloseToFp32) {
+  core::SesrInference net = make_inference(4, small_config(/*with_bias=*/true));
+  net.calibrate_int8(make_calibration(40));
+  const Tensor frame = make_frame(41, 20, 20);
+  const Tensor fp32 = net.upscale(frame);
+  net.set_precision(core::InferencePrecision::kInt8);
+  const Tensor int8 = net.upscale(frame);
+  EXPECT_EQ(int8.shape(), fp32.shape());
+  // Freshly initialized nets quantize well: the calibrated path should sit
+  // far above any visually meaningful threshold.
+  EXPECT_GT(metrics::psnr(int8, fp32), 40.0);
+}
+
+TEST(Int8Network, HybridAllFp16PlanMatchesFp16Path) {
+  // A plan with zero int8 layers must reproduce the kFp16 path bit-exactly —
+  // the hybrid executor's fp16 arm is the same arithmetic. The input residual
+  // is the one documented divergence (hybrid adds the raw input, pure fp16
+  // the binary16-rounded input), so this net drops it.
+  core::SesrConfig config = small_config();
+  config.input_residual = false;
+  core::SesrInference net = make_inference(5, config);
+  net.calibrate_int8(make_calibration(50));
+  net.set_hybrid_plan(std::vector<core::LayerPrecision>(net.convolutions().size(),
+                                                        core::LayerPrecision::kFp16));
+  const Tensor frame = make_frame(51, 16, 16);
+  net.set_precision(core::InferencePrecision::kFp16);
+  const Tensor fp16 = net.upscale(frame);
+  net.set_precision(core::InferencePrecision::kHybrid);
+  const Tensor hybrid = net.upscale(frame);
+  EXPECT_EQ(max_abs_diff(hybrid, fp16), 0.0F);
+}
+
+TEST(Int8Network, CheckpointRoundTripBitExact) {
+  core::SesrInference net = make_inference(6, small_config(/*with_bias=*/true));
+  net.calibrate_int8(make_calibration(60));
+  std::vector<core::LayerPrecision> plan(net.convolutions().size(),
+                                         core::LayerPrecision::kFp16);
+  plan[0] = core::LayerPrecision::kInt8;
+  net.set_hybrid_plan(plan);
+  core::SesrInference restored(net.to_tensor_map());
+  ASSERT_TRUE(restored.int8_calibrated());
+  EXPECT_EQ(restored.activation_scales(), net.activation_scales());
+  ASSERT_EQ(restored.hybrid_plan().size(), plan.size());
+  for (std::size_t i = 0; i < plan.size(); ++i) EXPECT_EQ(restored.hybrid_plan()[i], plan[i]);
+  const Tensor frame = make_frame(61, 18, 13);
+  for (const core::InferencePrecision prec :
+       {core::InferencePrecision::kInt8, core::InferencePrecision::kHybrid}) {
+    net.set_precision(prec);
+    restored.set_precision(prec);
+    EXPECT_EQ(max_abs_diff(restored.upscale(frame), net.upscale(frame)), 0.0F);
+  }
+}
+
+TEST(Int8Network, PureInt8BitIdenticalAcrossExecutionModes) {
+  // The tentpole exactness claim: fixed scales + elementwise quantization +
+  // order-independent integer accumulation => cropping commutes with every
+  // quantized layer, so tiled and streaming runs reproduce the full frame
+  // bitwise.
+  core::SesrInference net = make_inference(7);
+  net.calibrate_int8(make_calibration(70));
+  net.set_precision(core::InferencePrecision::kInt8);
+  const Tensor frame = make_frame(71, 21, 17);
+  const Tensor full = net.upscale(frame);
+  core::TilingOptions tiling;
+  tiling.tile_h = 6;
+  tiling.tile_w = 7;
+  EXPECT_EQ(max_abs_diff(core::upscale_tiled(net, frame, tiling), full), 0.0F);
+  core::StreamingUpscaler streamer(net);
+  EXPECT_EQ(max_abs_diff(streamer.upscale(frame), full), 0.0F);
+}
+
+TEST(Int8Network, HybridStreamingMatchesFullFrame) {
+  core::SesrInference net = make_inference(8);
+  net.calibrate_int8(make_calibration(80));
+  std::vector<core::LayerPrecision> plan(net.convolutions().size(),
+                                         core::LayerPrecision::kFp16);
+  for (std::size_t i = 0; i < plan.size(); i += 2) plan[i] = core::LayerPrecision::kInt8;
+  net.set_hybrid_plan(std::move(plan));
+  net.set_precision(core::InferencePrecision::kHybrid);
+  const Tensor frame = make_frame(81, 19, 23);
+  const Tensor full = net.upscale(frame);
+  core::StreamingUpscaler streamer(net);
+  // Hybrid interleaves fp16 layers, whose row arithmetic is identical in both
+  // executors; in practice the match is exact, but the contract is float
+  // tolerance, not bitwise.
+  EXPECT_LT(max_abs_diff(streamer.upscale(frame), full), 1e-5F);
+}
+
+// -------------------------------------------------------------- hybrid plan
+
+TEST(HybridPlanner, ExhaustiveSearchRespectsBudgetAndPicksMaxInt8) {
+  core::SesrInference net = make_inference(9);
+  const std::vector<Tensor> lr = make_calibration(90, 2);
+  // HR targets = fp32 outputs + noise: exact outputs would peg the fp32
+  // baseline at the identical-image PSNR cap and make every budget
+  // infeasible.
+  std::vector<Tensor> hr;
+  Rng noise_rng(91);
+  for (const Tensor& f : lr) {
+    Tensor out = net.upscale(f);
+    Tensor noise(out.shape());
+    noise.fill_uniform(noise_rng, -0.005F, 0.005F);
+    for (std::int64_t i = 0; i < out.numel(); ++i) out.raw()[i] += noise.raw()[i];
+    hr.push_back(std::move(out));
+  }
+  net.calibrate_int8(lr);
+  const core::HybridPlanReport report = core::plan_hybrid_precision(net, lr, hr, 0.3);
+  const std::size_t n_layers = net.convolutions().size();
+  ASSERT_LE(n_layers, static_cast<std::size_t>(core::kExhaustiveLayers));
+  EXPECT_EQ(report.evaluated, static_cast<std::int64_t>(1) << n_layers);
+  EXPECT_EQ(report.plan.size(), n_layers);
+  EXPECT_LE(report.drop_db, 0.3);
+  std::int64_t int8_layers = 0;
+  for (const core::LayerPrecision p : report.plan) {
+    int8_layers += p == core::LayerPrecision::kInt8 ? 1 : 0;
+  }
+  EXPECT_EQ(int8_layers, report.int8_layers);
+  // The plan is installed on the network and the precision restored.
+  EXPECT_EQ(net.hybrid_plan().size(), n_layers);
+  EXPECT_EQ(net.precision(), core::InferencePrecision::kFp32);
+}
+
+TEST(HybridPlanner, ImpossibleBudgetFallsBackToBestPsnrPlan) {
+  core::SesrInference net = make_inference(10);
+  const std::vector<Tensor> lr = make_calibration(100, 2);
+  // Exact fp32 outputs as HR: baseline hits the identical-image cap, so no
+  // quantized plan can stay within any finite budget. The planner must still
+  // return (and install) the best-PSNR plan rather than throw.
+  std::vector<Tensor> hr;
+  for (const Tensor& f : lr) hr.push_back(net.upscale(f));
+  net.calibrate_int8(lr);
+  const core::HybridPlanReport report = core::plan_hybrid_precision(net, lr, hr, 0.05);
+  EXPECT_GT(report.drop_db, 0.05);  // infeasible — fallback taken
+  EXPECT_EQ(report.plan.size(), net.convolutions().size());
+  EXPECT_EQ(net.hybrid_plan().size(), net.convolutions().size());
+}
+
+TEST(HybridPlanner, RequiresCalibrationAndMatchingPairs) {
+  core::SesrInference net = make_inference(12);
+  const std::vector<Tensor> lr = make_calibration(120, 2);
+  std::vector<Tensor> hr;
+  for (const Tensor& f : lr) hr.push_back(net.upscale(f));
+  EXPECT_THROW(core::plan_hybrid_precision(net, lr, hr), std::logic_error);
+  net.calibrate_int8(lr);
+  std::vector<Tensor> short_hr(hr.begin(), hr.end() - 1);
+  EXPECT_THROW(core::plan_hybrid_precision(net, lr, short_hr), std::invalid_argument);
+  EXPECT_THROW(core::plan_hybrid_precision(net, {}, {}), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace sesr

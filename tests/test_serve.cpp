@@ -612,6 +612,12 @@ TEST(NetworkRegistry, RouteStringParseRoundTrip) {
   const RouteKey fp16{"m11", 4, core::InferencePrecision::kFp16};
   EXPECT_EQ(route_string(fp16), "m11:4:fp16");
   EXPECT_TRUE(parse_route("m11:4:fp16") == fp16);
+  const RouteKey int8{"m5", 2, core::InferencePrecision::kInt8};
+  EXPECT_EQ(route_string(int8), "m5:2:int8");
+  EXPECT_TRUE(parse_route("m5:2:int8") == int8);
+  const RouteKey hybrid{"m7", 3, core::InferencePrecision::kHybrid};
+  EXPECT_EQ(route_string(hybrid), "m7:3:hybrid");
+  EXPECT_TRUE(parse_route("m7:3:hybrid") == hybrid);
   const RouteKey defaulted = parse_route("m5:2");
   EXPECT_EQ(defaulted.network, "m5");
   EXPECT_EQ(defaulted.scale, 2);
@@ -640,6 +646,25 @@ TEST(NetworkRegistry, AddValidatesAndFindThrowsOnUnknown) {
   EXPECT_EQ(registry.size(), 2U);
   EXPECT_THROW(registry.find(RouteKey{"b", 2, core::InferencePrecision::kFp32}),
                UnknownRouteError);
+}
+
+TEST(NetworkRegistry, AddRejectsQuantizedRoutesWithoutCalibrationOrPlan) {
+  NetworkRegistry registry;
+  core::SesrInference inference = make_inference(43, small_config());
+  // Quantized routes need scales baked into the checkpoint the shards will
+  // restore from; hybrid additionally needs the per-layer split.
+  EXPECT_THROW(registry.add(RouteKey{"a", 2, core::InferencePrecision::kInt8}, inference),
+               std::invalid_argument);
+  EXPECT_THROW(registry.add(RouteKey{"a", 2, core::InferencePrecision::kHybrid}, inference),
+               std::invalid_argument);
+  inference.calibrate_int8({make_frame(7, 12, 12)});
+  registry.add(RouteKey{"a", 2, core::InferencePrecision::kInt8}, inference);
+  EXPECT_THROW(registry.add(RouteKey{"a", 2, core::InferencePrecision::kHybrid}, inference),
+               std::invalid_argument);
+  inference.set_hybrid_plan(std::vector<core::LayerPrecision>(
+      inference.convolutions().size(), core::LayerPrecision::kInt8));
+  registry.add(RouteKey{"a", 2, core::InferencePrecision::kHybrid}, inference);
+  EXPECT_EQ(registry.size(), 2U);
 }
 
 TEST(PlanTileUnits, PartitionsTasksIntoContiguousRanges) {
@@ -843,6 +868,137 @@ TEST(ShardedServerStress, SeededMixedNetworkBitIdentical) {
   for (int i = 0; i < iterations; ++i) {
     SCOPED_TRACE("iteration " + std::to_string(i));
     run_sharded_stress_iteration(static_cast<std::uint64_t>(i));
+    if (HasFatalFailure()) return;
+  }
+}
+
+// One calibrated + hybrid-planned network served under all four precisions at
+// once, with the execution mode (full-frame / tiled / streaming / auto)
+// rotating per seed. Every result must be bit-identical to the same-mode
+// single-threaded reference — the scales and the plan travel inside the
+// checkpoint, so shard replicas must reproduce them exactly. The pure-int8
+// route carries a stronger promise (integer accumulation, fixed scales,
+// elementwise quantization): its tiled and streaming outputs must ALSO match
+// the full-frame pass bitwise, which the test asserts cross-mode.
+void run_mixed_precision_stress_iteration(std::uint64_t seed) {
+  const ExecMode modes[] = {ExecMode::kFullFrame, ExecMode::kTiled, ExecMode::kStreaming,
+                            ExecMode::kAuto};
+  const ExecMode mode = modes[seed % 4];
+  core::SesrInference net = make_inference(7000 + seed, small_config());
+  Rng calib_rng(seed ^ 0xABCD17ULL);
+  std::vector<Tensor> calib;
+  for (int i = 0; i < 2; ++i) {
+    Tensor frame(1, 16, 16, 1);
+    frame.fill_uniform(calib_rng, 0.0F, 1.0F);
+    calib.push_back(std::move(frame));
+  }
+  net.calibrate_int8(calib);
+  // Interleave fp16 and int8 layers so the hybrid route actually exercises
+  // both arithmetics (a planner run would work too; a fixed split is faster
+  // and just as binding for the determinism promise).
+  std::vector<core::LayerPrecision> plan(net.convolutions().size(),
+                                         core::LayerPrecision::kFp16);
+  for (std::size_t i = 0; i < plan.size(); i += 2) plan[i] = core::LayerPrecision::kInt8;
+  net.set_hybrid_plan(std::move(plan));
+
+  const RouteKey routes[] = {{"m", 2, core::InferencePrecision::kFp32},
+                             {"m", 2, core::InferencePrecision::kFp16},
+                             {"m", 2, core::InferencePrecision::kInt8},
+                             {"m", 2, core::InferencePrecision::kHybrid}};
+  NetworkRegistry registry;
+  for (const RouteKey& route : routes) registry.add(route, net);
+
+  ServeOptions options;
+  options.workers = 1 + static_cast<int>(seed % 3);
+  options.max_batch = 1 + static_cast<std::int64_t>(seed % 3);
+  options.max_delay_us = 500;
+  options.queue_capacity = 8;
+  options.mode = mode;
+  options.tiling.tile_h = 6;
+  options.tiling.tile_w = 7;
+  options.tiled_threshold_pixels = 12 * 12;
+  options.cache_entries = seed % 2 == 0 ? 4 : 0;
+
+  const StressShape shapes[] = {{10, 10}, {12, 14}, {16, 16}};
+  constexpr int kProducers = 3;
+  constexpr int kFramesPerProducer = 8;
+
+  ShardedServer server(registry, options);
+  std::vector<std::vector<std::future<Tensor>>> futures(kProducers);
+  std::vector<std::vector<Tensor>> sent(kProducers);
+  std::vector<std::vector<int>> route_of(kProducers);
+  std::vector<std::thread> producers;
+  for (int t = 0; t < kProducers; ++t) {
+    futures[static_cast<std::size_t>(t)].resize(kFramesPerProducer);
+    sent[static_cast<std::size_t>(t)].resize(kFramesPerProducer);
+    route_of[static_cast<std::size_t>(t)].resize(kFramesPerProducer);
+    producers.emplace_back([&, t] {
+      Rng rng(seed * 7919 + static_cast<std::uint64_t>(t));
+      for (int i = 0; i < kFramesPerProducer; ++i) {
+        const StressShape s = shapes[rng.uniform_int(0, 2)];
+        Tensor frame(1, s.h, s.w, 1);
+        Rng frame_rng(seed * 37 + static_cast<std::uint64_t>(rng.uniform_int(0, 3)));
+        frame.fill_uniform(frame_rng, 0.0F, 1.0F);
+        const int r = rng.uniform_int(0, 3);
+        sent[static_cast<std::size_t>(t)][static_cast<std::size_t>(i)] = frame;
+        route_of[static_cast<std::size_t>(t)][static_cast<std::size_t>(i)] = r;
+        futures[static_cast<std::size_t>(t)][static_cast<std::size_t>(i)] =
+            server.submit(routes[r], std::move(frame));
+      }
+    });
+  }
+  for (auto& p : producers) p.join();
+
+  auto reference = [&](core::InferencePrecision prec, const Tensor& frame,
+                       ExecMode forced) -> Tensor {
+    net.set_precision(prec);
+    ExecMode resolved = forced;
+    if (resolved == ExecMode::kAuto) {
+      resolved = frame.shape().h() * frame.shape().w() >= options.tiled_threshold_pixels
+                     ? ExecMode::kTiled
+                     : ExecMode::kFullFrame;
+    }
+    if (resolved == ExecMode::kStreaming) {
+      core::StreamingUpscaler streamer(net);
+      return streamer.upscale(frame);
+    }
+    if (resolved == ExecMode::kTiled) return core::upscale_tiled(net, frame, options.tiling);
+    return net.upscale(frame);
+  };
+  std::uint64_t per_route_want[4] = {0, 0, 0, 0};
+  for (int t = 0; t < kProducers; ++t) {
+    for (int i = 0; i < kFramesPerProducer; ++i) {
+      Tensor got = futures[static_cast<std::size_t>(t)][static_cast<std::size_t>(i)].get();
+      const Tensor& frame = sent[static_cast<std::size_t>(t)][static_cast<std::size_t>(i)];
+      const int r = route_of[static_cast<std::size_t>(t)][static_cast<std::size_t>(i)];
+      ++per_route_want[r];
+      ASSERT_EQ(max_abs_diff(got, reference(routes[r].precision, frame, mode)), 0.0F)
+          << "seed=" << seed << " producer=" << t << " frame=" << i
+          << " route=" << route_string(routes[r]);
+      if (routes[r].precision == core::InferencePrecision::kInt8) {
+        ASSERT_EQ(max_abs_diff(got,
+                               reference(core::InferencePrecision::kInt8, frame,
+                                         ExecMode::kFullFrame)),
+                  0.0F)
+            << "seed=" << seed << " int8 cross-mode mismatch vs full-frame";
+      }
+    }
+  }
+  server.shutdown();
+  const ShardedStats stats = server.stats();
+  constexpr auto kTotal = static_cast<std::uint64_t>(kProducers * kFramesPerProducer);
+  ASSERT_EQ(stats.total.completed, kTotal) << "seed=" << seed;
+  ASSERT_EQ(stats.total.failed, 0U) << "seed=" << seed;
+  std::uint64_t completed = 0;
+  for (const RouteStats& route : stats.per_route) completed += route.completed;
+  ASSERT_EQ(completed, kTotal) << "seed=" << seed;
+}
+
+TEST(MixedPrecisionStress, AllPrecisionsOneServerBitIdentical) {
+  const int iterations = stress_iterations();
+  for (int i = 0; i < iterations; ++i) {
+    SCOPED_TRACE("iteration " + std::to_string(i));
+    run_mixed_precision_stress_iteration(static_cast<std::uint64_t>(i));
     if (HasFatalFailure()) return;
   }
 }

@@ -53,7 +53,7 @@ inline std::vector<Args::Option> serve_cli_options() {
       {"queue-capacity", "64", "bounded submission queue depth"},
       {"policy", "block", "overload policy: block|reject"},
       {"mode", "full", "execution: full|tiled|streaming|auto"},
-      {"precision", "fp32", "worker arithmetic: fp32|fp16"},
+      {"precision", "fp32", "worker arithmetic: fp32|fp16|int8|hybrid"},
       {"tile", "64", "LR tile edge for tiled/auto modes"},
       {"qps", "0", "open-loop Poisson arrival rate; 0 = closed loop"},
       {"frames", "256", "total frames to submit (exclusive with --duration-s)"},
@@ -159,7 +159,9 @@ inline ServeCliConfig parse_serve_cli(const Args& args) {
   const std::string precision = args.get("precision");
   if (precision == "fp32") config.serve.precision = core::InferencePrecision::kFp32;
   else if (precision == "fp16") config.serve.precision = core::InferencePrecision::kFp16;
-  else throw UsageError("unknown --precision '" + precision + "' (expected fp32|fp16)");
+  else if (precision == "int8") config.serve.precision = core::InferencePrecision::kInt8;
+  else if (precision == "hybrid") config.serve.precision = core::InferencePrecision::kHybrid;
+  else throw UsageError("unknown --precision '" + precision + "' (expected fp32|fp16|int8|hybrid)");
 
   const std::int64_t tile = args.get_int("tile");
   if (tile < 1) throw UsageError("--tile must be >= 1");

@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "cli_args.hpp"
+#include "core/hybrid_plan.hpp"
 #include "core/quantize.hpp"
 #include "core/sesr_inference.hpp"
 #include "core/tiled_inference.hpp"
@@ -27,8 +28,9 @@ int main(int argc, char** argv) {
           {"scale", "2", "scale for --bicubic (checkpoints carry their own)"},
           {"image-size", "64", "HR edge length of the synthetic eval sets"},
           {"full", "", "use the larger (non-reduced) set sizes"},
-          {"int8", "", "quantize to int8 (calibrated on the first set)"},
-          {"precision", "", "per-precision summary: fp32|fp16|int8|all (full-frame)"},
+          {"int8", "", "legacy reference int8 path (QuantizedSesr; the serving "
+                       "path is --precision int8)"},
+          {"precision", "", "per-precision summary: fp32|fp16|int8|hybrid|all (full-frame)"},
           {"tiled", "", "run tile-by-tile with an exact halo"},
           {"tile", "32", "tile size for --tiled"},
           {"help", "", "show this help"},
@@ -62,23 +64,39 @@ int main(int argc, char** argv) {
         // aggregated over every set (image-weighted) plus mean wall time per
         // frame. Full-frame path only; --int8/--tiled flags are ignored here.
         if (precision != "fp32" && precision != "fp16" && precision != "int8" &&
-            precision != "all") {
-          throw std::invalid_argument("--precision must be fp32|fp16|int8|all");
+            precision != "hybrid" && precision != "all") {
+          throw std::invalid_argument("--precision must be fp32|fp16|int8|hybrid|all");
         }
         const std::vector<std::string> modes =
-            precision == "all" ? std::vector<std::string>{"fp32", "fp16", "int8"}
+            precision == "all" ? std::vector<std::string>{"fp32", "fp16", "int8", "hybrid"}
                                : std::vector<std::string>{precision};
-        std::shared_ptr<core::QuantizedSesr> quant;
+        // Native int8 calibration set: the first benchmark set's LR frames
+        // (shared by the int8 and hybrid rows; the hybrid planner also needs
+        // the HR targets for its PSNR budget).
+        std::vector<Tensor> calib_lr;
+        std::vector<Tensor> calib_hr;
+        auto ensure_calibrated = [&]() {
+          if (net->int8_calibrated()) return;
+          calib_hr.assign(sets.front().hr.begin(), sets.front().hr.end());
+          for (const Tensor& t : calib_hr) calib_lr.push_back(data::downscale_bicubic(t, scale));
+          net->calibrate_int8(calib_lr);
+        };
         std::printf("\n%-10s %10s %8s %10s\n", "precision", "PSNR", "SSIM", "ms/frame");
         for (const std::string& mode : modes) {
           metrics::Upscaler base;
-          if (mode == "int8") {
-            if (!quant) {
-              std::vector<Tensor> calib(sets.front().hr.begin(), sets.front().hr.end());
-              for (Tensor& t : calib) t = data::downscale_bicubic(t, scale);
-              quant = std::make_shared<core::QuantizedSesr>(*net, calib);
+          if (mode == "int8" || mode == "hybrid") {
+            ensure_calibrated();
+            if (mode == "hybrid" && net->hybrid_plan().empty()) {
+              const core::HybridPlanReport plan =
+                  core::plan_hybrid_precision(*net, calib_lr, calib_hr);
+              std::printf("hybrid plan: %lld/%zu int8 layers, calib drop %.3f dB "
+                          "(%lld plans scored)\n",
+                          static_cast<long long>(plan.int8_layers), plan.plan.size(),
+                          plan.drop_db, static_cast<long long>(plan.evaluated));
             }
-            base = [quant](const Tensor& lr_img) { return quant->upscale(lr_img); };
+            net->set_precision(mode == "int8" ? core::InferencePrecision::kInt8
+                                              : core::InferencePrecision::kHybrid);
+            base = [net](const Tensor& lr_img) { return net->upscale(lr_img); };
           } else {
             net->set_precision(mode == "fp16" ? core::InferencePrecision::kFp16
                                               : core::InferencePrecision::kFp32);

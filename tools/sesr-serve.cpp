@@ -25,6 +25,7 @@
 #include <vector>
 
 #include "cli_args.hpp"
+#include "core/hybrid_plan.hpp"
 #include "core/sesr_network.hpp"
 #include "serve/registry.hpp"
 #include "serve/request_queue.hpp"
@@ -50,7 +51,33 @@ int run(const cli::ServeCliConfig& config) {
   serve::NetworkRegistry registry;
   for (const serve::RouteKey& route : config.routes) {
     core::SesrNetwork network(named_config(route.network, route.scale), rng);
-    registry.add(route, core::SesrInference(network));
+    core::SesrInference collapsed(network);
+    if (route.precision == core::InferencePrecision::kInt8 ||
+        route.precision == core::InferencePrecision::kHybrid) {
+      // Deterministic synthetic calibration set (and, for hybrid, plan): the
+      // scales travel inside the checkpoint, so every shard replica inherits
+      // them bit-exactly.
+      Rng calib_rng(config.seed ^ 0xC0FFEEULL);
+      std::vector<Tensor> calib;
+      for (int i = 0; i < 4; ++i) {
+        Tensor frame(1, 48, 48, 1);
+        frame.fill_uniform(calib_rng, 0.0F, 1.0F);
+        calib.push_back(std::move(frame));
+      }
+      collapsed.calibrate_int8(calib);
+      if (route.precision == core::InferencePrecision::kHybrid) {
+        std::vector<Tensor> hr;
+        collapsed.set_precision(core::InferencePrecision::kFp32);
+        for (const Tensor& frame : calib) hr.push_back(collapsed.upscale(frame));
+        for (Tensor& frame : hr) {
+          Tensor noise(frame.shape());
+          noise.fill_uniform(calib_rng, -0.005F, 0.005F);
+          for (std::int64_t i = 0; i < frame.numel(); ++i) frame.raw()[i] += noise.raw()[i];
+        }
+        core::plan_hybrid_precision(collapsed, calib, hr);
+      }
+    }
+    registry.add(route, collapsed);
   }
   serve::ShardedServer server(registry, config.serve);
 
