@@ -24,6 +24,7 @@
 #include <cstdlib>
 #include <deque>
 #include <future>
+#include <mutex>
 #include <string>
 #include <thread>
 #include <vector>
@@ -309,6 +310,119 @@ int main() {
     std::printf("int8 speedup vs fp32 at saturation: %.2fx (single-worker advantage should "
                 "persist; a collapse here means the int8 path serializes on shared state)\n",
                 int8_sat_fps / fp32_sat_fps);
+  }
+
+  // --- SLO shedding under closed-loop overload ---------------------------
+  // The admission-control claim: under sustained overload, shedding the
+  // requests that cannot meet the budget keeps the ADMITTED requests' p99
+  // near the unloaded baseline, where a block-everything server drags every
+  // request to clients/throughput. 8 closed-loop clients against 2 workers
+  // is 4x overload for this model (and leaves the 2-core CI box enough
+  // headroom that client threads do not preempt the workers they measure).
+  // The fp16 sibling route is registered so the degrade ladder has a real
+  // rung to rewrite onto.
+  {
+    struct SloResult {
+      double p99_ms = 0.0;
+      std::uint64_t ok = 0;
+      std::uint64_t shed = 0;
+      std::uint64_t degraded = 0;
+    };
+    const auto run_slo = [&](int clients, std::int64_t budget_us, double seconds) -> SloResult {
+      serve::NetworkRegistry registry;
+      registry.add({"m5", 2, core::InferencePrecision::kFp32}, inference);
+      registry.add({"m5", 2, core::InferencePrecision::kFp16}, inference);
+      serve::ServeOptions options;
+      options.workers = 2;
+      // Latency-oriented shape: single-frame batches flushed immediately.
+      // With batching on, a batch of N records N frames' worth of service
+      // into each request's EWMA sample, and the estimator spirals itself
+      // into shedding everything.
+      options.max_batch = 1;
+      options.max_delay_us = 0;
+      options.queue_capacity = 16;
+      options.slo.p99_budget_us = budget_us;  // 0 = admission inert (block policy)
+      // Admit only to 70% of the budget: the controller cannot see scheduler
+      // preemption on an oversubscribed box, so leave it slack.
+      options.slo.headroom = 0.4;
+      // Pure-shed comparison: degraded requests are admitted exactly when the
+      // fp32 estimate is over budget — i.e. when the box is busiest — so they
+      // ARE the latency tail. The degrade ladder is exercised by the tests;
+      // this sweep isolates what shedding alone buys.
+      options.slo.allow_degrade = false;
+      serve::ShardedServer server(registry, options);
+      const serve::RouteKey route{"m5", 2, core::InferencePrecision::kFp32};
+      const serve::RouteKey fallback{"m5", 2, core::InferencePrecision::kFp16};
+      // Warm both routes' service estimators serially (unrecorded): an
+      // unwarmed controller admits everything optimistically, and that
+      // startup burst would be the only thing the shed-mode p99 measures.
+      for (int i = 0; i < 8; ++i) {
+        server.submit(route, frame).get();
+        server.submit(fallback, frame).get();
+      }
+      std::mutex merge;
+      std::vector<double> latency_ms;
+      std::atomic<std::uint64_t> ok{0};
+      const auto stop_at = Clock::now() + std::chrono::duration_cast<Clock::duration>(
+                                              std::chrono::duration<double>(seconds));
+      std::vector<std::thread> threads;
+      for (int c = 0; c < clients; ++c) {
+        threads.emplace_back([&, c] {
+          std::vector<double> local;
+          while (Clock::now() < stop_at) {
+            const auto t0 = Clock::now();
+            try {
+              server.submit(route, frame).get();
+              ok.fetch_add(1, std::memory_order_relaxed);
+              local.push_back(
+                  std::chrono::duration<double, std::milli>(Clock::now() - t0).count());
+            } catch (const serve::ShedError&) {
+              // A real client backs off on a typed overload answer; without
+              // this the loop busy-spins on the admission check and the
+              // promise churn alone steals worker CPU. Stagger the backoff
+              // per client: identical sleeps re-synchronize the herd, and a
+              // burst arrival is exactly when an admitted request lands on a
+              // busy box.
+              std::this_thread::sleep_for(std::chrono::milliseconds(8 + c));
+            }
+          }
+          std::lock_guard<std::mutex> lock(merge);
+          latency_ms.insert(latency_ms.end(), local.begin(), local.end());
+        });
+      }
+      for (auto& t : threads) t.join();
+      server.shutdown();
+      const serve::ShardedStats stats = server.stats();
+      return {serve::percentile(std::move(latency_ms), 99.0), ok.load(), stats.total.shed,
+              stats.total.degraded};
+    };
+
+    const double seconds = fast_mode() ? 1.5 : 4.0;
+    const SloResult unloaded = run_slo(1, 0, seconds);
+    // Budget: 1.5x the unloaded p99 — tight enough that queue waits blow it,
+    // loose enough that an uncontended request always fits. Admission holds
+    // the admitted p99 to roughly the budget, so the budget multiplier is
+    // what the shed-mode ratio converges to.
+    const auto budget_us = static_cast<std::int64_t>(unloaded.p99_ms * 1.5 * 1000.0);
+    const SloResult shed_off = run_slo(8, 0, seconds);
+    const SloResult shed_on = run_slo(8, budget_us, seconds);
+    std::printf("\nSLO shedding under 8-client closed-loop overload (budget %.2f ms):\n",
+                static_cast<double>(budget_us) / 1e3);
+    std::printf("  unloaded (1 client)   p99 %8.2f ms  (%llu ok)\n", unloaded.p99_ms,
+                static_cast<unsigned long long>(unloaded.ok));
+    std::printf("  overload, no shedding p99 %8.2f ms  (%.1fx unloaded; every request queues)\n",
+                shed_off.p99_ms, shed_off.p99_ms / unloaded.p99_ms);
+    std::printf("  overload, shedding    p99 %8.2f ms  (%.1fx unloaded, target <= 1.5x; "
+                "%llu ok, %llu shed, %llu degraded)\n",
+                shed_on.p99_ms, shed_on.p99_ms / unloaded.p99_ms,
+                static_cast<unsigned long long>(shed_on.ok),
+                static_cast<unsigned long long>(shed_on.shed),
+                static_cast<unsigned long long>(shed_on.degraded));
+    json.add("slo/unloaded_p99", unloaded.p99_ms * 1e6, 0.0, 1);
+    json.add("slo/overload_noshed_p99", shed_off.p99_ms * 1e6, 0.0, 8);
+    json.add("slo/overload_shed_p99", shed_on.p99_ms * 1e6, 0.0, 8);
+    json.add("slo/overload_shed_vs_unloaded", shed_on.p99_ms / unloaded.p99_ms, 0.0, 8);
+    json.add("slo/overload_noshed_vs_unloaded", shed_off.p99_ms / unloaded.p99_ms, 0.0, 8);
   }
   return 0;
 }

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <utility>
 
+#include "serve/admission.hpp"
+#include "serve/clock.hpp"
 #include "serve/response_cache.hpp"
 #include "tensor/tensor_ops.hpp"
 
@@ -13,7 +15,7 @@ namespace sesr::serve {
 FairDispatchQueue::FairDispatchQueue(std::size_t shard_count, std::size_t depth_limit, bool fair)
     : depth_limit_(std::max<std::size_t>(1, depth_limit)), fair_(fair), shards_(shard_count) {}
 
-bool FairDispatchQueue::push(std::size_t shard, std::uint64_t lane, Unit unit,
+bool FairDispatchQueue::push(std::size_t shard, std::uint64_t lane, Unit&& unit,
                              std::size_t weight) {
   std::unique_lock<std::mutex> lock(mutex_);
   not_full_.wait(lock, [&] { return weight == 0 || total_units_ < depth_limit_ || closed_; });
@@ -91,22 +93,60 @@ Tensor stack_frames(const std::vector<FrameRequest>& requests) {
   return batched;
 }
 
+// One observed service sample (batcher dispatch to resolution) into the
+// admission EWMA. Recorded on success AND failure — a failing route still
+// consumed a worker for that long.
+void record_service(FrameRequest& request) {
+  if (request.admission == nullptr) return;
+  if (request.dispatch_time == ServeClock::time_point{}) return;  // never dispatched
+  request.admission->record(
+      request.admit_route,
+      std::chrono::duration_cast<std::chrono::microseconds>(ServeClock::now() -
+                                                            request.dispatch_time)
+          .count());
+}
+
+// Last words of a resolved request: the external completion callback, then
+// the drain counter. The promise is already fulfilled, so a done_hook that
+// calls future.get() cannot block, and a drainer woken by inflight->done()
+// observes the fully resolved request.
+void finish_request(FrameRequest& request) {
+  if (request.done_hook) request.done_hook();
+  if (request.inflight != nullptr) request.inflight->done();
+}
+
+}  // namespace
+
 // Completion bookkeeping shared by the batch and tile paths. Every side
 // effect — cache insert, route counter, stats sample — precedes set_value, so
 // a caller whose future has resolved observes the completion in stats() and
 // gets a cache hit on the next identical submission.
 void complete_request(FrameRequest& request, Tensor output, StatsRecorder& stats) {
+  record_service(request);
+  if (request.continuation) {
+    // Two-stage degrade: stage 1 done; the continuation enqueues stage 2,
+    // which carries the promise / done_hook / inflight to final resolution.
+    auto continuation = std::move(request.continuation);
+    request.continuation = nullptr;
+    continuation(std::move(request), std::move(output));
+    return;
+  }
   if (request.cache != nullptr) request.cache->insert(request.route_id, request.frame, output);
   if (request.route != nullptr) request.route->completed.fetch_add(1, std::memory_order_relaxed);
   stats.on_completed(request.enqueue_time);
   request.promise.set_value(std::move(output));
+  finish_request(request);
 }
 
 void fail_request(FrameRequest& request, const std::exception_ptr& error, StatsRecorder& stats) {
+  record_service(request);
   if (request.route != nullptr) request.route->failed.fetch_add(1, std::memory_order_relaxed);
   stats.on_failed();
   request.promise.set_exception(error);
+  finish_request(request);
 }
+
+namespace {
 
 void run_batch(WorkerSession& session, BatchUnit& unit, StatsRecorder& stats) {
   std::vector<Tensor> outputs;

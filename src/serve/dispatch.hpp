@@ -80,9 +80,9 @@ class FairDispatchQueue {
 
   // Blocks while the queue is at its weighted depth limit (weight-0 pushes
   // never block: they extend an already-admitted job). Returns false when the
-  // queue was closed (the unit was NOT enqueued; the caller must fail its
-  // promises).
-  bool push(std::size_t shard, std::uint64_t lane, Unit unit, std::size_t weight = 1);
+  // queue was closed: the unit was NOT enqueued and NOT consumed — a caller
+  // holding it by name can still fail its promises with a typed error.
+  bool push(std::size_t shard, std::uint64_t lane, Unit&& unit, std::size_t weight = 1);
 
   // Pops the next unit for `shard`: fresh lanes first in arrival order, then
   // already-served lanes round-robin. Blocks until a unit arrives; returns
@@ -132,5 +132,15 @@ struct WorkerSession {
 // BEFORE the promise is fulfilled, so a caller that observed a completion can
 // rely on the next identical submission hitting the cache.
 void execute_unit(WorkerSession& session, Unit& unit, StatsRecorder& stats);
+
+// Resolve one request with a value / an error. Shared by the execution core
+// and the server's submit/drain paths so every resolution runs the same
+// ordered epilogue: cache insert (success only) -> route counter -> stats ->
+// admission EWMA sample -> promise -> done_hook -> inflight done. When the
+// request carries a two-stage continuation, complete_request hands it
+// (request, output) INSTEAD of fulfilling the promise — stage 2 owns the
+// promise, done_hook, and inflight from then on.
+void complete_request(FrameRequest& request, Tensor output, StatsRecorder& stats);
+void fail_request(FrameRequest& request, const std::exception_ptr& error, StatsRecorder& stats);
 
 }  // namespace sesr::serve

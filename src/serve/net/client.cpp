@@ -1,0 +1,57 @@
+#include "serve/net/client.hpp"
+
+namespace sesr::serve::net {
+
+NetClient::NetClient(const std::string& host, std::uint16_t port)
+    : fd_(connect_tcp(host, port)) {
+  set_nodelay(fd_);
+}
+
+std::uint64_t NetClient::send(const std::string& route, const Tensor& frame,
+                              std::uint32_t deadline_us) {
+  WireRequest request;
+  request.id = next_id_++;
+  request.deadline_us = deadline_us;
+  request.route = route;
+  request.h = frame.shape().h();
+  request.w = frame.shape().w();
+  request.pixels = frame_to_pixels(frame);
+  const std::vector<std::uint8_t> bytes = encode_request(request);
+  send_all(fd_, bytes.data(), bytes.size());
+  return request.id;
+}
+
+std::optional<WireResponse> NetClient::recv_response() {
+  std::uint8_t header[8];
+  if (!recv_all(fd_, header, sizeof(header))) return std::nullopt;
+  std::uint32_t magic = 0, len = 0;
+  for (int i = 0; i < 4; ++i) magic |= static_cast<std::uint32_t>(header[i]) << (8 * i);
+  for (int i = 0; i < 4; ++i) len |= static_cast<std::uint32_t>(header[4 + i]) << (8 * i);
+  if (magic != kMagic || len > kMaxPayloadBytes) {
+    throw std::runtime_error("net client: malformed response frame");
+  }
+  std::vector<std::uint8_t> payload(len);
+  if (len > 0 && !recv_all(fd_, payload.data(), payload.size())) return std::nullopt;
+  std::optional<WireResponse> response = decode_response(payload);
+  if (!response) throw std::runtime_error("net client: undecodable response payload");
+  return response;
+}
+
+WireResponse NetClient::upscale(const std::string& route, const Tensor& frame,
+                                std::uint32_t deadline_us) {
+  const std::uint64_t id = send(route, frame, deadline_us);
+  std::optional<WireResponse> response = recv_response();
+  if (!response) throw std::runtime_error("net client: server closed the connection");
+  if (response->id != id) {
+    throw std::runtime_error("net client: response id mismatch (pipelining without matching?)");
+  }
+  return *response;
+}
+
+void NetClient::send_raw(const std::vector<std::uint8_t>& bytes) {
+  send_all(fd_, bytes.data(), bytes.size());
+}
+
+void NetClient::disconnect() { fd_.reset(); }
+
+}  // namespace sesr::serve::net

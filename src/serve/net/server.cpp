@@ -1,0 +1,348 @@
+#include "serve/net/server.hpp"
+
+#include <poll.h>
+#include <sys/socket.h>
+
+#include <cerrno>
+#include <deque>
+#include <map>
+#include <mutex>
+#include <vector>
+
+#include "serve/admission.hpp"
+#include "serve/net/wire.hpp"
+
+namespace sesr::serve::net {
+
+namespace {
+
+// Map a failed future's exception onto a wire status + message.
+WireResponse error_response(std::uint64_t id, const std::string& route,
+                            const std::exception_ptr& error) {
+  WireResponse r;
+  r.id = id;
+  r.route = route;
+  try {
+    std::rethrow_exception(error);
+  } catch (const ShedError& e) {
+    r.status = Status::kOverloaded;
+    r.message = e.what();
+  } catch (const QueueFullError& e) {
+    r.status = Status::kOverloaded;
+    r.message = e.what();
+  } catch (const ServerClosedError& e) {  // covers ServerDrainingError
+    r.status = Status::kShuttingDown;
+    r.message = e.what();
+  } catch (const UnknownRouteError& e) {
+    r.status = Status::kUnknownRoute;
+    r.message = e.what();
+  } catch (const std::invalid_argument& e) {
+    r.status = Status::kBadRequest;
+    r.message = e.what();
+  } catch (const std::exception& e) {
+    r.status = Status::kError;
+    r.message = e.what();
+  } catch (...) {
+    r.status = Status::kError;
+    r.message = "unknown execution error";
+  }
+  return r;
+}
+
+}  // namespace
+
+struct NetServer::Impl {
+  struct Connection {
+    std::uint64_t id = 0;
+    Fd fd;
+    FrameReader reader;
+    std::deque<std::vector<std::uint8_t>> outbox;
+    std::size_t out_offset = 0;  // bytes of outbox.front() already written
+    bool close_after_flush = false;
+  };
+
+  struct Pending {
+    std::uint64_t conn_id = 0;
+    std::uint64_t wire_id = 0;
+    std::string served_route;
+    std::uint8_t flags = 0;
+    std::future<Tensor> future;
+  };
+
+  ShardedServer& server;
+  NetServerOptions options;
+  Fd listener;
+  WakePipe wake;
+
+  // IO-thread-private state.
+  std::map<std::uint64_t, Connection> conns;  // conn id -> connection
+  std::map<std::uint64_t, Pending> pending;   // seq -> in-flight request
+  std::uint64_t next_conn_id = 1;
+  std::uint64_t next_seq = 1;
+
+  // Worker threads hand resolved request seqs back through here.
+  std::mutex completed_mutex;
+  std::vector<std::uint64_t> completed;
+
+  // Counters (read from any thread via stats()).
+  std::atomic<std::uint64_t> n_accepted{0}, n_rejected{0}, n_disconnects{0};
+  std::atomic<std::uint64_t> n_requests{0}, n_responses{0}, n_malformed{0};
+
+  Impl(ShardedServer& server, NetServerOptions options)
+      : server(server), options(options) {}
+
+  void queue_response(Connection& conn, const WireResponse& response) {
+    conn.outbox.push_back(encode_response(response));
+  }
+
+  void handle_payload(Connection& conn, const std::vector<std::uint8_t>& payload) {
+    std::optional<WireRequest> request = decode_request(payload);
+    if (!request) {
+      poison(conn, "malformed request payload");
+      return;
+    }
+    RouteKey key;
+    try {
+      key = parse_route(request->route);
+    } catch (const std::exception& e) {
+      WireResponse r;
+      r.id = request->id;
+      r.status = Status::kUnknownRoute;
+      r.route = request->route;
+      r.message = e.what();
+      queue_response(conn, r);
+      return;
+    }
+    n_requests.fetch_add(1, std::memory_order_relaxed);
+    const std::uint64_t seq = next_seq++;
+    Pending& entry = pending[seq];
+    entry.conn_id = conn.id;
+    entry.wire_id = request->id;
+    SubmitOptions opts;
+    opts.deadline_us = request->deadline_us;
+    opts.never_block = true;  // the IO loop must never park on a full queue
+    opts.done_hook = [this, seq] {
+      {
+        std::lock_guard<std::mutex> lock(completed_mutex);
+        completed.push_back(seq);
+      }
+      wake.wake();
+    };
+    AdmitResult admitted = server.submit_admitted(
+        key, pixels_to_frame(request->h, request->w, request->pixels), std::move(opts));
+    entry.future = std::move(admitted.future);
+    entry.served_route = std::move(admitted.served_route);
+    if (admitted.degraded) entry.flags |= kFlagDegraded;
+    if (admitted.two_stage) entry.flags |= kFlagTwoStage;
+    // If the done_hook already fired (synchronous rejection / cache hit), the
+    // seq sits in `completed` and this same thread collects it after this
+    // handler returns — the entry above is fully populated by then.
+  }
+
+  void poison(Connection& conn, const std::string& why) {
+    n_malformed.fetch_add(1, std::memory_order_relaxed);
+    WireResponse r;
+    r.id = 0;  // the frame boundary is lost; no request id to echo
+    r.status = Status::kBadRequest;
+    r.message = why;
+    queue_response(conn, r);
+    conn.close_after_flush = true;
+  }
+
+  void drain_completions() {
+    std::vector<std::uint64_t> ready;
+    {
+      std::lock_guard<std::mutex> lock(completed_mutex);
+      ready.swap(completed);
+    }
+    for (const std::uint64_t seq : ready) {
+      auto it = pending.find(seq);
+      if (it == pending.end()) continue;
+      Pending entry = std::move(it->second);
+      pending.erase(it);
+      auto conn_it = conns.find(entry.conn_id);
+      if (conn_it == conns.end()) continue;  // client left; drop the result
+      WireResponse response;
+      try {
+        Tensor output = entry.future.get();  // ready: the hook fires post-promise
+        response.id = entry.wire_id;
+        response.status = Status::kOk;
+        response.flags = entry.flags;
+        response.route = entry.served_route;
+        response.h = output.shape().h();
+        response.w = output.shape().w();
+        response.pixels = frame_to_pixels(output);
+      } catch (...) {
+        response = error_response(entry.wire_id, entry.served_route, std::current_exception());
+        response.flags = entry.flags;
+      }
+      queue_response(conn_it->second, response);
+    }
+  }
+
+  void accept_ready() {
+    while (true) {
+      const int fd = ::accept(listener.get(), nullptr, nullptr);
+      if (fd < 0) {
+        if (errno == EAGAIN || errno == EWOULDBLOCK || errno == EINTR) return;
+        return;  // transient accept failure; the listener stays up
+      }
+      Fd accepted(fd);
+      if (conns.size() >= options.max_connections) {
+        n_rejected.fetch_add(1, std::memory_order_relaxed);
+        continue;  // Fd closes on scope exit
+      }
+      set_nonblocking(accepted, true);
+      set_nodelay(accepted);
+      const std::uint64_t id = next_conn_id++;
+      Connection conn;
+      conn.id = id;
+      conn.fd = std::move(accepted);
+      conn.reader = FrameReader(options.max_payload_bytes);
+      conns.emplace(id, std::move(conn));
+      n_accepted.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+
+  // Returns false when the connection died and was erased.
+  bool read_ready(Connection& conn) {
+    std::uint8_t buf[64 * 1024];
+    while (true) {
+      const ssize_t n = ::recv(conn.fd.get(), buf, sizeof(buf), 0);
+      if (n > 0) {
+        conn.reader.feed(buf, static_cast<std::size_t>(n));
+        continue;
+      }
+      if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) break;
+      if (n < 0 && errno == EINTR) continue;
+      // Peer closed (possibly mid-request) or hard error: drop the
+      // connection; in-flight completions for it are discarded later.
+      n_disconnects.fetch_add(1, std::memory_order_relaxed);
+      conns.erase(conn.id);
+      return false;
+    }
+    while (auto payload = conn.reader.next()) {
+      handle_payload(conn, *payload);
+      if (conn.close_after_flush) return true;  // poisoned inside a handler
+    }
+    if (conn.reader.poisoned() && !conn.close_after_flush) {
+      poison(conn, conn.reader.error());
+    }
+    return true;
+  }
+
+  // Returns false when the connection was erased.
+  bool write_ready(Connection& conn) {
+    while (!conn.outbox.empty()) {
+      const std::vector<std::uint8_t>& front = conn.outbox.front();
+      const ssize_t n = ::send(conn.fd.get(), front.data() + conn.out_offset,
+                               front.size() - conn.out_offset, MSG_NOSIGNAL);
+      if (n < 0) {
+        if (errno == EAGAIN || errno == EWOULDBLOCK) return true;
+        if (errno == EINTR) continue;
+        n_disconnects.fetch_add(1, std::memory_order_relaxed);
+        conns.erase(conn.id);
+        return false;
+      }
+      conn.out_offset += static_cast<std::size_t>(n);
+      if (conn.out_offset == front.size()) {
+        conn.outbox.pop_front();
+        conn.out_offset = 0;
+        n_responses.fetch_add(1, std::memory_order_relaxed);
+      }
+    }
+    if (conn.close_after_flush) {
+      conns.erase(conn.id);
+      return false;
+    }
+    return true;
+  }
+
+  void run(const std::atomic<bool>& stopping) {
+    bool accepting = true;
+    while (true) {
+      drain_completions();
+
+      if (stopping.load(std::memory_order_seq_cst)) {
+        if (accepting) {
+          listener.reset();  // stop accepting; existing requests still finish
+          accepting = false;
+        }
+        bool flushed = pending.empty();
+        for (const auto& [id, conn] : conns) {
+          if (!conn.outbox.empty()) flushed = false;
+        }
+        if (flushed) break;
+      }
+
+      std::vector<pollfd> fds;
+      fds.push_back(pollfd{wake.read_fd(), POLLIN, 0});
+      if (accepting) fds.push_back(pollfd{listener.get(), POLLIN, 0});
+      std::vector<std::uint64_t> order;  // conn id per pollfd entry
+      for (auto& [id, conn] : conns) {
+        short events = 0;
+        if (!stopping.load(std::memory_order_relaxed)) events |= POLLIN;
+        if (!conn.outbox.empty()) events |= POLLOUT;
+        if (events == 0) continue;
+        fds.push_back(pollfd{conn.fd.get(), events, 0});
+        order.push_back(id);
+      }
+      // 100ms cap: a pure safety net so a lost wakeup can only delay, never
+      // wedge, the loop.
+      ::poll(fds.data(), fds.size(), 100);
+
+      std::size_t index = 0;
+      if (fds[index].revents & POLLIN) wake.drain();
+      ++index;
+      if (accepting) {
+        if (fds[index].revents & POLLIN) accept_ready();
+        ++index;
+      }
+      for (std::size_t c = 0; c < order.size(); ++c, ++index) {
+        auto it = conns.find(order[c]);
+        if (it == conns.end()) continue;
+        Connection& conn = it->second;
+        const short revents = fds[index].revents;
+        if (revents & (POLLERR | POLLNVAL)) {
+          n_disconnects.fetch_add(1, std::memory_order_relaxed);
+          conns.erase(conn.id);
+          continue;
+        }
+        if ((revents & (POLLIN | POLLHUP)) && !read_ready(conn)) continue;
+        if ((revents & POLLOUT) || !it->second.outbox.empty()) write_ready(it->second);
+      }
+    }
+    conns.clear();
+  }
+};
+
+NetServer::NetServer(ShardedServer& server, NetServerOptions options)
+    : impl_(std::make_unique<Impl>(server, options)) {
+  impl_->listener = listen_tcp(options.port);
+  set_nonblocking(impl_->listener, true);
+  port_ = local_port(impl_->listener);
+  io_thread_ = std::thread([this] { impl_->run(stopping_); });
+}
+
+NetServer::~NetServer() { shutdown(); }
+
+NetStats NetServer::stats() const {
+  NetStats s;
+  s.connections_accepted = impl_->n_accepted.load(std::memory_order_relaxed);
+  s.connections_rejected = impl_->n_rejected.load(std::memory_order_relaxed);
+  s.disconnects = impl_->n_disconnects.load(std::memory_order_relaxed);
+  s.requests = impl_->n_requests.load(std::memory_order_relaxed);
+  s.responses = impl_->n_responses.load(std::memory_order_relaxed);
+  s.malformed = impl_->n_malformed.load(std::memory_order_relaxed);
+  return s;
+}
+
+void NetServer::shutdown() {
+  std::call_once(shutdown_once_, [this] {
+    stopping_.store(true, std::memory_order_seq_cst);
+    impl_->wake.wake();
+    if (io_thread_.joinable()) io_thread_.join();
+  });
+}
+
+}  // namespace sesr::serve::net

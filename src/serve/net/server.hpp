@@ -1,0 +1,82 @@
+// TCP front end: a poll()-driven IO loop feeding ShardedServer.
+//
+//   accept ──> per-connection FrameReader ──> decode_request
+//                     │                             │
+//                     │                  submit_admitted(route, frame,
+//                     │                    {deadline, done_hook, never_block})
+//                     │                             │ (worker threads)
+//              outbox <── encode_response <── completion queue + wake pipe
+//
+// One thread owns every socket. Inference completions arrive on worker
+// threads; their done_hook only records the pending-request id and writes one
+// byte to a self-pipe, so the IO thread wakes, collects the resolved future
+// (ready by contract — the hook fires after the promise), encodes the
+// response, and writes it on the owning connection. Responses therefore
+// pipeline: a connection may have many requests in flight and receives
+// responses in completion order, matched by the echoed request id.
+//
+// Every submit uses never_block: the IO loop must not park on a full queue,
+// so overload surfaces as a typed kOverloaded response (shed or queue-full)
+// instead of backpressure-by-stall. A malformed frame poisons its connection:
+// the server answers kBadRequest (request id 0) and closes after flushing —
+// length-prefix framing cannot resynchronize past corrupt bytes. A client
+// that disconnects mid-request just loses its responses; in-flight inference
+// completes and the results are dropped on the floor when the completion
+// finds no live connection.
+//
+// shutdown(): stop accepting, stop reading, flush every in-flight response,
+// join. It does NOT shut down the ShardedServer — the owner decides whether
+// that instance drains, reloads, or dies.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <thread>
+
+#include "serve/net/socket.hpp"
+#include "serve/net/wire.hpp"
+#include "serve/sharded_server.hpp"
+
+namespace sesr::serve::net {
+
+struct NetServerOptions {
+  std::uint16_t port = 0;  // 0 = ephemeral; NetServer::port() reports it
+  std::size_t max_connections = 256;
+  std::uint32_t max_payload_bytes = kMaxPayloadBytes;
+};
+
+struct NetStats {
+  std::uint64_t connections_accepted = 0;
+  std::uint64_t connections_rejected = 0;  // over max_connections
+  std::uint64_t disconnects = 0;           // peer closed (clean or mid-request)
+  std::uint64_t requests = 0;              // complete frames decoded and submitted
+  std::uint64_t responses = 0;             // responses fully written
+  std::uint64_t malformed = 0;             // poisoned connections
+};
+
+class NetServer {
+ public:
+  // Binds 127.0.0.1:{options.port} and starts the IO thread. Throws
+  // SocketError when the port is taken.
+  NetServer(ShardedServer& server, NetServerOptions options);
+  ~NetServer();
+  NetServer(const NetServer&) = delete;
+  NetServer& operator=(const NetServer&) = delete;
+
+  std::uint16_t port() const { return port_; }
+  NetStats stats() const;
+
+  // Stop accepting and reading, flush every pending response (waiting for
+  // in-flight inference to resolve), close all sockets, join. Idempotent.
+  void shutdown();
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+  std::uint16_t port_ = 0;
+  std::thread io_thread_;
+  std::atomic<bool> stopping_{false};
+  std::once_flag shutdown_once_;
+};
+
+}  // namespace sesr::serve::net

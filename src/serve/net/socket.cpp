@@ -1,0 +1,149 @@
+#include "serve/net/socket.hpp"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace sesr::serve::net {
+
+namespace {
+
+[[noreturn]] void throw_errno(const std::string& op) {
+  throw SocketError(op + ": " + std::strerror(errno));
+}
+
+}  // namespace
+
+Fd& Fd::operator=(Fd&& other) noexcept {
+  if (this != &other) {
+    reset();
+    fd_ = other.fd_;
+    other.fd_ = -1;
+  }
+  return *this;
+}
+
+int Fd::release() {
+  const int fd = fd_;
+  fd_ = -1;
+  return fd;
+}
+
+void Fd::reset() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+Fd listen_tcp(std::uint16_t port, int backlog) {
+  Fd fd(::socket(AF_INET, SOCK_STREAM, 0));
+  if (!fd.valid()) throw_errno("socket");
+  const int one = 1;
+  if (::setsockopt(fd.get(), SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one)) != 0) {
+    throw_errno("setsockopt(SO_REUSEADDR)");
+  }
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  if (::bind(fd.get(), reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) != 0) {
+    throw_errno("bind(127.0.0.1:" + std::to_string(port) + ")");
+  }
+  if (::listen(fd.get(), backlog) != 0) throw_errno("listen");
+  return fd;
+}
+
+std::uint16_t local_port(const Fd& fd) {
+  sockaddr_in addr{};
+  socklen_t len = sizeof(addr);
+  if (::getsockname(fd.get(), reinterpret_cast<sockaddr*>(&addr), &len) != 0) {
+    throw_errno("getsockname");
+  }
+  return ntohs(addr.sin_port);
+}
+
+Fd connect_tcp(const std::string& host, std::uint16_t port) {
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  const std::string numeric = (host == "localhost" || host.empty()) ? "127.0.0.1" : host;
+  if (::inet_pton(AF_INET, numeric.c_str(), &addr.sin_addr) != 1) {
+    throw SocketError("connect: unsupported host '" + host + "' (numeric IPv4 only)");
+  }
+  Fd fd(::socket(AF_INET, SOCK_STREAM, 0));
+  if (!fd.valid()) throw_errno("socket");
+  if (::connect(fd.get(), reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) != 0) {
+    throw_errno("connect(" + numeric + ":" + std::to_string(port) + ")");
+  }
+  return fd;
+}
+
+void set_nonblocking(const Fd& fd, bool nonblocking) {
+  const int flags = ::fcntl(fd.get(), F_GETFL, 0);
+  if (flags < 0) throw_errno("fcntl(F_GETFL)");
+  const int next = nonblocking ? (flags | O_NONBLOCK) : (flags & ~O_NONBLOCK);
+  if (::fcntl(fd.get(), F_SETFL, next) != 0) throw_errno("fcntl(F_SETFL)");
+}
+
+void set_nodelay(const Fd& fd) {
+  const int one = 1;
+  if (::setsockopt(fd.get(), IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one)) != 0) {
+    throw_errno("setsockopt(TCP_NODELAY)");
+  }
+}
+
+void send_all(const Fd& fd, const std::uint8_t* data, std::size_t size) {
+  std::size_t sent = 0;
+  while (sent < size) {
+    const ssize_t n = ::send(fd.get(), data + sent, size - sent, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      throw_errno("send");
+    }
+    sent += static_cast<std::size_t>(n);
+  }
+}
+
+bool recv_all(const Fd& fd, std::uint8_t* data, std::size_t size) {
+  std::size_t got = 0;
+  while (got < size) {
+    const ssize_t n = ::recv(fd.get(), data + got, size - got, 0);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      throw_errno("recv");
+    }
+    if (n == 0) return false;  // orderly close mid-message
+    got += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+WakePipe::WakePipe() {
+  int fds[2];
+  if (::pipe(fds) != 0) throw_errno("pipe");
+  read_ = Fd(fds[0]);
+  write_ = Fd(fds[1]);
+  set_nonblocking(read_, true);
+  set_nonblocking(write_, true);
+}
+
+void WakePipe::wake() {
+  const std::uint8_t byte = 1;
+  // A full pipe already guarantees a pending wakeup; EAGAIN is success here.
+  (void)!::write(write_.get(), &byte, 1);
+}
+
+void WakePipe::drain() {
+  std::uint8_t buf[256];
+  while (::read(read_.get(), buf, sizeof(buf)) > 0) {
+  }
+}
+
+}  // namespace sesr::serve::net

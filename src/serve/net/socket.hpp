@@ -1,0 +1,74 @@
+// Thin RAII wrappers over POSIX TCP sockets — everything the front end needs
+// and nothing more (IPv4 loopback-grade: bind/listen/accept/connect,
+// non-blocking mode, send/recv). Errors surface as SocketError with errno
+// text. Linux/POSIX only, matching the repo's serving targets.
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+
+namespace sesr::serve::net {
+
+class SocketError : public std::runtime_error {
+ public:
+  explicit SocketError(const std::string& what) : std::runtime_error("socket: " + what) {}
+};
+
+// Owning file descriptor; -1 = empty. Move-only.
+class Fd {
+ public:
+  Fd() = default;
+  explicit Fd(int fd) : fd_(fd) {}
+  ~Fd() { reset(); }
+  Fd(Fd&& other) noexcept : fd_(other.fd_) { other.fd_ = -1; }
+  Fd& operator=(Fd&& other) noexcept;
+  Fd(const Fd&) = delete;
+  Fd& operator=(const Fd&) = delete;
+
+  int get() const { return fd_; }
+  bool valid() const { return fd_ >= 0; }
+  int release();
+  void reset();
+
+ private:
+  int fd_ = -1;
+};
+
+// Bind + listen on 127.0.0.1:port (port 0 = kernel-assigned ephemeral;
+// local_port() reports the actual one). SO_REUSEADDR so restarts don't trip
+// over TIME_WAIT.
+Fd listen_tcp(std::uint16_t port, int backlog = 64);
+
+// The bound port of a listening socket.
+std::uint16_t local_port(const Fd& fd);
+
+// Blocking connect to host:port (numeric IPv4 or "localhost").
+Fd connect_tcp(const std::string& host, std::uint16_t port);
+
+void set_nonblocking(const Fd& fd, bool nonblocking);
+
+// TCP_NODELAY: request/response frames should not wait on Nagle.
+void set_nodelay(const Fd& fd);
+
+// Blocking helpers for the client side: loop until all `size` bytes moved.
+// send_all throws on error; recv_all returns false on orderly peer close
+// before `size` bytes arrived and throws on error.
+void send_all(const Fd& fd, const std::uint8_t* data, std::size_t size);
+bool recv_all(const Fd& fd, std::uint8_t* data, std::size_t size);
+
+// One self-pipe for waking a poll() loop from other threads: wake() is
+// async-signal-safe-grade (a single write), drain() consumes pending bytes.
+class WakePipe {
+ public:
+  WakePipe();
+  int read_fd() const { return read_.get(); }
+  void wake();
+  void drain();
+
+ private:
+  Fd read_;
+  Fd write_;
+};
+
+}  // namespace sesr::serve::net

@@ -1,0 +1,213 @@
+#include "serve/net/wire.hpp"
+
+#include <bit>
+#include <cstring>
+
+namespace sesr::serve::net {
+
+namespace {
+
+void put_u16(std::vector<std::uint8_t>& out, std::uint16_t v) {
+  out.push_back(static_cast<std::uint8_t>(v));
+  out.push_back(static_cast<std::uint8_t>(v >> 8));
+}
+
+void put_u32(std::vector<std::uint8_t>& out, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) out.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+}
+
+void put_u64(std::vector<std::uint8_t>& out, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) out.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+}
+
+void put_f32(std::vector<std::uint8_t>& out, float v) {
+  put_u32(out, std::bit_cast<std::uint32_t>(v));
+}
+
+// Little cursor over a payload; every read checks remaining length.
+struct Cursor {
+  const std::uint8_t* p;
+  std::size_t left;
+
+  bool u16(std::uint16_t& v) {
+    if (left < 2) return false;
+    v = static_cast<std::uint16_t>(p[0] | (p[1] << 8));
+    p += 2;
+    left -= 2;
+    return true;
+  }
+  bool u32(std::uint32_t& v) {
+    if (left < 4) return false;
+    v = 0;
+    for (int i = 0; i < 4; ++i) v |= static_cast<std::uint32_t>(p[i]) << (8 * i);
+    p += 4;
+    left -= 4;
+    return true;
+  }
+  bool u64(std::uint64_t& v) {
+    if (left < 8) return false;
+    v = 0;
+    for (int i = 0; i < 8; ++i) v |= static_cast<std::uint64_t>(p[i]) << (8 * i);
+    p += 8;
+    left -= 8;
+    return true;
+  }
+  bool u8(std::uint8_t& v) {
+    if (left < 1) return false;
+    v = *p++;
+    --left;
+    return true;
+  }
+  bool bytes(std::size_t n, std::string& out) {
+    if (left < n) return false;
+    out.assign(reinterpret_cast<const char*>(p), n);
+    p += n;
+    left -= n;
+    return true;
+  }
+  bool f32s(std::size_t n, std::vector<float>& out) {
+    if (left < n * 4) return false;
+    out.resize(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      std::uint32_t bits;
+      u32(bits);
+      out[i] = std::bit_cast<float>(bits);
+    }
+    return true;
+  }
+};
+
+void put_prefix(std::vector<std::uint8_t>& out) {
+  put_u32(out, kMagic);
+  put_u32(out, 0);  // payload length patched by seal()
+}
+
+void seal(std::vector<std::uint8_t>& out) {
+  const auto payload = static_cast<std::uint32_t>(out.size() - 8);
+  for (int i = 0; i < 4; ++i) out[4 + i] = static_cast<std::uint8_t>(payload >> (8 * i));
+}
+
+}  // namespace
+
+std::vector<std::uint8_t> encode_request(const WireRequest& request) {
+  std::vector<std::uint8_t> out;
+  out.reserve(8 + 26 + request.route.size() + request.pixels.size() * 4);
+  put_prefix(out);
+  put_u64(out, request.id);
+  put_u32(out, request.deadline_us);
+  put_u16(out, static_cast<std::uint16_t>(request.route.size()));
+  out.insert(out.end(), request.route.begin(), request.route.end());
+  put_u32(out, static_cast<std::uint32_t>(request.h));
+  put_u32(out, static_cast<std::uint32_t>(request.w));
+  for (float v : request.pixels) put_f32(out, v);
+  seal(out);
+  return out;
+}
+
+std::vector<std::uint8_t> encode_response(const WireResponse& response) {
+  std::vector<std::uint8_t> out;
+  out.reserve(8 + 24 + response.route.size() + response.pixels.size() * 4 +
+              response.message.size());
+  put_prefix(out);
+  put_u64(out, response.id);
+  out.push_back(static_cast<std::uint8_t>(response.status));
+  out.push_back(response.flags);
+  put_u16(out, static_cast<std::uint16_t>(response.route.size()));
+  out.insert(out.end(), response.route.begin(), response.route.end());
+  if (response.status == Status::kOk) {
+    put_u32(out, static_cast<std::uint32_t>(response.h));
+    put_u32(out, static_cast<std::uint32_t>(response.w));
+    for (float v : response.pixels) put_f32(out, v);
+  } else {
+    put_u32(out, 0);
+    put_u32(out, 0);
+    out.insert(out.end(), response.message.begin(), response.message.end());
+  }
+  seal(out);
+  return out;
+}
+
+std::optional<WireRequest> decode_request(const std::vector<std::uint8_t>& payload) {
+  Cursor c{payload.data(), payload.size()};
+  WireRequest r;
+  std::uint16_t route_len;
+  std::uint32_t h, w;
+  if (!c.u64(r.id) || !c.u32(r.deadline_us) || !c.u16(route_len) ||
+      !c.bytes(route_len, r.route) || !c.u32(h) || !c.u32(w)) {
+    return std::nullopt;
+  }
+  if (r.route.empty() || h == 0 || w == 0) return std::nullopt;
+  // The pixel block must be exactly h*w floats — no trailing garbage.
+  const std::uint64_t count = static_cast<std::uint64_t>(h) * w;
+  if (c.left != count * 4) return std::nullopt;
+  r.h = static_cast<std::int64_t>(h);
+  r.w = static_cast<std::int64_t>(w);
+  if (!c.f32s(count, r.pixels)) return std::nullopt;
+  return r;
+}
+
+std::optional<WireResponse> decode_response(const std::vector<std::uint8_t>& payload) {
+  Cursor c{payload.data(), payload.size()};
+  WireResponse r;
+  std::uint8_t status;
+  std::uint16_t route_len;
+  std::uint32_t h, w;
+  if (!c.u64(r.id) || !c.u8(status) || !c.u8(r.flags) || !c.u16(route_len) ||
+      !c.bytes(route_len, r.route) || !c.u32(h) || !c.u32(w)) {
+    return std::nullopt;
+  }
+  if (status > static_cast<std::uint8_t>(Status::kError)) return std::nullopt;
+  r.status = static_cast<Status>(status);
+  if (r.status == Status::kOk) {
+    if (h == 0 || w == 0) return std::nullopt;
+    const std::uint64_t count = static_cast<std::uint64_t>(h) * w;
+    if (c.left != count * 4) return std::nullopt;
+    r.h = static_cast<std::int64_t>(h);
+    r.w = static_cast<std::int64_t>(w);
+    if (!c.f32s(count, r.pixels)) return std::nullopt;
+  } else {
+    if (h != 0 || w != 0) return std::nullopt;
+    if (!c.bytes(c.left, r.message)) return std::nullopt;
+  }
+  return r;
+}
+
+void FrameReader::feed(const std::uint8_t* data, std::size_t size) {
+  if (poisoned()) return;
+  buffer_.insert(buffer_.end(), data, data + size);
+  while (buffer_.size() >= 8) {
+    std::uint32_t magic = 0, len = 0;
+    for (int i = 0; i < 4; ++i) magic |= static_cast<std::uint32_t>(buffer_[i]) << (8 * i);
+    for (int i = 0; i < 4; ++i) len |= static_cast<std::uint32_t>(buffer_[4 + i]) << (8 * i);
+    if (magic != kMagic) {
+      error_ = "bad frame magic";
+      buffer_.clear();
+      return;
+    }
+    if (len > max_payload_) {
+      error_ = "frame payload exceeds limit (" + std::to_string(len) + " bytes)";
+      buffer_.clear();
+      return;
+    }
+    if (buffer_.size() < 8 + static_cast<std::size_t>(len)) return;  // incomplete
+    ready_.emplace_back(buffer_.begin() + 8, buffer_.begin() + 8 + len);
+    buffer_.erase(buffer_.begin(), buffer_.begin() + 8 + len);
+  }
+}
+
+std::optional<std::vector<std::uint8_t>> FrameReader::next() {
+  if (ready_.empty()) return std::nullopt;
+  std::vector<std::uint8_t> payload = std::move(ready_.front());
+  ready_.pop_front();
+  return payload;
+}
+
+Tensor pixels_to_frame(std::int64_t h, std::int64_t w, const std::vector<float>& pixels) {
+  return Tensor(Shape(1, h, w, 1), pixels);
+}
+
+std::vector<float> frame_to_pixels(const Tensor& frame) {
+  return std::vector<float>(frame.raw(), frame.raw() + frame.numel());
+}
+
+}  // namespace sesr::serve::net

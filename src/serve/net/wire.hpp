@@ -1,0 +1,115 @@
+// Length-prefixed binary wire protocol of the TCP front end.
+//
+// Every frame on the socket, both directions, is
+//
+//     u32 magic "SESR"  ·  u32 payload_len  ·  payload_len bytes
+//
+// with all integers little-endian and floats IEEE-754 binary32 (bit pattern
+// little-endian). Request payload:
+//
+//     u64 request_id · u32 deadline_us · u16 route_len · route bytes
+//     · u32 h · u32 w · h*w f32 (the (1, H, W, 1) Y plane, row-major)
+//
+// Response payload:
+//
+//     u64 request_id · u8 status · u8 flags · u16 route_len · route bytes
+//     · u32 h · u32 w · h*w f32        (status == kOk: the HR plane)
+//                     · message bytes  (status != kOk: h = w = 0, h*w absent)
+//
+// `route` in a response is the route that actually served the request (the
+// degrade ladder may rewrite it); `flags` says how. request_id is an opaque
+// caller token echoed back verbatim — responses may arrive out of request
+// order (the server pipelines), so the id is how a client matches them.
+//
+// Everything here is pure encode/decode on byte vectors — no sockets — so
+// the framing is unit-testable (and fuzzable) without a connection. The
+// incremental FrameReader is the server/client side deframer: feed() bytes as
+// they arrive, next() hands back complete payloads, and a malformed prefix
+// (bad magic, oversized length) poisons the reader with an error message —
+// the connection owner answers with kBadRequest and closes.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "tensor/tensor.hpp"
+
+namespace sesr::serve::net {
+
+inline constexpr std::uint32_t kMagic = 0x52534553u;  // "SESR" little-endian
+// Frames above this payload size are rejected as malformed (a 4K x 4K f32
+// plane is ~64 MiB; anything bigger is a corrupt length, not a frame).
+inline constexpr std::uint32_t kMaxPayloadBytes = 96u * 1024u * 1024u;
+
+enum class Status : std::uint8_t {
+  kOk = 0,
+  kOverloaded = 1,    // shed by SLO admission or rejected by a full queue
+  kUnknownRoute = 2,  // route not registered (or unparseable route spec)
+  kBadRequest = 3,    // malformed frame / invalid dimensions
+  kShuttingDown = 4,  // server draining or shut down
+  kError = 5,         // execution error
+};
+
+// Response flag bits.
+inline constexpr std::uint8_t kFlagDegraded = 1u << 0;  // served by a cheaper route
+inline constexpr std::uint8_t kFlagTwoStage = 1u << 1;  // x4 served as x2 twice
+
+struct WireRequest {
+  std::uint64_t id = 0;
+  std::uint32_t deadline_us = 0;  // 0 = no per-request deadline
+  std::string route;              // route_string, e.g. "m5:2:fp32"
+  std::int64_t h = 0;
+  std::int64_t w = 0;
+  std::vector<float> pixels;  // h*w, row-major
+};
+
+struct WireResponse {
+  std::uint64_t id = 0;
+  Status status = Status::kOk;
+  std::uint8_t flags = 0;
+  std::string route;  // served route (kOk) or requested route when known
+  std::int64_t h = 0;
+  std::int64_t w = 0;
+  std::vector<float> pixels;  // kOk only
+  std::string message;        // error text, status != kOk
+};
+
+// Serialize one frame (magic + length prefix + payload).
+std::vector<std::uint8_t> encode_request(const WireRequest& request);
+std::vector<std::uint8_t> encode_response(const WireResponse& response);
+
+// Parse one complete PAYLOAD (no magic/length prefix — FrameReader already
+// stripped it). Returns std::nullopt on malformed payloads (truncated fields,
+// length/dimension mismatch, empty route, zero-pixel frames).
+std::optional<WireRequest> decode_request(const std::vector<std::uint8_t>& payload);
+std::optional<WireResponse> decode_response(const std::vector<std::uint8_t>& payload);
+
+// Incremental deframer: feed() raw socket bytes, next() pops complete
+// payloads in arrival order. A bad magic or oversized length permanently
+// poisons the reader (error() non-empty, next() forever empty): framing is
+// byte-synchronous, so nothing after a corrupt prefix can be trusted.
+class FrameReader {
+ public:
+  explicit FrameReader(std::uint32_t max_payload = kMaxPayloadBytes)
+      : max_payload_(max_payload) {}
+
+  void feed(const std::uint8_t* data, std::size_t size);
+  std::optional<std::vector<std::uint8_t>> next();
+  const std::string& error() const { return error_; }
+  bool poisoned() const { return !error_.empty(); }
+
+ private:
+  std::uint32_t max_payload_;
+  std::vector<std::uint8_t> buffer_;
+  std::deque<std::vector<std::uint8_t>> ready_;
+  std::string error_;
+};
+
+// Frame (1, H, W, 1) <-> wire pixel helpers.
+Tensor pixels_to_frame(std::int64_t h, std::int64_t w, const std::vector<float>& pixels);
+std::vector<float> frame_to_pixels(const Tensor& frame);
+
+}  // namespace sesr::serve::net

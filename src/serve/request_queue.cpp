@@ -22,9 +22,9 @@ RequestQueue::PushResult RequestQueue::push(FrameRequest& request, OverloadPolic
 std::vector<FrameRequest> RequestQueue::pop_batch(std::int64_t max_batch,
                                                   std::chrono::microseconds max_delay) {
   max_batch = std::max<std::int64_t>(1, max_batch);
-  // Clamp the flush deadline to 10 minutes: a pathological max_delay (e.g.
-  // INT64_MAX microseconds from a CLI) would overflow enqueue_time + delay
-  // into the past and flush every batch immediately.
+  // Clamp the flush delay to 10 minutes: a pathological max_delay (e.g.
+  // INT64_MAX microseconds from a CLI) must not defer flushing forever, and
+  // saturating_deadline keeps enqueue_time + delay from wrapping.
   max_delay = std::clamp(max_delay, std::chrono::microseconds(0),
                          std::chrono::microseconds(600'000'000LL));
   std::unique_lock<std::mutex> lock(mutex_);
@@ -33,7 +33,7 @@ std::vector<FrameRequest> RequestQueue::pop_batch(std::int64_t max_batch,
 
   const auto key_h = queue_.front().frame.shape().h();
   const auto key_w = queue_.front().frame.shape().w();
-  const auto deadline = queue_.front().enqueue_time + max_delay;
+  const auto deadline = saturating_deadline(queue_.front().enqueue_time, max_delay);
   auto compatible = [&] {
     std::int64_t n = 0;
     for (const FrameRequest& r : queue_) {
@@ -42,9 +42,16 @@ std::vector<FrameRequest> RequestQueue::pop_batch(std::int64_t max_batch,
     return n;
   };
   // Wait for the batch to fill unless the deadline passes, the queue comes
-  // under pressure (full: flushing now unblocks producers), or we close.
+  // under pressure (full: flushing now unblocks producers), or we close. The
+  // wait is pinned to steady_clock via wait_for with the remaining time
+  // recomputed each wake (clock.hpp): condition_variable::wait_until would
+  // re-base the steady deadline onto the condvar's native clock on common
+  // implementations, so a wall-clock jump mid-wait could flush a partial
+  // batch early or hold it past its real deadline.
   while (compatible() < max_batch && queue_.size() < capacity_ && !closed_) {
-    if (not_empty_.wait_until(lock, deadline) == std::cv_status::timeout) break;
+    const auto wait = next_wait(ServeClock::now(), deadline);
+    if (wait <= std::chrono::microseconds(0)) break;
+    not_empty_.wait_for(lock, wait);
   }
 
   std::vector<FrameRequest> batch;

@@ -21,6 +21,36 @@ enum class OverloadPolicy {
   kReject,  // submit() fails the future immediately with QueueFullError
 };
 
+// SLO-aware admission control (serve/admission.hpp). Disabled by default:
+// with p99_budget_us == 0 and no per-request deadlines, submit_admitted
+// behaves exactly like submit. When a budget is set, each request is admitted
+// against a per-route latency estimate (EWMA of shard service time scaled by
+// the route's current in-system depth); a request whose estimate exceeds the
+// budget is rewritten to a cheaper registered route (the degrade ladder:
+// fp32 -> fp16 -> hybrid -> int8 at the same scale, and x4 -> the two-stage
+// x2 path) or, when even the cheapest rung misses, shed with a typed
+// ShedError instead of queueing unboundedly.
+struct SloOptions {
+  // Per-route p99 latency budget (microseconds). 0 disables SLO admission;
+  // per-request deadlines still apply when callers pass them.
+  std::int64_t p99_budget_us = 0;
+  // Smoothing factor of the per-route service-time EWMA, in (0, 1]. Higher
+  // reacts faster to load shifts; lower is steadier under bursty traffic.
+  double ewma_alpha = 0.2;
+  // Admit while estimate <= headroom * budget. Below 1.0 sheds early (keeps
+  // slack for estimation error); above 1.0 tolerates mild overshoot.
+  double headroom = 1.0;
+  // Degrade before shedding: rewrite to a cheaper registered route whose
+  // estimate fits the budget.
+  bool allow_degrade = true;
+  // Shed (fail the future with ShedError) when no rung fits. With false,
+  // over-budget requests are admitted anyway (monitor-only mode).
+  bool allow_shed = true;
+  // Warmup: a route with fewer completed samples than this is always
+  // admittable — the estimator has nothing trustworthy to shed on yet.
+  std::uint64_t min_samples = 4;
+};
+
 // Which execution path a worker session uses for a frame.
 enum class ExecMode {
   kFullFrame,  // SesrInference::upscale on the (possibly batched) frames
@@ -61,6 +91,9 @@ struct ServeOptions {
   // With false, dispatch is a single FIFO per shard (a large fan-out runs to
   // completion ahead of everything submitted after it).
   bool fair_tiles = true;
+
+  // SLO-aware admission control for submit_admitted / the TCP front end.
+  SloOptions slo;
 
   // Tile fan-out granularity: how many TileTasks ride in one dispatch unit
   // (core::plan_tile_units). 1 = finest interleaving; larger values cut

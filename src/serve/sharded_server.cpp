@@ -4,6 +4,8 @@
 #include <stdexcept>
 #include <utility>
 
+#include "serve/clock.hpp"
+
 namespace sesr::serve {
 
 namespace {
@@ -34,6 +36,13 @@ void validate(const ServeOptions& o, const NetworkRegistry& registry) {
   }
 }
 
+// Resolve a request on the submit path (before it was ever queued): fail the
+// promise, fire the completion hook. The caller handles inflight accounting.
+void resolve_rejected(FrameRequest& request, std::exception_ptr error) {
+  request.promise.set_exception(std::move(error));
+  if (request.done_hook) request.done_hook();
+}
+
 }  // namespace
 
 ShardedServer::ShardedServer(const NetworkRegistry& registry, ServeOptions options)
@@ -46,7 +55,8 @@ ShardedServer::ShardedServer(const NetworkRegistry& registry, ServeOptions optio
       dispatch_(registry.size(),
                 std::max<std::size_t>(16, static_cast<std::size_t>(options_.workers) * 4) *
                     std::max<std::size_t>(1, registry.size()),
-                options_.fair_tiles) {
+                options_.fair_tiles),
+      admission_(registry.entries(), options_.slo, options_.workers) {
   validate(options_, registry);
   for (const RegisteredNetwork& entry : registry.entries()) {
     auto shard = std::make_unique<Shard>();
@@ -73,57 +83,183 @@ ShardedServer::ShardedServer(const NetworkRegistry& registry, ServeOptions optio
 
 ShardedServer::~ShardedServer() { shutdown(); }
 
+std::int64_t ShardedServer::in_system(std::size_t shard) const {
+  const RouteCounters& c = shards_[shard]->counters;
+  const auto submitted = c.submitted.load(std::memory_order_relaxed);
+  const auto resolved = c.completed.load(std::memory_order_relaxed) +
+                        c.failed.load(std::memory_order_relaxed);
+  return submitted > resolved ? static_cast<std::int64_t>(submitted - resolved) : 0;
+}
+
 std::future<Tensor> ShardedServer::submit(const RouteKey& route, Tensor frame) {
+  return submit_admitted(route, std::move(frame)).future;
+}
+
+AdmitResult ShardedServer::submit_admitted(const RouteKey& route, Tensor frame,
+                                           SubmitOptions opts) {
   FrameRequest request;
   request.id = next_id_.fetch_add(1, std::memory_order_relaxed);
   request.frame = std::move(frame);
-  request.enqueue_time = std::chrono::steady_clock::now();
-  std::future<Tensor> future = request.promise.get_future();
+  request.enqueue_time = ServeClock::now();
+  if (opts.deadline_us > 0) {
+    request.deadline =
+        saturating_deadline(request.enqueue_time, std::chrono::microseconds(opts.deadline_us));
+  }
+  request.done_hook = std::move(opts.done_hook);
+
+  AdmitResult result;
+  result.future = request.promise.get_future();
+  result.served_route = route_string(route);
+
   const Shape& s = request.frame.shape();
   if (s.n() != 1 || s.c() != 1 || s.h() < 1 || s.w() < 1) {
-    request.promise.set_exception(std::make_exception_ptr(
-        std::invalid_argument("ShardedServer::submit expects a (1, H, W, 1) Y frame")));
-    return future;
+    resolve_rejected(request, std::make_exception_ptr(std::invalid_argument(
+                                  "ShardedServer::submit expects a (1, H, W, 1) Y frame")));
+    return result;
   }
-  const auto it = route_index_.find(route_string(route));
+  const auto it = route_index_.find(result.served_route);
   if (it == route_index_.end()) {
-    request.promise.set_exception(std::make_exception_ptr(UnknownRouteError(route_string(route))));
-    return future;
+    resolve_rejected(request,
+                     std::make_exception_ptr(UnknownRouteError(result.served_route)));
+    return result;
   }
-  Shard& shard = *shards_[it->second];
+  Shard* shard = shards_[it->second].get();
 
-  // Response cache: a hit never touches the pipeline — the stored output is
-  // bit-identical to a cold run because the cache confirmed the LR bytes.
-  if (cache_.enabled()) {
-    if (std::optional<Tensor> hit = cache_.lookup(shard.index, request.frame)) {
+  // Drain gate. The increment precedes the flag check (both seq_cst): either
+  // this submitter observes draining/closed and backs out, or the drainer's
+  // wait_zero() observes the increment and waits for this request.
+  inflight_.add();
+  if (closed_.load(std::memory_order_seq_cst)) {
+    inflight_.done();
+    resolve_rejected(request, std::make_exception_ptr(ServerClosedError()));
+    return result;
+  }
+  if (draining_.load(std::memory_order_seq_cst)) {
+    inflight_.done();
+    resolve_rejected(request, std::make_exception_ptr(ServerDrainingError()));
+    return result;
+  }
+
+  // SLO admission: shed, or rewrite to a cheaper route, before queueing.
+  const std::int64_t deadline_budget =
+      opts.deadline_us > 0
+          ? std::max<std::int64_t>(1, remaining_budget_us(request.enqueue_time, request.deadline))
+          : 0;
+  const AdmissionController::Decision decision = admission_.admit(
+      shard->index, deadline_budget, [this](std::size_t idx) { return in_system(idx); });
+  switch (decision.action) {
+    case AdmissionController::Action::kShed:
+      stats_.on_shed();
+      inflight_.done();
+      resolve_rejected(request, std::make_exception_ptr(
+                                    ShedError(decision.estimate_us, decision.budget_us)));
+      result.shed = true;
+      return result;
+    case AdmissionController::Action::kDegrade:
+      shard = shards_[decision.route].get();
+      result.degraded = true;
+      result.served_route = route_string(shard->net.key);
+      stats_.on_degraded();
+      break;
+    case AdmissionController::Action::kDegradeTwoStage:
+      shard = shards_[decision.route].get();
+      result.degraded = true;
+      result.two_stage = true;
+      result.served_route = route_string(shard->net.key);
+      stats_.on_degraded();
+      stats_.on_two_stage();
+      break;
+    case AdmissionController::Action::kAdmit:
+      break;
+  }
+  request.admission = &admission_;
+  request.admit_route = shard->index;
+
+  if (result.two_stage) {
+    // Stage 1 hands its intermediate to the continuation instead of the
+    // promise; the continuation enqueues stage 2 on the same x2 shard. The
+    // response cache is bypassed: its entries are keyed by the executing
+    // route, and a degraded output must never shadow the direct path.
+    const std::size_t x2_shard = shard->index;
+    request.continuation = [this, x2_shard](FrameRequest&& stage1, Tensor&& intermediate) {
+      enqueue_second_stage(x2_shard, std::move(stage1), std::move(intermediate));
+    };
+  } else if (cache_.enabled()) {
+    // Response cache: a hit never touches the pipeline — the stored output is
+    // bit-identical to a cold run because the cache confirmed the LR bytes.
+    if (std::optional<Tensor> hit = cache_.lookup(shard->index, request.frame)) {
       stats_.on_submitted();
       stats_.on_cache_hit();
-      shard.counters.submitted.fetch_add(1, std::memory_order_relaxed);
-      shard.counters.cache_hits.fetch_add(1, std::memory_order_relaxed);
-      shard.counters.completed.fetch_add(1, std::memory_order_relaxed);
+      shard->counters.submitted.fetch_add(1, std::memory_order_relaxed);
+      shard->counters.cache_hits.fetch_add(1, std::memory_order_relaxed);
+      shard->counters.completed.fetch_add(1, std::memory_order_relaxed);
       stats_.on_completed(request.enqueue_time);
       request.promise.set_value(*std::move(hit));
-      return future;
+      if (request.done_hook) request.done_hook();
+      inflight_.done();
+      return result;
     }
     request.cache = &cache_;
   }
-  request.route = &shard.counters;
-  request.route_id = shard.index;
+  request.route = &shard->counters;
+  request.route_id = shard->index;
+  request.inflight = &inflight_;
 
-  switch (shard.queue->push(request, options_.overload)) {
+  const OverloadPolicy policy = opts.never_block ? OverloadPolicy::kReject : options_.overload;
+  switch (shard->queue->push(request, policy)) {
     case RequestQueue::PushResult::kAccepted:
       stats_.on_submitted();
-      shard.counters.submitted.fetch_add(1, std::memory_order_relaxed);
+      shard->counters.submitted.fetch_add(1, std::memory_order_relaxed);
       break;
     case RequestQueue::PushResult::kFull:
       stats_.on_rejected();
-      request.promise.set_exception(std::make_exception_ptr(QueueFullError()));
+      request.inflight = nullptr;
+      inflight_.done();
+      resolve_rejected(request, std::make_exception_ptr(QueueFullError()));
       break;
     case RequestQueue::PushResult::kClosed:
-      request.promise.set_exception(std::make_exception_ptr(ServerClosedError()));
+      request.inflight = nullptr;
+      inflight_.done();
+      resolve_rejected(request, std::make_exception_ptr(ServerClosedError()));
       break;
   }
-  return future;
+  return result;
+}
+
+void ShardedServer::enqueue_second_stage(std::size_t shard_index, FrameRequest&& stage1,
+                                         Tensor&& intermediate) {
+  FrameRequest stage2;
+  stage2.id = next_id_.fetch_add(1, std::memory_order_relaxed);
+  stage2.frame = std::move(intermediate);
+  stage2.promise = std::move(stage1.promise);
+  stage2.enqueue_time = stage1.enqueue_time;  // end-to-end latency spans both stages
+  stage2.deadline = stage1.deadline;
+  stage2.route = stage1.route;
+  stage2.route_id = shard_index;
+  stage2.admission = &admission_;
+  stage2.admit_route = shard_index;
+  stage2.inflight = stage1.inflight;
+  stage2.done_hook = std::move(stage1.done_hook);
+  // Bypasses the batcher (pushed straight to dispatch below), so the service
+  // clock restarts here.
+  stage2.dispatch_time = ServeClock::now();
+
+  BatchUnit batch;
+  batch.mode = options_.mode == ExecMode::kStreaming ? ExecMode::kStreaming
+                                                     : ExecMode::kFullFrame;
+  const std::uint64_t lane = stage2.id;
+  batch.requests.push_back(std::move(stage2));
+  stats_.on_batch();
+  Unit unit = std::move(batch);
+  // Weight 0: the logical request admitted once at submit time, and this runs
+  // on a worker thread — it must never block on the depth bound. push only
+  // fails after close(), which shutdown() reaches only once in-flight work
+  // (including this continuation) has resolved; handle it anyway so no path
+  // can abandon the promise.
+  if (!dispatch_.push(shard_index, lane, std::move(unit), 0)) {
+    FrameRequest& lost = std::get<BatchUnit>(unit).requests.front();
+    fail_request(lost, std::make_exception_ptr(ServerClosedError()), stats_);
+  }
 }
 
 ExecMode ShardedServer::resolve_mode(const Shape& shape) const {
@@ -138,6 +274,8 @@ void ShardedServer::batcher_loop(Shard& shard) {
     std::vector<FrameRequest> batch = shard.queue->pop_batch(
         options_.max_batch, std::chrono::microseconds(options_.max_delay_us));
     if (batch.empty()) break;  // closed and drained
+    const auto dispatched = ServeClock::now();
+    for (FrameRequest& request : batch) request.dispatch_time = dispatched;
     const ExecMode mode = resolve_mode(batch.front().frame.shape());
     if (mode == ExecMode::kTiled) {
       // Large frames: one TiledJob per frame. Its units all share one
@@ -169,20 +307,26 @@ void ShardedServer::batcher_loop(Shard& shard) {
           first = false;
         }
         if (dropped && !job->failed.exchange(true, std::memory_order_acq_rel)) {
-          // Dispatch closed mid-fan-out (shutdown was not graceful for this
-          // job); fail the frame rather than leave its future dangling.
-          stats_.on_failed();
-          shard.counters.failed.fetch_add(1, std::memory_order_relaxed);
-          job->request.promise.set_exception(std::make_exception_ptr(ServerClosedError()));
+          // Dispatch closed mid-fan-out. shutdown() drains in-flight work
+          // before closing dispatch, so this is defensive — but if it ever
+          // fires, the request resolves with a typed error (promise, hook and
+          // inflight all handled by fail_request), never a broken promise.
+          // Units already pushed still execute; the failed flag keeps them
+          // from completing the job twice.
+          fail_request(job->request, std::make_exception_ptr(ServerClosedError()), stats_);
         }
       }
     } else {
       stats_.on_batch();
       const std::uint64_t lane = batch.front().id;
-      BatchUnit unit{std::move(batch), mode};
+      Unit unit = BatchUnit{std::move(batch), mode};
       if (!dispatch_.push(shard.index, lane, std::move(unit))) {
-        // The queue rejects pushes only after close(); shutdown() drains the
-        // batchers before closing dispatch, so this is purely defensive.
+        // Dispatch closed under this batcher (again defensive post-drain):
+        // resolve every request in the undelivered batch with a typed error
+        // instead of letting their promises die with the unit.
+        for (FrameRequest& request : std::get<BatchUnit>(unit).requests) {
+          fail_request(request, std::make_exception_ptr(ServerClosedError()), stats_);
+        }
         break;
       }
     }
@@ -197,8 +341,69 @@ void ShardedServer::worker_loop(Shard& shard, WorkerSession& session) {
   }
 }
 
+void ShardedServer::begin_drain() {
+  draining_.store(true, std::memory_order_seq_cst);
+  inflight_.wait_zero();
+}
+
+void ShardedServer::resume() {
+  if (closed_.load(std::memory_order_seq_cst)) {
+    throw std::logic_error("ShardedServer::resume after shutdown");
+  }
+  draining_.store(false, std::memory_order_seq_cst);
+}
+
+void ShardedServer::reload_routes(const NetworkRegistry& registry) {
+  if (closed_.load(std::memory_order_seq_cst)) {
+    throw std::logic_error("ShardedServer::reload_routes after shutdown");
+  }
+  if (!draining_.load(std::memory_order_seq_cst)) {
+    throw std::logic_error(
+        "ShardedServer::reload_routes requires a drained server (call begin_drain first)");
+  }
+  // Drained means no ACCEPTED request in flight, but live traffic being
+  // rejected right now still bumps the inflight counter for the length of its
+  // drain-gate check. Those bumps resolve in microseconds; wait them out
+  // instead of spuriously refusing the reload.
+  inflight_.wait_zero();
+  validate(options_, registry);
+  if (registry.size() != shards_.size()) {
+    throw std::invalid_argument("ShardedServer::reload_routes: route set must match");
+  }
+  const auto& entries = registry.entries();
+  for (std::size_t i = 0; i < entries.size(); ++i) {
+    if (route_string(entries[i].key) != route_string(shards_[i]->net.key)) {
+      throw std::invalid_argument("ShardedServer::reload_routes: route set must match (got '" +
+                                  route_string(entries[i].key) + "', shard " +
+                                  std::to_string(i) + " serves '" +
+                                  route_string(shards_[i]->net.key) + "')");
+    }
+  }
+  // Drained: every worker is parked in dispatch_.pop (the wait_zero above
+  // synchronizes with their last completions), so the replicas are safe to
+  // rebuild from this thread. Traffic resumed after this call observes the
+  // new weights through the queue mutexes.
+  for (std::size_t i = 0; i < entries.size(); ++i) {
+    Shard& shard = *shards_[i];
+    shard.net = entries[i];
+    for (auto& session : shard.sessions) {
+      session->network = core::SesrInference(entries[i].checkpoint);
+      session->network.set_precision(entries[i].key.precision);
+      session->streamer.reset();
+    }
+  }
+  // Cached responses were computed by the old weights; a lookup after the
+  // swap must never serve them.
+  cache_.clear();
+}
+
 void ShardedServer::shutdown() {
   std::call_once(shutdown_once_, [this] {
+    // Graceful drain first: every accepted request (including mid-flight tile
+    // fan-outs and two-stage continuations) resolves before any queue closes,
+    // so no promise ever reaches a closed dispatch.
+    closed_.store(true, std::memory_order_seq_cst);
+    inflight_.wait_zero();
     for (auto& shard : shards_) shard->queue->close();
     for (auto& shard : shards_) {
       if (shard->batcher.joinable()) shard->batcher.join();  // drains the submission queue
@@ -222,6 +427,7 @@ ShardedStats ShardedServer::stats() const {
     r.completed = shard->counters.completed.load(std::memory_order_relaxed);
     r.failed = shard->counters.failed.load(std::memory_order_relaxed);
     r.cache_hits = shard->counters.cache_hits.load(std::memory_order_relaxed);
+    r.service_ewma_us = admission_.ewma_us(shard->index);
     s.per_route.push_back(std::move(r));
   }
   s.cache = cache_.stats();

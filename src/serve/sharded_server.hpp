@@ -1,7 +1,8 @@
 // Multi-network sharded serving front end.
 //
-//   submit(route, frame)
-//        │  route lookup · response-cache probe (bit-exact hit -> immediate)
+//   submit(route, frame) / submit_admitted(route, frame, opts)
+//        │  route lookup · SLO admission (shed / degrade / two-stage rewrite)
+//        │  response-cache probe (bit-exact hit -> immediate)
 //        ▼
 //   shard[m5:2:fp32]   shard[m11:2:fp16]  ...       (one per registered route)
 //   RequestQueue        RequestQueue                 bounded, per shard
@@ -22,8 +23,24 @@
 // run (the cache stores and confirms the exact LR bytes; the audit pair
 // `cached_vs_cold_serve` holds it to that).
 //
-// shutdown() is graceful and idempotent: all accepted work completes, every
-// future resolves, all threads join. The destructor calls shutdown().
+// Admission (serve/admission.hpp) sits between route lookup and the queue:
+// when ServeOptions::slo sets a p99 budget (or the request carries its own
+// deadline), an over-budget request is rewritten to a cheaper registered
+// route (precision downgrade, or x4 served as the x2 sibling twice) or shed
+// with a typed ShedError. submit() with the default SloOptions behaves
+// exactly as before.
+//
+// Lifecycle: RUNNING -> (begin_drain) DRAINING -> (resume) RUNNING
+//                                   └-> reload_routes: swap checkpoints while
+//                                       drained, then resume
+//           any state -> (shutdown / destructor) CLOSED
+//
+// Draining stops admission (submits fail with typed ServerDrainingError) and
+// blocks until every previously accepted request — including mid-flight tile
+// fan-outs and two-stage continuations — has resolved its future. shutdown()
+// drains first, then closes queues and joins every thread: no accepted
+// request is ever abandoned. Both are idempotent; the destructor calls
+// shutdown().
 #pragma once
 
 #include <atomic>
@@ -35,6 +52,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "serve/admission.hpp"
 #include "serve/dispatch.hpp"
 #include "serve/registry.hpp"
 #include "serve/request_queue.hpp"
@@ -51,6 +69,7 @@ struct RouteStats {
   std::uint64_t completed = 0;
   std::uint64_t failed = 0;
   std::uint64_t cache_hits = 0;
+  double service_ewma_us = 0.0;  // admission estimator (0 until warmed)
 };
 
 struct ShardedStats {
@@ -59,12 +78,39 @@ struct ShardedStats {
   CacheStats cache;
 };
 
+// Per-request knobs of submit_admitted.
+struct SubmitOptions {
+  // Remaining latency budget of this request in microseconds; 0 = none.
+  // Admission shrinks the SLO budget to it (expiry is advisory: an admitted
+  // request is never cancelled mid-execution).
+  std::int64_t deadline_us = 0;
+  // Fires after the future resolves (value or exception), on the fulfilling
+  // thread; future.get() cannot block by then. The TCP front end's bridge
+  // back into its IO loop. Fires on every resolution path, including
+  // synchronous rejections.
+  std::function<void()> done_hook;
+  // Overrides OverloadPolicy::kBlock with kReject for this request: a caller
+  // that must never park a thread (the network IO loop) gets QueueFullError
+  // instead of waiting for queue space.
+  bool never_block = false;
+};
+
+// What admission decided for one submit_admitted call.
+struct AdmitResult {
+  std::future<Tensor> future;
+  std::string served_route;  // route actually executing (differs when degraded)
+  bool degraded = false;     // rewritten to a cheaper route
+  bool two_stage = false;    // x4 served as x2 applied twice
+  bool shed = false;         // future fails with ShedError
+};
+
 class ShardedServer {
  public:
   // Builds one shard per registry entry. The registry is snapshotted (its
   // checkpoints are copied into the shards), so it need not outlive the
   // server. `options` applies to every shard (workers, batching, queue depth,
-  // mode, tiling, overload) except `precision`, which each route overrides.
+  // mode, tiling, overload, slo) except `precision`, which each route
+  // overrides.
   ShardedServer(const NetworkRegistry& registry, ServeOptions options);
   ~ShardedServer();
   ShardedServer(const ShardedServer&) = delete;
@@ -72,8 +118,28 @@ class ShardedServer {
 
   // Enqueue a (1, H, W, 1) Y frame for the given route. The future resolves
   // to the upscaled frame, or to UnknownRouteError, QueueFullError (kReject
-  // overload), ServerClosedError (after shutdown), or the execution error.
+  // overload), ShedError (SLO admission), ServerDrainingError (while
+  // draining), ServerClosedError (after shutdown), or the execution error.
   std::future<Tensor> submit(const RouteKey& route, Tensor frame);
+
+  // submit() plus per-request deadline / completion hook / admission
+  // visibility: the result reports whether the request was degraded to a
+  // cheaper route, rewritten to the two-stage x2 path, or shed.
+  AdmitResult submit_admitted(const RouteKey& route, Tensor frame, SubmitOptions opts = {});
+
+  // Stop admitting (submits fail with ServerDrainingError) and block until
+  // every accepted request has resolved. Threads stay up; resume() reopens
+  // admission. Safe to call repeatedly.
+  void begin_drain();
+  void resume();
+  bool draining() const { return draining_.load(std::memory_order_seq_cst); }
+
+  // Swap every shard's checkpoint for the matching route in `registry` (the
+  // route set must be identical, same registration order). Requires a drained
+  // server: call begin_drain() first, reload, then resume(). Worker replicas
+  // are rebuilt from the new checkpoints and the response cache is cleared —
+  // cached outputs of the old weights must not survive the swap.
+  void reload_routes(const NetworkRegistry& registry);
 
   // Drain in-flight requests, complete every accepted future, stop all
   // threads. Idempotent; called by the destructor.
@@ -82,6 +148,7 @@ class ShardedServer {
   ShardedStats stats() const;
   const ServeOptions& options() const { return options_; }
   std::size_t shard_count() const { return shards_.size(); }
+  const AdmissionController& admission() const { return admission_; }
 
  private:
   struct Shard {
@@ -96,14 +163,23 @@ class ShardedServer {
   ExecMode resolve_mode(const Shape& shape) const;
   void batcher_loop(Shard& shard);
   void worker_loop(Shard& shard, WorkerSession& session);
+  std::int64_t in_system(std::size_t shard) const;
+  // Stage 2 of a two-stage degrade: wrap the intermediate into a fresh
+  // request carrying stage 1's promise and push it straight to the x2
+  // shard's dispatch (weight 0 — never blocks a worker thread).
+  void enqueue_second_stage(std::size_t shard_index, FrameRequest&& stage1, Tensor&& intermediate);
 
   ServeOptions options_;
   StatsRecorder stats_;
   ResponseCache cache_;
   FairDispatchQueue dispatch_;
+  AdmissionController admission_;
   std::vector<std::unique_ptr<Shard>> shards_;
   std::unordered_map<std::string, std::size_t> route_index_;  // route_string -> shard
   std::atomic<std::uint64_t> next_id_{0};
+  std::atomic<bool> draining_{false};
+  std::atomic<bool> closed_{false};
+  InflightTracker inflight_;
   std::once_flag shutdown_once_;
 };
 

@@ -37,6 +37,9 @@ ServerStats StatsRecorder::snapshot() const {
   s.tiles = tiles_.load(std::memory_order_relaxed);
   s.failed = failed_.load(std::memory_order_relaxed);
   s.cache_hits = cache_hits_.load(std::memory_order_relaxed);
+  s.shed = shed_.load(std::memory_order_relaxed);
+  s.degraded = degraded_.load(std::memory_order_relaxed);
+  s.two_stage = two_stage_.load(std::memory_order_relaxed);
   std::vector<double> samples;
   {
     std::lock_guard<std::mutex> lock(mutex_);

@@ -22,6 +22,9 @@ struct ServerStats {
   std::uint64_t batches = 0;     // execution units dispatched (batch or tile job)
   std::uint64_t tiles = 0;       // TileTasks executed by the fan-out path
   std::uint64_t cache_hits = 0;  // requests fulfilled by the response cache
+  std::uint64_t shed = 0;        // refused by SLO admission (typed ShedError)
+  std::uint64_t degraded = 0;    // admitted on a cheaper route than requested
+  std::uint64_t two_stage = 0;   // x4 requests served as x2 applied twice
   double mean_batch_frames = 0.0;  // (completed - cache_hits) / batches
   double p50_us = 0.0;
   double p95_us = 0.0;
@@ -33,7 +36,11 @@ struct ServerStats {
 
 class StatsRecorder {
  public:
+  // Latency samples and wall_seconds are pinned to the monotonic clock: a
+  // wall-clock step (NTP, manual date change) must never produce negative or
+  // inflated latencies.
   using Clock = std::chrono::steady_clock;
+  static_assert(Clock::is_steady, "serve stats require a monotonic clock");
 
   StatsRecorder() : start_(Clock::now()) {}
 
@@ -43,6 +50,9 @@ class StatsRecorder {
   void on_tile() { tiles_.fetch_add(1, std::memory_order_relaxed); }
   void on_failed() { failed_.fetch_add(1, std::memory_order_relaxed); }
   void on_cache_hit() { cache_hits_.fetch_add(1, std::memory_order_relaxed); }
+  void on_shed() { shed_.fetch_add(1, std::memory_order_relaxed); }
+  void on_degraded() { degraded_.fetch_add(1, std::memory_order_relaxed); }
+  void on_two_stage() { two_stage_.fetch_add(1, std::memory_order_relaxed); }
 
   // One completed request; `enqueue` is its submit() timestamp.
   void on_completed(Clock::time_point enqueue);
@@ -57,6 +67,9 @@ class StatsRecorder {
   std::atomic<std::uint64_t> tiles_{0};
   std::atomic<std::uint64_t> failed_{0};
   std::atomic<std::uint64_t> cache_hits_{0};
+  std::atomic<std::uint64_t> shed_{0};
+  std::atomic<std::uint64_t> degraded_{0};
+  std::atomic<std::uint64_t> two_stage_{0};
   mutable std::mutex mutex_;           // guards latency_us_
   std::vector<double> latency_us_;
 };

@@ -1,0 +1,402 @@
+// Tests for the TCP front end (src/serve/net): wire framing as pure
+// byte-level round trips, and the socket server end-to-end over loopback.
+//
+// The load-bearing promises:
+//   1. encode/decode round-trips exactly; truncated, trailing-garbage, and
+//      bad-magic inputs are rejected rather than misread.
+//   2. Responses over the socket are BIT-IDENTICAL to an in-process submit
+//      against the same server.
+//   3. One misbehaving connection (malformed frame, mid-request disconnect)
+//      never takes down the server or its other connections.
+//   4. NetServer::shutdown flushes every in-flight response before closing.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <map>
+#include <thread>
+#include <vector>
+
+#include "core/sesr_inference.hpp"
+#include "core/sesr_network.hpp"
+#include "serve/net/client.hpp"
+#include "serve/net/server.hpp"
+#include "serve/net/wire.hpp"
+#include "serve/registry.hpp"
+#include "serve/sharded_server.hpp"
+#include "tensor/tensor_ops.hpp"
+
+namespace sesr::serve::net {
+namespace {
+
+core::SesrConfig small_config() {
+  core::SesrConfig config;
+  config.f = 8;
+  config.m = 2;
+  config.scale = 2;
+  config.expand = 16;
+  return config;
+}
+
+core::SesrInference make_inference(std::uint64_t seed) {
+  Rng rng(seed);
+  core::SesrNetwork network(small_config(), rng);
+  return core::SesrInference(network);
+}
+
+Tensor make_frame(std::uint64_t seed, std::int64_t h, std::int64_t w) {
+  Rng rng(seed);
+  Tensor frame(1, h, w, 1);
+  frame.fill_uniform(rng, 0.0F, 1.0F);
+  return frame;
+}
+
+std::vector<std::uint8_t> payload_of(const std::vector<std::uint8_t>& frame_bytes) {
+  return {frame_bytes.begin() + 8, frame_bytes.end()};
+}
+
+// ------------------------------------------------------------ wire framing
+
+TEST(Wire, RequestRoundTripsExactly) {
+  WireRequest request;
+  request.id = 0xDEADBEEFCAFE0001ULL;
+  request.deadline_us = 250'000;
+  request.route = "m5:2:fp32";
+  request.h = 3;
+  request.w = 4;
+  request.pixels = {0.0F, 0.25F, -1.5F, 3.25F, 1e-7F, 42.0F,
+                    7.0F, 8.0F,  9.0F,  10.0F, 11.0F, 12.0F};
+  const std::vector<std::uint8_t> bytes = encode_request(request);
+  // Prefix: magic then payload length.
+  ASSERT_GE(bytes.size(), 8U);
+  EXPECT_EQ(bytes[0], 'S');
+  EXPECT_EQ(bytes[1], 'E');
+  EXPECT_EQ(bytes[2], 'S');
+  EXPECT_EQ(bytes[3], 'R');
+  const auto decoded = decode_request(payload_of(bytes));
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(decoded->id, request.id);
+  EXPECT_EQ(decoded->deadline_us, request.deadline_us);
+  EXPECT_EQ(decoded->route, request.route);
+  EXPECT_EQ(decoded->h, request.h);
+  EXPECT_EQ(decoded->w, request.w);
+  EXPECT_EQ(decoded->pixels, request.pixels);  // bit-exact floats
+}
+
+TEST(Wire, ResponseRoundTripsOkAndError) {
+  WireResponse ok;
+  ok.id = 7;
+  ok.status = Status::kOk;
+  ok.flags = kFlagDegraded | kFlagTwoStage;
+  ok.route = "m5:2:fp16";
+  ok.h = 2;
+  ok.w = 2;
+  ok.pixels = {1.0F, 2.0F, 3.0F, 4.0F};
+  auto decoded = decode_response(payload_of(encode_response(ok)));
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(decoded->id, 7U);
+  EXPECT_EQ(decoded->status, Status::kOk);
+  EXPECT_EQ(decoded->flags, ok.flags);
+  EXPECT_EQ(decoded->route, ok.route);
+  EXPECT_EQ(decoded->pixels, ok.pixels);
+
+  WireResponse error;
+  error.id = 8;
+  error.status = Status::kOverloaded;
+  error.route = "m5:2:fp32";
+  error.message = "eval server: shed (estimated 900us over budget 100us)";
+  decoded = decode_response(payload_of(encode_response(error)));
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(decoded->status, Status::kOverloaded);
+  EXPECT_EQ(decoded->h, 0);
+  EXPECT_EQ(decoded->w, 0);
+  EXPECT_TRUE(decoded->pixels.empty());
+  EXPECT_EQ(decoded->message, error.message);
+}
+
+TEST(Wire, DecodeRejectsTruncatedAndTrailingBytes) {
+  WireRequest request;
+  request.id = 1;
+  request.route = "m5:2:fp32";
+  request.h = 2;
+  request.w = 2;
+  request.pixels = {1.0F, 2.0F, 3.0F, 4.0F};
+  const std::vector<std::uint8_t> payload = payload_of(encode_request(request));
+  // Every strict prefix must fail to decode, never misread.
+  for (std::size_t cut = 0; cut < payload.size(); ++cut) {
+    const std::vector<std::uint8_t> truncated(payload.begin(),
+                                              payload.begin() + static_cast<std::ptrdiff_t>(cut));
+    EXPECT_FALSE(decode_request(truncated).has_value()) << "cut=" << cut;
+  }
+  // Trailing garbage (payload longer than h*w pixels) must fail too: a length
+  // mismatch means the framing is corrupt.
+  std::vector<std::uint8_t> trailing = payload;
+  trailing.push_back(0xAB);
+  EXPECT_FALSE(decode_request(trailing).has_value());
+  // Empty route and zero-dimension frames are invalid.
+  WireRequest bad = request;
+  bad.route.clear();
+  EXPECT_FALSE(decode_request(payload_of(encode_request(bad))).has_value());
+}
+
+TEST(Wire, FrameReaderReassemblesByteDribbledFrames) {
+  WireRequest request;
+  request.id = 42;
+  request.route = "a:2:fp32";
+  request.h = 2;
+  request.w = 3;
+  request.pixels = {1, 2, 3, 4, 5, 6};
+  std::vector<std::uint8_t> stream = encode_request(request);
+  const std::vector<std::uint8_t> second = encode_request(request);
+  stream.insert(stream.end(), second.begin(), second.end());
+
+  FrameReader reader;
+  // Worst-case TCP segmentation: one byte at a time. Both frames must come
+  // out whole and in order.
+  std::vector<std::vector<std::uint8_t>> payloads;
+  for (const std::uint8_t byte : stream) {
+    reader.feed(&byte, 1);
+    while (auto payload = reader.next()) payloads.push_back(std::move(*payload));
+  }
+  ASSERT_EQ(payloads.size(), 2U);
+  for (const auto& payload : payloads) {
+    const auto decoded = decode_request(payload);
+    ASSERT_TRUE(decoded.has_value());
+    EXPECT_EQ(decoded->id, 42U);
+    EXPECT_EQ(decoded->pixels, request.pixels);
+  }
+  EXPECT_FALSE(reader.poisoned());
+}
+
+TEST(Wire, FrameReaderPoisonsPermanentlyOnBadMagicAndOversizedLength) {
+  FrameReader bad_magic;
+  const std::uint8_t garbage[8] = {0xDE, 0xAD, 0xBE, 0xEF, 4, 0, 0, 0};
+  bad_magic.feed(garbage, sizeof(garbage));
+  EXPECT_TRUE(bad_magic.poisoned());
+  EXPECT_EQ(bad_magic.next(), std::nullopt);
+  // Even a pristine frame afterwards stays unread: framing lost sync.
+  WireRequest request;
+  request.id = 1;
+  request.route = "a:2:fp32";
+  request.h = 1;
+  request.w = 1;
+  request.pixels = {1.0F};
+  const std::vector<std::uint8_t> clean = encode_request(request);
+  bad_magic.feed(clean.data(), clean.size());
+  EXPECT_EQ(bad_magic.next(), std::nullopt);
+
+  FrameReader oversized(/*max_payload=*/64);
+  std::uint8_t huge[8] = {'S', 'E', 'S', 'R', 0, 0, 0, 0};
+  huge[4] = 65;  // length 65 > max 64
+  oversized.feed(huge, sizeof(huge));
+  EXPECT_TRUE(oversized.poisoned());
+}
+
+TEST(Wire, PixelHelpersRoundTripTheYPlane) {
+  const Tensor frame = make_frame(5, 6, 7);
+  const std::vector<float> pixels = frame_to_pixels(frame);
+  ASSERT_EQ(pixels.size(), 42U);
+  const Tensor back = pixels_to_frame(6, 7, pixels);
+  EXPECT_EQ(back.shape(), frame.shape());
+  EXPECT_EQ(max_abs_diff(back, frame), 0.0F);
+}
+
+// -------------------------------------------------------- socket end-to-end
+
+struct NetFixture {
+  NetFixture() : inference(make_inference(90)) {
+    NetworkRegistry registry;
+    registry.add(RouteKey{"m5", 2, core::InferencePrecision::kFp32}, inference);
+    ServeOptions options;
+    options.workers = 2;
+    server = std::make_unique<ShardedServer>(registry, options);
+    net = std::make_unique<NetServer>(*server, NetServerOptions{});  // ephemeral port
+  }
+  ~NetFixture() {
+    net->shutdown();
+    server->shutdown();
+  }
+  core::SesrInference inference;
+  std::unique_ptr<ShardedServer> server;
+  std::unique_ptr<NetServer> net;
+};
+
+TEST(NetServer, UpscaleOverLoopbackBitIdenticalToInProcess) {
+  NetFixture fx;
+  NetClient client("127.0.0.1", fx.net->port());
+  const Tensor frame = make_frame(91, 12, 16);
+  const WireResponse response = client.upscale("m5:2:fp32", frame);
+  ASSERT_EQ(response.status, Status::kOk);
+  EXPECT_EQ(response.route, "m5:2:fp32");
+  EXPECT_EQ(response.flags, 0);
+  const Tensor got = pixels_to_frame(response.h, response.w, response.pixels);
+  // The wire carries raw f32 bit patterns: the socket path must be
+  // bit-identical to submitting in-process (itself bit-identical to the
+  // single-threaded reference).
+  EXPECT_EQ(max_abs_diff(got, fx.server->submit(RouteKey{"m5", 2, core::InferencePrecision::kFp32},
+                                                frame)
+                                  .get()),
+            0.0F);
+  EXPECT_EQ(max_abs_diff(got, fx.inference.upscale(frame)), 0.0F);
+}
+
+TEST(NetServer, UnknownRouteAnswersTypedStatusAndKeepsServing) {
+  NetFixture fx;
+  NetClient client("127.0.0.1", fx.net->port());
+  const Tensor frame = make_frame(92, 8, 8);
+  const WireResponse bad = client.upscale("nope:2:fp32", frame);
+  EXPECT_EQ(bad.status, Status::kUnknownRoute);
+  EXPECT_EQ(bad.h, 0);
+  EXPECT_FALSE(bad.message.empty());
+  // Same connection is still healthy.
+  const WireResponse good = client.upscale("m5:2:fp32", frame);
+  EXPECT_EQ(good.status, Status::kOk);
+}
+
+TEST(NetServer, PipelinedRequestsAllAnswered) {
+  NetFixture fx;
+  NetClient client("127.0.0.1", fx.net->port());
+  constexpr int kRequests = 16;
+  std::map<std::uint64_t, Tensor> sent;
+  for (int i = 0; i < kRequests; ++i) {
+    Tensor frame = make_frame(100 + static_cast<std::uint64_t>(i), 8, 10);
+    const std::uint64_t id = client.send("m5:2:fp32", frame);
+    sent.emplace(id, std::move(frame));
+  }
+  // Responses may arrive in any completion order; match by echoed id.
+  for (int i = 0; i < kRequests; ++i) {
+    const auto response = client.recv_response();
+    ASSERT_TRUE(response.has_value());
+    ASSERT_EQ(response->status, Status::kOk);
+    const auto it = sent.find(response->id);
+    ASSERT_NE(it, sent.end());
+    EXPECT_EQ(max_abs_diff(pixels_to_frame(response->h, response->w, response->pixels),
+                           fx.inference.upscale(it->second)),
+              0.0F);
+    sent.erase(it);
+  }
+  EXPECT_TRUE(sent.empty());
+}
+
+TEST(NetServer, MalformedFramePoisonsOnlyThatConnection) {
+  NetFixture fx;
+  NetClient victim("127.0.0.1", fx.net->port());
+  NetClient bystander("127.0.0.1", fx.net->port());
+  const Tensor frame = make_frame(93, 8, 8);
+  // An in-flight request on the healthy connection...
+  const std::uint64_t pending_id = bystander.send("m5:2:fp32", frame);
+  // ...while the victim ships garbage: bad magic can only be answered with
+  // kBadRequest (request id 0, the bytes are not trustworthy) and a close.
+  victim.send_raw({0xBA, 0xD0, 0xBA, 0xD0, 0x10, 0x00, 0x00, 0x00});
+  const auto reject = victim.recv_response();
+  ASSERT_TRUE(reject.has_value());
+  EXPECT_EQ(reject->status, Status::kBadRequest);
+  EXPECT_EQ(reject->id, 0U);
+  EXPECT_EQ(victim.recv_response(), std::nullopt);  // server closed it
+  // The bystander's request and connection are untouched.
+  const auto response = bystander.recv_response();
+  ASSERT_TRUE(response.has_value());
+  EXPECT_EQ(response->id, pending_id);
+  EXPECT_EQ(response->status, Status::kOk);
+  EXPECT_GE(fx.net->stats().malformed, 1U);
+}
+
+TEST(NetServer, MidRequestDisconnectLeavesOtherConnectionsServing) {
+  NetFixture fx;
+  const Tensor frame = make_frame(94, 10, 10);
+  {
+    // Half a request, then gone: the server must just drop the connection.
+    WireRequest request;
+    request.id = 99;
+    request.route = "m5:2:fp32";
+    request.h = frame.shape().h();
+    request.w = frame.shape().w();
+    request.pixels = frame_to_pixels(frame);
+    std::vector<std::uint8_t> bytes = encode_request(request);
+    bytes.resize(bytes.size() / 2);
+    NetClient half("127.0.0.1", fx.net->port());
+    half.send_raw(bytes);
+    half.disconnect();
+  }
+  {
+    // A full request followed by an immediate disconnect: the inference still
+    // runs; the response is dropped on the floor, never crossed to another
+    // connection or crashing the IO loop.
+    NetClient vanish("127.0.0.1", fx.net->port());
+    vanish.send("m5:2:fp32", frame);
+    vanish.disconnect();
+  }
+  NetClient healthy("127.0.0.1", fx.net->port());
+  for (int i = 0; i < 3; ++i) {
+    const WireResponse response = healthy.upscale("m5:2:fp32", frame);
+    ASSERT_EQ(response.status, Status::kOk);
+    EXPECT_EQ(max_abs_diff(pixels_to_frame(response.h, response.w, response.pixels),
+                           fx.inference.upscale(frame)),
+              0.0F);
+  }
+  EXPECT_GE(fx.net->stats().disconnects, 2U);
+}
+
+TEST(NetServer, ShutdownFlushesInFlightResponses) {
+  const core::SesrInference inference = make_inference(95);
+  NetworkRegistry registry;
+  registry.add(RouteKey{"m5", 2, core::InferencePrecision::kFp32}, inference);
+  std::atomic<bool> hold{true};
+  ServeOptions options;
+  options.workers = 1;
+  options.worker_hook = [&] {
+    while (hold.load(std::memory_order_acquire)) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+  };
+  ShardedServer server(registry, options);
+  auto net = std::make_unique<NetServer>(server, NetServerOptions{});
+  NetClient client("127.0.0.1", net->port());
+  const Tensor frame = make_frame(96, 8, 8);
+  const std::uint64_t id = client.send("m5:2:fp32", frame);
+  // Wait until the server has decoded and submitted the request.
+  while (net->stats().requests == 0) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  // shutdown() must block on the in-flight response, flush it, then close.
+  std::thread closer([&] { net->shutdown(); });
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  hold.store(false, std::memory_order_release);
+  closer.join();
+  const auto response = client.recv_response();
+  ASSERT_TRUE(response.has_value());
+  EXPECT_EQ(response->id, id);
+  EXPECT_EQ(response->status, Status::kOk);
+  EXPECT_EQ(max_abs_diff(pixels_to_frame(response->h, response->w, response->pixels),
+                         inference.upscale(frame)),
+            0.0F);
+  EXPECT_EQ(client.recv_response(), std::nullopt);  // then the socket closed
+  server.shutdown();
+}
+
+TEST(NetServer, DeadlineShedSurfacesAsOverloadedStatus) {
+  const core::SesrInference inference = make_inference(97);
+  NetworkRegistry registry;
+  registry.add(RouteKey{"m5", 2, core::InferencePrecision::kFp32}, inference);
+  ServeOptions options;
+  options.workers = 1;
+  options.slo.min_samples = 1;
+  ShardedServer server(registry, options);
+  NetServer net(server, NetServerOptions{});
+  NetClient client("127.0.0.1", net.port());
+  const Tensor frame = make_frame(98, 32, 32);
+  // Warm the route's service estimate, then ask for the impossible: a 1us
+  // deadline. With no cheaper registered route the request sheds, and the
+  // wire answer is the typed overload status, not a dead connection.
+  ASSERT_EQ(client.upscale("m5:2:fp32", frame).status, Status::kOk);
+  const WireResponse shed = client.upscale("m5:2:fp32", frame, /*deadline_us=*/1);
+  EXPECT_EQ(shed.status, Status::kOverloaded);
+  EXPECT_FALSE(shed.message.empty());
+  // The connection survives shedding.
+  EXPECT_EQ(client.upscale("m5:2:fp32", frame).status, Status::kOk);
+  net.shutdown();
+  server.shutdown();
+}
+
+}  // namespace
+}  // namespace sesr::serve::net

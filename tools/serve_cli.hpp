@@ -36,6 +36,15 @@ struct ServeCliConfig {
   std::vector<std::pair<std::int64_t, std::int64_t>> shapes;  // (H, W) mix
   std::int64_t threads = 1;                                // intra-op pool width
   std::uint64_t seed = 1;
+
+  // TCP modes (mutually exclusive; both off = in-process load generator).
+  std::int64_t listen_port = -1;   // >= 0: serve the routes on 127.0.0.1:port (0 = ephemeral)
+  std::string connect_host;        // non-empty: drive a remote server instead
+  std::uint16_t connect_port = 0;
+  std::int64_t clients = 4;        // client mode: concurrent connections
+  double deadline_ms = 0.0;        // per-request deadline (0 = none)
+  double slo_p99_ms = 0.0;         // server mode: SLO budget for admission (0 = off)
+  std::string chaos = "none";      // client mode: none|malformed|disconnect
 };
 
 inline std::vector<Args::Option> serve_cli_options() {
@@ -61,6 +70,12 @@ inline std::vector<Args::Option> serve_cli_options() {
       {"shapes", "64x64", "comma list of LR HxW shapes, e.g. 64x64,128x96"},
       {"threads", "1", "intra-op threads per upscale (1 = workers scale freely)"},
       {"seed", "1", "rng seed for weights, frames, and arrivals"},
+      {"listen", "-1", "serve over TCP on 127.0.0.1:PORT (0 = ephemeral; prints the port)"},
+      {"connect", "none", "drive a remote server at HOST:PORT (none = in-process)"},
+      {"clients", "4", "client mode: concurrent connections (closed loop each)"},
+      {"deadline-ms", "0", "per-request deadline in milliseconds (0 = none)"},
+      {"slo-p99-ms", "0", "server p99 latency budget for SLO admission (0 = off)"},
+      {"chaos", "none", "client mode fault injection: none|malformed|disconnect"},
   };
 }
 
@@ -203,6 +218,43 @@ inline ServeCliConfig parse_serve_cli(const Args& args) {
   if (config.unique_frames < 1) throw UsageError("--unique-frames must be >= 1");
 
   config.serve.fair_tiles = args.get_int("fair-tiles") != 0;
+
+  config.listen_port = args.get_int("listen");
+  if (config.listen_port > 65535) throw UsageError("--listen port must be <= 65535");
+  // "none" sentinel rather than empty: cli_args treats an empty default as a
+  // boolean flag and would never consume the HOST:PORT value.
+  const std::string connect = args.get("connect");
+  if (!connect.empty() && connect != "none") {
+    const std::size_t colon = connect.rfind(':');
+    if (colon == std::string::npos || colon == 0 || colon + 1 >= connect.size()) {
+      throw UsageError("--connect expects HOST:PORT, e.g. 127.0.0.1:7788");
+    }
+    config.connect_host = connect.substr(0, colon);
+    try {
+      const int port = std::stoi(connect.substr(colon + 1));
+      if (port < 1 || port > 65535) throw std::out_of_range("port");
+      config.connect_port = static_cast<std::uint16_t>(port);
+    } catch (const std::exception&) {
+      throw UsageError("bad --connect port in '" + connect + "'");
+    }
+  }
+  if (config.listen_port >= 0 && !config.connect_host.empty()) {
+    throw UsageError("--listen and --connect are mutually exclusive");
+  }
+  config.clients = args.get_int("clients");
+  if (config.clients < 1) throw UsageError("--clients must be >= 1");
+  config.deadline_ms = args.get_double("deadline-ms");
+  if (config.deadline_ms < 0.0) throw UsageError("--deadline-ms must be >= 0");
+  config.slo_p99_ms = args.get_double("slo-p99-ms");
+  if (config.slo_p99_ms < 0.0) throw UsageError("--slo-p99-ms must be >= 0");
+  config.serve.slo.p99_budget_us = static_cast<std::int64_t>(config.slo_p99_ms * 1000.0);
+  config.chaos = args.get("chaos");
+  if (config.chaos != "none" && config.chaos != "malformed" && config.chaos != "disconnect") {
+    throw UsageError("unknown --chaos '" + config.chaos + "' (expected none|malformed|disconnect)");
+  }
+  if (config.chaos != "none" && config.connect_host.empty()) {
+    throw UsageError("--chaos requires --connect (it drives a live server)");
+  }
   return config;
 }
 

@@ -1,14 +1,23 @@
-// sesr-serve — synthetic-traffic load generator for the batched eval server.
+// sesr-serve — synthetic-traffic load generator AND TCP front end for the
+// batched eval server.
 //
-// Spins up a ShardedServer over one or more freshly initialized collapsed
-// SESR networks (--networks m5:2,m11:2:fp16; a single --net/--scale route by
-// default) and drives it with synthetic Y frames:
+// Three modes:
 //
-//   open loop  (--qps > 0): Poisson arrivals at the requested rate, submitted
-//     on schedule regardless of completions — the honest way to measure tail
-//     latency under a fixed offered load.
-//   closed loop (--qps 0): submits as fast as the bounded queue admits
-//     (kBlock) or retries drop counting (kReject) — a saturation probe.
+//   in-process (default): spins up a ShardedServer over one or more freshly
+//     initialized collapsed SESR networks (--networks m5:2,m11:2:fp16; a
+//     single --net/--scale route by default) and drives it directly:
+//       open loop  (--qps > 0): Poisson arrivals at the requested rate — the
+//         honest way to measure tail latency under a fixed offered load.
+//       closed loop (--qps 0): submits as fast as the bounded queue admits.
+//   --listen PORT: same server, exposed on 127.0.0.1:PORT via the
+//     length-prefixed wire protocol (serve/net). --slo-p99-ms arms SLO
+//     admission (shed / degrade under overload). Runs until --duration-s or
+//     SIGINT/SIGTERM, then drains gracefully: every accepted request
+//     completes before threads join.
+//   --connect HOST:PORT: client-mode load generator over the real socket
+//     path: --clients closed-loop connections (Poisson-paced when --qps > 0),
+//     per-request --deadline-ms, and --chaos malformed|disconnect fault
+//     injection for resilience checks.
 //
 // Traffic cycles round-robin over routes x shapes x --unique-frames distinct
 // frames, so --cache-entries with unique-frames=1 exercises the bit-exact
@@ -16,7 +25,9 @@
 // percentiles (p50/p95/p99), achieved FPS, batch occupancy, reject counts,
 // per-route counters, and cache hit rates. docs/SERVING.md explains how to
 // read them.
+#include <atomic>
 #include <chrono>
+#include <csignal>
 #include <cstdio>
 #include <future>
 #include <random>
@@ -27,15 +38,21 @@
 #include "cli_args.hpp"
 #include "core/hybrid_plan.hpp"
 #include "core/sesr_network.hpp"
+#include "serve/net/client.hpp"
+#include "serve/net/server.hpp"
 #include "serve/registry.hpp"
 #include "serve/request_queue.hpp"
 #include "serve/sharded_server.hpp"
+#include "serve/stats.hpp"
 #include "serve_cli.hpp"
 #include "tensor/thread_pool.hpp"
 
 namespace {
 
 using namespace sesr;
+
+volatile std::sig_atomic_t g_stop = 0;
+void handle_stop(int) { g_stop = 1; }
 
 core::SesrConfig named_config(const std::string& name, std::int64_t scale) {
   if (name == "m3") return core::sesr_m3(scale);
@@ -45,9 +62,8 @@ core::SesrConfig named_config(const std::string& name, std::int64_t scale) {
   return core::sesr_xl(scale);
 }
 
-int run(const cli::ServeCliConfig& config) {
-  ThreadPool::set_global_threads(static_cast<unsigned>(config.threads));
-  Rng rng(config.seed);
+serve::NetworkRegistry build_registry(const cli::ServeCliConfig& config, std::uint64_t seed) {
+  Rng rng(seed);
   serve::NetworkRegistry registry;
   for (const serve::RouteKey& route : config.routes) {
     core::SesrNetwork network(named_config(route.network, route.scale), rng);
@@ -57,7 +73,7 @@ int run(const cli::ServeCliConfig& config) {
       // Deterministic synthetic calibration set (and, for hybrid, plan): the
       // scales travel inside the checkpoint, so every shard replica inherits
       // them bit-exactly.
-      Rng calib_rng(config.seed ^ 0xC0FFEEULL);
+      Rng calib_rng(seed ^ 0xC0FFEEULL);
       std::vector<Tensor> calib;
       for (int i = 0; i < 4; ++i) {
         Tensor frame(1, 48, 48, 1);
@@ -79,6 +95,55 @@ int run(const cli::ServeCliConfig& config) {
     }
     registry.add(route, collapsed);
   }
+  return registry;
+}
+
+std::string route_list_string(const cli::ServeCliConfig& config) {
+  std::string list;
+  for (const serve::RouteKey& route : config.routes) {
+    if (!list.empty()) list += ",";
+    list += serve::route_string(route);
+  }
+  return list;
+}
+
+void print_server_stats(const cli::ServeCliConfig& config, const serve::ShardedStats& sharded) {
+  const serve::ServerStats& stats = sharded.total;
+  std::printf("latency  p50 %.2f ms  p95 %.2f ms  p99 %.2f ms  max %.2f ms\n", stats.p50_us / 1e3,
+              stats.p95_us / 1e3, stats.p99_us / 1e3, stats.max_us / 1e3);
+  if (stats.shed + stats.degraded > 0) {
+    std::printf("admission  shed %llu  degraded %llu (two-stage %llu)\n",
+                static_cast<unsigned long long>(stats.shed),
+                static_cast<unsigned long long>(stats.degraded),
+                static_cast<unsigned long long>(stats.two_stage));
+  }
+  for (const serve::RouteStats& route : sharded.per_route) {
+    std::printf(
+        "route %-14s submitted %llu  completed %llu  failed %llu  cache hits %llu  ewma %.2f ms\n",
+        route.route.c_str(), static_cast<unsigned long long>(route.submitted),
+        static_cast<unsigned long long>(route.completed),
+        static_cast<unsigned long long>(route.failed),
+        static_cast<unsigned long long>(route.cache_hits), route.service_ewma_us / 1e3);
+  }
+  if (config.serve.cache_entries > 0) {
+    const serve::CacheStats& cache = sharded.cache;
+    const std::uint64_t probes = cache.hits + cache.misses;
+    std::printf("cache    hits %llu/%llu (%.1f%%)  entries %zu/%zu  evictions %llu\n",
+                static_cast<unsigned long long>(cache.hits),
+                static_cast<unsigned long long>(probes),
+                probes > 0 ? 100.0 * static_cast<double>(cache.hits) / static_cast<double>(probes)
+                           : 0.0,
+                cache.entries, config.serve.cache_entries,
+                static_cast<unsigned long long>(cache.evictions));
+  }
+}
+
+// ------------------------------------------------------------ in-process mode
+
+int run_local(const cli::ServeCliConfig& config) {
+  ThreadPool::set_global_threads(static_cast<unsigned>(config.threads));
+  Rng rng(config.seed);
+  const serve::NetworkRegistry registry = build_registry(config, config.seed);
   serve::ShardedServer server(registry, config.serve);
 
   // Pre-generated frames: unique_frames per (route, shape); traffic cycles
@@ -98,14 +163,10 @@ int run(const cli::ServeCliConfig& config) {
     }
   }
 
-  std::string route_list;
-  for (const serve::RouteKey& route : config.routes) {
-    if (!route_list.empty()) route_list += ",";
-    route_list += serve::route_string(route);
-  }
   std::printf(
       "sesr-serve: %s | workers=%d max_batch=%lld delay=%lldus queue=%zu cache=%zu fair=%d\n",
-      route_list.c_str(), config.serve.workers, static_cast<long long>(config.serve.max_batch),
+      route_list_string(config).c_str(), config.serve.workers,
+      static_cast<long long>(config.serve.max_batch),
       static_cast<long long>(config.serve.max_delay_us), config.serve.queue_capacity,
       config.serve.cache_entries, config.serve.fair_tiles ? 1 : 0);
 
@@ -156,27 +217,213 @@ int run(const cli::ServeCliConfig& config) {
               static_cast<double>(stats.completed) / wall, stats.mean_batch_frames,
               static_cast<unsigned long long>(stats.batches),
               static_cast<unsigned long long>(stats.tiles));
-  std::printf("latency  p50 %.2f ms  p95 %.2f ms  p99 %.2f ms  max %.2f ms\n", stats.p50_us / 1e3,
-              stats.p95_us / 1e3, stats.p99_us / 1e3, stats.max_us / 1e3);
-  for (const serve::RouteStats& route : sharded.per_route) {
-    std::printf("route %-14s submitted %llu  completed %llu  failed %llu  cache hits %llu\n",
-                route.route.c_str(), static_cast<unsigned long long>(route.submitted),
-                static_cast<unsigned long long>(route.completed),
-                static_cast<unsigned long long>(route.failed),
-                static_cast<unsigned long long>(route.cache_hits));
-  }
-  if (config.serve.cache_entries > 0) {
-    const serve::CacheStats& cache = sharded.cache;
-    const std::uint64_t probes = cache.hits + cache.misses;
-    std::printf("cache    hits %llu/%llu (%.1f%%)  entries %zu/%zu  evictions %llu\n",
-                static_cast<unsigned long long>(cache.hits),
-                static_cast<unsigned long long>(probes),
-                probes > 0 ? 100.0 * static_cast<double>(cache.hits) / static_cast<double>(probes)
-                           : 0.0,
-                cache.entries, config.serve.cache_entries,
-                static_cast<unsigned long long>(cache.evictions));
-  }
+  print_server_stats(config, sharded);
   return errors == 0 ? 0 : 1;
+}
+
+// ---------------------------------------------------------------- server mode
+
+int run_listen(const cli::ServeCliConfig& config) {
+  ThreadPool::set_global_threads(static_cast<unsigned>(config.threads));
+  const serve::NetworkRegistry registry = build_registry(config, config.seed);
+  serve::ShardedServer server(registry, config.serve);
+  serve::net::NetServerOptions net_options;
+  net_options.port = static_cast<std::uint16_t>(config.listen_port);
+  serve::net::NetServer net(server, net_options);
+
+  std::signal(SIGINT, handle_stop);
+  std::signal(SIGTERM, handle_stop);
+  // The "listening on" line is the readiness handshake for scripts (CI greps
+  // it for the port); keep it first and flushed.
+  std::printf("sesr-serve: listening on 127.0.0.1:%u | routes %s | slo p99 %.1f ms\n",
+              static_cast<unsigned>(net.port()), route_list_string(config).c_str(),
+              config.slo_p99_ms);
+  std::fflush(stdout);
+
+  const auto start = std::chrono::steady_clock::now();
+  const auto stop_at = config.duration_s > 0.0
+                           ? start + std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+                                         std::chrono::duration<double>(config.duration_s))
+                           : std::chrono::steady_clock::time_point::max();
+  while (g_stop == 0 && std::chrono::steady_clock::now() < stop_at) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  }
+
+  std::printf("sesr-serve: draining\n");
+  std::fflush(stdout);
+  // Order matters: stop the socket front end first (flushes every in-flight
+  // response), then drain and stop the inference server.
+  net.shutdown();
+  server.begin_drain();
+  server.shutdown();
+
+  const serve::net::NetStats ns = net.stats();
+  std::printf("net  conns %llu (rejected %llu)  requests %llu  responses %llu  malformed %llu  "
+              "disconnects %llu\n",
+              static_cast<unsigned long long>(ns.connections_accepted),
+              static_cast<unsigned long long>(ns.connections_rejected),
+              static_cast<unsigned long long>(ns.requests),
+              static_cast<unsigned long long>(ns.responses),
+              static_cast<unsigned long long>(ns.malformed),
+              static_cast<unsigned long long>(ns.disconnects));
+  print_server_stats(config, server.stats());
+  return 0;
+}
+
+// ---------------------------------------------------------------- client mode
+
+Tensor client_frame(std::uint64_t seed, std::int64_t h, std::int64_t w) {
+  Rng rng(seed);
+  Tensor frame(1, h, w, 1);
+  frame.fill_uniform(rng, 0.0F, 1.0F);
+  return frame;
+}
+
+int run_chaos(const cli::ServeCliConfig& config) {
+  const std::string route = serve::route_string(config.routes.front());
+  const Tensor frame = client_frame(config.seed, config.shapes.front().first,
+                                    config.shapes.front().second);
+  if (config.chaos == "malformed") {
+    serve::net::NetClient bad(config.connect_host, config.connect_port);
+    bad.send_raw({0xDE, 0xAD, 0xBE, 0xEF, 0x08, 0x00, 0x00, 0x00});
+    const auto response = bad.recv_response();
+    if (!response || response->status != serve::net::Status::kBadRequest) {
+      std::fprintf(stderr, "chaos malformed: expected kBadRequest, got %s\n",
+                   response ? std::to_string(static_cast<int>(response->status)).c_str()
+                            : "connection close");
+      return 1;
+    }
+    if (bad.recv_response() != std::nullopt) {
+      std::fprintf(stderr, "chaos malformed: server kept a poisoned connection open\n");
+      return 1;
+    }
+  } else {  // disconnect
+    serve::net::WireRequest request;
+    request.id = 1;
+    request.route = route;
+    request.h = frame.shape().h();
+    request.w = frame.shape().w();
+    request.pixels = serve::net::frame_to_pixels(frame);
+    std::vector<std::uint8_t> bytes = serve::net::encode_request(request);
+    bytes.resize(bytes.size() / 2);  // half a request, then vanish
+    serve::net::NetClient half(config.connect_host, config.connect_port);
+    half.send_raw(bytes);
+    half.disconnect();
+  }
+  // Either way the server must still answer a clean connection.
+  serve::net::NetClient probe(config.connect_host, config.connect_port);
+  const serve::net::WireResponse response = probe.upscale(route, frame);
+  if (response.status != serve::net::Status::kOk) {
+    std::fprintf(stderr, "chaos %s: follow-up request failed with status %d (%s)\n",
+                 config.chaos.c_str(), static_cast<int>(response.status),
+                 response.message.c_str());
+    return 1;
+  }
+  std::printf("chaos %s: server survived; follow-up request served on %s\n",
+              config.chaos.c_str(), response.route.c_str());
+  return 0;
+}
+
+int run_client(const cli::ServeCliConfig& config) {
+  if (config.chaos != "none") return run_chaos(config);
+
+  struct Stimulus {
+    std::string route;
+    Tensor frame;
+  };
+  std::vector<Stimulus> stimuli;
+  Rng rng(config.seed);
+  for (const serve::RouteKey& route : config.routes) {
+    for (const auto& [h, w] : config.shapes) {
+      for (std::int64_t u = 0; u < config.unique_frames; ++u) {
+        Tensor frame(1, h, w, 1);
+        frame.fill_uniform(rng, 0.0F, 1.0F);
+        stimuli.push_back({serve::route_string(route), std::move(frame)});
+      }
+    }
+  }
+
+  const auto deadline_us = static_cast<std::uint32_t>(config.deadline_ms * 1000.0);
+  const std::int64_t frames_per_client =
+      config.duration_s > 0.0 ? 0 : std::max<std::int64_t>(1, config.frames / config.clients);
+  const auto start = std::chrono::steady_clock::now();
+  const auto stop_at = config.duration_s > 0.0
+                           ? start + std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+                                         std::chrono::duration<double>(config.duration_s))
+                           : std::chrono::steady_clock::time_point::max();
+
+  std::atomic<std::uint64_t> ok{0}, overloaded{0}, shutting_down{0}, degraded{0}, errors{0};
+  std::mutex latency_mutex;
+  std::vector<double> latency_us;
+
+  auto worker = [&](std::int64_t index) {
+    try {
+      serve::net::NetClient client(config.connect_host, config.connect_port);
+      std::mt19937_64 arrivals(config.seed ^ (0x9E3779B97F4A7C15ULL + index));
+      const double rate = config.qps > 0.0 ? config.qps / static_cast<double>(config.clients) : 0;
+      std::exponential_distribution<double> inter_arrival(rate > 0.0 ? rate : 1.0);
+      auto next_arrival = std::chrono::steady_clock::now();
+      std::vector<double> local_latency;
+      for (std::int64_t i = 0; frames_per_client == 0 || i < frames_per_client; ++i) {
+        if (std::chrono::steady_clock::now() >= stop_at) break;
+        if (rate > 0.0) {
+          std::this_thread::sleep_until(next_arrival);
+          next_arrival += std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+              std::chrono::duration<double>(inter_arrival(arrivals)));
+        }
+        const Stimulus& s =
+            stimuli[static_cast<std::size_t>(index + i * config.clients) % stimuli.size()];
+        const auto sent = std::chrono::steady_clock::now();
+        const serve::net::WireResponse response = client.upscale(s.route, s.frame, deadline_us);
+        const double us = std::chrono::duration<double, std::micro>(
+                              std::chrono::steady_clock::now() - sent)
+                              .count();
+        switch (response.status) {
+          case serve::net::Status::kOk:
+            ok.fetch_add(1, std::memory_order_relaxed);
+            local_latency.push_back(us);
+            if (response.flags & serve::net::kFlagDegraded) {
+              degraded.fetch_add(1, std::memory_order_relaxed);
+            }
+            break;
+          case serve::net::Status::kOverloaded:
+            overloaded.fetch_add(1, std::memory_order_relaxed);
+            break;
+          case serve::net::Status::kShuttingDown:
+            shutting_down.fetch_add(1, std::memory_order_relaxed);
+            break;
+          default:
+            errors.fetch_add(1, std::memory_order_relaxed);
+            break;
+        }
+      }
+      std::lock_guard<std::mutex> lock(latency_mutex);
+      latency_us.insert(latency_us.end(), local_latency.begin(), local_latency.end());
+    } catch (const std::exception& e) {
+      errors.fetch_add(1, std::memory_order_relaxed);
+      std::fprintf(stderr, "client %lld: %s\n", static_cast<long long>(index), e.what());
+    }
+  };
+
+  std::vector<std::thread> clients;
+  for (std::int64_t c = 0; c < config.clients; ++c) clients.emplace_back(worker, c);
+  for (std::thread& t : clients) t.join();
+
+  const double wall =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
+  const std::uint64_t completed = ok.load();
+  std::printf("client: %llu ok (%0.1f fps)  %llu overloaded  %llu shutting-down  %llu degraded  "
+              "%llu errors\n",
+              static_cast<unsigned long long>(completed),
+              wall > 0 ? static_cast<double>(completed) / wall : 0.0,
+              static_cast<unsigned long long>(overloaded.load()),
+              static_cast<unsigned long long>(shutting_down.load()),
+              static_cast<unsigned long long>(degraded.load()),
+              static_cast<unsigned long long>(errors.load()));
+  std::printf("client latency  p50 %.2f ms  p95 %.2f ms  p99 %.2f ms\n",
+              serve::percentile(latency_us, 50.0) / 1e3, serve::percentile(latency_us, 95.0) / 1e3,
+              serve::percentile(latency_us, 99.0) / 1e3);
+  return errors.load() == 0 ? 0 : 1;
 }
 
 }  // namespace
@@ -184,11 +431,14 @@ int run(const cli::ServeCliConfig& config) {
 int main(int argc, char** argv) {
   try {
     const cli::Args args(cli::serve_cli_options(), argc, argv);
-    return run(cli::parse_serve_cli(args));
+    const cli::ServeCliConfig config = cli::parse_serve_cli(args);
+    if (config.listen_port >= 0) return run_listen(config);
+    if (!config.connect_host.empty()) return run_client(config);
+    return run_local(config);
   } catch (const std::exception& e) {
     std::fprintf(stderr, "sesr-serve: %s\n\n", e.what());
     const cli::Args usage(cli::serve_cli_options(), 1, argv);
-    usage.usage("sesr-serve", "synthetic-traffic load generator for the batched eval server");
+    usage.usage("sesr-serve", "load generator and TCP front end for the batched eval server");
     return 2;
   }
 }
