@@ -24,6 +24,7 @@
 #include "core/streaming.hpp"
 #include "core/tiled_inference.hpp"
 #include "data/resize.hpp"
+#include "data/video.hpp"
 #include "metrics/psnr.hpp"
 #include "metrics/ssim.hpp"
 #include <limits>
@@ -35,6 +36,7 @@
 #include "nn/gemm_s8.hpp"
 #include "nn/winograd.hpp"
 #include "serve/server.hpp"
+#include "serve/sharded_server.hpp"
 #include "tensor/fp16.hpp"
 #include "tensor/rng.hpp"
 #include "tensor/tensor.hpp"
@@ -582,6 +584,101 @@ TrialResult cached_vs_cold_serve_trial(std::uint64_t seed) {
   return r;
 }
 
+// ------------------------------------------------- video delta-reuse pair
+
+// A video session's tile-delta output must be BIT-IDENTICAL to a full
+// re-upscale of the same frame, for every execution mode and all four
+// precisions. The trial draws a random mode x precision x temporal pattern,
+// serves a synthetic sequence through one ShardedServer twice per frame —
+// once as a video session (consecutive seqs, so the delta path engages from
+// frame 2 on) and once as a plain non-video submit (always the full
+// pipeline, cache disabled) — and compares bitwise with zero tolerance.
+// A trial where the delta path never engaged is failed loudly: the bit
+// comparison would be vacuous.
+TrialResult video_delta_vs_full_trial(std::uint64_t seed) {
+  TrialResult r;
+  Rng rng(seed);
+  const core::SesrConfig config = small_config(rng);  // with_bias=false: streaming-safe
+  Rng init = rng.fork();
+  const core::SesrNetwork network(config, init);
+  core::SesrInference inference(network);
+  inference.calibrate_int8({random_tensor(rng, 1, 12, 12, 1, 0.0F, 1.0F)});
+  std::vector<core::LayerPrecision> plan(inference.convolutions().size(),
+                                         core::LayerPrecision::kFp16);
+  for (std::size_t i = 0; i < plan.size(); i += 2) plan[i] = core::LayerPrecision::kInt8;
+  inference.set_hybrid_plan(std::move(plan));
+
+  const core::InferencePrecision precisions[] = {
+      core::InferencePrecision::kFp32, core::InferencePrecision::kFp16,
+      core::InferencePrecision::kInt8, core::InferencePrecision::kHybrid};
+  const serve::RouteKey key{"v", config.scale, precisions[rng.uniform_int(0, 3)]};
+  serve::NetworkRegistry registry;
+  registry.add(key, inference);
+
+  const serve::ExecMode modes[] = {serve::ExecMode::kFullFrame, serve::ExecMode::kTiled,
+                                   serve::ExecMode::kStreaming, serve::ExecMode::kAuto};
+  serve::ServeOptions options;
+  options.mode = modes[rng.uniform_int(0, 3)];
+  options.workers = 1 + static_cast<int>(rng.uniform_int(0, 2));
+  options.max_batch = 1 + rng.uniform_int(0, 3);
+  options.max_delay_us = 200;
+  options.tiling.tile_h = rng.uniform_int(4, 12);
+  options.tiling.tile_w = rng.uniform_int(4, 12);
+  options.tiled_threshold_pixels = 10 * 10;  // kAuto: larger trial frames tile
+  options.cache_entries = 0;                 // the reference submits must recompute
+  options.video_sessions = 4;
+  serve::ShardedServer server(registry, options);
+
+  const data::VideoPattern patterns[] = {data::VideoPattern::kStatic, data::VideoPattern::kPan,
+                                         data::VideoPattern::kCut, data::VideoPattern::kSparkle,
+                                         data::VideoPattern::kMixed};
+  data::VideoSequenceOptions vopts;
+  vopts.pattern = patterns[rng.uniform_int(0, 4)];
+  vopts.frames = 4;
+  vopts.h = rng.uniform_int(16, 24);  // synthesize_image floor is 16x16
+  vopts.w = rng.uniform_int(16, 24);
+  const std::vector<Tensor> frames = data::synthesize_video(vopts, seed);
+
+  std::vector<float> got;
+  std::vector<double> want;
+  std::uint64_t delta_frames = 0;
+  std::uint64_t reused_tiles = 0;
+  for (std::size_t i = 0; i < frames.size(); ++i) {
+    serve::VideoOptions video;
+    video.session_id = 1;
+    video.seq = i + 1;
+    serve::AdmitResult admitted = server.submit_video(key, frames[i], video);
+    const Tensor delta_hr = admitted.future.get();
+    const Tensor full_hr = server.submit(key, frames[i]).get();
+    if (admitted.delta) {
+      ++delta_frames;
+      reused_tiles += admitted.tiles_total - admitted.tiles_recomputed;
+    }
+    got.insert(got.end(), delta_hr.raw(), delta_hr.raw() + delta_hr.numel());
+    const float* f = full_hr.raw();
+    for (std::int64_t j = 0; j < full_hr.numel(); ++j) want.push_back(static_cast<double>(f[j]));
+  }
+  server.shutdown();
+
+  r.stats = compare_f32(got, want);
+  r.output_hash = hash_bits(got);
+  std::ostringstream os;
+  os << "pattern=" << data::to_string(vopts.pattern) << " lr=" << vopts.h << "x" << vopts.w
+     << " mode=" << static_cast<int>(options.mode) << " route=" << serve::route_string(key)
+     << " workers=" << options.workers << " reused_tiles=" << reused_tiles << " "
+     << config.describe();
+  if (delta_frames != frames.size() - 1) {
+    // Every frame after the first must take the delta path (same session,
+    // consecutive seqs, constant shape). Anything else means the session
+    // plumbing is broken and the comparison above proves nothing.
+    r.stats.max_abs = std::numeric_limits<double>::infinity();
+    r.stats.max_ulp = std::numeric_limits<double>::infinity();
+    os << " DELTA-NOT-ENGAGED(frames=" << delta_frames << "/" << frames.size() - 1 << ")";
+  }
+  r.detail = os.str();
+  return r;
+}
+
 // --------------------------------------------------------------- fp16 pairs
 
 // Dispatched (possibly F16C) fp32->fp16->fp32 round trip vs the scalar
@@ -934,6 +1031,10 @@ std::vector<AuditPair> make_builtin_pairs() {
                    "response-cache hit vs the cold serve that filled it (all exec modes, both "
                    "precisions; must be bit-exact)",
                    0.0, 0.0, cached_vs_cold_serve_trial});
+  pairs.push_back({"video_delta_vs_full",
+                   "video-session tile-delta output vs full re-upscale of every frame (all exec "
+                   "modes, all four precisions; must be bit-exact)",
+                   0.0, 0.0, video_delta_vs_full_trial});
   pairs.push_back({"fp16_roundtrip_scalar",
                    "fp32->fp16->fp32 round trip, scalar kernels, vs scalar reference (exact)",
                    0.0, 0.0, [](std::uint64_t s) {

@@ -45,6 +45,10 @@ class StreamingUpscaler {
   std::int64_t peak_buffered_rows() const { return peak_rows_; }
   std::int64_t peak_buffered_bytes() const { return peak_bytes_; }
 
+  // The network this streamer pipelines (the tile-delta path crops HR regions
+  // of interest with its scale).
+  const SesrInference& network() const { return net_; }
+
  private:
   struct Stream {
     std::int64_t channels = 0;

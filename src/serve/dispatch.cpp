@@ -3,9 +3,11 @@
 #include <algorithm>
 #include <utility>
 
+#include "core/video_session.hpp"
 #include "serve/admission.hpp"
 #include "serve/clock.hpp"
 #include "serve/response_cache.hpp"
+#include "serve/video_sessions.hpp"
 #include "tensor/tensor_ops.hpp"
 
 namespace sesr::serve {
@@ -132,6 +134,13 @@ void complete_request(FrameRequest& request, Tensor output, StatsRecorder& stats
     return;
   }
   if (request.cache != nullptr) request.cache->insert(request.route_id, request.frame, output);
+  if (request.video != nullptr) {
+    // Session publication precedes set_value for the same reason the cache
+    // insert does: a closed-loop client that observed this completion must
+    // find the snapshot when it submits the next frame.
+    request.video->publish(request.route_id, request.video_session, request.video_seq,
+                           request.frame, output);
+  }
   if (request.route != nullptr) request.route->completed.fetch_add(1, std::memory_order_relaxed);
   stats.on_completed(request.enqueue_time);
   request.promise.set_value(std::move(output));
@@ -183,7 +192,13 @@ void run_tiles(WorkerSession& session, TileUnit& unit, StatsRecorder& stats) {
   for (std::size_t t = unit.first_task; t < unit.first_task + unit.task_count; ++t) {
     const core::TileTask& task = job.tasks[t];
     try {
-      const Tensor roi = core::upscale_tile(session.network, job.request.frame, task);
+      Tensor roi;
+      if (job.mode == ExecMode::kStreaming) {
+        if (!session.streamer) session.streamer.emplace(session.network);
+        roi = core::upscale_tile_streaming(*session.streamer, job.request.frame, task);
+      } else {
+        roi = core::upscale_tile(session.network, job.request.frame, task);
+      }
       core::paste_tile(job.output, roi, task, session.network.config().scale);
       stats.on_tile();
     } catch (...) {

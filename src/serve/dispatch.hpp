@@ -62,6 +62,12 @@ struct TiledJob {
   std::vector<core::TileTask> tasks;
   std::atomic<std::int64_t> remaining{0};  // tiles left, counts down to 0
   std::atomic<bool> failed{false};
+  // Which execution path recomputes each tile. kTiled/kFullFrame both run
+  // upscale_tile; kStreaming (a video-session delta job on a streaming-mode
+  // server) runs the worker's StreamingUpscaler over the haloed crop so the
+  // recomputed tiles land bit-identical to the session's full streaming
+  // frames.
+  ExecMode mode = ExecMode::kTiled;
 };
 
 // A contiguous run of a TiledJob's tasks (ServeOptions::tiles_per_unit wide).

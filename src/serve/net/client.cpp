@@ -21,6 +21,36 @@ std::uint64_t NetClient::send(const std::string& route, const Tensor& frame,
   return request.id;
 }
 
+std::uint64_t NetClient::send_video(const std::string& route, const Tensor& frame,
+                                    std::uint64_t session_id, std::uint32_t seq,
+                                    std::uint32_t deadline_us) {
+  WireRequest request;
+  request.id = next_id_++;
+  request.deadline_us = deadline_us;
+  request.video = true;
+  request.session_id = session_id;
+  request.frame_seq = seq;
+  request.route = route;
+  request.h = frame.shape().h();
+  request.w = frame.shape().w();
+  request.pixels = frame_to_pixels(frame);
+  const std::vector<std::uint8_t> bytes = encode_request(request);
+  send_all(fd_, bytes.data(), bytes.size());
+  return request.id;
+}
+
+WireResponse NetClient::upscale_video(const std::string& route, const Tensor& frame,
+                                      std::uint64_t session_id, std::uint32_t seq,
+                                      std::uint32_t deadline_us) {
+  const std::uint64_t id = send_video(route, frame, session_id, seq, deadline_us);
+  std::optional<WireResponse> response = recv_response();
+  if (!response) throw std::runtime_error("net client: server closed the connection");
+  if (response->id != id) {
+    throw std::runtime_error("net client: response id mismatch (pipelining without matching?)");
+  }
+  return *response;
+}
+
 std::optional<WireResponse> NetClient::recv_response() {
   std::uint8_t header[8];
   if (!recv_all(fd_, header, sizeof(header))) return std::nullopt;

@@ -27,6 +27,18 @@ class NetClient {
   std::uint64_t send(const std::string& route, const Tensor& frame,
                      std::uint32_t deadline_us = 0);
 
+  // Queue one video-session frame (kRequestFlagVideo with session_id/seq).
+  // Submit seq = 1, 2, 3, ... per session; consecutive seqs let the server's
+  // tile-delta path reuse unchanged tiles (kFlagDeltaReuse in the response).
+  std::uint64_t send_video(const std::string& route, const Tensor& frame,
+                           std::uint64_t session_id, std::uint32_t seq,
+                           std::uint32_t deadline_us = 0);
+
+  // send_video + recv_response, asserting the echoed id matches.
+  WireResponse upscale_video(const std::string& route, const Tensor& frame,
+                             std::uint64_t session_id, std::uint32_t seq,
+                             std::uint32_t deadline_us = 0);
+
   // Block for the next response frame. std::nullopt = server closed the
   // connection. Throws SocketError on transport errors and std::runtime_error
   // on an undecodable response.

@@ -128,12 +128,21 @@ struct NetServer::Impl {
       }
       wake.wake();
     };
-    AdmitResult admitted = server.submit_admitted(
-        key, pixels_to_frame(request->h, request->w, request->pixels), std::move(opts));
+    Tensor frame = pixels_to_frame(request->h, request->w, request->pixels);
+    AdmitResult admitted;
+    if (request->video) {
+      VideoOptions video;
+      video.session_id = request->session_id;
+      video.seq = request->frame_seq;
+      admitted = server.submit_video(key, std::move(frame), video, std::move(opts));
+    } else {
+      admitted = server.submit_admitted(key, std::move(frame), std::move(opts));
+    }
     entry.future = std::move(admitted.future);
     entry.served_route = std::move(admitted.served_route);
     if (admitted.degraded) entry.flags |= kFlagDegraded;
     if (admitted.two_stage) entry.flags |= kFlagTwoStage;
+    if (admitted.delta) entry.flags |= kFlagDeltaReuse;
     // If the done_hook already fired (synchronous rejection / cache hit), the
     // seq sits in `completed` and this same thread collects it after this
     // handler returns — the entry above is fully populated by then.

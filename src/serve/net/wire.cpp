@@ -91,10 +91,13 @@ void seal(std::vector<std::uint8_t>& out) {
 
 std::vector<std::uint8_t> encode_request(const WireRequest& request) {
   std::vector<std::uint8_t> out;
-  out.reserve(8 + 26 + request.route.size() + request.pixels.size() * 4);
+  out.reserve(8 + 39 + request.route.size() + request.pixels.size() * 4);
   put_prefix(out);
   put_u64(out, request.id);
   put_u32(out, request.deadline_us);
+  out.push_back(request.video ? kRequestFlagVideo : 0);
+  put_u64(out, request.session_id);
+  put_u32(out, request.frame_seq);
   put_u16(out, static_cast<std::uint16_t>(request.route.size()));
   out.insert(out.end(), request.route.begin(), request.route.end());
   put_u32(out, static_cast<std::uint32_t>(request.h));
@@ -130,12 +133,16 @@ std::vector<std::uint8_t> encode_response(const WireResponse& response) {
 std::optional<WireRequest> decode_request(const std::vector<std::uint8_t>& payload) {
   Cursor c{payload.data(), payload.size()};
   WireRequest r;
+  std::uint8_t flags;
   std::uint16_t route_len;
   std::uint32_t h, w;
-  if (!c.u64(r.id) || !c.u32(r.deadline_us) || !c.u16(route_len) ||
-      !c.bytes(route_len, r.route) || !c.u32(h) || !c.u32(w)) {
+  if (!c.u64(r.id) || !c.u32(r.deadline_us) || !c.u8(flags) || !c.u64(r.session_id) ||
+      !c.u32(r.frame_seq) || !c.u16(route_len) || !c.bytes(route_len, r.route) || !c.u32(h) ||
+      !c.u32(w)) {
     return std::nullopt;
   }
+  if ((flags & ~kRequestFlagVideo) != 0) return std::nullopt;  // unknown flag bits
+  r.video = (flags & kRequestFlagVideo) != 0;
   if (r.route.empty() || h == 0 || w == 0) return std::nullopt;
   // The pixel block must be exactly h*w floats — no trailing garbage.
   const std::uint64_t count = static_cast<std::uint64_t>(h) * w;

@@ -7,8 +7,15 @@
 // with all integers little-endian and floats IEEE-754 binary32 (bit pattern
 // little-endian). Request payload:
 //
-//     u64 request_id · u32 deadline_us · u16 route_len · route bytes
+//     u64 request_id · u32 deadline_us · u8 flags · u64 session_id
+//     · u32 frame_seq · u16 route_len · route bytes
 //     · u32 h · u32 w · h*w f32 (the (1, H, W, 1) Y plane, row-major)
+//
+// `flags` bit 0 (kRequestFlagVideo) marks a video-session frame: session_id
+// names the client's stream and frame_seq must increase by exactly 1 per
+// frame for the server's tile-delta path to engage (a gap just costs a full
+// re-upscale). Non-video requests carry flags = 0 and zeros for both fields.
+// Unknown flag bits are malformed.
 //
 // Response payload:
 //
@@ -56,10 +63,17 @@ enum class Status : std::uint8_t {
 // Response flag bits.
 inline constexpr std::uint8_t kFlagDegraded = 1u << 0;  // served by a cheaper route
 inline constexpr std::uint8_t kFlagTwoStage = 1u << 1;  // x4 served as x2 twice
+inline constexpr std::uint8_t kFlagDeltaReuse = 1u << 2;  // video tile-delta path engaged
+
+// Request flag bits.
+inline constexpr std::uint8_t kRequestFlagVideo = 1u << 0;  // session_id/frame_seq are live
 
 struct WireRequest {
   std::uint64_t id = 0;
   std::uint32_t deadline_us = 0;  // 0 = no per-request deadline
+  bool video = false;             // kRequestFlagVideo
+  std::uint64_t session_id = 0;   // video only
+  std::uint32_t frame_seq = 0;    // video only; +1 per frame within a session
   std::string route;              // route_string, e.g. "m5:2:fp32"
   std::int64_t h = 0;
   std::int64_t w = 0;

@@ -17,10 +17,12 @@
 #include <deque>
 #include <functional>
 #include <future>
+#include <memory>
 #include <mutex>
 #include <stdexcept>
 #include <vector>
 
+#include "core/tiled_inference.hpp"
 #include "serve/clock.hpp"
 #include "serve/serve_options.hpp"
 #include "tensor/tensor.hpp"
@@ -53,7 +55,19 @@ class ServerDrainingError : public ServerClosedError {
 
 class AdmissionController;
 class ResponseCache;
+class VideoSessionTable;
 struct RouteCounters;
+
+// Tile-delta plan computed on the submit path of a video-session frame
+// (sharded_server.cpp): the batcher turns a request carrying one into a
+// TiledJob over only the dirty tiles, with the clean regions already spliced
+// into `output` from the session's previous HR frame.
+struct VideoDeltaPlan {
+  std::vector<core::TileTask> dirty_tasks;  // the tiles to recompute
+  Tensor output;  // (1, scale*H, scale*W, 1), clean tiles pre-spliced
+  ExecMode mode = ExecMode::kFullFrame;  // resolved exec path (never kAuto)
+  std::size_t total_tiles = 0;           // grid size, for reuse accounting
+};
 
 // Counts logical requests between admission (submit accepted the frame) and
 // final resolution of their promise. begin_drain()/shutdown() block on
@@ -123,6 +137,15 @@ struct FrameRequest {
   // which carries the promise/done_hook/inflight to final resolution.
   // Failures skip the continuation and fail the promise directly.
   std::function<void(FrameRequest&&, Tensor&&)> continuation;
+  // Video-session context: when `video` is set, complete_request publishes
+  // (frame, output) for (route_id, video_session) at video_seq — BEFORE the
+  // promise resolves, so a closed-loop client's next frame always finds its
+  // predecessor. When the submit path also attached a delta plan, the batcher
+  // dispatches only the plan's dirty tiles instead of the full frame.
+  VideoSessionTable* video = nullptr;
+  std::uint64_t video_session = 0;
+  std::uint64_t video_seq = 0;
+  std::shared_ptr<VideoDeltaPlan> video_delta;
 };
 
 // True when the request carries a deadline and it has passed as of `now`.

@@ -100,6 +100,12 @@ struct ServeOptions {
   // dispatch overhead for huge grids at some fairness cost.
   std::int64_t tiles_per_unit = 1;
 
+  // Video sessions: maximum live (route, session_id) snapshots kept for the
+  // tile-delta path (serve/video_sessions.hpp), LRU-evicted beyond the bound.
+  // 0 disables the table — submit_video still works but every frame runs the
+  // full path.
+  std::size_t video_sessions = 64;
+
   // Test seam: when set, every worker invokes this immediately before
   // executing a unit of work. The concurrency tests use it to hold workers on
   // a latch so overload and shutdown-while-full become deterministic.

@@ -4,6 +4,7 @@
 #include <stdexcept>
 #include <utility>
 
+#include "core/video_session.hpp"
 #include "serve/clock.hpp"
 
 namespace sesr::serve {
@@ -48,6 +49,7 @@ void resolve_rejected(FrameRequest& request, std::exception_ptr error) {
 ShardedServer::ShardedServer(const NetworkRegistry& registry, ServeOptions options)
     : options_(std::move(options)),
       cache_(options_.cache_entries),
+      sessions_(options_.video_sessions),
       // Depth is weighted in logical requests (a tiled job admits as 1, not
       // as its fan-out), so the bound is per-shard headroom for staged
       // requests, not units; the per-shard RequestQueue remains the primary
@@ -226,6 +228,150 @@ AdmitResult ShardedServer::submit_admitted(const RouteKey& route, Tensor frame,
   return result;
 }
 
+AdmitResult ShardedServer::submit_video(const RouteKey& route, Tensor frame,
+                                        const VideoOptions& video, SubmitOptions opts) {
+  FrameRequest request;
+  request.id = next_id_.fetch_add(1, std::memory_order_relaxed);
+  request.frame = std::move(frame);
+  request.enqueue_time = ServeClock::now();
+  if (opts.deadline_us > 0) {
+    request.deadline =
+        saturating_deadline(request.enqueue_time, std::chrono::microseconds(opts.deadline_us));
+  }
+  request.done_hook = std::move(opts.done_hook);
+
+  AdmitResult result;
+  result.future = request.promise.get_future();
+  result.served_route = route_string(route);
+
+  const Shape& s = request.frame.shape();
+  if (s.n() != 1 || s.c() != 1 || s.h() < 1 || s.w() < 1) {
+    resolve_rejected(request, std::make_exception_ptr(std::invalid_argument(
+                                  "ShardedServer::submit_video expects a (1, H, W, 1) Y frame")));
+    return result;
+  }
+  const auto it = route_index_.find(result.served_route);
+  if (it == route_index_.end()) {
+    resolve_rejected(request,
+                     std::make_exception_ptr(UnknownRouteError(result.served_route)));
+    return result;
+  }
+  Shard* shard = shards_[it->second].get();
+
+  // Drain gate, exactly as submit_admitted.
+  inflight_.add();
+  if (closed_.load(std::memory_order_seq_cst)) {
+    inflight_.done();
+    resolve_rejected(request, std::make_exception_ptr(ServerClosedError()));
+    return result;
+  }
+  if (draining_.load(std::memory_order_seq_cst)) {
+    inflight_.done();
+    resolve_rejected(request, std::make_exception_ptr(ServerDrainingError()));
+    return result;
+  }
+
+  // SLO admission, shed only: a session pins its route. Serving one frame
+  // from a degraded sibling would key the session's bit-history to a
+  // different network, so kDegrade/kDegradeTwoStage admit on the requested
+  // route instead.
+  const std::int64_t deadline_budget =
+      opts.deadline_us > 0
+          ? std::max<std::int64_t>(1, remaining_budget_us(request.enqueue_time, request.deadline))
+          : 0;
+  const AdmissionController::Decision decision = admission_.admit(
+      shard->index, deadline_budget, [this](std::size_t idx) { return in_system(idx); });
+  if (decision.action == AdmissionController::Action::kShed) {
+    stats_.on_shed();
+    inflight_.done();
+    resolve_rejected(request,
+                     std::make_exception_ptr(ShedError(decision.estimate_us, decision.budget_us)));
+    result.shed = true;
+    return result;
+  }
+  request.admission = &admission_;
+  request.admit_route = shard->index;
+
+  stats_.on_video_frame();
+  // Every video frame publishes its (LR, HR) pair on completion, re-priming
+  // the session for the next frame. The response cache is bypassed: the
+  // session table is the video reuse mechanism.
+  request.video = &sessions_;
+  request.video_session = video.session_id;
+  request.video_seq = video.seq;
+  request.route = &shard->counters;
+  request.route_id = shard->index;
+  request.inflight = &inflight_;
+
+  // Tile-delta probe: an exact predecessor snapshot (seq - 1, same shape)
+  // enables the delta path. The plan byte-compares every tile's haloed
+  // footprint against the snapshot LR — tile-granular byte confirmation, so a
+  // stale snapshot only makes tiles dirty, never splices a wrong pixel.
+  if (std::optional<VideoSessionTable::Snapshot> prev =
+          sessions_.lookup_prev(shard->index, video.session_id, video.seq)) {
+    if (prev->lr.shape() == s) {
+      const ExecMode mode = resolve_mode(s);
+      // The recompute halo must match the executed grid for kTiled (bitwise
+      // per-tile equality needs the identical crop function); full-frame and
+      // streaming paths need the exact receptive-field radius.
+      const std::int64_t halo =
+          mode == ExecMode::kTiled
+              ? (options_.tiling.halo >= 0 ? options_.tiling.halo : shard->net.exact_halo)
+              : shard->net.exact_halo;
+      core::DeltaPlan plan = core::plan_tile_delta(prev->lr, request.frame, options_.tiling, halo);
+      result.delta = true;
+      result.tiles_total = plan.tasks.size();
+      result.tiles_recomputed = plan.dirty_count;
+      stats_.on_video_delta(plan.tasks.size() - plan.dirty_count, plan.dirty_count);
+      if (plan.dirty_count == 0) {
+        // Bitwise-identical frame: the previous HR output IS this frame's
+        // output. Resolved synchronously like a cache hit; the publication
+        // advances the session to this seq first.
+        sessions_.publish(shard->index, video.session_id, video.seq, request.frame, prev->hr);
+        stats_.on_submitted();
+        shard->counters.submitted.fetch_add(1, std::memory_order_relaxed);
+        shard->counters.completed.fetch_add(1, std::memory_order_relaxed);
+        stats_.on_completed(request.enqueue_time);
+        request.promise.set_value(std::move(prev->hr));
+        if (request.done_hook) request.done_hook();
+        inflight_.done();
+        return result;
+      }
+      auto delta = std::make_shared<VideoDeltaPlan>();
+      delta->mode = mode;
+      delta->total_tiles = plan.tasks.size();
+      const std::int64_t scale = shard->net.config.scale;
+      delta->output = Tensor(1, s.h() * scale, s.w() * scale, 1);
+      core::splice_clean_tiles(delta->output, prev->hr, plan, scale);
+      delta->dirty_tasks.reserve(plan.dirty_count);
+      for (std::size_t i = 0; i < plan.tasks.size(); ++i) {
+        if (plan.dirty[i]) delta->dirty_tasks.push_back(plan.tasks[i]);
+      }
+      request.video_delta = std::move(delta);
+    }
+  }
+
+  const OverloadPolicy policy = opts.never_block ? OverloadPolicy::kReject : options_.overload;
+  switch (shard->queue->push(request, policy)) {
+    case RequestQueue::PushResult::kAccepted:
+      stats_.on_submitted();
+      shard->counters.submitted.fetch_add(1, std::memory_order_relaxed);
+      break;
+    case RequestQueue::PushResult::kFull:
+      stats_.on_rejected();
+      request.inflight = nullptr;
+      inflight_.done();
+      resolve_rejected(request, std::make_exception_ptr(QueueFullError()));
+      break;
+    case RequestQueue::PushResult::kClosed:
+      request.inflight = nullptr;
+      inflight_.done();
+      resolve_rejected(request, std::make_exception_ptr(ServerClosedError()));
+      break;
+  }
+  return result;
+}
+
 void ShardedServer::enqueue_second_stage(std::size_t shard_index, FrameRequest&& stage1,
                                          Tensor&& intermediate) {
   FrameRequest stage2;
@@ -268,6 +414,34 @@ ExecMode ShardedServer::resolve_mode(const Shape& shape) const {
                                                                   : ExecMode::kFullFrame;
 }
 
+void ShardedServer::dispatch_tiled_job(Shard& shard, const std::shared_ptr<TiledJob>& job) {
+  const std::uint64_t lane = job->request.id;
+  stats_.on_batch();
+  bool dropped = false;
+  bool first = true;
+  // The job admits against the depth bound once (weight 1); the rest of its
+  // fan-out must never block, or this batcher would stall with the queue
+  // behind it frozen in FIFO order.
+  for (const core::TileUnitRange& range :
+       core::plan_tile_units(job->tasks.size(), options_.tiles_per_unit)) {
+    if (!dispatch_.push(shard.index, lane, TileUnit{job, range.first, range.count},
+                        first ? 1 : 0)) {
+      dropped = true;
+      break;
+    }
+    first = false;
+  }
+  if (dropped && !job->failed.exchange(true, std::memory_order_acq_rel)) {
+    // Dispatch closed mid-fan-out. shutdown() drains in-flight work before
+    // closing dispatch, so this is defensive — but if it ever fires, the
+    // request resolves with a typed error (promise, hook and inflight all
+    // handled by fail_request), never a broken promise. Units already pushed
+    // still execute; the failed flag keeps them from completing the job
+    // twice.
+    fail_request(job->request, std::make_exception_ptr(ServerClosedError()), stats_);
+  }
+}
+
 void ShardedServer::batcher_loop(Shard& shard) {
   const std::int64_t scale = shard.net.config.scale;
   while (true) {
@@ -276,6 +450,30 @@ void ShardedServer::batcher_loop(Shard& shard) {
     if (batch.empty()) break;  // closed and drained
     const auto dispatched = ServeClock::now();
     for (FrameRequest& request : batch) request.dispatch_time = dispatched;
+    // Peel off video tile-delta requests: each becomes its own TiledJob over
+    // only the dirty tiles the submit path planned (clean regions are already
+    // spliced into the plan's output), on the plan's resolved exec path.
+    {
+      std::vector<FrameRequest> rest;
+      rest.reserve(batch.size());
+      for (FrameRequest& request : batch) {
+        if (!request.video_delta) {
+          rest.push_back(std::move(request));
+          continue;
+        }
+        std::shared_ptr<VideoDeltaPlan> plan = std::move(request.video_delta);
+        auto job = std::make_shared<TiledJob>();
+        job->tasks = std::move(plan->dirty_tasks);
+        job->output = std::move(plan->output);
+        job->mode = plan->mode;
+        job->remaining.store(static_cast<std::int64_t>(job->tasks.size()),
+                             std::memory_order_relaxed);
+        job->request = std::move(request);
+        dispatch_tiled_job(shard, job);
+      }
+      batch = std::move(rest);
+    }
+    if (batch.empty()) continue;
     const ExecMode mode = resolve_mode(batch.front().frame.shape());
     if (mode == ExecMode::kTiled) {
       // Large frames: one TiledJob per frame. Its units all share one
@@ -287,34 +485,11 @@ void ShardedServer::batcher_loop(Shard& shard) {
         const Shape& s = request.frame.shape();
         job->tasks = core::tile_grid(s.h(), s.w(), options_.tiling, halo);
         job->output = Tensor(1, s.h() * scale, s.w() * scale, 1);
+        job->mode = ExecMode::kTiled;
         job->remaining.store(static_cast<std::int64_t>(job->tasks.size()),
                              std::memory_order_relaxed);
         job->request = std::move(request);
-        const std::uint64_t lane = job->request.id;
-        stats_.on_batch();
-        bool dropped = false;
-        bool first = true;
-        // The job admits against the depth bound once (weight 1); the rest of
-        // its fan-out must never block, or this batcher would stall with the
-        // queue behind it frozen in FIFO order.
-        for (const core::TileUnitRange& range :
-             core::plan_tile_units(job->tasks.size(), options_.tiles_per_unit)) {
-          if (!dispatch_.push(shard.index, lane, TileUnit{job, range.first, range.count},
-                              first ? 1 : 0)) {
-            dropped = true;
-            break;
-          }
-          first = false;
-        }
-        if (dropped && !job->failed.exchange(true, std::memory_order_acq_rel)) {
-          // Dispatch closed mid-fan-out. shutdown() drains in-flight work
-          // before closing dispatch, so this is defensive — but if it ever
-          // fires, the request resolves with a typed error (promise, hook and
-          // inflight all handled by fail_request), never a broken promise.
-          // Units already pushed still execute; the failed flag keeps them
-          // from completing the job twice.
-          fail_request(job->request, std::make_exception_ptr(ServerClosedError()), stats_);
-        }
+        dispatch_tiled_job(shard, job);
       }
     } else {
       stats_.on_batch();
@@ -392,9 +567,10 @@ void ShardedServer::reload_routes(const NetworkRegistry& registry) {
       session->streamer.reset();
     }
   }
-  // Cached responses were computed by the old weights; a lookup after the
-  // swap must never serve them.
+  // Cached responses and video-session snapshots were computed by the old
+  // weights; neither may serve (or splice into) post-reload outputs.
   cache_.clear();
+  sessions_.clear();
 }
 
 void ShardedServer::shutdown() {
@@ -431,6 +607,7 @@ ShardedStats ShardedServer::stats() const {
     s.per_route.push_back(std::move(r));
   }
   s.cache = cache_.stats();
+  s.video = sessions_.stats();
   return s;
 }
 

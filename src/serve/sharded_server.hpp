@@ -59,6 +59,7 @@
 #include "serve/response_cache.hpp"
 #include "serve/serve_options.hpp"
 #include "serve/stats.hpp"
+#include "serve/video_sessions.hpp"
 
 namespace sesr::serve {
 
@@ -76,6 +77,7 @@ struct ShardedStats {
   ServerStats total;                  // aggregate across every shard
   std::vector<RouteStats> per_route;  // registration order
   CacheStats cache;
+  VideoSessionStats video;
 };
 
 // Per-request knobs of submit_admitted.
@@ -102,6 +104,22 @@ struct AdmitResult {
   bool degraded = false;     // rewritten to a cheaper route
   bool two_stage = false;    // x4 served as x2 applied twice
   bool shed = false;         // future fails with ShedError
+  // Video sessions (submit_video only): the tile-delta path engaged — the
+  // session's previous frame was found, and only `tiles_recomputed` of
+  // `tiles_total` grid tiles are being re-upscaled (the rest splice from the
+  // previous HR output, bit-identical to a full re-upscale).
+  bool delta = false;
+  std::size_t tiles_total = 0;
+  std::size_t tiles_recomputed = 0;
+};
+
+// Per-request video-session identity of submit_video. The client owns both
+// fields: session_id names the stream, seq must increase by exactly 1 per
+// frame for the delta path to engage (any gap falls back to a full
+// re-upscale, which re-primes the session).
+struct VideoOptions {
+  std::uint64_t session_id = 0;
+  std::uint64_t seq = 0;
 };
 
 class ShardedServer {
@@ -126,6 +144,18 @@ class ShardedServer {
   // visibility: the result reports whether the request was degraded to a
   // cheaper route, rewritten to the two-stage x2 path, or shed.
   AdmitResult submit_admitted(const RouteKey& route, Tensor frame, SubmitOptions opts = {});
+
+  // Submit one frame of a video session. Bit-identical to submit_admitted's
+  // output for the same frame; when the session's previous frame (seq - 1,
+  // same shape) is live in the session table, only the tiles whose haloed LR
+  // footprints changed are re-upscaled and the rest splice from the previous
+  // HR output. Differences from submit_admitted: the degrade ladder is
+  // skipped (a session pins its route — serving one frame from a cheaper
+  // network would fork the stream's bit-history; shedding still applies), and
+  // the response cache is bypassed (the session table is the reuse
+  // mechanism). Every completed frame re-primes the session.
+  AdmitResult submit_video(const RouteKey& route, Tensor frame, const VideoOptions& video,
+                           SubmitOptions opts = {});
 
   // Stop admitting (submits fail with ServerDrainingError) and block until
   // every accepted request has resolved. Threads stay up; resume() reopens
@@ -164,6 +194,10 @@ class ShardedServer {
   void batcher_loop(Shard& shard);
   void worker_loop(Shard& shard, WorkerSession& session);
   std::int64_t in_system(std::size_t shard) const;
+  // Fan a TiledJob's units into the dispatch queue (first unit weight 1, the
+  // rest weight 0) and resolve the request with a typed error if dispatch
+  // closed mid-fan-out. Shared by the kTiled batch path and video delta jobs.
+  void dispatch_tiled_job(Shard& shard, const std::shared_ptr<TiledJob>& job);
   // Stage 2 of a two-stage degrade: wrap the intermediate into a fresh
   // request carrying stage 1's promise and push it straight to the x2
   // shard's dispatch (weight 0 — never blocks a worker thread).
@@ -172,6 +206,7 @@ class ShardedServer {
   ServeOptions options_;
   StatsRecorder stats_;
   ResponseCache cache_;
+  VideoSessionTable sessions_;
   FairDispatchQueue dispatch_;
   AdmissionController admission_;
   std::vector<std::unique_ptr<Shard>> shards_;

@@ -40,6 +40,10 @@ ServerStats StatsRecorder::snapshot() const {
   s.shed = shed_.load(std::memory_order_relaxed);
   s.degraded = degraded_.load(std::memory_order_relaxed);
   s.two_stage = two_stage_.load(std::memory_order_relaxed);
+  s.video_frames = video_frames_.load(std::memory_order_relaxed);
+  s.video_delta_frames = video_delta_frames_.load(std::memory_order_relaxed);
+  s.video_tiles_reused = video_tiles_reused_.load(std::memory_order_relaxed);
+  s.video_tiles_recomputed = video_tiles_recomputed_.load(std::memory_order_relaxed);
   std::vector<double> samples;
   {
     std::lock_guard<std::mutex> lock(mutex_);

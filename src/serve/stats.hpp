@@ -25,6 +25,10 @@ struct ServerStats {
   std::uint64_t shed = 0;        // refused by SLO admission (typed ShedError)
   std::uint64_t degraded = 0;    // admitted on a cheaper route than requested
   std::uint64_t two_stage = 0;   // x4 requests served as x2 applied twice
+  std::uint64_t video_frames = 0;        // frames submitted through submit_video
+  std::uint64_t video_delta_frames = 0;  // of those, served by the tile-delta path
+  std::uint64_t video_tiles_reused = 0;      // HR tiles spliced from session snapshots
+  std::uint64_t video_tiles_recomputed = 0;  // dirty tiles re-upscaled by delta jobs
   double mean_batch_frames = 0.0;  // (completed - cache_hits) / batches
   double p50_us = 0.0;
   double p95_us = 0.0;
@@ -53,6 +57,12 @@ class StatsRecorder {
   void on_shed() { shed_.fetch_add(1, std::memory_order_relaxed); }
   void on_degraded() { degraded_.fetch_add(1, std::memory_order_relaxed); }
   void on_two_stage() { two_stage_.fetch_add(1, std::memory_order_relaxed); }
+  void on_video_frame() { video_frames_.fetch_add(1, std::memory_order_relaxed); }
+  void on_video_delta(std::uint64_t reused, std::uint64_t recomputed) {
+    video_delta_frames_.fetch_add(1, std::memory_order_relaxed);
+    video_tiles_reused_.fetch_add(reused, std::memory_order_relaxed);
+    video_tiles_recomputed_.fetch_add(recomputed, std::memory_order_relaxed);
+  }
 
   // One completed request; `enqueue` is its submit() timestamp.
   void on_completed(Clock::time_point enqueue);
@@ -70,6 +80,10 @@ class StatsRecorder {
   std::atomic<std::uint64_t> shed_{0};
   std::atomic<std::uint64_t> degraded_{0};
   std::atomic<std::uint64_t> two_stage_{0};
+  std::atomic<std::uint64_t> video_frames_{0};
+  std::atomic<std::uint64_t> video_delta_frames_{0};
+  std::atomic<std::uint64_t> video_tiles_reused_{0};
+  std::atomic<std::uint64_t> video_tiles_recomputed_{0};
   mutable std::mutex mutex_;           // guards latency_us_
   std::vector<double> latency_us_;
 };

@@ -1,0 +1,64 @@
+#include "serve/video_sessions.hpp"
+
+namespace sesr::serve {
+
+std::optional<VideoSessionTable::Snapshot> VideoSessionTable::lookup_prev(
+    std::size_t route_id, std::uint64_t session_id, std::uint64_t seq) {
+  if (!enabled()) return std::nullopt;
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = index_.find(Key{route_id, session_id});
+  if (it == index_.end() || seq == 0 || it->second->seq != seq - 1) {
+    ++stats_.misses;
+    return std::nullopt;
+  }
+  entries_.splice(entries_.begin(), entries_, it->second);
+  ++stats_.hits;
+  Snapshot snap;
+  snap.seq = it->second->seq;
+  snap.lr = it->second->lr;  // deep copies: the table entry stays private
+  snap.hr = it->second->hr;
+  return snap;
+}
+
+void VideoSessionTable::publish(std::size_t route_id, std::uint64_t session_id,
+                                std::uint64_t seq, const Tensor& lr, const Tensor& hr) {
+  if (!enabled()) return;
+  std::lock_guard<std::mutex> lock(mutex_);
+  const Key key{route_id, session_id};
+  auto it = index_.find(key);
+  if (it != index_.end()) {
+    if (it->second->seq >= seq) {
+      ++stats_.stale_drops;
+      return;
+    }
+    it->second->seq = seq;
+    it->second->lr = lr;
+    it->second->hr = hr;
+    entries_.splice(entries_.begin(), entries_, it->second);
+    ++stats_.publishes;
+    return;
+  }
+  entries_.push_front(Entry{key, seq, lr, hr});
+  index_.emplace(key, entries_.begin());
+  ++stats_.publishes;
+  if (entries_.size() > max_sessions_) {
+    index_.erase(entries_.back().key);
+    entries_.pop_back();
+    ++stats_.evictions;
+  }
+}
+
+void VideoSessionTable::clear() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  entries_.clear();
+  index_.clear();
+}
+
+VideoSessionStats VideoSessionTable::stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  VideoSessionStats s = stats_;
+  s.sessions = entries_.size();
+  return s;
+}
+
+}  // namespace sesr::serve

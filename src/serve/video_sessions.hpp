@@ -1,0 +1,97 @@
+// Bounded per-session frame store of the video-session delta path.
+//
+// A video session is a client-owned (route, session_id) stream of frames with
+// monotonically increasing sequence numbers. The table keeps, per live
+// session, the most recent published (seq, LR frame, HR output) snapshot.
+// submit_video looks the snapshot up when frame seq arrives: only an exact
+// predecessor (stored seq == seq - 1, same shape) enables the tile-delta
+// path — anything else (first frame, gap from a pipelined or dropped frame,
+// resolution change, evicted session) falls back to a full re-upscale, which
+// is always bit-correct, and then re-primes the session.
+//
+// The stored LR frame is the byte-confirmation key, tile-granular: the delta
+// planner byte-compares every tile's haloed footprint against it, so a stale
+// or corrupt snapshot can only mark tiles dirty (full tile recompute), never
+// splice a wrong pixel. publish() is monotonic per session — a late
+// out-of-order completion can never roll a session back to an older frame.
+//
+// Eviction is strict LRU over a bounded session count (ServeOptions::
+// video_sessions; 0 disables the table and every submit_video runs the full
+// path). clear() drops every session; reload_routes calls it alongside the
+// response-cache clear, because snapshots computed by the old weights must
+// not splice into outputs of the new ones.
+//
+// Thread safety: lookup/publish/clear/stats are safe from any thread (one
+// mutex; tensors are deep-copied across the lock boundary).
+#pragma once
+
+#include <cstdint>
+#include <list>
+#include <map>
+#include <mutex>
+#include <optional>
+#include <utility>
+
+#include "tensor/tensor.hpp"
+
+namespace sesr::serve {
+
+struct VideoSessionStats {
+  std::uint64_t publishes = 0;    // snapshots stored (new frame accepted)
+  std::uint64_t hits = 0;         // lookups that found the exact predecessor
+  std::uint64_t misses = 0;       // first frames, seq gaps, evicted sessions
+  std::uint64_t stale_drops = 0;  // publishes rejected by the monotonic guard
+  std::uint64_t evictions = 0;    // sessions displaced by the LRU bound
+  std::size_t sessions = 0;       // live sessions right now
+};
+
+class VideoSessionTable {
+ public:
+  explicit VideoSessionTable(std::size_t max_sessions) : max_sessions_(max_sessions) {}
+
+  bool enabled() const { return max_sessions_ > 0; }
+  std::size_t max_sessions() const { return max_sessions_; }
+
+  // The previous frame of a session, copied out under the lock.
+  struct Snapshot {
+    std::uint64_t seq = 0;
+    Tensor lr;  // the frame as submitted — the tile-granular confirmation key
+    Tensor hr;  // the bit-exact output served for it
+  };
+
+  // Returns the stored snapshot iff the session exists and holds exactly the
+  // predecessor of `seq` (stored seq + 1 == seq); refreshes LRU recency.
+  // Everything else is a miss — the caller runs the full path.
+  std::optional<Snapshot> lookup_prev(std::size_t route_id, std::uint64_t session_id,
+                                      std::uint64_t seq);
+
+  // Store frame `seq`'s (LR, HR) pair for the session, creating or advancing
+  // it. Ignored (stale_drops) when the session already holds seq or newer:
+  // publication order follows completion order, not submission order, and a
+  // session must never move backwards.
+  void publish(std::size_t route_id, std::uint64_t session_id, std::uint64_t seq,
+               const Tensor& lr, const Tensor& hr);
+
+  // Drop every session (route reload: old-weight outputs must not survive).
+  void clear();
+
+  VideoSessionStats stats() const;
+
+ private:
+  using Key = std::pair<std::size_t, std::uint64_t>;  // (route_id, session_id)
+  struct Entry {
+    Key key;
+    std::uint64_t seq = 0;
+    Tensor lr;
+    Tensor hr;
+  };
+  using EntryList = std::list<Entry>;  // front = most recently used
+
+  const std::size_t max_sessions_;
+  mutable std::mutex mutex_;
+  EntryList entries_;
+  std::map<Key, EntryList::iterator> index_;
+  VideoSessionStats stats_;
+};
+
+}  // namespace sesr::serve

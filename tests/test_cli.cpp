@@ -202,6 +202,27 @@ TEST(ServeCli, CacheAndFairnessKnobsParse) {
   EXPECT_THROW(parse_serve({"--unique-frames=0"}), UsageError);
 }
 
+TEST(ServeCli, VideoKnobsParse) {
+  const ServeCliConfig defaults = parse_serve({});
+  EXPECT_EQ(defaults.video, "none");
+  EXPECT_EQ(defaults.serve.video_sessions, 64U);
+  const ServeCliConfig config = parse_serve({"--video=pan", "--video-sessions=8"});
+  EXPECT_EQ(config.video, "pan");
+  EXPECT_EQ(config.serve.video_sessions, 8U);
+  EXPECT_EQ(parse_serve({"--video=mixed"}).video, "mixed");
+  EXPECT_EQ(parse_serve({"--video-sessions=0"}).serve.video_sessions, 0U);
+}
+
+TEST(ServeCli, BadVideoKnobsRaiseUsageError) {
+  EXPECT_THROW(parse_serve({"--video=strobe"}), UsageError);
+  EXPECT_THROW(parse_serve({"--video-sessions=-1"}), UsageError);
+  // Sessions replay closed-loop; an open-loop rate would only measure gaps.
+  EXPECT_THROW(parse_serve({"--video=static", "--qps=30"}), UsageError);
+  // The malformed chaos case never sends a video frame.
+  EXPECT_THROW(parse_serve({"--video=static", "--chaos=malformed", "--connect=127.0.0.1:1"}),
+               UsageError);
+}
+
 // ------------------------------ bench JSON escaping --------------------------
 
 TEST(JsonEscape, PassesPlainStringsThrough) {

@@ -35,6 +35,7 @@
 #include "serve/server.hpp"
 #include "serve/sharded_server.hpp"
 #include "serve/stats.hpp"
+#include "data/video.hpp"
 #include "tensor/tensor_ops.hpp"
 
 namespace sesr::serve {
@@ -1001,6 +1002,340 @@ TEST(MixedPrecisionStress, AllPrecisionsOneServerBitIdentical) {
   for (int i = 0; i < iterations; ++i) {
     SCOPED_TRACE("iteration " + std::to_string(i));
     run_mixed_precision_stress_iteration(static_cast<std::uint64_t>(i));
+    if (HasFatalFailure()) return;
+  }
+}
+
+// --------------------------------------------------------- video sessions
+
+ServeOptions video_serve_options(ExecMode mode, int workers = 2) {
+  ServeOptions options;
+  options.workers = workers;
+  options.max_batch = 2;
+  options.max_delay_us = 200;
+  options.mode = mode;
+  options.tiling.tile_h = 6;
+  options.tiling.tile_w = 7;
+  options.tiled_threshold_pixels = 12 * 12;
+  options.cache_entries = 0;  // reference submits must recompute
+  return options;
+}
+
+// The tentpole promise at the server seam: a video session's delta output is
+// bit-identical to the full re-upscale of the same frame, in every execution
+// mode, and the delta path actually engages from frame 2 on.
+TEST(VideoSession, DeltaBitIdenticalAllModes) {
+  const ExecMode modes[] = {ExecMode::kFullFrame, ExecMode::kTiled, ExecMode::kStreaming,
+                            ExecMode::kAuto};
+  const core::SesrInference net = make_inference(501, small_config());
+  const RouteKey key{"m", 2, core::InferencePrecision::kFp32};
+  data::VideoSequenceOptions vopts;
+  vopts.pattern = data::VideoPattern::kSparkle;
+  vopts.frames = 4;
+  vopts.h = 16;
+  vopts.w = 16;
+  const std::vector<Tensor> frames = data::synthesize_video(vopts, 7);
+  for (const ExecMode mode : modes) {
+    SCOPED_TRACE("mode " + std::to_string(static_cast<int>(mode)));
+    NetworkRegistry registry;
+    registry.add(key, net);
+    ShardedServer server(registry, video_serve_options(mode));
+    for (std::size_t i = 0; i < frames.size(); ++i) {
+      VideoOptions video;
+      video.session_id = 9;
+      video.seq = i + 1;
+      AdmitResult admitted = server.submit_video(key, frames[i], video);
+      const Tensor got = admitted.future.get();
+      const Tensor want = server.submit(key, frames[i]).get();
+      ASSERT_EQ(max_abs_diff(got, want), 0.0F) << "frame " << i;
+      EXPECT_EQ(admitted.delta, i > 0) << "frame " << i;
+      if (i > 0) EXPECT_LE(admitted.tiles_recomputed, admitted.tiles_total) << "frame " << i;
+    }
+    server.shutdown();
+    const ShardedStats stats = server.stats();
+    EXPECT_EQ(stats.total.video_frames, frames.size());
+    EXPECT_EQ(stats.total.video_delta_frames, frames.size() - 1);
+    EXPECT_EQ(stats.video.publishes, frames.size());
+    EXPECT_EQ(stats.video.hits, frames.size() - 1);
+    EXPECT_EQ(stats.video.sessions, 1U);
+  }
+}
+
+// A sequence-number gap means the stored snapshot is not the predecessor:
+// the frame takes the (always correct) full path and re-primes the session.
+TEST(VideoSession, SeqGapFallsBackToFull) {
+  const core::SesrInference net = make_inference(503, small_config());
+  const RouteKey key{"m", 2, core::InferencePrecision::kFp32};
+  NetworkRegistry registry;
+  registry.add(key, net);
+  ShardedServer server(registry, video_serve_options(ExecMode::kTiled));
+  const Tensor frame = make_frame(31, 14, 14);
+  const std::uint64_t seqs[] = {1, 2, 4, 5};
+  const bool want_delta[] = {false, true, false, true};  // 4 breaks the chain, 5 re-deltas
+  for (std::size_t i = 0; i < 4; ++i) {
+    VideoOptions video;
+    video.session_id = 1;
+    video.seq = seqs[i];
+    AdmitResult admitted = server.submit_video(key, frame, video);
+    const Tensor got = admitted.future.get();
+    ASSERT_EQ(max_abs_diff(got, server.submit(key, frame).get()), 0.0F) << "seq " << seqs[i];
+    EXPECT_EQ(admitted.delta, want_delta[i]) << "seq " << seqs[i];
+  }
+  server.shutdown();
+}
+
+// A resolution change mid-session cannot splice tiles from the old shape:
+// the frame takes the full path and the session re-primes at the new shape.
+TEST(VideoSession, ShapeChangeFallsBackToFull) {
+  const core::SesrInference net = make_inference(505, small_config());
+  const RouteKey key{"m", 2, core::InferencePrecision::kFp32};
+  NetworkRegistry registry;
+  registry.add(key, net);
+  ShardedServer server(registry, video_serve_options(ExecMode::kTiled));
+  const Tensor big = make_frame(37, 16, 16);
+  const Tensor small = make_frame(41, 10, 12);
+  VideoOptions video;
+  video.session_id = 2;
+  video.seq = 1;
+  EXPECT_FALSE(server.submit_video(key, big, video).delta);
+  video.seq = 2;
+  AdmitResult switched = server.submit_video(key, small, video);
+  EXPECT_FALSE(switched.delta);
+  ASSERT_EQ(max_abs_diff(switched.future.get(), server.submit(key, small).get()), 0.0F);
+  video.seq = 3;
+  AdmitResult resumed = server.submit_video(key, small, video);
+  EXPECT_TRUE(resumed.delta);
+  ASSERT_EQ(max_abs_diff(resumed.future.get(), server.submit(key, small).get()), 0.0F);
+  server.shutdown();
+}
+
+// A bitwise-identical frame short-circuits: zero dirty tiles, the previous
+// HR output is returned synchronously (the future is already resolved when
+// submit_video returns), and the reuse counters account for the whole grid.
+TEST(VideoSession, ZeroDirtyResolvesSynchronously) {
+  const core::SesrInference net = make_inference(507, small_config());
+  const RouteKey key{"m", 2, core::InferencePrecision::kFp32};
+  NetworkRegistry registry;
+  registry.add(key, net);
+  ShardedServer server(registry, video_serve_options(ExecMode::kTiled));
+  const Tensor frame = make_frame(43, 13, 15);
+  VideoOptions video;
+  video.session_id = 3;
+  video.seq = 1;
+  const Tensor first = server.submit_video(key, frame, video).future.get();
+  video.seq = 2;
+  AdmitResult repeat = server.submit_video(key, frame, video);
+  EXPECT_TRUE(repeat.delta);
+  EXPECT_EQ(repeat.tiles_recomputed, 0U);
+  EXPECT_GT(repeat.tiles_total, 0U);
+  ASSERT_EQ(repeat.future.wait_for(std::chrono::seconds(0)), std::future_status::ready);
+  ASSERT_EQ(max_abs_diff(repeat.future.get(), first), 0.0F);
+  server.shutdown();
+  const ShardedStats stats = server.stats();
+  EXPECT_EQ(stats.total.video_tiles_recomputed, 0U);
+  EXPECT_EQ(stats.total.video_tiles_reused, repeat.tiles_total);
+}
+
+// reload_routes swaps the network set; stale sessions must not splice HR
+// tiles produced by the previous deployment.
+TEST(VideoSession, ReloadRoutesClearsSessions) {
+  const core::SesrInference net = make_inference(509, small_config());
+  const RouteKey key{"m", 2, core::InferencePrecision::kFp32};
+  NetworkRegistry registry;
+  registry.add(key, net);
+  ShardedServer server(registry, video_serve_options(ExecMode::kTiled));
+  const Tensor frame = make_frame(47, 14, 14);
+  VideoOptions video;
+  video.session_id = 4;
+  video.seq = 1;
+  server.submit_video(key, frame, video).future.get();
+  NetworkRegistry swapped;
+  swapped.add(key, net);
+  server.begin_drain();
+  server.reload_routes(swapped);
+  server.resume();
+  video.seq = 2;
+  AdmitResult after = server.submit_video(key, frame, video);
+  EXPECT_FALSE(after.delta);  // the session table was cleared with the routes
+  ASSERT_EQ(max_abs_diff(after.future.get(), server.submit(key, frame).get()), 0.0F);
+  server.shutdown();
+}
+
+// LRU eviction under a tiny session budget: an evicted session falls back to
+// the full path (correct, just slower) and the eviction is counted.
+TEST(VideoSession, EvictionDropsLeastRecentSession) {
+  const core::SesrInference net = make_inference(511, small_config());
+  const RouteKey key{"m", 2, core::InferencePrecision::kFp32};
+  NetworkRegistry registry;
+  registry.add(key, net);
+  ServeOptions options = video_serve_options(ExecMode::kTiled);
+  options.video_sessions = 1;
+  ShardedServer server(registry, options);
+  const Tensor frame = make_frame(53, 12, 12);
+  VideoOptions a{10, 1};
+  server.submit_video(key, frame, a).future.get();
+  VideoOptions b{11, 1};
+  server.submit_video(key, frame, b).future.get();  // evicts session 10
+  a.seq = 2;
+  EXPECT_FALSE(server.submit_video(key, frame, a).future.get().numel() == 0);
+  const ShardedStats mid = server.stats();
+  EXPECT_GE(mid.video.evictions, 1U);
+  b.seq = 2;
+  // Session 11 was itself evicted by session 10's seq-2 re-prime.
+  AdmitResult b2 = server.submit_video(key, frame, b);
+  EXPECT_FALSE(b2.delta);
+  b2.future.get();
+  server.shutdown();
+}
+
+// video_sessions = 0 disables the table entirely: every frame takes the full
+// path, results stay correct, nothing is published.
+TEST(VideoSession, DisabledTableServesFullPath) {
+  const core::SesrInference net = make_inference(513, small_config());
+  const RouteKey key{"m", 2, core::InferencePrecision::kFp32};
+  NetworkRegistry registry;
+  registry.add(key, net);
+  ServeOptions options = video_serve_options(ExecMode::kTiled);
+  options.video_sessions = 0;
+  ShardedServer server(registry, options);
+  const Tensor frame = make_frame(59, 14, 14);
+  for (std::uint64_t seq = 1; seq <= 3; ++seq) {
+    VideoOptions video{7, seq};
+    AdmitResult admitted = server.submit_video(key, frame, video);
+    EXPECT_FALSE(admitted.delta);
+    ASSERT_EQ(max_abs_diff(admitted.future.get(), server.submit(key, frame).get()), 0.0F);
+  }
+  server.shutdown();
+  EXPECT_EQ(server.stats().video.publishes, 0U);
+  EXPECT_EQ(server.stats().video.sessions, 0U);
+}
+
+// Multi-session interleaved stress: several closed-loop producers, each its
+// own session, mode x precision x pattern rotating per seed, every frame held
+// to bitwise equality with the single-threaded same-mode reference and every
+// post-first frame required to take the delta path (closed-loop submission
+// guarantees the predecessor is published before the next lookup).
+void run_video_session_stress_iteration(std::uint64_t seed) {
+  const ExecMode modes[] = {ExecMode::kFullFrame, ExecMode::kTiled, ExecMode::kStreaming,
+                            ExecMode::kAuto};
+  const ExecMode mode = modes[seed % 4];
+  core::SesrInference net = make_inference(9000 + seed, small_config());
+  Rng calib_rng(seed ^ 0x51DE0ULL);
+  std::vector<Tensor> calib;
+  for (int i = 0; i < 2; ++i) {
+    Tensor frame(1, 16, 16, 1);
+    frame.fill_uniform(calib_rng, 0.0F, 1.0F);
+    calib.push_back(std::move(frame));
+  }
+  net.calibrate_int8(calib);
+  std::vector<core::LayerPrecision> plan(net.convolutions().size(),
+                                         core::LayerPrecision::kFp16);
+  for (std::size_t i = 0; i < plan.size(); i += 2) plan[i] = core::LayerPrecision::kInt8;
+  net.set_hybrid_plan(std::move(plan));
+
+  const RouteKey routes[] = {{"m", 2, core::InferencePrecision::kFp32},
+                             {"m", 2, core::InferencePrecision::kFp16},
+                             {"m", 2, core::InferencePrecision::kInt8},
+                             {"m", 2, core::InferencePrecision::kHybrid}};
+  NetworkRegistry registry;
+  for (const RouteKey& route : routes) registry.add(route, net);
+
+  ServeOptions options;
+  options.workers = 1 + static_cast<int>(seed % 3);
+  options.max_batch = 1 + static_cast<std::int64_t>(seed % 3);
+  options.max_delay_us = 500;
+  options.mode = mode;
+  options.tiling.tile_h = 6;
+  options.tiling.tile_w = 7;
+  options.tiled_threshold_pixels = 12 * 12;
+  options.cache_entries = 0;
+  options.video_sessions = 8;
+
+  const data::VideoPattern patterns[] = {data::VideoPattern::kStatic, data::VideoPattern::kPan,
+                                         data::VideoPattern::kCut, data::VideoPattern::kSparkle,
+                                         data::VideoPattern::kMixed};
+  constexpr int kSessions = 3;
+  constexpr int kFrames = 5;
+
+  ShardedServer server(registry, options);
+  std::vector<std::vector<Tensor>> sequences(kSessions);
+  std::vector<std::vector<Tensor>> outputs(kSessions);
+  std::vector<int> route_of(kSessions);
+  std::vector<std::uint64_t> delta_frames(kSessions, 0);
+  for (int s = 0; s < kSessions; ++s) {
+    Rng rng(seed * 131 + static_cast<std::uint64_t>(s));
+    data::VideoSequenceOptions vopts;
+    vopts.pattern = patterns[rng.uniform_int(0, 4)];
+    vopts.frames = kFrames;
+    vopts.h = 16;
+    vopts.w = 16 + 2 * s;  // distinct shapes across sessions
+    sequences[static_cast<std::size_t>(s)] =
+        data::synthesize_video(vopts, seed * 977 + static_cast<std::uint64_t>(s));
+    route_of[static_cast<std::size_t>(s)] = static_cast<int>(rng.uniform_int(0, 3));
+    outputs[static_cast<std::size_t>(s)].resize(kFrames);
+  }
+  std::vector<std::thread> producers;
+  for (int s = 0; s < kSessions; ++s) {
+    producers.emplace_back([&, s] {
+      const auto& frames = sequences[static_cast<std::size_t>(s)];
+      for (int i = 0; i < kFrames; ++i) {
+        VideoOptions video;
+        video.session_id = 100 + static_cast<std::uint64_t>(s);
+        video.seq = static_cast<std::uint64_t>(i) + 1;
+        AdmitResult admitted = server.submit_video(
+            routes[route_of[static_cast<std::size_t>(s)]],
+            frames[static_cast<std::size_t>(i)], video);
+        if (admitted.delta) ++delta_frames[static_cast<std::size_t>(s)];
+        // Closed loop: the publish lands before get() returns, so the next
+        // frame's lookup must hit.
+        outputs[static_cast<std::size_t>(s)][static_cast<std::size_t>(i)] =
+            admitted.future.get();
+      }
+    });
+  }
+  for (auto& p : producers) p.join();
+  server.shutdown();
+
+  auto reference = [&](core::InferencePrecision prec, const Tensor& frame) -> Tensor {
+    net.set_precision(prec);
+    ExecMode resolved = mode;
+    if (resolved == ExecMode::kAuto) {
+      resolved = frame.shape().h() * frame.shape().w() >= options.tiled_threshold_pixels
+                     ? ExecMode::kTiled
+                     : ExecMode::kFullFrame;
+    }
+    if (resolved == ExecMode::kStreaming) {
+      core::StreamingUpscaler streamer(net);
+      return streamer.upscale(frame);
+    }
+    if (resolved == ExecMode::kTiled) return core::upscale_tiled(net, frame, options.tiling);
+    return net.upscale(frame);
+  };
+  for (int s = 0; s < kSessions; ++s) {
+    ASSERT_EQ(delta_frames[static_cast<std::size_t>(s)],
+              static_cast<std::uint64_t>(kFrames - 1))
+        << "seed=" << seed << " session=" << s;
+    for (int i = 0; i < kFrames; ++i) {
+      ASSERT_EQ(max_abs_diff(outputs[static_cast<std::size_t>(s)][static_cast<std::size_t>(i)],
+                             reference(routes[route_of[static_cast<std::size_t>(s)]].precision,
+                                       sequences[static_cast<std::size_t>(s)]
+                                                [static_cast<std::size_t>(i)])),
+                0.0F)
+          << "seed=" << seed << " session=" << s << " frame=" << i
+          << " mode=" << static_cast<int>(mode);
+    }
+  }
+  const ShardedStats stats = server.stats();
+  ASSERT_EQ(stats.total.failed, 0U) << "seed=" << seed;
+  ASSERT_EQ(stats.total.video_frames, static_cast<std::uint64_t>(kSessions * kFrames))
+      << "seed=" << seed;
+}
+
+TEST(VideoSessionStress, InterleavedSessionsBitIdentical) {
+  const int iterations = stress_iterations();
+  for (int i = 0; i < iterations; ++i) {
+    SCOPED_TRACE("iteration " + std::to_string(i));
+    run_video_session_stress_iteration(static_cast<std::uint64_t>(i));
     if (HasFatalFailure()) return;
   }
 }

@@ -45,6 +45,12 @@ struct ServeCliConfig {
   double deadline_ms = 0.0;        // per-request deadline (0 = none)
   double slo_p99_ms = 0.0;         // server mode: SLO budget for admission (0 = off)
   std::string chaos = "none";      // client mode: none|malformed|disconnect
+
+  // Video replay (--video != none): each client (or route, in-process) runs
+  // one closed-loop session over a seeded synthetic sequence of the given
+  // temporal pattern, submitting consecutive frame seqs so the server's
+  // tile-delta path can engage.
+  std::string video = "none";      // none|static|pan|cut|sparkle|mixed
 };
 
 inline std::vector<Args::Option> serve_cli_options() {
@@ -76,6 +82,9 @@ inline std::vector<Args::Option> serve_cli_options() {
       {"deadline-ms", "0", "per-request deadline in milliseconds (0 = none)"},
       {"slo-p99-ms", "0", "server p99 latency budget for SLO admission (0 = off)"},
       {"chaos", "none", "client mode fault injection: none|malformed|disconnect"},
+      {"video", "none", "video session replay: none|static|pan|cut|sparkle|mixed "
+                        "(closed-loop sequences through the tile-delta path)"},
+      {"video-sessions", "64", "server: max live video sessions for tile-delta reuse (0 = off)"},
   };
 }
 
@@ -255,6 +264,26 @@ inline ServeCliConfig parse_serve_cli(const Args& args) {
   if (config.chaos != "none" && config.connect_host.empty()) {
     throw UsageError("--chaos requires --connect (it drives a live server)");
   }
+
+  config.video = args.get("video");
+  if (config.video != "none" && config.video != "static" && config.video != "pan" &&
+      config.video != "cut" && config.video != "sparkle" && config.video != "mixed") {
+    throw UsageError("unknown --video '" + config.video +
+                     "' (expected none|static|pan|cut|sparkle|mixed)");
+  }
+  // Delta reuse needs frame N published before frame N+1 is planned; an
+  // open-loop replay would pipeline seqs and measure only full-path
+  // fallbacks, so refuse the ambiguous combination.
+  if (config.video != "none" && config.qps > 0.0) {
+    throw UsageError("--video replays sessions closed-loop; it is incompatible with --qps");
+  }
+  if (config.video != "none" && config.chaos == "malformed") {
+    throw UsageError("--chaos malformed ignores --video; use --chaos disconnect for the "
+                     "mid-session case");
+  }
+  const std::int64_t video_sessions = args.get_int("video-sessions");
+  if (video_sessions < 0) throw UsageError("--video-sessions must be >= 0");
+  config.serve.video_sessions = static_cast<std::size_t>(video_sessions);
   return config;
 }
 

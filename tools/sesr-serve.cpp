@@ -38,6 +38,7 @@
 #include "cli_args.hpp"
 #include "core/hybrid_plan.hpp"
 #include "core/sesr_network.hpp"
+#include "data/video.hpp"
 #include "serve/net/client.hpp"
 #include "serve/net/server.hpp"
 #include "serve/registry.hpp"
@@ -125,6 +126,20 @@ void print_server_stats(const cli::ServeCliConfig& config, const serve::ShardedS
         static_cast<unsigned long long>(route.failed),
         static_cast<unsigned long long>(route.cache_hits), route.service_ewma_us / 1e3);
   }
+  if (stats.video_frames > 0) {
+    const std::uint64_t tiles = stats.video_tiles_reused + stats.video_tiles_recomputed;
+    std::printf("video    frames %llu (delta %llu)  tiles reused %llu/%llu (%.1f%%)  "
+                "sessions %zu  evictions %llu\n",
+                static_cast<unsigned long long>(stats.video_frames),
+                static_cast<unsigned long long>(stats.video_delta_frames),
+                static_cast<unsigned long long>(stats.video_tiles_reused),
+                static_cast<unsigned long long>(tiles),
+                tiles > 0 ? 100.0 * static_cast<double>(stats.video_tiles_reused) /
+                                static_cast<double>(tiles)
+                          : 0.0,
+                sharded.video.sessions,
+                static_cast<unsigned long long>(sharded.video.evictions));
+  }
   if (config.serve.cache_entries > 0) {
     const serve::CacheStats& cache = sharded.cache;
     const std::uint64_t probes = cache.hits + cache.misses;
@@ -138,9 +153,80 @@ void print_server_stats(const cli::ServeCliConfig& config, const serve::ShardedS
   }
 }
 
+// ----------------------------------------------------------- video sequences
+
+// The replayed session for --video: a seeded synthetic sequence at the first
+// --shapes entry. `salt` decorrelates sessions (one per route in-process, one
+// per connection in client mode) while keeping every run replayable from
+// --seed alone.
+std::vector<Tensor> session_sequence(const cli::ServeCliConfig& config, std::int64_t frames,
+                                     std::uint64_t salt) {
+  data::VideoSequenceOptions vopts;
+  vopts.pattern = data::parse_video_pattern(config.video);
+  vopts.frames = frames;
+  vopts.h = config.shapes.front().first;
+  vopts.w = config.shapes.front().second;
+  return data::synthesize_video(vopts, config.seed * 7919 + salt);
+}
+
 // ------------------------------------------------------------ in-process mode
 
+// --video replay: one closed-loop session per route, consecutive seqs, every
+// frame's future awaited before the next submit so the tile-delta path sees
+// its predecessor published. Reports delta engagement and tile reuse next to
+// the usual throughput numbers.
+int run_local_video(const cli::ServeCliConfig& config) {
+  ThreadPool::set_global_threads(static_cast<unsigned>(config.threads));
+  const serve::NetworkRegistry registry = build_registry(config, config.seed);
+  serve::ShardedServer server(registry, config.serve);
+  const std::vector<Tensor> frames = session_sequence(config, config.frames, 0);
+
+  std::printf("sesr-serve: %s | video=%s frames=%lld %lldx%lld | workers=%d sessions=%zu\n",
+              route_list_string(config).c_str(), config.video.c_str(),
+              static_cast<long long>(config.frames),
+              static_cast<long long>(config.shapes.front().first),
+              static_cast<long long>(config.shapes.front().second), config.serve.workers,
+              config.serve.video_sessions);
+
+  std::atomic<std::uint64_t> delta_frames{0};
+  std::atomic<std::int64_t> errors{0};
+  const auto start = std::chrono::steady_clock::now();
+  std::vector<std::thread> producers;
+  for (std::size_t r = 0; r < config.routes.size(); ++r) {
+    producers.emplace_back([&, r] {
+      for (std::size_t i = 0; i < frames.size(); ++i) {
+        serve::VideoOptions video;
+        video.session_id = r + 1;
+        video.seq = i + 1;
+        try {
+          serve::AdmitResult admitted = server.submit_video(config.routes[r], frames[i], video);
+          if (admitted.delta) delta_frames.fetch_add(1, std::memory_order_relaxed);
+          admitted.future.get();
+        } catch (const std::exception& e) {
+          if (errors.fetch_add(1, std::memory_order_relaxed) == 0) {
+            std::fprintf(stderr, "video frame failed: %s\n", e.what());
+          }
+        }
+      }
+    });
+  }
+  for (std::thread& t : producers) t.join();
+  const double wall =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
+  server.shutdown();
+
+  const serve::ShardedStats sharded = server.stats();
+  std::printf("video replay: %llu frames in %.2fs (%.1f fps)  delta engaged %llu/%llu\n",
+              static_cast<unsigned long long>(sharded.total.video_frames), wall,
+              static_cast<double>(sharded.total.video_frames) / wall,
+              static_cast<unsigned long long>(delta_frames.load()),
+              static_cast<unsigned long long>(sharded.total.video_frames));
+  print_server_stats(config, sharded);
+  return errors.load() == 0 ? 0 : 1;
+}
+
 int run_local(const cli::ServeCliConfig& config) {
+  if (config.video != "none") return run_local_video(config);
   ThreadPool::set_global_threads(static_cast<unsigned>(config.threads));
   Rng rng(config.seed);
   const serve::NetworkRegistry registry = build_registry(config, config.seed);
@@ -297,6 +383,51 @@ int run_chaos(const cli::ServeCliConfig& config) {
       std::fprintf(stderr, "chaos malformed: server kept a poisoned connection open\n");
       return 1;
     }
+  } else if (config.video != "none") {
+    // Mid-session disconnect: the video session is keyed by (route,
+    // session_id), not by the connection, so its tile-delta state must
+    // survive a client that vanishes mid-frame. Frames 1-2 over one
+    // connection (frame 2 must take the delta path), then half of frame 3
+    // and a hard disconnect; the session resumes on a fresh connection at
+    // seq 3 and must still delta against frame 2's snapshot.
+    const std::vector<Tensor> frames = session_sequence(config, 3, 42);
+    const std::uint64_t session_id = 7001;
+    serve::net::NetClient first(config.connect_host, config.connect_port);
+    const serve::net::WireResponse r1 = first.upscale_video(route, frames[0], session_id, 1);
+    const serve::net::WireResponse r2 = first.upscale_video(route, frames[1], session_id, 2);
+    if (r1.status != serve::net::Status::kOk || r2.status != serve::net::Status::kOk ||
+        (r2.flags & serve::net::kFlagDeltaReuse) == 0) {
+      std::fprintf(stderr, "chaos disconnect(video): priming frames failed (delta flag %d)\n",
+                   static_cast<int>(r2.flags));
+      return 1;
+    }
+    serve::net::WireRequest torn;
+    torn.id = 3;
+    torn.video = true;
+    torn.session_id = session_id;
+    torn.frame_seq = 3;
+    torn.route = route;
+    torn.h = frames[2].shape().h();
+    torn.w = frames[2].shape().w();
+    torn.pixels = serve::net::frame_to_pixels(frames[2]);
+    std::vector<std::uint8_t> bytes = serve::net::encode_request(torn);
+    bytes.resize(bytes.size() / 2);  // half of frame 3, then vanish
+    first.send_raw(bytes);
+    first.disconnect();
+    serve::net::NetClient second(config.connect_host, config.connect_port);
+    const serve::net::WireResponse r3 = second.upscale_video(route, frames[2], session_id, 3);
+    if (r3.status != serve::net::Status::kOk ||
+        (r3.flags & serve::net::kFlagDeltaReuse) == 0) {
+      std::fprintf(stderr,
+                   "chaos disconnect(video): resumed frame not served by the delta path "
+                   "(status %d flags %d)\n",
+                   static_cast<int>(r3.status), static_cast<int>(r3.flags));
+      return 1;
+    }
+    std::printf("chaos disconnect(video): session survived a mid-frame disconnect; "
+                "seq 3 delta-served on %s\n",
+                r3.route.c_str());
+    return 0;
   } else {  // disconnect
     serve::net::WireRequest request;
     request.id = 1;
@@ -353,6 +484,7 @@ int run_client(const cli::ServeCliConfig& config) {
                            : std::chrono::steady_clock::time_point::max();
 
   std::atomic<std::uint64_t> ok{0}, overloaded{0}, shutting_down{0}, degraded{0}, errors{0};
+  std::atomic<std::uint64_t> video_delta{0};
   std::mutex latency_mutex;
   std::vector<double> latency_us;
 
@@ -364,6 +496,18 @@ int run_client(const cli::ServeCliConfig& config) {
       std::exponential_distribution<double> inter_arrival(rate > 0.0 ? rate : 1.0);
       auto next_arrival = std::chrono::steady_clock::now();
       std::vector<double> local_latency;
+      // --video: this connection replays one session (its own seeded
+      // sequence, consecutive seqs). In duration mode the sequence cycles;
+      // the wrap reads as a scene cut and simply costs one full re-upscale.
+      std::vector<Tensor> session_frames;
+      std::string session_route;
+      if (config.video != "none") {
+        session_frames = session_sequence(
+            config, frames_per_client == 0 ? config.frames : frames_per_client,
+            static_cast<std::uint64_t>(index) + 1);
+        session_route = serve::route_string(
+            config.routes[static_cast<std::size_t>(index) % config.routes.size()]);
+      }
       for (std::int64_t i = 0; frames_per_client == 0 || i < frames_per_client; ++i) {
         if (std::chrono::steady_clock::now() >= stop_at) break;
         if (rate > 0.0) {
@@ -374,7 +518,18 @@ int run_client(const cli::ServeCliConfig& config) {
         const Stimulus& s =
             stimuli[static_cast<std::size_t>(index + i * config.clients) % stimuli.size()];
         const auto sent = std::chrono::steady_clock::now();
-        const serve::net::WireResponse response = client.upscale(s.route, s.frame, deadline_us);
+        const serve::net::WireResponse response =
+            config.video != "none"
+                ? client.upscale_video(
+                      session_route,
+                      session_frames[static_cast<std::size_t>(i) % session_frames.size()],
+                      5000 + static_cast<std::uint64_t>(index),
+                      static_cast<std::uint32_t>(i + 1), deadline_us)
+                : client.upscale(s.route, s.frame, deadline_us);
+        if (response.status == serve::net::Status::kOk &&
+            (response.flags & serve::net::kFlagDeltaReuse) != 0) {
+          video_delta.fetch_add(1, std::memory_order_relaxed);
+        }
         const double us = std::chrono::duration<double, std::micro>(
                               std::chrono::steady_clock::now() - sent)
                               .count();
@@ -420,6 +575,11 @@ int run_client(const cli::ServeCliConfig& config) {
               static_cast<unsigned long long>(shutting_down.load()),
               static_cast<unsigned long long>(degraded.load()),
               static_cast<unsigned long long>(errors.load()));
+  if (config.video != "none") {
+    std::printf("client video: %llu/%llu frames served by the tile-delta path\n",
+                static_cast<unsigned long long>(video_delta.load()),
+                static_cast<unsigned long long>(completed));
+  }
   std::printf("client latency  p50 %.2f ms  p95 %.2f ms  p99 %.2f ms\n",
               serve::percentile(latency_us, 50.0) / 1e3, serve::percentile(latency_us, 95.0) / 1e3,
               serve::percentile(latency_us, 99.0) / 1e3);
