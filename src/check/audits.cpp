@@ -679,6 +679,83 @@ TrialResult video_delta_vs_full_trial(std::uint64_t seed) {
   return r;
 }
 
+// -------------------------------------------------- planned-executor pair
+
+// The compiled execution plan must be BIT-IDENTICAL to the direct per-layer
+// path it replaced: the plan only changes where intermediate bytes live (one
+// packed arena instead of per-layer tensors), never the kernel sequence or
+// the arithmetic. The trial draws a random config — including m = 0, whose
+// fused long residual degenerates to an in-place doubling, and biased
+// checkpoints — a random precision, and a random execution regime (single
+// frame, micro-batch, exact-halo tiled, plan-cache churn across 9+ shapes),
+// and compares against the same network with set_use_plan(false) with zero
+// tolerance.
+TrialResult planned_vs_direct_trial(std::uint64_t seed) {
+  TrialResult r;
+  Rng rng(seed);
+  core::SesrConfig config;
+  config.f = 8;
+  config.m = rng.uniform_int(0, 3);
+  config.scale = rng.bernoulli(0.5) ? 2 : 4;
+  config.expand = 16;
+  config.prelu = rng.bernoulli(0.5);
+  config.input_residual = rng.bernoulli(0.5);
+  config.with_bias = rng.bernoulli(0.5);
+  Rng init = rng.fork();
+  const core::SesrNetwork network(config, init);
+  core::SesrInference planned(network);
+  planned.calibrate_int8({random_tensor(rng, 1, 12, 12, 1, 0.0F, 1.0F)});
+  std::vector<core::LayerPrecision> plan(planned.convolutions().size(),
+                                         core::LayerPrecision::kFp16);
+  for (std::size_t i = 0; i < plan.size(); i += 2) plan[i] = core::LayerPrecision::kInt8;
+  planned.set_hybrid_plan(std::move(plan));
+  const core::InferencePrecision precisions[] = {
+      core::InferencePrecision::kFp32, core::InferencePrecision::kFp16,
+      core::InferencePrecision::kInt8, core::InferencePrecision::kHybrid};
+  planned.set_precision(precisions[rng.uniform_int(0, 3)]);
+  core::SesrInference direct = planned;
+  direct.set_use_plan(false);
+
+  const std::int64_t regime = rng.uniform_int(0, 3);
+  const std::int64_t n = regime == 1 ? rng.uniform_int(2, 4) : 1;
+  const std::int64_t h = rng.uniform_int(4, 24);
+  const std::int64_t w = rng.uniform_int(4, 24);
+  const Tensor input = random_tensor(rng, n, h, w, 1, 0.0F, 1.0F);
+  Tensor got;
+  Tensor want;
+  std::ostringstream os;
+  if (regime == 2) {  // exact-halo tiling: every tile runs through the plan
+    core::TilingOptions topts;
+    topts.tile_h = rng.uniform_int(1, 16);
+    topts.tile_w = rng.uniform_int(1, 16);
+    topts.halo = core::receptive_field_radius(planned);
+    got = core::upscale_tiled(planned, input, topts);
+    want = core::upscale_tiled(direct, input, topts);
+    os << "tiled tile=" << topts.tile_h << "x" << topts.tile_w;
+  } else if (regime == 3) {
+    // Churn the bounded plan cache past its capacity so the comparison runs
+    // on a freshly recompiled (post-eviction) plan, not the warm one.
+    for (std::int64_t i = 0; i < 9; ++i) {
+      const Tensor filler = random_tensor(rng, 1, 4 + i, 4, 1, 0.0F, 1.0F);
+      got = planned.upscale(filler);
+    }
+    got = planned.upscale(input);
+    want = direct.upscale(input);
+    os << "cache-churn";
+  } else {  // single frame / stacked micro-batch
+    got = planned.upscale(input);
+    want = direct.upscale(input);
+    os << (regime == 1 ? "batch" : "full");
+  }
+  const DTensor want_d = to_dtensor(want);
+  r.stats = compare_f32(got.data(), want_d.data);
+  r.output_hash = hash_bits(got.data());
+  os << " in=" << shape_str(input.shape()) << " prec=" << static_cast<int>(planned.precision())
+     << " " << config.describe();
+  r.detail = os.str();
+  return r;
+}
+
 // --------------------------------------------------------------- fp16 pairs
 
 // Dispatched (possibly F16C) fp32->fp16->fp32 round trip vs the scalar
@@ -1035,6 +1112,11 @@ std::vector<AuditPair> make_builtin_pairs() {
                    "video-session tile-delta output vs full re-upscale of every frame (all exec "
                    "modes, all four precisions; must be bit-exact)",
                    0.0, 0.0, video_delta_vs_full_trial});
+  pairs.push_back({"planned_vs_direct",
+                   "compiled execution plan (fused steps, packed arena) vs the direct per-layer "
+                   "path (all four precisions; frame/batch/tiled/cache-churn regimes; must be "
+                   "bit-exact)",
+                   0.0, 0.0, planned_vs_direct_trial});
   pairs.push_back({"fp16_roundtrip_scalar",
                    "fp32->fp16->fp32 round trip, scalar kernels, vs scalar reference (exact)",
                    0.0, 0.0, [](std::uint64_t s) {

@@ -1,0 +1,170 @@
+#include "core/plan/execution_plan.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace sesr::core::plan {
+
+std::vector<CollapsedConv> collapse_pass(const SesrNetwork& network) {
+  const auto collapse = [](const CollapsibleBlock& block) {
+    CollapsedConv conv;
+    conv.weight = block.collapsed_weight();
+    conv.bias = block.collapsed_bias();
+    return conv;
+  };
+  std::vector<CollapsedConv> convs;
+  convs.reserve(network.middle_blocks().size() + 2);
+  convs.push_back(collapse(network.first_block()));
+  for (const auto& b : network.middle_blocks()) convs.push_back(collapse(*b));
+  convs.push_back(collapse(network.last_block()));
+  return convs;
+}
+
+ExecutionPlan ExecutionPlan::compile(const SesrInference& net, std::int64_t lr_h,
+                                     std::int64_t lr_w) {
+  const hw::NetworkIr ir = hw::sesr_ir(net.config(), lr_h, lr_w);
+  std::vector<PlanOp> ops = lower_and_fuse(ir);
+
+  ExecutionPlan plan;
+  plan.lr_h_ = lr_h;
+  plan.lr_w_ = lr_w;
+  plan.precision_ = net.precision();
+  const int n_steps = static_cast<int>(ops.size());
+
+  // Value ids are original lowered-op indices; remap to dense PlanValue
+  // indices and derive [def, last_use] from the fused program's reads.
+  std::vector<int> vmap(ir.layers.size(), kNoValue);
+  for (int s = 0; s < n_steps; ++s) {
+    PlanValue v;
+    v.elements = ops[s].output_elements();
+    v.def = s;
+    v.last_use = s;
+    v.external = s == n_steps - 1;
+    vmap[static_cast<std::size_t>(ops[s].output)] = static_cast<int>(plan.values_.size());
+    plan.values_.push_back(v);
+  }
+  for (int s = 0; s < n_steps; ++s) {
+    const auto remap = [&](int& ref) {
+      if (ref < 0) return;  // kInputValue stays symbolic
+      ref = vmap[static_cast<std::size_t>(ref)];
+      if (ref == kNoValue) {
+        throw std::logic_error("ExecutionPlan: op references a value no pass defines");
+      }
+      plan.values_[static_cast<std::size_t>(ref)].last_use =
+          std::max(plan.values_[static_cast<std::size_t>(ref)].last_use, s);
+    };
+    remap(ops[s].input);
+    remap(ops[s].skip);
+    ops[s].output = vmap[static_cast<std::size_t>(ops[s].output)];
+  }
+
+  int last_conv_step = -1;
+  for (int s = 0; s < n_steps; ++s) {
+    if (ops[s].kind == hw::OpKind::kConv) last_conv_step = s;
+  }
+
+  plan.steps_.reserve(ops.size());
+  for (int s = 0; s < n_steps; ++s) {
+    PlanStep step;
+    step.op = std::move(ops[s]);
+    plan.steps_.push_back(std::move(step));
+  }
+
+  const auto add_value = [&](std::int64_t elements, ValueSpace space, int def, int last_use) {
+    PlanValue v;
+    v.elements = elements;
+    v.space = space;
+    v.def = def;
+    v.last_use = last_use;
+    plan.values_.push_back(v);
+    return static_cast<int>(plan.values_.size()) - 1;
+  };
+
+  // Precision-specific storage spaces and staging values, mirroring the
+  // legacy per-precision paths exactly.
+  if (plan.precision_ == InferencePrecision::kFp16) {
+    // Inter-conv activations are stored as binary16; the last conv's fp32
+    // accumulator (and everything after it) stays float.
+    for (int s = 0; s < n_steps; ++s) {
+      const PlanOp& op = plan.steps_[static_cast<std::size_t>(s)].op;
+      if (op.kind == hw::OpKind::kConv && s != last_conv_step) {
+        plan.values_[static_cast<std::size_t>(op.output)].space = ValueSpace::kHalf;
+      }
+    }
+    // The input is rounded to binary16 once and stays live as long as any
+    // step (conv input or input residual) still reads it.
+    int input_last_use = 0;
+    int residual_step = kNoValue;
+    for (int s = 0; s < n_steps; ++s) {
+      const PlanOp& op = plan.steps_[static_cast<std::size_t>(s)].op;
+      if (op.input == kInputValue) input_last_use = std::max(input_last_use, s);
+      if (op.skip == kInputValue) {
+        input_last_use = std::max(input_last_use, s);
+        residual_step = std::max(residual_step, s);
+      }
+    }
+    const std::int64_t input_elements = ir.input_h * ir.input_w * ir.input_c;
+    plan.input_half_value_ = add_value(input_elements, ValueSpace::kHalf, 0, input_last_use);
+    if (residual_step != kNoValue) {
+      // Step-local float widening of the rounded input for the residual add.
+      plan.input_float_value_ =
+          add_value(input_elements, ValueSpace::kFloat, residual_step, residual_step);
+    }
+  } else if (plan.precision_ == InferencePrecision::kHybrid) {
+    // Each fp16 layer stages its fp32 carrier input through binary16.
+    const std::vector<LayerPrecision>& layer_plan = net.hybrid_plan();
+    for (int s = 0; s < n_steps; ++s) {
+      PlanStep& step = plan.steps_[static_cast<std::size_t>(s)];
+      if (step.op.kind != hw::OpKind::kConv) continue;
+      if (layer_plan.at(static_cast<std::size_t>(step.op.conv_index)) != LayerPrecision::kFp16) {
+        continue;
+      }
+      step.stage = add_value(step.op.input_elements(), ValueSpace::kHalf, s, s);
+    }
+  }
+
+  // Chained depth-to-space intermediates (scale 4): step-local float temps.
+  for (int s = 0; s < n_steps; ++s) {
+    PlanStep& step = plan.steps_[static_cast<std::size_t>(s)];
+    if (step.op.kind != hw::OpKind::kDepthToSpace) continue;
+    for (std::size_t k = 0; k + 1 < step.op.blocks.size(); ++k) {
+      // A shuffle is a permutation: every intermediate has the input's numel.
+      step.temps.push_back(add_value(step.op.input_elements(), ValueSpace::kFloat, s, s));
+    }
+  }
+
+  // Pack each space into its own flat arena. The final output lives in the
+  // caller's buffer, not the arena.
+  const auto pack = [&](ValueSpace space) {
+    std::vector<ValueInterval> intervals(plan.values_.size());
+    for (std::size_t i = 0; i < plan.values_.size(); ++i) {
+      const PlanValue& v = plan.values_[i];
+      intervals[i].def = v.def;
+      intervals[i].last_use = v.last_use;
+      intervals[i].elements = (v.space == space && !v.external) ? v.elements : 0;
+    }
+    const MemoryPlan mem = plan_memory(intervals);
+    for (std::size_t i = 0; i < plan.values_.size(); ++i) {
+      if (plan.values_[i].space == space && !plan.values_[i].external) {
+        plan.values_[i].offset = mem.offsets[i];
+      }
+    }
+    return mem.arena_elements;
+  };
+  plan.float_arena_elements_ = pack(ValueSpace::kFloat);
+  plan.half_arena_elements_ = pack(ValueSpace::kHalf);
+  return plan;
+}
+
+PlanFootprint ExecutionPlan::footprint() const {
+  const std::int64_t pixels = lr_h_ * lr_w_;
+  if (pixels <= 0 || float_arena_elements_ % pixels != 0 || half_arena_elements_ % pixels != 0) {
+    throw std::logic_error("ExecutionPlan::footprint: arena not a multiple of the pixel count");
+  }
+  PlanFootprint f;
+  f.float_per_pixel = float_arena_elements_ / pixels;
+  f.half_per_pixel = half_arena_elements_ / pixels;
+  return f;
+}
+
+}  // namespace sesr::core::plan

@@ -1,0 +1,107 @@
+// Compiled execution plan: fused steps + a static activation memory plan.
+//
+// compile() runs the whole pipeline for one network at one input shape:
+// build the IR, lower and fuse it (passes.hpp), assign every surviving value
+// a storage space for the requested precision (fp32 carrier or binary16),
+// derive live intervals, and let the memory planner pack each space into one
+// flat arena. The result is a closed-form recipe the planned executor
+// replays: for each step, which kernel, which weights, and the exact arena
+// offsets of its operands. No allocation decisions remain at run time.
+//
+// Precision changes which values are stored as binary16 (and adds staging
+// values), never the step list: the fp16 path stores inter-conv activations
+// as half, the hybrid path stages each fp16 layer's input through a
+// step-local half value, and int8 runs entirely on the fp32 carrier — all
+// mirroring the legacy per-precision upscale paths kernel for kernel.
+//
+// Every value's size is channels x pixels, so the whole plan scales linearly
+// and exactly with the LR pixel count: footprint() returns per-pixel
+// coefficients the registry records per route at registration time.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/plan/memory_planner.hpp"
+#include "core/plan/passes.hpp"
+#include "core/sesr_inference.hpp"
+
+namespace sesr::core::plan {
+
+// Constant-folding pass: collapse every trained linear block into its single
+// equivalent conv (Algorithm 1) with the short residual and all biases folded
+// through (Algorithm 2). Weights and biases become plan-time constants; the
+// SesrInference constructor delegates here.
+std::vector<CollapsedConv> collapse_pass(const SesrNetwork& network);
+
+enum class ValueSpace : std::uint8_t { kFloat, kHalf };
+
+struct PlanValue {
+  std::int64_t elements = 0;  // per batch item, at the compiled shape
+  ValueSpace space = ValueSpace::kFloat;
+  int def = 0;       // step defining the value (input staging: step 0)
+  int last_use = 0;  // last step reading or updating it (closed interval)
+  std::int64_t offset = 0;  // elements into its space's arena
+  bool external = false;    // the network output: caller's buffer, not arena
+};
+
+// One executor step. The op's input/skip/output fields are rewritten to
+// PlanValue indices (kInputValue still means the caller's input tensor).
+struct PlanStep {
+  PlanOp op;
+  std::vector<int> temps;  // shuffle-chain intermediates, in chain order
+  int stage = kNoValue;    // hybrid: half staging value for this conv's input
+};
+
+// Exact per-LR-pixel arena coefficients of a compiled route.
+struct PlanFootprint {
+  std::int64_t float_per_pixel = 0;  // fp32 carrier elements per LR pixel
+  std::int64_t half_per_pixel = 0;   // binary16 elements per LR pixel
+  std::int64_t bytes(std::int64_t lr_pixels) const {
+    return lr_pixels * (float_per_pixel * static_cast<std::int64_t>(sizeof(float)) +
+                        half_per_pixel * 2);
+  }
+};
+
+class ExecutionPlan {
+ public:
+  // Compiles for the network's current precision (int8/hybrid state must
+  // already be present, as set_precision enforces).
+  static ExecutionPlan compile(const SesrInference& net, std::int64_t lr_h, std::int64_t lr_w);
+
+  const std::vector<PlanStep>& steps() const { return steps_; }
+  const std::vector<PlanValue>& values() const { return values_; }
+  std::int64_t lr_h() const { return lr_h_; }
+  std::int64_t lr_w() const { return lr_w_; }
+  InferencePrecision precision() const { return precision_; }
+
+  // Arena sizes per batch item at the compiled shape.
+  std::int64_t float_arena_elements() const { return float_arena_elements_; }
+  std::int64_t half_arena_elements() const { return half_arena_elements_; }
+  std::int64_t peak_activation_bytes() const {
+    return float_arena_elements_ * static_cast<std::int64_t>(sizeof(float)) +
+           half_arena_elements_ * 2;
+  }
+
+  // fp16 only: the rounded input staging value, and (when the input residual
+  // is on) the float scratch its fp32 widening lands in. kNoValue otherwise.
+  int input_half_value() const { return input_half_value_; }
+  int input_float_value() const { return input_float_value_; }
+
+  // Per-pixel coefficients; exact because every value size and offset is a
+  // multiple of the LR pixel count (throws if that invariant ever breaks).
+  PlanFootprint footprint() const;
+
+ private:
+  std::vector<PlanStep> steps_;
+  std::vector<PlanValue> values_;
+  std::int64_t float_arena_elements_ = 0;
+  std::int64_t half_arena_elements_ = 0;
+  std::int64_t lr_h_ = 0;
+  std::int64_t lr_w_ = 0;
+  InferencePrecision precision_ = InferencePrecision::kFp32;
+  int input_half_value_ = kNoValue;
+  int input_float_value_ = kNoValue;
+};
+
+}  // namespace sesr::core::plan

@@ -1,0 +1,54 @@
+#include "core/plan/memory_planner.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <stdexcept>
+
+namespace sesr::core::plan {
+
+MemoryPlan plan_memory(const std::vector<ValueInterval>& values) {
+  const std::size_t n = values.size();
+  MemoryPlan plan;
+  plan.offsets.assign(n, 0);
+
+  std::vector<std::size_t> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  std::stable_sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    return values[a].def < values[b].def;
+  });
+
+  std::vector<bool> placed(n, false);
+  for (std::size_t v : order) {
+    const ValueInterval& val = values[v];
+    if (val.last_use < val.def) {
+      throw std::invalid_argument("plan_memory: interval with last_use < def");
+    }
+    if (val.elements <= 0) {
+      placed[v] = true;
+      continue;
+    }
+    // Claimed ranges of already-placed values live at the same time as v.
+    std::vector<std::pair<std::int64_t, std::int64_t>> busy;
+    for (std::size_t u = 0; u < n; ++u) {
+      if (u == v || !placed[u] || values[u].elements <= 0) continue;
+      if (intervals_overlap(val, values[u])) {
+        busy.emplace_back(plan.offsets[u], plan.offsets[u] + values[u].elements);
+      }
+    }
+    std::sort(busy.begin(), busy.end());
+    // First-fit: lowest offset whose [offset, offset+size) clears every busy
+    // range. Busy ranges are disjoint once sorted (they all pairwise overlap
+    // v in time, but not necessarily each other in time — so merge as we go).
+    std::int64_t offset = 0;
+    for (const auto& [lo, hi] : busy) {
+      if (offset + val.elements <= lo) break;
+      offset = std::max(offset, hi);
+    }
+    plan.offsets[v] = offset;
+    plan.arena_elements = std::max(plan.arena_elements, offset + val.elements);
+    placed[v] = true;
+  }
+  return plan;
+}
+
+}  // namespace sesr::core::plan

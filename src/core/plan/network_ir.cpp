@@ -1,4 +1,4 @@
-#include "hw/network_ir.hpp"
+#include "core/plan/network_ir.hpp"
 
 #include <algorithm>
 #include <stdexcept>

@@ -1,0 +1,77 @@
+// Network IR: resolved-shape layer descriptors shared by the execution-plan
+// compiler (core/plan) and the NPU performance simulator (src/hw).
+//
+// Two consumers, one graph. The hw simulator walks the descriptor list and
+// prices compute and memory traffic analytically (how the paper uses Arm's
+// closed-source estimator, covering networks far too large to train here);
+// the pass pipeline in core/plan/passes lowers the same list into fused
+// executor steps and a liveness-based activation memory plan. The namespace
+// stays sesr::hw for source compatibility with the simulator and its tools.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/sesr_network.hpp"
+
+namespace sesr::hw {
+
+enum class OpKind {
+  kConv,           // kh x kw convolution, stride 1, SAME
+  kConvTranspose,  // kh x kw transposed conv, stride = upscale factor
+  kActivation,     // ReLU/PReLU — fused with the producing conv (free)
+  kDepthToSpace,   // pixel shuffle — pure permutation, fused with neighbours
+  kResidualAdd,    // elementwise add with a saved skip tensor
+};
+
+struct LayerDesc {
+  OpKind kind = OpKind::kConv;
+  std::string label;
+  // Input geometry (output derived from kind):
+  std::int64_t in_h = 0;
+  std::int64_t in_w = 0;
+  std::int64_t in_c = 0;
+  std::int64_t out_c = 0;
+  std::int64_t kh = 1;
+  std::int64_t kw = 1;
+  std::int64_t stride = 1;  // upscale factor for kConvTranspose / kDepthToSpace
+  // For kResidualAdd: channel count of the saved skip tensor (== in_c) and the
+  // index of the layer whose output is consumed (for lifetime analysis).
+  std::int64_t skip_from = -1;
+
+  std::int64_t out_h() const;
+  std::int64_t out_w() const;
+  std::int64_t macs() const;
+  std::int64_t input_elements() const { return in_h * in_w * in_c; }
+  std::int64_t output_elements() const { return out_h() * out_w() * out_c; }
+  std::int64_t weight_bytes() const;  // int8 weights
+};
+
+struct NetworkIr {
+  std::string name;
+  std::int64_t input_h = 0;
+  std::int64_t input_w = 0;
+  std::int64_t input_c = 1;
+  std::vector<LayerDesc> layers;
+
+  std::int64_t total_macs() const;
+  std::int64_t total_parameters() const;
+
+  // Same network re-shaped for a different input size (tiling support).
+  NetworkIr with_input(std::int64_t h, std::int64_t w) const;
+};
+
+// IR builders.
+NetworkIr sesr_ir(const core::SesrConfig& config, std::int64_t in_h, std::int64_t in_w);
+NetworkIr fsrcnn_ir(std::int64_t in_h, std::int64_t in_w, std::int64_t scale);
+// VDSR: bicubic pre-upscale + 20 3x3/64ch convs at HR + global residual.
+NetworkIr vdsr_ir(std::int64_t in_h, std::int64_t in_w, std::int64_t scale);
+// Generic stand-in for published models we know only by budget: `body_channels`
+// wide 3x3 conv body at LR sized to hit `target_macs` at this input, then a
+// subpixel upsampling head. Used for the Fig. 1(b) FPS survey rows.
+NetworkIr generic_residual_ir(const std::string& name, std::int64_t in_h, std::int64_t in_w,
+                              std::int64_t scale, std::int64_t body_channels,
+                              std::int64_t target_macs);
+
+}  // namespace sesr::hw

@@ -1,0 +1,178 @@
+#include "core/plan/passes.hpp"
+
+#include <stdexcept>
+
+namespace sesr::core::plan {
+namespace {
+
+std::int64_t blocks_product(const std::vector<std::int64_t>& blocks) {
+  std::int64_t p = 1;
+  for (std::int64_t b : blocks) p *= b;
+  return p;
+}
+
+}  // namespace
+
+std::int64_t PlanOp::out_h() const {
+  switch (kind) {
+    case hw::OpKind::kDepthToSpace:
+      return in_h * blocks_product(blocks);
+    case hw::OpKind::kConvTranspose:
+      throw std::logic_error("plan: transposed conv has no executor lowering");
+    default:
+      return in_h;
+  }
+}
+
+std::int64_t PlanOp::out_w() const {
+  switch (kind) {
+    case hw::OpKind::kDepthToSpace:
+      return in_w * blocks_product(blocks);
+    case hw::OpKind::kConvTranspose:
+      throw std::logic_error("plan: transposed conv has no executor lowering");
+    default:
+      return in_w;
+  }
+}
+
+std::vector<PlanOp> lower(const hw::NetworkIr& ir) {
+  std::vector<PlanOp> ops;
+  ops.reserve(ir.layers.size());
+  int conv_count = 0;
+  int act_count = 0;
+  for (std::size_t i = 0; i < ir.layers.size(); ++i) {
+    const hw::LayerDesc& l = ir.layers[i];
+    PlanOp op;
+    op.kind = l.kind;
+    op.label = l.label;
+    op.in_h = l.in_h;
+    op.in_w = l.in_w;
+    op.in_c = l.in_c;
+    op.out_c = l.out_c;
+    op.kh = l.kh;
+    op.kw = l.kw;
+    op.input = i == 0 ? kInputValue : static_cast<int>(i) - 1;
+    op.output = static_cast<int>(i);
+    switch (l.kind) {
+      case hw::OpKind::kConv:
+        op.conv_index = conv_count++;
+        break;
+      case hw::OpKind::kActivation:
+        op.act_index = act_count++;
+        break;
+      case hw::OpKind::kDepthToSpace:
+        op.blocks.push_back(l.stride);
+        break;
+      case hw::OpKind::kResidualAdd:
+        if (l.skip_from == -1) {
+          op.skip = kInputValue;
+        } else if (l.skip_from < 0 || l.skip_from >= static_cast<std::int64_t>(i)) {
+          throw std::invalid_argument("plan: layer '" + l.label +
+                                      "' skip_from must name an earlier layer");
+        } else {
+          op.skip = static_cast<int>(l.skip_from);
+        }
+        break;
+      case hw::OpKind::kConvTranspose:
+        throw std::invalid_argument("plan: transposed conv is not executable (layer '" +
+                                    l.label + "')");
+    }
+    ops.push_back(std::move(op));
+  }
+  return ops;
+}
+
+namespace {
+
+// True if any op other than `except` reads value `v` (as input or skip).
+bool value_read_elsewhere(const std::vector<PlanOp>& ops, int v, std::size_t except) {
+  for (std::size_t i = 0; i < ops.size(); ++i) {
+    if (i == except) continue;
+    if (ops[i].input == v || ops[i].skip == v) return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+void fuse_activation_pass(std::vector<PlanOp>& ops) {
+  std::vector<PlanOp> out;
+  out.reserve(ops.size());
+  for (std::size_t i = 0; i < ops.size(); ++i) {
+    PlanOp& op = ops[i];
+    const bool fusible = op.kind == hw::OpKind::kActivation && !out.empty() &&
+                         out.back().kind == hw::OpKind::kConv &&
+                         out.back().act_index < 0 && out.back().skip == kNoValue &&
+                         op.input == out.back().output &&
+                         !value_read_elsewhere(ops, op.input, i);
+    if (fusible) {
+      // The conv now applies the activation in its GEMM epilogue and takes
+      // over the activation's value id, so downstream reads resolve to the
+      // activated tensor; the conv's old (pre-activation) value had no other
+      // reader — the fusibility condition — so no reference rewriting needed.
+      PlanOp& conv = out.back();
+      conv.act_index = op.act_index;
+      conv.output = op.output;
+    } else {
+      out.push_back(std::move(op));
+    }
+  }
+  ops = std::move(out);
+}
+
+void fuse_residual_pass(std::vector<PlanOp>& ops) {
+  std::vector<PlanOp> out;
+  out.reserve(ops.size());
+  for (std::size_t i = 0; i < ops.size(); ++i) {
+    PlanOp& op = ops[i];
+    const bool fusible = op.kind == hw::OpKind::kResidualAdd && !out.empty() &&
+                         op.input == out.back().output && out.back().skip == kNoValue &&
+                         !value_read_elsewhere(ops, op.input, i);
+    if (fusible) {
+      // The producer's output buffer absorbs the add in place and takes over
+      // the add's value id; its own pre-add value had no other reader. The
+      // skip value's lifetime now extends to the producer step, which keeps
+      // the planner from aliasing the two buffers. A skip of the producer's
+      // own output (m = 0: the long residual lands on the layer it forked
+      // from) follows the rename and degenerates to an in-place doubling.
+      PlanOp& producer = out.back();
+      producer.skip = op.skip == producer.output ? op.output : op.skip;
+      producer.output = op.output;
+    } else {
+      out.push_back(std::move(op));
+    }
+  }
+  ops = std::move(out);
+}
+
+void chain_shuffle_pass(std::vector<PlanOp>& ops) {
+  std::vector<PlanOp> out;
+  out.reserve(ops.size());
+  for (std::size_t i = 0; i < ops.size(); ++i) {
+    PlanOp& op = ops[i];
+    const bool chains = op.kind == hw::OpKind::kDepthToSpace && !out.empty() &&
+                        out.back().kind == hw::OpKind::kDepthToSpace &&
+                        out.back().skip == kNoValue && op.skip == kNoValue &&
+                        op.input == out.back().output &&
+                        !value_read_elsewhere(ops, op.input, i);
+    if (chains) {
+      PlanOp& head = out.back();
+      head.blocks.insert(head.blocks.end(), op.blocks.begin(), op.blocks.end());
+      head.out_c = op.out_c;
+      head.output = op.output;
+    } else {
+      out.push_back(std::move(op));
+    }
+  }
+  ops = std::move(out);
+}
+
+std::vector<PlanOp> lower_and_fuse(const hw::NetworkIr& ir) {
+  std::vector<PlanOp> ops = lower(ir);
+  fuse_activation_pass(ops);
+  fuse_residual_pass(ops);
+  chain_shuffle_pass(ops);
+  return ops;
+}
+
+}  // namespace sesr::core::plan

@@ -1,0 +1,86 @@
+// Lowering + optimization passes over the network IR.
+//
+// The pass pipeline turns a NetworkIr — a flat list of layer descriptors with
+// resolved shapes — into the fused op list the planned executor runs:
+//
+//   lower()                one PlanOp per IR layer, SSA value ids
+//   fuse_activation_pass   conv -> activation becomes the conv's GEMM epilogue
+//                          (the fusion the kernels already support)
+//   fuse_residual_pass     a residual-add folds into the producing op as an
+//                          in-place add on its output buffer (no extra value)
+//   chain_shuffle_pass     consecutive depth-to-space ops chain into one step
+//
+// Passes are pure list rewrites: they never touch weights or arithmetic, so a
+// fused program computes bit-identically to the unfused one — fusion only
+// removes intermediate buffers and full-tensor sweeps. The memory planner
+// (memory_planner.hpp) then assigns every surviving value an arena offset
+// from its live interval.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/plan/network_ir.hpp"
+
+namespace sesr::core::plan {
+
+// Distinguished value ids. Real values are the producing op's index in the
+// lowered list (ids survive passes; references are rewritten).
+inline constexpr int kInputValue = -1;  // the network input tensor
+inline constexpr int kNoValue = -2;
+
+// One lowered (possibly fused) op. After the full pipeline each op maps 1:1
+// onto one executor step.
+struct PlanOp {
+  hw::OpKind kind = hw::OpKind::kConv;
+  std::string label;
+  std::int64_t in_h = 0;
+  std::int64_t in_w = 0;
+  std::int64_t in_c = 0;
+  std::int64_t out_c = 0;
+  std::int64_t kh = 1;
+  std::int64_t kw = 1;
+  // kConv: which network conv executes this op; kActivation (pre-fusion) /
+  // fused conv: which activation (PReLU slot) applies.
+  int conv_index = -1;
+  int act_index = -1;
+  // kDepthToSpace: the chained shuffle factors (one entry before
+  // chain_shuffle_pass, possibly more after).
+  std::vector<std::int64_t> blocks;
+
+  int input = kInputValue;  // main operand
+  int skip = kNoValue;      // fused residual source (kInputValue = network input)
+  int output = 0;           // value this op defines
+
+  std::int64_t out_h() const;
+  std::int64_t out_w() const;
+  std::int64_t input_elements() const { return in_h * in_w * in_c; }
+  std::int64_t output_elements() const { return out_h() * out_w() * out_c; }
+};
+
+// Lower the IR 1:1: op i consumes op i-1's output (or the network input) and
+// defines value i; kResidualAdd ops reference layer skip_from's value as
+// `skip`. Throws if a skip_from index is out of range or not an earlier layer.
+std::vector<PlanOp> lower(const hw::NetworkIr& ir);
+
+// Folds every kActivation into the preceding op when that op is a kConv
+// consumed only by the activation: the conv gets the activation's act_index
+// (executed as a fused GEMM epilogue) and the activation op disappears.
+void fuse_activation_pass(std::vector<PlanOp>& ops);
+
+// Folds every kResidualAdd into the op producing its main operand: the add
+// becomes an in-place update of that op's output buffer (the skip reference
+// moves onto the producer, extending the skip value's lifetime to it), and
+// downstream references to the add's value are rewritten to the producer's.
+void fuse_residual_pass(std::vector<PlanOp>& ops);
+
+// Merges runs of consecutive kDepthToSpace ops (each consuming exactly the
+// previous shuffle's output) into one op with chained `blocks`; the executor
+// routes intra-chain intermediates through step-local temps.
+void chain_shuffle_pass(std::vector<PlanOp>& ops);
+
+// The full pipeline in canonical order.
+std::vector<PlanOp> lower_and_fuse(const hw::NetworkIr& ir);
+
+}  // namespace sesr::core::plan

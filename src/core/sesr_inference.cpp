@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "core/plan/execution_plan.hpp"
+#include "core/plan/planned_executor.hpp"
 #include "nn/conv2d.hpp"
 #include "nn/depth_to_space.hpp"
 #include "tensor/tensor_ops.hpp"
@@ -45,36 +47,18 @@ SesrConfig decode_config(const Tensor& t) {
   return c;
 }
 
-CollapsedConv collapse_block(const CollapsibleBlock& block) {
-  CollapsedConv conv;
-  conv.weight = block.collapsed_weight();
-  conv.bias = block.collapsed_bias();
-  return conv;
-}
-
-// Fused-epilogue descriptor for the activation after a conv with out_c
-// output channels: ReLU when the stored alpha tensor is empty, per-channel
-// PReLU otherwise. The epilogue applies the exact same expressions as
-// SesrInference::activate, just inside the GEMM write-back.
-nn::Epilogue act_epilogue(const Tensor& alpha, std::int64_t out_c) {
-  nn::Epilogue e;
-  if (alpha.empty()) {
-    e.act = nn::Epilogue::Act::kRelu;
-    return e;
-  }
-  if (alpha.numel() != out_c) throw std::runtime_error("SesrInference: alpha/channel mismatch");
-  e.act = nn::Epilogue::Act::kPRelu;
-  e.prelu_alpha = alpha.raw();
-  return e;
-}
-
 const Tensor* bias_ptr(const CollapsedConv& c) { return c.bias ? &*c.bias : nullptr; }
 }  // namespace
 
+void add_input_residual(float* out, const float* input, std::int64_t pixels,
+                        std::int64_t out_c) {
+  for (std::int64_t p = 0; p < pixels; ++p) {
+    for (std::int64_t c = 0; c < out_c; ++c) out[p * out_c + c] += input[p];
+  }
+}
+
 SesrInference::SesrInference(const SesrNetwork& network) : config_(network.config()) {
-  convs_.push_back(collapse_block(network.first_block()));
-  for (const auto& b : network.middle_blocks()) convs_.push_back(collapse_block(*b));
-  convs_.push_back(collapse_block(network.last_block()));
+  convs_ = plan::collapse_pass(network);
   for (std::int64_t i = 0; i < config_.m + 1; ++i) {
     if (config_.prelu) {
       const auto& prelu =
@@ -131,6 +115,54 @@ SesrInference::SesrInference(const TensorMap& map) {
   }
 }
 
+SesrInference::SesrInference(const SesrInference& other)
+    : config_(other.config_),
+      convs_(other.convs_),
+      prelu_alpha_(other.prelu_alpha_),
+      precision_(other.precision_),
+      fp16_weights_(other.fp16_weights_),
+      act_scales_(other.act_scales_),
+      s8_weights_(other.s8_weights_),
+      plan_(other.plan_),
+      use_plan_(other.use_plan_) {}
+
+SesrInference& SesrInference::operator=(const SesrInference& other) {
+  if (this == &other) return *this;
+  config_ = other.config_;
+  convs_ = other.convs_;
+  prelu_alpha_ = other.prelu_alpha_;
+  precision_ = other.precision_;
+  fp16_weights_ = other.fp16_weights_;
+  act_scales_ = other.act_scales_;
+  s8_weights_ = other.s8_weights_;
+  plan_ = other.plan_;
+  use_plan_ = other.use_plan_;
+  exec_.reset();  // the copy re-plans lazily
+  return *this;
+}
+
+SesrInference::SesrInference(SesrInference&&) noexcept = default;
+SesrInference& SesrInference::operator=(SesrInference&&) noexcept = default;
+SesrInference::~SesrInference() = default;
+
+// Fused-epilogue descriptor for the activation after conv `index`: ReLU when
+// the stored alpha tensor is empty, per-channel PReLU otherwise. Applies the
+// exact same expressions as activate(), just inside the GEMM write-back.
+nn::Epilogue SesrInference::activation_epilogue(std::size_t index) const {
+  const Tensor& alpha = prelu_alpha_.at(index);
+  nn::Epilogue e;
+  if (alpha.empty()) {
+    e.act = nn::Epilogue::Act::kRelu;
+    return e;
+  }
+  if (alpha.numel() != convs_.at(index).weight.shape().dim(3)) {
+    throw std::runtime_error("SesrInference: alpha/channel mismatch");
+  }
+  e.act = nn::Epilogue::Act::kPRelu;
+  e.prelu_alpha = alpha.raw();
+  return e;
+}
+
 Tensor SesrInference::activate(std::size_t index, const Tensor& x) const {
   const Tensor& alpha = prelu_alpha_.at(index);
   Tensor out(x.shape());
@@ -155,6 +187,35 @@ Tensor SesrInference::activate(std::size_t index, const Tensor& x) const {
 }
 
 Tensor SesrInference::upscale(const Tensor& input) const {
+  if (!use_plan_) return upscale_direct(input);
+  const Shape& s = input.shape();
+  Tensor out(s.n(), s.h() * config_.scale, s.w() * config_.scale, 1);
+  upscale_into(input, out);
+  return out;
+}
+
+void SesrInference::upscale_into(const Tensor& input, Tensor& output) const {
+  if (input.shape().c() != 1) {
+    throw std::invalid_argument("SesrInference::upscale expects a single (Y) channel");
+  }
+  if (!exec_) exec_ = std::make_unique<plan::PlannedExecutor>();
+  exec_->run(*this, input, output);
+}
+
+void SesrInference::plan_reserve(std::int64_t lr_pixels) {
+  if (!exec_) exec_ = std::make_unique<plan::PlannedExecutor>();
+  exec_->reserve(*this, lr_pixels);
+}
+
+void SesrInference::plan_trim(std::int64_t lr_pixels) {
+  if (exec_) exec_->trim(*this, lr_pixels);
+}
+
+std::int64_t SesrInference::plan_arena_bytes() const {
+  return exec_ ? exec_->arena_bytes() : 0;
+}
+
+Tensor SesrInference::upscale_direct(const Tensor& input) const {
   if (input.shape().c() != 1) {
     throw std::invalid_argument("SesrInference::upscale expects a single (Y) channel");
   }
@@ -167,8 +228,7 @@ Tensor SesrInference::upscale(const Tensor& input) const {
   // sweep over the feature maps).
   auto run_act_conv = [this](std::size_t i, const Tensor& x) {
     const CollapsedConv& c = convs_[i];
-    return nn::conv2d_fused(x, c.weight, bias_ptr(c),
-                            act_epilogue(prelu_alpha_[i], c.weight.shape().dim(3)),
+    return nn::conv2d_fused(x, c.weight, bias_ptr(c), activation_epilogue(i),
                             nn::Padding::kSame);
   };
   Tensor feat = run_act_conv(0, input);
@@ -182,12 +242,7 @@ Tensor SesrInference::upscale(const Tensor& input) const {
                          : nn::conv2d(feat, last.weight, nn::Padding::kSame);
   if (config_.input_residual) {
     const std::int64_t oc = config_.output_channels();
-    float* po = out.raw();
-    const float* pi = input.raw();
-    const std::int64_t pixels = out.numel() / oc;
-    for (std::int64_t p = 0; p < pixels; ++p) {
-      for (std::int64_t c = 0; c < oc; ++c) po[p * oc + c] += pi[p];
-    }
+    add_input_residual(out.raw(), input.raw(), out.numel() / oc, oc);
   }
   Tensor y = nn::depth_to_space(out, 2);
   if (config_.scale == 4) y = nn::depth_to_space(y, 2);
@@ -201,9 +256,7 @@ Tensor SesrInference::upscale_fp16(const Tensor& input) const {
   // depth-to-space) runs on the last conv's fp32 accumulator directly.
   fp16::HalfTensor x = fp16::HalfTensor::from_float(input);
   auto run_act_conv = [this](std::size_t i, const fp16::HalfTensor& h) {
-    const CollapsedConv& c = convs_[i];
-    return nn::conv2d_fp16(h, fp16_weights_[i], bias_ptr(c),
-                           act_epilogue(prelu_alpha_[i], c.weight.shape().dim(3)),
+    return nn::conv2d_fp16(h, fp16_weights_[i], bias_ptr(convs_[i]), activation_epilogue(i),
                            nn::Padding::kSame);
   };
   fp16::HalfTensor feat = run_act_conv(0, x);
@@ -219,12 +272,7 @@ Tensor SesrInference::upscale_fp16(const Tensor& input) const {
     // rounded values (in fp32 arithmetic, no extra rounding on the result).
     const Tensor rounded_in = x.to_float();
     const std::int64_t oc = config_.output_channels();
-    float* po = out.raw();
-    const float* pi = rounded_in.raw();
-    const std::int64_t pixels = out.numel() / oc;
-    for (std::int64_t p = 0; p < pixels; ++p) {
-      for (std::int64_t c = 0; c < oc; ++c) po[p * oc + c] += pi[p];
-    }
+    add_input_residual(out.raw(), rounded_in.raw(), out.numel() / oc, oc);
   }
   Tensor y = nn::depth_to_space(out, 2);
   if (config_.scale == 4) y = nn::depth_to_space(y, 2);
@@ -253,6 +301,7 @@ void SesrInference::set_precision(InferencePrecision precision) {
     ensure_fp16_weights();  // the plan's fp16 layers
   }
   precision_ = precision;
+  if (exec_) exec_->invalidate();
 }
 
 void SesrInference::set_hybrid_plan(std::vector<LayerPrecision> plan) {
@@ -260,6 +309,7 @@ void SesrInference::set_hybrid_plan(std::vector<LayerPrecision> plan) {
     throw std::invalid_argument("SesrInference: hybrid plan must hold one entry per conv");
   }
   plan_ = std::move(plan);
+  if (exec_) exec_->invalidate();
 }
 
 Tensor SesrInference::replay_fp32(
@@ -268,9 +318,7 @@ Tensor SesrInference::replay_fp32(
   // before each conv; calibration sees exactly what the quantized layers will
   // consume at serve time, up to quantization error itself.
   auto run_act_conv = [this](std::size_t i, const Tensor& x) {
-    const CollapsedConv& c = convs_[i];
-    return nn::conv2d_fused(x, c.weight, bias_ptr(c),
-                            act_epilogue(prelu_alpha_[i], c.weight.shape().dim(3)),
+    return nn::conv2d_fused(x, convs_[i].weight, bias_ptr(convs_[i]), activation_epilogue(i),
                             nn::Padding::kSame);
   };
   observe(0, input);
@@ -287,12 +335,7 @@ Tensor SesrInference::replay_fp32(
                          : nn::conv2d(feat, last.weight, nn::Padding::kSame);
   if (config_.input_residual) {
     const std::int64_t oc = config_.output_channels();
-    float* po = out.raw();
-    const float* pi = input.raw();
-    const std::int64_t pixels = out.numel() / oc;
-    for (std::int64_t p = 0; p < pixels; ++p) {
-      for (std::int64_t c = 0; c < oc; ++c) po[p * oc + c] += pi[p];
-    }
+    add_input_residual(out.raw(), input.raw(), out.numel() / oc, oc);
   }
   Tensor y = nn::depth_to_space(out, 2);
   if (config_.scale == 4) y = nn::depth_to_space(y, 2);
@@ -336,8 +379,7 @@ Tensor SesrInference::upscale_mixed(const Tensor& input) const {
   };
   auto run_conv = [&](std::size_t i, const Tensor& x, bool with_act) {
     const CollapsedConv& c = convs_[i];
-    const nn::Epilogue epi =
-        with_act ? act_epilogue(prelu_alpha_[i], c.weight.shape().dim(3)) : nn::Epilogue{};
+    const nn::Epilogue epi = with_act ? activation_epilogue(i) : nn::Epilogue{};
     if (layer_is_int8(i)) {
       return nn::conv2d_s8(x, act_scales_[i], s8_weights_[i], bias_ptr(c), epi,
                            nn::Padding::kSame);
@@ -357,12 +399,7 @@ Tensor SesrInference::upscale_mixed(const Tensor& input) const {
   Tensor out = run_conv(n_convs - 1, feat, /*with_act=*/false);
   if (config_.input_residual) {
     const std::int64_t oc = config_.output_channels();
-    float* po = out.raw();
-    const float* pi = input.raw();
-    const std::int64_t pixels = out.numel() / oc;
-    for (std::int64_t p = 0; p < pixels; ++p) {
-      for (std::int64_t c = 0; c < oc; ++c) po[p * oc + c] += pi[p];
-    }
+    add_input_residual(out.raw(), input.raw(), out.numel() / oc, oc);
   }
   Tensor y = nn::depth_to_space(out, 2);
   if (config_.scale == 4) y = nn::depth_to_space(y, 2);

@@ -8,6 +8,7 @@
 #pragma once
 
 #include <functional>
+#include <memory>
 #include <optional>
 #include <string>
 #include <vector>
@@ -19,6 +20,16 @@
 #include "tensor/tensor.hpp"
 
 namespace sesr::core {
+
+namespace plan {
+class PlannedExecutor;
+}
+
+// Broadcast-add the (N, H, W, 1) input onto every channel of the pre-shuffle
+// output: out[p * out_c + c] += in[p] — the paper's long "black" residual.
+// One definition shared by every precision path and the planned executor.
+void add_input_residual(float* out, const float* input, std::int64_t pixels,
+                        std::int64_t out_c);
 
 struct CollapsedConv {
   Tensor weight;                // HWIO
@@ -50,9 +61,42 @@ class SesrInference {
   // Reconstruct from a checkpoint previously written by to_tensor_map().
   explicit SesrInference(const TensorMap& map);
 
+  // Copies share no executor state: the copy re-plans lazily. Moves carry the
+  // executor (its plans depend only on config/precision, which move along).
+  SesrInference(const SesrInference& other);
+  SesrInference& operator=(const SesrInference& other);
+  SesrInference(SesrInference&&) noexcept;
+  SesrInference& operator=(SesrInference&&) noexcept;
+  ~SesrInference();
+
   // Upscale a (N, H, W, 1) Y-channel tensor to (N, scale*H, scale*W, 1),
-  // using the precision selected by set_precision (fp32 by default).
+  // using the precision selected by set_precision (fp32 by default). Runs the
+  // compiled execution plan (bit-identical to upscale_direct; only buffer
+  // placement differs). Not safe for concurrent calls on one instance — the
+  // serve layer runs one replica per worker.
   Tensor upscale(const Tensor& input) const;
+
+  // The legacy unplanned forward: every layer allocates its output tensor.
+  // Kept as the reference the planned path is audited against.
+  Tensor upscale_direct(const Tensor& input) const;
+
+  // Planned forward into a caller-owned (N, scale*H, scale*W, 1) tensor.
+  // Steady state (warm plan cache, grown arenas) performs zero heap
+  // allocations. Ignores set_use_plan — this entry point is the plan.
+  void upscale_into(const Tensor& input, Tensor& output) const;
+
+  // Route upscale() through the execution plan (default) or the legacy
+  // allocating path. The audit pair flips this to compare the two.
+  void set_use_plan(bool use_plan) { use_plan_ = use_plan; }
+  bool use_plan() const { return use_plan_; }
+
+  // Activation-arena controls for long-lived serving workers: grow the
+  // executor's arenas up front for frames up to `lr_pixels` (so steady-state
+  // traffic never reallocates), release memory an oversized frame left
+  // behind, and observe current retained bytes.
+  void plan_reserve(std::int64_t lr_pixels);
+  void plan_trim(std::int64_t lr_pixels);
+  std::int64_t plan_arena_bytes() const;
 
   // Select the forward-pass precision. Switching to kFp16 rounds every conv
   // kernel to binary16 once (cached); switching back restores the untouched
@@ -96,6 +140,13 @@ class SesrInference {
   // Per-activation PReLU slopes; empty tensors mean ReLU.
   const std::vector<Tensor>& prelu_alphas() const { return prelu_alpha_; }
 
+  // Fused-epilogue descriptor of activation `index` (ReLU, or PReLU with the
+  // stored slopes). The returned epilogue borrows the alpha tensor's storage.
+  nn::Epilogue activation_epilogue(std::size_t index) const;
+
+  // Binary16 conv kernels; populated by set_precision(kFp16/kHybrid).
+  const std::vector<fp16::HalfTensor>& fp16_weights() const { return fp16_weights_; }
+
  private:
   Tensor upscale_fp16(const Tensor& input) const;
   // kInt8 / kHybrid forward on the fp32 carrier (quantize-in-pack per layer).
@@ -114,6 +165,9 @@ class SesrInference {
   std::vector<float> act_scales_;               // per conv; set by calibrate_int8
   std::vector<nn::S8ConvWeights> s8_weights_;   // per conv; set by calibrate_int8
   std::vector<LayerPrecision> plan_;            // per conv; set by set_hybrid_plan
+  bool use_plan_ = true;
+  // Built on first planned upscale; holds compiled plans + activation arenas.
+  mutable std::unique_ptr<plan::PlannedExecutor> exec_;
 };
 
 }  // namespace sesr::core

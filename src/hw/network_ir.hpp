@@ -1,75 +1,6 @@
-// Network IR for hardware-performance estimation.
-//
-// The NPU simulator does not execute tensors; it walks a list of layer
-// descriptors with fully resolved shapes and prices compute and memory
-// traffic. IRs are built analytically from model configs (SESR, FSRCNN, VDSR,
-// ...) so the hardware study covers networks far too large to train here —
-// exactly how the paper uses Arm's closed-source performance estimator.
+// Forwarding header: the network IR moved to core/plan so the execution-plan
+// compiler (which lives below src/hw in the link order) can consume it. The
+// types are unchanged and still live in namespace sesr::hw.
 #pragma once
 
-#include <cstdint>
-#include <string>
-#include <vector>
-
-#include "core/sesr_network.hpp"
-
-namespace sesr::hw {
-
-enum class OpKind {
-  kConv,           // kh x kw convolution, stride 1, SAME
-  kConvTranspose,  // kh x kw transposed conv, stride = upscale factor
-  kActivation,     // ReLU/PReLU — fused with the producing conv (free)
-  kDepthToSpace,   // pixel shuffle — pure permutation, fused with neighbours
-  kResidualAdd,    // elementwise add with a saved skip tensor
-};
-
-struct LayerDesc {
-  OpKind kind = OpKind::kConv;
-  std::string label;
-  // Input geometry (output derived from kind):
-  std::int64_t in_h = 0;
-  std::int64_t in_w = 0;
-  std::int64_t in_c = 0;
-  std::int64_t out_c = 0;
-  std::int64_t kh = 1;
-  std::int64_t kw = 1;
-  std::int64_t stride = 1;  // upscale factor for kConvTranspose / kDepthToSpace
-  // For kResidualAdd: channel count of the saved skip tensor (== in_c) and the
-  // index of the layer whose output is consumed (for lifetime analysis).
-  std::int64_t skip_from = -1;
-
-  std::int64_t out_h() const;
-  std::int64_t out_w() const;
-  std::int64_t macs() const;
-  std::int64_t input_elements() const { return in_h * in_w * in_c; }
-  std::int64_t output_elements() const { return out_h() * out_w() * out_c; }
-  std::int64_t weight_bytes() const;  // int8 weights
-};
-
-struct NetworkIr {
-  std::string name;
-  std::int64_t input_h = 0;
-  std::int64_t input_w = 0;
-  std::int64_t input_c = 1;
-  std::vector<LayerDesc> layers;
-
-  std::int64_t total_macs() const;
-  std::int64_t total_parameters() const;
-
-  // Same network re-shaped for a different input size (tiling support).
-  NetworkIr with_input(std::int64_t h, std::int64_t w) const;
-};
-
-// IR builders.
-NetworkIr sesr_ir(const core::SesrConfig& config, std::int64_t in_h, std::int64_t in_w);
-NetworkIr fsrcnn_ir(std::int64_t in_h, std::int64_t in_w, std::int64_t scale);
-// VDSR: bicubic pre-upscale + 20 3x3/64ch convs at HR + global residual.
-NetworkIr vdsr_ir(std::int64_t in_h, std::int64_t in_w, std::int64_t scale);
-// Generic stand-in for published models we know only by budget: `body_channels`
-// wide 3x3 conv body at LR sized to hit `target_macs` at this input, then a
-// subpixel upsampling head. Used for the Fig. 1(b) FPS survey rows.
-NetworkIr generic_residual_ir(const std::string& name, std::int64_t in_h, std::int64_t in_w,
-                              std::int64_t scale, std::int64_t body_channels,
-                              std::int64_t target_macs);
-
-}  // namespace sesr::hw
+#include "core/plan/network_ir.hpp"

@@ -18,11 +18,22 @@ void check_weight(const Tensor& weight) {
   }
 }
 
-void check_channels(const Tensor& input, const Tensor& weight) {
-  if (input.shape().c() != weight.shape().dim(2)) {
-    throw std::invalid_argument("conv2d: input channels " + std::to_string(input.shape().c()) +
+void check_channels(const Shape& input, const Tensor& weight) {
+  if (input.c() != weight.shape().dim(2)) {
+    throw std::invalid_argument("conv2d: input channels " + std::to_string(input.c()) +
                                 " != weight in_channels " + std::to_string(weight.shape().dim(2)));
   }
+}
+
+ConvGeometry conv_geometry_shape(const Shape& s, const Tensor& weight, Padding padding,
+                                 std::int64_t stride) {
+  check_weight(weight);
+  check_channels(s, weight);
+  const std::int64_t kh = weight.shape().dim(0);
+  const std::int64_t kw = weight.shape().dim(1);
+  if (padding == Padding::kSame) return same_geometry(s.h(), s.w(), s.c(), kh, kw, stride);
+  if (stride != 1) throw std::invalid_argument("conv2d: VALID padding supports stride 1 only");
+  return valid_geometry(s.h(), s.w(), s.c(), kh, kw);
 }
 
 // Output pixels per parallel stripe. Fixed — never derived from the worker
@@ -36,13 +47,17 @@ std::int64_t stripes_per_image(std::int64_t rows) {
 
 // Shared forward: stripes the im2col row space across the pool and fuses the
 // optional bias into the GEMM store. `zero_skip` selects the branchy
-// zero-skipping kernel kept for Algorithm-1 identity probes.
-Tensor conv2d_impl(const Tensor& input, const Tensor& weight, const float* bias, Padding padding,
-                   std::int64_t stride, bool zero_skip, const Epilogue* epi = nullptr) {
-  const ConvGeometry g = conv_geometry(input, weight, padding, stride);
+// zero-skipping kernel kept for Algorithm-1 identity probes. Input and output
+// are raw NHWC images (in_shape describes `input`; `out` must hold
+// batch * out_h * out_w * out_c floats) so planner-owned arena slices work the
+// same as Tensor storage; the Tensor entry points below allocate and delegate.
+void conv2d_impl(const float* input, const Shape& in_shape, const Tensor& weight,
+                 const float* bias, Padding padding, std::int64_t stride, bool zero_skip,
+                 const Epilogue* epi, float* out) {
+  const ConvGeometry g = conv_geometry_shape(in_shape, weight, padding, stride);
   const std::int64_t out_c = weight.shape().dim(3);
-  const std::int64_t batch = input.shape().n();
-  Tensor out(batch, g.out_h, g.out_w, out_c);
+  const std::int64_t batch = in_shape.n();
+  const Shape out_shape(batch, g.out_h, g.out_w, out_c);
   ThreadPool& pool = ThreadPool::global();
   const std::span<const float> bspan =
       bias != nullptr ? std::span<const float>{bias, static_cast<std::size_t>(out_c)}
@@ -57,9 +72,8 @@ Tensor conv2d_impl(const Tensor& input, const Tensor& weight, const float* bias,
     pool.parallel_for_chunks(
         0, batch * g.rows(), kStripePixels, [&](std::int64_t lo, std::int64_t hi) {
           const std::int64_t rows = hi - lo;
-          std::span<const float> src(input.raw() + lo * cin,
-                                     static_cast<std::size_t>(rows * cin));
-          std::span<float> dst(out.raw() + lo * out_c, static_cast<std::size_t>(rows * out_c));
+          std::span<const float> src(input + lo * cin, static_cast<std::size_t>(rows * cin));
+          std::span<float> dst(out + lo * out_c, static_cast<std::size_t>(rows * out_c));
           if (epi != nullptr) {
             gemm_fused(src, weight.data(), bspan, dst, rows, cin, out_c, *epi);
           } else if (bias != nullptr) {
@@ -68,7 +82,7 @@ Tensor conv2d_impl(const Tensor& input, const Tensor& weight, const float* bias,
             gemm(src, weight.data(), dst, rows, cin, out_c);
           }
         });
-    return out;
+    return;
   }
 
   // General path: one flat index space over (image, stripe) gives batch
@@ -82,8 +96,8 @@ Tensor conv2d_impl(const Tensor& input, const Tensor& weight, const float* bias,
     const std::int64_t rows = r1 - r0;
     std::span<float> cols =
         scratch_floats(ScratchSlot::kIm2col, static_cast<std::size_t>(rows * g.cols()));
-    im2col_rows(input, n, g, r0, r1, cols.data());
-    std::span<float> dst(out.raw() + out.shape().offset(n, 0, 0, 0) + r0 * out_c,
+    im2col_rows(input + in_shape.offset(n, 0, 0, 0), g, r0, r1, cols.data());
+    std::span<float> dst(out + out_shape.offset(n, 0, 0, 0) + r0 * out_c,
                          static_cast<std::size_t>(rows * out_c));
     if (zero_skip) {
       gemm_zero_skip(cols, weight.data(), dst, rows, g.cols(), out_c);
@@ -100,6 +114,15 @@ Tensor conv2d_impl(const Tensor& input, const Tensor& weight, const float* bias,
       gemm(cols, weight.data(), dst, rows, g.cols(), out_c);
     }
   });
+}
+
+// Allocating wrapper around the raw-pointer core.
+Tensor conv2d_alloc(const Tensor& input, const Tensor& weight, const float* bias, Padding padding,
+                    std::int64_t stride, bool zero_skip, const Epilogue* epi = nullptr) {
+  const ConvGeometry g = conv_geometry_shape(input.shape(), weight, padding, stride);
+  Tensor out(input.shape().n(), g.out_h, g.out_w, weight.shape().dim(3));
+  conv2d_impl(input.raw(), input.shape(), weight, bias, padding, stride, zero_skip, epi,
+              out.raw());
   return out;
 }
 
@@ -177,20 +200,16 @@ void im2col_fp16_row(const void* vctx, std::int64_t row, std::int64_t p0, std::i
 
 // Shared fp16-storage forward. Exactly one of out_h / out_f receives the
 // result: out_h gets each stripe rounded to binary16 once, out_f stores the
-// fp32 accumulator stripes directly.
-void conv2d_fp16_impl(const fp16::HalfTensor& input, const fp16::HalfTensor& weight,
-                      const Tensor* bias, const Epilogue& epi, Padding padding,
-                      std::int64_t stride, fp16::HalfTensor* out_h, Tensor* out_f) {
-  const ConvGeometry g = conv_geometry_fp16(input.shape(), weight.shape(), padding, stride);
+// fp32 accumulator stripes directly. Raw NHWC in/out (see conv2d_impl); the
+// Tensor entry points allocate and delegate.
+void conv2d_fp16_impl(const fp16::Half* input, const Shape& in_shape,
+                      const fp16::HalfTensor& weight, const Tensor* bias, const Epilogue& epi,
+                      Padding padding, std::int64_t stride, fp16::Half* out_h, float* out_f) {
+  const ConvGeometry g = conv_geometry_fp16(in_shape, weight.shape(), padding, stride);
   const std::int64_t out_c = weight.shape().dim(3);
-  const std::int64_t batch = input.shape().n();
+  const std::int64_t batch = in_shape.n();
   if (bias != nullptr && bias->numel() != out_c) {
     throw std::invalid_argument("conv2d_fp16: bias numel must equal out_channels");
-  }
-  if (out_h != nullptr) {
-    *out_h = fp16::HalfTensor(batch, g.out_h, g.out_w, out_c);
-  } else {
-    *out_f = Tensor(batch, g.out_h, g.out_w, out_c);
   }
   const Shape out_shape(batch, g.out_h, g.out_w, out_c);
   const std::span<const fp16::Half> wspan(weight.raw(),
@@ -211,20 +230,20 @@ void conv2d_fp16_impl(const fp16::HalfTensor& input, const fp16::HalfTensor& wei
     const std::int64_t base = out_shape.offset(n, 0, 0, 0) + r0 * out_c;
     std::span<float> dst;
     if (out_f != nullptr) {
-      dst = {out_f->raw() + base, static_cast<std::size_t>(rows * out_c)};
+      dst = {out_f + base, static_cast<std::size_t>(rows * out_c)};
     } else {
       dst = scratch_floats(ScratchSlot::kF16OutStripe, static_cast<std::size_t>(rows * out_c));
     }
     if (fast_1x1) {
-      const std::span<const fp16::Half> a{input.raw() + (n * g.rows() + r0) * g.channels,
+      const std::span<const fp16::Half> a{input + (n * g.rows() + r0) * g.channels,
                                           static_cast<std::size_t>(rows * g.channels)};
       gemm_fp16w(a, wspan, bspan, dst, rows, g.cols(), out_c, epi);
     } else {
-      const Im2colFp16Source src{input.raw() + input.shape().offset(n, 0, 0, 0), &g, r0};
+      const Im2colFp16Source src{input + in_shape.offset(n, 0, 0, 0), &g, r0};
       gemm_fp16_rows(im2col_fp16_row, &src, wspan, bspan, dst, rows, g.cols(), out_c, epi);
     }
     if (out_h != nullptr) {
-      fp16::convert_to_half(dst.data(), out_h->raw() + base, rows * out_c);
+      fp16::convert_to_half(dst.data(), out_h + base, rows * out_c);
     }
   });
 }
@@ -232,23 +251,16 @@ void conv2d_fp16_impl(const fp16::HalfTensor& input, const fp16::HalfTensor& wei
 
 ConvGeometry conv_geometry(const Tensor& input, const Tensor& weight, Padding padding,
                            std::int64_t stride) {
-  check_weight(weight);
-  check_channels(input, weight);
-  const Shape& s = input.shape();
-  const std::int64_t kh = weight.shape().dim(0);
-  const std::int64_t kw = weight.shape().dim(1);
-  if (padding == Padding::kSame) return same_geometry(s.h(), s.w(), s.c(), kh, kw, stride);
-  if (stride != 1) throw std::invalid_argument("conv2d: VALID padding supports stride 1 only");
-  return valid_geometry(s.h(), s.w(), s.c(), kh, kw);
+  return conv_geometry_shape(input.shape(), weight, padding, stride);
 }
 
 Tensor conv2d(const Tensor& input, const Tensor& weight, Padding padding, std::int64_t stride) {
-  return conv2d_impl(input, weight, nullptr, padding, stride, /*zero_skip=*/false);
+  return conv2d_alloc(input, weight, nullptr, padding, stride, /*zero_skip=*/false);
 }
 
 Tensor conv2d_zero_skip(const Tensor& input, const Tensor& weight, Padding padding,
                         std::int64_t stride) {
-  return conv2d_impl(input, weight, nullptr, padding, stride, /*zero_skip=*/true);
+  return conv2d_alloc(input, weight, nullptr, padding, stride, /*zero_skip=*/true);
 }
 
 Tensor conv2d_bias(const Tensor& input, const Tensor& weight, const Tensor& bias, Padding padding,
@@ -257,7 +269,7 @@ Tensor conv2d_bias(const Tensor& input, const Tensor& weight, const Tensor& bias
   if (bias.numel() != out_c) {
     throw std::invalid_argument("conv2d_bias: bias numel must equal out_channels");
   }
-  return conv2d_impl(input, weight, bias.raw(), padding, stride, /*zero_skip=*/false);
+  return conv2d_alloc(input, weight, bias.raw(), padding, stride, /*zero_skip=*/false);
 }
 
 Tensor conv2d_fused(const Tensor& input, const Tensor& weight, const Tensor* bias,
@@ -266,24 +278,52 @@ Tensor conv2d_fused(const Tensor& input, const Tensor& weight, const Tensor* bia
   if (bias != nullptr && bias->numel() != out_c) {
     throw std::invalid_argument("conv2d_fused: bias numel must equal out_channels");
   }
-  return conv2d_impl(input, weight, bias != nullptr ? bias->raw() : nullptr, padding, stride,
-                     /*zero_skip=*/false, &epilogue);
+  return conv2d_alloc(input, weight, bias != nullptr ? bias->raw() : nullptr, padding, stride,
+                      /*zero_skip=*/false, &epilogue);
+}
+
+void conv2d_into(const float* input, const Shape& in_shape, const Tensor& weight,
+                 const Tensor* bias, const Epilogue* epilogue, Padding padding, float* out,
+                 std::int64_t stride) {
+  const std::int64_t out_c = weight.shape().dim(3);
+  if (bias != nullptr && bias->numel() != out_c) {
+    throw std::invalid_argument("conv2d_into: bias numel must equal out_channels");
+  }
+  conv2d_impl(input, in_shape, weight, bias != nullptr ? bias->raw() : nullptr, padding, stride,
+              /*zero_skip=*/false, epilogue, out);
 }
 
 fp16::HalfTensor conv2d_fp16(const fp16::HalfTensor& input, const fp16::HalfTensor& weight,
                              const Tensor* bias, const Epilogue& epilogue, Padding padding,
                              std::int64_t stride) {
-  fp16::HalfTensor out;
-  conv2d_fp16_impl(input, weight, bias, epilogue, padding, stride, &out, nullptr);
+  const ConvGeometry g = conv_geometry_fp16(input.shape(), weight.shape(), padding, stride);
+  fp16::HalfTensor out(input.shape().n(), g.out_h, g.out_w, weight.shape().dim(3));
+  conv2d_fp16_impl(input.raw(), input.shape(), weight, bias, epilogue, padding, stride, out.raw(),
+                   nullptr);
   return out;
 }
 
 Tensor conv2d_fp16_to_float(const fp16::HalfTensor& input, const fp16::HalfTensor& weight,
                             const Tensor* bias, const Epilogue& epilogue, Padding padding,
                             std::int64_t stride) {
-  Tensor out;
-  conv2d_fp16_impl(input, weight, bias, epilogue, padding, stride, nullptr, &out);
+  const ConvGeometry g = conv_geometry_fp16(input.shape(), weight.shape(), padding, stride);
+  Tensor out(input.shape().n(), g.out_h, g.out_w, weight.shape().dim(3));
+  conv2d_fp16_impl(input.raw(), input.shape(), weight, bias, epilogue, padding, stride, nullptr,
+                   out.raw());
   return out;
+}
+
+void conv2d_fp16_into(const fp16::Half* input, const Shape& in_shape,
+                      const fp16::HalfTensor& weight, const Tensor* bias, const Epilogue& epilogue,
+                      Padding padding, fp16::Half* out, std::int64_t stride) {
+  conv2d_fp16_impl(input, in_shape, weight, bias, epilogue, padding, stride, out, nullptr);
+}
+
+void conv2d_fp16_to_float_into(const fp16::Half* input, const Shape& in_shape,
+                               const fp16::HalfTensor& weight, const Tensor* bias,
+                               const Epilogue& epilogue, Padding padding, float* out,
+                               std::int64_t stride) {
+  conv2d_fp16_impl(input, in_shape, weight, bias, epilogue, padding, stride, nullptr, out);
 }
 
 Tensor conv2d_backward_input(const Tensor& grad_output, const Tensor& weight,
@@ -329,7 +369,7 @@ namespace {
 void backward_weight_impl(const Tensor& input, const Tensor& grad_output, Tensor& grad_weight,
                           float* grad_bias, Padding padding, std::int64_t stride) {
   check_weight(grad_weight);
-  check_channels(input, grad_weight);
+  check_channels(input.shape(), grad_weight);
   const ConvGeometry g = conv_geometry(input, grad_weight, padding, stride);
   const std::int64_t out_c = grad_weight.shape().dim(3);
   if (grad_output.shape().h() != g.out_h || grad_output.shape().w() != g.out_w ||

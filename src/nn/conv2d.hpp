@@ -56,6 +56,26 @@ Tensor conv2d_fp16_to_float(const fp16::HalfTensor& input, const fp16::HalfTenso
                             const Tensor* bias, const Epilogue& epilogue, Padding padding,
                             std::int64_t stride = 1);
 
+// Output-span forms for the execution-plan path (src/core/plan): input and
+// output are raw NHWC images in caller-provided storage (planner arena
+// slices), `in_shape` describes `input`, and `out` must hold
+// n * out_h * out_w * out_c elements. The dispatch mirrors the allocating
+// entry points exactly — epilogue == nullptr selects the gemm / gemm_bias
+// forms conv2d / conv2d_bias use, non-null selects conv2d_fused's kernel — so
+// results are bit-identical to the Tensor-returning calls.
+void conv2d_into(const float* input, const Shape& in_shape, const Tensor& weight,
+                 const Tensor* bias, const Epilogue* epilogue, Padding padding, float* out,
+                 std::int64_t stride = 1);
+
+void conv2d_fp16_into(const fp16::Half* input, const Shape& in_shape,
+                      const fp16::HalfTensor& weight, const Tensor* bias, const Epilogue& epilogue,
+                      Padding padding, fp16::Half* out, std::int64_t stride = 1);
+
+void conv2d_fp16_to_float_into(const fp16::Half* input, const Shape& in_shape,
+                               const fp16::HalfTensor& weight, const Tensor* bias,
+                               const Epilogue& epilogue, Padding padding, float* out,
+                               std::int64_t stride = 1);
+
 // conv2d through the zero-skipping GEMM kernel. Only worthwhile when the
 // input is overwhelmingly zero — i.e. the padded identity probes Algorithm 1
 // convolves to collapse a linear block; dense activations should use conv2d.

@@ -114,11 +114,13 @@ S8ConvWeights quantize_conv_weights(const Tensor& weight) {
   return q;
 }
 
-Tensor conv2d_s8(const Tensor& input, float act_scale, const S8ConvWeights& weight,
-                 const Tensor* bias, const Epilogue& epilogue, Padding padding) {
-  const ConvGeometry g = conv_geometry_s8(input.shape(), weight.shape, padding);
+void conv2d_s8_into(const float* input, const Shape& in_shape, float act_scale,
+                    const S8ConvWeights& weight, const Tensor* bias, const Epilogue& epilogue,
+                    Padding padding, float* out) {
+  const ConvGeometry g = conv_geometry_s8(in_shape, weight.shape, padding);
   const std::int64_t out_c = weight.shape.dim(3);
-  const std::int64_t batch = input.shape().n();
+  const std::int64_t batch = in_shape.n();
+  const std::int64_t numel = in_shape.numel();
   if (bias != nullptr && bias->numel() != out_c) {
     throw std::invalid_argument("conv2d_s8: bias numel must equal out_channels");
   }
@@ -128,10 +130,12 @@ Tensor conv2d_s8(const Tensor& input, float act_scale, const S8ConvWeights& weig
   if (epilogue.act == Epilogue::Act::kPRelu && epilogue.prelu_alpha == nullptr) {
     throw std::invalid_argument("conv2d_s8: PReLU epilogue requires prelu_alpha");
   }
-  Tensor out(batch, g.out_h, g.out_w, out_c);
+  const Shape out_shape(batch, g.out_h, g.out_w, out_c);
   // Combined dequantization factor per output channel: one single-rounded
-  // float product, mirrored exactly by the src/check reference.
-  std::vector<float> dequant(static_cast<std::size_t>(out_c));
+  // float product, mirrored exactly by the src/check reference. Scratch-backed
+  // (as is qimg below) so a steady-state layer performs no allocation.
+  std::span<float> dequant = scratch_floats(ScratchSlot::kS8Dequant,
+                                            static_cast<std::size_t>(out_c));
   for (std::int64_t oc = 0; oc < out_c; ++oc) {
     dequant[static_cast<std::size_t>(oc)] = act_scale * weight.scale[static_cast<std::size_t>(oc)];
   }
@@ -144,14 +148,17 @@ Tensor conv2d_s8(const Tensor& input, float act_scale, const S8ConvWeights& weig
   const std::span<const std::int32_t> cspan{weight.colsum.data(), weight.colsum.size()};
   const float inv_scale = 1.0F / act_scale;
   // Quantize the whole activation tensor once (elementwise, so chunk order is
-  // irrelevant); the im2col row source then only copies bytes.
-  std::vector<std::uint8_t> qimg(static_cast<std::size_t>(input.numel()));
+  // irrelevant); the im2col row source then only copies bytes. Pool workers
+  // read qimg but never touch the submitting thread's scratch slot, so the
+  // span stays valid for both loops.
+  std::span<std::uint8_t> qimg = scratch_bytes(ScratchSlot::kS8Quant,
+                                               static_cast<std::size_t>(numel));
   constexpr std::int64_t kQuantChunk = 1 << 16;
-  const std::int64_t chunks = (input.numel() + kQuantChunk - 1) / kQuantChunk;
+  const std::int64_t chunks = (numel + kQuantChunk - 1) / kQuantChunk;
   ThreadPool::global().parallel_for(0, chunks, [&](std::int64_t ci) {
     const std::int64_t lo = ci * kQuantChunk;
-    const std::int64_t hi = std::min(lo + kQuantChunk, input.numel());
-    quantize_u8_run(input.raw() + lo, qimg.data() + lo, hi - lo, inv_scale);
+    const std::int64_t hi = std::min(lo + kQuantChunk, numel);
+    quantize_u8_run(input + lo, qimg.data() + lo, hi - lo, inv_scale);
   });
   const std::int64_t sc = (g.rows() + kStripePixels - 1) / kStripePixels;
   ThreadPool::global().parallel_for(0, batch * sc, [&](std::int64_t idx) {
@@ -159,11 +166,19 @@ Tensor conv2d_s8(const Tensor& input, float act_scale, const S8ConvWeights& weig
     const std::int64_t r0 = (idx % sc) * kStripePixels;
     const std::int64_t r1 = std::min(r0 + kStripePixels, g.rows());
     const std::int64_t rows = r1 - r0;
-    std::span<float> dst(out.raw() + out.shape().offset(n, 0, 0, 0) + r0 * out_c,
+    std::span<float> dst(out + out_shape.offset(n, 0, 0, 0) + r0 * out_c,
                          static_cast<std::size_t>(rows * out_c));
-    const Im2colS8Source src{qimg.data() + input.shape().offset(n, 0, 0, 0), &g, r0};
+    const Im2colS8Source src{qimg.data() + in_shape.offset(n, 0, 0, 0), &g, r0};
     gemm_s8_rows(im2col_s8_row, &src, wspan, cspan, dst, rows, g.cols(), out_c, epi);
   });
+}
+
+Tensor conv2d_s8(const Tensor& input, float act_scale, const S8ConvWeights& weight,
+                 const Tensor* bias, const Epilogue& epilogue, Padding padding) {
+  const ConvGeometry g = conv_geometry_s8(input.shape(), weight.shape, padding);
+  Tensor out(input.shape().n(), g.out_h, g.out_w, weight.shape.dim(3));
+  conv2d_s8_into(input.raw(), input.shape(), act_scale, weight, bias, epilogue, padding,
+                 out.raw());
   return out;
 }
 

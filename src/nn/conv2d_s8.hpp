@@ -49,4 +49,13 @@ S8ConvWeights quantize_conv_weights(const Tensor& weight);
 Tensor conv2d_s8(const Tensor& input, float act_scale, const S8ConvWeights& weight,
                  const Tensor* bias, const Epilogue& epilogue, Padding padding);
 
+// Output-span form for the execution-plan path: raw NHWC in/out in
+// caller-provided storage (see conv2d_into). Same kernels, same stripe
+// boundaries — bit-identical to conv2d_s8. The one-shot quantized image and
+// the per-channel dequant factors live in scratch slots (kS8Quant /
+// kS8Dequant), so steady-state int8 layers allocate nothing.
+void conv2d_s8_into(const float* input, const Shape& in_shape, float act_scale,
+                    const S8ConvWeights& weight, const Tensor* bias, const Epilogue& epilogue,
+                    Padding padding, float* out);
+
 }  // namespace sesr::nn

@@ -11,22 +11,27 @@ Tensor depth_to_space(const Tensor& input, std::int64_t block) {
     throw std::invalid_argument("depth_to_space: channels " + std::to_string(s.c()) +
                                 " not divisible by block^2");
   }
+  Tensor out(s.n(), s.h() * block, s.w() * block, s.c() / (block * block));
+  depth_to_space_into(input.raw(), s, block, out.raw());
+  return out;
+}
+
+void depth_to_space_into(const float* input, const Shape& s, std::int64_t block, float* out) {
   const std::int64_t out_c = s.c() / (block * block);
-  Tensor out(s.n(), s.h() * block, s.w() * block, out_c);
+  const Shape os(s.n(), s.h() * block, s.w() * block, out_c);
   for (std::int64_t n = 0; n < s.n(); ++n) {
     for (std::int64_t y = 0; y < s.h(); ++y) {
       for (std::int64_t x = 0; x < s.w(); ++x) {
         for (std::int64_t dy = 0; dy < block; ++dy) {
           for (std::int64_t dx = 0; dx < block; ++dx) {
-            const float* src = input.raw() + s.offset(n, y, x, (dy * block + dx) * out_c);
-            float* dst = out.raw() + out.shape().offset(n, y * block + dy, x * block + dx, 0);
+            const float* src = input + s.offset(n, y, x, (dy * block + dx) * out_c);
+            float* dst = out + os.offset(n, y * block + dy, x * block + dx, 0);
             for (std::int64_t c = 0; c < out_c; ++c) dst[c] = src[c];
           }
         }
       }
     }
   }
-  return out;
 }
 
 Tensor space_to_depth(const Tensor& input, std::int64_t block) {

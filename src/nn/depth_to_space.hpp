@@ -19,6 +19,12 @@ Tensor depth_to_space(const Tensor& input, std::int64_t block);
 // Exact inverse (also the adjoint, since the op is a permutation).
 Tensor space_to_depth(const Tensor& input, std::int64_t block);
 
+// Output-span form for the execution-plan path: `input` is one raw NHWC block
+// described by in_shape, `out` must hold n * h*block * w*block * c/block^2
+// floats. Same copy loop as depth_to_space — a pure permutation either way.
+void depth_to_space_into(const float* input, const Shape& in_shape, std::int64_t block,
+                         float* out);
+
 class DepthToSpace final : public Layer {
  public:
   DepthToSpace(std::string name, std::int64_t block) : name_(std::move(name)), block_(block) {}

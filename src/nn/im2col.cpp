@@ -60,6 +60,11 @@ void im2col_rows(const Tensor& input, std::int64_t n, const ConvGeometry& g,
   if (row_begin < 0 || row_end > g.rows() || row_begin > row_end) {
     throw std::invalid_argument("im2col_rows: row range out of bounds");
   }
+  im2col_rows(input.raw() + s.offset(n, 0, 0, 0), g, row_begin, row_end, cols);
+}
+
+void im2col_rows(const float* image, const ConvGeometry& g, std::int64_t row_begin,
+                 std::int64_t row_end, float* cols) {
   const std::int64_t c = g.channels;
   for (std::int64_t r = row_begin; r < row_end; ++r) {
     const std::int64_t oy = r / g.out_w;
@@ -78,7 +83,7 @@ void im2col_rows(const Tensor& input, std::int64_t n, const ConvGeometry& g,
           if (ix < 0 || ix >= g.in_w) {
             std::fill(dst + kx * c, dst + (kx + 1) * c, 0.0F);
           } else {
-            const float* src = input.raw() + s.offset(n, iy, ix, 0);
+            const float* src = image + (iy * g.in_w + ix) * c;
             std::copy(src, src + c, dst + kx * c);
           }
         }

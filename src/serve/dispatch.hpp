@@ -130,6 +130,13 @@ struct WorkerSession {
   core::SesrInference network;
   std::optional<core::StreamingUpscaler> streamer;  // built on first use
   std::thread thread;
+  // Steady-state arena bound the shard pre-reserved this replica to (from the
+  // route's registered PlanFootprint). A tile unit that leaves the arena above
+  // presized_bytes — an oversized tiled frame — triggers a trim back to
+  // presized_pixels so one outlier never pins worker RSS for the process
+  // lifetime.
+  std::int64_t presized_pixels = 0;
+  std::int64_t presized_bytes = 0;
 };
 
 // Executes one unit on one session: runs the batch / tile work, inserts

@@ -71,6 +71,11 @@ struct RouteStats {
   std::uint64_t failed = 0;
   std::uint64_t cache_hits = 0;
   double service_ewma_us = 0.0;  // admission estimator (0 until warmed)
+  // Largest per-replica activation arena observed while serving this route
+  // (bytes, 0 until the first unit executes). Workers are pre-sized from the
+  // route's registered PlanFootprint, so in steady state this equals the
+  // pre-sized bound and never grows between stats() calls.
+  std::uint64_t peak_activation_bytes = 0;
 };
 
 struct ShardedStats {

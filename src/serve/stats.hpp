@@ -96,6 +96,9 @@ struct RouteCounters {
   std::atomic<std::uint64_t> completed{0};
   std::atomic<std::uint64_t> failed{0};
   std::atomic<std::uint64_t> cache_hits{0};
+  // High-water mark of any worker replica's plan arena (bytes) after a unit,
+  // i.e. the largest activation footprint this route has actually paid.
+  std::atomic<std::uint64_t> peak_activation_bytes{0};
 };
 
 // Nearest-rank percentile: the smallest sample s such that at least p percent

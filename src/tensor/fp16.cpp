@@ -203,18 +203,21 @@ void add_inplace(HalfTensor& a, const HalfTensor& b) {
   if (!(a.shape() == b.shape())) {
     throw std::invalid_argument("fp16::add_inplace: shape mismatch");
   }
+  add_inplace(a.raw(), b.raw(), a.numel());
+}
+
+void add_inplace(Half* a, const Half* b, std::int64_t n) {
   // Chunked through small stack buffers so the fp32 working set stays
   // register/L1-resident while the conversions run vectorized.
   constexpr std::int64_t kChunk = 2048;
   float fa[kChunk];
   float fb[kChunk];
-  const std::int64_t n = a.numel();
   for (std::int64_t i = 0; i < n; i += kChunk) {
     const std::int64_t len = std::min(kChunk, n - i);
-    convert_to_float(a.raw() + i, fa, len);
-    convert_to_float(b.raw() + i, fb, len);
+    convert_to_float(a + i, fa, len);
+    convert_to_float(b + i, fb, len);
     for (std::int64_t j = 0; j < len; ++j) fa[j] += fb[j];
-    convert_to_half(fa, a.raw() + i, len);
+    convert_to_half(fa, a + i, len);
   }
 }
 

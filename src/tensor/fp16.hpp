@@ -85,6 +85,9 @@ class HalfTensor {
 // a[i] = round16(a[i] + b[i]) — the fp16-storage residual add (fp32 compute,
 // one rounding on the store), vectorized through the dispatch seam.
 void add_inplace(HalfTensor& a, const HalfTensor& b);
+// Raw form for arena-resident fp16 activations: identical chunking and
+// rounding (widen both sides, add in fp32, round the sum to binary16 once).
+void add_inplace(Half* a, const Half* b, std::int64_t n);
 
 // Round every element of a float tensor through binary16 and back — the
 // "what the fp16 path sees" projection used by the streaming upscaler and

@@ -28,10 +28,11 @@ Tensor add(const Tensor& a, const Tensor& b) {
 
 void add_inplace(Tensor& a, const Tensor& b) {
   check_same_shape(a, b, "add_inplace");
-  float* pa = a.raw();
-  const float* pb = b.raw();
-  const std::int64_t n = a.numel();
-  for (std::int64_t i = 0; i < n; ++i) pa[i] += pb[i];
+  add_inplace(a.raw(), b.raw(), a.numel());
+}
+
+void add_inplace(float* a, const float* b, std::int64_t n) {
+  for (std::int64_t i = 0; i < n; ++i) a[i] += b[i];
 }
 
 Tensor sub(const Tensor& a, const Tensor& b) {

@@ -16,6 +16,8 @@ namespace sesr {
 Tensor add(const Tensor& a, const Tensor& b);
 // a += b in place.
 void add_inplace(Tensor& a, const Tensor& b);
+// Raw form for arena-resident activations (same loop, same rounding).
+void add_inplace(float* a, const float* b, std::int64_t n);
 // c = a - b.
 Tensor sub(const Tensor& a, const Tensor& b);
 // c = a * s.

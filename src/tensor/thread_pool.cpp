@@ -59,7 +59,7 @@ std::int64_t ThreadPool::drain_chunks(Batch& batch) {
     const std::int64_t lo = batch.begin + c * batch.grain;
     const std::int64_t hi = std::min(lo + batch.grain, batch.end);
     try {
-      (*batch.fn)(lo, hi);
+      batch.invoke(batch.ctx, lo, hi);
     } catch (...) {
       std::lock_guard<std::mutex> lock(mutex_);
       if (!batch.error) batch.error = std::current_exception();
@@ -94,15 +94,17 @@ void ThreadPool::worker_loop() {
   }
 }
 
-void ThreadPool::parallel_for_chunks(std::int64_t begin, std::int64_t end, std::int64_t grain,
-                                     const std::function<void(std::int64_t, std::int64_t)>& fn) {
+void ThreadPool::run_chunks(std::int64_t begin, std::int64_t end, std::int64_t grain,
+                            ChunkFn invoke, const void* ctx) {
   if (begin >= end) return;
   grain = std::max<std::int64_t>(grain, 1);
   const std::int64_t chunks = (end - begin + grain - 1) / grain;
   if (workers_.empty() || chunks <= 1 || tl_draining_pool == this) {
     // Same chunk decomposition as the threaded path, run in order. The
     // tl_draining_pool case is a reentrant call from inside a loop body.
-    for (std::int64_t lo = begin; lo < end; lo += grain) fn(lo, std::min(lo + grain, end));
+    for (std::int64_t lo = begin; lo < end; lo += grain) {
+      invoke(ctx, lo, std::min(lo + grain, end));
+    }
     return;
   }
   auto batch = std::make_shared<Batch>();
@@ -111,7 +113,8 @@ void ThreadPool::parallel_for_chunks(std::int64_t begin, std::int64_t end, std::
   batch->grain = grain;
   batch->chunk_count = chunks;
   batch->remaining = chunks;
-  batch->fn = &fn;
+  batch->invoke = invoke;
+  batch->ctx = ctx;
   {
     std::unique_lock<std::mutex> lock(mutex_);
     // One batch in flight at a time: a concurrent submitter on another
@@ -133,18 +136,6 @@ void ThreadPool::parallel_for_chunks(std::int64_t begin, std::int64_t end, std::
   }
   batch_done_.notify_all();  // wake submitters queued on the slot
   if (error) std::rethrow_exception(error);
-}
-
-void ThreadPool::parallel_for(std::int64_t begin, std::int64_t end,
-                              const std::function<void(std::int64_t)>& fn) {
-  if (begin >= end) return;
-  // ~4 chunks per way of parallelism keeps the tail balanced without paying
-  // one dispatch per index.
-  const std::int64_t ways = static_cast<std::int64_t>(worker_count()) + 1;
-  const std::int64_t grain = std::max<std::int64_t>(1, (end - begin) / (ways * 4));
-  parallel_for_chunks(begin, end, grain, [&fn](std::int64_t lo, std::int64_t hi) {
-    for (std::int64_t i = lo; i < hi; ++i) fn(i);
-  });
 }
 
 ThreadPool& ThreadPool::global() { return *global_slot(); }

@@ -13,14 +13,22 @@
 // count) and fix every floating-point reduction order, so N threads and 1
 // thread produce bit-identical tensors.
 //
-// Each parallel_for call installs one heap-allocated batch; workers snapshot
-// a shared_ptr to it while holding the pool mutex and only ever drain the
-// batch they were admitted to, so a worker that wakes late can never touch
-// the next batch's cursor or a caller-owned function object that has already
-// been destroyed. At most one batch is in flight per pool: concurrent
-// submissions from distinct non-worker threads serialize (second submitter
-// blocks until the slot frees), while reentrant calls from inside a loop body
-// run inline (no deadlock).
+// parallel_for / parallel_for_chunks are templates over the callable: the
+// loop body is invoked through a captureless trampoline (function pointer +
+// context pointer), never through std::function, so submitting work performs
+// no type-erasure allocation. An inline (serial) pool dispatches with zero
+// heap traffic — the property the steady-state allocation regression test
+// (tests/test_alloc.cpp) pins down; a threaded pool allocates exactly one
+// small batch header per call.
+//
+// Each threaded call installs one heap-allocated batch; workers snapshot a
+// shared_ptr to it while holding the pool mutex and only ever drain the batch
+// they were admitted to, so a worker that wakes late can never touch the next
+// batch's cursor or a caller-owned function object that has already been
+// destroyed. At most one batch is in flight per pool: concurrent submissions
+// from distinct non-worker threads serialize (second submitter blocks until
+// the slot frees), while reentrant calls from inside a loop body run inline
+// (no deadlock).
 //
 // parallel_for blocks until every index is processed; exceptions from workers
 // are rethrown on the caller thread.
@@ -30,7 +38,6 @@
 #include <condition_variable>
 #include <cstdint>
 #include <exception>
-#include <functional>
 #include <memory>
 #include <mutex>
 #include <thread>
@@ -51,15 +58,24 @@ class ThreadPool {
 
   // Invokes fn(i) for every i in [begin, end), distributing contiguous chunks
   // across workers; blocks until done.
-  void parallel_for(std::int64_t begin, std::int64_t end,
-                    const std::function<void(std::int64_t)>& fn);
+  template <typename F>
+  void parallel_for(std::int64_t begin, std::int64_t end, const F& fn) {
+    if (begin >= end) return;
+    // ~4 chunks per way of parallelism keeps the tail balanced without paying
+    // one dispatch per index.
+    const std::int64_t ways = static_cast<std::int64_t>(worker_count()) + 1;
+    const std::int64_t grain = std::max<std::int64_t>(1, (end - begin) / (ways * 4));
+    run_chunks(begin, end, grain, &invoke_indexed<F>, &fn);
+  }
 
   // Range form: invokes fn(chunk_begin, chunk_end) over chunks of at most
   // `grain` indices. Chunk boundaries depend only on (begin, end, grain) —
   // never on the worker count — so callers may key deterministic reductions
   // off them. An inline (serial) pool runs the same chunks in order.
-  void parallel_for_chunks(std::int64_t begin, std::int64_t end, std::int64_t grain,
-                           const std::function<void(std::int64_t, std::int64_t)>& fn);
+  template <typename F>
+  void parallel_for_chunks(std::int64_t begin, std::int64_t end, std::int64_t grain, const F& fn) {
+    run_chunks(begin, end, grain, &invoke_range<F>, &fn);
+  }
 
   // Process-wide pool sized from SESR_NUM_THREADS (default: hardware
   // concurrency).
@@ -71,12 +87,27 @@ class ThreadPool {
   static void set_global_threads(unsigned threads);
 
  private:
-  // One parallel_for_chunks invocation. Heap-allocated and shared so a worker
-  // holding a stale snapshot can only ever see an exhausted cursor, never the
-  // fields of a successor batch. `fn` points at the submitter's function
-  // object; it stays valid because the submitter cannot return before
-  // `remaining` hits zero, and no thread dereferences `fn` after claiming a
-  // chunk index >= chunk_count.
+  // Non-owning callable: `invoke(ctx, lo, hi)` runs the submitter's loop body
+  // over one chunk. The templates above synthesize captureless trampolines, so
+  // the body is reached without constructing a std::function.
+  using ChunkFn = void (*)(const void* ctx, std::int64_t lo, std::int64_t hi);
+
+  template <typename F>
+  static void invoke_indexed(const void* ctx, std::int64_t lo, std::int64_t hi) {
+    const F& fn = *static_cast<const F*>(ctx);
+    for (std::int64_t i = lo; i < hi; ++i) fn(i);
+  }
+
+  template <typename F>
+  static void invoke_range(const void* ctx, std::int64_t lo, std::int64_t hi) {
+    (*static_cast<const F*>(ctx))(lo, hi);
+  }
+
+  // One chunked invocation. Heap-allocated and shared so a worker holding a
+  // stale snapshot can only ever see an exhausted cursor, never the fields of
+  // a successor batch. `ctx` points at the submitter's loop body; it stays
+  // valid because the submitter cannot return before `remaining` hits zero,
+  // and no thread dereferences it after claiming a chunk index >= chunk_count.
   struct Batch {
     std::int64_t begin = 0;
     std::int64_t end = 0;
@@ -84,9 +115,14 @@ class ThreadPool {
     std::int64_t chunk_count = 0;
     std::atomic<std::int64_t> next_chunk{0};
     std::int64_t remaining = 0;  // chunks not yet completed (guarded by mutex_)
-    const std::function<void(std::int64_t, std::int64_t)>* fn = nullptr;
+    ChunkFn invoke = nullptr;
+    const void* ctx = nullptr;
     std::exception_ptr error;  // first failure (guarded by mutex_)
   };
+
+  // The untemplated submission path behind parallel_for / parallel_for_chunks.
+  void run_chunks(std::int64_t begin, std::int64_t end, std::int64_t grain, ChunkFn invoke,
+                  const void* ctx);
 
   void worker_loop();
   // Runs chunks off `batch` until its cursor is exhausted; returns the number

@@ -1,0 +1,169 @@
+// Steady-state allocation regression test for the planned executor.
+//
+// The execution-plan compiler's contract is ZERO-ALLOCATION steady-state
+// inference: once a shape is warm (plan compiled, arena grown, scratch
+// retained), upscale_into() must not touch the heap at all. This binary
+// replaces global operator new/delete with counting shims and asserts the
+// count stays exactly zero across 10 warm iterations for every precision.
+//
+// The pool is pinned to a single inline thread first: worker threads park in
+// condition variables whose wait/notify internals are allocation-free, but
+// counting across foreign threads would make the zero assertion depend on
+// libstdc++ internals rather than on our own steady-state promise. The
+// single-thread run exercises every kernel, plan, and scratch path the
+// multi-threaded one does — per-thread scratch just replicates per worker.
+// Excluded from the TSan suite: the shims themselves are trivially racy
+// counters by design (relaxed atomics), and TSan's interceptor already owns
+// the allocator there.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <cstdlib>
+#include <new>
+#include <vector>
+
+#include "core/sesr_inference.hpp"
+#include "core/sesr_network.hpp"
+#include "tensor/rng.hpp"
+#include "tensor/tensor.hpp"
+#include "tensor/thread_pool.hpp"
+
+namespace {
+
+std::atomic<bool> g_counting{false};
+std::atomic<std::uint64_t> g_allocs{0};
+
+void note_alloc() {
+  if (g_counting.load(std::memory_order_relaxed)) {
+    g_allocs.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+void* checked_malloc(std::size_t size) {
+  note_alloc();
+  void* p = std::malloc(size ? size : 1);
+  if (p == nullptr) throw std::bad_alloc();
+  return p;
+}
+
+void* checked_aligned(std::size_t size, std::size_t align) {
+  note_alloc();
+  void* p = nullptr;
+  if (posix_memalign(&p, align < sizeof(void*) ? sizeof(void*) : align, size ? size : 1) != 0) {
+    throw std::bad_alloc();
+  }
+  return p;
+}
+
+}  // namespace
+
+void* operator new(std::size_t size) { return checked_malloc(size); }
+void* operator new[](std::size_t size) { return checked_malloc(size); }
+void* operator new(std::size_t size, const std::nothrow_t&) noexcept {
+  note_alloc();
+  return std::malloc(size ? size : 1);
+}
+void* operator new[](std::size_t size, const std::nothrow_t&) noexcept {
+  note_alloc();
+  return std::malloc(size ? size : 1);
+}
+void* operator new(std::size_t size, std::align_val_t align) {
+  return checked_aligned(size, static_cast<std::size_t>(align));
+}
+void* operator new[](std::size_t size, std::align_val_t align) {
+  return checked_aligned(size, static_cast<std::size_t>(align));
+}
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+void operator delete(void* p, const std::nothrow_t&) noexcept { std::free(p); }
+void operator delete[](void* p, const std::nothrow_t&) noexcept { std::free(p); }
+void operator delete(void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t, std::align_val_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t, std::align_val_t) noexcept { std::free(p); }
+
+namespace sesr::core {
+namespace {
+
+std::uint64_t measure_warm_upscales(SesrInference& net, const Tensor& input, Tensor& output,
+                                    int iterations) {
+  // Warm-up: compiles and caches the plan, grows the arena, and touches every
+  // scratch slot the kernels use at this shape.
+  net.upscale_into(input, output);
+  net.upscale_into(input, output);
+  g_allocs.store(0, std::memory_order_relaxed);
+  g_counting.store(true, std::memory_order_relaxed);
+  for (int i = 0; i < iterations; ++i) net.upscale_into(input, output);
+  g_counting.store(false, std::memory_order_relaxed);
+  return g_allocs.load(std::memory_order_relaxed);
+}
+
+TEST(SteadyStateAllocations, WarmPlannedUpscaleNeverTouchesTheHeap) {
+  ThreadPool::set_global_threads(1);
+  SesrConfig config;
+  config.f = 16;
+  config.m = 5;
+  config.scale = 2;
+  config.expand = 48;
+  config.prelu = true;
+  config.input_residual = true;
+  config.with_bias = false;
+  Rng rng(0xa110c);
+  Rng init = rng.fork();
+  const SesrNetwork network(config, init);
+  SesrInference net(network);
+  net.calibrate_int8({[&] {
+    Tensor t(1, 16, 16, 1);
+    t.fill_uniform(rng, 0.0F, 1.0F);
+    return t;
+  }()});
+  std::vector<LayerPrecision> plan(net.convolutions().size(), LayerPrecision::kFp16);
+  for (std::size_t i = 0; i < plan.size(); i += 2) plan[i] = LayerPrecision::kInt8;
+  net.set_hybrid_plan(std::move(plan));
+
+  Tensor input(1, 48, 56, 1);
+  input.fill_uniform(rng, 0.0F, 1.0F);
+  Tensor output(1, 48 * config.scale, 56 * config.scale, 1);
+
+  const struct {
+    InferencePrecision precision;
+    const char* name;
+  } cases[] = {{InferencePrecision::kFp32, "fp32"},
+               {InferencePrecision::kFp16, "fp16"},
+               {InferencePrecision::kInt8, "int8"},
+               {InferencePrecision::kHybrid, "hybrid"}};
+  for (const auto& c : cases) {
+    net.set_precision(c.precision);
+    const std::uint64_t allocs = measure_warm_upscales(net, input, output, 10);
+    EXPECT_EQ(allocs, 0U) << c.name << ": warm planned upscale allocated " << allocs
+                          << " time(s) across 10 iterations";
+  }
+}
+
+TEST(SteadyStateAllocations, WarmBatchedUpscaleNeverTouchesTheHeap) {
+  ThreadPool::set_global_threads(1);
+  SesrConfig config;
+  config.f = 8;
+  config.m = 2;
+  config.scale = 4;
+  config.expand = 16;
+  config.prelu = false;
+  config.input_residual = true;
+  config.with_bias = true;
+  Rng rng(0xb47c4);
+  Rng init = rng.fork();
+  const SesrNetwork network(config, init);
+  SesrInference net(network);
+
+  Tensor input(3, 20, 24, 1);
+  input.fill_uniform(rng, 0.0F, 1.0F);
+  Tensor output(3, 20 * config.scale, 24 * config.scale, 1);
+  const std::uint64_t allocs = measure_warm_upscales(net, input, output, 10);
+  EXPECT_EQ(allocs, 0U) << "warm batched fp32 upscale allocated " << allocs << " time(s)";
+}
+
+}  // namespace
+}  // namespace sesr::core

@@ -120,11 +120,13 @@ void print_server_stats(const cli::ServeCliConfig& config, const serve::ShardedS
   }
   for (const serve::RouteStats& route : sharded.per_route) {
     std::printf(
-        "route %-14s submitted %llu  completed %llu  failed %llu  cache hits %llu  ewma %.2f ms\n",
+        "route %-14s submitted %llu  completed %llu  failed %llu  cache hits %llu  ewma %.2f ms  "
+        "peak arena %.1f KiB\n",
         route.route.c_str(), static_cast<unsigned long long>(route.submitted),
         static_cast<unsigned long long>(route.completed),
         static_cast<unsigned long long>(route.failed),
-        static_cast<unsigned long long>(route.cache_hits), route.service_ewma_us / 1e3);
+        static_cast<unsigned long long>(route.cache_hits), route.service_ewma_us / 1e3,
+        static_cast<double>(route.peak_activation_bytes) / 1024.0);
   }
   if (stats.video_frames > 0) {
     const std::uint64_t tiles = stats.video_tiles_reused + stats.video_tiles_recomputed;
