@@ -32,6 +32,7 @@
 #include "bench_common.hpp"
 #include "core/sesr_inference.hpp"
 #include "core/sesr_network.hpp"
+#include "serve/net/wire.hpp"
 #include "serve/registry.hpp"
 #include "serve/server.hpp"
 #include "serve/sharded_server.hpp"
@@ -235,6 +236,56 @@ int main() {
   json.add("fairness/isolated_p99", isolated_p99 * 1e6, 0.0, 2);
   json.add("fairness/mixed_fair_p99", mixed_fair_p99 * 1e6, 0.0, 2);
   json.add("fairness/mixed_fifo_p99", mixed_fifo_p99 * 1e6, 0.0, 2);
+
+  // --- wire deframing: pipelined small requests --------------------------
+  // The FrameReader regression guard: one recv() can carry hundreds of
+  // coalesced tiny frames when a client pipelines small requests, and the
+  // deframer used to compact its buffer once PER FRAME — O(K^2) byte moves
+  // per feed. The fix carves frames by offset and compacts once per feed, so
+  // per-frame cost must stay flat as the pipeline depth grows. A quadratic
+  // deframer shows up here as the deep case costing many times the shallow
+  // one per frame.
+  {
+    serve::net::WireRequest request;
+    request.id = 1;
+    request.route = "m5:2:fp32";
+    request.h = 4;
+    request.w = 4;
+    request.pixels.assign(16, 0.5F);
+    const std::vector<std::uint8_t> one = serve::net::encode_request(request);
+    const auto frames_per_second = [&one](std::size_t depth, int iterations) {
+      std::vector<std::uint8_t> buffer;
+      buffer.reserve(one.size() * depth);
+      for (std::size_t i = 0; i < depth; ++i) {
+        buffer.insert(buffer.end(), one.begin(), one.end());
+      }
+      std::size_t drained = 0;
+      const auto start = Clock::now();
+      for (int it = 0; it < iterations; ++it) {
+        serve::net::FrameReader reader;
+        reader.feed(buffer.data(), buffer.size());
+        while (reader.next()) ++drained;
+      }
+      const double wall = std::chrono::duration<double>(Clock::now() - start).count();
+      if (drained != depth * static_cast<std::size_t>(iterations)) {
+        std::fprintf(stderr, "deframer dropped frames: %zu != %zu\n", drained,
+                     depth * static_cast<std::size_t>(iterations));
+        std::abort();
+      }
+      return static_cast<double>(drained) / wall;
+    };
+    const int iterations = fast_mode() ? 50 : 200;
+    const double shallow = frames_per_second(8, iterations * 64);
+    const double deep = frames_per_second(512, iterations);
+    std::printf("\nwire deframing, coalesced small frames (%zu-byte requests):\n", one.size());
+    std::printf("  depth   8: %10.0f frames/s\n", shallow);
+    std::printf("  depth 512: %10.0f frames/s  (%.2fx shallow; quadratic compaction "
+                "would crater this)\n",
+                deep, deep / shallow);
+    json.add("wire/deframe_depth8", 1e9 / shallow, 0.0, 1);
+    json.add("wire/deframe_depth512", 1e9 / deep, 0.0, 1);
+    json.add("wire/deframe_deep_vs_shallow", deep / shallow, 0.0, 1);
+  }
 
   // --- mixed-network sharded sweep --------------------------------------
   {

@@ -12,6 +12,7 @@ std::uint64_t NetClient::send(const std::string& route, const Tensor& frame,
   WireRequest request;
   request.id = next_id_++;
   request.deadline_us = deadline_us;
+  request.auth = auth_token_;
   request.route = route;
   request.h = frame.shape().h();
   request.w = frame.shape().w();
@@ -30,6 +31,7 @@ std::uint64_t NetClient::send_video(const std::string& route, const Tensor& fram
   request.video = true;
   request.session_id = session_id;
   request.frame_seq = seq;
+  request.auth = auth_token_;
   request.route = route;
   request.h = frame.shape().h();
   request.w = frame.shape().w();

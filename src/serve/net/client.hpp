@@ -23,6 +23,11 @@ class NetClient {
  public:
   NetClient(const std::string& host, std::uint16_t port);
 
+  // Attach a shared-secret token: every subsequent request carries it in the
+  // wire auth field (kRequestFlagAuth). Required against servers bound
+  // beyond loopback; harmless extra bytes against tokenless ones.
+  void set_auth_token(std::string token) { auth_token_ = std::move(token); }
+
   // Queue one request; returns the request id used on the wire.
   std::uint64_t send(const std::string& route, const Tensor& frame,
                      std::uint32_t deadline_us = 0);
@@ -58,6 +63,7 @@ class NetClient {
  private:
   Fd fd_;
   std::uint64_t next_id_ = 1;
+  std::string auth_token_;
 };
 
 }  // namespace sesr::serve::net

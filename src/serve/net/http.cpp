@@ -1,0 +1,309 @@
+#include "serve/net/http.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <cmath>
+#include <cstring>
+
+namespace sesr::serve::net {
+
+namespace {
+
+const std::string kEmpty;
+
+std::string to_lower(std::string s) {
+  std::transform(s.begin(), s.end(), s.begin(),
+                 [](unsigned char c) { return static_cast<char>(std::tolower(c)); });
+  return s;
+}
+
+std::string trim(const std::string& s) {
+  std::size_t b = 0, e = s.size();
+  while (b < e && (s[b] == ' ' || s[b] == '\t')) ++b;
+  while (e > b && (s[e - 1] == ' ' || s[e - 1] == '\t' || s[e - 1] == '\r')) --e;
+  return s.substr(b, e - b);
+}
+
+int hex_digit(char c) {
+  if (c >= '0' && c <= '9') return c - '0';
+  if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+  if (c >= 'A' && c <= 'F') return c - 'A' + 10;
+  return -1;
+}
+
+// Percent-decode a query component; '+' means space per form encoding.
+std::string url_decode(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (std::size_t i = 0; i < s.size(); ++i) {
+    if (s[i] == '+') {
+      out.push_back(' ');
+    } else if (s[i] == '%' && i + 2 < s.size()) {
+      const int hi = hex_digit(s[i + 1]);
+      const int lo = hex_digit(s[i + 2]);
+      if (hi >= 0 && lo >= 0) {
+        out.push_back(static_cast<char>((hi << 4) | lo));
+        i += 2;
+      } else {
+        out.push_back(s[i]);
+      }
+    } else {
+      out.push_back(s[i]);
+    }
+  }
+  return out;
+}
+
+std::map<std::string, std::string> parse_query(const std::string& qs) {
+  std::map<std::string, std::string> out;
+  std::size_t pos = 0;
+  while (pos < qs.size()) {
+    std::size_t amp = qs.find('&', pos);
+    if (amp == std::string::npos) amp = qs.size();
+    const std::string pair = qs.substr(pos, amp - pos);
+    const std::size_t eq = pair.find('=');
+    if (eq == std::string::npos) {
+      if (!pair.empty()) out[url_decode(pair)] = "";
+    } else {
+      out[url_decode(pair.substr(0, eq))] = url_decode(pair.substr(eq + 1));
+    }
+    pos = amp + 1;
+  }
+  return out;
+}
+
+bool is_known_method(const std::string& m) {
+  return m == "GET" || m == "POST" || m == "HEAD" || m == "PUT" || m == "DELETE" ||
+         m == "OPTIONS";
+}
+
+}  // namespace
+
+const std::string& HttpRequest::header(const std::string& lower_name) const {
+  const auto it = headers.find(lower_name);
+  return it == headers.end() ? kEmpty : it->second;
+}
+
+void HttpReader::poison(const std::string& why) {
+  error_ = why;
+  buffer_.clear();
+  in_progress_.reset();
+  body_needed_ = 0;
+}
+
+void HttpReader::feed(const std::uint8_t* data, std::size_t size) {
+  if (poisoned()) return;
+  buffer_.insert(buffer_.end(), data, data + size);
+  parse();
+}
+
+std::optional<HttpRequest> HttpReader::next() {
+  if (ready_.empty()) return std::nullopt;
+  HttpRequest r = std::move(ready_.front());
+  ready_.pop_front();
+  return r;
+}
+
+void HttpReader::parse() {
+  for (;;) {
+    if (in_progress_) {
+      // Accumulating a Content-Length body.
+      if (buffer_.size() < body_needed_) return;
+      in_progress_->body.assign(buffer_.begin(),
+                                buffer_.begin() + static_cast<std::ptrdiff_t>(body_needed_));
+      buffer_.erase(buffer_.begin(), buffer_.begin() + static_cast<std::ptrdiff_t>(body_needed_));
+      ready_.push_back(std::move(*in_progress_));
+      in_progress_.reset();
+      body_needed_ = 0;
+      continue;
+    }
+    // Find the end of the header block.
+    static const char kTerm[] = "\r\n\r\n";
+    const auto it = std::search(buffer_.begin(), buffer_.end(), kTerm, kTerm + 4);
+    if (it == buffer_.end()) {
+      if (buffer_.size() > max_header_) poison("header block exceeds limit");
+      return;
+    }
+    const std::size_t header_len = static_cast<std::size_t>(it - buffer_.begin());
+    if (header_len + 4 > max_header_ + 4) {
+      poison("header block exceeds limit");
+      return;
+    }
+    const std::string head(buffer_.begin(), it);
+    buffer_.erase(buffer_.begin(), it + 4);
+
+    // Request line: METHOD SP target SP HTTP/1.x
+    const std::size_t line_end = head.find("\r\n");
+    const std::string line = line_end == std::string::npos ? head : head.substr(0, line_end);
+    const std::size_t sp1 = line.find(' ');
+    const std::size_t sp2 = sp1 == std::string::npos ? std::string::npos : line.find(' ', sp1 + 1);
+    if (sp1 == std::string::npos || sp2 == std::string::npos) {
+      poison("malformed request line");
+      return;
+    }
+    HttpRequest req;
+    req.method = line.substr(0, sp1);
+    std::string target = line.substr(sp1 + 1, sp2 - sp1 - 1);
+    const std::string version = line.substr(sp2 + 1);
+    if (!is_known_method(req.method) || target.empty() || target[0] != '/') {
+      poison("malformed request line");
+      return;
+    }
+    if (version != "HTTP/1.1" && version != "HTTP/1.0") {
+      poison("unsupported HTTP version '" + version + "'");
+      return;
+    }
+    const std::size_t qpos = target.find('?');
+    if (qpos != std::string::npos) {
+      req.query = parse_query(target.substr(qpos + 1));
+      target.resize(qpos);
+    }
+    req.path = target;
+    req.keep_alive = version == "HTTP/1.1";  // 1.0 defaults to close
+
+    // Header fields.
+    std::size_t pos = line_end == std::string::npos ? head.size() : line_end + 2;
+    while (pos < head.size()) {
+      std::size_t eol = head.find("\r\n", pos);
+      if (eol == std::string::npos) eol = head.size();
+      const std::string field = head.substr(pos, eol - pos);
+      pos = eol + 2;
+      const std::size_t colon = field.find(':');
+      if (colon == std::string::npos) {
+        poison("malformed header field");
+        return;
+      }
+      req.headers[to_lower(trim(field.substr(0, colon)))] = trim(field.substr(colon + 1));
+    }
+    const std::string conn = to_lower(req.header("connection"));
+    if (conn == "close") req.keep_alive = false;
+    if (conn == "keep-alive") req.keep_alive = true;
+    if (!to_lower(req.header("transfer-encoding")).empty()) {
+      poison("transfer-encoding not supported (use Content-Length)");
+      return;
+    }
+
+    // Body: Content-Length only.
+    const std::string cl = req.header("content-length");
+    std::size_t body_len = 0;
+    if (!cl.empty()) {
+      if (cl.find_first_not_of("0123456789") != std::string::npos || cl.size() > 12) {
+        poison("bad Content-Length");
+        return;
+      }
+      body_len = static_cast<std::size_t>(std::stoull(cl));
+      if (body_len > max_body_) {
+        poison("body exceeds limit (" + cl + " bytes)");
+        return;
+      }
+    }
+    if (body_len == 0) {
+      ready_.push_back(std::move(req));
+      continue;
+    }
+    in_progress_ = std::move(req);
+    body_needed_ = body_len;
+  }
+}
+
+const char* http_reason(int status) {
+  switch (status) {
+    case 200: return "OK";
+    case 400: return "Bad Request";
+    case 401: return "Unauthorized";
+    case 404: return "Not Found";
+    case 405: return "Method Not Allowed";
+    case 411: return "Length Required";
+    case 413: return "Payload Too Large";
+    case 500: return "Internal Server Error";
+    case 503: return "Service Unavailable";
+    default: return "Unknown";
+  }
+}
+
+std::vector<std::uint8_t> http_response(int status, const std::string& content_type,
+                                        const std::vector<std::uint8_t>& body,
+                                        bool close_connection,
+                                        const std::vector<std::string>& extra) {
+  std::string head = "HTTP/1.1 " + std::to_string(status) + " " + http_reason(status) + "\r\n";
+  head += "Content-Type: " + content_type + "\r\n";
+  head += "Content-Length: " + std::to_string(body.size()) + "\r\n";
+  for (const auto& h : extra) head += h + "\r\n";
+  if (close_connection) head += "Connection: close\r\n";
+  head += "\r\n";
+  std::vector<std::uint8_t> out;
+  out.reserve(head.size() + body.size());
+  out.insert(out.end(), head.begin(), head.end());
+  out.insert(out.end(), body.begin(), body.end());
+  return out;
+}
+
+std::vector<std::uint8_t> http_response(int status, const std::string& content_type,
+                                        const std::string& body, bool close_connection,
+                                        const std::vector<std::string>& extra) {
+  return http_response(status, content_type,
+                       std::vector<std::uint8_t>(body.begin(), body.end()), close_connection,
+                       extra);
+}
+
+bool looks_like_http(const std::uint8_t* data, std::size_t size) {
+  static const char* kMethods[] = {"GET ", "POST ", "HEAD ", "PUT ", "DELETE ", "OPTIONS "};
+  for (const char* m : kMethods) {
+    const std::size_t n = std::strlen(m);
+    // A prefix of a method token counts while the connection is still short:
+    // the sniffer only commits once kSniffBytes arrived or the stream ended.
+    const std::size_t cmp = std::min(size, n);
+    if (std::memcmp(data, m, cmp) == 0 && cmp == n) return true;
+  }
+  return false;
+}
+
+std::optional<PgmImage> decode_pgm(const std::vector<std::uint8_t>& bytes) {
+  // Header tokens separated by whitespace: "P5" w h maxval, then one
+  // whitespace byte, then w*h raw samples. Comments (#...) are not supported.
+  std::size_t pos = 0;
+  auto skip_ws = [&] {
+    while (pos < bytes.size() && std::isspace(bytes[pos])) ++pos;
+  };
+  auto token = [&]() -> std::string {
+    skip_ws();
+    std::string t;
+    while (pos < bytes.size() && !std::isspace(bytes[pos])) t.push_back(static_cast<char>(bytes[pos++]));
+    return t;
+  };
+  if (token() != "P5") return std::nullopt;
+  const std::string ws = token(), hs = token(), maxs = token();
+  if (ws.empty() || hs.empty() || maxs.empty()) return std::nullopt;
+  if (ws.find_first_not_of("0123456789") != std::string::npos ||
+      hs.find_first_not_of("0123456789") != std::string::npos ||
+      maxs.find_first_not_of("0123456789") != std::string::npos) {
+    return std::nullopt;
+  }
+  const long long w = std::stoll(ws), h = std::stoll(hs), maxval = std::stoll(maxs);
+  if (w <= 0 || h <= 0 || maxval != 255) return std::nullopt;
+  if (pos >= bytes.size() || !std::isspace(bytes[pos])) return std::nullopt;
+  ++pos;  // single whitespace after maxval
+  const std::size_t count = static_cast<std::size_t>(w) * static_cast<std::size_t>(h);
+  if (bytes.size() - pos != count) return std::nullopt;
+  PgmImage img;
+  img.h = h;
+  img.w = w;
+  img.pixels.resize(count);
+  for (std::size_t i = 0; i < count; ++i) img.pixels[i] = static_cast<float>(bytes[pos + i]) / 255.0f;
+  return img;
+}
+
+std::vector<std::uint8_t> encode_pgm(std::int64_t h, std::int64_t w,
+                                     const std::vector<float>& pixels) {
+  const std::string head = "P5\n" + std::to_string(w) + " " + std::to_string(h) + "\n255\n";
+  std::vector<std::uint8_t> out;
+  out.reserve(head.size() + pixels.size());
+  out.insert(out.end(), head.begin(), head.end());
+  for (float v : pixels) {
+    const float clamped = std::min(1.0f, std::max(0.0f, v));
+    out.push_back(static_cast<std::uint8_t>(std::lround(clamped * 255.0f)));
+  }
+  return out;
+}
+
+}  // namespace sesr::serve::net

@@ -1,0 +1,111 @@
+// Minimal HTTP/1.1 adapter for the TCP front end — just enough protocol for
+// curl, load balancers, and health probes to speak to the same port as the
+// binary framing. The server sniffs the first bytes of every connection
+// ("SESR" magic -> binary, an HTTP method token -> this adapter), so one
+// listener serves both.
+//
+// Scope is deliberately small:
+//   - request line + headers + Content-Length body (no chunked encoding, no
+//     multipart, no TLS — reject with 411/400 rather than guess)
+//   - incremental parsing (HttpReader mirrors FrameReader: feed bytes, pop
+//     complete requests, poison permanently on malformed/oversized input)
+//   - keep-alive by HTTP/1.1 default; "Connection: close" honored
+//
+// Everything here is pure byte parsing/serialization — no sockets — so the
+// adapter is unit-testable without a connection, exactly like wire.{hpp,cpp}.
+//
+// Endpoints are the server's business (server.cpp): GET /healthz, GET
+// /stats, POST /v1/upscale. This header also carries the tiny binary PGM
+// (P5) codec /v1/upscale accepts and returns, so `curl --data-binary
+// @frame.pgm` round-trips without any custom tooling.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace sesr::serve::net {
+
+struct HttpRequest {
+  std::string method;   // "GET", "POST", ... (uppercase on the wire)
+  std::string path;     // target without the query string, e.g. "/v1/upscale"
+  std::map<std::string, std::string> query;    // decoded query parameters
+  std::map<std::string, std::string> headers;  // names lowercased
+  std::vector<std::uint8_t> body;
+  bool keep_alive = true;  // HTTP/1.1 default; false on "Connection: close"
+
+  // Lowercase-name header lookup; empty string when absent.
+  const std::string& header(const std::string& lower_name) const;
+};
+
+// Incremental HTTP/1.1 request parser: feed() raw socket bytes, next() pops
+// complete requests in order. Malformed input (bad request line, non-numeric
+// Content-Length, chunked encoding, oversized header block or body) poisons
+// the parser permanently — the connection owner answers 400 and closes, the
+// same contract as FrameReader.
+class HttpReader {
+ public:
+  explicit HttpReader(std::size_t max_body = 96u * 1024u * 1024u,
+                      std::size_t max_header_bytes = 16u * 1024u)
+      : max_body_(max_body), max_header_(max_header_bytes) {}
+
+  void feed(const std::uint8_t* data, std::size_t size);
+  std::optional<HttpRequest> next();
+  const std::string& error() const { return error_; }
+  bool poisoned() const { return !error_.empty(); }
+  // Bytes buffered toward an incomplete request (read-timeout trigger).
+  std::size_t partial_bytes() const { return buffer_.size(); }
+
+ private:
+  void parse();
+  void poison(const std::string& why);
+
+  std::size_t max_body_;
+  std::size_t max_header_;
+  std::vector<std::uint8_t> buffer_;
+  std::deque<HttpRequest> ready_;
+  std::string error_;
+  // Parse state: headers of the in-progress request once seen, while the
+  // body accumulates.
+  std::optional<HttpRequest> in_progress_;
+  std::size_t body_needed_ = 0;
+};
+
+// Serialize one response: status line, Date-free minimal headers
+// (Content-Type, Content-Length, Connection when closing), body. `extra`
+// headers are emitted verbatim (already "Name: value" formatted).
+std::vector<std::uint8_t> http_response(int status, const std::string& content_type,
+                                        const std::vector<std::uint8_t>& body,
+                                        bool close_connection = false,
+                                        const std::vector<std::string>& extra = {});
+std::vector<std::uint8_t> http_response(int status, const std::string& content_type,
+                                        const std::string& body, bool close_connection = false,
+                                        const std::vector<std::string>& extra = {});
+
+// The reason phrase for the subset of statuses the server emits.
+const char* http_reason(int status);
+
+// True when the first bytes of a connection look like the start of an HTTP
+// request (a known method token + space). Needs at most kSniffBytes bytes;
+// call only with size >= kSniffBytes or once the connection closed short.
+inline constexpr std::size_t kSniffBytes = 8;
+bool looks_like_http(const std::uint8_t* data, std::size_t size);
+
+// --- binary PGM (P5) codec for /v1/upscale -------------------------------
+//
+// P5 with maxval 255: header "P5\n<w> <h>\n255\n" then w*h raw bytes. Floats
+// map linearly [0,1] <-> [0,255] (clamped on encode; 1/255 quantization is
+// the price of the format — raw f32 mode is the lossless path).
+struct PgmImage {
+  std::int64_t h = 0;
+  std::int64_t w = 0;
+  std::vector<float> pixels;  // h*w, row-major, [0,1]
+};
+std::optional<PgmImage> decode_pgm(const std::vector<std::uint8_t>& bytes);
+std::vector<std::uint8_t> encode_pgm(std::int64_t h, std::int64_t w,
+                                     const std::vector<float>& pixels);
+
+}  // namespace sesr::serve::net

@@ -3,18 +3,32 @@
 #include <poll.h>
 #include <sys/socket.h>
 
+#include <algorithm>
 #include <cerrno>
+#include <chrono>
+#include <cstring>
 #include <deque>
 #include <map>
-#include <mutex>
+#include <thread>
 #include <vector>
 
 #include "serve/admission.hpp"
+#include "serve/net/http.hpp"
 #include "serve/net/wire.hpp"
 
 namespace sesr::serve::net {
 
 namespace {
+
+using Clock = std::chrono::steady_clock;
+
+// Over-cap connections are still accepted into a small holding pen so they
+// can be told why (HTTP 503) or closed cleanly (binary EOF) instead of
+// languishing in the backlog; beyond the pen they are closed on sight.
+constexpr std::size_t kOverflowSlots = 32;
+// How long a listener sits out of the poll set after fd/memory exhaustion
+// (EMFILE & friends) before accepts are retried.
+constexpr std::chrono::milliseconds kAcceptPause{100};
 
 // Map a failed future's exception onto a wire status + message.
 WireResponse error_response(std::uint64_t id, const std::string& route,
@@ -49,16 +63,38 @@ WireResponse error_response(std::uint64_t id, const std::string& route,
   return r;
 }
 
+int http_status_for(Status s) {
+  switch (s) {
+    case Status::kOk: return 200;
+    case Status::kOverloaded: return 503;
+    case Status::kUnknownRoute: return 404;
+    case Status::kBadRequest: return 400;
+    case Status::kShuttingDown: return 503;
+    case Status::kUnauthorized: return 401;
+    case Status::kError: return 500;
+  }
+  return 500;
+}
+
 }  // namespace
 
 struct NetServer::Impl {
+  enum class Proto { kUnknown, kBinary, kHttp, kBad };
+
   struct Connection {
     std::uint64_t id = 0;
     Fd fd;
+    Proto proto = Proto::kUnknown;
+    std::vector<std::uint8_t> sniff;  // bytes held until the protocol is known
     FrameReader reader;
+    HttpReader http;
     std::deque<std::vector<std::uint8_t>> outbox;
     std::size_t out_offset = 0;  // bytes of outbox.front() already written
     bool close_after_flush = false;
+    bool overflow = false;   // accepted over the cap: reject politely, close
+    bool http_busy = false;  // one in-flight HTTP request (response ordering)
+    std::size_t inflight = 0;  // submits whose response is not yet queued
+    Clock::time_point last_activity;
   };
 
   struct Pending {
@@ -67,39 +103,167 @@ struct NetServer::Impl {
     std::string served_route;
     std::uint8_t flags = 0;
     std::future<Tensor> future;
+    bool via_http = false;
+    bool http_pgm = false;  // respond as PGM; else raw f32 plane
+    bool http_keep_alive = true;
+  };
+
+  // One IO shard: listener + poll loop + every per-connection structure.
+  // Shared-nothing — only the atomic counters are read cross-thread (stats)
+  // and only completed/wake are written cross-thread (worker done_hooks).
+  struct Shard {
+    std::size_t index = 0;
+    Fd listener;
+    WakePipe wake;
+    std::thread thread;
+
+    // IO-thread-private state.
+    std::map<std::uint64_t, Connection> conns;  // conn id -> connection
+    std::map<std::uint64_t, Pending> pending;   // seq -> in-flight request
+    std::uint64_t next_conn_id = 1;
+    std::uint64_t next_seq = 1;
+    std::size_t active_count = 0;    // live non-overflow connections
+    std::size_t overflow_count = 0;  // live over-cap connections
+    bool accept_paused = false;      // listener out of the poll set
+    Clock::time_point accept_resume{};
+
+    // Worker threads hand resolved request seqs back through here.
+    std::mutex completed_mutex;
+    std::vector<std::uint64_t> completed;
+
+    // Counters (read from any thread via stats()).
+    std::atomic<std::uint64_t> n_accepted{0}, n_rejected{0}, n_disconnects{0};
+    std::atomic<std::uint64_t> n_requests{0}, n_responses{0}, n_malformed{0};
+    std::atomic<std::uint64_t> n_accept_errors{0}, n_timeouts{0};
+    std::atomic<std::uint64_t> n_http{0}, n_auth_failures{0};
   };
 
   ShardedServer& server;
   NetServerOptions options;
-  Fd listener;
-  WakePipe wake;
-
-  // IO-thread-private state.
-  std::map<std::uint64_t, Connection> conns;  // conn id -> connection
-  std::map<std::uint64_t, Pending> pending;   // seq -> in-flight request
-  std::uint64_t next_conn_id = 1;
-  std::uint64_t next_seq = 1;
-
-  // Worker threads hand resolved request seqs back through here.
-  std::mutex completed_mutex;
-  std::vector<std::uint64_t> completed;
-
-  // Counters (read from any thread via stats()).
-  std::atomic<std::uint64_t> n_accepted{0}, n_rejected{0}, n_disconnects{0};
-  std::atomic<std::uint64_t> n_requests{0}, n_responses{0}, n_malformed{0};
+  std::size_t per_shard_cap = 1;
+  std::vector<std::unique_ptr<Shard>> shards;
 
   Impl(ShardedServer& server, NetServerOptions options)
-      : server(server), options(options) {}
+      : server(server), options(std::move(options)) {}
 
-  void queue_response(Connection& conn, const WireResponse& response) {
+  NetShardStats snapshot(const Shard& sh) const {
+    NetShardStats s;
+    s.connections_accepted = sh.n_accepted.load(std::memory_order_relaxed);
+    s.connections_rejected = sh.n_rejected.load(std::memory_order_relaxed);
+    s.disconnects = sh.n_disconnects.load(std::memory_order_relaxed);
+    s.requests = sh.n_requests.load(std::memory_order_relaxed);
+    s.responses = sh.n_responses.load(std::memory_order_relaxed);
+    s.malformed = sh.n_malformed.load(std::memory_order_relaxed);
+    s.accept_errors = sh.n_accept_errors.load(std::memory_order_relaxed);
+    s.timeouts = sh.n_timeouts.load(std::memory_order_relaxed);
+    s.http_requests = sh.n_http.load(std::memory_order_relaxed);
+    s.auth_failures = sh.n_auth_failures.load(std::memory_order_relaxed);
+    return s;
+  }
+
+  NetStats snapshot_all() const {
+    NetStats total;
+    for (const auto& sh : shards) {
+      const NetShardStats s = snapshot(*sh);
+      total.connections_accepted += s.connections_accepted;
+      total.connections_rejected += s.connections_rejected;
+      total.disconnects += s.disconnects;
+      total.requests += s.requests;
+      total.responses += s.responses;
+      total.malformed += s.malformed;
+      total.accept_errors += s.accept_errors;
+      total.timeouts += s.timeouts;
+      total.http_requests += s.http_requests;
+      total.auth_failures += s.auth_failures;
+      total.shards.push_back(s);
+    }
+    return total;
+  }
+
+  static std::string json_of(const NetShardStats& s) {
+    return "{\"connections_accepted\":" + std::to_string(s.connections_accepted) +
+           ",\"connections_rejected\":" + std::to_string(s.connections_rejected) +
+           ",\"disconnects\":" + std::to_string(s.disconnects) +
+           ",\"requests\":" + std::to_string(s.requests) +
+           ",\"responses\":" + std::to_string(s.responses) +
+           ",\"malformed\":" + std::to_string(s.malformed) +
+           ",\"accept_errors\":" + std::to_string(s.accept_errors) +
+           ",\"timeouts\":" + std::to_string(s.timeouts) +
+           ",\"http_requests\":" + std::to_string(s.http_requests) +
+           ",\"auth_failures\":" + std::to_string(s.auth_failures) + "}";
+  }
+
+  std::string stats_json() const {
+    const NetStats total = snapshot_all();
+    std::string out = json_of(total);
+    out.pop_back();  // reopen the totals object to append the shard array
+    out += ",\"io_shards\":" + std::to_string(shards.size()) + ",\"shards\":[";
+    for (std::size_t i = 0; i < total.shards.size(); ++i) {
+      if (i) out += ",";
+      out += json_of(total.shards[i]);
+    }
+    out += "]}\n";
+    return out;
+  }
+
+  void drop_conn(Shard& sh, std::uint64_t id) {
+    auto it = sh.conns.find(id);
+    if (it == sh.conns.end()) return;
+    if (it->second.overflow) {
+      --sh.overflow_count;
+    } else {
+      --sh.active_count;
+    }
+    sh.conns.erase(it);
+  }
+
+  void queue_response(Shard& sh, Connection& conn, const WireResponse& response) {
+    (void)sh;
     conn.outbox.push_back(encode_response(response));
   }
 
-  void handle_payload(Connection& conn, const std::vector<std::uint8_t>& payload) {
+  void poison(Shard& sh, Connection& conn, const std::string& why) {
+    sh.n_malformed.fetch_add(1, std::memory_order_relaxed);
+    WireResponse r;
+    r.id = 0;  // the frame boundary is lost; no request id to echo
+    r.status = Status::kBadRequest;
+    r.message = why;
+    queue_response(sh, conn, r);
+    conn.close_after_flush = true;
+  }
+
+  SubmitOptions make_submit_options(Shard& sh, std::uint64_t seq, std::uint32_t deadline_us) {
+    SubmitOptions opts;
+    opts.deadline_us = deadline_us;
+    opts.never_block = true;  // the IO loop must never park on a full queue
+    opts.done_hook = [shp = &sh, seq] {
+      {
+        std::lock_guard<std::mutex> lock(shp->completed_mutex);
+        shp->completed.push_back(seq);
+      }
+      shp->wake.wake();
+    };
+    return opts;
+  }
+
+  // --- binary protocol ----------------------------------------------------
+
+  void handle_payload(Shard& sh, Connection& conn, const std::vector<std::uint8_t>& payload) {
     std::optional<WireRequest> request = decode_request(payload);
     if (!request) {
-      poison(conn, "malformed request payload");
+      poison(sh, conn, "malformed request payload");
       return;
+    }
+    if (!options.auth_token.empty() &&
+        !constant_time_equal(request->auth, options.auth_token)) {
+      sh.n_auth_failures.fetch_add(1, std::memory_order_relaxed);
+      WireResponse r;
+      r.id = request->id;
+      r.status = Status::kUnauthorized;
+      r.route = request->route;
+      r.message = "auth token missing or invalid";
+      queue_response(sh, conn, r);
+      return;  // the connection survives; the client can retry with a token
     }
     RouteKey key;
     try {
@@ -110,138 +274,415 @@ struct NetServer::Impl {
       r.status = Status::kUnknownRoute;
       r.route = request->route;
       r.message = e.what();
-      queue_response(conn, r);
+      queue_response(sh, conn, r);
       return;
     }
-    n_requests.fetch_add(1, std::memory_order_relaxed);
-    const std::uint64_t seq = next_seq++;
-    Pending& entry = pending[seq];
+    sh.n_requests.fetch_add(1, std::memory_order_relaxed);
+    const std::uint64_t seq = sh.next_seq++;
+    Pending& entry = sh.pending[seq];
     entry.conn_id = conn.id;
     entry.wire_id = request->id;
-    SubmitOptions opts;
-    opts.deadline_us = request->deadline_us;
-    opts.never_block = true;  // the IO loop must never park on a full queue
-    opts.done_hook = [this, seq] {
-      {
-        std::lock_guard<std::mutex> lock(completed_mutex);
-        completed.push_back(seq);
-      }
-      wake.wake();
-    };
+    SubmitOptions opts = make_submit_options(sh, seq, request->deadline_us);
     Tensor frame = pixels_to_frame(request->h, request->w, request->pixels);
     AdmitResult admitted;
-    if (request->video) {
-      VideoOptions video;
-      video.session_id = request->session_id;
-      video.seq = request->frame_seq;
-      admitted = server.submit_video(key, std::move(frame), video, std::move(opts));
-    } else {
-      admitted = server.submit_admitted(key, std::move(frame), std::move(opts));
+    try {
+      if (options.submit_fault) options.submit_fault();
+      if (request->video) {
+        VideoOptions video;
+        video.session_id = request->session_id;
+        video.seq = request->frame_seq;
+        admitted = server.submit_video(key, std::move(frame), video, std::move(opts));
+      } else {
+        admitted = server.submit_admitted(key, std::move(frame), std::move(opts));
+      }
+    } catch (...) {
+      // A synchronous throw means no done_hook will ever fire for this seq.
+      // Without this erase the entry leaks and shutdown()'s pending.empty()
+      // gate never passes — the IO loop would spin forever on shutdown.
+      sh.pending.erase(seq);
+      WireResponse r = error_response(request->id, request->route, std::current_exception());
+      queue_response(sh, conn, r);
+      return;
     }
     entry.future = std::move(admitted.future);
     entry.served_route = std::move(admitted.served_route);
     if (admitted.degraded) entry.flags |= kFlagDegraded;
     if (admitted.two_stage) entry.flags |= kFlagTwoStage;
     if (admitted.delta) entry.flags |= kFlagDeltaReuse;
+    conn.inflight++;
     // If the done_hook already fired (synchronous rejection / cache hit), the
-    // seq sits in `completed` and this same thread collects it after this
-    // handler returns — the entry above is fully populated by then.
+    // seq sits in `completed` and this same thread collects it on the next
+    // loop iteration — the entry above is fully populated by then.
   }
 
-  void poison(Connection& conn, const std::string& why) {
-    n_malformed.fetch_add(1, std::memory_order_relaxed);
-    WireResponse r;
-    r.id = 0;  // the frame boundary is lost; no request id to echo
-    r.status = Status::kBadRequest;
-    r.message = why;
-    queue_response(conn, r);
-    conn.close_after_flush = true;
+  // --- HTTP adapter -------------------------------------------------------
+
+  bool http_authorized(const HttpRequest& req) const {
+    const std::string& header = req.header("authorization");
+    std::string candidate = header;
+    static const char kBearer[] = "Bearer ";
+    if (header.rfind(kBearer, 0) == 0) candidate = header.substr(sizeof(kBearer) - 1);
+    return constant_time_equal(candidate, options.auth_token);
   }
 
-  void drain_completions() {
+  void handle_http(Shard& sh, Connection& conn, HttpRequest req) {
+    sh.n_http.fetch_add(1, std::memory_order_relaxed);
+    const bool keep_alive = req.keep_alive;
+    auto respond = [&](int code, const std::string& ctype, const std::string& body,
+                       const std::vector<std::string>& extra = {}) {
+      conn.outbox.push_back(http_response(code, ctype, body, !keep_alive, extra));
+      if (!keep_alive) conn.close_after_flush = true;
+    };
+    if (req.path == "/healthz") {  // liveness probes stay tokenless
+      if (req.method != "GET") return respond(405, "text/plain", "method not allowed\n");
+      return respond(200, "text/plain", "ok\n");
+    }
+    if (!options.auth_token.empty() && !http_authorized(req)) {
+      sh.n_auth_failures.fetch_add(1, std::memory_order_relaxed);
+      return respond(401, "text/plain", "unauthorized\n");
+    }
+    if (req.path == "/stats") {
+      if (req.method != "GET") return respond(405, "text/plain", "method not allowed\n");
+      return respond(200, "application/json", stats_json());
+    }
+    if (req.path != "/v1/upscale") return respond(404, "text/plain", "not found\n");
+    if (req.method != "POST") return respond(405, "text/plain", "method not allowed\n");
+
+    auto query = [&](const char* name) -> std::string {
+      const auto it = req.query.find(name);
+      return it == req.query.end() ? std::string() : it->second;
+    };
+    auto query_u64 = [&](const char* name, std::uint64_t& out) -> bool {
+      const std::string v = query(name);
+      if (v.empty() || v.size() > 12 ||
+          v.find_first_not_of("0123456789") != std::string::npos) {
+        return false;
+      }
+      out = std::stoull(v);
+      return true;
+    };
+    const std::string route = query("route");
+    if (route.empty()) {
+      return respond(400, "text/plain", "missing 'route' query parameter\n");
+    }
+    RouteKey key;
+    try {
+      key = parse_route(route);
+    } catch (const std::exception& e) {
+      return respond(404, "text/plain", std::string(e.what()) + "\n");
+    }
+    // Body: a PGM (P5) image, or a raw little-endian f32 plane with h and w
+    // in the query string.
+    std::int64_t h = 0, w = 0;
+    std::vector<float> pixels;
+    const bool pgm =
+        req.body.size() >= 2 && req.body[0] == 'P' && req.body[1] == '5';
+    if (pgm) {
+      std::optional<PgmImage> img = decode_pgm(req.body);
+      if (!img) return respond(400, "text/plain", "malformed PGM body\n");
+      h = img->h;
+      w = img->w;
+      pixels = std::move(img->pixels);
+    } else {
+      std::uint64_t hq = 0, wq = 0;
+      if (!query_u64("h", hq) || !query_u64("w", wq) || hq == 0 || wq == 0) {
+        return respond(400, "text/plain",
+                       "raw f32 mode needs positive 'h' and 'w' query parameters "
+                       "(or send a PGM body)\n");
+      }
+      if (hq * wq * 4 != req.body.size()) {
+        return respond(400, "text/plain",
+                       "body must be exactly h*w little-endian f32 values\n");
+      }
+      h = static_cast<std::int64_t>(hq);
+      w = static_cast<std::int64_t>(wq);
+      pixels.resize(hq * wq);
+      std::memcpy(pixels.data(), req.body.data(), req.body.size());
+    }
+    std::uint64_t deadline_us = 0;
+    if (!query("deadline_us").empty() && !query_u64("deadline_us", deadline_us)) {
+      return respond(400, "text/plain", "bad 'deadline_us' query parameter\n");
+    }
+
+    sh.n_requests.fetch_add(1, std::memory_order_relaxed);
+    const std::uint64_t seq = sh.next_seq++;
+    Pending& entry = sh.pending[seq];
+    entry.conn_id = conn.id;
+    entry.via_http = true;
+    entry.http_pgm = pgm;
+    entry.http_keep_alive = keep_alive;
+    SubmitOptions opts =
+        make_submit_options(sh, seq, static_cast<std::uint32_t>(deadline_us));
+    Tensor frame = pixels_to_frame(h, w, pixels);
+    AdmitResult admitted;
+    try {
+      if (options.submit_fault) options.submit_fault();
+      admitted = server.submit_admitted(key, std::move(frame), std::move(opts));
+    } catch (...) {
+      sh.pending.erase(seq);  // same leak hazard as the binary path
+      const WireResponse err = error_response(0, route, std::current_exception());
+      return respond(http_status_for(err.status), "text/plain", err.message + "\n");
+    }
+    entry.future = std::move(admitted.future);
+    entry.served_route = std::move(admitted.served_route);
+    if (admitted.degraded) entry.flags |= kFlagDegraded;
+    if (admitted.two_stage) entry.flags |= kFlagTwoStage;
+    if (admitted.delta) entry.flags |= kFlagDeltaReuse;
+    conn.inflight++;
+    conn.http_busy = true;  // hold further HTTP requests until this answers
+  }
+
+  void pump_http(Shard& sh, Connection& conn) {
+    while (!conn.http_busy && !conn.close_after_flush) {
+      std::optional<HttpRequest> req = conn.http.next();
+      if (!req) break;
+      handle_http(sh, conn, std::move(*req));
+    }
+    if (conn.http.poisoned() && !conn.http_busy && !conn.close_after_flush) {
+      sh.n_malformed.fetch_add(1, std::memory_order_relaxed);
+      conn.outbox.push_back(
+          http_response(400, "text/plain", conn.http.error() + "\n", true));
+      conn.close_after_flush = true;
+    }
+  }
+
+  // --- protocol sniffing --------------------------------------------------
+
+  void sniff_decide(Connection& conn) {
+    const std::uint8_t* d = conn.sniff.data();
+    const std::size_t n = conn.sniff.size();
+    if (n >= 4) {
+      std::uint32_t magic = 0;
+      for (int i = 0; i < 4; ++i) magic |= static_cast<std::uint32_t>(d[i]) << (8 * i);
+      if (magic == kMagic) conn.proto = Proto::kBinary;
+    }
+    if (conn.proto == Proto::kUnknown && looks_like_http(d, n)) conn.proto = Proto::kHttp;
+    if (conn.proto == Proto::kUnknown) {
+      // Neither magic nor a complete method token yet; once enough bytes are
+      // in hand to rule both out, the stream is garbage.
+      if (n >= kSniffBytes) conn.proto = Proto::kBad;
+      return;
+    }
+    if (!conn.overflow) {  // overflow conns only need the protocol, not the data
+      if (conn.proto == Proto::kBinary) {
+        conn.reader.feed(d, n);
+      } else {
+        conn.http.feed(d, n);
+      }
+    }
+    conn.sniff.clear();
+    conn.sniff.shrink_to_fit();
+  }
+
+  void ingest(Connection& conn, const std::uint8_t* data, std::size_t size) {
+    switch (conn.proto) {
+      case Proto::kUnknown:
+        conn.sniff.insert(conn.sniff.end(), data, data + size);
+        sniff_decide(conn);
+        return;
+      case Proto::kBinary:
+        if (!conn.overflow) conn.reader.feed(data, size);
+        return;
+      case Proto::kHttp:
+        if (!conn.overflow) conn.http.feed(data, size);
+        return;
+      case Proto::kBad:
+        return;  // discarded; post_read drops the connection
+    }
+  }
+
+  // Dispatch whatever complete requests the readers now hold. Returns false
+  // when the connection was dropped.
+  bool post_read(Shard& sh, Connection& conn) {
+    if (conn.proto == Proto::kBad) {
+      if (conn.overflow) {
+        drop_conn(sh, conn.id);
+        return false;
+      }
+      // First bytes matched neither protocol. Answer in the binary framing —
+      // the likeliest sender is a broken binary client, and an HTTP client
+      // would have matched the sniff — then close, preserving the original
+      // bad-magic contract (kBadRequest, request id 0).
+      if (!conn.close_after_flush) {
+        poison(sh, conn, "unrecognized protocol (neither SESR framing nor HTTP)");
+      }
+      return true;
+    }
+    if (conn.overflow) {
+      if (conn.proto == Proto::kBinary) {
+        // Binary protocol has no pre-auth chatter to hang on: a clean EOF is
+        // the unambiguous "try elsewhere" signal.
+        drop_conn(sh, conn.id);
+        return false;
+      }
+      if (conn.proto == Proto::kHttp && !conn.close_after_flush) {
+        conn.outbox.push_back(http_response(503, "text/plain", "over capacity\n", true));
+        conn.close_after_flush = true;
+      }
+      return true;  // kUnknown: keep sniffing (timeouts bound the wait)
+    }
+    if (conn.proto == Proto::kBinary) {
+      while (auto payload = conn.reader.next()) {
+        handle_payload(sh, conn, *payload);
+        if (conn.close_after_flush) return true;  // poisoned inside a handler
+      }
+      if (conn.reader.poisoned() && !conn.close_after_flush) {
+        poison(sh, conn, conn.reader.error());
+      }
+    } else if (conn.proto == Proto::kHttp) {
+      pump_http(sh, conn);
+    }
+    return true;
+  }
+
+  // --- completions --------------------------------------------------------
+
+  void drain_completions(Shard& sh) {
     std::vector<std::uint64_t> ready;
     {
-      std::lock_guard<std::mutex> lock(completed_mutex);
-      ready.swap(completed);
+      std::lock_guard<std::mutex> lock(sh.completed_mutex);
+      ready.swap(sh.completed);
     }
     for (const std::uint64_t seq : ready) {
-      auto it = pending.find(seq);
-      if (it == pending.end()) continue;
+      auto it = sh.pending.find(seq);
+      if (it == sh.pending.end()) continue;
       Pending entry = std::move(it->second);
-      pending.erase(it);
-      auto conn_it = conns.find(entry.conn_id);
-      if (conn_it == conns.end()) continue;  // client left; drop the result
-      WireResponse response;
-      try {
-        Tensor output = entry.future.get();  // ready: the hook fires post-promise
-        response.id = entry.wire_id;
-        response.status = Status::kOk;
-        response.flags = entry.flags;
-        response.route = entry.served_route;
-        response.h = output.shape().h();
-        response.w = output.shape().w();
-        response.pixels = frame_to_pixels(output);
-      } catch (...) {
-        response = error_response(entry.wire_id, entry.served_route, std::current_exception());
-        response.flags = entry.flags;
+      sh.pending.erase(it);
+      auto conn_it = sh.conns.find(entry.conn_id);
+      if (conn_it == sh.conns.end()) continue;  // client left; drop the result
+      Connection& conn = conn_it->second;
+      if (conn.inflight > 0) conn.inflight--;
+      if (!entry.via_http) {
+        WireResponse response;
+        try {
+          Tensor output = entry.future.get();  // ready: the hook fires post-promise
+          response.id = entry.wire_id;
+          response.status = Status::kOk;
+          response.flags = entry.flags;
+          response.route = entry.served_route;
+          response.h = output.shape().h();
+          response.w = output.shape().w();
+          response.pixels = frame_to_pixels(output);
+        } catch (...) {
+          response = error_response(entry.wire_id, entry.served_route,
+                                    std::current_exception());
+          response.flags = entry.flags;
+        }
+        queue_response(sh, conn, response);
+        continue;
       }
-      queue_response(conn_it->second, response);
+      // HTTP completion.
+      int code = 200;
+      std::string ctype = "text/plain";
+      std::vector<std::uint8_t> body;
+      std::vector<std::string> extra;
+      try {
+        Tensor output = entry.future.get();
+        const std::int64_t h = output.shape().h();
+        const std::int64_t w = output.shape().w();
+        const std::vector<float> pixels = frame_to_pixels(output);
+        if (entry.http_pgm) {
+          ctype = "image/x-portable-graymap";
+          body = encode_pgm(h, w, pixels);
+        } else {
+          ctype = "application/octet-stream";
+          body.resize(pixels.size() * 4);
+          std::memcpy(body.data(), pixels.data(), body.size());
+        }
+        extra.push_back("X-SESR-Height: " + std::to_string(h));
+        extra.push_back("X-SESR-Width: " + std::to_string(w));
+        extra.push_back("X-SESR-Route: " + entry.served_route);
+        extra.push_back("X-SESR-Flags: " + std::to_string(entry.flags));
+      } catch (...) {
+        const WireResponse err =
+            error_response(0, entry.served_route, std::current_exception());
+        code = http_status_for(err.status);
+        const std::string text = err.message + "\n";
+        body.assign(text.begin(), text.end());
+      }
+      const bool close = !entry.http_keep_alive;
+      conn.outbox.push_back(http_response(code, ctype, body, close, extra));
+      conn.http_busy = false;
+      if (close) {
+        conn.close_after_flush = true;
+      } else {
+        pump_http(sh, conn);  // a pipelined request may already be waiting
+      }
     }
   }
 
-  void accept_ready() {
+  // --- socket events ------------------------------------------------------
+
+  void accept_ready(Shard& sh, Clock::time_point now) {
     while (true) {
-      const int fd = ::accept(listener.get(), nullptr, nullptr);
+      const int fd = ::accept(sh.listener.get(), nullptr, nullptr);
       if (fd < 0) {
-        if (errno == EAGAIN || errno == EWOULDBLOCK || errno == EINTR) return;
-        return;  // transient accept failure; the listener stays up
+        switch (classify_accept_errno(errno)) {
+          case AcceptAction::kDrained:
+            return;
+          case AcceptAction::kRetry:
+            // This connection died in the backlog; the next may be fine.
+            sh.n_accept_errors.fetch_add(1, std::memory_order_relaxed);
+            continue;
+          case AcceptAction::kPause:
+            // fd/memory exhaustion: the listener stays readable, so keeping
+            // it in the poll set would busy-spin. Sit out briefly.
+            sh.n_accept_errors.fetch_add(1, std::memory_order_relaxed);
+            sh.accept_paused = true;
+            sh.accept_resume = now + kAcceptPause;
+            return;
+        }
       }
       Fd accepted(fd);
-      if (conns.size() >= options.max_connections) {
-        n_rejected.fetch_add(1, std::memory_order_relaxed);
-        continue;  // Fd closes on scope exit
+      const bool over = sh.active_count >= per_shard_cap;
+      if (over && sh.overflow_count >= kOverflowSlots) {
+        sh.n_rejected.fetch_add(1, std::memory_order_relaxed);
+        continue;  // pen full too: Fd closes on scope exit
       }
       set_nonblocking(accepted, true);
       set_nodelay(accepted);
-      const std::uint64_t id = next_conn_id++;
+      const std::uint64_t id = sh.next_conn_id++;
       Connection conn;
       conn.id = id;
       conn.fd = std::move(accepted);
       conn.reader = FrameReader(options.max_payload_bytes);
-      conns.emplace(id, std::move(conn));
-      n_accepted.fetch_add(1, std::memory_order_relaxed);
+      conn.http = HttpReader(options.max_payload_bytes);
+      conn.overflow = over;
+      conn.last_activity = now;
+      sh.conns.emplace(id, std::move(conn));
+      if (over) {
+        sh.n_rejected.fetch_add(1, std::memory_order_relaxed);
+        sh.overflow_count++;
+      } else {
+        sh.n_accepted.fetch_add(1, std::memory_order_relaxed);
+        sh.active_count++;
+      }
     }
   }
 
   // Returns false when the connection died and was erased.
-  bool read_ready(Connection& conn) {
+  bool read_ready(Shard& sh, Connection& conn, Clock::time_point now) {
     std::uint8_t buf[64 * 1024];
     while (true) {
       const ssize_t n = ::recv(conn.fd.get(), buf, sizeof(buf), 0);
       if (n > 0) {
-        conn.reader.feed(buf, static_cast<std::size_t>(n));
+        conn.last_activity = now;
+        ingest(conn, buf, static_cast<std::size_t>(n));
         continue;
       }
       if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) break;
       if (n < 0 && errno == EINTR) continue;
       // Peer closed (possibly mid-request) or hard error: drop the
       // connection; in-flight completions for it are discarded later.
-      n_disconnects.fetch_add(1, std::memory_order_relaxed);
-      conns.erase(conn.id);
+      sh.n_disconnects.fetch_add(1, std::memory_order_relaxed);
+      drop_conn(sh, conn.id);
       return false;
     }
-    while (auto payload = conn.reader.next()) {
-      handle_payload(conn, *payload);
-      if (conn.close_after_flush) return true;  // poisoned inside a handler
-    }
-    if (conn.reader.poisoned() && !conn.close_after_flush) {
-      poison(conn, conn.reader.error());
-    }
-    return true;
+    return post_read(sh, conn);
   }
 
   // Returns false when the connection was erased.
-  bool write_ready(Connection& conn) {
+  bool write_ready(Shard& sh, Connection& conn, Clock::time_point now) {
     while (!conn.outbox.empty()) {
       const std::vector<std::uint8_t>& front = conn.outbox.front();
       const ssize_t n = ::send(conn.fd.get(), front.data() + conn.out_offset,
@@ -249,46 +690,88 @@ struct NetServer::Impl {
       if (n < 0) {
         if (errno == EAGAIN || errno == EWOULDBLOCK) return true;
         if (errno == EINTR) continue;
-        n_disconnects.fetch_add(1, std::memory_order_relaxed);
-        conns.erase(conn.id);
+        sh.n_disconnects.fetch_add(1, std::memory_order_relaxed);
+        drop_conn(sh, conn.id);
         return false;
       }
+      conn.last_activity = now;  // write progress counts as liveness
       conn.out_offset += static_cast<std::size_t>(n);
       if (conn.out_offset == front.size()) {
         conn.outbox.pop_front();
         conn.out_offset = 0;
-        n_responses.fetch_add(1, std::memory_order_relaxed);
+        sh.n_responses.fetch_add(1, std::memory_order_relaxed);
       }
     }
     if (conn.close_after_flush) {
-      conns.erase(conn.id);
+      drop_conn(sh, conn.id);
       return false;
     }
     return true;
   }
 
-  void run(const std::atomic<bool>& stopping) {
+  void sweep_timeouts(Shard& sh, Clock::time_point now) {
+    if (options.read_timeout_ms == 0 && options.idle_timeout_ms == 0) return;
+    std::vector<std::uint64_t> doomed;
+    for (const auto& [id, conn] : sh.conns) {
+      const auto age_ms = std::chrono::duration_cast<std::chrono::milliseconds>(
+                              now - conn.last_activity)
+                              .count();
+      bool partial = false;
+      switch (conn.proto) {
+        case Proto::kUnknown: partial = !conn.sniff.empty(); break;
+        case Proto::kBinary: partial = conn.reader.partial_bytes() > 0; break;
+        case Proto::kHttp: partial = conn.http.partial_bytes() > 0; break;
+        case Proto::kBad: break;
+      }
+      if (partial) {
+        // Slow-loris: a request trickling in byte-by-byte does not get to
+        // hold a connection slot indefinitely.
+        if (options.read_timeout_ms != 0 &&
+            age_ms >= static_cast<long long>(options.read_timeout_ms)) {
+          doomed.push_back(id);
+        }
+      } else if (conn.inflight == 0) {
+        // Nothing pending in either direction; in-flight inference and
+        // slow-draining outboxes with write progress never trip this.
+        if (options.idle_timeout_ms != 0 &&
+            age_ms >= static_cast<long long>(options.idle_timeout_ms)) {
+          doomed.push_back(id);
+        }
+      }
+    }
+    for (const std::uint64_t id : doomed) {
+      sh.n_timeouts.fetch_add(1, std::memory_order_relaxed);
+      drop_conn(sh, id);
+    }
+  }
+
+  void run(Shard& sh, const std::atomic<bool>& stopping) {
     bool accepting = true;
     while (true) {
-      drain_completions();
+      drain_completions(sh);
+      const Clock::time_point now = Clock::now();
+      sweep_timeouts(sh, now);  // also during shutdown: dead peers must not wedge it
 
       if (stopping.load(std::memory_order_seq_cst)) {
         if (accepting) {
-          listener.reset();  // stop accepting; existing requests still finish
+          sh.listener.reset();  // stop accepting; existing requests still finish
           accepting = false;
         }
-        bool flushed = pending.empty();
-        for (const auto& [id, conn] : conns) {
+        bool flushed = sh.pending.empty();
+        for (const auto& [id, conn] : sh.conns) {
           if (!conn.outbox.empty()) flushed = false;
         }
         if (flushed) break;
       }
 
+      if (sh.accept_paused && now >= sh.accept_resume) sh.accept_paused = false;
+      const bool poll_listener = accepting && !sh.accept_paused;
+
       std::vector<pollfd> fds;
-      fds.push_back(pollfd{wake.read_fd(), POLLIN, 0});
-      if (accepting) fds.push_back(pollfd{listener.get(), POLLIN, 0});
+      fds.push_back(pollfd{sh.wake.read_fd(), POLLIN, 0});
+      if (poll_listener) fds.push_back(pollfd{sh.listener.get(), POLLIN, 0});
       std::vector<std::uint64_t> order;  // conn id per pollfd entry
-      for (auto& [id, conn] : conns) {
+      for (auto& [id, conn] : sh.conns) {
         short events = 0;
         if (!stopping.load(std::memory_order_relaxed)) events |= POLLIN;
         if (!conn.outbox.empty()) events |= POLLOUT;
@@ -296,61 +779,86 @@ struct NetServer::Impl {
         fds.push_back(pollfd{conn.fd.get(), events, 0});
         order.push_back(id);
       }
-      // 100ms cap: a pure safety net so a lost wakeup can only delay, never
-      // wedge, the loop.
+      // 100ms cap: a safety net so a lost wakeup can only delay the loop, and
+      // the tick that drives timeout sweeps and accept-pause expiry.
       ::poll(fds.data(), fds.size(), 100);
 
+      const Clock::time_point after = Clock::now();
       std::size_t index = 0;
-      if (fds[index].revents & POLLIN) wake.drain();
+      if (fds[index].revents & POLLIN) sh.wake.drain();
       ++index;
-      if (accepting) {
-        if (fds[index].revents & POLLIN) accept_ready();
+      if (poll_listener) {
+        if (fds[index].revents & POLLIN) accept_ready(sh, after);
         ++index;
       }
       for (std::size_t c = 0; c < order.size(); ++c, ++index) {
-        auto it = conns.find(order[c]);
-        if (it == conns.end()) continue;
+        auto it = sh.conns.find(order[c]);
+        if (it == sh.conns.end()) continue;
         Connection& conn = it->second;
         const short revents = fds[index].revents;
         if (revents & (POLLERR | POLLNVAL)) {
-          n_disconnects.fetch_add(1, std::memory_order_relaxed);
-          conns.erase(conn.id);
+          sh.n_disconnects.fetch_add(1, std::memory_order_relaxed);
+          drop_conn(sh, conn.id);
           continue;
         }
-        if ((revents & (POLLIN | POLLHUP)) && !read_ready(conn)) continue;
-        if ((revents & POLLOUT) || !it->second.outbox.empty()) write_ready(it->second);
+        if ((revents & (POLLIN | POLLHUP)) && !read_ready(sh, conn, after)) continue;
+        it = sh.conns.find(order[c]);
+        if (it == sh.conns.end()) continue;
+        if ((revents & POLLOUT) || !it->second.outbox.empty()) {
+          write_ready(sh, it->second, after);
+        }
       }
     }
-    conns.clear();
+    sh.conns.clear();
+    sh.active_count = 0;
+    sh.overflow_count = 0;
   }
 };
 
 NetServer::NetServer(ShardedServer& server, NetServerOptions options)
-    : impl_(std::make_unique<Impl>(server, options)) {
-  impl_->listener = listen_tcp(options.port);
-  set_nonblocking(impl_->listener, true);
-  port_ = local_port(impl_->listener);
-  io_thread_ = std::thread([this] { impl_->run(stopping_); });
+    : impl_(std::make_unique<Impl>(server, std::move(options))) {
+  const NetServerOptions& opts = impl_->options;
+  if (opts.io_shards == 0) {
+    throw std::invalid_argument("net: io_shards must be >= 1");
+  }
+  if (!is_loopback_address(opts.bind_address) && opts.auth_token.empty()) {
+    throw std::invalid_argument(
+        "net: refusing to bind non-loopback address '" + opts.bind_address +
+        "' without an auth token (set NetServerOptions::auth_token)");
+  }
+  impl_->per_shard_cap =
+      std::max<std::size_t>(1, opts.max_connections / opts.io_shards);
+  // Shard 0 may bind an ephemeral port; the rest join it via SO_REUSEPORT
+  // (which shard 0 must also set for the group to form).
+  const bool reuse = opts.io_shards > 1;
+  for (std::size_t i = 0; i < opts.io_shards; ++i) {
+    auto shard = std::make_unique<Impl::Shard>();
+    shard->index = i;
+    const std::uint16_t port = i == 0 ? opts.port : port_;
+    shard->listener = listen_tcp(opts.bind_address, port, 64, reuse);
+    set_nonblocking(shard->listener, true);
+    if (i == 0) port_ = local_port(shard->listener);
+    impl_->shards.push_back(std::move(shard));
+  }
+  // Threads start only after every listener bound: a bind failure above must
+  // not leave half a fleet running.
+  for (auto& shard : impl_->shards) {
+    shard->thread =
+        std::thread([this, sh = shard.get()] { impl_->run(*sh, stopping_); });
+  }
 }
 
 NetServer::~NetServer() { shutdown(); }
 
-NetStats NetServer::stats() const {
-  NetStats s;
-  s.connections_accepted = impl_->n_accepted.load(std::memory_order_relaxed);
-  s.connections_rejected = impl_->n_rejected.load(std::memory_order_relaxed);
-  s.disconnects = impl_->n_disconnects.load(std::memory_order_relaxed);
-  s.requests = impl_->n_requests.load(std::memory_order_relaxed);
-  s.responses = impl_->n_responses.load(std::memory_order_relaxed);
-  s.malformed = impl_->n_malformed.load(std::memory_order_relaxed);
-  return s;
-}
+NetStats NetServer::stats() const { return impl_->snapshot_all(); }
 
 void NetServer::shutdown() {
   std::call_once(shutdown_once_, [this] {
     stopping_.store(true, std::memory_order_seq_cst);
-    impl_->wake.wake();
-    if (io_thread_.joinable()) io_thread_.join();
+    for (auto& shard : impl_->shards) shard->wake.wake();
+    for (auto& shard : impl_->shards) {
+      if (shard->thread.joinable()) shard->thread.join();
+    }
   });
 }
 

@@ -1,37 +1,58 @@
-// TCP front end: a poll()-driven IO loop feeding ShardedServer.
+// TCP front end: N shared-nothing IO shards feeding one ShardedServer.
 //
-//   accept ──> per-connection FrameReader ──> decode_request
-//                     │                             │
-//                     │                  submit_admitted(route, frame,
-//                     │                    {deadline, done_hook, never_block})
-//                     │                             │ (worker threads)
-//              outbox <── encode_response <── completion queue + wake pipe
+//   listener[i] (SO_REUSEPORT) ──> shard i poll() loop
+//        │  sniff first bytes: "SESR" -> binary framing, method token -> HTTP
+//        │
+//        ├─ binary: FrameReader ──> decode_request ──> auth check
+//        │                                │
+//        ├─ HTTP:   HttpReader  ──> /healthz /stats /v1/upscale
+//        │                                │
+//        │                   submit_admitted / submit_video
+//        │                     {deadline, done_hook, never_block}
+//        │                                │ (worker threads)
+//        └── outbox <── encode_response / http_response <── completions + wake
 //
-// One thread owns every socket. Inference completions arrive on worker
-// threads; their done_hook only records the pending-request id and writes one
-// byte to a self-pipe, so the IO thread wakes, collects the resolved future
-// (ready by contract — the hook fires after the promise), encodes the
-// response, and writes it on the owning connection. Responses therefore
-// pipeline: a connection may have many requests in flight and receives
-// responses in completion order, matched by the echoed request id.
+// Each shard owns its listener, connections, pending table, wake pipe, and
+// counters — shared-nothing, so shards never contend. With io_shards > 1
+// every listener binds the same (address, port) with SO_REUSEPORT and the
+// kernel load-balances accepted connections across shards by 4-tuple hash.
+// The process-wide max_connections budget is split evenly per shard.
 //
-// Every submit uses never_block: the IO loop must not park on a full queue,
-// so overload surfaces as a typed kOverloaded response (shed or queue-full)
-// instead of backpressure-by-stall. A malformed frame poisons its connection:
-// the server answers kBadRequest (request id 0) and closes after flushing —
-// length-prefix framing cannot resynchronize past corrupt bytes. A client
-// that disconnects mid-request just loses its responses; in-flight inference
-// completes and the results are dropped on the floor when the completion
-// finds no live connection.
+// Inference completions arrive on worker threads; their done_hook only
+// records the pending-request seq and wakes the owning shard's pipe, so that
+// shard's IO thread collects the resolved future (ready by contract — the
+// hook fires after the promise), encodes the response, and writes it on the
+// owning connection. Binary responses pipeline (matched by echoed request
+// id); HTTP allows one in-flight request per connection so responses stay
+// ordered.
+//
+// Every submit uses never_block: an IO loop must not park on a full queue,
+// so overload surfaces as a typed kOverloaded response / HTTP 503 instead of
+// backpressure-by-stall. A malformed frame poisons its connection: the
+// server answers kBadRequest (HTTP: 400) and closes after flushing. Slow or
+// dead peers are bounded by two per-connection timers: read_timeout_ms while
+// a partial request is pending (the slow-loris defense) and idle_timeout_ms
+// when nothing is pending at all.
+//
+// Deployment shape: binding beyond loopback (bind_address not in 127/8)
+// REQUIRES auth_token — the constructor refuses otherwise. When a token is
+// set, every binary request must carry it (kRequestFlagAuth field; wrong or
+// missing answers kUnauthorized, the connection survives) and every HTTP
+// request except GET /healthz must send it in Authorization (401 otherwise).
+// Comparison is constant-time either way.
 //
 // shutdown(): stop accepting, stop reading, flush every in-flight response,
-// join. It does NOT shut down the ShardedServer — the owner decides whether
-// that instance drains, reloads, or dies.
+// join all shards. It does NOT shut down the ShardedServer — the owner
+// decides whether that instance drains, reloads, or dies.
 #pragma once
 
 #include <atomic>
 #include <cstdint>
-#include <thread>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
 
 #include "serve/net/socket.hpp"
 #include "serve/net/wire.hpp"
@@ -41,23 +62,57 @@ namespace sesr::serve::net {
 
 struct NetServerOptions {
   std::uint16_t port = 0;  // 0 = ephemeral; NetServer::port() reports it
-  std::size_t max_connections = 256;
+  // Numeric IPv4 bind address. Loopback ("127.0.0.1") serves local clients
+  // only; "0.0.0.0" accepts from any interface and REQUIRES auth_token.
+  std::string bind_address = "127.0.0.1";
+  // Shared-secret token. Empty = no auth (loopback binds only). Non-empty =
+  // enforced on every request, any bind.
+  std::string auth_token;
+  // Number of SO_REUSEPORT listener shards (>= 1). Each shard is one thread
+  // with its own listener + poll loop; the kernel spreads connections across
+  // them. One shard preserves the single-threaded front end exactly.
+  std::size_t io_shards = 1;
+  std::size_t max_connections = 256;  // process-wide; split evenly per shard
   std::uint32_t max_payload_bytes = kMaxPayloadBytes;
+  // Close a connection whose partial request (binary frame or HTTP header/
+  // body) has made no progress for this long — a slow-loris writer cannot
+  // hold a slot open byte-by-byte. 0 disables.
+  std::uint32_t read_timeout_ms = 10'000;
+  // Close a connection with nothing pending (no partial input, no in-flight
+  // inference) and no activity for this long. 0 disables.
+  std::uint32_t idle_timeout_ms = 60'000;
+  // TEST SEAM: when set, invoked immediately before every ShardedServer
+  // submit on the IO thread; throwing simulates a synchronous submit failure
+  // (the pending-entry-leak regression needs one on demand).
+  std::function<void()> submit_fault;
 };
 
-struct NetStats {
+// Counters of one IO shard (and, summed, of the whole front end).
+struct NetShardStats {
   std::uint64_t connections_accepted = 0;
   std::uint64_t connections_rejected = 0;  // over max_connections
   std::uint64_t disconnects = 0;           // peer closed (clean or mid-request)
-  std::uint64_t requests = 0;              // complete frames decoded and submitted
+  std::uint64_t requests = 0;              // decoded and submitted (both protocols)
   std::uint64_t responses = 0;             // responses fully written
   std::uint64_t malformed = 0;             // poisoned connections
+  std::uint64_t accept_errors = 0;         // accept(2) failures (retried or paused)
+  std::uint64_t timeouts = 0;              // read/idle timeout closes
+  std::uint64_t http_requests = 0;         // requests that arrived via HTTP
+  std::uint64_t auth_failures = 0;         // kUnauthorized / 401 answers
+};
+
+// Roll-up: the inherited fields are totals across shards; `shards` is the
+// per-shard breakdown (size == io_shards, index == shard id).
+struct NetStats : NetShardStats {
+  std::vector<NetShardStats> shards;
 };
 
 class NetServer {
  public:
-  // Binds 127.0.0.1:{options.port} and starts the IO thread. Throws
-  // SocketError when the port is taken.
+  // Binds io_shards listeners on bind_address:{options.port} and starts one
+  // IO thread per shard. Throws SocketError when the bind fails and
+  // std::invalid_argument for a non-loopback bind without auth_token or
+  // io_shards == 0.
   NetServer(ShardedServer& server, NetServerOptions options);
   ~NetServer();
   NetServer(const NetServer&) = delete;
@@ -67,14 +122,14 @@ class NetServer {
   NetStats stats() const;
 
   // Stop accepting and reading, flush every pending response (waiting for
-  // in-flight inference to resolve), close all sockets, join. Idempotent.
+  // in-flight inference to resolve), close all sockets, join all shards.
+  // Idempotent.
   void shutdown();
 
  private:
   struct Impl;
   std::unique_ptr<Impl> impl_;
   std::uint16_t port_ = 0;
-  std::thread io_thread_;
   std::atomic<bool> stopping_{false};
   std::once_flag shutdown_once_;
 };

@@ -42,22 +42,74 @@ void Fd::reset() {
   }
 }
 
-Fd listen_tcp(std::uint16_t port, int backlog) {
+Fd listen_tcp(const std::string& bind_address, std::uint16_t port, int backlog,
+              bool reuse_port) {
   Fd fd(::socket(AF_INET, SOCK_STREAM, 0));
   if (!fd.valid()) throw_errno("socket");
   const int one = 1;
   if (::setsockopt(fd.get(), SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one)) != 0) {
     throw_errno("setsockopt(SO_REUSEADDR)");
   }
+  if (reuse_port &&
+      ::setsockopt(fd.get(), SOL_SOCKET, SO_REUSEPORT, &one, sizeof(one)) != 0) {
+    throw_errno("setsockopt(SO_REUSEPORT)");
+  }
   sockaddr_in addr{};
   addr.sin_family = AF_INET;
-  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  const std::string numeric =
+      (bind_address == "localhost" || bind_address.empty()) ? "127.0.0.1" : bind_address;
+  if (::inet_pton(AF_INET, numeric.c_str(), &addr.sin_addr) != 1) {
+    throw SocketError("listen: unsupported bind address '" + bind_address +
+                      "' (numeric IPv4 only)");
+  }
   addr.sin_port = htons(port);
   if (::bind(fd.get(), reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) != 0) {
-    throw_errno("bind(127.0.0.1:" + std::to_string(port) + ")");
+    throw_errno("bind(" + numeric + ":" + std::to_string(port) + ")");
   }
   if (::listen(fd.get(), backlog) != 0) throw_errno("listen");
   return fd;
+}
+
+bool is_loopback_address(const std::string& bind_address) {
+  if (bind_address == "localhost" || bind_address.empty()) return true;
+  in_addr addr{};
+  if (::inet_pton(AF_INET, bind_address.c_str(), &addr) != 1) return false;
+  // 127.0.0.0/8: the whole block is loopback, not just 127.0.0.1.
+  return (ntohl(addr.s_addr) >> 24) == 127u;
+}
+
+AcceptAction classify_accept_errno(int err) {
+  switch (err) {
+    case EAGAIN:
+#if EAGAIN != EWOULDBLOCK
+    case EWOULDBLOCK:
+#endif
+      return AcceptAction::kDrained;
+    // Linux completes handshakes asynchronously, so a connection can be dead
+    // (reset by the peer, protocol error) by the time accept() reaches it.
+    // That is the CONNECTION's failure, not the listener's: the next queued
+    // one may be fine.
+    case ECONNABORTED:
+#ifdef EPROTO
+    case EPROTO:
+#endif
+    case EINTR:
+      return AcceptAction::kRetry;
+    // Out of fds (process or system) or kernel memory: the pending connection
+    // stays in the backlog, the listener stays POLLIN-readable, and an
+    // accept loop that just returns will be woken again immediately — a
+    // 100%-CPU spin until an fd frees. The listener must leave the poll set
+    // until resources can plausibly have been released.
+    case EMFILE:
+    case ENFILE:
+    case ENOBUFS:
+    case ENOMEM:
+      return AcceptAction::kPause;
+    default:
+      // Unknown errno: treat like exhaustion — pausing is safe for any cause
+      // (accepts resume after the backoff), spinning is not.
+      return AcceptAction::kPause;
+  }
 }
 
 std::uint16_t local_port(const Fd& fd) {

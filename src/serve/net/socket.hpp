@@ -1,7 +1,8 @@
 // Thin RAII wrappers over POSIX TCP sockets — everything the front end needs
-// and nothing more (IPv4 loopback-grade: bind/listen/accept/connect,
-// non-blocking mode, send/recv). Errors surface as SocketError with errno
-// text. Linux/POSIX only, matching the repo's serving targets.
+// and nothing more (IPv4: bind/listen/accept/connect, non-blocking mode,
+// send/recv, SO_REUSEPORT for shared-nothing listener shards). Errors surface
+// as SocketError with errno text. Linux/POSIX only, matching the repo's
+// serving targets.
 #pragma once
 
 #include <cstdint>
@@ -35,10 +36,31 @@ class Fd {
   int fd_ = -1;
 };
 
-// Bind + listen on 127.0.0.1:port (port 0 = kernel-assigned ephemeral;
-// local_port() reports the actual one). SO_REUSEADDR so restarts don't trip
-// over TIME_WAIT.
-Fd listen_tcp(std::uint16_t port, int backlog = 64);
+// Bind + listen on bind_address:port (port 0 = kernel-assigned ephemeral;
+// local_port() reports the actual one). bind_address is a numeric IPv4
+// address — "127.0.0.1" for loopback-only, "0.0.0.0" to accept from any
+// interface. SO_REUSEADDR so restarts don't trip over TIME_WAIT;
+// reuse_port additionally sets SO_REUSEPORT so N listeners can share one
+// (address, port) and the kernel load-balances accepts across them — the
+// IO-shard mechanism (every sharing listener must set it, including the
+// first).
+Fd listen_tcp(const std::string& bind_address, std::uint16_t port, int backlog = 64,
+              bool reuse_port = false);
+
+// True when `bind_address` is a loopback address (127.0.0.0/8 or
+// "localhost"): the auth-token requirement keys off this.
+bool is_loopback_address(const std::string& bind_address);
+
+// What the accept loop should do about an accept(2) errno. Pure
+// classification (unit-testable without exhausting fds):
+//  - kRetry:  per-connection failure (ECONNABORTED, EPROTO, EINTR, ...) —
+//             the next queued connection may be fine, keep accepting.
+//  - kDrained: EAGAIN/EWOULDBLOCK — the backlog is empty, return to poll().
+//  - kPause:  resource exhaustion (EMFILE, ENFILE, ENOBUFS, ENOMEM) — the
+//             listener stays readable, so polling it again immediately would
+//             busy-spin at 100% CPU; deregister it briefly and retry.
+enum class AcceptAction { kRetry, kDrained, kPause };
+AcceptAction classify_accept_errno(int err);
 
 // The bound port of a listening socket.
 std::uint16_t local_port(const Fd& fd);

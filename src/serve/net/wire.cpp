@@ -91,13 +91,19 @@ void seal(std::vector<std::uint8_t>& out) {
 
 std::vector<std::uint8_t> encode_request(const WireRequest& request) {
   std::vector<std::uint8_t> out;
-  out.reserve(8 + 39 + request.route.size() + request.pixels.size() * 4);
+  out.reserve(8 + 41 + request.auth.size() + request.route.size() + request.pixels.size() * 4);
   put_prefix(out);
   put_u64(out, request.id);
   put_u32(out, request.deadline_us);
-  out.push_back(request.video ? kRequestFlagVideo : 0);
+  std::uint8_t flags = request.video ? kRequestFlagVideo : 0;
+  if (!request.auth.empty()) flags |= kRequestFlagAuth;
+  out.push_back(flags);
   put_u64(out, request.session_id);
   put_u32(out, request.frame_seq);
+  if (!request.auth.empty()) {
+    put_u16(out, static_cast<std::uint16_t>(request.auth.size()));
+    out.insert(out.end(), request.auth.begin(), request.auth.end());
+  }
   put_u16(out, static_cast<std::uint16_t>(request.route.size()));
   out.insert(out.end(), request.route.begin(), request.route.end());
   put_u32(out, static_cast<std::uint32_t>(request.h));
@@ -137,11 +143,19 @@ std::optional<WireRequest> decode_request(const std::vector<std::uint8_t>& paylo
   std::uint16_t route_len;
   std::uint32_t h, w;
   if (!c.u64(r.id) || !c.u32(r.deadline_us) || !c.u8(flags) || !c.u64(r.session_id) ||
-      !c.u32(r.frame_seq) || !c.u16(route_len) || !c.bytes(route_len, r.route) || !c.u32(h) ||
-      !c.u32(w)) {
+      !c.u32(r.frame_seq)) {
     return std::nullopt;
   }
-  if ((flags & ~kRequestFlagVideo) != 0) return std::nullopt;  // unknown flag bits
+  if ((flags & ~(kRequestFlagVideo | kRequestFlagAuth)) != 0) {
+    return std::nullopt;  // unknown flag bits
+  }
+  if ((flags & kRequestFlagAuth) != 0) {
+    std::uint16_t auth_len;
+    if (!c.u16(auth_len) || auth_len == 0 || !c.bytes(auth_len, r.auth)) return std::nullopt;
+  }
+  if (!c.u16(route_len) || !c.bytes(route_len, r.route) || !c.u32(h) || !c.u32(w)) {
+    return std::nullopt;
+  }
   r.video = (flags & kRequestFlagVideo) != 0;
   if (r.route.empty() || h == 0 || w == 0) return std::nullopt;
   // The pixel block must be exactly h*w floats — no trailing garbage.
@@ -163,7 +177,7 @@ std::optional<WireResponse> decode_response(const std::vector<std::uint8_t>& pay
       !c.bytes(route_len, r.route) || !c.u32(h) || !c.u32(w)) {
     return std::nullopt;
   }
-  if (status > static_cast<std::uint8_t>(Status::kError)) return std::nullopt;
+  if (status > static_cast<std::uint8_t>(Status::kUnauthorized)) return std::nullopt;
   r.status = static_cast<Status>(status);
   if (r.status == Status::kOk) {
     if (h == 0 || w == 0) return std::nullopt;
@@ -182,23 +196,34 @@ std::optional<WireResponse> decode_response(const std::vector<std::uint8_t>& pay
 void FrameReader::feed(const std::uint8_t* data, std::size_t size) {
   if (poisoned()) return;
   buffer_.insert(buffer_.end(), data, data + size);
-  while (buffer_.size() >= 8) {
+  // Carve frames by advancing an offset and compact ONCE at the end: one
+  // recv() can carry K coalesced small frames, and erasing the front of the
+  // buffer per frame memmoves the whole tail K times — O(K^2) bytes for what
+  // should be one pass.
+  while (buffer_.size() - consumed_ >= 8) {
+    const std::uint8_t* p = buffer_.data() + consumed_;
     std::uint32_t magic = 0, len = 0;
-    for (int i = 0; i < 4; ++i) magic |= static_cast<std::uint32_t>(buffer_[i]) << (8 * i);
-    for (int i = 0; i < 4; ++i) len |= static_cast<std::uint32_t>(buffer_[4 + i]) << (8 * i);
+    for (int i = 0; i < 4; ++i) magic |= static_cast<std::uint32_t>(p[i]) << (8 * i);
+    for (int i = 0; i < 4; ++i) len |= static_cast<std::uint32_t>(p[4 + i]) << (8 * i);
     if (magic != kMagic) {
       error_ = "bad frame magic";
       buffer_.clear();
+      consumed_ = 0;
       return;
     }
     if (len > max_payload_) {
       error_ = "frame payload exceeds limit (" + std::to_string(len) + " bytes)";
       buffer_.clear();
+      consumed_ = 0;
       return;
     }
-    if (buffer_.size() < 8 + static_cast<std::size_t>(len)) return;  // incomplete
-    ready_.emplace_back(buffer_.begin() + 8, buffer_.begin() + 8 + len);
-    buffer_.erase(buffer_.begin(), buffer_.begin() + 8 + len);
+    if (buffer_.size() - consumed_ < 8 + static_cast<std::size_t>(len)) break;  // incomplete
+    ready_.emplace_back(p + 8, p + 8 + len);
+    consumed_ += 8 + static_cast<std::size_t>(len);
+  }
+  if (consumed_ > 0) {
+    buffer_.erase(buffer_.begin(), buffer_.begin() + static_cast<std::ptrdiff_t>(consumed_));
+    consumed_ = 0;
   }
 }
 
@@ -207,6 +232,19 @@ std::optional<std::vector<std::uint8_t>> FrameReader::next() {
   std::vector<std::uint8_t> payload = std::move(ready_.front());
   ready_.pop_front();
   return payload;
+}
+
+bool constant_time_equal(const std::string& candidate, const std::string& secret) {
+  // Fold the length difference into the accumulator instead of early-exiting,
+  // and index the secret modulo its size so every candidate byte is touched:
+  // runtime depends only on candidate.size(), never on match position.
+  unsigned diff = candidate.size() == secret.size() ? 0u : 1u;
+  if (secret.empty()) return diff == 0;
+  for (std::size_t i = 0; i < candidate.size(); ++i) {
+    diff |= static_cast<unsigned>(static_cast<unsigned char>(candidate[i]) ^
+                                  static_cast<unsigned char>(secret[i % secret.size()]));
+  }
+  return diff == 0;
 }
 
 Tensor pixels_to_frame(std::int64_t h, std::int64_t w, const std::vector<float>& pixels) {

@@ -8,14 +8,20 @@
 // little-endian). Request payload:
 //
 //     u64 request_id · u32 deadline_us · u8 flags · u64 session_id
-//     · u32 frame_seq · u16 route_len · route bytes
+//     · u32 frame_seq · [u16 auth_len · auth bytes]
+//     · u16 route_len · route bytes
 //     · u32 h · u32 w · h*w f32 (the (1, H, W, 1) Y plane, row-major)
 //
 // `flags` bit 0 (kRequestFlagVideo) marks a video-session frame: session_id
 // names the client's stream and frame_seq must increase by exactly 1 per
 // frame for the server's tile-delta path to engage (a gap just costs a full
 // re-upscale). Non-video requests carry flags = 0 and zeros for both fields.
-// Unknown flag bits are malformed.
+// `flags` bit 1 (kRequestFlagAuth) says the optional auth field is present:
+// the shared-secret token a server bound beyond loopback requires (checked
+// with a constant-time compare; a wrong or missing token answers
+// kUnauthorized, the connection survives). Requests without the flag omit
+// the field entirely, so pre-auth clients stay wire-compatible against
+// tokenless servers. Unknown flag bits are malformed.
 //
 // Response payload:
 //
@@ -58,6 +64,7 @@ enum class Status : std::uint8_t {
   kBadRequest = 3,    // malformed frame / invalid dimensions
   kShuttingDown = 4,  // server draining or shut down
   kError = 5,         // execution error
+  kUnauthorized = 6,  // auth token required / wrong (non-loopback binds)
 };
 
 // Response flag bits.
@@ -67,6 +74,7 @@ inline constexpr std::uint8_t kFlagDeltaReuse = 1u << 2;  // video tile-delta pa
 
 // Request flag bits.
 inline constexpr std::uint8_t kRequestFlagVideo = 1u << 0;  // session_id/frame_seq are live
+inline constexpr std::uint8_t kRequestFlagAuth = 1u << 1;   // auth field present
 
 struct WireRequest {
   std::uint64_t id = 0;
@@ -74,6 +82,7 @@ struct WireRequest {
   bool video = false;             // kRequestFlagVideo
   std::uint64_t session_id = 0;   // video only
   std::uint32_t frame_seq = 0;    // video only; +1 per frame within a session
+  std::string auth;               // shared-secret token; empty = field absent
   std::string route;              // route_string, e.g. "m5:2:fp32"
   std::int64_t h = 0;
   std::int64_t w = 0;
@@ -114,13 +123,25 @@ class FrameReader {
   std::optional<std::vector<std::uint8_t>> next();
   const std::string& error() const { return error_; }
   bool poisoned() const { return !error_.empty(); }
+  // Bytes buffered but not yet parsed into a complete frame — non-zero means
+  // a partial frame is pending (the read-timeout trigger).
+  std::size_t partial_bytes() const { return buffer_.size() - consumed_; }
 
  private:
   std::uint32_t max_payload_;
   std::vector<std::uint8_t> buffer_;
+  // Frames already carved out of buffer_ this feed; the buffer compacts once
+  // per feed() (erasing per frame is O(K^2) over K coalesced frames).
+  std::size_t consumed_ = 0;
   std::deque<std::vector<std::uint8_t>> ready_;
   std::string error_;
 };
+
+// Timing-safe equality for shared-secret tokens: examines every byte of
+// `candidate` regardless of where the first mismatch is, so response timing
+// does not leak a prefix match. (Length is not hidden — the frame carries it
+// in clear — only content.)
+bool constant_time_equal(const std::string& candidate, const std::string& secret);
 
 // Frame (1, H, W, 1) <-> wire pixel helpers.
 Tensor pixels_to_frame(std::int64_t h, std::int64_t w, const std::vector<float>& pixels);

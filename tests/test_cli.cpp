@@ -213,6 +213,41 @@ TEST(ServeCli, VideoKnobsParse) {
   EXPECT_EQ(parse_serve({"--video-sessions=0"}).serve.video_sessions, 0U);
 }
 
+TEST(ServeCli, DeploymentKnobsParse) {
+  const ServeCliConfig defaults = parse_serve({});
+  EXPECT_EQ(defaults.bind_address, "127.0.0.1");
+  EXPECT_TRUE(defaults.auth_token.empty());  // "none" sentinel → no auth
+  EXPECT_EQ(defaults.io_shards, 1);
+  const ServeCliConfig config = parse_serve(
+      {"--listen=0", "--bind=0.0.0.0", "--auth-token=s3cret", "--io-shards=4"});
+  EXPECT_EQ(config.bind_address, "0.0.0.0");
+  EXPECT_EQ(config.auth_token, "s3cret");
+  EXPECT_EQ(config.io_shards, 4);
+  // A client can carry a token too (it is sent with every request).
+  EXPECT_EQ(parse_serve({"--connect=127.0.0.1:9", "--auth-token=s3cret"}).auth_token, "s3cret");
+}
+
+TEST(ServeCli, BadDeploymentKnobsRaiseUsageError) {
+  // An open bind without a shared secret is refused outright.
+  EXPECT_THROW(parse_serve({"--listen=0", "--bind=0.0.0.0"}), UsageError);
+  // Loopback binds stay tokenless-friendly.
+  EXPECT_EQ(parse_serve({"--listen=0", "--bind=127.0.0.1"}).bind_address, "127.0.0.1");
+  // Server-only knobs outside server mode.
+  EXPECT_THROW(parse_serve({"--bind=10.0.0.1", "--auth-token=x"}), UsageError);
+  EXPECT_THROW(parse_serve({"--io-shards=2"}), UsageError);
+  // Shard-count and bind sanity.
+  EXPECT_THROW(parse_serve({"--listen=0", "--io-shards=0"}), UsageError);
+  EXPECT_THROW(parse_serve({"--listen=0", "--io-shards=65"}), UsageError);
+  EXPECT_THROW(parse_serve({"--listen=0", "--bind="}), UsageError);
+  EXPECT_THROW(parse_serve({"--listen=65536"}), UsageError);
+  const std::string oversized = "--auth-token=" + std::string(4097, 'a');
+  EXPECT_THROW(parse_serve({"--listen=0", oversized.c_str()}), UsageError);
+  // SLO headroom is a fraction of the budget.
+  EXPECT_DOUBLE_EQ(parse_serve({"--slo-headroom=0.5"}).serve.slo.headroom, 0.5);
+  EXPECT_THROW(parse_serve({"--slo-headroom=0"}), UsageError);
+  EXPECT_THROW(parse_serve({"--slo-headroom=1.5"}), UsageError);
+}
+
 TEST(ServeCli, BadVideoKnobsRaiseUsageError) {
   EXPECT_THROW(parse_serve({"--video=strobe"}), UsageError);
   EXPECT_THROW(parse_serve({"--video-sessions=-1"}), UsageError);

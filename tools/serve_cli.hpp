@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "cli_args.hpp"
+#include "serve/net/socket.hpp"
 #include "serve/registry.hpp"
 #include "serve/serve_options.hpp"
 
@@ -38,7 +39,10 @@ struct ServeCliConfig {
   std::uint64_t seed = 1;
 
   // TCP modes (mutually exclusive; both off = in-process load generator).
-  std::int64_t listen_port = -1;   // >= 0: serve the routes on 127.0.0.1:port (0 = ephemeral)
+  std::int64_t listen_port = -1;   // >= 0: serve the routes on bind_address:port (0 = ephemeral)
+  std::string bind_address = "127.0.0.1";  // server mode: "0.0.0.0" needs --auth-token
+  std::string auth_token;          // shared secret (server requires, client sends)
+  std::int64_t io_shards = 1;      // server mode: SO_REUSEPORT listener shards
   std::string connect_host;        // non-empty: drive a remote server instead
   std::uint16_t connect_port = 0;
   std::int64_t clients = 4;        // client mode: concurrent connections
@@ -76,11 +80,18 @@ inline std::vector<Args::Option> serve_cli_options() {
       {"shapes", "64x64", "comma list of LR HxW shapes, e.g. 64x64,128x96"},
       {"threads", "1", "intra-op threads per upscale (1 = workers scale freely)"},
       {"seed", "1", "rng seed for weights, frames, and arrivals"},
-      {"listen", "-1", "serve over TCP on 127.0.0.1:PORT (0 = ephemeral; prints the port)"},
+      {"listen", "-1", "serve over TCP on --bind:PORT (0 = ephemeral; prints the port)"},
+      {"bind", "127.0.0.1", "server bind address; 0.0.0.0 accepts from any interface "
+                            "and requires --auth-token"},
+      {"auth-token", "none", "shared-secret request token (server: require it; "
+                             "client: send it; none = no auth)"},
+      {"io-shards", "1", "server: SO_REUSEPORT listener shards, one IO thread each"},
       {"connect", "none", "drive a remote server at HOST:PORT (none = in-process)"},
       {"clients", "4", "client mode: concurrent connections (closed loop each)"},
       {"deadline-ms", "0", "per-request deadline in milliseconds (0 = none)"},
       {"slo-p99-ms", "0", "server p99 latency budget for SLO admission (0 = off)"},
+      {"slo-headroom", "1.0", "admit while estimate <= headroom * budget; below 1.0 "
+                              "sheds early to absorb estimator noise"},
       {"chaos", "none", "client mode fault injection: none|malformed|disconnect"},
       {"video", "none", "video session replay: none|static|pan|cut|sparkle|mixed "
                         "(closed-loop sequences through the tile-delta path)"},
@@ -230,6 +241,27 @@ inline ServeCliConfig parse_serve_cli(const Args& args) {
 
   config.listen_port = args.get_int("listen");
   if (config.listen_port > 65535) throw UsageError("--listen port must be <= 65535");
+  config.bind_address = args.get("bind");
+  if (config.bind_address.empty()) throw UsageError("--bind must not be empty");
+  const std::string auth_token = args.get("auth-token");
+  if (auth_token != "none") config.auth_token = auth_token;  // "none" sentinel, as --connect
+  if (config.auth_token.size() > 4096) {
+    throw UsageError("--auth-token must be at most 4096 bytes");
+  }
+  config.io_shards = args.get_int("io-shards");
+  if (config.io_shards < 1 || config.io_shards > 64) {
+    throw UsageError("--io-shards must be between 1 and 64");
+  }
+  if (config.bind_address != "127.0.0.1" && config.listen_port < 0) {
+    throw UsageError("--bind only makes sense with --listen (server mode)");
+  }
+  if (config.io_shards != 1 && config.listen_port < 0) {
+    throw UsageError("--io-shards only makes sense with --listen (server mode)");
+  }
+  if (!serve::net::is_loopback_address(config.bind_address) && config.auth_token.empty()) {
+    throw UsageError("--bind beyond loopback requires --auth-token (refusing an open, "
+                     "unauthenticated listener)");
+  }
   // "none" sentinel rather than empty: cli_args treats an empty default as a
   // boolean flag and would never consume the HOST:PORT value.
   const std::string connect = args.get("connect");
@@ -257,6 +289,10 @@ inline ServeCliConfig parse_serve_cli(const Args& args) {
   config.slo_p99_ms = args.get_double("slo-p99-ms");
   if (config.slo_p99_ms < 0.0) throw UsageError("--slo-p99-ms must be >= 0");
   config.serve.slo.p99_budget_us = static_cast<std::int64_t>(config.slo_p99_ms * 1000.0);
+  config.serve.slo.headroom = args.get_double("slo-headroom");
+  if (config.serve.slo.headroom <= 0.0 || config.serve.slo.headroom > 1.0) {
+    throw UsageError("--slo-headroom must be in (0, 1]");
+  }
   config.chaos = args.get("chaos");
   if (config.chaos != "none" && config.chaos != "malformed" && config.chaos != "disconnect") {
     throw UsageError("unknown --chaos '" + config.chaos + "' (expected none|malformed|disconnect)");

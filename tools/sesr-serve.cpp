@@ -317,15 +317,19 @@ int run_listen(const cli::ServeCliConfig& config) {
   serve::ShardedServer server(registry, config.serve);
   serve::net::NetServerOptions net_options;
   net_options.port = static_cast<std::uint16_t>(config.listen_port);
+  net_options.bind_address = config.bind_address;
+  net_options.auth_token = config.auth_token;
+  net_options.io_shards = static_cast<std::size_t>(config.io_shards);
   serve::net::NetServer net(server, net_options);
 
   std::signal(SIGINT, handle_stop);
   std::signal(SIGTERM, handle_stop);
   // The "listening on" line is the readiness handshake for scripts (CI greps
   // it for the port); keep it first and flushed.
-  std::printf("sesr-serve: listening on 127.0.0.1:%u | routes %s | slo p99 %.1f ms\n",
-              static_cast<unsigned>(net.port()), route_list_string(config).c_str(),
-              config.slo_p99_ms);
+  std::printf("sesr-serve: listening on %s:%u | routes %s | io-shards %lld%s | slo p99 %.1f ms\n",
+              config.bind_address.c_str(), static_cast<unsigned>(net.port()),
+              route_list_string(config).c_str(), static_cast<long long>(config.io_shards),
+              config.auth_token.empty() ? "" : " | auth on", config.slo_p99_ms);
   std::fflush(stdout);
 
   const auto start = std::chrono::steady_clock::now();
@@ -346,14 +350,26 @@ int run_listen(const cli::ServeCliConfig& config) {
   server.shutdown();
 
   const serve::net::NetStats ns = net.stats();
-  std::printf("net  conns %llu (rejected %llu)  requests %llu  responses %llu  malformed %llu  "
-              "disconnects %llu\n",
+  std::printf("net  conns %llu (rejected %llu)  requests %llu (http %llu)  responses %llu  "
+              "malformed %llu  disconnects %llu  timeouts %llu  auth-failures %llu  "
+              "accept-errors %llu\n",
               static_cast<unsigned long long>(ns.connections_accepted),
               static_cast<unsigned long long>(ns.connections_rejected),
               static_cast<unsigned long long>(ns.requests),
+              static_cast<unsigned long long>(ns.http_requests),
               static_cast<unsigned long long>(ns.responses),
               static_cast<unsigned long long>(ns.malformed),
-              static_cast<unsigned long long>(ns.disconnects));
+              static_cast<unsigned long long>(ns.disconnects),
+              static_cast<unsigned long long>(ns.timeouts),
+              static_cast<unsigned long long>(ns.auth_failures),
+              static_cast<unsigned long long>(ns.accept_errors));
+  for (std::size_t i = 0; i < ns.shards.size(); ++i) {
+    const serve::net::NetShardStats& shard = ns.shards[i];
+    std::printf("net  shard %zu  conns %llu  requests %llu  responses %llu\n", i,
+                static_cast<unsigned long long>(shard.connections_accepted),
+                static_cast<unsigned long long>(shard.requests),
+                static_cast<unsigned long long>(shard.responses));
+  }
   print_server_stats(config, server.stats());
   return 0;
 }
@@ -368,11 +384,16 @@ Tensor client_frame(std::uint64_t seed, std::int64_t h, std::int64_t w) {
 }
 
 int run_chaos(const cli::ServeCliConfig& config) {
+  auto make_client = [&config] {
+    serve::net::NetClient client(config.connect_host, config.connect_port);
+    if (!config.auth_token.empty()) client.set_auth_token(config.auth_token);
+    return client;
+  };
   const std::string route = serve::route_string(config.routes.front());
   const Tensor frame = client_frame(config.seed, config.shapes.front().first,
                                     config.shapes.front().second);
   if (config.chaos == "malformed") {
-    serve::net::NetClient bad(config.connect_host, config.connect_port);
+    serve::net::NetClient bad = make_client();
     bad.send_raw({0xDE, 0xAD, 0xBE, 0xEF, 0x08, 0x00, 0x00, 0x00});
     const auto response = bad.recv_response();
     if (!response || response->status != serve::net::Status::kBadRequest) {
@@ -394,7 +415,7 @@ int run_chaos(const cli::ServeCliConfig& config) {
     // seq 3 and must still delta against frame 2's snapshot.
     const std::vector<Tensor> frames = session_sequence(config, 3, 42);
     const std::uint64_t session_id = 7001;
-    serve::net::NetClient first(config.connect_host, config.connect_port);
+    serve::net::NetClient first = make_client();
     const serve::net::WireResponse r1 = first.upscale_video(route, frames[0], session_id, 1);
     const serve::net::WireResponse r2 = first.upscale_video(route, frames[1], session_id, 2);
     if (r1.status != serve::net::Status::kOk || r2.status != serve::net::Status::kOk ||
@@ -416,7 +437,7 @@ int run_chaos(const cli::ServeCliConfig& config) {
     bytes.resize(bytes.size() / 2);  // half of frame 3, then vanish
     first.send_raw(bytes);
     first.disconnect();
-    serve::net::NetClient second(config.connect_host, config.connect_port);
+    serve::net::NetClient second = make_client();
     const serve::net::WireResponse r3 = second.upscale_video(route, frames[2], session_id, 3);
     if (r3.status != serve::net::Status::kOk ||
         (r3.flags & serve::net::kFlagDeltaReuse) == 0) {
@@ -439,12 +460,12 @@ int run_chaos(const cli::ServeCliConfig& config) {
     request.pixels = serve::net::frame_to_pixels(frame);
     std::vector<std::uint8_t> bytes = serve::net::encode_request(request);
     bytes.resize(bytes.size() / 2);  // half a request, then vanish
-    serve::net::NetClient half(config.connect_host, config.connect_port);
+    serve::net::NetClient half = make_client();
     half.send_raw(bytes);
     half.disconnect();
   }
   // Either way the server must still answer a clean connection.
-  serve::net::NetClient probe(config.connect_host, config.connect_port);
+  serve::net::NetClient probe = make_client();
   const serve::net::WireResponse response = probe.upscale(route, frame);
   if (response.status != serve::net::Status::kOk) {
     std::fprintf(stderr, "chaos %s: follow-up request failed with status %d (%s)\n",
@@ -493,6 +514,7 @@ int run_client(const cli::ServeCliConfig& config) {
   auto worker = [&](std::int64_t index) {
     try {
       serve::net::NetClient client(config.connect_host, config.connect_port);
+      if (!config.auth_token.empty()) client.set_auth_token(config.auth_token);
       std::mt19937_64 arrivals(config.seed ^ (0x9E3779B97F4A7C15ULL + index));
       const double rate = config.qps > 0.0 ? config.qps / static_cast<double>(config.clients) : 0;
       std::exponential_distribution<double> inter_arrival(rate > 0.0 ? rate : 1.0);
@@ -545,6 +567,15 @@ int run_client(const cli::ServeCliConfig& config) {
             break;
           case serve::net::Status::kOverloaded:
             overloaded.fetch_add(1, std::memory_order_relaxed);
+            // Closed-loop clients back off on a typed overload answer, as in
+            // the bench's SLO sweep: an immediate retry busy-spins on the
+            // admission check and steals the CPU the workers need to clear
+            // the very overload being reported. Staggered per client so the
+            // herd does not re-synchronize. Open loop keeps its arrival
+            // process — shed-and-continue is the behavior being measured.
+            if (rate <= 0.0) {
+              std::this_thread::sleep_for(std::chrono::milliseconds(4 + index));
+            }
             break;
           case serve::net::Status::kShuttingDown:
             shutting_down.fetch_add(1, std::memory_order_relaxed);
