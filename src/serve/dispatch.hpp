@@ -130,6 +130,12 @@ struct WorkerSession {
   core::SesrInference network;
   std::optional<core::StreamingUpscaler> streamer;  // built on first use
   std::thread thread;
+  // Serializes unit execution against reload_routes' replica rebuild. The
+  // request's inflight token is released when its promise is fulfilled
+  // (inside execute_unit), but the worker still reads `network` for arena
+  // bookkeeping afterwards — a reload that only waited for inflight==0 would
+  // rebuild the replica under that tail read.
+  std::mutex busy;
   // Steady-state arena bound the shard pre-reserved this replica to (from the
   // route's registered PlanFootprint). A tile unit that leaves the arena above
   // presized_bytes — an oversized tiled frame — triggers a trim back to

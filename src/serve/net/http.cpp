@@ -173,7 +173,16 @@ void HttpReader::parse() {
         poison("malformed header field");
         return;
       }
-      req.headers[to_lower(trim(field.substr(0, colon)))] = trim(field.substr(colon + 1));
+      const std::string name = to_lower(trim(field.substr(0, colon)));
+      // Duplicate framing headers must be rejected, not last-one-wins: a
+      // proxy that honors the first Content-Length while this parser honors
+      // the second desyncs the keep-alive stream (request smuggling).
+      if ((name == "content-length" || name == "transfer-encoding") &&
+          req.headers.count(name) != 0) {
+        poison("duplicate " + name + " header");
+        return;
+      }
+      req.headers[name] = trim(field.substr(colon + 1));
     }
     const std::string conn = to_lower(req.header("connection"));
     if (conn == "close") req.keep_alive = false;
@@ -279,8 +288,13 @@ std::optional<PgmImage> decode_pgm(const std::vector<std::uint8_t>& bytes) {
       maxs.find_first_not_of("0123456789") != std::string::npos) {
     return std::nullopt;
   }
+  // Length-cap the digit tokens before stoll: a 20-digit width would throw
+  // std::out_of_range on the IO thread. 9 digits covers every dimension the
+  // cap below admits.
+  if (ws.size() > 9 || hs.size() > 9 || maxs.size() > 9) return std::nullopt;
   const long long w = std::stoll(ws), h = std::stoll(hs), maxval = std::stoll(maxs);
   if (w <= 0 || h <= 0 || maxval != 255) return std::nullopt;
+  if (w > kMaxImageDim || h > kMaxImageDim) return std::nullopt;
   if (pos >= bytes.size() || !std::isspace(bytes[pos])) return std::nullopt;
   ++pos;  // single whitespace after maxval
   const std::size_t count = static_cast<std::size_t>(w) * static_cast<std::size_t>(h);

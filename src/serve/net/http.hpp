@@ -99,6 +99,12 @@ bool looks_like_http(const std::uint8_t* data, std::size_t size);
 // P5 with maxval 255: header "P5\n<w> <h>\n255\n" then w*h raw bytes. Floats
 // map linearly [0,1] <-> [0,255] (clamped on encode; 1/255 quantization is
 // the price of the format — raw f32 mode is the lossless path).
+//
+// Per-side image dimension cap for request decoding (PGM header and the raw
+// f32 query parameters). Keeps every w*h product far from u64/size_t wrap so
+// the body-length checks are exact, and keeps Shape::numel from overflowing
+// before a request is even admitted.
+inline constexpr std::int64_t kMaxImageDim = 1 << 20;
 struct PgmImage {
   std::int64_t h = 0;
   std::int64_t w = 0;

@@ -283,9 +283,11 @@ struct NetServer::Impl {
     entry.conn_id = conn.id;
     entry.wire_id = request->id;
     SubmitOptions opts = make_submit_options(sh, seq, request->deadline_us);
-    Tensor frame = pixels_to_frame(request->h, request->w, request->pixels);
     AdmitResult admitted;
     try {
+      // Tensor construction inside the try: a throwing Shape/Tensor ctor
+      // must hit the same erase-and-answer path as a throwing submit.
+      Tensor frame = pixels_to_frame(request->h, request->w, request->pixels);
       if (options.submit_fault) options.submit_fault();
       if (request->video) {
         VideoOptions video;
@@ -390,6 +392,13 @@ struct NetServer::Impl {
                        "raw f32 mode needs positive 'h' and 'w' query parameters "
                        "(or send a PGM body)\n");
       }
+      // Cap each side before multiplying: query_u64 admits 12-digit values,
+      // so hq*wq*4 can wrap u64 to 0 and "match" an empty body — then the
+      // resize below throws on the IO thread and kills the process.
+      if (hq > static_cast<std::uint64_t>(kMaxImageDim) ||
+          wq > static_cast<std::uint64_t>(kMaxImageDim)) {
+        return respond(400, "text/plain", "image dimensions exceed limit\n");
+      }
       if (hq * wq * 4 != req.body.size()) {
         return respond(400, "text/plain",
                        "body must be exactly h*w little-endian f32 values\n");
@@ -413,9 +422,9 @@ struct NetServer::Impl {
     entry.http_keep_alive = keep_alive;
     SubmitOptions opts =
         make_submit_options(sh, seq, static_cast<std::uint32_t>(deadline_us));
-    Tensor frame = pixels_to_frame(h, w, pixels);
     AdmitResult admitted;
     try {
+      Tensor frame = pixels_to_frame(h, w, pixels);  // may throw: same path as submit
       if (options.submit_fault) options.submit_fault();
       admitted = server.submit_admitted(key, std::move(frame), std::move(opts));
     } catch (...) {
@@ -436,7 +445,17 @@ struct NetServer::Impl {
     while (!conn.http_busy && !conn.close_after_flush) {
       std::optional<HttpRequest> req = conn.http.next();
       if (!req) break;
-      handle_http(sh, conn, std::move(*req));
+      try {
+        handle_http(sh, conn, std::move(*req));
+      } catch (...) {
+        // Same terminate guard as the binary dispatch: answer and close this
+        // connection instead of letting the exception off the IO thread.
+        const WireResponse err =
+            error_response(0, std::string(), std::current_exception());
+        conn.outbox.push_back(http_response(http_status_for(err.status), "text/plain",
+                                            err.message + "\n", true));
+        conn.close_after_flush = true;
+      }
     }
     if (conn.http.poisoned() && !conn.http_busy && !conn.close_after_flush) {
       sh.n_malformed.fetch_add(1, std::memory_order_relaxed);
@@ -523,7 +542,16 @@ struct NetServer::Impl {
     }
     if (conn.proto == Proto::kBinary) {
       while (auto payload = conn.reader.next()) {
-        handle_payload(sh, conn, *payload);
+        try {
+          handle_payload(sh, conn, *payload);
+        } catch (...) {
+          // Last line of defense: this runs on the IO thread, where an
+          // escaped exception would std::terminate the whole server. Answer
+          // this connection and close it; everyone else keeps being served.
+          queue_response(sh, conn,
+                         error_response(0, std::string(), std::current_exception()));
+          conn.close_after_flush = true;
+        }
         if (conn.close_after_flush) return true;  // poisoned inside a handler
       }
       if (conn.reader.poisoned() && !conn.close_after_flush) {

@@ -66,10 +66,13 @@ struct Cursor {
     return true;
   }
   bool f32s(std::size_t n, std::vector<float>& out) {
-    if (left < n * 4) return false;
+    // Divide rather than multiply: n*4 wraps for n >= 2^62 and a wrapped
+    // product of 0 would pass the length check, then resize(n) throws — on
+    // the IO thread, pre-auth, that is a remote crash.
+    if (n > left / 4) return false;
     out.resize(n);
     for (std::size_t i = 0; i < n; ++i) {
-      std::uint32_t bits;
+      std::uint32_t bits = 0;
       u32(bits);
       out[i] = std::bit_cast<float>(bits);
     }
@@ -158,9 +161,12 @@ std::optional<WireRequest> decode_request(const std::vector<std::uint8_t>& paylo
   }
   r.video = (flags & kRequestFlagVideo) != 0;
   if (r.route.empty() || h == 0 || w == 0) return std::nullopt;
-  // The pixel block must be exactly h*w floats — no trailing garbage.
+  // The pixel block must be exactly h*w floats — no trailing garbage. The
+  // byte count is compared via division: count*4 wraps u64 for h=w=2^31
+  // (count=2^62, count*4 == 0 matches an empty tail) and this runs before
+  // the auth check, so it must be overflow-proof.
   const std::uint64_t count = static_cast<std::uint64_t>(h) * w;
-  if (c.left != count * 4) return std::nullopt;
+  if (c.left % 4 != 0 || c.left / 4 != count) return std::nullopt;
   r.h = static_cast<std::int64_t>(h);
   r.w = static_cast<std::int64_t>(w);
   if (!c.f32s(count, r.pixels)) return std::nullopt;
@@ -182,7 +188,7 @@ std::optional<WireResponse> decode_response(const std::vector<std::uint8_t>& pay
   if (r.status == Status::kOk) {
     if (h == 0 || w == 0) return std::nullopt;
     const std::uint64_t count = static_cast<std::uint64_t>(h) * w;
-    if (c.left != count * 4) return std::nullopt;
+    if (c.left % 4 != 0 || c.left / 4 != count) return std::nullopt;  // overflow-proof
     r.h = static_cast<std::int64_t>(h);
     r.w = static_cast<std::int64_t>(w);
     if (!c.f32s(count, r.pixels)) return std::nullopt;

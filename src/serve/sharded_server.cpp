@@ -545,6 +545,10 @@ void ShardedServer::batcher_loop(Shard& shard) {
 void ShardedServer::worker_loop(Shard& shard, WorkerSession& session) {
   Unit unit;
   while (dispatch_.pop(shard.index, unit)) {
+    // Held across the unit AND the arena bookkeeping below: reload_routes
+    // must not rebuild this replica between the promise resolving (which
+    // releases the inflight token it waits on) and the last `network` touch.
+    std::lock_guard<std::mutex> guard(session.busy);
     if (options_.worker_hook) options_.worker_hook();
     execute_unit(session, unit, stats_);
     const std::int64_t arena = session.network.plan_arena_bytes();
@@ -598,14 +602,16 @@ void ShardedServer::reload_routes(const NetworkRegistry& registry) {
                                   route_string(shards_[i]->net.key) + "')");
     }
   }
-  // Drained: every worker is parked in dispatch_.pop (the wait_zero above
-  // synchronizes with their last completions), so the replicas are safe to
-  // rebuild from this thread. Traffic resumed after this call observes the
-  // new weights through the queue mutexes.
+  // Drained: wait_zero above saw every request resolve, but a worker may
+  // still be inside its per-unit tail (arena bookkeeping after fulfilling
+  // the promise) — each session's `busy` mutex closes that window before its
+  // replica is rebuilt. Traffic resumed after this call observes the new
+  // weights through the queue mutexes.
   for (std::size_t i = 0; i < entries.size(); ++i) {
     Shard& shard = *shards_[i];
     shard.net = entries[i];
     for (auto& session : shard.sessions) {
+      std::lock_guard<std::mutex> guard(session->busy);
       session->network = core::SesrInference(entries[i].checkpoint);
       session->network.set_precision(entries[i].key.precision);
       presize_session(*session, options_, entries[i]);

@@ -144,6 +144,30 @@ TEST(Wire, DecodeRejectsTruncatedAndTrailingBytes) {
   EXPECT_FALSE(decode_request(payload_of(encode_request(bad))).has_value());
 }
 
+TEST(Wire, DecodeRejectsPixelCountOverflowInsteadOfThrowing) {
+  // h=w=2^31 makes count=2^62, so count*4 wraps u64 to 0 and "matches" an
+  // empty pixel block; the old multiply-based check then reached a
+  // resize(2^62) that threw length_error. decode_request runs on the IO
+  // thread BEFORE the auth check, so this 40-byte frame was an
+  // unauthenticated remote crash on open binds. It must decode to nullopt.
+  WireRequest request;
+  request.id = 7;
+  request.route = "m5:2:fp32";
+  request.h = 0x80000000LL;  // 2^31, valid u32 on the wire
+  request.w = 0x80000000LL;
+  ASSERT_TRUE(request.pixels.empty());
+  EXPECT_FALSE(decode_request(payload_of(encode_request(request))).has_value());
+
+  // Same wrap on the response side.
+  WireResponse response;
+  response.id = 7;
+  response.status = Status::kOk;
+  response.route = "m5:2:fp32";
+  response.h = 0x80000000LL;
+  response.w = 0x80000000LL;
+  EXPECT_FALSE(decode_response(payload_of(encode_response(response))).has_value());
+}
+
 TEST(Wire, FrameReaderReassemblesByteDribbledFrames) {
   WireRequest request;
   request.id = 42;
@@ -353,6 +377,13 @@ TEST(Http, ReaderPoisonsOnMalformedChunkedAndOversized) {
   feed_string(huge_header, "GET /x HTTP/1.1\r\nPadding: " + std::string(128, 'a'));
   EXPECT_TRUE(huge_header.poisoned());
 
+  // Duplicate framing headers: last-one-wins would let a proxy and this
+  // parser disagree about where the body ends (request smuggling).
+  HttpReader dup_length;
+  feed_string(dup_length,
+              "POST /x HTTP/1.1\r\nContent-Length: 4\r\nContent-Length: 8\r\n\r\n");
+  EXPECT_TRUE(dup_length.poisoned());
+
   // HTTP/1.0 defaults to close; headers are case-insensitive.
   HttpReader ten;
   feed_string(ten, "GET /healthz HTTP/1.0\r\nHOST: a\r\n\r\n");
@@ -403,6 +434,12 @@ TEST(Http, PgmCodecRoundTripsAndRejectsMalformed) {
   EXPECT_FALSE(corrupt("P5\n2 2\n255\nabc"));        // short pixel block
   EXPECT_FALSE(corrupt("P5\n2 2\n255\nabcde"));      // long pixel block
   EXPECT_FALSE(corrupt("P5\n-1 2\n255\n"));          // negative dims
+  // Overflow hardening: these run on the IO thread, where a throw (stoll
+  // out_of_range, wrapped w*h matching an empty sample block) would
+  // terminate the whole server. They must decode to nullopt instead.
+  EXPECT_FALSE(corrupt("P5\n99999999999999999999 1\n255\n"));  // > long long
+  EXPECT_FALSE(corrupt("P5\n4294967296 4294967296\n255\n"));   // w*h wraps
+  EXPECT_FALSE(corrupt("P5\n2000000 1\n255\n"));               // over kMaxImageDim
 }
 
 // ------------------------------------------------------------ accept taxonomy
@@ -733,6 +770,61 @@ TEST(NetServer, HttpHealthzStatsAndUpscaleOverTheSamePort) {
                 port, "GET /nope HTTP/1.1\r\nConnection: close\r\n\r\n")),
             "HTTP/1.1 404 Not Found");
   EXPECT_GE(fx.net->stats().http_requests, 6U);
+}
+
+TEST(NetServer, OverflowProbesAnswerCleanlyAndServerSurvives) {
+  // Each probe used to reach an uncaught throw on the IO thread
+  // (std::terminate for the whole process). Now each gets a typed rejection
+  // and only its own connection closes.
+  NetFixture fx;
+  const std::uint16_t port = fx.net->port();
+
+  // Binary protocol, pre-auth: h=w=2^31 with an empty pixel block wraps the
+  // u64 byte count to 0.
+  {
+    WireRequest overflow;
+    overflow.id = 13;
+    overflow.route = "m5:2:fp32";
+    overflow.h = 0x80000000LL;
+    overflow.w = 0x80000000LL;
+    NetClient probe("127.0.0.1", port);
+    probe.send_raw(encode_request(overflow));
+    const auto reject = probe.recv_response();
+    ASSERT_TRUE(reject.has_value());
+    EXPECT_EQ(reject->status, Status::kBadRequest);
+    EXPECT_EQ(probe.recv_response(), std::nullopt);  // server closed it
+  }
+
+  // Raw f32 mode: h*w*4 wraps u64 to 0, matching the empty body.
+  const std::string wrap = http_exchange(
+      port,
+      "POST /v1/upscale?route=m5%3A2%3Afp32&h=2147483648&w=2147483648 HTTP/1.1\r\n"
+      "Content-Length: 0\r\nConnection: close\r\n\r\n");
+  EXPECT_EQ(http_status_line(wrap), "HTTP/1.1 400 Bad Request");
+
+  // PGM header with a 20-digit width: stoll would throw out_of_range.
+  const std::string big_pgm = "P5 99999999999999999999 1 255\nx";
+  const std::string pgm = http_exchange(
+      port, "POST /v1/upscale?route=m5%3A2%3Afp32 HTTP/1.1\r\nContent-Length: " +
+                std::to_string(big_pgm.size()) + "\r\nConnection: close\r\n\r\n" +
+                big_pgm);
+  EXPECT_EQ(http_status_line(pgm), "HTTP/1.1 400 Bad Request");
+  EXPECT_EQ(http_body(pgm), "malformed PGM body\n");
+
+  // Duplicate Content-Length is a smuggling vector: poison, answer, close.
+  const std::string dup = http_exchange(
+      port, "GET /healthz HTTP/1.1\r\nContent-Length: 0\r\nContent-Length: 2\r\n"
+            "Connection: close\r\n\r\n");
+  EXPECT_EQ(http_status_line(dup), "HTTP/1.1 400 Bad Request");
+
+  // The server outlived every probe and still serves both protocols.
+  const Tensor frame = make_frame(71, 8, 8);
+  NetClient healthy("127.0.0.1", port);
+  EXPECT_EQ(healthy.upscale("m5:2:fp32", frame).status, Status::kOk);
+  EXPECT_EQ(http_status_line(http_exchange(
+                port, "GET /healthz HTTP/1.1\r\nConnection: close\r\n\r\n")),
+            "HTTP/1.1 200 OK");
+  EXPECT_GE(fx.net->stats().malformed, 2U);  // binary poison + duplicate header
 }
 
 TEST(NetServer, AuthTokenGatesBinaryAndHttpButNotHealthz) {
